@@ -1,0 +1,35 @@
+//! Figure 10: sequence-parallel self-attention and overlap ratio.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tilelink_bench::{default_cluster, fig10, geomean};
+use tilelink_workloads::{attention, shapes};
+
+fn bench_fig10(c: &mut Criterion) {
+    let cluster = default_cluster();
+    let shape = &shapes::attn_shapes()[0];
+    let mut group = c.benchmark_group("fig10_attention");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &seq in &[16_384usize, 65_536] {
+        group.bench_function(format!("tilelink_sp_attention/{}k", seq / 1024), |b| {
+            b.iter(|| {
+                attention::timed_sp_attention(shape, seq, &cluster, &attention::attention_config()).unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    for idx in 0..shapes::attn_shapes().len() {
+        let rows = fig10(&cluster, idx);
+        println!(
+            "Figure 10 {}: geomean speedup over Torch = {:.2}x, over RingAttn = {:.2}x, mean overlap ratio = {:.1}%",
+            shapes::attn_shapes()[idx].name,
+            geomean(rows.iter().map(|r| r.group.speedup("TileLink", "Torch"))),
+            geomean(rows.iter().map(|r| r.group.speedup("TileLink", "RingAttn"))),
+            100.0 * rows.iter().map(|r| r.overlap_ratio).sum::<f64>() / rows.len() as f64,
+        );
+    }
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

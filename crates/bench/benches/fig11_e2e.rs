@@ -1,0 +1,33 @@
+//! Figure 11: end-to-end models on 8×H800 and 16×H800.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tilelink_bench::{fig11, geomean};
+use tilelink_workloads::{e2e, shapes};
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_e2e");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let (cluster, tokens) = e2e::single_node_setup();
+    // Benchmark one dense and one MoE model end to end.
+    for model in [&shapes::model_configs()[1], &shapes::model_configs()[5]] {
+        group.bench_function(format!("tilelink_e2e/{}", model.name), |b| {
+            b.iter(|| e2e::tilelink_model_timing(model, &cluster, tokens).unwrap())
+        });
+    }
+    group.finish();
+
+    for (two_nodes, label) in [(false, "8xH800"), (true, "16xH800")] {
+        let rows = fig11(two_nodes, usize::MAX);
+        println!(
+            "Figure 11 ({label}): geomean TileLink speedup over PyTorch = {:.2}x",
+            geomean(rows.iter().map(|r| r.speedup()))
+        );
+        for r in &rows {
+            println!("  {:<16} {:.2}x", r.model, r.speedup());
+        }
+    }
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

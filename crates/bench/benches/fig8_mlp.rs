@@ -1,0 +1,35 @@
+//! Figure 8: MLP layers (AG+GEMM, GEMM+RS, full MLP) across MLP-1..6.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tilelink_bench::{default_cluster, fig8, geomean, MlpPanel};
+use tilelink_workloads::{mlp, shapes};
+
+fn bench_fig8(c: &mut Criterion) {
+    let cluster = default_cluster();
+    let mut group = c.benchmark_group("fig8_mlp");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    // Benchmark the TileLink kernel generation + simulation for two shapes.
+    for shape in shapes::mlp_shapes().iter().take(2) {
+        group.bench_function(format!("tilelink_full_mlp/{}", shape.name), |b| {
+            b.iter(|| mlp::timed_full_mlp(shape, &cluster).unwrap())
+        });
+    }
+    group.finish();
+
+    for (panel, name) in [
+        (MlpPanel::AgGemm, "AG+GEMM"),
+        (MlpPanel::GemmRs, "GEMM+RS"),
+        (MlpPanel::Full, "full MLP"),
+    ] {
+        let groups = fig8(&cluster, panel);
+        println!(
+            "Figure 8 {name}: TileLink geomean speedup over cuBLAS+NCCL = {:.2}x, over FLUX = {:.2}x",
+            geomean(groups.iter().map(|g| g.speedup("TileLink", "cuBLAS+NCCL"))),
+            geomean(groups.iter().map(|g| g.speedup("TileLink", "FLUX"))),
+        );
+    }
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

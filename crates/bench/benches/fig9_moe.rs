@@ -1,0 +1,34 @@
+//! Figure 9: MoE layers across MoE-1..6.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tilelink_bench::{default_cluster, fig9, geomean, MoePanel};
+use tilelink_workloads::{moe, shapes};
+
+fn bench_fig9(c: &mut Criterion) {
+    let cluster = default_cluster();
+    let mut group = c.benchmark_group("fig9_moe");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for shape in shapes::moe_shapes().iter().take(2) {
+        group.bench_function(format!("tilelink_full_moe/{}", shape.name), |b| {
+            b.iter(|| moe::timed_full_moe(shape, &cluster).unwrap())
+        });
+    }
+    group.finish();
+
+    for (panel, name) in [
+        (MoePanel::First, "AG+Gather+GroupGEMM"),
+        (MoePanel::Second, "GroupGEMM+Scatter+TopK+RS"),
+        (MoePanel::Full, "full MoE"),
+    ] {
+        let groups = fig9(&cluster, panel);
+        println!(
+            "Figure 9 {name}: TileLink geomean speedup over cuBLAS+NCCL = {:.2}x, over vLLM-Op = {:.2}x",
+            geomean(groups.iter().map(|g| g.speedup("TileLink", "cuBLAS+NCCL"))),
+            geomean(groups.iter().map(|g| g.speedup("TileLink", "vLLM-Op"))),
+        );
+    }
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Table 2: the motivational MLP-1 example under the four techniques.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tilelink_bench::{default_cluster, table2};
+use tilelink_workloads::{baselines, mlp, shapes};
+
+fn bench_table2(c: &mut Criterion) {
+    let cluster = default_cluster();
+    let shape = &shapes::mlp_shapes()[0];
+    let mut group = c.benchmark_group("table2_motivation");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function("non_overlap_ag_gemm", |b| {
+        b.iter(|| baselines::non_overlap_ag_gemm(shape, &cluster))
+    });
+    group.bench_function("tilelink_ag_gemm", |b| {
+        b.iter(|| mlp::timed_ag_gemm(shape, &cluster, &mlp::ag_gemm_config()).unwrap())
+    });
+    group.bench_function("tilelink_gemm_rs", |b| {
+        b.iter(|| mlp::timed_gemm_rs(shape, &cluster, &mlp::gemm_rs_config()).unwrap())
+    });
+    group.finish();
+
+    // Print the actual table once so `cargo bench` output records it.
+    for g in table2(&cluster) {
+        println!("{}:", g.label);
+        for e in &g.entries {
+            println!("  {:<15} {:>9.3} ms", e.method, e.ms);
+        }
+    }
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

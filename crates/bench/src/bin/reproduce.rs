@@ -1,0 +1,143 @@
+//! Prints every table and figure of the paper's evaluation from the simulated
+//! cluster. Run with `cargo run -p tilelink-bench --bin reproduce --release`.
+//!
+//! Flags (combine freely; no flags prints everything):
+//! `--table2 --shapes --fig8 --fig9 --fig10 --fig11 --ablation`
+
+use tilelink_bench::{default_cluster, fig10, fig11, fig8, fig9, geomean, table2, MlpPanel, MoePanel};
+use tilelink_workloads::shapes;
+
+fn wants(args: &[String], flag: &str) -> bool {
+    args.is_empty() || args.iter().any(|a| a == flag)
+}
+
+fn print_groups(title: &str, groups: &[tilelink_bench::Group], baseline: &str) {
+    println!("\n== {title} ==");
+    for g in groups {
+        print!("{:<12}", g.label);
+        for e in &g.entries {
+            print!(" {:>14}: {:>9.3} ms", e.method, e.ms);
+        }
+        println!();
+    }
+    println!(
+        "geomean speedup of TileLink over {}: {:.2}x",
+        baseline,
+        geomean(groups.iter().map(|g| g.speedup("TileLink", baseline)))
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cluster = default_cluster();
+
+    if wants(&args, "--shapes") {
+        println!("== Table 4: benchmark shapes ==");
+        for s in shapes::mlp_shapes() {
+            println!("{}: S={} H={} I={} ({})", s.name, s.tokens, s.hidden, s.intermediate, s.source);
+        }
+        for s in shapes::moe_shapes() {
+            println!(
+                "{}: S={} H={} I={} E={} topk={}",
+                s.name, s.tokens, s.hidden, s.intermediate, s.experts, s.top_k
+            );
+        }
+        for s in shapes::attn_shapes() {
+            println!("{}: heads={} head_dim={} seq={:?}", s.name, s.heads, s.head_dim, s.seq_lens);
+        }
+    }
+
+    if wants(&args, "--table2") {
+        print_groups("Table 2: motivational example (MLP-1)", &table2(&cluster), "Non-Overlap");
+    }
+
+    if wants(&args, "--fig8") {
+        print_groups("Figure 8: AG+GEMM", &fig8(&cluster, MlpPanel::AgGemm), "cuBLAS+NCCL");
+        print_groups("Figure 8: GEMM+RS", &fig8(&cluster, MlpPanel::GemmRs), "cuBLAS+NCCL");
+        print_groups("Figure 8: full MLP", &fig8(&cluster, MlpPanel::Full), "cuBLAS+NCCL");
+    }
+
+    if wants(&args, "--fig9") {
+        print_groups("Figure 9: AG+Gather+GroupGEMM", &fig9(&cluster, MoePanel::First), "cuBLAS+NCCL");
+        print_groups(
+            "Figure 9: GroupGEMM+Scatter+TopK+RS",
+            &fig9(&cluster, MoePanel::Second),
+            "cuBLAS+NCCL",
+        );
+        print_groups("Figure 9: full MoE", &fig9(&cluster, MoePanel::Full), "cuBLAS+NCCL");
+    }
+
+    if wants(&args, "--fig10") {
+        for idx in 0..shapes::attn_shapes().len() {
+            let rows = fig10(&cluster, idx);
+            println!("\n== Figure 10: {} ==", shapes::attn_shapes()[idx].name);
+            for r in &rows {
+                print!("{:<16}", r.label);
+                for e in &r.group.entries {
+                    print!(" {:>9}: {:>9.3} ms", e.method, e.ms);
+                }
+                println!("  overlap ratio: {:.1}%", r.overlap_ratio * 100.0);
+            }
+            println!(
+                "geomean speedup over Torch: {:.2}x, over RingAttn: {:.2}x, mean overlap ratio {:.1}%",
+                geomean(rows.iter().map(|r| r.group.speedup("TileLink", "Torch"))),
+                geomean(rows.iter().map(|r| r.group.speedup("TileLink", "RingAttn"))),
+                100.0 * rows.iter().map(|r| r.overlap_ratio).sum::<f64>() / rows.len() as f64
+            );
+        }
+    }
+
+    if wants(&args, "--fig11") {
+        for (two_nodes, label) in [(false, "8xH800"), (true, "16xH800")] {
+            let rows = fig11(two_nodes, usize::MAX);
+            println!("\n== Figure 11: end-to-end, {label} ==");
+            for r in &rows {
+                println!(
+                    "{:<16} Torch {:>10.1} ms   TileLink {:>10.1} ms   speedup {:.2}x",
+                    r.model,
+                    r.torch_ms,
+                    r.tilelink_ms,
+                    r.speedup()
+                );
+            }
+            println!("geomean speedup: {:.2}x", geomean(rows.iter().map(|r| r.speedup())));
+        }
+    }
+
+    if wants(&args, "--ablation") {
+        ablations(&cluster);
+    }
+}
+
+/// Ablations over the design choices called out in DESIGN.md: decoupled tile
+/// sizes, number of communication SMs and resource mapping.
+fn ablations(cluster: &tilelink_sim::ClusterSpec) {
+    use tilelink::config::{CommMapping, TileShape};
+    use tilelink_workloads::mlp;
+
+    let shape = &shapes::mlp_shapes()[0];
+    println!("\n== Ablation: compute tile size (AG+GEMM, MLP-1) ==");
+    for tile in [64usize, 128, 256] {
+        let cfg = mlp::ag_gemm_config().with_compute_tile(TileShape::new(128, tile));
+        let r = mlp::timed_ag_gemm(shape, cluster, &cfg).expect("ablation");
+        println!("compute tile 128x{tile:<4} -> {:>9.3} ms", r.total_ms());
+    }
+
+    println!("\n== Ablation: communication SMs (GEMM+RS, MLP-1) ==");
+    for sms in [8u64, 20, 40] {
+        let cfg = mlp::gemm_rs_config().with_comm_mapping(CommMapping::Hybrid { sms });
+        let r = mlp::timed_gemm_rs(shape, cluster, &cfg).expect("ablation");
+        println!("comm SMs {sms:<3} -> {:>9.3} ms", r.total_ms());
+    }
+
+    println!("\n== Ablation: resource mapping (AG+GEMM, MLP-1) ==");
+    for (name, mapping) in [
+        ("copy engine", CommMapping::CopyEngine),
+        ("20 SMs", CommMapping::Sm { sms: 20 }),
+        ("hybrid", CommMapping::Hybrid { sms: 20 }),
+    ] {
+        let cfg = mlp::ag_gemm_config().with_comm_mapping(mapping);
+        let r = mlp::timed_ag_gemm(shape, cluster, &cfg).expect("ablation");
+        println!("{name:<12} -> {:>9.3} ms", r.total_ms());
+    }
+}

@@ -1,0 +1,348 @@
+//! Shared evaluation functions for the benchmark harness.
+//!
+//! Every table and figure of the paper's evaluation (Section 7) has one
+//! function here that produces its rows; the Criterion benches and the
+//! `reproduce` binary both call these functions, so the printed numbers and the
+//! benchmarked numbers are always the same code path.
+
+#![deny(missing_docs)]
+
+use tilelink_sim::ClusterSpec;
+use tilelink_workloads::{attention, baselines, e2e, mlp, moe, shapes};
+
+/// One (method, milliseconds) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Method name as used in the paper's legends.
+    pub method: &'static str,
+    /// Measured (simulated) time in milliseconds.
+    pub ms: f64,
+}
+
+/// A labelled group of measurements (one cluster of bars in a figure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    /// Workload label (for example "MLP-1" or "Attn-1 / 32k").
+    pub label: String,
+    /// Measurements of every method on this workload.
+    pub entries: Vec<Measurement>,
+}
+
+impl Group {
+    /// Time of one method in the group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the method is not present.
+    pub fn ms_of(&self, method: &str) -> f64 {
+        self.entries
+            .iter()
+            .find(|e| e.method == method)
+            .unwrap_or_else(|| panic!("method {method} missing from group {}", self.label))
+            .ms
+    }
+
+    /// Speed-up of `method` over `baseline` (>1 means `method` is faster).
+    pub fn speedup(&self, method: &str, baseline: &str) -> f64 {
+        self.ms_of(baseline) / self.ms_of(method)
+    }
+}
+
+/// The default evaluation platform: one node of 8×H800.
+pub fn default_cluster() -> ClusterSpec {
+    ClusterSpec::h800_node(8)
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — motivational example (MLP-1, AG+GEMM and GEMM+RS)
+// ---------------------------------------------------------------------------
+
+/// Reproduces Table 2: the four techniques on the two halves of MLP-1.
+pub fn table2(cluster: &ClusterSpec) -> Vec<Group> {
+    let shape = &shapes::mlp_shapes()[0];
+    let ag = Group {
+        label: "AG+GEMM (MLP-1)".to_string(),
+        entries: vec![
+            Measurement { method: "Non-Overlap", ms: baselines::non_overlap_ag_gemm(shape, cluster).total_ms() },
+            Measurement { method: "Decomposition", ms: baselines::decompose_ag_gemm(shape, cluster).total_ms() },
+            Measurement { method: "Fusion (FLUX)", ms: baselines::flux_ag_gemm(shape, cluster).total_ms() },
+            Measurement {
+                method: "TileLink",
+                ms: mlp::timed_ag_gemm(shape, cluster, &mlp::ag_gemm_config())
+                    .expect("tilelink ag+gemm")
+                    .total_ms(),
+            },
+        ],
+    };
+    let rs = Group {
+        label: "GEMM+RS (MLP-1)".to_string(),
+        entries: vec![
+            Measurement { method: "Non-Overlap", ms: baselines::non_overlap_gemm_rs(shape, cluster).total_ms() },
+            Measurement { method: "Decomposition", ms: baselines::decompose_gemm_rs(shape, cluster).total_ms() },
+            Measurement { method: "Fusion (FLUX)", ms: baselines::flux_gemm_rs(shape, cluster).total_ms() },
+            Measurement {
+                method: "TileLink",
+                ms: mlp::timed_gemm_rs(shape, cluster, &mlp::gemm_rs_config())
+                    .expect("tilelink gemm+rs")
+                    .total_ms(),
+            },
+        ],
+    };
+    vec![ag, rs]
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 — MLP layers
+// ---------------------------------------------------------------------------
+
+/// Which panel of Figure 8 to produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MlpPanel {
+    /// AllGather + GEMM.
+    AgGemm,
+    /// GEMM + ReduceScatter.
+    GemmRs,
+    /// The full MLP layer.
+    Full,
+}
+
+/// Reproduces one panel of Figure 8 across MLP-1..6.
+pub fn fig8(cluster: &ClusterSpec, panel: MlpPanel) -> Vec<Group> {
+    shapes::mlp_shapes()
+        .iter()
+        .map(|shape| {
+            let (base, decomp, flux, tilelink) = match panel {
+                MlpPanel::AgGemm => (
+                    baselines::non_overlap_ag_gemm(shape, cluster).total_ms(),
+                    baselines::decompose_ag_gemm(shape, cluster).total_ms(),
+                    baselines::flux_ag_gemm(shape, cluster).total_ms(),
+                    mlp::timed_ag_gemm(shape, cluster, &mlp::ag_gemm_config())
+                        .expect("tilelink")
+                        .total_ms(),
+                ),
+                MlpPanel::GemmRs => (
+                    baselines::non_overlap_gemm_rs(shape, cluster).total_ms(),
+                    baselines::decompose_gemm_rs(shape, cluster).total_ms(),
+                    baselines::flux_gemm_rs(shape, cluster).total_ms(),
+                    mlp::timed_gemm_rs(shape, cluster, &mlp::gemm_rs_config())
+                        .expect("tilelink")
+                        .total_ms(),
+                ),
+                MlpPanel::Full => (
+                    baselines::non_overlap_full_mlp(shape, cluster).total_ms(),
+                    baselines::decompose_full_mlp(shape, cluster).total_ms(),
+                    baselines::flux_full_mlp(shape, cluster).total_ms(),
+                    mlp::timed_full_mlp(shape, cluster).expect("tilelink").total_ms(),
+                ),
+            };
+            Group {
+                label: shape.name.to_string(),
+                entries: vec![
+                    Measurement { method: "cuBLAS+NCCL", ms: base },
+                    Measurement { method: "Async-TP Torch", ms: decomp },
+                    Measurement { method: "FLUX", ms: flux },
+                    Measurement { method: "TileLink", ms: tilelink },
+                ],
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 — MoE layers
+// ---------------------------------------------------------------------------
+
+/// Which panel of Figure 9 to produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoePanel {
+    /// AG + Gather + GroupGEMM.
+    First,
+    /// GroupGEMM + Scatter + TopK Reduce + RS.
+    Second,
+    /// The full MoE layer.
+    Full,
+}
+
+/// Reproduces one panel of Figure 9 across MoE-1..6.
+pub fn fig9(cluster: &ClusterSpec, panel: MoePanel) -> Vec<Group> {
+    shapes::moe_shapes()
+        .iter()
+        .map(|shape| {
+            let cfg = moe::moe_config();
+            let (cublas, cutlass, vllm, tilelink) = match panel {
+                MoePanel::First => (
+                    baselines::cublas_nccl_moe_first(shape, cluster).total_ms(),
+                    baselines::cutlass_nccl_moe_first(shape, cluster).total_ms(),
+                    baselines::vllm_moe_first(shape, cluster).total_ms(),
+                    moe::timed_ag_group_gemm(shape, cluster, &cfg).expect("tilelink").total_ms(),
+                ),
+                MoePanel::Second => (
+                    baselines::cublas_nccl_moe_second(shape, cluster).total_ms(),
+                    baselines::cutlass_nccl_moe_second(shape, cluster).total_ms(),
+                    baselines::vllm_moe_second(shape, cluster).total_ms(),
+                    moe::timed_group_gemm_rs(shape, cluster, &cfg).expect("tilelink").total_ms(),
+                ),
+                MoePanel::Full => (
+                    baselines::cublas_nccl_full_moe(shape, cluster).total_ms(),
+                    baselines::cutlass_nccl_full_moe(shape, cluster).total_ms(),
+                    baselines::vllm_full_moe(shape, cluster).total_ms(),
+                    moe::timed_full_moe(shape, cluster).expect("tilelink").total_ms(),
+                ),
+            };
+            Group {
+                label: shape.name.to_string(),
+                entries: vec![
+                    Measurement { method: "cuBLAS+NCCL", ms: cublas },
+                    Measurement { method: "CUTLASS+NCCL", ms: cutlass },
+                    Measurement { method: "vLLM-Op", ms: vllm },
+                    Measurement { method: "TileLink", ms: tilelink },
+                ],
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10 — sequence-parallel attention + overlap ratio
+// ---------------------------------------------------------------------------
+
+/// One row of Figure 10: times for the three methods plus TileLink's overlap ratio.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttentionRow {
+    /// Group label ("Attn-1 / 32k").
+    pub label: String,
+    /// Method measurements.
+    pub group: Group,
+    /// TileLink's overlap ratio on this point (Section 7.2 metric).
+    pub overlap_ratio: f64,
+}
+
+/// Reproduces Figure 10 for one attention configuration.
+pub fn fig10(cluster: &ClusterSpec, shape_index: usize) -> Vec<AttentionRow> {
+    let shape = &shapes::attn_shapes()[shape_index];
+    shape
+        .seq_lens
+        .iter()
+        .map(|&seq| {
+            let torch = baselines::torch_attention(shape, seq, cluster).total_ms();
+            let ring = baselines::ring_attention(shape, seq, cluster).total_ms();
+            let tl = attention::timed_sp_attention(shape, seq, cluster, &attention::attention_config())
+                .expect("tilelink attention");
+            AttentionRow {
+                label: format!("{} / {}k", shape.name, seq / 1024),
+                group: Group {
+                    label: format!("{} / {}k", shape.name, seq / 1024),
+                    entries: vec![
+                        Measurement { method: "Torch", ms: torch },
+                        Measurement { method: "RingAttn", ms: ring },
+                        Measurement { method: "TileLink", ms: tl.total_ms() },
+                    ],
+                },
+                overlap_ratio: tl.overlap_ratio(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11 — end-to-end models
+// ---------------------------------------------------------------------------
+
+/// One bar pair of Figure 11.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E2eRow {
+    /// Model name.
+    pub model: &'static str,
+    /// PyTorch baseline time in milliseconds.
+    pub torch_ms: f64,
+    /// TileLink time in milliseconds.
+    pub tilelink_ms: f64,
+}
+
+impl E2eRow {
+    /// Speed-up of TileLink over PyTorch.
+    pub fn speedup(&self) -> f64 {
+        self.torch_ms / self.tilelink_ms
+    }
+}
+
+/// Reproduces Figure 11 for either the 8-GPU (false) or 16-GPU (true) setup.
+///
+/// `model_subset` limits the evaluation to the first `n` models (the Criterion
+/// benches use a subset to keep run times reasonable); pass `usize::MAX` for all.
+pub fn fig11(two_nodes: bool, model_subset: usize) -> Vec<E2eRow> {
+    let (cluster, tokens) = if two_nodes {
+        e2e::two_node_setup()
+    } else {
+        e2e::single_node_setup()
+    };
+    shapes::model_configs()
+        .iter()
+        .take(model_subset)
+        .map(|model| {
+            let cmp = e2e::compare_model(model, &cluster, tokens).expect("e2e comparison");
+            E2eRow {
+                model: model.name,
+                torch_ms: cmp.torch.total_s * 1e3,
+                tilelink_ms: cmp.tilelink.total_s * 1e3,
+            }
+        })
+        .collect()
+}
+
+/// Geometric mean of an iterator of positive values.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    (log_sum / n as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_constant_is_constant() {
+        assert!((geomean([2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn table2_has_expected_shape_and_ordering() {
+        let groups = table2(&default_cluster());
+        assert_eq!(groups.len(), 2);
+        for g in &groups {
+            assert_eq!(g.entries.len(), 4);
+            // Decomposition is the slowest method in both halves (paper Table 2).
+            assert!(g.ms_of("Decomposition") > g.ms_of("Non-Overlap"));
+            // TileLink beats the non-overlapping baseline.
+            assert!(g.speedup("TileLink", "Non-Overlap") > 1.0, "{g:?}");
+        }
+    }
+
+    #[test]
+    fn fig10_rows_have_overlap_ratio() {
+        let rows = fig10(&default_cluster(), 0);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.overlap_ratio >= 0.0 && r.overlap_ratio <= 1.0);
+            assert!(r.group.speedup("TileLink", "Torch") > 1.0);
+        }
+    }
+
+    #[test]
+    fn fig11_subset_speeds_up() {
+        let rows = fig11(false, 2);
+        assert_eq!(rows.len(), 2);
+        for r in rows {
+            assert!(r.speedup() > 1.0, "{}: {:.2}", r.model, r.speedup());
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # tilelink-collectives
+//!
+//! Collective communication for the TileLink reproduction, standing in for
+//! NCCL. Two views of every collective are provided:
+//!
+//! * **functional** ([`Comm`]) — real data movement between rank threads over
+//!   the [`tilelink_shmem`] symmetric memory, used to validate that the
+//!   overlapped kernels produce bit-identical results to an unoverlapped
+//!   collective + compute reference;
+//! * **timed** ([`timed`]) — task-graph builders for the
+//!   [`tilelink_sim`] discrete-event simulator, used by every baseline in the
+//!   benchmark harness ("cuBLAS+NCCL", "CUTLASS+NCCL", Async-TP) to model the
+//!   cost of the non-overlapped or decomposed collectives.
+//!
+//! The supported collectives are the ones the paper's workloads need
+//! (Section 2.1): AllGather, ReduceScatter, AllReduce, All-to-All and
+//! Broadcast.
+//!
+//! # Example
+//!
+//! ```
+//! use tilelink_shmem::ProcessGroup;
+//! use tilelink_collectives::Comm;
+//!
+//! let outputs = ProcessGroup::launch(4, |ctx| {
+//!     let mut comm = Comm::new(ctx);
+//!     // every rank contributes one value; all-reduce sums them
+//!     comm.all_reduce(&[comm.rank() as f32 + 1.0])
+//! });
+//! assert!(outputs.iter().all(|o| o == &vec![10.0]));
+//! ```
+
+#![deny(missing_docs)]
+
+mod functional;
+pub mod timed;
+
+pub use functional::Comm;

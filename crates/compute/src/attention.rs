@@ -1,0 +1,285 @@
+//! Reference attention and an online-softmax (flash) accumulator.
+
+use crate::Tensor;
+
+/// Scaled dot-product attention with materialised scores, for one head:
+/// `q: [Sq, D]`, `k: [Skv, D]`, `v: [Skv, D]` → `[Sq, D]`.
+///
+/// This is the numerical reference; it is also the cost profile of the
+/// non-flash "Torch" baseline in Figure 10, which materialises the full
+/// `Sq × Skv` score matrix.
+///
+/// # Panics
+///
+/// Panics if the head dimensions disagree.
+pub fn attention_reference(q: &Tensor, k: &Tensor, v: &Tensor) -> Tensor {
+    assert_eq!(q.ndim(), 2, "q must be [Sq, D]");
+    assert_eq!(k.ndim(), 2, "k must be [Skv, D]");
+    assert_eq!(v.ndim(), 2, "v must be [Skv, D]");
+    let (sq, d) = (q.shape()[0], q.shape()[1]);
+    let (skv, dk) = (k.shape()[0], k.shape()[1]);
+    assert_eq!(d, dk, "q/k head dimension mismatch");
+    assert_eq!(v.shape()[0], skv, "k/v length mismatch");
+    assert_eq!(v.shape()[1], d, "v head dimension mismatch");
+    let scale = 1.0 / (d as f32).sqrt();
+    let mut out = Tensor::zeros(&[sq, d]);
+    for i in 0..sq {
+        // scores_i = q_i . k_j * scale
+        let mut scores = vec![0.0f32; skv];
+        for j in 0..skv {
+            let mut dot = 0.0;
+            for t in 0..d {
+                dot += q.at(&[i, t]) * k.at(&[j, t]);
+            }
+            scores[j] = dot * scale;
+        }
+        let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = scores.iter().map(|s| (s - max).exp()).collect();
+        let denom: f32 = exps.iter().sum();
+        for t in 0..d {
+            let mut acc = 0.0;
+            for j in 0..skv {
+                acc += exps[j] * v.at(&[j, t]);
+            }
+            out.set(&[i, t], acc / denom);
+        }
+    }
+    out
+}
+
+/// Streaming (online-softmax) attention accumulator for one head.
+///
+/// The accumulator consumes KV *tiles* one at a time and keeps the running
+/// max/denominator statistics of Flash-Attention. This is precisely the
+/// `tile_flash_attn(q, k, v, acc)` step that the paper's AG-KV + self-attention
+/// kernel performs after every `consumer_tile_wait` (Figure 6), so the
+/// overlapped attention workload can feed it KV tiles in *any* rank order and
+/// still produce the exact attention output.
+///
+/// # Example
+///
+/// ```
+/// use tilelink_compute::{attention, FlashAccumulator, Tensor};
+///
+/// let q = Tensor::random(&[4, 8], 1);
+/// let k = Tensor::random(&[16, 8], 2);
+/// let v = Tensor::random(&[16, 8], 3);
+/// let mut acc = FlashAccumulator::new(&q);
+/// // feed the KV cache tile by tile, out of order
+/// for start in [8usize, 0] {
+///     acc.update(&k.slice_rows(start..start + 8), &v.slice_rows(start..start + 8));
+/// }
+/// let flash = acc.finalize();
+/// let reference = attention::attention_reference(&q, &k, &v);
+/// assert!(flash.allclose(&reference, 1e-4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlashAccumulator {
+    q: Tensor,
+    /// Unnormalised output accumulator, `[Sq, D]`.
+    acc: Tensor,
+    /// Running row maxima of the scores.
+    row_max: Vec<f32>,
+    /// Running softmax denominators.
+    row_sum: Vec<f32>,
+    scale: f32,
+}
+
+impl FlashAccumulator {
+    /// Creates an accumulator for the query tile `q: [Sq, D]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not 2-D.
+    pub fn new(q: &Tensor) -> Self {
+        assert_eq!(q.ndim(), 2, "q must be [Sq, D]");
+        let sq = q.shape()[0];
+        let d = q.shape()[1];
+        Self {
+            q: q.clone(),
+            acc: Tensor::zeros(&[sq, d]),
+            row_max: vec![f32::NEG_INFINITY; sq],
+            row_sum: vec![0.0; sq],
+            scale: 1.0 / (d as f32).sqrt(),
+        }
+    }
+
+    /// Number of query rows.
+    pub fn query_len(&self) -> usize {
+        self.q.shape()[0]
+    }
+
+    /// Folds one KV tile (`k_tile`, `v_tile`: `[T, D]`) into the running state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile shapes are inconsistent with the query.
+    pub fn update(&mut self, k_tile: &Tensor, v_tile: &Tensor) {
+        let d = self.q.shape()[1];
+        assert_eq!(k_tile.ndim(), 2, "k tile must be 2-D");
+        assert_eq!(k_tile.shape()[1], d, "k tile head dimension mismatch");
+        assert_eq!(k_tile.shape(), v_tile.shape(), "k/v tile shape mismatch");
+        let t_len = k_tile.shape()[0];
+        let sq = self.query_len();
+        for i in 0..sq {
+            // scores for this tile
+            let mut scores = vec![0.0f32; t_len];
+            for j in 0..t_len {
+                let mut dot = 0.0;
+                for t in 0..d {
+                    dot += self.q.at(&[i, t]) * k_tile.at(&[j, t]);
+                }
+                scores[j] = dot * self.scale;
+            }
+            let tile_max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let new_max = self.row_max[i].max(tile_max);
+            let correction = if self.row_max[i] == f32::NEG_INFINITY {
+                0.0
+            } else {
+                (self.row_max[i] - new_max).exp()
+            };
+            // rescale existing accumulator and denominator
+            self.row_sum[i] *= correction;
+            for t in 0..d {
+                let cur = self.acc.at(&[i, t]);
+                self.acc.set(&[i, t], cur * correction);
+            }
+            // accumulate this tile
+            for j in 0..t_len {
+                let p = (scores[j] - new_max).exp();
+                self.row_sum[i] += p;
+                for t in 0..d {
+                    let cur = self.acc.at(&[i, t]);
+                    self.acc.set(&[i, t], cur + p * v_tile.at(&[j, t]));
+                }
+            }
+            self.row_max[i] = new_max;
+        }
+    }
+
+    /// Finishes the accumulation and returns the attention output `[Sq, D]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no KV tile was ever folded in (the softmax denominator would
+    /// be zero).
+    pub fn finalize(&self) -> Tensor {
+        let (sq, d) = (self.q.shape()[0], self.q.shape()[1]);
+        let mut out = Tensor::zeros(&[sq, d]);
+        for i in 0..sq {
+            assert!(
+                self.row_sum[i] > 0.0,
+                "finalize called before any KV tile was accumulated"
+            );
+            for t in 0..d {
+                out.set(&[i, t], self.acc.at(&[i, t]) / self.row_sum[i]);
+            }
+        }
+        out
+    }
+}
+
+/// Full flash attention over blocked KV: numerically equivalent to
+/// [`attention_reference`] but computed tile by tile with `block` KV rows at a
+/// time.
+///
+/// # Panics
+///
+/// Panics if `block` is zero or shapes are inconsistent.
+pub fn flash_attention(q: &Tensor, k: &Tensor, v: &Tensor, block: usize) -> Tensor {
+    assert!(block > 0, "block size must be positive");
+    let skv = k.shape()[0];
+    let mut acc = FlashAccumulator::new(q);
+    let mut start = 0;
+    while start < skv {
+        let end = (start + block).min(skv);
+        acc.update(&k.slice_rows(start..end), &v.slice_rows(start..end));
+        start = end;
+    }
+    acc.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qkv(sq: usize, skv: usize, d: usize) -> (Tensor, Tensor, Tensor) {
+        (
+            Tensor::random(&[sq, d], 10),
+            Tensor::random(&[skv, d], 11),
+            Tensor::random(&[skv, d], 12),
+        )
+    }
+
+    #[test]
+    fn reference_rows_are_convex_combinations_of_v() {
+        // With a single query equal to zero, attention is the mean of V.
+        let q = Tensor::zeros(&[1, 4]);
+        let k = Tensor::random(&[6, 4], 1);
+        let v = Tensor::random(&[6, 4], 2);
+        let out = attention_reference(&q, &k, &v);
+        for t in 0..4 {
+            let mean: f32 = (0..6).map(|j| v.at(&[j, t])).sum::<f32>() / 6.0;
+            assert!((out.at(&[0, t]) - mean).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn flash_matches_reference_for_various_blocks() {
+        let (q, k, v) = qkv(5, 33, 8);
+        let reference = attention_reference(&q, &k, &v);
+        for block in [1, 4, 16, 33, 64] {
+            let flash = flash_attention(&q, &k, &v, block);
+            assert!(
+                flash.allclose(&reference, 1e-4),
+                "block {block} diverged by {}",
+                flash.max_abs_diff(&reference)
+            );
+        }
+    }
+
+    #[test]
+    fn accumulator_is_order_invariant() {
+        let (q, k, v) = qkv(3, 24, 4);
+        let reference = attention_reference(&q, &k, &v);
+        // feed tiles in a scrambled order, as the overlapped kernel would when
+        // remote ranks' KV shards arrive out of order
+        let order = [2usize, 0, 1];
+        let mut acc = FlashAccumulator::new(&q);
+        for &blk in &order {
+            acc.update(&k.slice_rows(blk * 8..(blk + 1) * 8), &v.slice_rows(blk * 8..(blk + 1) * 8));
+        }
+        assert!(acc.finalize().allclose(&reference, 1e-4));
+    }
+
+    #[test]
+    fn accumulator_query_len() {
+        let q = Tensor::zeros(&[7, 2]);
+        assert_eq!(FlashAccumulator::new(&q).query_len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "before any KV tile")]
+    fn finalize_without_updates_panics() {
+        FlashAccumulator::new(&Tensor::zeros(&[1, 2])).finalize();
+    }
+
+    #[test]
+    #[should_panic(expected = "head dimension mismatch")]
+    fn mismatched_heads_panic() {
+        let (q, k, _) = qkv(2, 4, 8);
+        let bad_v = Tensor::zeros(&[4, 2]);
+        attention_reference(&q, &k, &bad_v);
+    }
+
+    #[test]
+    fn softmax_weights_are_normalised_attention_is_bounded() {
+        let (q, k, v) = qkv(4, 16, 8);
+        let out = attention_reference(&q, &k, &v);
+        let vmax = v.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let vmin = v.data().iter().cloned().fold(f32::INFINITY, f32::min);
+        for &o in out.data() {
+            assert!(o <= vmax + 1e-5 && o >= vmin - 1e-5);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Top-k expert routing and token dispatch for MoE layers.
+
+use crate::activation::softmax_rows;
+use crate::Tensor;
+
+/// The routing decision for a batch of tokens.
+///
+/// For every token we keep the `k` selected experts and their (softmax)
+/// weights. This is the `topk_ids` input of the paper's AG + MoE kernel
+/// (Figure 5) and drives the *dynamic* tile-centric mapping of Section 4.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Routing {
+    /// Selected expert ids, `[tokens][k]`.
+    pub expert_ids: Vec<Vec<usize>>,
+    /// Normalised gate weights, `[tokens][k]`.
+    pub weights: Vec<Vec<f32>>,
+    /// Number of experts in the layer.
+    pub num_experts: usize,
+}
+
+impl Routing {
+    /// Number of routed tokens.
+    pub fn num_tokens(&self) -> usize {
+        self.expert_ids.len()
+    }
+
+    /// Routing fan-out `k`.
+    pub fn top_k(&self) -> usize {
+        self.expert_ids.first().map_or(0, |v| v.len())
+    }
+
+    /// Number of tokens assigned to each expert.
+    pub fn expert_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_experts];
+        for ids in &self.expert_ids {
+            for &e in ids {
+                counts[e] += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// Computes softmax-gated top-k routing from router logits `[tokens, experts]`.
+///
+/// Ties are broken towards the lower expert id so the routing is deterministic.
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-D or `k` is zero or larger than the number of
+/// experts.
+pub fn topk_routing(logits: &Tensor, k: usize) -> Routing {
+    assert_eq!(logits.ndim(), 2, "router logits must be 2-D");
+    let (tokens, experts) = (logits.shape()[0], logits.shape()[1]);
+    assert!(k >= 1 && k <= experts, "invalid top-k {k} for {experts} experts");
+    let probs = softmax_rows(logits);
+    let mut expert_ids = Vec::with_capacity(tokens);
+    let mut weights = Vec::with_capacity(tokens);
+    for t in 0..tokens {
+        let mut order: Vec<usize> = (0..experts).collect();
+        order.sort_by(|&a, &b| {
+            probs
+                .at(&[t, b])
+                .partial_cmp(&probs.at(&[t, a]))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let chosen: Vec<usize> = order[..k].to_vec();
+        let raw: Vec<f32> = chosen.iter().map(|&e| probs.at(&[t, e])).collect();
+        let sum: f32 = raw.iter().sum();
+        expert_ids.push(chosen);
+        weights.push(raw.iter().map(|w| w / sum).collect());
+    }
+    Routing {
+        expert_ids,
+        weights,
+        num_experts: experts,
+    }
+}
+
+/// The token → expert dispatch plan derived from a [`Routing`].
+///
+/// Tokens are replicated `k` times (one copy per selected expert) and sorted by
+/// expert so a grouped GEMM can process each expert's tokens contiguously —
+/// the same "Gather ... fused into Group GEMM" arrangement that vLLM's fused
+/// MoE kernels (and the paper's Figure 9 pipeline) use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dispatch {
+    /// For every dispatched row (sorted by expert): the source token index.
+    pub token_of_row: Vec<usize>,
+    /// For every dispatched row: which of the token's k slots produced it.
+    pub slot_of_row: Vec<usize>,
+    /// For every dispatched row: the expert that consumes it.
+    pub expert_of_row: Vec<usize>,
+    /// `expert_offsets[e]..expert_offsets[e+1]` is the row range of expert `e`.
+    pub expert_offsets: Vec<usize>,
+}
+
+impl Dispatch {
+    /// Builds the dispatch plan for a routing decision.
+    pub fn new(routing: &Routing) -> Self {
+        let k = routing.top_k();
+        let counts = routing.expert_counts();
+        let mut expert_offsets = vec![0usize; routing.num_experts + 1];
+        for e in 0..routing.num_experts {
+            expert_offsets[e + 1] = expert_offsets[e] + counts[e];
+        }
+        let total = expert_offsets[routing.num_experts];
+        let mut token_of_row = vec![0usize; total];
+        let mut slot_of_row = vec![0usize; total];
+        let mut expert_of_row = vec![0usize; total];
+        let mut cursor = expert_offsets.clone();
+        for t in 0..routing.num_tokens() {
+            for s in 0..k {
+                let e = routing.expert_ids[t][s];
+                let row = cursor[e];
+                cursor[e] += 1;
+                token_of_row[row] = t;
+                slot_of_row[row] = s;
+                expert_of_row[row] = e;
+            }
+        }
+        Self {
+            token_of_row,
+            slot_of_row,
+            expert_of_row,
+            expert_offsets,
+        }
+    }
+
+    /// Total number of dispatched rows (`tokens × k`).
+    pub fn num_rows(&self) -> usize {
+        self.token_of_row.len()
+    }
+
+    /// Gathers the dispatched rows from the token matrix `[tokens, hidden]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is not 2-D or a token index is out of range.
+    pub fn gather(&self, tokens: &Tensor) -> Tensor {
+        assert_eq!(tokens.ndim(), 2, "gather expects a 2-D token matrix");
+        let hidden = tokens.shape()[1];
+        let mut out = Tensor::zeros(&[self.num_rows(), hidden]);
+        for (row, &t) in self.token_of_row.iter().enumerate() {
+            for h in 0..hidden {
+                out.set(&[row, h], tokens.at(&[t, h]));
+            }
+        }
+        out
+    }
+
+    /// Scatter-reduces expert outputs `[rows, hidden]` back to `[tokens, hidden]`,
+    /// weighting each row by its gate weight (the "Scatter + Topk Reduce"
+    /// epilogue of the MoE layer's second half).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent with the routing.
+    pub fn combine(&self, routing: &Routing, expert_out: &Tensor) -> Tensor {
+        assert_eq!(expert_out.ndim(), 2, "combine expects a 2-D expert output");
+        assert_eq!(
+            expert_out.shape()[0],
+            self.num_rows(),
+            "expert output rows must match dispatch rows"
+        );
+        let hidden = expert_out.shape()[1];
+        let mut out = Tensor::zeros(&[routing.num_tokens(), hidden]);
+        for row in 0..self.num_rows() {
+            let t = self.token_of_row[row];
+            let s = self.slot_of_row[row];
+            let w = routing.weights[t][s];
+            for h in 0..hidden {
+                let cur = out.at(&[t, h]);
+                out.set(&[t, h], cur + w * expert_out.at(&[row, h]));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits() -> Tensor {
+        Tensor::from_vec(
+            vec![
+                1.0, 5.0, 0.0, 2.0, // token 0 -> experts 1, 3
+                4.0, 0.0, 3.0, 1.0, // token 1 -> experts 0, 2
+                0.0, 0.0, 9.0, 8.0, // token 2 -> experts 2, 3
+            ],
+            &[3, 4],
+        )
+    }
+
+    #[test]
+    fn routing_selects_highest_logits() {
+        let r = topk_routing(&logits(), 2);
+        assert_eq!(r.expert_ids[0], vec![1, 3]);
+        assert_eq!(r.expert_ids[1], vec![0, 2]);
+        assert_eq!(r.expert_ids[2], vec![2, 3]);
+        assert_eq!(r.num_tokens(), 3);
+        assert_eq!(r.top_k(), 2);
+    }
+
+    #[test]
+    fn routing_weights_are_normalised_and_ordered() {
+        let r = topk_routing(&logits(), 2);
+        for t in 0..3 {
+            let sum: f32 = r.weights[t].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+            assert!(r.weights[t][0] >= r.weights[t][1]);
+        }
+    }
+
+    #[test]
+    fn expert_counts_sum_to_tokens_times_k() {
+        let r = topk_routing(&logits(), 2);
+        let counts = r.expert_counts();
+        assert_eq!(counts.iter().sum::<usize>(), 6);
+        assert_eq!(counts, vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid top-k")]
+    fn topk_larger_than_experts_panics() {
+        topk_routing(&logits(), 5);
+    }
+
+    #[test]
+    fn dispatch_rows_are_grouped_by_expert() {
+        let r = topk_routing(&logits(), 2);
+        let d = Dispatch::new(&r);
+        assert_eq!(d.num_rows(), 6);
+        assert_eq!(d.expert_offsets, vec![0, 1, 2, 4, 6]);
+        // rows within an expert range actually route to that expert
+        for e in 0..4 {
+            for row in d.expert_offsets[e]..d.expert_offsets[e + 1] {
+                assert_eq!(d.expert_of_row[row], e);
+                assert!(r.expert_ids[d.token_of_row[row]].contains(&e));
+            }
+        }
+    }
+
+    #[test]
+    fn gather_then_combine_with_identity_experts_recovers_tokens() {
+        // If every expert is the identity function, combine(gather(x)) == x
+        // because the gate weights sum to one.
+        let r = topk_routing(&logits(), 2);
+        let d = Dispatch::new(&r);
+        let tokens = Tensor::random(&[3, 5], 11);
+        let gathered = d.gather(&tokens);
+        let combined = d.combine(&r, &gathered);
+        assert!(combined.allclose(&tokens, 1e-5));
+    }
+
+    #[test]
+    fn single_expert_routing_behaves() {
+        let l = Tensor::from_vec(vec![0.3, 0.9, 0.1, 0.2], &[4, 1]);
+        let r = topk_routing(&l, 1);
+        assert!(r.expert_ids.iter().all(|ids| ids == &vec![0]));
+        assert!(r.weights.iter().all(|w| (w[0] - 1.0).abs() < 1e-6));
+        let d = Dispatch::new(&r);
+        assert_eq!(d.expert_offsets, vec![0, 4]);
+    }
+}

@@ -1,0 +1,293 @@
+//! Remotely addressable `f32` buffers (the symmetric data plane).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// A buffer of `f32` values that any rank (thread) may read or write.
+///
+/// `SharedBuffer` plays the role of device global memory registered with
+/// NVSHMEM: all accesses go through relaxed atomics, and ordering between a
+/// producer's writes and a consumer's reads is established *only* by the
+/// release/acquire signal operations in [`crate::SignalSet`]. This is the same
+/// contract the paper relies on: data stores are plain stores, and the
+/// `notify`/`wait` primitives carry the release/acquire fences.
+///
+/// Cloning a `SharedBuffer` is cheap and yields another handle to the same
+/// storage.
+///
+/// # Example
+///
+/// ```
+/// use tilelink_shmem::SharedBuffer;
+///
+/// let buf = SharedBuffer::from_slice(&[1.0, 2.0, 3.0]);
+/// buf.store(1, 5.0);
+/// assert_eq!(buf.to_vec(), vec![1.0, 5.0, 3.0]);
+/// ```
+#[derive(Clone)]
+pub struct SharedBuffer {
+    cells: Arc<[AtomicU32]>,
+}
+
+impl SharedBuffer {
+    /// Creates a buffer of `len` zeros.
+    pub fn zeros(len: usize) -> Self {
+        let cells: Vec<AtomicU32> = (0..len).map(|_| AtomicU32::new(0f32.to_bits())).collect();
+        Self {
+            cells: cells.into(),
+        }
+    }
+
+    /// Creates a buffer initialised from a slice.
+    pub fn from_slice(values: &[f32]) -> Self {
+        let cells: Vec<AtomicU32> = values.iter().map(|v| AtomicU32::new(v.to_bits())).collect();
+        Self {
+            cells: cells.into(),
+        }
+    }
+
+    /// Number of elements in the buffer.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` if the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Loads one element (relaxed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn load(&self, index: usize) -> f32 {
+        f32::from_bits(self.cells[index].load(Ordering::Relaxed))
+    }
+
+    /// Stores one element (relaxed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn store(&self, index: usize, value: f32) {
+        self.cells[index].store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Atomically adds `value` to the element at `index` and returns the new value.
+    ///
+    /// Used by reduction epilogues (for example the Top-K reduce of the MoE
+    /// layer) where several tiles accumulate into the same destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn fetch_add(&self, index: usize, value: f32) -> f32 {
+        let cell = &self.cells[index];
+        let mut current = cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f32::from_bits(current) + value).to_bits();
+            match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return f32::from_bits(next),
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Copies `values` into the buffer starting at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + values.len()` exceeds the buffer length.
+    pub fn write_slice(&self, offset: usize, values: &[f32]) {
+        assert!(
+            offset + values.len() <= self.len(),
+            "write_slice: range {}..{} out of bounds for length {}",
+            offset,
+            offset + values.len(),
+            self.len()
+        );
+        for (i, v) in values.iter().enumerate() {
+            self.cells[offset + i].store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Reads `len` elements starting at `offset` into a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + len` exceeds the buffer length.
+    pub fn read_range(&self, offset: usize, len: usize) -> Vec<f32> {
+        assert!(
+            offset + len <= self.len(),
+            "read_range: range {}..{} out of bounds for length {}",
+            offset,
+            offset + len,
+            self.len()
+        );
+        (0..len).map(|i| self.load(offset + i)).collect()
+    }
+
+    /// Copies `len` elements from `src` (starting at `src_offset`) into `self`
+    /// (starting at `dst_offset`).
+    ///
+    /// This is the building block of the `tile_push_data` / `tile_pull_data`
+    /// and `rank_copy_data` primitives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either range is out of bounds.
+    pub fn copy_from(&self, dst_offset: usize, src: &SharedBuffer, src_offset: usize, len: usize) {
+        assert!(src_offset + len <= src.len(), "copy_from: source range out of bounds");
+        assert!(dst_offset + len <= self.len(), "copy_from: destination range out of bounds");
+        for i in 0..len {
+            let bits = src.cells[src_offset + i].load(Ordering::Relaxed);
+            self.cells[dst_offset + i].store(bits, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `len` elements of `src` element-wise into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either range is out of bounds.
+    pub fn add_from(&self, dst_offset: usize, src: &SharedBuffer, src_offset: usize, len: usize) {
+        assert!(src_offset + len <= src.len(), "add_from: source range out of bounds");
+        assert!(dst_offset + len <= self.len(), "add_from: destination range out of bounds");
+        for i in 0..len {
+            let v = src.load(src_offset + i);
+            let cur = self.load(dst_offset + i);
+            self.store(dst_offset + i, cur + v);
+        }
+    }
+
+    /// Fills the whole buffer with `value`.
+    pub fn fill(&self, value: f32) {
+        for cell in self.cells.iter() {
+            cell.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Copies the entire buffer into a `Vec<f32>`.
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.read_range(0, self.len())
+    }
+}
+
+impl std::fmt::Debug for SharedBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedBuffer")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl From<Vec<f32>> for SharedBuffer {
+    fn from(values: Vec<f32>) -> Self {
+        Self::from_slice(&values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn zeros_and_len() {
+        let b = SharedBuffer::zeros(16);
+        assert_eq!(b.len(), 16);
+        assert!(!b.is_empty());
+        assert!(b.to_vec().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let b = SharedBuffer::zeros(0);
+        assert!(b.is_empty());
+        assert_eq!(b.to_vec(), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let b = SharedBuffer::zeros(4);
+        b.store(2, -3.5);
+        assert_eq!(b.load(2), -3.5);
+    }
+
+    #[test]
+    fn write_and_read_slices() {
+        let b = SharedBuffer::zeros(8);
+        b.write_slice(2, &[1.0, 2.0, 3.0]);
+        assert_eq!(b.read_range(2, 3), vec![1.0, 2.0, 3.0]);
+        assert_eq!(b.load(1), 0.0);
+        assert_eq!(b.load(5), 0.0);
+    }
+
+    #[test]
+    fn copy_from_moves_data_between_buffers() {
+        let src = SharedBuffer::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let dst = SharedBuffer::zeros(4);
+        dst.copy_from(1, &src, 2, 2);
+        assert_eq!(dst.to_vec(), vec![0.0, 3.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn add_from_accumulates() {
+        let src = SharedBuffer::from_slice(&[1.0, 1.0]);
+        let dst = SharedBuffer::from_slice(&[2.0, 3.0]);
+        dst.add_from(0, &src, 0, 2);
+        assert_eq!(dst.to_vec(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn clone_aliases_storage() {
+        let a = SharedBuffer::zeros(2);
+        let b = a.clone();
+        a.store(0, 7.0);
+        assert_eq!(b.load(0), 7.0);
+    }
+
+    #[test]
+    fn fetch_add_is_atomic_across_threads() {
+        let b = SharedBuffer::zeros(1);
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let b = b.clone();
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        b.fetch_add(0, 1.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(b.load(0), 8000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn write_slice_out_of_bounds_panics() {
+        SharedBuffer::zeros(2).write_slice(1, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn from_vec_conversion() {
+        let b: SharedBuffer = vec![1.0, 2.0].into();
+        assert_eq!(b.to_vec(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn fill_overwrites_all() {
+        let b = SharedBuffer::from_slice(&[1.0, 2.0, 3.0]);
+        b.fill(9.0);
+        assert_eq!(b.to_vec(), vec![9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", SharedBuffer::zeros(1)).is_empty());
+    }
+}

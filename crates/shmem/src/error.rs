@@ -1,0 +1,100 @@
+//! Error type for the symmetric-memory substrate.
+
+use std::fmt;
+
+/// Errors produced by symmetric-memory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShmemError {
+    /// A buffer or signal set was requested under a name that no rank registered.
+    UnknownSymbol {
+        /// Rank whose heap was searched.
+        rank: usize,
+        /// Symbol name that was looked up.
+        name: String,
+    },
+    /// A symmetric allocation was attempted twice with different lengths.
+    LengthMismatch {
+        /// Symbol name of the conflicting allocation.
+        name: String,
+        /// Length already registered.
+        existing: usize,
+        /// Length requested by the failing call.
+        requested: usize,
+    },
+    /// An index was outside the bounds of a buffer or signal set.
+    OutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Length of the container.
+        len: usize,
+    },
+    /// A rank identifier was not smaller than the world size.
+    InvalidRank {
+        /// Offending rank.
+        rank: usize,
+        /// Number of ranks in the process group.
+        world_size: usize,
+    },
+}
+
+impl fmt::Display for ShmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShmemError::UnknownSymbol { rank, name } => {
+                write!(f, "symbol `{name}` was never registered on rank {rank}")
+            }
+            ShmemError::LengthMismatch {
+                name,
+                existing,
+                requested,
+            } => write!(
+                f,
+                "symmetric allocation `{name}` requested length {requested} but length {existing} is registered"
+            ),
+            ShmemError::OutOfBounds { index, len } => {
+                write!(f, "index {index} is out of bounds for length {len}")
+            }
+            ShmemError::InvalidRank { rank, world_size } => {
+                write!(f, "rank {rank} is invalid for world size {world_size}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShmemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            ShmemError::UnknownSymbol {
+                rank: 1,
+                name: "x".into(),
+            },
+            ShmemError::LengthMismatch {
+                name: "x".into(),
+                existing: 4,
+                requested: 8,
+            },
+            ShmemError::OutOfBounds { index: 9, len: 4 },
+            ShmemError::InvalidRank {
+                rank: 9,
+                world_size: 4,
+            },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShmemError>();
+    }
+}

@@ -1,0 +1,53 @@
+//! # tilelink-shmem
+//!
+//! A software stand-in for NVSHMEM: the symmetric-memory substrate that the
+//! TileLink runtime uses to exchange tiles of data and synchronisation signals
+//! between ranks.
+//!
+//! The paper runs every rank as a separate process on its own GPU and uses
+//! NVSHMEM to (a) allocate *symmetric* buffers that every peer can address and
+//! (b) perform signal operations with release/acquire semantics. This crate
+//! reproduces both facilities with operating-system threads:
+//!
+//! * one thread per rank, launched by [`ProcessGroup::launch`];
+//! * [`SharedBuffer`] — a remotely addressable buffer of `f32` values backed by
+//!   relaxed atomics (data plane);
+//! * [`SignalSet`] — an array of 64-bit signal slots with **release** stores on
+//!   notify and **acquire** loads on wait (control plane), which is exactly the
+//!   memory-consistency contract that Section 3.2.1 of the paper assigns to the
+//!   tile-centric primitives;
+//! * [`SymmetricRegistry`] — name-based symmetric allocation so that a rank can
+//!   obtain a handle to a peer's buffer, mirroring NVSHMEM's symmetric heap.
+//!
+//! # Example
+//!
+//! ```
+//! use tilelink_shmem::ProcessGroup;
+//!
+//! // Two ranks exchange a value through symmetric memory.
+//! let results = ProcessGroup::launch(2, |ctx| {
+//!     let buf = ctx.alloc("mailbox", 1);
+//!     buf.store(0, ctx.rank() as f32);
+//!     ctx.barrier();
+//!     let peer = ctx.remote((ctx.rank() + 1) % 2, "mailbox");
+//!     peer.load(0)
+//! });
+//! assert_eq!(results, vec![1.0, 0.0]);
+//! ```
+
+#![deny(missing_docs)]
+
+mod buffer;
+mod error;
+mod process_group;
+mod registry;
+mod signal;
+
+pub use buffer::SharedBuffer;
+pub use error::ShmemError;
+pub use process_group::{ProcessGroup, RankContext};
+pub use registry::SymmetricRegistry;
+pub use signal::SignalSet;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ShmemError>;

@@ -1,0 +1,138 @@
+//! Cluster topology: nodes × GPUs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::GpuSpec;
+
+/// A homogeneous cluster of `nodes` machines with `gpus_per_node` GPUs each.
+///
+/// The paper evaluates on one node of 8×H800 (Figures 8–10, left of Figure 11)
+/// and two nodes of 8×H800 (right of Figure 11). Intra-node traffic travels
+/// over NVLink, inter-node traffic over InfiniBand; [`ClusterSpec::link_bytes_per_s`]
+/// picks the correct bandwidth for a (source, destination) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Per-GPU hardware description.
+    pub gpu: GpuSpec,
+    /// Number of GPUs per node.
+    pub gpus_per_node: usize,
+    /// Number of nodes.
+    pub nodes: usize,
+}
+
+impl ClusterSpec {
+    /// Creates a cluster specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus_per_node` or `nodes` is zero.
+    pub fn new(gpu: GpuSpec, gpus_per_node: usize, nodes: usize) -> Self {
+        assert!(gpus_per_node > 0, "gpus_per_node must be positive");
+        assert!(nodes > 0, "nodes must be positive");
+        Self {
+            gpu,
+            gpus_per_node,
+            nodes,
+        }
+    }
+
+    /// A single node of `gpus` H800 GPUs (the paper's main platform).
+    pub fn h800_node(gpus: usize) -> Self {
+        Self::new(GpuSpec::h800(), gpus, 1)
+    }
+
+    /// `nodes` nodes of 8×H800 each (the paper's multi-node platform).
+    pub fn h800_multi_node(nodes: usize) -> Self {
+        Self::new(GpuSpec::h800(), 8, nodes)
+    }
+
+    /// Total number of GPUs (ranks).
+    pub fn world_size(&self) -> usize {
+        self.gpus_per_node * self.nodes
+    }
+
+    /// Node index of a rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn node_of(&self, rank: usize) -> usize {
+        assert!(rank < self.world_size(), "rank out of range");
+        rank / self.gpus_per_node
+    }
+
+    /// Returns `true` if two ranks share a node (and therefore NVLink).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rank is out of range.
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Point-to-point bandwidth between two ranks in bytes/s.
+    ///
+    /// Returns HBM bandwidth for a self-copy, NVLink bandwidth within a node and
+    /// InfiniBand bandwidth across nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rank is out of range.
+    pub fn link_bytes_per_s(&self, src: usize, dst: usize) -> f64 {
+        if src == dst {
+            self.gpu.hbm_bytes_per_s()
+        } else if self.same_node(src, dst) {
+            self.gpu.nvlink_bytes_per_s()
+        } else {
+            self.gpu.ib_bytes_per_s()
+        }
+    }
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        Self::h800_node(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_size_and_nodes() {
+        let c = ClusterSpec::h800_multi_node(2);
+        assert_eq!(c.world_size(), 16);
+        assert_eq!(c.node_of(0), 0);
+        assert_eq!(c.node_of(8), 1);
+        assert!(c.same_node(0, 7));
+        assert!(!c.same_node(7, 8));
+    }
+
+    #[test]
+    fn link_bandwidth_depends_on_locality() {
+        let c = ClusterSpec::h800_multi_node(2);
+        let local = c.link_bytes_per_s(0, 0);
+        let nvlink = c.link_bytes_per_s(0, 1);
+        let ib = c.link_bytes_per_s(0, 8);
+        assert!(local > nvlink);
+        assert!(nvlink > ib);
+    }
+
+    #[test]
+    fn default_is_8_gpu_node() {
+        assert_eq!(ClusterSpec::default().world_size(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn node_of_out_of_range_panics() {
+        ClusterSpec::h800_node(2).node_of(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_gpus_panics() {
+        ClusterSpec::new(GpuSpec::h800(), 0, 1);
+    }
+}

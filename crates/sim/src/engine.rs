@@ -1,0 +1,388 @@
+//! The discrete-event scheduler.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use crate::{
+    ClusterSpec, CostModel, ResourceKind, Result, Seconds, SimError, TaskGraph, TaskId, Trace,
+    TraceEntry, Work,
+};
+
+/// A completion event in the event queue. Ordered by time, then task id for
+/// determinism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Completion {
+    time: Seconds,
+    task: TaskId,
+}
+
+impl Eq for Completion {}
+
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.task.cmp(&other.task))
+    }
+}
+
+/// Executes [`TaskGraph`]s against a [`ClusterSpec`].
+///
+/// The engine is a resource-constrained list scheduler: a task starts as soon
+/// as (a) all of its dependencies have finished and (b) its requested resource
+/// units are free on its rank. Ready tasks are considered in submission order,
+/// which mirrors how a GPU's block scheduler drains a grid.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    cluster: ClusterSpec,
+    cost: CostModel,
+}
+
+impl Engine {
+    /// Creates an engine for the given cluster.
+    pub fn new(cluster: ClusterSpec) -> Self {
+        let cost = CostModel::new(cluster.clone());
+        Self { cluster, cost }
+    }
+
+    /// The cluster being simulated.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// The cost model used to convert work into durations.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    fn capacity(&self, kind: ResourceKind) -> u64 {
+        match kind {
+            ResourceKind::Sm => self.cluster.gpu.sm_count,
+            ResourceKind::DmaEngine => self.cluster.gpu.dma_engines,
+            ResourceKind::LinkOut | ResourceKind::LinkIn => 100,
+            ResourceKind::Host => 1,
+        }
+    }
+
+    fn validate(&self, graph: &TaskGraph) -> Result<()> {
+        let world = self.cluster.world_size();
+        for (id, task) in graph.iter() {
+            if task.rank >= world {
+                return Err(SimError::InvalidRank {
+                    rank: task.rank,
+                    world_size: world,
+                });
+            }
+            if let Work::LinkBytes { dst_rank, .. } = task.work {
+                if dst_rank >= world {
+                    return Err(SimError::InvalidRank {
+                        rank: dst_rank,
+                        world_size: world,
+                    });
+                }
+            }
+            let cap = self.capacity(task.resource);
+            if task.units == 0 || task.units > cap {
+                return Err(SimError::InsufficientCapacity {
+                    task: id,
+                    requested: task.units,
+                    capacity: cap,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the graph to completion and returns the execution trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a task references an invalid rank, requests more
+    /// units than exist, or if the dependency graph contains a cycle.
+    pub fn run(&self, graph: &TaskGraph) -> Result<Trace> {
+        self.validate(graph)?;
+
+        let mut available: HashMap<(usize, ResourceKind), u64> = HashMap::new();
+        for rank in 0..self.cluster.world_size() {
+            for kind in ResourceKind::ALL {
+                available.insert((rank, kind), self.capacity(kind));
+            }
+        }
+
+        let mut predecessor_count = graph.predecessor_counts();
+        let mut ready: VecDeque<TaskId> = graph
+            .iter()
+            .filter(|(id, _)| predecessor_count[id.0] == 0)
+            .map(|(id, _)| id)
+            .collect();
+        let mut events: BinaryHeap<Reverse<Completion>> = BinaryHeap::new();
+        let mut entries: Vec<Option<TraceEntry>> = vec![None; graph.len()];
+        // Extra resources (dst LinkIn) held by a running task.
+        let mut extra_held: HashMap<TaskId, (usize, ResourceKind, u64)> = HashMap::new();
+
+        let mut now: Seconds = 0.0;
+        let mut completed = 0usize;
+        let mut running = 0usize;
+
+        loop {
+            // Start every ready task whose resources are free, in FIFO order.
+            let mut deferred: VecDeque<TaskId> = VecDeque::new();
+            while let Some(id) = ready.pop_front() {
+                let task = graph.task(id);
+                let key = (task.rank, task.resource);
+                let free = *available.get(&key).expect("resource exists");
+                // A link transfer also needs ingress capacity at the destination.
+                let link_dst = match task.work {
+                    Work::LinkBytes { dst_rank, .. } if dst_rank != task.rank => {
+                        Some((dst_rank, ResourceKind::LinkIn, task.units))
+                    }
+                    _ => None,
+                };
+                let dst_free = link_dst
+                    .map(|(r, k, u)| *available.get(&(r, k)).expect("resource exists") >= u)
+                    .unwrap_or(true);
+                if free >= task.units && dst_free {
+                    *available.get_mut(&key).expect("resource exists") -= task.units;
+                    if let Some((r, k, u)) = link_dst {
+                        *available.get_mut(&(r, k)).expect("resource exists") -= u;
+                        extra_held.insert(id, (r, k, u));
+                    }
+                    let duration = self.cost.duration(task, task.units);
+                    let end = now + duration;
+                    entries[id.0] = Some(TraceEntry {
+                        task: id,
+                        name: task.name.clone(),
+                        rank: task.rank,
+                        resource: task.resource,
+                        units: task.units,
+                        start: now,
+                        end,
+                    });
+                    events.push(Reverse(Completion { time: end, task: id }));
+                    running += 1;
+                } else {
+                    deferred.push_back(id);
+                }
+            }
+            ready = deferred;
+
+            if running == 0 {
+                if completed == graph.len() {
+                    break;
+                }
+                // Nothing is running and nothing could start: the remaining
+                // tasks are blocked on predecessors that will never finish.
+                return Err(SimError::DependencyCycle {
+                    stuck: graph.len() - completed,
+                });
+            }
+
+            // Advance to the next completion.
+            let Reverse(Completion { time, task: id }) = events.pop().expect("running tasks exist");
+            now = time;
+            running -= 1;
+            completed += 1;
+            let task = graph.task(id);
+            *available
+                .get_mut(&(task.rank, task.resource))
+                .expect("resource exists") += task.units;
+            if let Some((r, k, u)) = extra_held.remove(&id) {
+                *available.get_mut(&(r, k)).expect("resource exists") += u;
+            }
+            for &succ in graph.successors(id) {
+                predecessor_count[succ.0] -= 1;
+                if predecessor_count[succ.0] == 0 {
+                    ready.push_back(succ);
+                }
+            }
+
+            // Drain any other completions at the same instant before trying to
+            // start new work, so resources freed "simultaneously" are pooled.
+            while let Some(&Reverse(peek)) = events.peek() {
+                if peek.time > now {
+                    break;
+                }
+                let Reverse(Completion { task: id, .. }) = events.pop().expect("peeked");
+                running -= 1;
+                completed += 1;
+                let task = graph.task(id);
+                *available
+                    .get_mut(&(task.rank, task.resource))
+                    .expect("resource exists") += task.units;
+                if let Some((r, k, u)) = extra_held.remove(&id) {
+                    *available.get_mut(&(r, k)).expect("resource exists") += u;
+                }
+                for &succ in graph.successors(id) {
+                    predecessor_count[succ.0] -= 1;
+                    if predecessor_count[succ.0] == 0 {
+                        ready.push_back(succ);
+                    }
+                }
+            }
+
+            if completed == graph.len() && running == 0 && ready.is_empty() {
+                break;
+            }
+        }
+
+        let entries: Vec<TraceEntry> = entries.into_iter().flatten().collect();
+        Ok(Trace::new(self.cluster.clone(), entries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GpuSpec, Task};
+
+    fn engine() -> Engine {
+        Engine::new(ClusterSpec::h800_node(4))
+    }
+
+    #[test]
+    fn empty_graph_has_zero_makespan() {
+        let trace = engine().run(&TaskGraph::new()).unwrap();
+        assert_eq!(trace.makespan(), 0.0);
+        assert!(trace.entries().is_empty());
+    }
+
+    #[test]
+    fn independent_tasks_on_different_resources_overlap() {
+        let mut g = TaskGraph::new();
+        g.add_task("compute", 0, ResourceKind::Sm, 132, Work::Latency { seconds: 1.0 });
+        g.add_task("copy", 0, ResourceKind::DmaEngine, 1, Work::Latency { seconds: 1.0 });
+        let trace = engine().run(&g).unwrap();
+        assert!((trace.makespan() - 1.0).abs() < 1e-9, "tasks should overlap");
+    }
+
+    #[test]
+    fn tasks_on_the_same_saturated_resource_serialise() {
+        let mut g = TaskGraph::new();
+        g.add_task("a", 0, ResourceKind::Sm, 132, Work::Latency { seconds: 1.0 });
+        g.add_task("b", 0, ResourceKind::Sm, 132, Work::Latency { seconds: 1.0 });
+        let trace = engine().run(&g).unwrap();
+        assert!((trace.makespan() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_sm_allocations_share_the_gpu() {
+        let mut g = TaskGraph::new();
+        g.add_task("a", 0, ResourceKind::Sm, 66, Work::Latency { seconds: 1.0 });
+        g.add_task("b", 0, ResourceKind::Sm, 66, Work::Latency { seconds: 1.0 });
+        let trace = engine().run(&g).unwrap();
+        assert!((trace.makespan() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependencies_serialise_even_across_resources() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 0, ResourceKind::Sm, 1, Work::Latency { seconds: 1.0 });
+        let b = g.add_task("b", 1, ResourceKind::DmaEngine, 1, Work::Latency { seconds: 0.5 });
+        g.add_dep(a, b);
+        let trace = engine().run(&g).unwrap();
+        assert!((trace.makespan() - 1.5).abs() < 1e-9);
+        assert!(trace.entry(b).unwrap().start >= trace.entry(a).unwrap().end);
+    }
+
+    #[test]
+    fn link_transfer_occupies_both_endpoints() {
+        let mut g = TaskGraph::new();
+        // Two transfers into rank 1 at full port share must serialise on rank 1's ingress.
+        g.add_task(
+            "c0",
+            0,
+            ResourceKind::LinkOut,
+            100,
+            Work::LinkBytes { bytes: 200e9, dst_rank: 1 },
+        );
+        g.add_task(
+            "c2",
+            2,
+            ResourceKind::LinkOut,
+            100,
+            Work::LinkBytes { bytes: 200e9, dst_rank: 1 },
+        );
+        let trace = engine().run(&g).unwrap();
+        // each transfer is 1 s at 200 GB/s
+        assert!((trace.makespan() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_host_latency("a", 0, 1.0);
+        let b = g.add_host_latency("b", 0, 1.0);
+        g.add_dep(a, b);
+        g.add_dep(b, a);
+        assert!(matches!(
+            engine().run(&g),
+            Err(SimError::DependencyCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_rank_is_rejected() {
+        let mut g = TaskGraph::new();
+        g.add_host_latency("a", 9, 1.0);
+        assert!(matches!(engine().run(&g), Err(SimError::InvalidRank { .. })));
+    }
+
+    #[test]
+    fn oversized_request_is_rejected() {
+        let mut g = TaskGraph::new();
+        g.push(Task::new(
+            "too-big",
+            0,
+            ResourceKind::Sm,
+            500,
+            Work::Latency { seconds: 1.0 },
+        ));
+        assert!(matches!(
+            engine().run(&g),
+            Err(SimError::InsufficientCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn matmul_work_uses_cost_model() {
+        let gpu = GpuSpec::h800();
+        let flops = 0.5 * gpu.peak_flops(); // half a second of work at peak
+        let mut g = TaskGraph::new();
+        g.add_task(
+            "gemm",
+            0,
+            ResourceKind::Sm,
+            gpu.sm_count,
+            Work::MatmulFlops { flops, efficiency: 1.0 },
+        );
+        let trace = Engine::new(ClusterSpec::new(gpu, 1, 1)).run(&g).unwrap();
+        assert!((trace.makespan() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut g = TaskGraph::new();
+        for i in 0..50 {
+            let t = g.add_task(
+                format!("t{i}"),
+                i % 4,
+                ResourceKind::Sm,
+                32,
+                Work::Latency { seconds: 0.01 * (i % 7 + 1) as f64 },
+            );
+            if i >= 4 {
+                g.add_dep(TaskId(i - 4), t);
+            }
+        }
+        let e = engine();
+        let a = e.run(&g).unwrap();
+        let b = e.run(&g).unwrap();
+        assert_eq!(a.makespan(), b.makespan());
+    }
+}

@@ -1,0 +1,144 @@
+//! Per-GPU hardware description and presets.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware parameters of one GPU.
+///
+/// Values are deliberately coarse: the simulator is used to compare *overlap
+/// strategies* against each other, so only the ratios between compute
+/// throughput, memory bandwidth, interconnect bandwidth and host latency have
+/// to be realistic.
+///
+/// The default preset [`GpuSpec::h800`] matches the paper's evaluation platform
+/// (NVIDIA H800: Hopper compute with NVLink capped at 400 GB/s total).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Human-readable device name.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u64,
+    /// Peak dense BF16 tensor-core throughput in TFLOP/s.
+    pub peak_tflops: f64,
+    /// HBM bandwidth in GB/s.
+    pub hbm_gbps: f64,
+    /// Per-direction NVLink bandwidth towards peers in the same node, GB/s.
+    pub nvlink_gbps: f64,
+    /// Per-direction network (InfiniBand) bandwidth towards other nodes, GB/s.
+    pub ib_gbps: f64,
+    /// Number of asynchronous DMA copy engines usable for peer-to-peer copies.
+    pub dma_engines: u64,
+    /// Latency of launching one kernel from the host, in microseconds.
+    pub kernel_launch_us: f64,
+    /// Latency of one host-driven synchronisation (stream wait / event), in microseconds.
+    pub host_sync_us: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA H800 SXM (the paper's platform): 132 SMs, ~990 TFLOP/s dense BF16,
+    /// 3.35 TB/s HBM3, 200 GB/s per-direction NVLink (400 GB/s total), 50 GB/s IB.
+    pub fn h800() -> Self {
+        Self {
+            name: "H800".to_string(),
+            sm_count: 132,
+            peak_tflops: 989.0,
+            hbm_gbps: 3350.0,
+            nvlink_gbps: 200.0,
+            ib_gbps: 50.0,
+            dma_engines: 4,
+            kernel_launch_us: 5.0,
+            host_sync_us: 20.0,
+        }
+    }
+
+    /// NVIDIA H100 SXM: same compute, full 450 GB/s per-direction NVLink.
+    pub fn h100() -> Self {
+        Self {
+            name: "H100".to_string(),
+            nvlink_gbps: 450.0,
+            ..Self::h800()
+        }
+    }
+
+    /// NVIDIA A100 SXM: 108 SMs, 312 TFLOP/s BF16, 2.0 TB/s HBM2e, 300 GB/s NVLink.
+    pub fn a100() -> Self {
+        Self {
+            name: "A100".to_string(),
+            sm_count: 108,
+            peak_tflops: 312.0,
+            hbm_gbps: 2039.0,
+            nvlink_gbps: 300.0,
+            ib_gbps: 25.0,
+            dma_engines: 4,
+            kernel_launch_us: 5.0,
+            host_sync_us: 20.0,
+        }
+    }
+
+    /// Peak throughput in FLOP/s.
+    pub fn peak_flops(&self) -> f64 {
+        self.peak_tflops * 1e12
+    }
+
+    /// HBM bandwidth in bytes/s.
+    pub fn hbm_bytes_per_s(&self) -> f64 {
+        self.hbm_gbps * 1e9
+    }
+
+    /// NVLink per-direction bandwidth in bytes/s.
+    pub fn nvlink_bytes_per_s(&self) -> f64 {
+        self.nvlink_gbps * 1e9
+    }
+
+    /// Inter-node per-direction bandwidth in bytes/s.
+    pub fn ib_bytes_per_s(&self) -> f64 {
+        self.ib_gbps * 1e9
+    }
+
+    /// Kernel launch latency in seconds.
+    pub fn kernel_launch_s(&self) -> f64 {
+        self.kernel_launch_us * 1e-6
+    }
+
+    /// Host synchronisation latency in seconds.
+    pub fn host_sync_s(&self) -> f64 {
+        self.host_sync_us * 1e-6
+    }
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        Self::h800()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h800_matches_published_specs() {
+        let g = GpuSpec::h800();
+        assert_eq!(g.sm_count, 132);
+        assert!(g.peak_tflops > 900.0);
+        // H800 NVLink is capped well below the H100.
+        assert!(g.nvlink_gbps < GpuSpec::h100().nvlink_gbps);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let g = GpuSpec::h800();
+        assert!((g.peak_flops() - 989.0e12).abs() < 1e6);
+        assert!((g.hbm_bytes_per_s() - 3.35e12).abs() < 1e9);
+        assert!((g.kernel_launch_s() - 5e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_h800() {
+        assert_eq!(GpuSpec::default(), GpuSpec::h800());
+    }
+
+    #[test]
+    fn a100_is_slower_than_h800() {
+        assert!(GpuSpec::a100().peak_tflops < GpuSpec::h800().peak_tflops);
+    }
+}

@@ -1,0 +1,152 @@
+//! Task-graph construction API.
+
+use crate::{ResourceKind, Task, TaskId, Work};
+
+/// A dependency graph of simulated tasks.
+///
+/// Graphs are built by the timed executor of the `tilelink` crate (one graph
+/// per compiled kernel or per baseline implementation) and executed by
+/// [`crate::Engine::run`]. Edges express "must finish before": the tile-centric
+/// notify/wait pairs of the functional runtime become dependency edges here.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+    /// `edges[i]` lists the tasks that depend on task `i`.
+    successors: Vec<Vec<TaskId>>,
+    /// Number of unfinished predecessors per task.
+    predecessor_count: Vec<usize>,
+}
+
+impl TaskGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tasks in the graph.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Returns `true` if the graph holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Adds a task and returns its id.
+    pub fn add_task(
+        &mut self,
+        name: impl Into<String>,
+        rank: usize,
+        resource: ResourceKind,
+        units: u64,
+        work: Work,
+    ) -> TaskId {
+        self.push(Task::new(name, rank, resource, units, work))
+    }
+
+    /// Adds an already-constructed task and returns its id.
+    pub fn push(&mut self, task: Task) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(task);
+        self.successors.push(Vec::new());
+        self.predecessor_count.push(0);
+        id
+    }
+
+    /// Declares that `before` must finish before `after` may start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id does not belong to this graph.
+    pub fn add_dep(&mut self, before: TaskId, after: TaskId) {
+        assert!(before.0 < self.tasks.len(), "unknown predecessor task");
+        assert!(after.0 < self.tasks.len(), "unknown successor task");
+        self.successors[before.0].push(after);
+        self.predecessor_count[after.0] += 1;
+    }
+
+    /// Declares `after` to depend on every task in `before`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id does not belong to this graph.
+    pub fn add_deps(&mut self, before: &[TaskId], after: TaskId) {
+        for &b in before {
+            self.add_dep(b, after);
+        }
+    }
+
+    /// Adds a fixed-latency host task, a common convenience for kernel-launch
+    /// and synchronisation overheads.
+    pub fn add_host_latency(&mut self, name: impl Into<String>, rank: usize, seconds: f64) -> TaskId {
+        self.add_task(name, rank, ResourceKind::Host, 1, Work::Latency { seconds })
+    }
+
+    /// The task with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this graph.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    /// Iterates over `(id, task)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &Task)> {
+        self.tasks.iter().enumerate().map(|(i, t)| (TaskId(i), t))
+    }
+
+    /// Tasks that depend on `id`.
+    pub(crate) fn successors(&self, id: TaskId) -> &[TaskId] {
+        &self.successors[id.0]
+    }
+
+    /// Number of predecessors of every task (cloned, for the scheduler).
+    pub(crate) fn predecessor_counts(&self) -> Vec<usize> {
+        self.predecessor_count.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+    }
+
+    #[test]
+    fn add_tasks_and_deps() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 0, ResourceKind::Sm, 1, Work::Latency { seconds: 1.0 });
+        let b = g.add_task("b", 0, ResourceKind::Sm, 1, Work::Latency { seconds: 1.0 });
+        let c = g.add_host_latency("c", 0, 0.5);
+        g.add_dep(a, b);
+        g.add_deps(&[a, b], c);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.successors(a), &[b, c]);
+        assert_eq!(g.predecessor_counts(), vec![0, 1, 2]);
+        assert_eq!(g.task(c).name, "c");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown successor task")]
+    fn dep_on_unknown_task_panics() {
+        let mut g = TaskGraph::new();
+        let a = g.add_host_latency("a", 0, 0.0);
+        g.add_dep(a, TaskId(7));
+    }
+
+    #[test]
+    fn iter_visits_in_insertion_order() {
+        let mut g = TaskGraph::new();
+        g.add_host_latency("first", 0, 0.0);
+        g.add_host_latency("second", 0, 0.0);
+        let names: Vec<&str> = g.iter().map(|(_, t)| t.name.as_str()).collect();
+        assert_eq!(names, vec!["first", "second"]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Tasks: the unit of simulated work.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a task inside one [`crate::TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub usize);
+
+/// The hardware resource a task occupies while it runs.
+///
+/// Every resource is per-rank. Capacities are set by the [`crate::Engine`] from
+/// the [`crate::GpuSpec`]:
+///
+/// | kind | capacity | unit meaning |
+/// |---|---|---|
+/// | `Sm` | `sm_count` | one streaming multiprocessor |
+/// | `DmaEngine` | `dma_engines` | one copy engine |
+/// | `LinkOut` / `LinkIn` | 100 | percent of the port's per-direction bandwidth |
+/// | `Host` | 1 | the (single) host thread driving this rank |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// Streaming multiprocessors of the task's rank.
+    Sm,
+    /// Asynchronous DMA copy engines of the task's rank.
+    DmaEngine,
+    /// Egress interconnect bandwidth of the task's rank.
+    LinkOut,
+    /// Ingress interconnect bandwidth of the task's rank.
+    LinkIn,
+    /// The host CPU thread driving the task's rank.
+    Host,
+}
+
+impl ResourceKind {
+    /// All resource kinds, in a stable order (useful for utilisation reports).
+    pub const ALL: [ResourceKind; 5] = [
+        ResourceKind::Sm,
+        ResourceKind::DmaEngine,
+        ResourceKind::LinkOut,
+        ResourceKind::LinkIn,
+        ResourceKind::Host,
+    ];
+}
+
+impl std::fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ResourceKind::Sm => "sm",
+            ResourceKind::DmaEngine => "dma",
+            ResourceKind::LinkOut => "link_out",
+            ResourceKind::LinkIn => "link_in",
+            ResourceKind::Host => "host",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The amount and kind of work a task performs.
+///
+/// The engine converts `Work` into a duration when the task starts, taking into
+/// account how many resource units the task was granted (see
+/// [`crate::CostModel::duration`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Work {
+    /// Dense tensor-core math (GEMM-like).
+    ///
+    /// Duration = `flops / (peak_flops * granted_sms / sm_count * efficiency)`.
+    MatmulFlops {
+        /// Total floating-point operations.
+        flops: f64,
+        /// Achieved fraction of peak on the granted SMs (0, 1].
+        efficiency: f64,
+    },
+    /// Memory-bandwidth-bound work on local HBM (elementwise ops, reductions,
+    /// softmax, gather/scatter...).
+    ///
+    /// Duration = `bytes / (hbm_bandwidth * granted_sms / sm_count)`.
+    HbmBytes {
+        /// Total bytes moved to/from HBM.
+        bytes: f64,
+    },
+    /// A data transfer to another rank.
+    ///
+    /// Duration = `bytes / (link_bandwidth(src, dst) * granted_percent / 100)`.
+    /// The engine automatically co-occupies the destination rank's `LinkIn`
+    /// resource for the same duration.
+    LinkBytes {
+        /// Total bytes transferred.
+        bytes: f64,
+        /// Destination rank.
+        dst_rank: usize,
+    },
+    /// A fixed latency (kernel launch, host synchronisation, barrier...).
+    Latency {
+        /// Duration in seconds.
+        seconds: f64,
+    },
+}
+
+/// One node of the simulated task graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Human-readable name, used in traces.
+    pub name: String,
+    /// Rank (GPU index) the task runs on.
+    pub rank: usize,
+    /// Resource kind the task occupies.
+    pub resource: ResourceKind,
+    /// Number of resource units requested.
+    pub units: u64,
+    /// Work performed.
+    pub work: Work,
+}
+
+impl Task {
+    /// Creates a task description.
+    pub fn new(
+        name: impl Into<String>,
+        rank: usize,
+        resource: ResourceKind,
+        units: u64,
+        work: Work,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            rank,
+            resource,
+            units,
+            work,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_kind_display_and_all() {
+        let names: Vec<String> = ResourceKind::ALL.iter().map(|k| k.to_string()).collect();
+        assert_eq!(names, vec!["sm", "dma", "link_out", "link_in", "host"]);
+    }
+
+    #[test]
+    fn task_constructor_stores_fields() {
+        let t = Task::new("t", 3, ResourceKind::Sm, 16, Work::HbmBytes { bytes: 1.0 });
+        assert_eq!(t.rank, 3);
+        assert_eq!(t.units, 16);
+        assert_eq!(t.name, "t");
+    }
+
+    #[test]
+    fn task_id_is_ordered() {
+        assert!(TaskId(1) < TaskId(2));
+    }
+}

@@ -1,0 +1,212 @@
+//! Execution traces: per-task timing, makespan and utilisation.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ClusterSpec, ResourceKind, Seconds, TaskId};
+
+/// Timing of one executed task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Task id within the graph.
+    pub task: TaskId,
+    /// Task name.
+    pub name: String,
+    /// Rank the task ran on.
+    pub rank: usize,
+    /// Resource kind the task occupied.
+    pub resource: ResourceKind,
+    /// Units of the resource held.
+    pub units: u64,
+    /// Start time in seconds.
+    pub start: Seconds,
+    /// End time in seconds.
+    pub end: Seconds,
+}
+
+impl TraceEntry {
+    /// Duration of the task in seconds.
+    pub fn duration(&self) -> Seconds {
+        self.end - self.start
+    }
+}
+
+/// The result of running a [`crate::TaskGraph`] on the [`crate::Engine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    cluster: ClusterSpec,
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Builds a trace from entries (used by the engine).
+    pub fn new(cluster: ClusterSpec, entries: Vec<TraceEntry>) -> Self {
+        Self { cluster, entries }
+    }
+
+    /// All trace entries in task-id order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// The entry for one task, if it executed.
+    pub fn entry(&self, id: TaskId) -> Option<&TraceEntry> {
+        self.entries.iter().find(|e| e.task == id)
+    }
+
+    /// Total simulated wall-clock time (seconds).
+    pub fn makespan(&self) -> Seconds {
+        self.entries.iter().map(|e| e.end).fold(0.0, f64::max)
+    }
+
+    /// Total simulated wall-clock time in milliseconds.
+    pub fn makespan_ms(&self) -> f64 {
+        self.makespan() * 1e3
+    }
+
+    /// Sum of `duration × occupied-fraction` for one resource on one rank,
+    /// normalised by the makespan: 1.0 means the resource was fully busy.
+    pub fn utilization(&self, rank: usize, resource: ResourceKind) -> f64 {
+        let capacity = match resource {
+            ResourceKind::Sm => self.cluster.gpu.sm_count,
+            ResourceKind::DmaEngine => self.cluster.gpu.dma_engines,
+            ResourceKind::LinkOut | ResourceKind::LinkIn => 100,
+            ResourceKind::Host => 1,
+        } as f64;
+        let makespan = self.makespan();
+        if makespan == 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .entries
+            .iter()
+            .filter(|e| e.rank == rank && e.resource == resource)
+            .map(|e| e.duration() * e.units as f64 / capacity)
+            .sum();
+        busy / makespan
+    }
+
+    /// Sum of the durations of every entry whose name contains `needle`.
+    ///
+    /// Useful to separate "communication time" from "computation time" when
+    /// computing the paper's overlap ratio (Section 7.2).
+    pub fn total_time_of(&self, needle: &str) -> Seconds {
+        self.entries
+            .iter()
+            .filter(|e| e.name.contains(needle))
+            .map(|e| e.duration())
+            .sum()
+    }
+
+    /// Earliest start time across all entries (0.0 for an empty trace).
+    pub fn first_start(&self) -> Seconds {
+        self.entries
+            .iter()
+            .map(|e| e.start)
+            .fold(f64::INFINITY, f64::min)
+            .min(self.makespan())
+    }
+
+    /// Per-rank busy time of one resource kind, in seconds.
+    pub fn busy_seconds(&self) -> HashMap<(usize, ResourceKind), Seconds> {
+        let mut map = HashMap::new();
+        for e in &self.entries {
+            *map.entry((e.rank, e.resource)).or_insert(0.0) += e.duration();
+        }
+        map
+    }
+
+    /// Serialises the trace in the Chrome `about:tracing` JSON array format.
+    ///
+    /// The output can be loaded in `chrome://tracing` or Perfetto to inspect
+    /// the overlap visually. Times are emitted in microseconds as the format
+    /// requires.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            out.push_str(&format!(
+                concat!(
+                    "  {{\"name\": \"{}\", \"ph\": \"X\", \"pid\": {}, \"tid\": \"{}\", ",
+                    "\"ts\": {:.3}, \"dur\": {:.3}}}{}\n"
+                ),
+                e.name.replace('"', "'"),
+                e.rank,
+                e.resource,
+                e.start * 1e6,
+                e.duration() * 1e6,
+                comma
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, TaskGraph, Work};
+
+    fn simple_trace() -> Trace {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("comm_copy", 0, ResourceKind::LinkOut, 100, Work::Latency { seconds: 1.0 });
+        let b = g.add_task("compute_gemm", 0, ResourceKind::Sm, 66, Work::Latency { seconds: 2.0 });
+        g.add_dep(a, b);
+        Engine::new(ClusterSpec::h800_node(2)).run(&g).unwrap()
+    }
+
+    #[test]
+    fn makespan_and_entries() {
+        let t = simple_trace();
+        assert!((t.makespan() - 3.0).abs() < 1e-9);
+        assert!((t.makespan_ms() - 3000.0).abs() < 1e-6);
+        assert_eq!(t.entries().len(), 2);
+        assert!(t.entry(TaskId(0)).is_some());
+        assert!(t.entry(TaskId(9)).is_none());
+    }
+
+    #[test]
+    fn utilization_accounts_for_partial_occupancy() {
+        let t = simple_trace();
+        // GEMM holds 66/132 SMs for 2 of the 3 seconds → 1/3 utilisation.
+        let sm = t.utilization(0, ResourceKind::Sm);
+        assert!((sm - 2.0 / 3.0 * 0.5).abs() < 1e-9);
+        // Nothing ran on rank 1.
+        assert_eq!(t.utilization(1, ResourceKind::Sm), 0.0);
+    }
+
+    #[test]
+    fn total_time_of_filters_by_name() {
+        let t = simple_trace();
+        assert!((t.total_time_of("comm") - 1.0).abs() < 1e-9);
+        assert!((t.total_time_of("compute") - 2.0).abs() < 1e-9);
+        assert_eq!(t.total_time_of("nonexistent"), 0.0);
+    }
+
+    #[test]
+    fn busy_seconds_by_rank_and_kind() {
+        let t = simple_trace();
+        let busy = t.busy_seconds();
+        assert!((busy[&(0, ResourceKind::Sm)] - 2.0).abs() < 1e-9);
+        assert!((busy[&(0, ResourceKind::LinkOut)] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chrome_json_is_wellformed_enough() {
+        let t = simple_trace();
+        let json = t.to_chrome_json();
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 2);
+    }
+
+    #[test]
+    fn empty_trace_metrics() {
+        let t = Trace::new(ClusterSpec::h800_node(1), Vec::new());
+        assert_eq!(t.makespan(), 0.0);
+        assert_eq!(t.utilization(0, ResourceKind::Sm), 0.0);
+        assert_eq!(t.first_start(), 0.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Configuration of one overlapped kernel: the decoupled design space.
+//!
+//! Section 3.1 of the paper decouples the communication and computation parts
+//! of a fused kernel along three axes — tile size, tile order and resource
+//! mapping — and lets each side choose independently. [`OverlapConfig`]
+//! captures exactly those choices.
+
+use crate::{Result, TileLinkError};
+
+/// A 2-D tile shape (rows × columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileShape {
+    /// Tile extent along the row (M) dimension.
+    pub m: usize,
+    /// Tile extent along the column (N) dimension.
+    pub n: usize,
+}
+
+impl TileShape {
+    /// Creates a tile shape.
+    pub const fn new(m: usize, n: usize) -> Self {
+        Self { m, n }
+    }
+
+    /// Number of elements in the tile.
+    pub fn numel(&self) -> usize {
+        self.m * self.n
+    }
+}
+
+impl std::fmt::Display for TileShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.m, self.n)
+    }
+}
+
+/// The order in which remote tiles are produced/consumed (Figure 2b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TileOrder {
+    /// Ring order: rank `r` handles segments `r+1, r+2, ...` in turn, passing
+    /// partial results to its neighbour (used by GEMM + ReduceScatter).
+    Ring,
+    /// Full-mesh order: every rank exchanges tiles with every other rank
+    /// directly (used by AllGather-style producers).
+    #[default]
+    AllToAll,
+}
+
+/// How data moves between ranks (Figure 3b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransferMode {
+    /// The consumer reads remote data from every peer and notifies itself with
+    /// local barriers.
+    #[default]
+    Pull,
+    /// The producer writes local data into every peer and notifies the remote
+    /// consumers.
+    Push,
+}
+
+/// Which hardware resource carries the communication part (Figure 2c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommMapping {
+    /// Copy engine (DMA), driven by host-side primitives; no SM contention but
+    /// host launch latency per transfer.
+    CopyEngine,
+    /// Dedicated communication SMs inside the fused kernel.
+    Sm {
+        /// Number of SMs reserved for communication blocks.
+        sms: u64,
+    },
+    /// Hybrid: bulk data movement on the copy engine, reductions/epilogues on
+    /// a few SMs (the mapping TileLink picks for GEMM + ReduceScatter in the
+    /// paper's evaluation).
+    Hybrid {
+        /// Number of SMs reserved for the reduction/epilogue blocks.
+        sms: u64,
+    },
+}
+
+impl Default for CommMapping {
+    fn default() -> Self {
+        CommMapping::Sm { sms: 20 }
+    }
+}
+
+impl CommMapping {
+    /// Number of SMs the communication side reserves (0 for pure copy-engine mapping).
+    pub fn comm_sms(&self) -> u64 {
+        match self {
+            CommMapping::CopyEngine => 0,
+            CommMapping::Sm { sms } | CommMapping::Hybrid { sms } => *sms,
+        }
+    }
+}
+
+/// The complete decoupled design-space choice for one overlapped kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlapConfig {
+    /// Tile shape used by the communication (producer) side.
+    pub comm_tile: TileShape,
+    /// Tile shape used by the computation (consumer) side.
+    pub compute_tile: TileShape,
+    /// Tile order of the communication side.
+    pub order: TileOrder,
+    /// Push or pull data movement.
+    pub mode: TransferMode,
+    /// Resource mapping of the communication side.
+    pub comm_mapping: CommMapping,
+    /// Barrier channels per rank (the `C` of Section 4.1).
+    pub channels_per_rank: usize,
+    /// Software-pipeline depth applied to the compute blocks.
+    pub num_stages: usize,
+}
+
+impl Default for OverlapConfig {
+    fn default() -> Self {
+        Self {
+            comm_tile: TileShape::new(128, 128),
+            compute_tile: TileShape::new(128, 256),
+            order: TileOrder::AllToAll,
+            mode: TransferMode::Pull,
+            comm_mapping: CommMapping::default(),
+            channels_per_rank: 4,
+            num_stages: 3,
+        }
+    }
+}
+
+impl OverlapConfig {
+    /// Validates the configuration against a device with `sm_count` SMs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TileLinkError::InvalidConfig`] if a tile extent or the channel
+    /// count is zero, or if the communication mapping reserves every SM.
+    pub fn validate(&self, sm_count: u64) -> Result<()> {
+        if self.comm_tile.m == 0 || self.comm_tile.n == 0 {
+            return Err(TileLinkError::InvalidConfig {
+                reason: "communication tile extents must be positive".to_string(),
+            });
+        }
+        if self.compute_tile.m == 0 || self.compute_tile.n == 0 {
+            return Err(TileLinkError::InvalidConfig {
+                reason: "computation tile extents must be positive".to_string(),
+            });
+        }
+        if self.channels_per_rank == 0 {
+            return Err(TileLinkError::InvalidConfig {
+                reason: "channels_per_rank must be positive".to_string(),
+            });
+        }
+        if self.num_stages == 0 {
+            return Err(TileLinkError::InvalidConfig {
+                reason: "num_stages must be positive".to_string(),
+            });
+        }
+        let comm_sms = self.comm_mapping.comm_sms();
+        if comm_sms >= sm_count {
+            return Err(TileLinkError::InvalidConfig {
+                reason: format!(
+                    "communication mapping reserves {comm_sms} SMs but the device only has {sm_count}"
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns a copy with a different communication tile.
+    pub fn with_comm_tile(mut self, tile: TileShape) -> Self {
+        self.comm_tile = tile;
+        self
+    }
+
+    /// Returns a copy with a different computation tile.
+    pub fn with_compute_tile(mut self, tile: TileShape) -> Self {
+        self.compute_tile = tile;
+        self
+    }
+
+    /// Returns a copy with a different communication resource mapping.
+    pub fn with_comm_mapping(mut self, mapping: CommMapping) -> Self {
+        self.comm_mapping = mapping;
+        self
+    }
+
+    /// Returns a copy with a different transfer mode.
+    pub fn with_mode(mut self, mode: TransferMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Returns a copy with a different tile order.
+    pub fn with_order(mut self, order: TileOrder) -> Self {
+        self.order = order;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid_on_h800() {
+        assert!(OverlapConfig::default().validate(132).is_ok());
+    }
+
+    #[test]
+    fn zero_tile_is_rejected() {
+        let cfg = OverlapConfig::default().with_comm_tile(TileShape::new(0, 128));
+        assert!(matches!(cfg.validate(132), Err(TileLinkError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn reserving_every_sm_is_rejected() {
+        let cfg = OverlapConfig::default().with_comm_mapping(CommMapping::Sm { sms: 132 });
+        assert!(cfg.validate(132).is_err());
+        let cfg = OverlapConfig::default().with_comm_mapping(CommMapping::Sm { sms: 20 });
+        assert!(cfg.validate(132).is_ok());
+    }
+
+    #[test]
+    fn zero_channels_rejected() {
+        let mut cfg = OverlapConfig::default();
+        cfg.channels_per_rank = 0;
+        assert!(cfg.validate(132).is_err());
+    }
+
+    #[test]
+    fn comm_sms_by_mapping() {
+        assert_eq!(CommMapping::CopyEngine.comm_sms(), 0);
+        assert_eq!(CommMapping::Sm { sms: 20 }.comm_sms(), 20);
+        assert_eq!(CommMapping::Hybrid { sms: 8 }.comm_sms(), 8);
+    }
+
+    #[test]
+    fn tile_shape_helpers() {
+        let t = TileShape::new(128, 256);
+        assert_eq!(t.numel(), 32768);
+        assert_eq!(t.to_string(), "128x256");
+    }
+
+    #[test]
+    fn builder_style_updates() {
+        let cfg = OverlapConfig::default()
+            .with_mode(TransferMode::Push)
+            .with_order(TileOrder::Ring)
+            .with_compute_tile(TileShape::new(64, 64));
+        assert_eq!(cfg.mode, TransferMode::Push);
+        assert_eq!(cfg.order, TileOrder::Ring);
+        assert_eq!(cfg.compute_tile, TileShape::new(64, 64));
+    }
+}

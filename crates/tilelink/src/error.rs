@@ -1,0 +1,105 @@
+//! Error type for the TileLink compiler and runtimes.
+
+use std::fmt;
+
+/// Errors produced while building mappings, compiling tile programs or
+/// launching kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TileLinkError {
+    /// A tile id was outside the mapping's tile range.
+    TileOutOfRange {
+        /// Offending tile id.
+        tile: usize,
+        /// Number of tiles in the mapping.
+        num_tiles: usize,
+    },
+    /// A configuration value was invalid (zero tile size, too many
+    /// communication SMs, ...).
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// The memory-consistency pass found an access that is not ordered by a
+    /// wait/notify pair.
+    ConsistencyViolation {
+        /// Name of the block containing the violation.
+        block: String,
+        /// Index of the offending operation within the block.
+        op_index: usize,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A dynamic mapping was used before its lookup tables were filled.
+    MappingNotFilled {
+        /// Offending tile id.
+        tile: usize,
+    },
+    /// The simulated execution of a compiled kernel failed.
+    Simulation {
+        /// Error message from the simulator.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TileLinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TileLinkError::TileOutOfRange { tile, num_tiles } => {
+                write!(f, "tile id {tile} is out of range for a mapping of {num_tiles} tiles")
+            }
+            TileLinkError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            TileLinkError::ConsistencyViolation {
+                block,
+                op_index,
+                reason,
+            } => write!(
+                f,
+                "memory consistency violation in block `{block}` at op {op_index}: {reason}"
+            ),
+            TileLinkError::MappingNotFilled { tile } => {
+                write!(f, "dynamic mapping for tile {tile} was queried before being filled")
+            }
+            TileLinkError::Simulation { reason } => write!(f, "simulation failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TileLinkError {}
+
+impl From<tilelink_sim::SimError> for TileLinkError {
+    fn from(err: tilelink_sim::SimError) -> Self {
+        TileLinkError::Simulation {
+            reason: err.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errs = [
+            TileLinkError::TileOutOfRange { tile: 9, num_tiles: 4 },
+            TileLinkError::InvalidConfig { reason: "x".into() },
+            TileLinkError::ConsistencyViolation {
+                block: "b".into(),
+                op_index: 3,
+                reason: "load before wait".into(),
+            },
+            TileLinkError::MappingNotFilled { tile: 2 },
+            TileLinkError::Simulation { reason: "cycle".into() },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sim_errors_convert() {
+        let sim = tilelink_sim::SimError::DependencyCycle { stuck: 1 };
+        let tl: TileLinkError = sim.into();
+        assert!(matches!(tl, TileLinkError::Simulation { .. }));
+    }
+}

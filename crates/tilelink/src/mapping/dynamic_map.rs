@@ -1,0 +1,246 @@
+//! Dynamic (lookup-table) tile-centric mapping.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::{Result, TileLinkError};
+
+use super::TileMapping;
+
+#[derive(Debug, Default, Clone)]
+struct Entry {
+    rows: Option<Range<usize>>,
+    rank: Option<usize>,
+    channel: Option<usize>,
+}
+
+#[derive(Debug)]
+struct Tables {
+    entries: Vec<Entry>,
+    thresholds: Vec<u64>,
+}
+
+/// Lookup-table mapping whose values are filled at runtime.
+///
+/// This is the paper's *dynamic mapping* (Section 4.1): for MoE layers the
+/// routing decides at runtime which tokens each expert tile consumes, so
+/// `f_S`, `f_R` and `f_C` become tables (`f_S_low`, `f_S_high`, `f_R`, `f_C`)
+/// that dynamic logic fills before the overlapped kernel runs. Accesses to the
+/// tables are compiled statically; only the *values* are late-bound.
+///
+/// The mapping is internally reference-counted and thread-safe so the runtime
+/// (one thread per rank/block) can share one instance: typically the host-side
+/// routing code fills it, then every block queries it.
+///
+/// # Example
+///
+/// ```
+/// use tilelink::{DynamicMapping, TileMapping};
+///
+/// let map = DynamicMapping::new(2, 4);
+/// map.fill(0, 0..128, 1, 2).unwrap();
+/// map.fill(1, 128..256, 0, 3).unwrap();
+/// assert_eq!(map.rank_of(0).unwrap(), 1);
+/// assert_eq!(map.channel_threshold(3), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicMapping {
+    num_tiles: usize,
+    num_channels: usize,
+    tables: Arc<RwLock<Tables>>,
+}
+
+impl DynamicMapping {
+    /// Creates an unfilled mapping for `num_tiles` tiles and `num_channels`
+    /// barrier channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(num_tiles: usize, num_channels: usize) -> Self {
+        assert!(num_tiles > 0, "tile count must be positive");
+        assert!(num_channels > 0, "channel count must be positive");
+        Self {
+            num_tiles,
+            num_channels,
+            tables: Arc::new(RwLock::new(Tables {
+                entries: vec![Entry::default(); num_tiles],
+                thresholds: vec![0; num_channels],
+            })),
+        }
+    }
+
+    /// Fills the lookup tables for one tile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TileLinkError::TileOutOfRange`] for a bad tile id and
+    /// [`TileLinkError::InvalidConfig`] for a bad rank/channel.
+    pub fn fill(&self, tile: usize, rows: Range<usize>, rank: usize, channel: usize) -> Result<()> {
+        if tile >= self.num_tiles {
+            return Err(TileLinkError::TileOutOfRange {
+                tile,
+                num_tiles: self.num_tiles,
+            });
+        }
+        if channel >= self.num_channels {
+            return Err(TileLinkError::InvalidConfig {
+                reason: format!(
+                    "channel {channel} out of range for {} channels",
+                    self.num_channels
+                ),
+            });
+        }
+        let mut tables = self.tables.write();
+        let entry = &mut tables.entries[tile];
+        if let Some(old) = entry.channel {
+            // Re-filling a tile moves its contribution between channels.
+            tables.thresholds[old] = tables.thresholds[old].saturating_sub(1);
+        }
+        tables.entries[tile] = Entry {
+            rows: Some(rows),
+            rank: Some(rank),
+            channel: Some(channel),
+        };
+        tables.thresholds[channel] += 1;
+        Ok(())
+    }
+
+    /// Returns `true` once every tile has been filled.
+    pub fn is_complete(&self) -> bool {
+        self.tables
+            .read()
+            .entries
+            .iter()
+            .all(|e| e.rows.is_some() && e.rank.is_some() && e.channel.is_some())
+    }
+
+    fn lookup<T>(&self, tile: usize, f: impl Fn(&Entry) -> Option<T>) -> Result<T> {
+        if tile >= self.num_tiles {
+            return Err(TileLinkError::TileOutOfRange {
+                tile,
+                num_tiles: self.num_tiles,
+            });
+        }
+        f(&self.tables.read().entries[tile]).ok_or(TileLinkError::MappingNotFilled { tile })
+    }
+}
+
+impl TileMapping for DynamicMapping {
+    fn num_tiles(&self) -> usize {
+        self.num_tiles
+    }
+
+    fn num_channels(&self) -> usize {
+        self.num_channels
+    }
+
+    fn rows_of(&self, tile: usize) -> Result<Range<usize>> {
+        self.lookup(tile, |e| e.rows.clone())
+    }
+
+    fn rank_of(&self, tile: usize) -> Result<usize> {
+        self.lookup(tile, |e| e.rank)
+    }
+
+    fn channel_of(&self, tile: usize) -> Result<usize> {
+        self.lookup(tile, |e| e.channel)
+    }
+
+    fn channel_threshold(&self, channel: usize) -> u64 {
+        self.tables
+            .read()
+            .thresholds
+            .get(channel)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn channels_for_rows(&self, rows: Range<usize>) -> Vec<usize> {
+        let tables = self.tables.read();
+        let mut channels: Vec<usize> = tables
+            .entries
+            .iter()
+            .filter_map(|e| match (&e.rows, e.channel) {
+                (Some(r), Some(c)) if r.start < rows.end && rows.start < r.end => Some(c),
+                _ => None,
+            })
+            .collect();
+        channels.sort_unstable();
+        channels.dedup();
+        channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unfilled_lookup_is_an_error() {
+        let map = DynamicMapping::new(2, 2);
+        assert!(matches!(
+            map.rows_of(0),
+            Err(TileLinkError::MappingNotFilled { tile: 0 })
+        ));
+        assert!(!map.is_complete());
+    }
+
+    #[test]
+    fn fill_and_query_roundtrip() {
+        let map = DynamicMapping::new(3, 4);
+        map.fill(0, 0..64, 2, 1).unwrap();
+        map.fill(1, 64..96, 0, 1).unwrap();
+        map.fill(2, 96..128, 1, 3).unwrap();
+        assert!(map.is_complete());
+        assert_eq!(map.rows_of(1).unwrap(), 64..96);
+        assert_eq!(map.rank_of(0).unwrap(), 2);
+        assert_eq!(map.channel_of(2).unwrap(), 3);
+        assert_eq!(map.channel_threshold(1), 2);
+        assert_eq!(map.channel_threshold(0), 0);
+    }
+
+    #[test]
+    fn refill_moves_threshold() {
+        let map = DynamicMapping::new(1, 2);
+        map.fill(0, 0..8, 0, 0).unwrap();
+        assert_eq!(map.channel_threshold(0), 1);
+        map.fill(0, 0..8, 0, 1).unwrap();
+        assert_eq!(map.channel_threshold(0), 0);
+        assert_eq!(map.channel_threshold(1), 1);
+    }
+
+    #[test]
+    fn out_of_range_fill_is_rejected() {
+        let map = DynamicMapping::new(1, 1);
+        assert!(map.fill(5, 0..1, 0, 0).is_err());
+        assert!(map.fill(0, 0..1, 0, 7).is_err());
+    }
+
+    #[test]
+    fn channels_for_rows_respects_filled_ranges() {
+        let map = DynamicMapping::new(3, 3);
+        map.fill(0, 0..32, 0, 0).unwrap();
+        map.fill(1, 32..64, 0, 1).unwrap();
+        map.fill(2, 64..96, 1, 2).unwrap();
+        assert_eq!(map.channels_for_rows(0..40), vec![0, 1]);
+        assert_eq!(map.channels_for_rows(70..80), vec![2]);
+        assert_eq!(map.channels_for_rows(200..300), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn clones_share_tables() {
+        let map = DynamicMapping::new(1, 1);
+        let alias = map.clone();
+        map.fill(0, 0..4, 0, 0).unwrap();
+        assert!(alias.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_tiles_panics() {
+        DynamicMapping::new(0, 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! Tile-centric mapping: tile id → shape range, rank and barrier channel.
+//!
+//! This is the backend half of the paper (Section 4.1). A mapping connects the
+//! producer side's tiles to the consumer side's tiles even though the two use
+//! different tile sizes: both sides agree only on *channels* (barrier slots),
+//! and the mapping decides which rows of the global tensor each channel covers.
+//!
+//! Two flavours exist, as in the paper:
+//!
+//! * [`StaticMapping`] — affine, fully determined at compile time; used for
+//!   tensor-parallel MLP and sequence-parallel attention where the sharding is
+//!   fixed;
+//! * [`DynamicMapping`] — lookup tables filled at runtime; used for MoE where
+//!   dynamic routing decides which tokens (and therefore which ranks) feed each
+//!   tile.
+
+mod dynamic_map;
+mod static_map;
+
+pub use dynamic_map::DynamicMapping;
+pub use static_map::StaticMapping;
+
+use std::ops::Range;
+
+use crate::Result;
+
+/// Maps tile ids to shape ranges, ranks and barrier channels.
+///
+/// The three methods correspond to the paper's `f_S` (shape), `f_R` (rank) and
+/// `f_C` (channel) mapping functions.
+pub trait TileMapping: Send + Sync {
+    /// Number of tiles in the producer iteration space.
+    fn num_tiles(&self) -> usize;
+
+    /// Total number of barrier channels (across all ranks).
+    fn num_channels(&self) -> usize;
+
+    /// Row range of the global tensor covered by `tile` (`f_S`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `tile` is out of range or (for dynamic mappings) not
+    /// yet filled.
+    fn rows_of(&self, tile: usize) -> Result<Range<usize>>;
+
+    /// Rank that owns/produces `tile` (`f_R`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `tile` is out of range or not yet filled.
+    fn rank_of(&self, tile: usize) -> Result<usize>;
+
+    /// Barrier channel that `tile` signals (`f_C`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `tile` is out of range or not yet filled.
+    fn channel_of(&self, tile: usize) -> Result<usize>;
+
+    /// Number of producer tiles that signal `channel`; this is the
+    /// `producer_threshold` a consumer must wait for before the channel's data
+    /// is complete.
+    fn channel_threshold(&self, channel: usize) -> u64;
+
+    /// Channels a consumer must wait on to cover the row range `rows`, in
+    /// ascending order.
+    fn channels_for_rows(&self, rows: Range<usize>) -> Vec<usize>;
+}
+
+/// Integer ceiling division, used by the affine mapping formulas.
+pub(crate) fn div_ceil(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn div_ceil_matches_std() {
+        assert_eq!(div_ceil(10, 3), 4);
+        assert_eq!(div_ceil(9, 3), 3);
+        assert_eq!(div_ceil(1, 128), 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Memory-consistency verification.
+//!
+//! Section 4.2 of the paper: notify primitives carry release semantics and wait
+//! primitives carry acquire semantics, and the compiler must make sure that
+//! pipelining passes never move a data access across the primitive that orders
+//! it. This pass checks the two invariants on the (possibly pipelined) IR:
+//!
+//! 1. every load of remotely-produced tile data is preceded, in program order,
+//!    by a wait that covers that tile's channel (acquire-before-load);
+//! 2. every notify is preceded by the store/push of the tile it publishes
+//!    (store-before-release).
+
+use std::collections::HashSet;
+
+use crate::ir::{BlockRole, TileOp};
+use crate::passes::lower::LoweredBlock;
+use crate::{Result, TileLinkError};
+
+/// Checks the acquire/release ordering invariants on every block.
+///
+/// # Errors
+///
+/// Returns [`TileLinkError::ConsistencyViolation`] describing the first
+/// offending operation.
+pub fn check_consistency(blocks: &[LoweredBlock]) -> Result<()> {
+    for block in blocks {
+        check_block(block)?;
+    }
+    Ok(())
+}
+
+fn check_block(block: &LoweredBlock) -> Result<()> {
+    // Channels already acquired by a wait, and peer slots already waited on.
+    let mut acquired_channels: HashSet<usize> = HashSet::new();
+    let mut acquired_peer_slots: HashSet<usize> = HashSet::new();
+    // Tiles whose data this block has stored or pushed.
+    let mut published_tiles: HashSet<usize> = HashSet::new();
+    let mut pushed_any = false;
+    // Host-driven copies publish whole segments rather than individual tiles.
+    let mut host_copied = false;
+
+    for (idx, lop) in block.ops.iter().enumerate() {
+        match &lop.op {
+            TileOp::ConsumerWait { .. } => {
+                if let Some(c) = lop.channel {
+                    acquired_channels.insert(c);
+                }
+            }
+            TileOp::PeerWait { slot, .. } => {
+                acquired_peer_slots.insert(*slot);
+            }
+            TileOp::RankNotifySegment { .. } => {
+                // host-side release; nothing to check locally
+            }
+            TileOp::LoadTile { tile: Some(_), .. } => {
+                // A load of remotely produced data must be covered by an
+                // acquire on its channel (consumer blocks) or a peer wait
+                // (ring-style peers).
+                let channel_ok = lop.channel.map(|c| acquired_channels.contains(&c)).unwrap_or(false);
+                let peer_ok = !acquired_peer_slots.is_empty();
+                if block.role == BlockRole::Consumer && !channel_ok && !peer_ok {
+                    return Err(TileLinkError::ConsistencyViolation {
+                        block: block.name.clone(),
+                        op_index: idx,
+                        reason: format!(
+                            "load of tile data on channel {:?} is not ordered after a wait",
+                            lop.channel
+                        ),
+                    });
+                }
+            }
+            TileOp::StoreTile { tile: Some(t), .. } => {
+                published_tiles.insert(*t);
+            }
+            TileOp::PushTile { tile, .. } => {
+                published_tiles.insert(*tile);
+                pushed_any = true;
+            }
+            TileOp::HostCopy { .. } => {
+                host_copied = true;
+            }
+            TileOp::ProducerNotify { tile, .. } => {
+                if !published_tiles.contains(tile) && !host_copied {
+                    return Err(TileLinkError::ConsistencyViolation {
+                        block: block.name.clone(),
+                        op_index: idx,
+                        reason: format!(
+                            "producer_tile_notify for tile {tile} is not preceded by a store or push of that tile"
+                        ),
+                    });
+                }
+            }
+            TileOp::PeerNotify { .. } => {
+                if !pushed_any && published_tiles.is_empty() {
+                    return Err(TileLinkError::ConsistencyViolation {
+                        block: block.name.clone(),
+                        op_index: idx,
+                        reason: "peer_tile_notify is not preceded by any data publication".to_string(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BlockDesc, ComputeKind, TileProgram};
+    use crate::mapping::StaticMapping;
+    use crate::passes::lower::lower;
+    use crate::primitives::{NotifyScope, PushTarget};
+
+    fn lower_single(block: BlockDesc) -> Vec<LoweredBlock> {
+        let mapping = StaticMapping::new(8, 2, 2, 2);
+        let mut p = TileProgram::new("p", 2);
+        p.add_block(block);
+        lower(&p, &mapping).unwrap()
+    }
+
+    #[test]
+    fn well_ordered_consumer_passes() {
+        let block = BlockDesc::new("gemm", 0, BlockRole::Consumer)
+            .op(TileOp::ConsumerWait { tile: 1 })
+            .op(TileOp::LoadTile {
+                buffer: "tokens".into(),
+                bytes: 8.0,
+                tile: Some(1),
+            })
+            .op(TileOp::Compute(ComputeKind::MatmulTile { m: 2, n: 2, k: 2 }));
+        assert!(check_consistency(&lower_single(block)).is_ok());
+    }
+
+    #[test]
+    fn load_before_wait_is_rejected() {
+        let block = BlockDesc::new("gemm", 0, BlockRole::Consumer)
+            .op(TileOp::LoadTile {
+                buffer: "tokens".into(),
+                bytes: 8.0,
+                tile: Some(1),
+            })
+            .op(TileOp::ConsumerWait { tile: 1 });
+        let err = check_consistency(&lower_single(block)).unwrap_err();
+        assert!(matches!(err, TileLinkError::ConsistencyViolation { op_index: 0, .. }));
+    }
+
+    #[test]
+    fn wait_on_wrong_channel_is_rejected() {
+        // Waiting for tile 0 (channel 0) does not license a load of tile 3 (channel 3).
+        let block = BlockDesc::new("gemm", 0, BlockRole::Consumer)
+            .op(TileOp::ConsumerWait { tile: 0 })
+            .op(TileOp::LoadTile {
+                buffer: "tokens".into(),
+                bytes: 8.0,
+                tile: Some(3),
+            });
+        assert!(check_consistency(&lower_single(block)).is_err());
+    }
+
+    #[test]
+    fn notify_without_store_is_rejected() {
+        let block = BlockDesc::new("comm", 0, BlockRole::Producer).op(TileOp::ProducerNotify {
+            tile: 0,
+            scope: NotifyScope::Broadcast,
+        });
+        assert!(check_consistency(&lower_single(block)).is_err());
+    }
+
+    #[test]
+    fn push_then_notify_passes() {
+        let block = BlockDesc::new("comm", 0, BlockRole::Producer)
+            .op(TileOp::PushTile {
+                buffer: "tokens".into(),
+                bytes: 8.0,
+                tile: 0,
+                target: PushTarget::Broadcast,
+            })
+            .op(TileOp::ProducerNotify {
+                tile: 0,
+                scope: NotifyScope::Broadcast,
+            });
+        assert!(check_consistency(&lower_single(block)).is_ok());
+    }
+
+    #[test]
+    fn peer_wait_licenses_peer_loads() {
+        let block = BlockDesc::new("reduce", 0, BlockRole::Consumer)
+            .op(TileOp::PeerWait { slot: 4, expected: 1 })
+            .op(TileOp::LoadTile {
+                buffer: "partials".into(),
+                bytes: 8.0,
+                tile: Some(2),
+            });
+        assert!(check_consistency(&lower_single(block)).is_ok());
+    }
+
+    #[test]
+    fn producer_loads_of_local_weights_need_no_wait() {
+        let block = BlockDesc::new("gemm", 0, BlockRole::Consumer)
+            .op(TileOp::LoadTile {
+                buffer: "weights".into(),
+                bytes: 8.0,
+                tile: None,
+            })
+            .op(TileOp::Compute(ComputeKind::MatmulTile { m: 2, n: 2, k: 2 }));
+        assert!(check_consistency(&lower_single(block)).is_ok());
+    }
+}

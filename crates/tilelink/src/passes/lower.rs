@@ -1,0 +1,248 @@
+//! Lowering: resolve tile ids through the tile-centric mapping.
+
+use crate::ir::{BlockDesc, BlockRole, TileOp, TileProgram};
+use crate::mapping::TileMapping;
+use crate::primitives::PushTarget;
+use crate::Result;
+
+/// A [`TileOp`] annotated with the mapping results it needs at runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredOp {
+    /// The original operation.
+    pub op: TileOp,
+    /// Barrier channel resolved through `f_C` (for waits and notifies).
+    pub channel: Option<usize>,
+    /// Producer threshold of that channel (for waits).
+    pub threshold: Option<u64>,
+    /// Destination rank(s) resolved through `f_R` (for notifies and pushes).
+    pub dst_ranks: Vec<usize>,
+}
+
+/// A block whose operations have been lowered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredBlock {
+    /// Block name.
+    pub name: String,
+    /// Rank the block runs on.
+    pub rank: usize,
+    /// Producer / consumer / host role.
+    pub role: BlockRole,
+    /// Lowered operations, in program order.
+    pub ops: Vec<LoweredOp>,
+}
+
+impl LoweredBlock {
+    /// Total flops of the block's compute steps.
+    pub fn total_flops(&self) -> f64 {
+        self.ops
+            .iter()
+            .filter_map(|o| match &o.op {
+                TileOp::Compute(kind) => Some(kind.flops()),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+fn lower_block(
+    block: &BlockDesc,
+    mapping: &dyn TileMapping,
+    world_size: usize,
+) -> Result<LoweredBlock> {
+    let mut ops = Vec::with_capacity(block.ops.len());
+    for op in &block.ops {
+        let lowered = match op {
+            TileOp::ConsumerWait { tile } => {
+                let channel = mapping.channel_of(*tile)?;
+                LoweredOp {
+                    op: op.clone(),
+                    channel: Some(channel),
+                    threshold: Some(mapping.channel_threshold(channel)),
+                    dst_ranks: Vec::new(),
+                }
+            }
+            TileOp::ProducerNotify { tile, scope } => {
+                let channel = mapping.channel_of(*tile)?;
+                let dst_ranks = match scope {
+                    crate::primitives::NotifyScope::Local => vec![block.rank],
+                    crate::primitives::NotifyScope::Owner => vec![mapping.rank_of(*tile)?],
+                    crate::primitives::NotifyScope::Broadcast => (0..world_size).collect(),
+                };
+                LoweredOp {
+                    op: op.clone(),
+                    channel: Some(channel),
+                    threshold: None,
+                    dst_ranks,
+                }
+            }
+            TileOp::PushTile { tile, target, .. } => {
+                let dst_ranks = match target {
+                    PushTarget::Owner => vec![mapping.rank_of(*tile)?],
+                    PushTarget::Rank(r) => vec![*r],
+                    PushTarget::Broadcast => (0..world_size).collect(),
+                };
+                LoweredOp {
+                    op: op.clone(),
+                    channel: None,
+                    threshold: None,
+                    dst_ranks,
+                }
+            }
+            TileOp::PullTile { tile, .. } => LoweredOp {
+                op: op.clone(),
+                channel: None,
+                threshold: None,
+                dst_ranks: vec![mapping.rank_of(*tile)?],
+            },
+            TileOp::LoadTile { tile, .. } => {
+                let channel = match tile {
+                    Some(t) => Some(mapping.channel_of(*t)?),
+                    None => None,
+                };
+                LoweredOp {
+                    op: op.clone(),
+                    channel,
+                    threshold: None,
+                    dst_ranks: Vec::new(),
+                }
+            }
+            TileOp::StoreTile { tile, .. } => {
+                let channel = match tile {
+                    Some(t) => Some(mapping.channel_of(*t)?),
+                    None => None,
+                };
+                LoweredOp {
+                    op: op.clone(),
+                    channel,
+                    threshold: None,
+                    dst_ranks: Vec::new(),
+                }
+            }
+            TileOp::RankNotifySegment { segment } => LoweredOp {
+                op: op.clone(),
+                channel: None,
+                threshold: None,
+                dst_ranks: vec![*segment],
+            },
+            TileOp::PeerWait { .. }
+            | TileOp::PeerNotify { .. }
+            | TileOp::Compute(_)
+            | TileOp::HostCopy { .. } => LoweredOp {
+                op: op.clone(),
+                channel: None,
+                threshold: None,
+                dst_ranks: Vec::new(),
+            },
+        };
+        ops.push(lowered);
+    }
+    Ok(LoweredBlock {
+        name: block.name.clone(),
+        rank: block.rank,
+        role: block.role,
+        ops,
+    })
+}
+
+/// Lowers every block of `program` through `mapping`.
+///
+/// # Errors
+///
+/// Returns an error if any tile id is outside the mapping or a dynamic mapping
+/// has not been filled for a referenced tile.
+pub fn lower(program: &TileProgram, mapping: &dyn TileMapping) -> Result<Vec<LoweredBlock>> {
+    program
+        .blocks
+        .iter()
+        .map(|b| lower_block(b, mapping, program.world_size))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ComputeKind;
+    use crate::mapping::{DynamicMapping, StaticMapping};
+    use crate::primitives::NotifyScope;
+    use crate::TileLinkError;
+
+    fn program() -> TileProgram {
+        let mut p = TileProgram::new("p", 2);
+        p.add_block(
+            BlockDesc::new("comm", 0, BlockRole::Producer)
+                .op(TileOp::PushTile {
+                    buffer: "t".into(),
+                    bytes: 64.0,
+                    tile: 1,
+                    target: PushTarget::Owner,
+                })
+                .op(TileOp::ProducerNotify {
+                    tile: 1,
+                    scope: NotifyScope::Owner,
+                }),
+        );
+        p.add_block(
+            BlockDesc::new("gemm", 1, BlockRole::Consumer)
+                .op(TileOp::ConsumerWait { tile: 1 })
+                .op(TileOp::LoadTile {
+                    buffer: "t".into(),
+                    bytes: 64.0,
+                    tile: Some(1),
+                })
+                .op(TileOp::Compute(ComputeKind::MatmulTile { m: 8, n: 8, k: 8 })),
+        );
+        p
+    }
+
+    #[test]
+    fn lowering_resolves_channels_and_ranks() {
+        let mapping = StaticMapping::new(4, 2, 2, 1);
+        let lowered = lower(&program(), &mapping).unwrap();
+        assert_eq!(lowered.len(), 2);
+        // tile 1 → rows 2..4 → rank 1, channel 1
+        let notify = &lowered[0].ops[1];
+        assert_eq!(notify.channel, Some(1));
+        assert_eq!(notify.dst_ranks, vec![1]);
+        let wait = &lowered[1].ops[0];
+        assert_eq!(wait.channel, Some(1));
+        assert_eq!(wait.threshold, Some(1));
+        assert!(lowered[1].total_flops() > 0.0);
+    }
+
+    #[test]
+    fn broadcast_notify_targets_every_rank() {
+        let mapping = StaticMapping::new(4, 2, 2, 1);
+        let mut p = TileProgram::new("p", 4);
+        p.add_block(BlockDesc::new("c", 0, BlockRole::Producer).op(TileOp::ProducerNotify {
+            tile: 0,
+            scope: NotifyScope::Broadcast,
+        }));
+        let lowered = lower(&p, &mapping).unwrap();
+        assert_eq!(lowered[0].ops[0].dst_ranks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn out_of_range_tile_fails_lowering() {
+        let mapping = StaticMapping::new(4, 2, 2, 1);
+        let mut p = TileProgram::new("p", 2);
+        p.add_block(BlockDesc::new("c", 0, BlockRole::Consumer).op(TileOp::ConsumerWait { tile: 99 }));
+        assert!(matches!(
+            lower(&p, &mapping),
+            Err(TileLinkError::TileOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn unfilled_dynamic_mapping_fails_lowering() {
+        let mapping = DynamicMapping::new(4, 4);
+        assert!(matches!(
+            lower(&program(), &mapping),
+            Err(TileLinkError::MappingNotFilled { .. })
+        ));
+        // after filling, lowering succeeds
+        for t in 0..4 {
+            mapping.fill(t, t * 2..(t + 1) * 2, t % 2, t).unwrap();
+        }
+        assert!(lower(&program(), &mapping).is_ok());
+    }
+}

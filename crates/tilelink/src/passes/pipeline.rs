@@ -1,0 +1,139 @@
+//! Software pipelining of tile loads.
+//!
+//! Compute kernels overlap global-memory loads with tensor-core math by
+//! issuing loads a few iterations ahead (multi-stage pipelining). Section 4.2
+//! of the paper points out the hazard: a pipelining pass that hoists loads
+//! without knowing about the tile-centric primitives could move a load *above*
+//! the `consumer_tile_wait` that orders it. The reproduction's pass therefore
+//! hoists loads past compute steps only, never past a wait, notify or data
+//! transfer — so the output always still satisfies
+//! [`crate::passes::check_consistency`].
+
+use crate::ir::TileOp;
+use crate::passes::lower::{LoweredBlock, LoweredOp};
+
+fn is_barrier_for_loads(op: &TileOp) -> bool {
+    op.is_wait() || op.is_notify() || op.is_transfer() || matches!(op, TileOp::StoreTile { .. })
+}
+
+/// Hoists each `LoadTile` up to `stages - 1` positions earlier, stopping at any
+/// synchronisation, transfer or store operation.
+///
+/// `stages == 1` leaves the block untouched (no pipelining). Returns the
+/// transformed block; the original is not modified.
+pub fn pipeline_block(block: &LoweredBlock, stages: usize) -> LoweredBlock {
+    if stages <= 1 {
+        return block.clone();
+    }
+    let max_hoist = stages - 1;
+    let mut ops: Vec<LoweredOp> = block.ops.clone();
+    // Walk forward; for every load, try to move it earlier past compute ops.
+    let mut i = 0;
+    while i < ops.len() {
+        if matches!(ops[i].op, TileOp::LoadTile { .. }) {
+            let mut pos = i;
+            let mut hoisted = 0;
+            while pos > 0
+                && hoisted < max_hoist
+                && matches!(ops[pos - 1].op, TileOp::Compute(_))
+                && !is_barrier_for_loads(&ops[pos - 1].op)
+            {
+                ops.swap(pos - 1, pos);
+                pos -= 1;
+                hoisted += 1;
+            }
+        }
+        i += 1;
+    }
+    LoweredBlock {
+        name: block.name.clone(),
+        rank: block.rank,
+        role: block.role,
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BlockDesc, BlockRole, ComputeKind, TileProgram};
+    use crate::mapping::StaticMapping;
+    use crate::passes::{check_consistency, lower};
+
+    fn lowered(block: BlockDesc) -> LoweredBlock {
+        let mapping = StaticMapping::new(8, 2, 2, 2);
+        let mut p = TileProgram::new("p", 2);
+        p.add_block(block);
+        lower(&p, &mapping).unwrap().remove(0)
+    }
+
+    fn kinds(block: &LoweredBlock) -> Vec<&'static str> {
+        block
+            .ops
+            .iter()
+            .map(|o| match o.op {
+                TileOp::ConsumerWait { .. } => "wait",
+                TileOp::LoadTile { .. } => "load",
+                TileOp::Compute(_) => "compute",
+                TileOp::StoreTile { .. } => "store",
+                _ => "other",
+            })
+            .collect()
+    }
+
+    fn k_loop_block() -> BlockDesc {
+        // wait, load, compute, load, compute, store — a two-iteration K loop.
+        BlockDesc::new("gemm", 0, BlockRole::Consumer)
+            .op(TileOp::ConsumerWait { tile: 0 })
+            .op(TileOp::LoadTile { buffer: "a".into(), bytes: 8.0, tile: Some(0) })
+            .op(TileOp::Compute(ComputeKind::MatmulTile { m: 2, n: 2, k: 2 }))
+            .op(TileOp::LoadTile { buffer: "a".into(), bytes: 8.0, tile: Some(0) })
+            .op(TileOp::Compute(ComputeKind::MatmulTile { m: 2, n: 2, k: 2 }))
+            .op(TileOp::StoreTile { buffer: "c".into(), bytes: 8.0, tile: None })
+    }
+
+    #[test]
+    fn single_stage_is_identity() {
+        let b = lowered(k_loop_block());
+        assert_eq!(pipeline_block(&b, 1), b);
+    }
+
+    #[test]
+    fn loads_are_hoisted_past_compute() {
+        let b = lowered(k_loop_block());
+        let p = pipeline_block(&b, 2);
+        // The second load moves above the first compute.
+        assert_eq!(
+            kinds(&p),
+            vec!["wait", "load", "load", "compute", "compute", "store"]
+        );
+    }
+
+    #[test]
+    fn loads_never_cross_the_wait() {
+        let b = lowered(k_loop_block());
+        for stages in 2..6 {
+            let p = pipeline_block(&b, stages);
+            // the wait must stay first
+            assert_eq!(kinds(&p)[0], "wait");
+            // and the pipelined program must still be consistent
+            assert!(check_consistency(&[p]).is_ok(), "stages={stages}");
+        }
+    }
+
+    #[test]
+    fn hoisting_is_limited_by_stage_count() {
+        // With many compute ops before the load, stages bounds the distance.
+        let block = BlockDesc::new("b", 0, BlockRole::Consumer)
+            .op(TileOp::ConsumerWait { tile: 0 })
+            .op(TileOp::Compute(ComputeKind::Elementwise { elems: 1 }))
+            .op(TileOp::Compute(ComputeKind::Elementwise { elems: 1 }))
+            .op(TileOp::Compute(ComputeKind::Elementwise { elems: 1 }))
+            .op(TileOp::LoadTile { buffer: "a".into(), bytes: 8.0, tile: Some(0) });
+        let b = lowered(block);
+        let p2 = pipeline_block(&b, 2);
+        assert_eq!(kinds(&p2), vec!["wait", "compute", "compute", "load", "compute"]);
+        let p4 = pipeline_block(&b, 4);
+        assert_eq!(kinds(&p4), vec!["wait", "load", "compute", "compute", "compute"]);
+    }
+}

@@ -1,0 +1,481 @@
+//! Mixture-of-experts layer with dynamic routing and dynamic tile mapping.
+//!
+//! The MoE layer splits into two halves (Section 7.2):
+//!
+//! 1. `AllGather + Gather + GroupGEMM` — tokens are gathered across ranks and
+//!    shuffled to experts according to the runtime routing, then multiplied by
+//!    each expert's first-layer weight shard;
+//! 2. `GroupGEMM + Scatter + TopK-Reduce + ReduceScatter` — the second expert
+//!    GEMM followed by the weighted combine of the top-k expert outputs and a
+//!    ReduceScatter of the partial results.
+//!
+//! Because routing decides at runtime which tokens each expert tile needs, the
+//! consumer side cannot be described by an affine mapping: this is the paper's
+//! *dynamic mapping* case. The functional kernel below fills a
+//! [`DynamicMapping`] from the routing (one entry per consumer tile describing
+//! the dispatched-row range and the expert that consumes it) and uses the
+//! static AllGather mapping to wait for exactly the token tiles each consumer
+//! tile touches.
+
+use tilelink::config::{CommMapping, OverlapConfig, TileShape};
+use tilelink::exec::{run_comm_compute, simulate};
+use tilelink::ir::{BlockDesc, BlockRole, ComputeKind, TileOp, TileProgram};
+use tilelink::primitives::{NotifyScope, PushTarget};
+use tilelink::tile::{read_tile, TileRect};
+use tilelink::{
+    BlockChannel, Compiler, DeviceHandle, DynamicMapping, OverlapReport, StaticMapping, TileMapping,
+};
+use tilelink_compute::gemm::matmul;
+use tilelink_compute::group_gemm::expert_weight;
+use tilelink_compute::topk::{topk_routing, Routing};
+use tilelink_compute::{Dispatch, Tensor};
+use tilelink_shmem::ProcessGroup;
+use tilelink_sim::ClusterSpec;
+
+use crate::mlp::BYTES_PER_ELEM;
+use crate::MoeShape;
+
+/// Recommended configuration for the MoE halves: AllGather on the copy engine,
+/// large compute tiles, dynamic routing handled by the dynamic mapping.
+pub fn moe_config() -> OverlapConfig {
+    OverlapConfig {
+        comm_tile: TileShape::new(128, 128),
+        compute_tile: TileShape::new(128, 128),
+        comm_mapping: CommMapping::CopyEngine,
+        ..OverlapConfig::default()
+    }
+}
+
+/// Result of the functional overlapped MoE first half on one rank.
+#[derive(Debug, Clone)]
+pub struct MoeForwardResult {
+    /// Expert outputs for every dispatched row (sorted by expert), `[M*topk, I_r]`.
+    pub expert_out: Tensor,
+    /// The routing used (identical on every rank).
+    pub routing: Routing,
+}
+
+/// Overlapped AllGather + Gather + GroupGEMM on real data.
+///
+/// * `tokens`: full `[M, H]` token matrix (rank `r` owns rows `r*M/world ..`);
+/// * `router_logits`: full `[M, E]` router logits (replicated, as routing is
+///   deterministic given the tokens);
+/// * `expert_weights[r]`: rank `r`'s `[E, H, I_r]` first-layer expert weights.
+///
+/// Every rank returns the expert outputs for all dispatched rows computed with
+/// its own weight shard, which must equal the unoverlapped reference
+/// (`Dispatch::gather` + grouped GEMM).
+///
+/// # Panics
+///
+/// Panics if `M` is not divisible by `world * comm_tile_m`.
+pub fn ag_moe_functional(
+    world: usize,
+    tokens: &Tensor,
+    router_logits: &Tensor,
+    expert_weights: &[Tensor],
+    top_k: usize,
+    comm_tile_m: usize,
+    dispatch_tile_m: usize,
+) -> Vec<MoeForwardResult> {
+    let m = tokens.shape()[0];
+    let h = tokens.shape()[1];
+    let m_per_rank = m / world;
+    assert_eq!(m % (world * comm_tile_m), 0, "M must divide evenly");
+    let ag_mapping = StaticMapping::new(m, comm_tile_m, world, 2);
+
+    // Routing is computed identically on every rank from the (replicated) logits.
+    let routing = topk_routing(router_logits, top_k);
+    let dispatch = Dispatch::new(&routing);
+
+    ProcessGroup::launch(world, |ctx| {
+        let rank = ctx.rank();
+        let src = ctx.alloc("moe/src", m_per_rank * h);
+        src.write_slice(
+            0,
+            tokens.slice_rows(rank * m_per_rank..(rank + 1) * m_per_rank).data(),
+        );
+        ctx.alloc("moe/gathered", m * h);
+        let num_dispatch_tiles = dispatch.num_rows().div_ceil(dispatch_tile_m);
+        let bc = BlockChannel::derive(
+            rank,
+            world,
+            &ag_mapping,
+            ag_mapping.num_tiles() / world,
+            num_dispatch_tiles,
+        );
+        let dev = DeviceHandle::new(&ctx, "moe_ag_group_gemm", bc, 0);
+        dev.barrier_all();
+
+        // Fill the dynamic mapping from the routing: one entry per consumer
+        // (dispatched-row) tile. The "rank" slot records the expert group the
+        // tile belongs to, which is what the Group GEMM needs at runtime.
+        let dyn_mapping = DynamicMapping::new(num_dispatch_tiles, num_dispatch_tiles);
+        for t in 0..num_dispatch_tiles {
+            let rows = t * dispatch_tile_m..((t + 1) * dispatch_tile_m).min(dispatch.num_rows());
+            let expert = dispatch.expert_of_row[rows.start];
+            dyn_mapping.fill(t, rows, expert, t).expect("fill dynamic mapping");
+        }
+
+        let own_tiles = ag_mapping.tiles_of_rank(rank);
+        let weights = expert_weights[rank].clone();
+        let i_local = weights.shape()[2];
+
+        let (_, results) = run_comm_compute(
+            own_tiles.len(),
+            num_dispatch_tiles,
+            // AllGather producer blocks (push mode)
+            |b| {
+                let tile = own_tiles[b];
+                let rows = ag_mapping.rows_of(tile).expect("tile in range");
+                let local_rows = (rows.start - rank * m_per_rank)..(rows.end - rank * m_per_rank);
+                let data = read_tile(&src, h, &TileRect::full_rows(local_rows, h));
+                dev.tile_push_data("moe/gathered", &ag_mapping, tile, h, &data, PushTarget::Broadcast);
+                dev.producer_tile_notify(&ag_mapping, tile, NotifyScope::Broadcast);
+            },
+            // Group GEMM consumer blocks: one per dispatched-row tile
+            |t| {
+                let rows = dyn_mapping.rows_of(t).expect("tile filled");
+                // wait for exactly the token tiles this dispatch tile gathers from
+                for row in rows.clone() {
+                    let token = dispatch.token_of_row[row];
+                    let token_tile = token / comm_tile_m;
+                    dev.consumer_tile_wait(&ag_mapping, token_tile);
+                }
+                // gather the rows (fused gather, as in vLLM's kernels) and run
+                // each row against the weight of the expert it routes to.
+                let gathered = dev.buffer_on(rank, "moe/gathered");
+                let mut out = Tensor::zeros(&[rows.len(), i_local]);
+                for (i, row) in rows.clone().enumerate() {
+                    let token = dispatch.token_of_row[row];
+                    let vals = read_tile(&gathered, h, &TileRect::full_rows(token..token + 1, h));
+                    let a = Tensor::from_vec(vals, &[1, h]);
+                    let w = expert_weight(&weights, dispatch.expert_of_row[row]);
+                    let product = matmul(&a, &w);
+                    for c in 0..i_local {
+                        out.set(&[i, c], product.at(&[0, c]));
+                    }
+                }
+                (rows, out)
+            },
+        );
+
+        let mut expert_out = Tensor::zeros(&[dispatch.num_rows(), i_local]);
+        for (rows, tile) in results {
+            for (i, r) in rows.enumerate() {
+                for c in 0..i_local {
+                    expert_out.set(&[r, c], tile.at(&[i, c]));
+                }
+            }
+        }
+        MoeForwardResult {
+            expert_out,
+            routing: routing.clone(),
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Timed kernels
+// ---------------------------------------------------------------------------
+
+/// Expected number of dispatched rows per rank-sharded expert group.
+fn dispatched_rows(shape: &MoeShape) -> usize {
+    shape.tokens * shape.top_k
+}
+
+/// Builds the AG + Gather + GroupGEMM tile program for one MoE shape.
+///
+/// The routing is load-balanced in expectation, so the timed program assumes a
+/// uniform distribution of dispatched rows over experts (the benchmark harness
+/// regenerates the routing with a seeded RNG, so tests stay deterministic).
+pub fn ag_group_gemm_program(
+    shape: &MoeShape,
+    world: usize,
+    cfg: &OverlapConfig,
+) -> (TileProgram, StaticMapping) {
+    let m = shape.tokens;
+    let h = shape.hidden;
+    let i_local = shape.intermediate / world;
+    let mapping = StaticMapping::new(m, cfg.comm_tile.m, world, cfg.channels_per_rank);
+    let tile_bytes = cfg.comm_tile.m as f64 * h as f64 * BYTES_PER_ELEM;
+    let rows = dispatched_rows(shape);
+    let compute_tiles = rows.div_ceil(cfg.compute_tile.m * 8); // 8 dispatch tiles share one block
+    let mut program = TileProgram::new("moe_ag_group_gemm", world);
+    for rank in 0..world {
+        for (i, tile) in mapping.tiles_of_rank(rank).into_iter().enumerate() {
+            program.add_block(
+                BlockDesc::new(format!("ag/r{rank}/b{i}"), rank, BlockRole::Producer)
+                    .op(TileOp::PushTile {
+                        buffer: "gathered".into(),
+                        bytes: tile_bytes,
+                        tile,
+                        target: PushTarget::Broadcast,
+                    })
+                    .op(TileOp::ProducerNotify {
+                        tile,
+                        scope: NotifyScope::Broadcast,
+                    }),
+            );
+        }
+        let rows_per_block = rows.div_ceil(compute_tiles);
+        for b in 0..compute_tiles {
+            // Each Group-GEMM block consumes tokens scattered across the whole
+            // gathered matrix, so it waits on a spread of producer tiles.
+            let mut block = BlockDesc::new(format!("ggemm/r{rank}/b{b}"), rank, BlockRole::Consumer);
+            let wait_tiles = (mapping.num_tiles() * (b + 1) / compute_tiles).min(mapping.num_tiles());
+            for tile in (mapping.num_tiles() * b / compute_tiles)..wait_tiles {
+                block = block.op(TileOp::ConsumerWait { tile });
+            }
+            block = block
+                .op(TileOp::LoadTile {
+                    buffer: "gathered".into(),
+                    bytes: rows_per_block as f64 * h as f64 * BYTES_PER_ELEM,
+                    tile: None,
+                })
+                .op(TileOp::Compute(ComputeKind::MatmulTile {
+                    m: rows_per_block,
+                    n: i_local,
+                    k: h,
+                }))
+                .op(TileOp::StoreTile {
+                    buffer: "expert_out".into(),
+                    bytes: rows_per_block as f64 * i_local as f64 * BYTES_PER_ELEM,
+                    tile: None,
+                });
+            program.add_block(block);
+        }
+    }
+    (program, mapping)
+}
+
+/// Builds the GroupGEMM + Scatter + TopK-Reduce + ReduceScatter program for one
+/// MoE shape (the layer's second half, with an extended producer-consumer
+/// chain: GroupGEMM → TopK reduce → ReduceScatter).
+pub fn group_gemm_rs_program(
+    shape: &MoeShape,
+    world: usize,
+    cfg: &OverlapConfig,
+) -> (TileProgram, StaticMapping) {
+    let m = shape.tokens;
+    let h = shape.hidden;
+    let i_local = shape.intermediate / world;
+    let rows = dispatched_rows(shape);
+    let tile_m = cfg.compute_tile.m;
+    let mapping = StaticMapping::new(m, tile_m, world, cfg.channels_per_rank);
+    let m_per_rank = m / world;
+    let tiles_per_segment = (m_per_rank / tile_m).max(1);
+    let tile_out_bytes = tile_m as f64 * h as f64 * BYTES_PER_ELEM;
+    let mut program = TileProgram::new("moe_group_gemm_rs", world);
+    for rank in 0..world {
+        // Group GEMM producing partial token outputs, fused with the scatter +
+        // top-k reduce epilogue (each output tile combines top_k expert rows).
+        for tile in 0..mapping.num_tiles() {
+            let trows = mapping.rows_of(tile).expect("tile in range");
+            let rows_of_tile = trows.len() * rows / m; // dispatched rows feeding this tile
+            program.add_block(
+                BlockDesc::new(format!("ggemm2/r{rank}/t{tile}"), rank, BlockRole::Consumer)
+                    .op(TileOp::LoadTile {
+                        buffer: "expert_act".into(),
+                        bytes: rows_of_tile as f64 * i_local as f64 * BYTES_PER_ELEM,
+                        tile: None,
+                    })
+                    .op(TileOp::Compute(ComputeKind::MatmulTile {
+                        m: rows_of_tile,
+                        n: h,
+                        k: i_local,
+                    }))
+                    // top-k weighted combine of the expert rows into token rows
+                    .op(TileOp::Compute(ComputeKind::Elementwise {
+                        elems: rows_of_tile * h,
+                    }))
+                    .op(TileOp::StoreTile {
+                        buffer: "gemm_out".into(),
+                        bytes: tile_out_bytes,
+                        tile: Some(tile),
+                    })
+                    .op(TileOp::ProducerNotify {
+                        tile,
+                        scope: NotifyScope::Local,
+                    }),
+            );
+        }
+        // Ring ReduceScatter, identical in structure to the MLP second half.
+        let to_rank = (rank + world - 1) % world;
+        for tid_m in 0..tiles_per_segment {
+            let mut block = BlockDesc::new(format!("rs/r{rank}/t{tid_m}"), rank, BlockRole::Producer);
+            for stage in 0..world {
+                let seg = (rank + stage + 1) % world;
+                let tile_global = seg * tiles_per_segment + tid_m;
+                block = block
+                    .op(TileOp::ConsumerWait { tile: tile_global })
+                    .op(TileOp::LoadTile {
+                        buffer: "gemm_out".into(),
+                        bytes: tile_out_bytes,
+                        tile: Some(tile_global),
+                    });
+                if stage != 0 {
+                    block = block
+                        .op(TileOp::PeerWait { slot: tile_global, expected: 1 })
+                        .op(TileOp::Compute(ComputeKind::Reduction { elems: tile_m * h }));
+                }
+                if stage == world - 1 {
+                    block = block.op(TileOp::StoreTile {
+                        buffer: "out".into(),
+                        bytes: tile_out_bytes,
+                        tile: None,
+                    });
+                } else {
+                    block = block
+                        .op(TileOp::PushTile {
+                            buffer: "partial".into(),
+                            bytes: tile_out_bytes,
+                            tile: tile_global,
+                            target: PushTarget::Rank(to_rank),
+                        })
+                        .op(TileOp::PeerNotify { slot: tile_global, dst_rank: to_rank });
+                }
+            }
+            program.add_block(block);
+        }
+    }
+    (program, mapping)
+}
+
+/// Simulates the TileLink AG + Gather + GroupGEMM kernel.
+///
+/// # Errors
+///
+/// Returns an error if compilation or simulation fails.
+pub fn timed_ag_group_gemm(
+    shape: &MoeShape,
+    cluster: &ClusterSpec,
+    cfg: &OverlapConfig,
+) -> tilelink::Result<OverlapReport> {
+    let world = cluster.world_size();
+    let (program, mapping) = ag_group_gemm_program(shape, world, cfg);
+    let kernel = Compiler::new(cfg.clone(), cluster.gpu.clone()).compile(&program, &mapping)?;
+    let (report, _) = simulate(&kernel, cluster)?;
+    Ok(report)
+}
+
+/// Simulates the TileLink GroupGEMM + Scatter + TopK-Reduce + RS kernel.
+///
+/// # Errors
+///
+/// Returns an error if compilation or simulation fails.
+pub fn timed_group_gemm_rs(
+    shape: &MoeShape,
+    cluster: &ClusterSpec,
+    cfg: &OverlapConfig,
+) -> tilelink::Result<OverlapReport> {
+    let world = cluster.world_size();
+    let mut cfg = cfg.clone();
+    cfg.comm_mapping = CommMapping::Hybrid { sms: 20 };
+    let (program, mapping) = group_gemm_rs_program(shape, world, &cfg);
+    let kernel = Compiler::new(cfg.clone(), cluster.gpu.clone()).compile(&program, &mapping)?;
+    let (report, _) = simulate(&kernel, cluster)?;
+    Ok(report)
+}
+
+/// Simulates the full TileLink MoE layer (both halves plus the activation).
+///
+/// # Errors
+///
+/// Returns an error if either half fails.
+pub fn timed_full_moe(shape: &MoeShape, cluster: &ClusterSpec) -> tilelink::Result<OverlapReport> {
+    let cfg = moe_config();
+    let first = timed_ag_group_gemm(shape, cluster, &cfg)?;
+    let second = timed_group_gemm_rs(shape, cluster, &cfg)?;
+    let world = cluster.world_size();
+    let act_elems = dispatched_rows(shape) as f64 * (shape.intermediate / world) as f64;
+    let act = 3.0 * act_elems * BYTES_PER_ELEM / cluster.gpu.hbm_bytes_per_s()
+        + cluster.gpu.kernel_launch_s();
+    Ok(OverlapReport::new(
+        first.total_s + second.total_s + act,
+        first.comm_only_s + second.comm_only_s,
+        first.comp_only_s + second.comp_only_s + act,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilelink_compute::group_gemm::group_gemm;
+
+    fn reference(
+        tokens: &Tensor,
+        logits: &Tensor,
+        weights: &Tensor,
+        top_k: usize,
+    ) -> (Tensor, Routing) {
+        let routing = topk_routing(logits, top_k);
+        let dispatch = Dispatch::new(&routing);
+        let gathered = dispatch.gather(tokens);
+        (
+            group_gemm(&gathered, &dispatch.expert_offsets, weights),
+            routing,
+        )
+    }
+
+    #[test]
+    fn functional_ag_moe_matches_reference() {
+        let world = 2;
+        let (m, h, experts, i_local, top_k) = (16, 6, 4, 5, 2);
+        let tokens = Tensor::random(&[m, h], 1);
+        let logits = Tensor::random(&[m, experts], 2);
+        let weights: Vec<Tensor> = (0..world)
+            .map(|r| Tensor::random(&[experts, h, i_local], 50 + r as u64))
+            .collect();
+        let results = ag_moe_functional(world, &tokens, &logits, &weights, top_k, 4, 4);
+        for (rank, result) in results.iter().enumerate() {
+            let (expected, routing) = reference(&tokens, &logits, &weights[rank], top_k);
+            assert_eq!(result.routing, routing);
+            assert!(
+                result.expert_out.allclose(&expected, 1e-3),
+                "rank {rank} diff {}",
+                result.expert_out.max_abs_diff(&expected)
+            );
+        }
+    }
+
+    #[test]
+    fn functional_ag_moe_with_uneven_dispatch_tiles() {
+        // dispatch tile size that does not divide the dispatched row count
+        let world = 2;
+        let tokens = Tensor::random(&[8, 4], 7);
+        let logits = Tensor::random(&[8, 3], 8);
+        let weights: Vec<Tensor> = (0..world)
+            .map(|r| Tensor::random(&[3, 4, 3], 60 + r as u64))
+            .collect();
+        let results = ag_moe_functional(world, &tokens, &logits, &weights, 2, 2, 3);
+        let (expected, _) = reference(&tokens, &logits, &weights[0], 2);
+        assert!(results[0].expert_out.allclose(&expected, 1e-3));
+    }
+
+    #[test]
+    fn timed_moe_first_half_overlaps() {
+        let shape = crate::shapes::moe_shapes()[0].clone();
+        let cluster = ClusterSpec::h800_node(8);
+        let report = timed_ag_group_gemm(&shape, &cluster, &moe_config()).unwrap();
+        assert!(report.total_s < report.comm_only_s + report.comp_only_s);
+        assert!(report.total_ms() > 0.01 && report.total_ms() < 20.0);
+    }
+
+    #[test]
+    fn timed_moe_second_half_overlaps() {
+        let shape = crate::shapes::moe_shapes()[0].clone();
+        let cluster = ClusterSpec::h800_node(8);
+        let report = timed_group_gemm_rs(&shape, &cluster, &moe_config()).unwrap();
+        assert!(report.total_s < report.comm_only_s + report.comp_only_s);
+    }
+
+    #[test]
+    fn timed_full_moe_scales_with_topk() {
+        let shapes = crate::shapes::moe_shapes();
+        let cluster = ClusterSpec::h800_node(8);
+        let k2 = timed_full_moe(&shapes[1], &cluster).unwrap(); // MoE-2: topk 2
+        let k5 = timed_full_moe(&shapes[2], &cluster).unwrap(); // MoE-3: topk 5
+        assert!(k5.total_s > k2.total_s);
+    }
+}

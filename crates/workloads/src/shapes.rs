@@ -1,0 +1,170 @@
+//! Benchmark shapes (Table 4) and end-to-end model configurations (Figure 11).
+
+/// One tensor-parallel MLP configuration of Table 4.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlpShape {
+    /// Configuration name ("MLP-1" ... "MLP-6").
+    pub name: &'static str,
+    /// Number of tokens (batch × sequence length), `S` in the paper.
+    pub tokens: usize,
+    /// Hidden dimension `H`.
+    pub hidden: usize,
+    /// Intermediate size `I`.
+    pub intermediate: usize,
+    /// Model the configuration is taken from.
+    pub source: &'static str,
+}
+
+/// The six MLP configurations of Table 4.
+pub fn mlp_shapes() -> Vec<MlpShape> {
+    vec![
+        MlpShape { name: "MLP-1", tokens: 8192, hidden: 4096, intermediate: 11008, source: "LLaMA-7B" },
+        MlpShape { name: "MLP-2", tokens: 8192, hidden: 4096, intermediate: 14336, source: "LLaMA-3.1-8B" },
+        MlpShape { name: "MLP-3", tokens: 8192, hidden: 3584, intermediate: 14336, source: "Gemma-2-9B" },
+        MlpShape { name: "MLP-4", tokens: 8192, hidden: 4608, intermediate: 36864, source: "Gemma-2-27B" },
+        MlpShape { name: "MLP-5", tokens: 8192, hidden: 8192, intermediate: 28672, source: "LLaMA-3.1-70B" },
+        MlpShape { name: "MLP-6", tokens: 8192, hidden: 8192, intermediate: 29568, source: "Qwen-2-72B" },
+    ]
+}
+
+/// One MoE configuration of Table 4.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MoeShape {
+    /// Configuration name ("MoE-1" ... "MoE-6").
+    pub name: &'static str,
+    /// Number of tokens (batch × sequence length).
+    pub tokens: usize,
+    /// Hidden dimension `H`.
+    pub hidden: usize,
+    /// Per-expert intermediate size `I`.
+    pub intermediate: usize,
+    /// Number of experts `E`.
+    pub experts: usize,
+    /// Routing fan-out `topk`.
+    pub top_k: usize,
+}
+
+/// The six MoE configurations of Table 4.
+pub fn moe_shapes() -> Vec<MoeShape> {
+    vec![
+        MoeShape { name: "MoE-1", tokens: 8192, hidden: 2048, intermediate: 1536, experts: 8, top_k: 2 },
+        MoeShape { name: "MoE-2", tokens: 8192, hidden: 2048, intermediate: 1536, experts: 32, top_k: 2 },
+        MoeShape { name: "MoE-3", tokens: 8192, hidden: 2048, intermediate: 1536, experts: 32, top_k: 5 },
+        MoeShape { name: "MoE-4", tokens: 8192, hidden: 4096, intermediate: 2048, experts: 8, top_k: 2 },
+        MoeShape { name: "MoE-5", tokens: 8192, hidden: 4096, intermediate: 2048, experts: 32, top_k: 2 },
+        MoeShape { name: "MoE-6", tokens: 8192, hidden: 4096, intermediate: 2048, experts: 32, top_k: 5 },
+    ]
+}
+
+/// One self-attention configuration of Table 4.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttnShape {
+    /// Configuration name ("Attn-1", "Attn-2").
+    pub name: &'static str,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Head dimension.
+    pub head_dim: usize,
+    /// Sequence lengths to evaluate.
+    pub seq_lens: Vec<usize>,
+}
+
+/// The two attention configurations of Table 4 (16k–128k context).
+pub fn attn_shapes() -> Vec<AttnShape> {
+    vec![
+        AttnShape { name: "Attn-1", heads: 32, head_dim: 128, seq_lens: vec![16_384, 32_768, 65_536, 131_072] },
+        AttnShape { name: "Attn-2", heads: 64, head_dim: 128, seq_lens: vec![16_384, 32_768, 65_536, 131_072] },
+    ]
+}
+
+/// An end-to-end model configuration for Figure 11.
+///
+/// Only the quantities that drive per-layer cost are kept: hidden size,
+/// intermediate size, head count, layer count and the MoE configuration for
+/// mixture models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Model name as used in Figure 11.
+    pub name: &'static str,
+    /// Number of transformer layers.
+    pub layers: usize,
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Dense MLP intermediate size (0 for pure-MoE layers).
+    pub intermediate: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// MoE configuration `(experts, top_k, expert_intermediate)` for MoE models.
+    pub moe: Option<(usize, usize, usize)>,
+    /// Whether MoE models also keep a dense (shared-expert) MLP per layer.
+    pub shared_expert: bool,
+}
+
+impl ModelConfig {
+    /// Returns `true` for mixture-of-experts models.
+    pub fn is_moe(&self) -> bool {
+        self.moe.is_some()
+    }
+}
+
+/// The eight models evaluated end-to-end in Figure 11.
+pub fn model_configs() -> Vec<ModelConfig> {
+    vec![
+        ModelConfig { name: "GPT3-6.7B", layers: 32, hidden: 4096, intermediate: 16384, heads: 32, moe: None, shared_expert: false },
+        ModelConfig { name: "LLaMA2-7B", layers: 32, hidden: 4096, intermediate: 11008, heads: 32, moe: None, shared_expert: false },
+        ModelConfig { name: "LLaMA2-13B", layers: 40, hidden: 5120, intermediate: 13824, heads: 40, moe: None, shared_expert: false },
+        ModelConfig { name: "LLaMA2-70B", layers: 80, hidden: 8192, intermediate: 28672, heads: 64, moe: None, shared_expert: false },
+        ModelConfig { name: "GPT3-175B", layers: 96, hidden: 12288, intermediate: 49152, heads: 96, moe: None, shared_expert: false },
+        ModelConfig { name: "Mixtral-8x7B", layers: 32, hidden: 4096, intermediate: 0, heads: 32, moe: Some((8, 2, 14336)), shared_expert: false },
+        ModelConfig { name: "Mixtral-8x22B", layers: 56, hidden: 6144, intermediate: 0, heads: 48, moe: Some((8, 2, 16384)), shared_expert: false },
+        ModelConfig { name: "Qwen1.5-2.7B", layers: 24, hidden: 2048, intermediate: 5504, heads: 16, moe: Some((60, 4, 1408)), shared_expert: true },
+    ]
+}
+
+/// Batch × sequence-length token count used in the end-to-end evaluation
+/// (batch 4, sequence 8192 on one node).
+pub const E2E_TOKENS_SINGLE_NODE: usize = 4 * 8192;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_counts() {
+        assert_eq!(mlp_shapes().len(), 6);
+        assert_eq!(moe_shapes().len(), 6);
+        assert_eq!(attn_shapes().len(), 2);
+        assert_eq!(model_configs().len(), 8);
+    }
+
+    #[test]
+    fn mlp1_matches_llama7b() {
+        let m = &mlp_shapes()[0];
+        assert_eq!((m.tokens, m.hidden, m.intermediate), (8192, 4096, 11008));
+        assert_eq!(m.source, "LLaMA-7B");
+    }
+
+    #[test]
+    fn moe_shapes_have_sane_topk() {
+        for m in moe_shapes() {
+            assert!(m.top_k <= m.experts);
+            assert!(m.top_k >= 2);
+        }
+    }
+
+    #[test]
+    fn attention_covers_16k_to_128k() {
+        for a in attn_shapes() {
+            assert_eq!(a.seq_lens.first(), Some(&16_384));
+            assert_eq!(a.seq_lens.last(), Some(&131_072));
+        }
+    }
+
+    #[test]
+    fn moe_models_are_flagged() {
+        let models = model_configs();
+        let moe_count = models.iter().filter(|m| m.is_moe()).count();
+        assert_eq!(moe_count, 3);
+        assert!(models.iter().any(|m| m.shared_expert));
+    }
+}

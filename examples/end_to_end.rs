@@ -1,0 +1,23 @@
+//! End-to-end model comparison (Figure 11): PyTorch-style execution vs
+//! TileLink overlapped kernels for a dense and a mixture-of-experts model.
+//!
+//! Run with `cargo run --release --example end_to_end`.
+
+use tilelink_workloads::e2e;
+use tilelink_workloads::shapes::model_configs;
+
+fn main() {
+    let (cluster, tokens) = e2e::single_node_setup();
+    println!("simulated 8xH800, batch 4 x sequence 8192\n");
+    for model in model_configs().iter().filter(|m| m.name == "LLaMA2-7B" || m.name == "Mixtral-8x7B") {
+        let cmp = e2e::compare_model(model, &cluster, tokens).expect("comparison");
+        println!(
+            "{:<14} PyTorch {:>8.1} ms | TileLink {:>8.1} ms | speedup {:.2}x (attention {:.0}% of time)",
+            model.name,
+            cmp.torch.total_s * 1e3,
+            cmp.tilelink.total_s * 1e3,
+            cmp.speedup(),
+            100.0 * cmp.tilelink.attention_s / cmp.tilelink.total_s,
+        );
+    }
+}

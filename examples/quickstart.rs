@@ -1,0 +1,61 @@
+//! Quickstart: the tile-centric primitives in ~40 lines.
+//!
+//! Two ranks overlap an AllGather with a consumer that processes tiles as soon
+//! as they arrive, using `producer_tile_notify` / `consumer_tile_wait`.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use tilelink::exec::run_comm_compute;
+use tilelink::primitives::{NotifyScope, PushTarget};
+use tilelink::{BlockChannel, DeviceHandle, StaticMapping, TileMapping};
+use tilelink_shmem::ProcessGroup;
+
+fn main() {
+    const WORLD: usize = 2;
+    const ROWS: usize = 8;
+    const COLS: usize = 4;
+    // 4 producer tiles of 2 rows each, sharded over 2 ranks, 2 channels per rank.
+    let mapping = StaticMapping::new(ROWS, 2, WORLD, 2);
+
+    let sums = ProcessGroup::launch(WORLD, |ctx| {
+        let rank = ctx.rank();
+        // symmetric buffers: my shard and the gathered matrix
+        let shard = ctx.alloc("shard", ROWS / WORLD * COLS);
+        for i in 0..shard.len() {
+            shard.store(i, (rank * 100 + i) as f32);
+        }
+        ctx.alloc("gathered", ROWS * COLS);
+        let dev = DeviceHandle::new(
+            &ctx,
+            "quickstart",
+            BlockChannel::derive(rank, WORLD, &mapping, 2, 1),
+            0,
+        );
+        dev.barrier_all();
+
+        let own_tiles = mapping.tiles_of_rank(rank);
+        let (_, consumed) = run_comm_compute(
+            own_tiles.len(),
+            1,
+            // communication blocks: push my tiles to every peer and notify
+            |b| {
+                let tile = own_tiles[b];
+                let rows = mapping.rows_of(tile).unwrap();
+                let local = (rows.start - rank * ROWS / WORLD) * COLS..(rows.end - rank * ROWS / WORLD) * COLS;
+                let data = shard.read_range(local.start, local.len());
+                dev.tile_push_data("gathered", &mapping, tile, COLS, &data, PushTarget::Broadcast);
+                dev.producer_tile_notify(&mapping, tile, NotifyScope::Broadcast);
+            },
+            // computation block: wait for every tile and sum the gathered matrix
+            |_| {
+                dev.consumer_rows_wait(&mapping, 0..ROWS);
+                dev.buffer_on(rank, "gathered").to_vec().iter().sum::<f32>()
+            },
+        );
+        consumed[0]
+    });
+
+    println!("per-rank sums of the gathered matrix: {sums:?}");
+    assert!(sums.iter().all(|&s| (s - sums[0]).abs() < 1e-6));
+    println!("every rank observed the same gathered data — overlap was correct");
+}

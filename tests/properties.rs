@@ -1,0 +1,131 @@
+//! Property-based tests on the core invariants of the reproduction.
+
+use proptest::prelude::*;
+use tilelink::{StaticMapping, TileMapping};
+use tilelink_collectives::Comm;
+use tilelink_compute::attention::{attention_reference, flash_attention};
+use tilelink_compute::gemm::{matmul, matmul_tiled};
+use tilelink_compute::Tensor;
+use tilelink_shmem::ProcessGroup;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The static tile-centric mapping partitions the global rows exactly once,
+    /// maps every tile to a valid rank/channel, and its per-channel thresholds
+    /// sum to the tile count.
+    #[test]
+    fn static_mapping_is_a_partition(
+        m in 1usize..2048,
+        tile in 1usize..256,
+        ranks in 1usize..9,
+        channels in 1usize..5,
+    ) {
+        let map = StaticMapping::new(m, tile, ranks, channels);
+        let mut covered = vec![false; m];
+        for t in 0..map.num_tiles() {
+            let rows = map.rows_of(t).unwrap();
+            prop_assert!(!rows.is_empty());
+            for r in rows {
+                prop_assert!(!covered[r], "row {r} covered twice");
+                covered[r] = true;
+            }
+            prop_assert!(map.rank_of(t).unwrap() < ranks);
+            prop_assert!(map.channel_of(t).unwrap() < map.num_channels());
+        }
+        prop_assert!(covered.into_iter().all(|c| c));
+        let total: u64 = (0..map.num_channels()).map(|c| map.channel_threshold(c)).sum();
+        prop_assert_eq!(total, map.num_tiles() as u64);
+    }
+
+    /// Consumers waiting on `channels_for_rows` always cover every producer tile
+    /// overlapping their row range, whatever the (decoupled) consumer tile size.
+    #[test]
+    fn consumer_channels_cover_producer_tiles(
+        m in 64usize..1024,
+        prod_tile in 1usize..128,
+        cons_tile in 1usize..256,
+        ranks in 1usize..9,
+    ) {
+        let map = StaticMapping::new(m, prod_tile, ranks, 2);
+        let mut start = 0usize;
+        while start < m {
+            let rows = start..(start + cons_tile).min(m);
+            let channels = map.channels_for_rows(rows.clone());
+            for t in 0..map.num_tiles() {
+                let trows = map.rows_of(t).unwrap();
+                if trows.start < rows.end && rows.start < trows.end {
+                    prop_assert!(channels.contains(&map.channel_of(t).unwrap()));
+                }
+            }
+            start += cons_tile;
+        }
+    }
+
+    /// Tiled GEMM equals the reference GEMM for arbitrary shapes and tile sizes.
+    #[test]
+    fn tiled_gemm_matches_reference(
+        m in 1usize..24,
+        k in 1usize..16,
+        n in 1usize..24,
+        tm in 1usize..16,
+        tn in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let a = Tensor::random(&[m, k], seed);
+        let b = Tensor::random(&[k, n], seed + 1);
+        let reference = matmul(&a, &b);
+        let tiled = matmul_tiled(&a, &b, tm, tn);
+        prop_assert!(tiled.allclose(&reference, 1e-4));
+    }
+
+    /// Flash attention equals reference attention for any KV block size — the
+    /// property that makes the overlapped attention kernel correct regardless
+    /// of the order or granularity in which remote KV tiles arrive.
+    #[test]
+    fn flash_attention_matches_reference(
+        sq in 1usize..6,
+        skv in 1usize..24,
+        d in 1usize..8,
+        block in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let q = Tensor::random(&[sq, d], seed);
+        let k = Tensor::random(&[skv, d], seed + 1);
+        let v = Tensor::random(&[skv, d], seed + 2);
+        let reference = attention_reference(&q, &k, &v);
+        let flash = flash_attention(&q, &k, &v, block);
+        prop_assert!(flash.allclose(&reference, 1e-3));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// AllGather followed by element-wise summation equals AllReduce, and
+    /// ReduceScatter shards concatenate to the AllReduce result — the standard
+    /// collective algebra the TP layers rely on.
+    #[test]
+    fn collective_algebra_holds(world in 2usize..5, len_per in 1usize..5, seed in 0u64..100) {
+        let len = world * len_per;
+        let inputs: Vec<Vec<f32>> = (0..world)
+            .map(|r| {
+                Tensor::random(&[len, 1], seed + r as u64).into_vec()
+            })
+            .collect();
+        let inputs2 = inputs.clone();
+        let results = ProcessGroup::launch(world, move |ctx| {
+            let rank = ctx.rank();
+            let mut comm = Comm::new(ctx);
+            let ar = comm.all_reduce(&inputs2[rank]);
+            let rs = comm.reduce_scatter(&inputs2[rank]);
+            let rs_gathered = comm.all_gather(&rs);
+            (ar, rs_gathered)
+        });
+        for (ar, rs_gathered) in results {
+            for (a, b) in ar.iter().zip(&rs_gathered) {
+                prop_assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+}
