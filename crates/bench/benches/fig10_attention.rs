@@ -1,23 +1,23 @@
 //! Figure 10: sequence-parallel self-attention and overlap ratio.
+//!
+//! Run with `cargo bench -p tilelink-bench --bench fig10_attention`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-use tilelink_bench::{default_cluster, fig10, geomean};
+use tilelink_bench::{bench_case, default_cluster, fig10, geomean};
 use tilelink_workloads::{attention, shapes};
 
-fn bench_fig10(c: &mut Criterion) {
+fn main() {
     let cluster = default_cluster();
     let shape = &shapes::attn_shapes()[0];
-    let mut group = c.benchmark_group("fig10_attention");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
     for &seq in &[16_384usize, 65_536] {
-        group.bench_function(format!("tilelink_sp_attention/{}k", seq / 1024), |b| {
-            b.iter(|| {
-                attention::timed_sp_attention(shape, seq, &cluster, &attention::attention_config()).unwrap()
-            })
-        });
+        bench_case(
+            &format!("fig10/tilelink_sp_attention/{}k", seq / 1024),
+            10,
+            || {
+                attention::timed_sp_attention(shape, seq, &cluster, &attention::attention_config())
+                    .unwrap();
+            },
+        );
     }
-    group.finish();
 
     for idx in 0..shapes::attn_shapes().len() {
         let rows = fig10(&cluster, idx);
@@ -30,6 +30,3 @@ fn bench_fig10(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group!(benches, bench_fig10);
-criterion_main!(benches);

@@ -1,21 +1,18 @@
 //! Figure 11: end-to-end models on 8×H800 and 16×H800.
+//!
+//! Run with `cargo bench -p tilelink-bench --bench fig11_e2e`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-use tilelink_bench::{fig11, geomean};
+use tilelink_bench::{bench_case, fig11, geomean};
 use tilelink_workloads::{e2e, shapes};
 
-fn bench_fig11(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig11_e2e");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+fn main() {
     let (cluster, tokens) = e2e::single_node_setup();
     // Benchmark one dense and one MoE model end to end.
     for model in [&shapes::model_configs()[1], &shapes::model_configs()[5]] {
-        group.bench_function(format!("tilelink_e2e/{}", model.name), |b| {
-            b.iter(|| e2e::tilelink_model_timing(model, &cluster, tokens).unwrap())
+        bench_case(&format!("fig11/tilelink_e2e/{}", model.name), 10, || {
+            e2e::tilelink_model_timing(model, &cluster, tokens).unwrap();
         });
     }
-    group.finish();
 
     for (two_nodes, label) in [(false, "8xH800"), (true, "16xH800")] {
         let rows = fig11(two_nodes, usize::MAX);
@@ -28,6 +25,3 @@ fn bench_fig11(c: &mut Criterion) {
         }
     }
 }
-
-criterion_group!(benches, bench_fig11);
-criterion_main!(benches);

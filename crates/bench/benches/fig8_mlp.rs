@@ -1,21 +1,22 @@
 //! Figure 8: MLP layers (AG+GEMM, GEMM+RS, full MLP) across MLP-1..6.
+//!
+//! Run with `cargo bench -p tilelink-bench --bench fig8_mlp`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-use tilelink_bench::{default_cluster, fig8, geomean, MlpPanel};
+use tilelink_bench::{bench_case, default_cluster, fig8, geomean, MlpPanel};
 use tilelink_workloads::{mlp, shapes};
 
-fn bench_fig8(c: &mut Criterion) {
+fn main() {
     let cluster = default_cluster();
-    let mut group = c.benchmark_group("fig8_mlp");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
     // Benchmark the TileLink kernel generation + simulation for two shapes.
     for shape in shapes::mlp_shapes().iter().take(2) {
-        group.bench_function(format!("tilelink_full_mlp/{}", shape.name), |b| {
-            b.iter(|| mlp::timed_full_mlp(shape, &cluster).unwrap())
-        });
+        bench_case(
+            &format!("fig8/tilelink_full_mlp/{}", shape.name),
+            10,
+            || {
+                mlp::timed_full_mlp(shape, &cluster).unwrap();
+            },
+        );
     }
-    group.finish();
 
     for (panel, name) in [
         (MlpPanel::AgGemm, "AG+GEMM"),
@@ -30,6 +31,3 @@ fn bench_fig8(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group!(benches, bench_fig8);
-criterion_main!(benches);

@@ -1,20 +1,21 @@
 //! Figure 9: MoE layers across MoE-1..6.
+//!
+//! Run with `cargo bench -p tilelink-bench --bench fig9_moe`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-use tilelink_bench::{default_cluster, fig9, geomean, MoePanel};
+use tilelink_bench::{bench_case, default_cluster, fig9, geomean, MoePanel};
 use tilelink_workloads::{moe, shapes};
 
-fn bench_fig9(c: &mut Criterion) {
+fn main() {
     let cluster = default_cluster();
-    let mut group = c.benchmark_group("fig9_moe");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
     for shape in shapes::moe_shapes().iter().take(2) {
-        group.bench_function(format!("tilelink_full_moe/{}", shape.name), |b| {
-            b.iter(|| moe::timed_full_moe(shape, &cluster).unwrap())
-        });
+        bench_case(
+            &format!("fig9/tilelink_full_moe/{}", shape.name),
+            10,
+            || {
+                moe::timed_full_moe(shape, &cluster).unwrap();
+            },
+        );
     }
-    group.finish();
 
     for (panel, name) in [
         (MoePanel::First, "AG+Gather+GroupGEMM"),
@@ -29,6 +30,3 @@ fn bench_fig9(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group!(benches, bench_fig9);
-criterion_main!(benches);

@@ -1,25 +1,22 @@
 //! Table 2: the motivational MLP-1 example under the four techniques.
+//!
+//! Run with `cargo bench -p tilelink-bench --bench table2_motivation`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-use tilelink_bench::{default_cluster, table2};
+use tilelink_bench::{bench_case, default_cluster, table2};
 use tilelink_workloads::{baselines, mlp, shapes};
 
-fn bench_table2(c: &mut Criterion) {
+fn main() {
     let cluster = default_cluster();
     let shape = &shapes::mlp_shapes()[0];
-    let mut group = c.benchmark_group("table2_motivation");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
-    group.bench_function("non_overlap_ag_gemm", |b| {
-        b.iter(|| baselines::non_overlap_ag_gemm(shape, &cluster))
+    bench_case("table2/non_overlap_ag_gemm", 10, || {
+        baselines::non_overlap_ag_gemm(shape, &cluster);
     });
-    group.bench_function("tilelink_ag_gemm", |b| {
-        b.iter(|| mlp::timed_ag_gemm(shape, &cluster, &mlp::ag_gemm_config()).unwrap())
+    bench_case("table2/tilelink_ag_gemm", 10, || {
+        mlp::timed_ag_gemm(shape, &cluster, &mlp::ag_gemm_config()).unwrap();
     });
-    group.bench_function("tilelink_gemm_rs", |b| {
-        b.iter(|| mlp::timed_gemm_rs(shape, &cluster, &mlp::gemm_rs_config()).unwrap())
+    bench_case("table2/tilelink_gemm_rs", 10, || {
+        mlp::timed_gemm_rs(shape, &cluster, &mlp::gemm_rs_config()).unwrap();
     });
-    group.finish();
 
     // Print the actual table once so `cargo bench` output records it.
     for g in table2(&cluster) {
@@ -29,6 +26,3 @@ fn bench_table2(c: &mut Criterion) {
         }
     }
 }
-
-criterion_group!(benches, bench_table2);
-criterion_main!(benches);

@@ -3,8 +3,16 @@
 //!
 //! Flags (combine freely; no flags prints everything):
 //! `--table2 --shapes --fig8 --fig9 --fig10 --fig11 --ablation`
+//!
+//! `--tune` additionally runs the `tilelink-tune` design-space search on the
+//! Figure 8 MLP and Figure 9 MoE shapes and prints tuned-vs-default speedups.
+//! It is opt-in (not part of the no-flag default) because a cold search
+//! simulates a few hundred candidate kernels per shape; repeated runs are
+//! near-free thanks to the persistent tuning cache.
 
-use tilelink_bench::{default_cluster, fig10, fig11, fig8, fig9, geomean, table2, MlpPanel, MoePanel};
+use tilelink_bench::{
+    default_cluster, fig10, fig11, fig8, fig9, geomean, table2, MlpPanel, MoePanel,
+};
 use tilelink_workloads::shapes;
 
 fn wants(args: &[String], flag: &str) -> bool {
@@ -34,7 +42,10 @@ fn main() {
     if wants(&args, "--shapes") {
         println!("== Table 4: benchmark shapes ==");
         for s in shapes::mlp_shapes() {
-            println!("{}: S={} H={} I={} ({})", s.name, s.tokens, s.hidden, s.intermediate, s.source);
+            println!(
+                "{}: S={} H={} I={} ({})",
+                s.name, s.tokens, s.hidden, s.intermediate, s.source
+            );
         }
         for s in shapes::moe_shapes() {
             println!(
@@ -43,28 +54,55 @@ fn main() {
             );
         }
         for s in shapes::attn_shapes() {
-            println!("{}: heads={} head_dim={} seq={:?}", s.name, s.heads, s.head_dim, s.seq_lens);
+            println!(
+                "{}: heads={} head_dim={} seq={:?}",
+                s.name, s.heads, s.head_dim, s.seq_lens
+            );
         }
     }
 
     if wants(&args, "--table2") {
-        print_groups("Table 2: motivational example (MLP-1)", &table2(&cluster), "Non-Overlap");
+        print_groups(
+            "Table 2: motivational example (MLP-1)",
+            &table2(&cluster),
+            "Non-Overlap",
+        );
     }
 
     if wants(&args, "--fig8") {
-        print_groups("Figure 8: AG+GEMM", &fig8(&cluster, MlpPanel::AgGemm), "cuBLAS+NCCL");
-        print_groups("Figure 8: GEMM+RS", &fig8(&cluster, MlpPanel::GemmRs), "cuBLAS+NCCL");
-        print_groups("Figure 8: full MLP", &fig8(&cluster, MlpPanel::Full), "cuBLAS+NCCL");
+        print_groups(
+            "Figure 8: AG+GEMM",
+            &fig8(&cluster, MlpPanel::AgGemm),
+            "cuBLAS+NCCL",
+        );
+        print_groups(
+            "Figure 8: GEMM+RS",
+            &fig8(&cluster, MlpPanel::GemmRs),
+            "cuBLAS+NCCL",
+        );
+        print_groups(
+            "Figure 8: full MLP",
+            &fig8(&cluster, MlpPanel::Full),
+            "cuBLAS+NCCL",
+        );
     }
 
     if wants(&args, "--fig9") {
-        print_groups("Figure 9: AG+Gather+GroupGEMM", &fig9(&cluster, MoePanel::First), "cuBLAS+NCCL");
+        print_groups(
+            "Figure 9: AG+Gather+GroupGEMM",
+            &fig9(&cluster, MoePanel::First),
+            "cuBLAS+NCCL",
+        );
         print_groups(
             "Figure 9: GroupGEMM+Scatter+TopK+RS",
             &fig9(&cluster, MoePanel::Second),
             "cuBLAS+NCCL",
         );
-        print_groups("Figure 9: full MoE", &fig9(&cluster, MoePanel::Full), "cuBLAS+NCCL");
+        print_groups(
+            "Figure 9: full MoE",
+            &fig9(&cluster, MoePanel::Full),
+            "cuBLAS+NCCL",
+        );
     }
 
     if wants(&args, "--fig10") {
@@ -100,13 +138,77 @@ fn main() {
                     r.speedup()
                 );
             }
-            println!("geomean speedup: {:.2}x", geomean(rows.iter().map(|r| r.speedup())));
+            println!(
+                "geomean speedup: {:.2}x",
+                geomean(rows.iter().map(|r| r.speedup()))
+            );
         }
     }
 
     if wants(&args, "--ablation") {
         ablations(&cluster);
     }
+
+    // Opt-in only: a cold tuning run simulates hundreds of candidates.
+    if args.iter().any(|a| a == "--tune") {
+        tune(&cluster);
+    }
+}
+
+/// Tuned-vs-default comparison on the Figure 8 MLP and Figure 9 MoE shapes.
+fn tune(cluster: &tilelink_sim::ClusterSpec) {
+    use tilelink_workloads::autotune::{self, MlpOracle, MoeOracle, TuneOptions};
+
+    let opts = TuneOptions::default().with_default_cache();
+    if let Some(path) = &opts.cache_path {
+        println!("\n(tuning cache: {})", path.display());
+    }
+
+    println!("\n== Autotune: Figure 8 MLP layers (tuned vs default config) ==");
+    let mut speedups = Vec::new();
+    for shape in shapes::mlp_shapes() {
+        let tuned = autotune::tuned_full_mlp(&shape, cluster, &opts).expect("tuning succeeds");
+        let default_ms = default_ms(&tuned, &MlpOracle::new(shape.clone(), cluster.clone()));
+        let speedup = default_ms / tuned.layer.total_ms();
+        speedups.push(speedup);
+        println!(
+            "{:<8} default {:>9.3} ms -> tuned {:>9.3} ms ({:.2}x, {} sims, {} cached) best: {}",
+            shape.name,
+            default_ms,
+            tuned.layer.total_ms(),
+            speedup,
+            tuned.search.evaluations,
+            tuned.search.cache_hits,
+            tuned.config.cache_key()
+        );
+    }
+    println!(
+        "geomean tuned-vs-default speedup: {:.2}x",
+        geomean(speedups)
+    );
+
+    println!("\n== Autotune: Figure 9 MoE layers (tuned vs default config) ==");
+    let mut speedups = Vec::new();
+    for shape in shapes::moe_shapes() {
+        let tuned = autotune::tuned_full_moe(&shape, cluster, &opts).expect("tuning succeeds");
+        let default_ms = default_ms(&tuned, &MoeOracle::new(shape.clone(), cluster.clone()));
+        let speedup = default_ms / tuned.layer.total_ms();
+        speedups.push(speedup);
+        println!(
+            "{:<8} default {:>9.3} ms -> tuned {:>9.3} ms ({:.2}x, {} sims, {} cached) best: {}",
+            shape.name,
+            default_ms,
+            tuned.layer.total_ms(),
+            speedup,
+            tuned.search.evaluations,
+            tuned.search.cache_hits,
+            tuned.config.cache_key()
+        );
+    }
+    println!(
+        "geomean tuned-vs-default speedup: {:.2}x",
+        geomean(speedups)
+    );
 }
 
 /// Ablations over the design choices called out in DESIGN.md: decoupled tile
@@ -140,4 +242,26 @@ fn ablations(cluster: &tilelink_sim::ClusterSpec) {
         let r = mlp::timed_ag_gemm(shape, cluster, &cfg).expect("ablation");
         println!("{name:<12} -> {:>9.3} ms", r.total_ms());
     }
+}
+
+/// Milliseconds of the default config: served from the search's own ranking
+/// (the default is always a beam seed), falling back to one oracle call only
+/// if an exotic space excluded it.
+fn default_ms(
+    tuned: &tilelink_workloads::TunedLayer,
+    oracle: &dyn tilelink_tune::CostOracle,
+) -> f64 {
+    let default = tilelink::OverlapConfig::default();
+    tuned
+        .search
+        .ranked
+        .iter()
+        .find(|c| c.config == default)
+        .map(|c| c.report.total_ms())
+        .unwrap_or_else(|| {
+            oracle
+                .evaluate(&default)
+                .expect("default config evaluates")
+                .total_ms()
+        })
 }

@@ -63,9 +63,18 @@ pub fn table2(cluster: &ClusterSpec) -> Vec<Group> {
     let ag = Group {
         label: "AG+GEMM (MLP-1)".to_string(),
         entries: vec![
-            Measurement { method: "Non-Overlap", ms: baselines::non_overlap_ag_gemm(shape, cluster).total_ms() },
-            Measurement { method: "Decomposition", ms: baselines::decompose_ag_gemm(shape, cluster).total_ms() },
-            Measurement { method: "Fusion (FLUX)", ms: baselines::flux_ag_gemm(shape, cluster).total_ms() },
+            Measurement {
+                method: "Non-Overlap",
+                ms: baselines::non_overlap_ag_gemm(shape, cluster).total_ms(),
+            },
+            Measurement {
+                method: "Decomposition",
+                ms: baselines::decompose_ag_gemm(shape, cluster).total_ms(),
+            },
+            Measurement {
+                method: "Fusion (FLUX)",
+                ms: baselines::flux_ag_gemm(shape, cluster).total_ms(),
+            },
             Measurement {
                 method: "TileLink",
                 ms: mlp::timed_ag_gemm(shape, cluster, &mlp::ag_gemm_config())
@@ -77,9 +86,18 @@ pub fn table2(cluster: &ClusterSpec) -> Vec<Group> {
     let rs = Group {
         label: "GEMM+RS (MLP-1)".to_string(),
         entries: vec![
-            Measurement { method: "Non-Overlap", ms: baselines::non_overlap_gemm_rs(shape, cluster).total_ms() },
-            Measurement { method: "Decomposition", ms: baselines::decompose_gemm_rs(shape, cluster).total_ms() },
-            Measurement { method: "Fusion (FLUX)", ms: baselines::flux_gemm_rs(shape, cluster).total_ms() },
+            Measurement {
+                method: "Non-Overlap",
+                ms: baselines::non_overlap_gemm_rs(shape, cluster).total_ms(),
+            },
+            Measurement {
+                method: "Decomposition",
+                ms: baselines::decompose_gemm_rs(shape, cluster).total_ms(),
+            },
+            Measurement {
+                method: "Fusion (FLUX)",
+                ms: baselines::flux_gemm_rs(shape, cluster).total_ms(),
+            },
             Measurement {
                 method: "TileLink",
                 ms: mlp::timed_gemm_rs(shape, cluster, &mlp::gemm_rs_config())
@@ -132,16 +150,30 @@ pub fn fig8(cluster: &ClusterSpec, panel: MlpPanel) -> Vec<Group> {
                     baselines::non_overlap_full_mlp(shape, cluster).total_ms(),
                     baselines::decompose_full_mlp(shape, cluster).total_ms(),
                     baselines::flux_full_mlp(shape, cluster).total_ms(),
-                    mlp::timed_full_mlp(shape, cluster).expect("tilelink").total_ms(),
+                    mlp::timed_full_mlp(shape, cluster)
+                        .expect("tilelink")
+                        .total_ms(),
                 ),
             };
             Group {
                 label: shape.name.to_string(),
                 entries: vec![
-                    Measurement { method: "cuBLAS+NCCL", ms: base },
-                    Measurement { method: "Async-TP Torch", ms: decomp },
-                    Measurement { method: "FLUX", ms: flux },
-                    Measurement { method: "TileLink", ms: tilelink },
+                    Measurement {
+                        method: "cuBLAS+NCCL",
+                        ms: base,
+                    },
+                    Measurement {
+                        method: "Async-TP Torch",
+                        ms: decomp,
+                    },
+                    Measurement {
+                        method: "FLUX",
+                        ms: flux,
+                    },
+                    Measurement {
+                        method: "TileLink",
+                        ms: tilelink,
+                    },
                 ],
             }
         })
@@ -174,28 +206,46 @@ pub fn fig9(cluster: &ClusterSpec, panel: MoePanel) -> Vec<Group> {
                     baselines::cublas_nccl_moe_first(shape, cluster).total_ms(),
                     baselines::cutlass_nccl_moe_first(shape, cluster).total_ms(),
                     baselines::vllm_moe_first(shape, cluster).total_ms(),
-                    moe::timed_ag_group_gemm(shape, cluster, &cfg).expect("tilelink").total_ms(),
+                    moe::timed_ag_group_gemm(shape, cluster, &cfg)
+                        .expect("tilelink")
+                        .total_ms(),
                 ),
                 MoePanel::Second => (
                     baselines::cublas_nccl_moe_second(shape, cluster).total_ms(),
                     baselines::cutlass_nccl_moe_second(shape, cluster).total_ms(),
                     baselines::vllm_moe_second(shape, cluster).total_ms(),
-                    moe::timed_group_gemm_rs(shape, cluster, &cfg).expect("tilelink").total_ms(),
+                    moe::timed_group_gemm_rs(shape, cluster, &cfg)
+                        .expect("tilelink")
+                        .total_ms(),
                 ),
                 MoePanel::Full => (
                     baselines::cublas_nccl_full_moe(shape, cluster).total_ms(),
                     baselines::cutlass_nccl_full_moe(shape, cluster).total_ms(),
                     baselines::vllm_full_moe(shape, cluster).total_ms(),
-                    moe::timed_full_moe(shape, cluster).expect("tilelink").total_ms(),
+                    moe::timed_full_moe(shape, cluster)
+                        .expect("tilelink")
+                        .total_ms(),
                 ),
             };
             Group {
                 label: shape.name.to_string(),
                 entries: vec![
-                    Measurement { method: "cuBLAS+NCCL", ms: cublas },
-                    Measurement { method: "CUTLASS+NCCL", ms: cutlass },
-                    Measurement { method: "vLLM-Op", ms: vllm },
-                    Measurement { method: "TileLink", ms: tilelink },
+                    Measurement {
+                        method: "cuBLAS+NCCL",
+                        ms: cublas,
+                    },
+                    Measurement {
+                        method: "CUTLASS+NCCL",
+                        ms: cutlass,
+                    },
+                    Measurement {
+                        method: "vLLM-Op",
+                        ms: vllm,
+                    },
+                    Measurement {
+                        method: "TileLink",
+                        ms: tilelink,
+                    },
                 ],
             }
         })
@@ -226,16 +276,26 @@ pub fn fig10(cluster: &ClusterSpec, shape_index: usize) -> Vec<AttentionRow> {
         .map(|&seq| {
             let torch = baselines::torch_attention(shape, seq, cluster).total_ms();
             let ring = baselines::ring_attention(shape, seq, cluster).total_ms();
-            let tl = attention::timed_sp_attention(shape, seq, cluster, &attention::attention_config())
-                .expect("tilelink attention");
+            let tl =
+                attention::timed_sp_attention(shape, seq, cluster, &attention::attention_config())
+                    .expect("tilelink attention");
             AttentionRow {
                 label: format!("{} / {}k", shape.name, seq / 1024),
                 group: Group {
                     label: format!("{} / {}k", shape.name, seq / 1024),
                     entries: vec![
-                        Measurement { method: "Torch", ms: torch },
-                        Measurement { method: "RingAttn", ms: ring },
-                        Measurement { method: "TileLink", ms: tl.total_ms() },
+                        Measurement {
+                            method: "Torch",
+                            ms: torch,
+                        },
+                        Measurement {
+                            method: "RingAttn",
+                            ms: ring,
+                        },
+                        Measurement {
+                            method: "TileLink",
+                            ms: tl.total_ms(),
+                        },
                     ],
                 },
                 overlap_ratio: tl.overlap_ratio(),
@@ -288,6 +348,30 @@ pub fn fig11(two_nodes: bool, model_subset: usize) -> Vec<E2eRow> {
             }
         })
         .collect()
+}
+
+/// Times `iters` invocations of `f` and prints min/median/max wall-clock
+/// milliseconds under `name`.
+///
+/// A minimal stand-in for a third-party benchmark harness (none is available
+/// in this offline environment); the `cargo bench` targets of this crate are
+/// plain `harness = false` binaries built on it.
+pub fn bench_case(name: &str, iters: usize, mut f: impl FnMut()) {
+    f(); // warm-up, untimed
+    let mut samples_ms = Vec::with_capacity(iters.max(1));
+    for _ in 0..iters.max(1) {
+        let start = std::time::Instant::now();
+        f();
+        samples_ms.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    samples_ms.sort_by(f64::total_cmp);
+    println!(
+        "{name:<44} median {:>9.3} ms  (min {:>9.3}, max {:>9.3}, {} iters)",
+        samples_ms[samples_ms.len() / 2],
+        samples_ms[0],
+        samples_ms[samples_ms.len() - 1],
+        samples_ms.len()
+    );
 }
 
 /// Geometric mean of an iterator of positive values.

@@ -128,7 +128,9 @@ impl Comm {
             // Push the partial sum into the next rank's landing buffer for this stage.
             let landing = self.ctx.remote(next, &format!("{tag}/stage{stage}"));
             landing.write_slice(0, &to_send);
-            self.ctx.remote_signals(next, &format!("{tag}/flags")).set(stage, 1);
+            self.ctx
+                .remote_signals(next, &format!("{tag}/flags"))
+                .set(stage, 1);
 
             // Receive this stage's chunk from the previous rank and fold in our
             // own contribution.
@@ -162,7 +164,11 @@ impl Comm {
         let mut out = vec![0.0f32; local.len()];
         for r in 0..self.world_size() {
             let remote = self.ctx.remote(r, &tag);
-            assert_eq!(remote.len(), local.len(), "all_reduce requires equal lengths");
+            assert_eq!(
+                remote.len(),
+                local.len(),
+                "all_reduce requires equal lengths"
+            );
             for (o, v) in out.iter_mut().zip(remote.read_range(0, remote.len())) {
                 *o += v;
             }
@@ -214,7 +220,11 @@ impl Comm {
         }
         self.ctx.barrier();
         let remote = self.ctx.remote(root, &tag);
-        assert_eq!(remote.len(), local.len(), "broadcast requires equal lengths");
+        assert_eq!(
+            remote.len(),
+            local.len(),
+            "broadcast requires equal lengths"
+        );
         let out = remote.read_range(0, remote.len());
         self.ctx.barrier();
         out
@@ -269,7 +279,11 @@ mod tests {
         }
         let shard = len / world;
         for (r, o) in out.iter().enumerate() {
-            assert_eq!(o, &full[r * shard..(r + 1) * shard], "rank {r} shard mismatch");
+            assert_eq!(
+                o,
+                &full[r * shard..(r + 1) * shard],
+                "rank {r} shard mismatch"
+            );
         }
     }
 

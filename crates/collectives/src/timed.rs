@@ -231,8 +231,20 @@ pub fn all_reduce(
     label: &str,
     resource: CommResource,
 ) -> CollectiveSchedule {
-    let rs = ring_reduce_scatter(graph, cluster, bytes_per_rank, &format!("{label}/rs"), resource);
-    let ag = ring_all_gather(graph, cluster, bytes_per_rank, &format!("{label}/ag"), resource);
+    let rs = ring_reduce_scatter(
+        graph,
+        cluster,
+        bytes_per_rank,
+        &format!("{label}/rs"),
+        resource,
+    );
+    let ag = ring_all_gather(
+        graph,
+        cluster,
+        bytes_per_rank,
+        &format!("{label}/ag"),
+        resource,
+    );
     for r in 0..cluster.world_size() {
         graph.add_dep(rs.end[r], ag.start[r]);
     }
@@ -308,9 +320,21 @@ mod tests {
         // should roughly double the makespan.
         let cluster = ClusterSpec::h800_node(8);
         let mut g1 = TaskGraph::new();
-        ring_all_gather(&mut g1, &cluster, 16e6, "ag", CommResource::Sm { units: 20 });
+        ring_all_gather(
+            &mut g1,
+            &cluster,
+            16e6,
+            "ag",
+            CommResource::Sm { units: 20 },
+        );
         let mut g2 = TaskGraph::new();
-        ring_all_gather(&mut g2, &cluster, 32e6, "ag", CommResource::Sm { units: 20 });
+        ring_all_gather(
+            &mut g2,
+            &cluster,
+            32e6,
+            "ag",
+            CommResource::Sm { units: 20 },
+        );
         let t1 = run(&g1, &cluster);
         let t2 = run(&g2, &cluster);
         assert!(t2 > 1.7 * t1 && t2 < 2.3 * t1, "t1={t1} t2={t2}");
@@ -321,7 +345,13 @@ mod tests {
         let cluster = ClusterSpec::h800_node(8);
         let bytes = 64e6;
         let mut g = TaskGraph::new();
-        ring_all_gather(&mut g, &cluster, bytes, "ag", CommResource::Sm { units: 20 });
+        ring_all_gather(
+            &mut g,
+            &cluster,
+            bytes,
+            "ag",
+            CommResource::Sm { units: 20 },
+        );
         let simulated = run(&g, &cluster);
         let estimate = ring_collective_seconds(&cluster, bytes);
         assert!(
@@ -335,9 +365,21 @@ mod tests {
         // The RS ring does the same transfers plus the reduction work.
         let cluster = ClusterSpec::h800_node(8);
         let mut ag = TaskGraph::new();
-        ring_all_gather(&mut ag, &cluster, 16e6, "ag", CommResource::Sm { units: 20 });
+        ring_all_gather(
+            &mut ag,
+            &cluster,
+            16e6,
+            "ag",
+            CommResource::Sm { units: 20 },
+        );
         let mut rs = TaskGraph::new();
-        ring_reduce_scatter(&mut rs, &cluster, 16e6, "rs", CommResource::Sm { units: 20 });
+        ring_reduce_scatter(
+            &mut rs,
+            &cluster,
+            16e6,
+            "rs",
+            CommResource::Sm { units: 20 },
+        );
         assert!(run(&rs, &cluster) >= run(&ag, &cluster));
     }
 
@@ -346,7 +388,13 @@ mod tests {
         let cluster = ClusterSpec::h800_node(8);
         let bytes = 32e6;
         let mut ar = TaskGraph::new();
-        all_reduce(&mut ar, &cluster, bytes, "ar", CommResource::Sm { units: 20 });
+        all_reduce(
+            &mut ar,
+            &cluster,
+            bytes,
+            "ar",
+            CommResource::Sm { units: 20 },
+        );
         let t_ar = run(&ar, &cluster);
         let single_pass = ring_collective_seconds(&cluster, bytes);
         assert!(t_ar > 1.8 * single_pass && t_ar < 3.0 * single_pass);

@@ -62,8 +62,8 @@ pub fn softmax_rows(x: &Tensor) -> Tensor {
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = row.iter().map(|v| (v - max).exp()).collect();
         let sum: f32 = exps.iter().sum();
-        for c in 0..cols {
-            out.set(&[r, c], exps[c] / sum);
+        for (c, &e) in exps.iter().enumerate() {
+            out.set(&[r, c], e / sum);
         }
     }
     out

@@ -26,20 +26,20 @@ pub fn attention_reference(q: &Tensor, k: &Tensor, v: &Tensor) -> Tensor {
     for i in 0..sq {
         // scores_i = q_i . k_j * scale
         let mut scores = vec![0.0f32; skv];
-        for j in 0..skv {
+        for (j, score) in scores.iter_mut().enumerate() {
             let mut dot = 0.0;
             for t in 0..d {
                 dot += q.at(&[i, t]) * k.at(&[j, t]);
             }
-            scores[j] = dot * scale;
+            *score = dot * scale;
         }
         let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = scores.iter().map(|s| (s - max).exp()).collect();
         let denom: f32 = exps.iter().sum();
         for t in 0..d {
             let mut acc = 0.0;
-            for j in 0..skv {
-                acc += exps[j] * v.at(&[j, t]);
+            for (j, &e) in exps.iter().enumerate() {
+                acc += e * v.at(&[j, t]);
             }
             out.set(&[i, t], acc / denom);
         }
@@ -124,12 +124,12 @@ impl FlashAccumulator {
         for i in 0..sq {
             // scores for this tile
             let mut scores = vec![0.0f32; t_len];
-            for j in 0..t_len {
+            for (j, score) in scores.iter_mut().enumerate() {
                 let mut dot = 0.0;
                 for t in 0..d {
                     dot += self.q.at(&[i, t]) * k_tile.at(&[j, t]);
                 }
-                scores[j] = dot * self.scale;
+                *score = dot * self.scale;
             }
             let tile_max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             let new_max = self.row_max[i].max(tile_max);
@@ -145,8 +145,8 @@ impl FlashAccumulator {
                 self.acc.set(&[i, t], cur * correction);
             }
             // accumulate this tile
-            for j in 0..t_len {
-                let p = (scores[j] - new_max).exp();
+            for (j, &score) in scores.iter().enumerate() {
+                let p = (score - new_max).exp();
                 self.row_sum[i] += p;
                 for t in 0..d {
                     let cur = self.acc.at(&[i, t]);
@@ -247,7 +247,10 @@ mod tests {
         let order = [2usize, 0, 1];
         let mut acc = FlashAccumulator::new(&q);
         for &blk in &order {
-            acc.update(&k.slice_rows(blk * 8..(blk + 1) * 8), &v.slice_rows(blk * 8..(blk + 1) * 8));
+            acc.update(
+                &k.slice_rows(blk * 8..(blk + 1) * 8),
+                &v.slice_rows(blk * 8..(blk + 1) * 8),
+            );
         }
         assert!(acc.finalize().allclose(&reference, 1e-4));
     }

@@ -90,7 +90,10 @@ mod tests {
         let offsets = vec![0, 4, 7, 10];
         let out = group_gemm(&rows, &offsets, &weights);
         for e in 0..3 {
-            let expected = matmul(&rows.slice_rows(offsets[e]..offsets[e + 1]), &expert_weight(&weights, e));
+            let expected = matmul(
+                &rows.slice_rows(offsets[e]..offsets[e + 1]),
+                &expert_weight(&weights, e),
+            );
             for (i, row) in (offsets[e]..offsets[e + 1]).enumerate() {
                 for j in 0..6 {
                     assert!((out.at(&[row, j]) - expected.at(&[i, j])).abs() < 1e-5);
@@ -131,7 +134,11 @@ mod tests {
         let dispatch = Dispatch::new(&routing);
         let weights = Tensor::random(&[3, 4, 5], 7);
         let fused = moe_expert_forward(&tokens, &dispatch, &weights);
-        let manual = group_gemm(&dispatch.gather(&tokens), &dispatch.expert_offsets, &weights);
+        let manual = group_gemm(
+            &dispatch.gather(&tokens),
+            &dispatch.expert_offsets,
+            &weights,
+        );
         assert!(fused.allclose(&manual, 1e-6));
     }
 }

@@ -29,7 +29,10 @@ impl Tensor {
     ///
     /// Panics if `shape` is empty.
     pub fn zeros(shape: &[usize]) -> Self {
-        assert!(!shape.is_empty(), "tensor shape must have at least one dimension");
+        assert!(
+            !shape.is_empty(),
+            "tensor shape must have at least one dimension"
+        );
         Self {
             data: vec![0.0; shape.iter().product()],
             shape: shape.to_vec(),
@@ -124,7 +127,10 @@ impl Tensor {
         assert_eq!(idx.len(), self.shape.len(), "index rank mismatch");
         let mut flat = 0usize;
         for (d, (&i, &extent)) in idx.iter().zip(&self.shape).enumerate() {
-            assert!(i < extent, "index {i} out of bounds for dim {d} of extent {extent}");
+            assert!(
+                i < extent,
+                "index {i} out of bounds for dim {d} of extent {extent}"
+            );
             flat = flat * extent + i;
         }
         flat

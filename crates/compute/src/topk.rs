@@ -52,7 +52,10 @@ impl Routing {
 pub fn topk_routing(logits: &Tensor, k: usize) -> Routing {
     assert_eq!(logits.ndim(), 2, "router logits must be 2-D");
     let (tokens, experts) = (logits.shape()[0], logits.shape()[1]);
-    assert!(k >= 1 && k <= experts, "invalid top-k {k} for {experts} experts");
+    assert!(
+        k >= 1 && k <= experts,
+        "invalid top-k {k} for {experts} experts"
+    );
     let probs = softmax_rows(logits);
     let mut expert_ids = Vec::with_capacity(tokens);
     let mut weights = Vec::with_capacity(tokens);

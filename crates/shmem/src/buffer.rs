@@ -138,8 +138,14 @@ impl SharedBuffer {
     ///
     /// Panics if either range is out of bounds.
     pub fn copy_from(&self, dst_offset: usize, src: &SharedBuffer, src_offset: usize, len: usize) {
-        assert!(src_offset + len <= src.len(), "copy_from: source range out of bounds");
-        assert!(dst_offset + len <= self.len(), "copy_from: destination range out of bounds");
+        assert!(
+            src_offset + len <= src.len(),
+            "copy_from: source range out of bounds"
+        );
+        assert!(
+            dst_offset + len <= self.len(),
+            "copy_from: destination range out of bounds"
+        );
         for i in 0..len {
             let bits = src.cells[src_offset + i].load(Ordering::Relaxed);
             self.cells[dst_offset + i].store(bits, Ordering::Relaxed);
@@ -152,8 +158,14 @@ impl SharedBuffer {
     ///
     /// Panics if either range is out of bounds.
     pub fn add_from(&self, dst_offset: usize, src: &SharedBuffer, src_offset: usize, len: usize) {
-        assert!(src_offset + len <= src.len(), "add_from: source range out of bounds");
-        assert!(dst_offset + len <= self.len(), "add_from: destination range out of bounds");
+        assert!(
+            src_offset + len <= src.len(),
+            "add_from: source range out of bounds"
+        );
+        assert!(
+            dst_offset + len <= self.len(),
+            "add_from: destination range out of bounds"
+        );
         for i in 0..len {
             let v = src.load(src_offset + i);
             let cur = self.load(dst_offset + i);

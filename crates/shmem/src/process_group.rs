@@ -76,11 +76,11 @@ impl ProcessGroup {
             barrier: Barrier::new(self.world_size),
         });
         let body = &body;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.world_size)
                 .map(|rank| {
                     let shared = shared.clone();
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let ctx = RankContext { rank, shared };
                         body(ctx)
                     })
@@ -91,7 +91,6 @@ impl ProcessGroup {
                 .map(|h| h.join().expect("rank thread panicked"))
                 .collect()
         })
-        .expect("process group scope panicked")
     }
 
     /// Convenience wrapper: `ProcessGroup::new(world_size).run(body)`.
@@ -269,7 +268,10 @@ mod tests {
         let out = ProcessGroup::launch(3, |ctx| {
             ctx.alloc("b", 1).store(0, ctx.rank() as f32);
             ctx.barrier();
-            ctx.all_buffers("b").iter().map(|b| b.load(0)).collect::<Vec<_>>()
+            ctx.all_buffers("b")
+                .iter()
+                .map(|b| b.load(0))
+                .collect::<Vec<_>>()
         });
         for row in out {
             assert_eq!(row, vec![0.0, 1.0, 2.0]);

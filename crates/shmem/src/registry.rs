@@ -1,8 +1,7 @@
 //! Name-based symmetric allocation registry (the symmetric heap).
 
 use std::collections::HashMap;
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 
 use crate::{Result, SharedBuffer, ShmemError, SignalSet};
 
@@ -69,7 +68,7 @@ impl SymmetricRegistry {
     /// length.
     pub fn alloc_buffer(&self, rank: usize, name: &str, len: usize) -> Result<SharedBuffer> {
         self.check_rank(rank)?;
-        let mut symbols = self.symbols.lock();
+        let mut symbols = self.symbols.lock().expect("registry lock poisoned");
         let key = (rank, name.to_string());
         if let Some(Symbol::Buffer(existing)) = symbols.get(&key) {
             if existing.len() != len {
@@ -94,7 +93,7 @@ impl SymmetricRegistry {
     /// Same error conditions as [`SymmetricRegistry::alloc_buffer`].
     pub fn alloc_signals(&self, rank: usize, name: &str, len: usize) -> Result<SignalSet> {
         self.check_rank(rank)?;
-        let mut symbols = self.symbols.lock();
+        let mut symbols = self.symbols.lock().expect("registry lock poisoned");
         let key = (rank, name.to_string());
         if let Some(Symbol::Signals(existing)) = symbols.get(&key) {
             if existing.len() != len {
@@ -122,7 +121,7 @@ impl SymmetricRegistry {
     pub fn buffer(&self, rank: usize, name: &str) -> Result<SharedBuffer> {
         self.check_rank(rank)?;
         let key = (rank, name.to_string());
-        let mut symbols = self.symbols.lock();
+        let mut symbols = self.symbols.lock().expect("registry lock poisoned");
         loop {
             match symbols.get(&key) {
                 Some(Symbol::Buffer(b)) => return Ok(b.clone()),
@@ -132,7 +131,12 @@ impl SymmetricRegistry {
                         name: name.to_string(),
                     })
                 }
-                None => self.registered.wait(&mut symbols),
+                None => {
+                    symbols = self
+                        .registered
+                        .wait(symbols)
+                        .expect("registry lock poisoned")
+                }
             }
         }
     }
@@ -145,7 +149,7 @@ impl SymmetricRegistry {
     pub fn signals(&self, rank: usize, name: &str) -> Result<SignalSet> {
         self.check_rank(rank)?;
         let key = (rank, name.to_string());
-        let mut symbols = self.symbols.lock();
+        let mut symbols = self.symbols.lock().expect("registry lock poisoned");
         loop {
             match symbols.get(&key) {
                 Some(Symbol::Signals(s)) => return Ok(s.clone()),
@@ -155,14 +159,19 @@ impl SymmetricRegistry {
                         name: name.to_string(),
                     })
                 }
-                None => self.registered.wait(&mut symbols),
+                None => {
+                    symbols = self
+                        .registered
+                        .wait(symbols)
+                        .expect("registry lock poisoned")
+                }
             }
         }
     }
 
     /// Returns the buffer if it is already registered, without blocking.
     pub fn try_buffer(&self, rank: usize, name: &str) -> Option<SharedBuffer> {
-        let symbols = self.symbols.lock();
+        let symbols = self.symbols.lock().expect("registry lock poisoned");
         match symbols.get(&(rank, name.to_string())) {
             Some(Symbol::Buffer(b)) => Some(b.clone()),
             _ => None,
@@ -171,7 +180,7 @@ impl SymmetricRegistry {
 
     /// Names of every symbol registered on `rank`, sorted for reproducibility.
     pub fn symbols_on(&self, rank: usize) -> Vec<String> {
-        let symbols = self.symbols.lock();
+        let symbols = self.symbols.lock().expect("registry lock poisoned");
         let mut names: Vec<String> = symbols
             .keys()
             .filter(|(r, _)| *r == rank)
@@ -186,7 +195,10 @@ impl std::fmt::Debug for SymmetricRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SymmetricRegistry")
             .field("world_size", &self.world_size)
-            .field("symbols", &self.symbols.lock().len())
+            .field(
+                "symbols",
+                &self.symbols.lock().expect("registry lock poisoned").len(),
+            )
             .finish()
     }
 }

@@ -1,7 +1,5 @@
 //! Cluster topology: nodes × GPUs.
 
-use serde::{Deserialize, Serialize};
-
 use crate::GpuSpec;
 
 /// A homogeneous cluster of `nodes` machines with `gpus_per_node` GPUs each.
@@ -10,7 +8,7 @@ use crate::GpuSpec;
 /// and two nodes of 8×H800 (right of Figure 11). Intra-node traffic travels
 /// over NVLink, inter-node traffic over InfiniBand; [`ClusterSpec::link_bytes_per_s`]
 /// picks the correct bandwidth for a (source, destination) pair.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     /// Per-GPU hardware description.
     pub gpu: GpuSpec,

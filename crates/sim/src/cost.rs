@@ -52,7 +52,7 @@ impl CostModel {
                 // link; a DMA engine (or any other carrier) gets the full port.
                 let share = match task.resource {
                     crate::ResourceKind::LinkOut | crate::ResourceKind::LinkIn => {
-                        (units as f64 / 100.0).min(1.0).max(1e-3)
+                        (units as f64 / 100.0).clamp(1e-3, 1.0)
                     }
                     _ => 1.0,
                 };

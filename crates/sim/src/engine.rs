@@ -164,7 +164,10 @@ impl Engine {
                         start: now,
                         end,
                     });
-                    events.push(Reverse(Completion { time: end, task: id }));
+                    events.push(Reverse(Completion {
+                        time: end,
+                        task: id,
+                    }));
                     running += 1;
                 } else {
                     deferred.push_back(id);
@@ -255,17 +258,44 @@ mod tests {
     #[test]
     fn independent_tasks_on_different_resources_overlap() {
         let mut g = TaskGraph::new();
-        g.add_task("compute", 0, ResourceKind::Sm, 132, Work::Latency { seconds: 1.0 });
-        g.add_task("copy", 0, ResourceKind::DmaEngine, 1, Work::Latency { seconds: 1.0 });
+        g.add_task(
+            "compute",
+            0,
+            ResourceKind::Sm,
+            132,
+            Work::Latency { seconds: 1.0 },
+        );
+        g.add_task(
+            "copy",
+            0,
+            ResourceKind::DmaEngine,
+            1,
+            Work::Latency { seconds: 1.0 },
+        );
         let trace = engine().run(&g).unwrap();
-        assert!((trace.makespan() - 1.0).abs() < 1e-9, "tasks should overlap");
+        assert!(
+            (trace.makespan() - 1.0).abs() < 1e-9,
+            "tasks should overlap"
+        );
     }
 
     #[test]
     fn tasks_on_the_same_saturated_resource_serialise() {
         let mut g = TaskGraph::new();
-        g.add_task("a", 0, ResourceKind::Sm, 132, Work::Latency { seconds: 1.0 });
-        g.add_task("b", 0, ResourceKind::Sm, 132, Work::Latency { seconds: 1.0 });
+        g.add_task(
+            "a",
+            0,
+            ResourceKind::Sm,
+            132,
+            Work::Latency { seconds: 1.0 },
+        );
+        g.add_task(
+            "b",
+            0,
+            ResourceKind::Sm,
+            132,
+            Work::Latency { seconds: 1.0 },
+        );
         let trace = engine().run(&g).unwrap();
         assert!((trace.makespan() - 2.0).abs() < 1e-9);
     }
@@ -283,7 +313,13 @@ mod tests {
     fn dependencies_serialise_even_across_resources() {
         let mut g = TaskGraph::new();
         let a = g.add_task("a", 0, ResourceKind::Sm, 1, Work::Latency { seconds: 1.0 });
-        let b = g.add_task("b", 1, ResourceKind::DmaEngine, 1, Work::Latency { seconds: 0.5 });
+        let b = g.add_task(
+            "b",
+            1,
+            ResourceKind::DmaEngine,
+            1,
+            Work::Latency { seconds: 0.5 },
+        );
         g.add_dep(a, b);
         let trace = engine().run(&g).unwrap();
         assert!((trace.makespan() - 1.5).abs() < 1e-9);
@@ -299,14 +335,20 @@ mod tests {
             0,
             ResourceKind::LinkOut,
             100,
-            Work::LinkBytes { bytes: 200e9, dst_rank: 1 },
+            Work::LinkBytes {
+                bytes: 200e9,
+                dst_rank: 1,
+            },
         );
         g.add_task(
             "c2",
             2,
             ResourceKind::LinkOut,
             100,
-            Work::LinkBytes { bytes: 200e9, dst_rank: 1 },
+            Work::LinkBytes {
+                bytes: 200e9,
+                dst_rank: 1,
+            },
         );
         let trace = engine().run(&g).unwrap();
         // each transfer is 1 s at 200 GB/s
@@ -330,7 +372,10 @@ mod tests {
     fn invalid_rank_is_rejected() {
         let mut g = TaskGraph::new();
         g.add_host_latency("a", 9, 1.0);
-        assert!(matches!(engine().run(&g), Err(SimError::InvalidRank { .. })));
+        assert!(matches!(
+            engine().run(&g),
+            Err(SimError::InvalidRank { .. })
+        ));
     }
 
     #[test]
@@ -359,7 +404,10 @@ mod tests {
             0,
             ResourceKind::Sm,
             gpu.sm_count,
-            Work::MatmulFlops { flops, efficiency: 1.0 },
+            Work::MatmulFlops {
+                flops,
+                efficiency: 1.0,
+            },
         );
         let trace = Engine::new(ClusterSpec::new(gpu, 1, 1)).run(&g).unwrap();
         assert!((trace.makespan() - 0.5).abs() < 1e-9);
@@ -374,7 +422,9 @@ mod tests {
                 i % 4,
                 ResourceKind::Sm,
                 32,
-                Work::Latency { seconds: 0.01 * (i % 7 + 1) as f64 },
+                Work::Latency {
+                    seconds: 0.01 * (i % 7 + 1) as f64,
+                },
             );
             if i >= 4 {
                 g.add_dep(TaskId(i - 4), t);

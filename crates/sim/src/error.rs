@@ -48,10 +48,16 @@ impl fmt::Display for SimError {
                 "task {task:?} requested {requested} resource units but only {capacity} exist"
             ),
             SimError::InvalidRank { rank, world_size } => {
-                write!(f, "rank {rank} is invalid for a cluster of {world_size} GPUs")
+                write!(
+                    f,
+                    "rank {rank} is invalid for a cluster of {world_size} GPUs"
+                )
             }
             SimError::DependencyCycle { stuck } => {
-                write!(f, "dependency cycle detected: {stuck} tasks can never start")
+                write!(
+                    f,
+                    "dependency cycle detected: {stuck} tasks can never start"
+                )
             }
         }
     }

@@ -1,7 +1,5 @@
 //! Per-GPU hardware description and presets.
 
-use serde::{Deserialize, Serialize};
-
 /// Hardware parameters of one GPU.
 ///
 /// Values are deliberately coarse: the simulator is used to compare *overlap
@@ -11,7 +9,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// The default preset [`GpuSpec::h800`] matches the paper's evaluation platform
 /// (NVIDIA H800: Hopper compute with NVLink capped at 400 GB/s total).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuSpec {
     /// Human-readable device name.
     pub name: String,

@@ -79,7 +79,12 @@ impl TaskGraph {
 
     /// Adds a fixed-latency host task, a common convenience for kernel-launch
     /// and synchronisation overheads.
-    pub fn add_host_latency(&mut self, name: impl Into<String>, rank: usize, seconds: f64) -> TaskId {
+    pub fn add_host_latency(
+        &mut self,
+        name: impl Into<String>,
+        rank: usize,
+        seconds: f64,
+    ) -> TaskId {
         self.add_task(name, rank, ResourceKind::Host, 1, Work::Latency { seconds })
     }
 

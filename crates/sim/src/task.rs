@@ -1,9 +1,7 @@
 //! Tasks: the unit of simulated work.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a task inside one [`crate::TaskGraph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TaskId(pub usize);
 
 /// The hardware resource a task occupies while it runs.
@@ -17,7 +15,7 @@ pub struct TaskId(pub usize);
 /// | `DmaEngine` | `dma_engines` | one copy engine |
 /// | `LinkOut` / `LinkIn` | 100 | percent of the port's per-direction bandwidth |
 /// | `Host` | 1 | the (single) host thread driving this rank |
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ResourceKind {
     /// Streaming multiprocessors of the task's rank.
     Sm,
@@ -60,7 +58,7 @@ impl std::fmt::Display for ResourceKind {
 /// The engine converts `Work` into a duration when the task starts, taking into
 /// account how many resource units the task was granted (see
 /// [`crate::CostModel::duration`]).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Work {
     /// Dense tensor-core math (GEMM-like).
     ///
@@ -98,7 +96,7 @@ pub enum Work {
 }
 
 /// One node of the simulated task graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Task {
     /// Human-readable name, used in traces.
     pub name: String,

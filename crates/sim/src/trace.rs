@@ -2,12 +2,10 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{ClusterSpec, ResourceKind, Seconds, TaskId};
 
 /// Timing of one executed task.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEntry {
     /// Task id within the graph.
     pub task: TaskId,
@@ -151,8 +149,20 @@ mod tests {
 
     fn simple_trace() -> Trace {
         let mut g = TaskGraph::new();
-        let a = g.add_task("comm_copy", 0, ResourceKind::LinkOut, 100, Work::Latency { seconds: 1.0 });
-        let b = g.add_task("compute_gemm", 0, ResourceKind::Sm, 66, Work::Latency { seconds: 2.0 });
+        let a = g.add_task(
+            "comm_copy",
+            0,
+            ResourceKind::LinkOut,
+            100,
+            Work::Latency { seconds: 1.0 },
+        );
+        let b = g.add_task(
+            "compute_gemm",
+            0,
+            ResourceKind::Sm,
+            66,
+            Work::Latency { seconds: 2.0 },
+        );
         g.add_dep(a, b);
         Engine::new(ClusterSpec::h800_node(2)).run(&g).unwrap()
     }

@@ -125,7 +125,11 @@ mod tests {
                         bytes: 512.0,
                         tile: Some(t),
                     })
-                    .op(TileOp::Compute(ComputeKind::MatmulTile { m: 64, n: 64, k: 64 }));
+                    .op(TileOp::Compute(ComputeKind::MatmulTile {
+                        m: 64,
+                        n: 64,
+                        k: 64,
+                    }));
             }
             p.add_block(gemm);
         }
@@ -174,15 +178,19 @@ mod tests {
     #[test]
     fn pipelining_is_applied_to_compiled_blocks() {
         let mapping = StaticMapping::new(256, 64, 2, 2);
-        let mut cfg = OverlapConfig::default();
-        cfg.num_stages = 3;
+        let cfg = OverlapConfig {
+            num_stages: 3,
+            ..OverlapConfig::default()
+        };
         let compiler = Compiler::new(cfg, GpuSpec::h800());
         let kernel = compiler.compile(&ag_gemm_program(2, 4), &mapping).unwrap();
         // after pipelining, some load is directly followed by another load
         let gemm = kernel.blocks.iter().find(|b| b.name == "gemm/r0").unwrap();
         let mut found_adjacent_loads = false;
         for w in gemm.ops.windows(2) {
-            if matches!(w[0].op, TileOp::LoadTile { .. }) && matches!(w[1].op, TileOp::LoadTile { .. }) {
+            if matches!(w[0].op, TileOp::LoadTile { .. })
+                && matches!(w[1].op, TileOp::LoadTile { .. })
+            {
                 found_adjacent_loads = true;
             }
         }

@@ -35,7 +35,7 @@ impl std::fmt::Display for TileShape {
 }
 
 /// The order in which remote tiles are produced/consumed (Figure 2b).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum TileOrder {
     /// Ring order: rank `r` handles segments `r+1, r+2, ...` in turn, passing
     /// partial results to its neighbour (used by GEMM + ReduceScatter).
@@ -47,7 +47,7 @@ pub enum TileOrder {
 }
 
 /// How data moves between ranks (Figure 3b).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum TransferMode {
     /// The consumer reads remote data from every peer and notifies itself with
     /// local barriers.
@@ -59,7 +59,7 @@ pub enum TransferMode {
 }
 
 /// Which hardware resource carries the communication part (Figure 2c).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CommMapping {
     /// Copy engine (DMA), driven by host-side primitives; no SM contention but
     /// host launch latency per transfer.
@@ -95,7 +95,7 @@ impl CommMapping {
 }
 
 /// The complete decoupled design-space choice for one overlapped kernel.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct OverlapConfig {
     /// Tile shape used by the communication (producer) side.
     pub comm_tile: TileShape,
@@ -166,6 +166,40 @@ impl OverlapConfig {
         Ok(())
     }
 
+    /// Canonical, stable string encoding of this configuration.
+    ///
+    /// The encoding is used as (part of) the key of the persistent tuning cache
+    /// of `tilelink-tune`, so it must be injective: two different
+    /// configurations never encode to the same string. The format is
+    /// human-readable on purpose, so cache files can be inspected:
+    ///
+    /// ```
+    /// use tilelink::OverlapConfig;
+    /// assert_eq!(
+    ///     OverlapConfig::default().cache_key(),
+    ///     "ct128x128;xt128x256;o=a2a;m=pull;r=sm20;ch4;st3"
+    /// );
+    /// ```
+    pub fn cache_key(&self) -> String {
+        let order = match self.order {
+            TileOrder::Ring => "ring",
+            TileOrder::AllToAll => "a2a",
+        };
+        let mode = match self.mode {
+            TransferMode::Pull => "pull",
+            TransferMode::Push => "push",
+        };
+        let mapping = match self.comm_mapping {
+            CommMapping::CopyEngine => "ce".to_string(),
+            CommMapping::Sm { sms } => format!("sm{sms}"),
+            CommMapping::Hybrid { sms } => format!("hy{sms}"),
+        };
+        format!(
+            "ct{};xt{};o={order};m={mode};r={mapping};ch{};st{}",
+            self.comm_tile, self.compute_tile, self.channels_per_rank, self.num_stages
+        )
+    }
+
     /// Returns a copy with a different communication tile.
     pub fn with_comm_tile(mut self, tile: TileShape) -> Self {
         self.comm_tile = tile;
@@ -209,7 +243,10 @@ mod tests {
     #[test]
     fn zero_tile_is_rejected() {
         let cfg = OverlapConfig::default().with_comm_tile(TileShape::new(0, 128));
-        assert!(matches!(cfg.validate(132), Err(TileLinkError::InvalidConfig { .. })));
+        assert!(matches!(
+            cfg.validate(132),
+            Err(TileLinkError::InvalidConfig { .. })
+        ));
     }
 
     #[test]
@@ -222,8 +259,10 @@ mod tests {
 
     #[test]
     fn zero_channels_rejected() {
-        let mut cfg = OverlapConfig::default();
-        cfg.channels_per_rank = 0;
+        let cfg = OverlapConfig {
+            channels_per_rank: 0,
+            ..OverlapConfig::default()
+        };
         assert!(cfg.validate(132).is_err());
     }
 
@@ -239,6 +278,33 @@ mod tests {
         let t = TileShape::new(128, 256);
         assert_eq!(t.numel(), 32768);
         assert_eq!(t.to_string(), "128x256");
+    }
+
+    #[test]
+    fn cache_key_is_injective_across_axes() {
+        let base = OverlapConfig::default();
+        let variants = [
+            base.clone(),
+            base.clone().with_comm_tile(TileShape::new(64, 128)),
+            base.clone().with_compute_tile(TileShape::new(64, 128)),
+            base.clone().with_order(TileOrder::Ring),
+            base.clone().with_mode(TransferMode::Push),
+            base.clone().with_comm_mapping(CommMapping::CopyEngine),
+            base.clone().with_comm_mapping(CommMapping::Sm { sms: 8 }),
+            base.clone()
+                .with_comm_mapping(CommMapping::Hybrid { sms: 20 }),
+        ];
+        let keys: std::collections::HashSet<String> =
+            variants.iter().map(OverlapConfig::cache_key).collect();
+        assert_eq!(keys.len(), variants.len());
+    }
+
+    #[test]
+    fn config_is_hashable() {
+        let mut set = std::collections::HashSet::new();
+        set.insert(OverlapConfig::default());
+        set.insert(OverlapConfig::default());
+        assert_eq!(set.len(), 1);
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl fmt::Display for TileLinkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TileLinkError::TileOutOfRange { tile, num_tiles } => {
-                write!(f, "tile id {tile} is out of range for a mapping of {num_tiles} tiles")
+                write!(
+                    f,
+                    "tile id {tile} is out of range for a mapping of {num_tiles} tiles"
+                )
             }
             TileLinkError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             TileLinkError::ConsistencyViolation {
@@ -57,7 +60,10 @@ impl fmt::Display for TileLinkError {
                 "memory consistency violation in block `{block}` at op {op_index}: {reason}"
             ),
             TileLinkError::MappingNotFilled { tile } => {
-                write!(f, "dynamic mapping for tile {tile} was queried before being filled")
+                write!(
+                    f,
+                    "dynamic mapping for tile {tile} was queried before being filled"
+                )
             }
             TileLinkError::Simulation { reason } => write!(f, "simulation failed: {reason}"),
         }
@@ -81,7 +87,10 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         let errs = [
-            TileLinkError::TileOutOfRange { tile: 9, num_tiles: 4 },
+            TileLinkError::TileOutOfRange {
+                tile: 9,
+                num_tiles: 4,
+            },
             TileLinkError::InvalidConfig { reason: "x".into() },
             TileLinkError::ConsistencyViolation {
                 block: "b".into(),
@@ -89,7 +98,9 @@ mod tests {
                 reason: "load before wait".into(),
             },
             TileLinkError::MappingNotFilled { tile: 2 },
-            TileLinkError::Simulation { reason: "cycle".into() },
+            TileLinkError::Simulation {
+                reason: "cycle".into(),
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -25,16 +25,15 @@ where
         return Vec::new();
     }
     let body = &body;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..num_blocks)
-            .map(|block_id| scope.spawn(move |_| body(block_id)))
+            .map(|block_id| scope.spawn(move || body(block_id)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("block thread panicked"))
             .collect()
     })
-    .expect("block scope panicked")
 }
 
 /// Runs `comm_blocks` communication block bodies and `compute_blocks`
@@ -58,12 +57,12 @@ where
 {
     let comm_body = &comm_body;
     let compute_body = &compute_body;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let comm_handles: Vec<_> = (0..comm_blocks)
-            .map(|b| scope.spawn(move |_| comm_body(b)))
+            .map(|b| scope.spawn(move || comm_body(b)))
             .collect();
         let compute_handles: Vec<_> = (0..compute_blocks)
-            .map(|b| scope.spawn(move |_| compute_body(b)))
+            .map(|b| scope.spawn(move || compute_body(b)))
             .collect();
         let comm: Vec<A> = comm_handles
             .into_iter()
@@ -75,7 +74,6 @@ where
             .collect();
         (comm, compute)
     })
-    .expect("block scope panicked")
 }
 
 #[cfg(test)]

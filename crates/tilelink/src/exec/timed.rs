@@ -164,6 +164,7 @@ impl<'a> GraphBuilder<'a> {
         *segment = SegmentState::default();
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn add_transfer(
         &mut self,
         block: &LoweredBlock,
@@ -238,7 +239,13 @@ impl<'a> GraphBuilder<'a> {
                     segment.hbm_bytes += bytes;
                 }
                 TileOp::ConsumerWait { .. } => {
-                    self.flush_segment(block, &mut segment, &mut prev, &mut pending_waits, &mut seq);
+                    self.flush_segment(
+                        block,
+                        &mut segment,
+                        &mut prev,
+                        &mut pending_waits,
+                        &mut seq,
+                    );
                     if let Some(channel) = lop.channel {
                         pending_waits.push(SyncKey::Channel {
                             rank: block.rank,
@@ -247,14 +254,26 @@ impl<'a> GraphBuilder<'a> {
                     }
                 }
                 TileOp::PeerWait { slot, .. } => {
-                    self.flush_segment(block, &mut segment, &mut prev, &mut pending_waits, &mut seq);
+                    self.flush_segment(
+                        block,
+                        &mut segment,
+                        &mut prev,
+                        &mut pending_waits,
+                        &mut seq,
+                    );
                     pending_waits.push(SyncKey::Peer {
                         rank: block.rank,
                         slot: *slot,
                     });
                 }
                 TileOp::ProducerNotify { .. } => {
-                    self.flush_segment(block, &mut segment, &mut prev, &mut pending_waits, &mut seq);
+                    self.flush_segment(
+                        block,
+                        &mut segment,
+                        &mut prev,
+                        &mut pending_waits,
+                        &mut seq,
+                    );
                     let notifier = prev.unwrap_or(self.launch[block.rank]);
                     if let Some(channel) = lop.channel {
                         for &dst in &lop.dst_ranks {
@@ -266,7 +285,13 @@ impl<'a> GraphBuilder<'a> {
                     }
                 }
                 TileOp::PeerNotify { slot, dst_rank } => {
-                    self.flush_segment(block, &mut segment, &mut prev, &mut pending_waits, &mut seq);
+                    self.flush_segment(
+                        block,
+                        &mut segment,
+                        &mut prev,
+                        &mut pending_waits,
+                        &mut seq,
+                    );
                     let notifier = prev.unwrap_or(self.launch[block.rank]);
                     self.notifiers
                         .entry(SyncKey::Peer {
@@ -279,10 +304,22 @@ impl<'a> GraphBuilder<'a> {
                 TileOp::RankNotifySegment { .. } => {
                     // Host-side release: the dependency is carried by the copy
                     // task that precedes it; nothing to add for timing.
-                    self.flush_segment(block, &mut segment, &mut prev, &mut pending_waits, &mut seq);
+                    self.flush_segment(
+                        block,
+                        &mut segment,
+                        &mut prev,
+                        &mut pending_waits,
+                        &mut seq,
+                    );
                 }
                 TileOp::PushTile { bytes, .. } => {
-                    self.flush_segment(block, &mut segment, &mut prev, &mut pending_waits, &mut seq);
+                    self.flush_segment(
+                        block,
+                        &mut segment,
+                        &mut prev,
+                        &mut pending_waits,
+                        &mut seq,
+                    );
                     let dsts = lop.dst_ranks.clone();
                     for dst in dsts {
                         if dst == block.rank {
@@ -304,7 +341,13 @@ impl<'a> GraphBuilder<'a> {
                     }
                 }
                 TileOp::PullTile { bytes, .. } => {
-                    self.flush_segment(block, &mut segment, &mut prev, &mut pending_waits, &mut seq);
+                    self.flush_segment(
+                        block,
+                        &mut segment,
+                        &mut prev,
+                        &mut pending_waits,
+                        &mut seq,
+                    );
                     let src = lop.dst_ranks.first().copied().unwrap_or(block.rank);
                     if src == block.rank {
                         segment.hbm_bytes += bytes;
@@ -323,7 +366,13 @@ impl<'a> GraphBuilder<'a> {
                     }
                 }
                 TileOp::HostCopy { bytes, src_rank } => {
-                    self.flush_segment(block, &mut segment, &mut prev, &mut pending_waits, &mut seq);
+                    self.flush_segment(
+                        block,
+                        &mut segment,
+                        &mut prev,
+                        &mut pending_waits,
+                        &mut seq,
+                    );
                     self.add_transfer(
                         block,
                         format!("comm_copy_{}/{}", block.name, seq),
@@ -523,7 +572,10 @@ mod tests {
             .any(|e| e.resource == ResourceKind::DmaEngine));
         // Device-initiated pulls on the copy engine do not pay a per-copy host
         // launch; only host-driven `rank_copy_data` (HostCopy) does.
-        assert!(!trace.entries().iter().any(|e| e.name.contains("copy_launch")));
+        assert!(!trace
+            .entries()
+            .iter()
+            .any(|e| e.name.contains("copy_launch")));
     }
 
     #[test]
@@ -546,7 +598,11 @@ mod tests {
         p.add_block(
             BlockDesc::new("cons", 0, BlockRole::Consumer)
                 .op(TileOp::ConsumerWait { tile: 0 })
-                .op(TileOp::Compute(ComputeKind::MatmulTile { m: 64, n: 64, k: 64 })),
+                .op(TileOp::Compute(ComputeKind::MatmulTile {
+                    m: 64,
+                    n: 64,
+                    k: 64,
+                })),
         );
         let mapping = StaticMapping::new(64, 64, 1, 1);
         let kernel = Compiler::new(OverlapConfig::default(), GpuSpec::h800())

@@ -169,7 +169,9 @@ impl TileOp {
     pub fn is_notify(&self) -> bool {
         matches!(
             self,
-            TileOp::ProducerNotify { .. } | TileOp::PeerNotify { .. } | TileOp::RankNotifySegment { .. }
+            TileOp::ProducerNotify { .. }
+                | TileOp::PeerNotify { .. }
+                | TileOp::RankNotifySegment { .. }
         )
     }
 
@@ -188,7 +190,11 @@ mod tests {
 
     #[test]
     fn matmul_flops_and_bytes() {
-        let k = ComputeKind::MatmulTile { m: 128, n: 256, k: 64 };
+        let k = ComputeKind::MatmulTile {
+            m: 128,
+            n: 256,
+            k: 64,
+        };
         assert_eq!(k.flops(), 2.0 * 128.0 * 256.0 * 64.0);
         assert!(k.hbm_bytes() > 0.0);
         assert!(k.is_matmul_like());
@@ -196,8 +202,16 @@ mod tests {
 
     #[test]
     fn flash_attention_flops_scale_with_kv() {
-        let small = ComputeKind::FlashAttnTile { q_rows: 64, kv_rows: 64, head_dim: 128 };
-        let large = ComputeKind::FlashAttnTile { q_rows: 64, kv_rows: 128, head_dim: 128 };
+        let small = ComputeKind::FlashAttnTile {
+            q_rows: 64,
+            kv_rows: 64,
+            head_dim: 128,
+        };
+        let large = ComputeKind::FlashAttnTile {
+            q_rows: 64,
+            kv_rows: 128,
+            head_dim: 128,
+        };
         assert!(large.flops() > small.flops());
     }
 
@@ -210,8 +224,16 @@ mod tests {
     #[test]
     fn op_classification() {
         assert!(TileOp::ConsumerWait { tile: 0 }.is_wait());
-        assert!(TileOp::PeerWait { slot: 0, expected: 1 }.is_wait());
-        assert!(TileOp::ProducerNotify { tile: 0, scope: NotifyScope::Local }.is_notify());
+        assert!(TileOp::PeerWait {
+            slot: 0,
+            expected: 1
+        }
+        .is_wait());
+        assert!(TileOp::ProducerNotify {
+            tile: 0,
+            scope: NotifyScope::Local
+        }
+        .is_notify());
         assert!(TileOp::RankNotifySegment { segment: 0 }.is_notify());
         assert!(TileOp::PushTile {
             buffer: "b".into(),

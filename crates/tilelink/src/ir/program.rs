@@ -122,7 +122,10 @@ impl TileProgram {
 
     /// Total bytes moved across ranks by all blocks.
     pub fn total_transfer_bytes(&self) -> f64 {
-        self.blocks.iter().map(BlockDesc::total_transfer_bytes).sum()
+        self.blocks
+            .iter()
+            .map(BlockDesc::total_transfer_bytes)
+            .sum()
     }
 }
 
@@ -151,7 +154,11 @@ mod tests {
             p.add_block(
                 BlockDesc::new(format!("gemm/r{rank}"), rank, BlockRole::Consumer)
                     .op(TileOp::ConsumerWait { tile: rank })
-                    .op(TileOp::Compute(ComputeKind::MatmulTile { m: 64, n: 64, k: 64 })),
+                    .op(TileOp::Compute(ComputeKind::MatmulTile {
+                        m: 64,
+                        n: 64,
+                        k: 64,
+                    })),
             );
         }
         p

@@ -1,9 +1,8 @@
 //! Dynamic (lookup-table) tile-centric mapping.
 
 use std::ops::Range;
-use std::sync::Arc;
 
-use parking_lot::RwLock;
+use std::sync::{Arc, RwLock};
 
 use crate::{Result, TileLinkError};
 
@@ -93,7 +92,7 @@ impl DynamicMapping {
                 ),
             });
         }
-        let mut tables = self.tables.write();
+        let mut tables = self.tables.write().expect("mapping lock poisoned");
         let entry = &mut tables.entries[tile];
         if let Some(old) = entry.channel {
             // Re-filling a tile moves its contribution between channels.
@@ -112,6 +111,7 @@ impl DynamicMapping {
     pub fn is_complete(&self) -> bool {
         self.tables
             .read()
+            .expect("mapping lock poisoned")
             .entries
             .iter()
             .all(|e| e.rows.is_some() && e.rank.is_some() && e.channel.is_some())
@@ -124,7 +124,8 @@ impl DynamicMapping {
                 num_tiles: self.num_tiles,
             });
         }
-        f(&self.tables.read().entries[tile]).ok_or(TileLinkError::MappingNotFilled { tile })
+        f(&self.tables.read().expect("mapping lock poisoned").entries[tile])
+            .ok_or(TileLinkError::MappingNotFilled { tile })
     }
 }
 
@@ -152,6 +153,7 @@ impl TileMapping for DynamicMapping {
     fn channel_threshold(&self, channel: usize) -> u64 {
         self.tables
             .read()
+            .expect("mapping lock poisoned")
             .thresholds
             .get(channel)
             .copied()
@@ -159,7 +161,7 @@ impl TileMapping for DynamicMapping {
     }
 
     fn channels_for_rows(&self, rows: Range<usize>) -> Vec<usize> {
-        let tables = self.tables.read();
+        let tables = self.tables.read().expect("mapping lock poisoned");
         let mut channels: Vec<usize> = tables
             .entries
             .iter()

@@ -216,7 +216,11 @@ mod tests {
         for t in 0..map.num_tiles() {
             let rank = map.rank_of(t).unwrap();
             let channel = map.channel_of(t).unwrap();
-            assert_eq!(channel / 4, rank, "tile {t}: channel {channel} not in rank {rank}");
+            assert_eq!(
+                channel / 4,
+                rank,
+                "tile {t}: channel {channel} not in rank {rank}"
+            );
         }
     }
 

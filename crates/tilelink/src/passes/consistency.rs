@@ -56,7 +56,10 @@ fn check_block(block: &LoweredBlock) -> Result<()> {
                 // A load of remotely produced data must be covered by an
                 // acquire on its channel (consumer blocks) or a peer wait
                 // (ring-style peers).
-                let channel_ok = lop.channel.map(|c| acquired_channels.contains(&c)).unwrap_or(false);
+                let channel_ok = lop
+                    .channel
+                    .map(|c| acquired_channels.contains(&c))
+                    .unwrap_or(false);
                 let peer_ok = !acquired_peer_slots.is_empty();
                 if block.role == BlockRole::Consumer && !channel_ok && !peer_ok {
                     return Err(TileLinkError::ConsistencyViolation {
@@ -79,25 +82,23 @@ fn check_block(block: &LoweredBlock) -> Result<()> {
             TileOp::HostCopy { .. } => {
                 host_copied = true;
             }
-            TileOp::ProducerNotify { tile, .. } => {
-                if !published_tiles.contains(tile) && !host_copied {
-                    return Err(TileLinkError::ConsistencyViolation {
+            TileOp::ProducerNotify { tile, .. }
+                if !published_tiles.contains(tile) && !host_copied =>
+            {
+                return Err(TileLinkError::ConsistencyViolation {
                         block: block.name.clone(),
                         op_index: idx,
                         reason: format!(
                             "producer_tile_notify for tile {tile} is not preceded by a store or push of that tile"
                         ),
                     });
-                }
             }
-            TileOp::PeerNotify { .. } => {
-                if !pushed_any && published_tiles.is_empty() {
-                    return Err(TileLinkError::ConsistencyViolation {
-                        block: block.name.clone(),
-                        op_index: idx,
-                        reason: "peer_tile_notify is not preceded by any data publication".to_string(),
-                    });
-                }
+            TileOp::PeerNotify { .. } if !pushed_any && published_tiles.is_empty() => {
+                return Err(TileLinkError::ConsistencyViolation {
+                    block: block.name.clone(),
+                    op_index: idx,
+                    reason: "peer_tile_notify is not preceded by any data publication".to_string(),
+                });
             }
             _ => {}
         }
@@ -129,7 +130,11 @@ mod tests {
                 bytes: 8.0,
                 tile: Some(1),
             })
-            .op(TileOp::Compute(ComputeKind::MatmulTile { m: 2, n: 2, k: 2 }));
+            .op(TileOp::Compute(ComputeKind::MatmulTile {
+                m: 2,
+                n: 2,
+                k: 2,
+            }));
         assert!(check_consistency(&lower_single(block)).is_ok());
     }
 
@@ -143,7 +148,10 @@ mod tests {
             })
             .op(TileOp::ConsumerWait { tile: 1 });
         let err = check_consistency(&lower_single(block)).unwrap_err();
-        assert!(matches!(err, TileLinkError::ConsistencyViolation { op_index: 0, .. }));
+        assert!(matches!(
+            err,
+            TileLinkError::ConsistencyViolation { op_index: 0, .. }
+        ));
     }
 
     #[test]
@@ -187,7 +195,10 @@ mod tests {
     #[test]
     fn peer_wait_licenses_peer_loads() {
         let block = BlockDesc::new("reduce", 0, BlockRole::Consumer)
-            .op(TileOp::PeerWait { slot: 4, expected: 1 })
+            .op(TileOp::PeerWait {
+                slot: 4,
+                expected: 1,
+            })
             .op(TileOp::LoadTile {
                 buffer: "partials".into(),
                 bytes: 8.0,
@@ -204,7 +215,11 @@ mod tests {
                 bytes: 8.0,
                 tile: None,
             })
-            .op(TileOp::Compute(ComputeKind::MatmulTile { m: 2, n: 2, k: 2 }));
+            .op(TileOp::Compute(ComputeKind::MatmulTile {
+                m: 2,
+                n: 2,
+                k: 2,
+            }));
         assert!(check_consistency(&lower_single(block)).is_ok());
     }
 }

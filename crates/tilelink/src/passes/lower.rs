@@ -189,7 +189,11 @@ mod tests {
                     bytes: 64.0,
                     tile: Some(1),
                 })
-                .op(TileOp::Compute(ComputeKind::MatmulTile { m: 8, n: 8, k: 8 })),
+                .op(TileOp::Compute(ComputeKind::MatmulTile {
+                    m: 8,
+                    n: 8,
+                    k: 8,
+                })),
         );
         p
     }
@@ -213,10 +217,12 @@ mod tests {
     fn broadcast_notify_targets_every_rank() {
         let mapping = StaticMapping::new(4, 2, 2, 1);
         let mut p = TileProgram::new("p", 4);
-        p.add_block(BlockDesc::new("c", 0, BlockRole::Producer).op(TileOp::ProducerNotify {
-            tile: 0,
-            scope: NotifyScope::Broadcast,
-        }));
+        p.add_block(
+            BlockDesc::new("c", 0, BlockRole::Producer).op(TileOp::ProducerNotify {
+                tile: 0,
+                scope: NotifyScope::Broadcast,
+            }),
+        );
         let lowered = lower(&p, &mapping).unwrap();
         assert_eq!(lowered[0].ops[0].dst_ranks, vec![0, 1, 2, 3]);
     }
@@ -225,7 +231,9 @@ mod tests {
     fn out_of_range_tile_fails_lowering() {
         let mapping = StaticMapping::new(4, 2, 2, 1);
         let mut p = TileProgram::new("p", 2);
-        p.add_block(BlockDesc::new("c", 0, BlockRole::Consumer).op(TileOp::ConsumerWait { tile: 99 }));
+        p.add_block(
+            BlockDesc::new("c", 0, BlockRole::Consumer).op(TileOp::ConsumerWait { tile: 99 }),
+        );
         assert!(matches!(
             lower(&p, &mapping),
             Err(TileLinkError::TileOutOfRange { .. })

@@ -85,11 +85,31 @@ mod tests {
         // wait, load, compute, load, compute, store — a two-iteration K loop.
         BlockDesc::new("gemm", 0, BlockRole::Consumer)
             .op(TileOp::ConsumerWait { tile: 0 })
-            .op(TileOp::LoadTile { buffer: "a".into(), bytes: 8.0, tile: Some(0) })
-            .op(TileOp::Compute(ComputeKind::MatmulTile { m: 2, n: 2, k: 2 }))
-            .op(TileOp::LoadTile { buffer: "a".into(), bytes: 8.0, tile: Some(0) })
-            .op(TileOp::Compute(ComputeKind::MatmulTile { m: 2, n: 2, k: 2 }))
-            .op(TileOp::StoreTile { buffer: "c".into(), bytes: 8.0, tile: None })
+            .op(TileOp::LoadTile {
+                buffer: "a".into(),
+                bytes: 8.0,
+                tile: Some(0),
+            })
+            .op(TileOp::Compute(ComputeKind::MatmulTile {
+                m: 2,
+                n: 2,
+                k: 2,
+            }))
+            .op(TileOp::LoadTile {
+                buffer: "a".into(),
+                bytes: 8.0,
+                tile: Some(0),
+            })
+            .op(TileOp::Compute(ComputeKind::MatmulTile {
+                m: 2,
+                n: 2,
+                k: 2,
+            }))
+            .op(TileOp::StoreTile {
+                buffer: "c".into(),
+                bytes: 8.0,
+                tile: None,
+            })
     }
 
     #[test]
@@ -129,11 +149,21 @@ mod tests {
             .op(TileOp::Compute(ComputeKind::Elementwise { elems: 1 }))
             .op(TileOp::Compute(ComputeKind::Elementwise { elems: 1 }))
             .op(TileOp::Compute(ComputeKind::Elementwise { elems: 1 }))
-            .op(TileOp::LoadTile { buffer: "a".into(), bytes: 8.0, tile: Some(0) });
+            .op(TileOp::LoadTile {
+                buffer: "a".into(),
+                bytes: 8.0,
+                tile: Some(0),
+            });
         let b = lowered(block);
         let p2 = pipeline_block(&b, 2);
-        assert_eq!(kinds(&p2), vec!["wait", "compute", "compute", "load", "compute"]);
+        assert_eq!(
+            kinds(&p2),
+            vec!["wait", "compute", "compute", "load", "compute"]
+        );
         let p4 = pipeline_block(&b, 4);
-        assert_eq!(kinds(&p4), vec!["wait", "load", "compute", "compute", "compute"]);
+        assert_eq!(
+            kinds(&p4),
+            vec!["wait", "load", "compute", "compute", "compute"]
+        );
     }
 }

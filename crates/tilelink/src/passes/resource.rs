@@ -82,8 +82,8 @@ impl ResourcePlan {
         // waves: early tiles finish first and release their consumers, which is
         // what makes fused overlap effective on real hardware.
         let target_waves = 4;
-        let sms_per_compute_block = (compute_sms * target_waves / consumer_blocks_per_rank as u64)
-            .clamp(1, compute_sms);
+        let sms_per_compute_block =
+            (compute_sms * target_waves / consumer_blocks_per_rank as u64).clamp(1, compute_sms);
         Ok(Self {
             comm_sms,
             compute_sms,
@@ -118,7 +118,8 @@ mod tests {
     #[test]
     fn sm_mapping_reserves_comm_sms() {
         let cfg = OverlapConfig::default().with_comm_mapping(CommMapping::Sm { sms: 20 });
-        let plan = ResourcePlan::derive(&cfg, &GpuSpec::h800(), &program_with_blocks(20, 112)).unwrap();
+        let plan =
+            ResourcePlan::derive(&cfg, &GpuSpec::h800(), &program_with_blocks(20, 112)).unwrap();
         assert_eq!(plan.comm_sms, 20);
         assert_eq!(plan.compute_sms, 112);
         assert!(matches!(plan.lane, TransferLane::SmPort { port_share } if port_share == 5));
@@ -128,7 +129,8 @@ mod tests {
     #[test]
     fn copy_engine_mapping_keeps_all_sms_for_compute() {
         let cfg = OverlapConfig::default().with_comm_mapping(CommMapping::CopyEngine);
-        let plan = ResourcePlan::derive(&cfg, &GpuSpec::h800(), &program_with_blocks(1, 100)).unwrap();
+        let plan =
+            ResourcePlan::derive(&cfg, &GpuSpec::h800(), &program_with_blocks(1, 100)).unwrap();
         assert_eq!(plan.comm_sms, 0);
         assert_eq!(plan.compute_sms, 132);
         assert_eq!(plan.lane, TransferLane::CopyEngine);
@@ -138,7 +140,8 @@ mod tests {
     #[test]
     fn hybrid_mapping_reserves_sms_and_uses_copy_engine() {
         let cfg = OverlapConfig::default().with_comm_mapping(CommMapping::Hybrid { sms: 16 });
-        let plan = ResourcePlan::derive(&cfg, &GpuSpec::h800(), &program_with_blocks(16, 100)).unwrap();
+        let plan =
+            ResourcePlan::derive(&cfg, &GpuSpec::h800(), &program_with_blocks(16, 100)).unwrap();
         assert_eq!(plan.comm_sms, 16);
         assert_eq!(plan.lane, TransferLane::CopyEngine);
         assert!(plan.host_launch_per_copy);
@@ -149,8 +152,12 @@ mod tests {
         let small = OverlapConfig::default().with_compute_tile(TileShape::new(32, 32));
         let large = OverlapConfig::default().with_compute_tile(TileShape::new(128, 256));
         let p = program_with_blocks(1, 1);
-        let e_small = ResourcePlan::derive(&small, &GpuSpec::h800(), &p).unwrap().compute_efficiency;
-        let e_large = ResourcePlan::derive(&large, &GpuSpec::h800(), &p).unwrap().compute_efficiency;
+        let e_small = ResourcePlan::derive(&small, &GpuSpec::h800(), &p)
+            .unwrap()
+            .compute_efficiency;
+        let e_large = ResourcePlan::derive(&large, &GpuSpec::h800(), &p)
+            .unwrap()
+            .compute_efficiency;
         assert!(e_large > e_small);
     }
 

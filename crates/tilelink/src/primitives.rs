@@ -129,7 +129,8 @@ impl DeviceHandle {
         if rank == self.rank() {
             self.pc.clone()
         } else {
-            self.ctx.remote_signals(rank, &format!("__tl/{}/pc", self.kernel))
+            self.ctx
+                .remote_signals(rank, &format!("__tl/{}/pc", self.kernel))
         }
     }
 
@@ -304,6 +305,7 @@ impl DeviceHandle {
         write_tile(&buf, row_stride, rect, data);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn push_rect_impl(
         &self,
         name: &str,
@@ -374,6 +376,7 @@ impl DeviceHandle {
     ///
     /// This is the host-side `rank_copy_data` primitive, the operation the copy
     /// engine performs when communication is mapped to DMA (Figure 6).
+    #[allow(clippy::too_many_arguments)]
     pub fn rank_copy_data(
         &self,
         src_rank: usize,

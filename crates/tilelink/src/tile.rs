@@ -108,12 +108,12 @@ mod tests {
         assert_eq!(read_tile(&buf, 4, &rect), vec![1.0, 2.0, 3.0, 4.0]);
         // untouched elements stay zero
         assert_eq!(buf.load(0), 0.0);
-        assert_eq!(buf.load(1 * 4 + 0), 0.0);
+        assert_eq!(buf.load(4), 0.0);
     }
 
     #[test]
     fn add_tile_accumulates() {
-        let buf = SharedBuffer::from_slice(&vec![1.0; 8]);
+        let buf = SharedBuffer::from_slice(&[1.0; 8]);
         let rect = TileRect::full_rows(0..2, 4);
         add_tile(&buf, 4, &rect, &[1.0; 8]);
         assert!(buf.to_vec().iter().all(|&v| v == 2.0));

@@ -1,0 +1,217 @@
+//! Persistent tuning cache keyed by `(workload, cluster, config)`.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use tilelink::{OverlapConfig, OverlapReport};
+
+use crate::{Result, TuneError};
+
+/// Environment variable overriding the default cache location.
+pub const CACHE_PATH_ENV: &str = "TILELINK_TUNE_CACHE";
+
+/// A persistent map from tuning keys to simulated timing reports.
+///
+/// The on-disk format is a line-oriented TSV so cache files can be inspected
+/// and diffed: `key<TAB>total_s<TAB>comm_only_s<TAB>comp_only_s`. Keys combine
+/// the oracle's workload key, the [`crate::cluster_key`] of the cluster and
+/// [`OverlapConfig::cache_key`], none of which contain tabs or newlines.
+///
+/// Unparseable lines are skipped on load (a truncated line from an interrupted
+/// run only loses that entry, never the whole cache).
+#[derive(Debug)]
+pub struct TuneCache {
+    path: Option<PathBuf>,
+    entries: HashMap<String, OverlapReport>,
+}
+
+impl TuneCache {
+    /// An in-memory cache that never touches the filesystem.
+    pub fn in_memory() -> Self {
+        Self {
+            path: None,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Opens (or initialises) a cache backed by `path`.
+    ///
+    /// A missing file is treated as an empty cache; it is created on the first
+    /// [`TuneCache::flush`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TuneError::CacheIo`] if the file exists but cannot be read.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut entries = HashMap::new();
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                for line in text.lines() {
+                    let mut parts = line.split('\t');
+                    let (Some(key), Some(total), Some(comm), Some(comp)) =
+                        (parts.next(), parts.next(), parts.next(), parts.next())
+                    else {
+                        continue;
+                    };
+                    let (Ok(total), Ok(comm), Ok(comp)) = (
+                        total.parse::<f64>(),
+                        comm.parse::<f64>(),
+                        comp.parse::<f64>(),
+                    ) else {
+                        continue;
+                    };
+                    entries.insert(key.to_string(), OverlapReport::new(total, comm, comp));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return Err(TuneError::CacheIo {
+                    path: path.display().to_string(),
+                    message: e.to_string(),
+                })
+            }
+        }
+        Ok(Self {
+            path: Some(path),
+            entries,
+        })
+    }
+
+    /// The default cache location: `$TILELINK_TUNE_CACHE` if set, otherwise
+    /// `tilelink-tune-cache.tsv` in the system temp directory.
+    pub fn default_path() -> PathBuf {
+        std::env::var_os(CACHE_PATH_ENV)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| std::env::temp_dir().join("tilelink-tune-cache.tsv"))
+    }
+
+    /// Opens the default cache (see [`TuneCache::default_path`]). Falls back
+    /// to an in-memory cache if the file exists but is unreadable.
+    pub fn open_default() -> Self {
+        Self::open(Self::default_path()).unwrap_or_else(|_| Self::in_memory())
+    }
+
+    /// The backing file, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The full cache key for one (workload, cluster, config) triple.
+    pub fn key(workload_key: &str, cluster_key: &str, cfg: &OverlapConfig) -> String {
+        format!("{workload_key}|{cluster_key}|{}", cfg.cache_key())
+    }
+
+    /// Looks up a cached report.
+    pub fn get(&self, key: &str) -> Option<OverlapReport> {
+        self.entries.get(key).copied()
+    }
+
+    /// Inserts (or replaces) a cached report. Call [`TuneCache::flush`] to
+    /// persist.
+    pub fn insert(&mut self, key: String, report: OverlapReport) {
+        self.entries.insert(key, report);
+    }
+
+    /// Writes the cache to its backing file (no-op for in-memory caches).
+    ///
+    /// Entries are written sorted by key so the file is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TuneError::CacheIo`] on any filesystem error.
+    pub fn flush(&self) -> Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let io_err = |e: std::io::Error| TuneError::CacheIo {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(io_err)?;
+            }
+        }
+        let mut keys: Vec<&String> = self.entries.keys().collect();
+        keys.sort();
+        let mut out = Vec::with_capacity(self.entries.len() * 64);
+        for key in keys {
+            let r = &self.entries[key];
+            writeln!(
+                out,
+                "{key}\t{:.17e}\t{:.17e}\t{:.17e}",
+                r.total_s, r.comm_only_s, r.comp_only_s
+            )
+            .map_err(io_err)?;
+        }
+        std::fs::write(path, out).map_err(io_err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tilelink-tune-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_through_disk() {
+        let path = tmp("roundtrip.tsv");
+        let _ = std::fs::remove_file(&path);
+        let mut cache = TuneCache::open(&path).unwrap();
+        assert!(cache.is_empty());
+        let key = TuneCache::key("w", "c", &OverlapConfig::default());
+        cache.insert(key.clone(), OverlapReport::new(1.25e-3, 5e-4, 1e-3));
+        cache.flush().unwrap();
+
+        let reloaded = TuneCache::open(&path).unwrap();
+        assert_eq!(reloaded.len(), 1);
+        let r = reloaded.get(&key).unwrap();
+        assert_eq!(r.total_s, 1.25e-3);
+        assert_eq!(r.comm_only_s, 5e-4);
+        assert_eq!(r.comp_only_s, 1e-3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped() {
+        let path = tmp("corrupt.tsv");
+        std::fs::write(&path, "good\t1.0\t0.5\t0.5\nbad line\nworse\tnan-ish\t\t\n").unwrap();
+        let cache = TuneCache::open(&path).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get("good").is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn in_memory_cache_never_writes() {
+        let mut cache = TuneCache::in_memory();
+        cache.insert("k".into(), OverlapReport::new(1.0, 0.5, 0.5));
+        cache.flush().unwrap();
+        assert!(cache.path().is_none());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn keys_embed_all_three_parts() {
+        let k = TuneCache::key("mlp", "h800x8", &OverlapConfig::default());
+        assert!(k.starts_with("mlp|h800x8|"));
+        assert!(k.contains("ct128x128"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type of the autotuner.
+
+use tilelink::TileLinkError;
+
+/// Everything that can go wrong while tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TuneError {
+    /// The search space pruned down to zero valid candidates.
+    EmptySpace {
+        /// Candidates enumerated before pruning.
+        unpruned: usize,
+    },
+    /// Every candidate failed to compile or simulate; the last error is kept.
+    AllCandidatesFailed {
+        /// Number of candidates attempted.
+        attempted: usize,
+        /// The error of the last attempted candidate.
+        last: TileLinkError,
+    },
+    /// The persistent cache file could not be read or written.
+    CacheIo {
+        /// Path of the cache file.
+        path: String,
+        /// Operating-system error message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::EmptySpace { unpruned } => write!(
+                f,
+                "search space is empty after pruning ({unpruned} candidates before validation)"
+            ),
+            TuneError::AllCandidatesFailed { attempted, last } => write!(
+                f,
+                "all {attempted} candidates failed to evaluate; last error: {last}"
+            ),
+            TuneError::CacheIo { path, message } => {
+                write!(f, "tuning cache {path}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+impl From<TileLinkError> for TuneError {
+    fn from(e: TileLinkError) -> Self {
+        TuneError::AllCandidatesFailed {
+            attempted: 1,
+            last: e,
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The cost oracle: anything that can price one candidate configuration.
+
+use tilelink::{OverlapConfig, OverlapReport};
+use tilelink_sim::ClusterSpec;
+
+/// Prices one [`OverlapConfig`] for one workload on one cluster.
+///
+/// The workload crates implement this by building the tile program for the
+/// candidate, compiling it with [`tilelink::Compiler`] and simulating the
+/// result on the `tilelink-sim` engine; the simulated makespan
+/// ([`OverlapReport::total_s`]) is the objective the tuner minimises.
+///
+/// Implementations must be deterministic and thread-safe (`Sync`): the tuner
+/// calls [`CostOracle::evaluate`] concurrently from multiple threads, and the
+/// persistent cache assumes a config always prices to the same cost.
+pub trait CostOracle: Sync {
+    /// Stable identifier of the workload kind and shape, used in cache keys.
+    ///
+    /// Must be unique per (workload, shape): e.g. `"mlp_ag_gemm/S8192/H4096/I11008"`.
+    fn workload_key(&self) -> String;
+
+    /// The cluster the workload runs on.
+    fn cluster(&self) -> &ClusterSpec;
+
+    /// Compiles and simulates one candidate, returning its timing report.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the candidate fails to compile or simulate; the
+    /// tuner treats such candidates as pruned.
+    fn evaluate(&self, cfg: &OverlapConfig) -> tilelink::Result<OverlapReport>;
+
+    /// Workload-specific validity constraints beyond
+    /// [`OverlapConfig::validate`] (for example tile-divisibility rules).
+    /// Unsupported candidates are pruned without an oracle call.
+    fn is_supported(&self, cfg: &OverlapConfig) -> bool {
+        let _ = cfg;
+        true
+    }
+}
+
+/// Stable identifier of a cluster, used in cache keys.
+///
+/// Encodes every hardware parameter that feeds the cost model, so tuning
+/// results for different simulated machines never alias.
+pub fn cluster_key(cluster: &ClusterSpec) -> String {
+    let g = &cluster.gpu;
+    format!(
+        "{}-sm{}-t{:.0}-hbm{:.0}-nv{:.0}-ib{:.0}-dma{}-kl{:.1}-hs{:.1}x{}x{}",
+        g.name,
+        g.sm_count,
+        g.peak_tflops,
+        g.hbm_gbps,
+        g.nvlink_gbps,
+        g.ib_gbps,
+        g.dma_engines,
+        g.kernel_launch_us,
+        g.host_sync_us,
+        cluster.gpus_per_node,
+        cluster.nodes
+    )
+}
+
+/// A [`CostOracle`] built from closures, mainly for tests and experiments.
+pub struct FnOracle<E, S = fn(&OverlapConfig) -> bool>
+where
+    E: Fn(&OverlapConfig) -> tilelink::Result<OverlapReport> + Sync,
+    S: Fn(&OverlapConfig) -> bool + Sync,
+{
+    key: String,
+    cluster: ClusterSpec,
+    evaluate: E,
+    supported: S,
+}
+
+impl<E> FnOracle<E>
+where
+    E: Fn(&OverlapConfig) -> tilelink::Result<OverlapReport> + Sync,
+{
+    /// Creates an oracle from an evaluation closure; every config is supported.
+    pub fn new(key: impl Into<String>, cluster: ClusterSpec, evaluate: E) -> Self {
+        Self {
+            key: key.into(),
+            cluster,
+            evaluate,
+            supported: |_| true,
+        }
+    }
+}
+
+impl<E, S> FnOracle<E, S>
+where
+    E: Fn(&OverlapConfig) -> tilelink::Result<OverlapReport> + Sync,
+    S: Fn(&OverlapConfig) -> bool + Sync,
+{
+    /// Replaces the support predicate.
+    pub fn with_support<S2>(self, supported: S2) -> FnOracle<E, S2>
+    where
+        S2: Fn(&OverlapConfig) -> bool + Sync,
+    {
+        FnOracle {
+            key: self.key,
+            cluster: self.cluster,
+            evaluate: self.evaluate,
+            supported,
+        }
+    }
+}
+
+impl<E, S> CostOracle for FnOracle<E, S>
+where
+    E: Fn(&OverlapConfig) -> tilelink::Result<OverlapReport> + Sync,
+    S: Fn(&OverlapConfig) -> bool + Sync,
+{
+    fn workload_key(&self) -> String {
+        self.key.clone()
+    }
+
+    fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    fn evaluate(&self, cfg: &OverlapConfig) -> tilelink::Result<OverlapReport> {
+        (self.evaluate)(cfg)
+    }
+
+    fn is_supported(&self, cfg: &OverlapConfig) -> bool {
+        (self.supported)(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_key_distinguishes_topologies() {
+        let a = cluster_key(&ClusterSpec::h800_node(8));
+        let b = cluster_key(&ClusterSpec::h800_multi_node(2));
+        let c = cluster_key(&ClusterSpec::new(tilelink_sim::GpuSpec::a100(), 8, 1));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fn_oracle_roundtrip() {
+        let oracle = FnOracle::new("t", ClusterSpec::h800_node(2), |_| {
+            Ok(OverlapReport::new(1.0, 0.5, 0.5))
+        })
+        .with_support(|c| c.num_stages <= 2);
+        assert_eq!(oracle.workload_key(), "t");
+        assert!(oracle.is_supported(&OverlapConfig {
+            num_stages: 2,
+            ..OverlapConfig::default()
+        }));
+        assert!(!oracle.is_supported(&OverlapConfig::default()));
+        assert_eq!(
+            oracle.evaluate(&OverlapConfig::default()).unwrap().total_s,
+            1.0
+        );
+    }
+}

@@ -1,0 +1,631 @@
+//! Search strategies and the multi-threaded tuner driver.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use tilelink::{OverlapConfig, OverlapReport, TileLinkError};
+
+use crate::oracle::cluster_key;
+use crate::space::SearchSpace;
+use crate::{CostOracle, Result, TuneCache, TuneError};
+
+/// How the tuner explores the space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Evaluate every valid candidate of the space (grid search).
+    Exhaustive,
+    /// Coordinate-descent beam search: sweep one axis at a time, keeping the
+    /// `width` best configurations, for at most `sweeps` rounds (stopping
+    /// early when a full sweep yields no improvement). Visits a tiny fraction
+    /// of large spaces and, because the seed configurations stay in the pool,
+    /// never returns a result worse than the best seed.
+    Beam {
+        /// Number of configurations kept between axis sweeps.
+        width: usize,
+        /// Maximum number of full passes over the axes.
+        sweeps: usize,
+    },
+}
+
+impl Default for Strategy {
+    fn default() -> Self {
+        Strategy::Beam {
+            width: 4,
+            sweeps: 3,
+        }
+    }
+}
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The configuration.
+    pub config: OverlapConfig,
+    /// Its simulated timing.
+    pub report: OverlapReport,
+    /// Whether the timing came from the persistent cache (no oracle call).
+    pub from_cache: bool,
+}
+
+/// The outcome of one tuning run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneReport {
+    /// The best configuration found.
+    pub best: Candidate,
+    /// Every evaluated candidate, fastest first (ties broken by first
+    /// evaluation order, so reports are deterministic).
+    pub ranked: Vec<Candidate>,
+    /// Oracle calls performed (simulator evaluations).
+    pub evaluations: usize,
+    /// Lookups served by the cache instead of the oracle.
+    pub cache_hits: usize,
+    /// Candidates whose evaluation failed (compile/simulate error).
+    pub failed: usize,
+}
+
+impl TuneReport {
+    /// Best simulated makespan, in milliseconds.
+    pub fn best_ms(&self) -> f64 {
+        self.best.report.total_ms()
+    }
+
+    /// A short human-readable table of the `n` best candidates.
+    pub fn summary(&self, n: usize) -> String {
+        let mut out = format!(
+            "{} candidates evaluated ({} simulated, {} cached, {} failed)\n",
+            self.ranked.len(),
+            self.evaluations,
+            self.cache_hits,
+            self.failed
+        );
+        for (i, c) in self.ranked.iter().take(n).enumerate() {
+            out.push_str(&format!(
+                "  #{:<2} {:>9.4} ms  overlap {:>5.1}%  {}\n",
+                i + 1,
+                c.report.total_ms(),
+                c.report.overlap_ratio() * 100.0,
+                c.config.cache_key()
+            ));
+        }
+        out
+    }
+}
+
+/// Drives a [`Strategy`] over a [`SearchSpace`] against a [`CostOracle`].
+///
+/// Candidate evaluations run concurrently on `threads` OS threads (the
+/// simulator is pure, so replicas are independent); results are merged in
+/// candidate order, so the search is deterministic regardless of thread
+/// scheduling.
+#[derive(Debug)]
+pub struct Tuner {
+    strategy: Strategy,
+    threads: usize,
+    cache: Mutex<TuneCache>,
+}
+
+struct BatchStats {
+    evaluations: usize,
+    cache_hits: usize,
+    failed: usize,
+    last_error: Option<TileLinkError>,
+}
+
+impl Tuner {
+    /// Creates a tuner with an in-memory cache and one thread per available
+    /// CPU (capped at 16).
+    pub fn new(strategy: Strategy) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16);
+        Self {
+            strategy,
+            threads,
+            cache: Mutex::new(TuneCache::in_memory()),
+        }
+    }
+
+    /// Replaces the evaluation thread count (minimum 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Replaces the cache (use [`TuneCache::open`] for a persistent one).
+    pub fn with_cache(mut self, cache: TuneCache) -> Self {
+        self.cache = Mutex::new(cache);
+        self
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Runs the search and returns the ranked outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TuneError::EmptySpace`] if pruning leaves no candidate,
+    /// [`TuneError::AllCandidatesFailed`] if every candidate errors in the
+    /// oracle, and [`TuneError::CacheIo`] if the persistent cache cannot be
+    /// written.
+    pub fn tune(&self, oracle: &dyn CostOracle, space: &SearchSpace) -> Result<TuneReport> {
+        let workload = oracle.workload_key();
+        let cluster = cluster_key(oracle.cluster());
+        let mut stats = BatchStats {
+            evaluations: 0,
+            cache_hits: 0,
+            failed: 0,
+            last_error: None,
+        };
+
+        // (config, report, from_cache) in first-evaluation order.
+        let mut evaluated: Vec<Candidate> = Vec::new();
+        let mut seen: HashMap<OverlapConfig, usize> = HashMap::new();
+
+        match self.strategy {
+            Strategy::Exhaustive => {
+                let candidates = space.candidates(oracle);
+                if candidates.is_empty() {
+                    return Err(TuneError::EmptySpace {
+                        unpruned: space.len_unpruned(),
+                    });
+                }
+                self.evaluate_batch(
+                    oracle,
+                    (&workload, &cluster),
+                    &candidates,
+                    &mut stats,
+                    &mut evaluated,
+                    &mut seen,
+                );
+            }
+            Strategy::Beam { width, sweeps } => {
+                let width = width.max(1);
+                let sm_count = oracle.cluster().gpu.sm_count;
+                let valid = |cfg: &OverlapConfig| {
+                    cfg.validate(sm_count).is_ok() && oracle.is_supported(cfg)
+                };
+                // Seeds: the library default and the space's own first-corner
+                // config. Keeping them in the pool guarantees the final result
+                // is never worse than either seed.
+                let mut seeds: Vec<OverlapConfig> = Vec::new();
+                for seed in [OverlapConfig::default(), space.seed()] {
+                    if valid(&seed) && !seeds.contains(&seed) {
+                        seeds.push(seed);
+                    }
+                }
+                if seeds.is_empty() {
+                    // Neither seed is valid for this workload: fall back to the
+                    // pruned enumeration for a starting pool.
+                    seeds = space.candidates(oracle);
+                    seeds.truncate(width);
+                }
+                if seeds.is_empty() {
+                    return Err(TuneError::EmptySpace {
+                        unpruned: space.len_unpruned(),
+                    });
+                }
+                self.evaluate_batch(
+                    oracle,
+                    (&workload, &cluster),
+                    &seeds,
+                    &mut stats,
+                    &mut evaluated,
+                    &mut seen,
+                );
+                // Both seeds may pass validation yet fail in the oracle (e.g.
+                // a compile error for an unsupported axis pair). Walk the
+                // pruned enumeration in chunks until something evaluates, so
+                // the beam has a starting pool whenever Exhaustive would have
+                // found one.
+                if evaluated.is_empty() {
+                    for chunk in space.candidates(oracle).chunks(16) {
+                        self.evaluate_batch(
+                            oracle,
+                            (&workload, &cluster),
+                            chunk,
+                            &mut stats,
+                            &mut evaluated,
+                            &mut seen,
+                        );
+                        if !evaluated.is_empty() {
+                            break;
+                        }
+                    }
+                }
+                let mut beam = Self::top(&evaluated, width);
+                let mut best = beam
+                    .first()
+                    .and_then(|c| seen.get(c))
+                    .map(|&i| evaluated[i].report.total_s);
+                for _ in 0..sweeps.max(1) {
+                    let mut improved = false;
+                    for axis in 0..SearchSpace::NUM_AXES {
+                        let mut frontier: Vec<OverlapConfig> = Vec::new();
+                        for base in &beam {
+                            for cfg in space.axis_variants(axis, base) {
+                                if valid(&cfg)
+                                    && !seen.contains_key(&cfg)
+                                    && !frontier.contains(&cfg)
+                                {
+                                    frontier.push(cfg);
+                                }
+                            }
+                        }
+                        self.evaluate_batch(
+                            oracle,
+                            (&workload, &cluster),
+                            &frontier,
+                            &mut stats,
+                            &mut evaluated,
+                            &mut seen,
+                        );
+                        beam = Self::top(&evaluated, width);
+                        let new_best = beam
+                            .first()
+                            .and_then(|c| seen.get(c))
+                            .map(|&i| evaluated[i].report.total_s);
+                        if new_best < best || best.is_none() {
+                            best = new_best;
+                            improved = true;
+                        }
+                    }
+                    if !improved {
+                        break;
+                    }
+                }
+            }
+        }
+
+        self.cache
+            .lock()
+            .expect("tune cache lock poisoned")
+            .flush()?;
+
+        if evaluated.is_empty() {
+            return Err(TuneError::AllCandidatesFailed {
+                attempted: stats.evaluations + stats.failed,
+                last: stats.last_error.unwrap_or(TileLinkError::InvalidConfig {
+                    reason: "no candidate could be evaluated".to_string(),
+                }),
+            });
+        }
+
+        let mut ranked = evaluated;
+        ranked.sort_by(|a, b| a.report.total_s.total_cmp(&b.report.total_s));
+        Ok(TuneReport {
+            best: ranked[0].clone(),
+            ranked,
+            evaluations: stats.evaluations,
+            cache_hits: stats.cache_hits,
+            failed: stats.failed,
+        })
+    }
+
+    /// The `width` fastest configs in `evaluated` (stable order).
+    fn top(evaluated: &[Candidate], width: usize) -> Vec<OverlapConfig> {
+        let mut sorted: Vec<&Candidate> = evaluated.iter().collect();
+        sorted.sort_by(|a, b| a.report.total_s.total_cmp(&b.report.total_s));
+        sorted
+            .into_iter()
+            .take(width)
+            .map(|c| c.config.clone())
+            .collect()
+    }
+
+    /// Evaluates `configs` (cache first, then the oracle in parallel),
+    /// appending successes to `evaluated` in candidate order. `keys` is the
+    /// `(workload_key, cluster_key)` pair fed to [`TuneCache::key`].
+    fn evaluate_batch(
+        &self,
+        oracle: &dyn CostOracle,
+        keys: (&str, &str),
+        configs: &[OverlapConfig],
+        stats: &mut BatchStats,
+        evaluated: &mut Vec<Candidate>,
+        seen: &mut HashMap<OverlapConfig, usize>,
+    ) {
+        // Cache pass (also dedups configs revisited across beam sweeps).
+        let mut misses: Vec<&OverlapConfig> = Vec::new();
+        let mut hit_or_miss: Vec<Option<OverlapReport>> = Vec::with_capacity(configs.len());
+        {
+            let cache = self.cache.lock().expect("tune cache lock poisoned");
+            for cfg in configs {
+                if seen.contains_key(cfg) {
+                    hit_or_miss.push(None); // already ranked; nothing to do
+                    continue;
+                }
+                let key = TuneCache::key(keys.0, keys.1, cfg);
+                match cache.get(&key) {
+                    Some(report) => {
+                        stats.cache_hits += 1;
+                        hit_or_miss.push(Some(report));
+                    }
+                    None => {
+                        misses.push(cfg);
+                        hit_or_miss.push(None);
+                    }
+                }
+            }
+        }
+
+        // Oracle pass: fan the misses out over worker threads. Results land in
+        // a slot per candidate, so completion order never affects ranking.
+        let mut results: Vec<Option<tilelink::Result<OverlapReport>>> = vec![None; misses.len()];
+        if !misses.is_empty() {
+            let workers = self.threads.min(misses.len());
+            if workers <= 1 {
+                for (slot, cfg) in results.iter_mut().zip(&misses) {
+                    *slot = Some(oracle.evaluate(cfg));
+                }
+            } else {
+                let next = AtomicUsize::new(0);
+                let slots: Vec<Mutex<Option<tilelink::Result<OverlapReport>>>> =
+                    misses.iter().map(|_| Mutex::new(None)).collect();
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(|| loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= misses.len() {
+                                break;
+                            }
+                            let r = oracle.evaluate(misses[i]);
+                            *slots[i].lock().expect("result slot lock poisoned") = Some(r);
+                        });
+                    }
+                });
+                for (slot, cell) in results.iter_mut().zip(slots) {
+                    *slot = cell.into_inner().expect("result slot lock poisoned");
+                }
+            }
+        }
+
+        // Merge, in candidate order.
+        let mut cache = self.cache.lock().expect("tune cache lock poisoned");
+        let mut miss_idx = 0usize;
+        for (cfg, cached) in configs.iter().zip(hit_or_miss) {
+            if let Some(&idx) = seen.get(cfg) {
+                debug_assert!(idx < evaluated.len());
+                continue;
+            }
+            let (report, from_cache) = match cached {
+                Some(report) => (report, true),
+                None => {
+                    let result = results[miss_idx].take().expect("evaluated slot");
+                    miss_idx += 1;
+                    match result {
+                        Ok(report) => {
+                            stats.evaluations += 1;
+                            let key = TuneCache::key(keys.0, keys.1, cfg);
+                            cache.insert(key, report);
+                            (report, false)
+                        }
+                        Err(e) => {
+                            stats.failed += 1;
+                            stats.last_error = Some(e);
+                            continue;
+                        }
+                    }
+                }
+            };
+            seen.insert(cfg.clone(), evaluated.len());
+            evaluated.push(Candidate {
+                config: cfg.clone(),
+                report,
+                from_cache,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnOracle;
+    use std::sync::atomic::AtomicUsize;
+    use tilelink::{CommMapping, TileShape};
+    use tilelink_sim::ClusterSpec;
+
+    /// Analytic cost: favours big compute tiles, ring order, hybrid mapping
+    /// with few SMs. Counts oracle calls.
+    fn analytic(counter: &AtomicUsize) -> impl CostOracle + '_ {
+        FnOracle::new("analytic", ClusterSpec::h800_node(8), move |cfg| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            let tile = cfg.compute_tile.numel() as f64;
+            let order = match cfg.order {
+                tilelink::TileOrder::Ring => 0.9,
+                tilelink::TileOrder::AllToAll => 1.0,
+            };
+            let sms = cfg.comm_mapping.comm_sms() as f64;
+            let t = (1e9 / tile) * order + sms * 1e-3 + cfg.num_stages as f64 * 1e-4;
+            Ok(OverlapReport::new(t, t / 3.0, 2.0 * t / 3.0))
+        })
+    }
+
+    fn space() -> SearchSpace {
+        SearchSpace::standard()
+            .with_comm_tiles([TileShape::new(128, 128)])
+            .with_channels([4])
+    }
+
+    #[test]
+    fn exhaustive_finds_the_analytic_optimum() {
+        let calls = AtomicUsize::new(0);
+        let report = Tuner::new(Strategy::Exhaustive)
+            .with_threads(4)
+            .tune(&analytic(&calls), &space())
+            .unwrap();
+        // Optimum of the analytic model: largest compute tile, ring order,
+        // copy-engine mapping (0 SMs), fewest stages.
+        assert_eq!(report.best.config.compute_tile, TileShape::new(128, 256));
+        assert_eq!(report.best.config.order, tilelink::TileOrder::Ring);
+        assert_eq!(report.best.config.comm_mapping, CommMapping::CopyEngine);
+        assert_eq!(report.best.config.num_stages, 2);
+        assert_eq!(report.evaluations, calls.load(Ordering::SeqCst));
+        assert_eq!(report.failed, 0);
+        // Ranking is fastest-first.
+        for w in report.ranked.windows(2) {
+            assert!(w[0].report.total_s <= w[1].report.total_s);
+        }
+    }
+
+    #[test]
+    fn beam_matches_exhaustive_on_a_separable_objective() {
+        let calls_a = AtomicUsize::new(0);
+        let calls_b = AtomicUsize::new(0);
+        let exhaustive = Tuner::new(Strategy::Exhaustive)
+            .tune(&analytic(&calls_a), &space())
+            .unwrap();
+        let beam = Tuner::new(Strategy::Beam {
+            width: 3,
+            sweeps: 4,
+        })
+        .tune(&analytic(&calls_b), &space())
+        .unwrap();
+        assert_eq!(beam.best.config, exhaustive.best.config);
+        // ...while evaluating fewer candidates.
+        assert!(calls_b.load(Ordering::SeqCst) < calls_a.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let c1 = AtomicUsize::new(0);
+        let c2 = AtomicUsize::new(0);
+        let r1 = Tuner::new(Strategy::Beam {
+            width: 2,
+            sweeps: 3,
+        })
+        .with_threads(8)
+        .tune(&analytic(&c1), &space())
+        .unwrap();
+        let r2 = Tuner::new(Strategy::Beam {
+            width: 2,
+            sweeps: 3,
+        })
+        .with_threads(1)
+        .tune(&analytic(&c2), &space())
+        .unwrap();
+        assert_eq!(r1.best.config, r2.best.config);
+        let order1: Vec<&OverlapConfig> = r1.ranked.iter().map(|c| &c.config).collect();
+        let order2: Vec<&OverlapConfig> = r2.ranked.iter().map(|c| &c.config).collect();
+        assert_eq!(order1, order2);
+    }
+
+    #[test]
+    fn failing_candidates_are_skipped_not_fatal() {
+        let oracle = FnOracle::new("flaky", ClusterSpec::h800_node(8), |cfg| {
+            if cfg.num_stages == 3 {
+                Err(tilelink::TileLinkError::InvalidConfig {
+                    reason: "synthetic".to_string(),
+                })
+            } else {
+                Ok(OverlapReport::new(cfg.num_stages as f64, 0.1, 0.9))
+            }
+        });
+        let space = SearchSpace::new().with_stages([2, 3, 4]);
+        let report = Tuner::new(Strategy::Exhaustive)
+            .tune(&oracle, &space)
+            .unwrap();
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.ranked.len(), 2);
+        assert_eq!(report.best.config.num_stages, 2);
+    }
+
+    #[test]
+    fn beam_recovers_when_every_seed_fails_evaluation() {
+        // Both beam seeds (the default config and the space's first corner)
+        // have num_stages == 3 here and fail in the oracle; the beam must fall
+        // back to the pruned enumeration instead of reporting total failure.
+        let oracle = FnOracle::new("seedfail", ClusterSpec::h800_node(8), |cfg| {
+            if cfg.num_stages == 3 {
+                Err(tilelink::TileLinkError::InvalidConfig {
+                    reason: "synthetic compile failure".to_string(),
+                })
+            } else {
+                Ok(OverlapReport::new(cfg.num_stages as f64, 0.1, 0.9))
+            }
+        });
+        let space = SearchSpace::new().with_stages([3, 4]);
+        let report = Tuner::new(Strategy::Beam {
+            width: 2,
+            sweeps: 2,
+        })
+        .tune(&oracle, &space)
+        .unwrap();
+        assert_eq!(report.best.config.num_stages, 4);
+        assert!(report.failed >= 1);
+    }
+
+    #[test]
+    fn all_failures_surface_as_error() {
+        let oracle = FnOracle::new("dead", ClusterSpec::h800_node(8), |_| {
+            Err(tilelink::TileLinkError::InvalidConfig {
+                reason: "always".to_string(),
+            })
+        });
+        let err = Tuner::new(Strategy::Exhaustive)
+            .tune(&oracle, &SearchSpace::new())
+            .unwrap_err();
+        assert!(matches!(err, TuneError::AllCandidatesFailed { .. }));
+    }
+
+    #[test]
+    fn empty_space_surfaces_as_error() {
+        let oracle = FnOracle::new("t", ClusterSpec::h800_node(8), |_| {
+            Ok(OverlapReport::new(1.0, 0.5, 0.5))
+        })
+        .with_support(|_: &OverlapConfig| false);
+        let err = Tuner::new(Strategy::Exhaustive)
+            .tune(&oracle, &SearchSpace::new())
+            .unwrap_err();
+        assert!(matches!(err, TuneError::EmptySpace { .. }));
+    }
+
+    #[test]
+    fn persistent_cache_short_circuits_the_second_search() {
+        let dir = std::env::temp_dir().join(format!("tilelink-tune-sc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.tsv");
+        let _ = std::fs::remove_file(&path);
+
+        let calls = AtomicUsize::new(0);
+        let first = Tuner::new(Strategy::Exhaustive)
+            .with_cache(TuneCache::open(&path).unwrap())
+            .tune(&analytic(&calls), &space())
+            .unwrap();
+        assert!(calls.load(Ordering::SeqCst) > 0);
+        assert_eq!(first.cache_hits, 0);
+
+        calls.store(0, Ordering::SeqCst);
+        let second = Tuner::new(Strategy::Exhaustive)
+            .with_cache(TuneCache::open(&path).unwrap())
+            .tune(&analytic(&calls), &space())
+            .unwrap();
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            0,
+            "second search must be free"
+        );
+        assert_eq!(second.evaluations, 0);
+        assert_eq!(second.cache_hits, first.ranked.len());
+        assert_eq!(second.best.config, first.best.config);
+        assert!(second.best.from_cache);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn report_summary_mentions_the_best_candidate() {
+        let calls = AtomicUsize::new(0);
+        let report = Tuner::new(Strategy::Exhaustive)
+            .tune(&analytic(&calls), &space())
+            .unwrap();
+        let text = report.summary(3);
+        assert!(text.contains("#1"));
+        assert!(text.contains(&report.best.config.cache_key()));
+        assert!(report.best_ms() > 0.0);
+    }
+}

@@ -1,0 +1,312 @@
+//! The design-space description: per-axis candidate values with pruning.
+
+use tilelink::{CommMapping, OverlapConfig, TileOrder, TileShape, TransferMode};
+
+use crate::CostOracle;
+
+/// A builder over the seven axes of the overlap design space.
+///
+/// Every axis starts from the corresponding [`OverlapConfig::default`] value;
+/// builder methods replace one axis with a list of candidates. The full space
+/// is the cartesian product of the axes, enumerated in a fixed nested-loop
+/// order (so searches are deterministic), with invalid combinations pruned by
+/// [`OverlapConfig::validate`] and the oracle's
+/// [`CostOracle::is_supported`][crate::CostOracle::is_supported] predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchSpace {
+    comm_tiles: Vec<TileShape>,
+    compute_tiles: Vec<TileShape>,
+    orders: Vec<TileOrder>,
+    modes: Vec<TransferMode>,
+    mappings: Vec<CommMapping>,
+    channels: Vec<usize>,
+    stages: Vec<usize>,
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        let d = OverlapConfig::default();
+        Self {
+            comm_tiles: vec![d.comm_tile],
+            compute_tiles: vec![d.compute_tile],
+            orders: vec![d.order],
+            modes: vec![d.mode],
+            mappings: vec![d.comm_mapping],
+            channels: vec![d.channels_per_rank],
+            stages: vec![d.num_stages],
+        }
+    }
+}
+
+impl SearchSpace {
+    /// A space holding only the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The standard space used by the `tuned_*` workload constructors: the
+    /// tile shapes, orders, transfer modes and resource mappings the paper
+    /// sweeps in its evaluation (Sections 3.1 and 7), 648 combinations before
+    /// pruning.
+    pub fn standard() -> Self {
+        Self::new()
+            .with_comm_tiles([
+                TileShape::new(64, 64),
+                TileShape::new(128, 128),
+                TileShape::new(256, 128),
+            ])
+            .with_compute_tiles([
+                TileShape::new(64, 128),
+                TileShape::new(128, 128),
+                TileShape::new(128, 256),
+            ])
+            .with_orders([TileOrder::AllToAll, TileOrder::Ring])
+            .with_modes([TransferMode::Pull, TransferMode::Push])
+            .with_mappings([
+                CommMapping::CopyEngine,
+                CommMapping::Sm { sms: 8 },
+                CommMapping::Sm { sms: 20 },
+                CommMapping::Sm { sms: 40 },
+                CommMapping::Hybrid { sms: 8 },
+                CommMapping::Hybrid { sms: 20 },
+            ])
+            .with_channels([4])
+            .with_stages([2, 3, 4])
+    }
+
+    /// Replaces the communication-tile axis.
+    pub fn with_comm_tiles(mut self, tiles: impl IntoIterator<Item = TileShape>) -> Self {
+        self.comm_tiles = tiles.into_iter().collect();
+        self
+    }
+
+    /// Replaces the computation-tile axis.
+    pub fn with_compute_tiles(mut self, tiles: impl IntoIterator<Item = TileShape>) -> Self {
+        self.compute_tiles = tiles.into_iter().collect();
+        self
+    }
+
+    /// Replaces the tile-order axis.
+    pub fn with_orders(mut self, orders: impl IntoIterator<Item = TileOrder>) -> Self {
+        self.orders = orders.into_iter().collect();
+        self
+    }
+
+    /// Replaces the transfer-mode axis.
+    pub fn with_modes(mut self, modes: impl IntoIterator<Item = TransferMode>) -> Self {
+        self.modes = modes.into_iter().collect();
+        self
+    }
+
+    /// Replaces the resource-mapping axis.
+    pub fn with_mappings(mut self, mappings: impl IntoIterator<Item = CommMapping>) -> Self {
+        self.mappings = mappings.into_iter().collect();
+        self
+    }
+
+    /// Replaces the channels-per-rank axis.
+    pub fn with_channels(mut self, channels: impl IntoIterator<Item = usize>) -> Self {
+        self.channels = channels.into_iter().collect();
+        self
+    }
+
+    /// Replaces the pipeline-stage axis.
+    pub fn with_stages(mut self, stages: impl IntoIterator<Item = usize>) -> Self {
+        self.stages = stages.into_iter().collect();
+        self
+    }
+
+    /// Number of combinations before pruning.
+    pub fn len_unpruned(&self) -> usize {
+        self.comm_tiles.len()
+            * self.compute_tiles.len()
+            * self.orders.len()
+            * self.modes.len()
+            * self.mappings.len()
+            * self.channels.len()
+            * self.stages.len()
+    }
+
+    /// Candidate values of one axis applied to a base config, in axis order.
+    ///
+    /// This is what the beam strategy sweeps: axis index `i` (0..7) yields one
+    /// variant per candidate value of that axis, all other axes held at
+    /// `base`'s values.
+    pub(crate) fn axis_variants(&self, axis: usize, base: &OverlapConfig) -> Vec<OverlapConfig> {
+        match axis {
+            0 => self
+                .comm_tiles
+                .iter()
+                .map(|&t| base.clone().with_comm_tile(t))
+                .collect(),
+            1 => self
+                .compute_tiles
+                .iter()
+                .map(|&t| base.clone().with_compute_tile(t))
+                .collect(),
+            2 => self
+                .orders
+                .iter()
+                .map(|&o| base.clone().with_order(o))
+                .collect(),
+            3 => self
+                .modes
+                .iter()
+                .map(|&m| base.clone().with_mode(m))
+                .collect(),
+            4 => self
+                .mappings
+                .iter()
+                .map(|&m| base.clone().with_comm_mapping(m))
+                .collect(),
+            5 => self
+                .channels
+                .iter()
+                .map(|&c| {
+                    let mut cfg = base.clone();
+                    cfg.channels_per_rank = c;
+                    cfg
+                })
+                .collect(),
+            6 => self
+                .stages
+                .iter()
+                .map(|&s| {
+                    let mut cfg = base.clone();
+                    cfg.num_stages = s;
+                    cfg
+                })
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Number of axes (for the beam sweep).
+    pub(crate) const NUM_AXES: usize = 7;
+
+    /// A representative seed config: the first value of every axis.
+    pub(crate) fn seed(&self) -> OverlapConfig {
+        OverlapConfig {
+            comm_tile: self.comm_tiles[0],
+            compute_tile: self.compute_tiles[0],
+            order: self.orders[0],
+            mode: self.modes[0],
+            comm_mapping: self.mappings[0],
+            channels_per_rank: self.channels[0],
+            num_stages: self.stages[0],
+        }
+    }
+
+    /// Enumerates every valid candidate for `oracle`, in deterministic order.
+    ///
+    /// A candidate is valid when [`OverlapConfig::validate`] accepts it for the
+    /// oracle's GPU and the oracle's `is_supported` predicate holds.
+    pub fn candidates(&self, oracle: &dyn CostOracle) -> Vec<OverlapConfig> {
+        let sm_count = oracle.cluster().gpu.sm_count;
+        let mut out = Vec::new();
+        for &comm_tile in &self.comm_tiles {
+            for &compute_tile in &self.compute_tiles {
+                for &order in &self.orders {
+                    for &mode in &self.modes {
+                        for &comm_mapping in &self.mappings {
+                            for &channels_per_rank in &self.channels {
+                                for &num_stages in &self.stages {
+                                    let cfg = OverlapConfig {
+                                        comm_tile,
+                                        compute_tile,
+                                        order,
+                                        mode,
+                                        comm_mapping,
+                                        channels_per_rank,
+                                        num_stages,
+                                    };
+                                    if cfg.validate(sm_count).is_ok() && oracle.is_supported(&cfg) {
+                                        out.push(cfg);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnOracle;
+    use tilelink::OverlapReport;
+    use tilelink_sim::ClusterSpec;
+
+    fn unit_oracle() -> impl CostOracle {
+        FnOracle::new("t", ClusterSpec::h800_node(8), |_| {
+            Ok(OverlapReport::new(1.0, 0.5, 0.5))
+        })
+    }
+
+    #[test]
+    fn default_space_is_the_default_config() {
+        let space = SearchSpace::new();
+        assert_eq!(space.len_unpruned(), 1);
+        let cands = space.candidates(&unit_oracle());
+        assert_eq!(cands, vec![OverlapConfig::default()]);
+        assert_eq!(space.seed(), OverlapConfig::default());
+    }
+
+    #[test]
+    fn standard_space_has_documented_size() {
+        let space = SearchSpace::standard();
+        assert_eq!(space.len_unpruned(), (3 * 3 * 2 * 2 * 6) * 3);
+    }
+
+    #[test]
+    fn invalid_configs_are_pruned_by_validate() {
+        // 200 comm SMs exceed the 132 SMs of an H800: those candidates vanish.
+        let space = SearchSpace::new()
+            .with_mappings([CommMapping::Sm { sms: 20 }, CommMapping::Sm { sms: 200 }]);
+        let cands = space.candidates(&unit_oracle());
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].comm_mapping, CommMapping::Sm { sms: 20 });
+    }
+
+    #[test]
+    fn unsupported_configs_are_pruned_by_the_oracle() {
+        let oracle = FnOracle::new("t", ClusterSpec::h800_node(8), |_| {
+            Ok(OverlapReport::new(1.0, 0.5, 0.5))
+        })
+        .with_support(|cfg: &OverlapConfig| cfg.num_stages != 3);
+        let space = SearchSpace::new().with_stages([2, 3, 4]);
+        let stages: Vec<usize> = space
+            .candidates(&oracle)
+            .iter()
+            .map(|c| c.num_stages)
+            .collect();
+        assert_eq!(stages, vec![2, 4]);
+    }
+
+    #[test]
+    fn enumeration_order_is_deterministic() {
+        let space = SearchSpace::standard();
+        let a = space.candidates(&unit_oracle());
+        let b = space.candidates(&unit_oracle());
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn axis_variants_cover_each_axis() {
+        let space = SearchSpace::standard();
+        let base = OverlapConfig::default();
+        let mut total = 0;
+        for axis in 0..SearchSpace::NUM_AXES {
+            let variants = space.axis_variants(axis, &base);
+            assert!(!variants.is_empty());
+            total += variants.len();
+        }
+        assert_eq!(total, 3 + 3 + 2 + 2 + 6 + 1 + 3);
+        assert!(space.axis_variants(99, &base).is_empty());
+    }
+}

@@ -12,9 +12,7 @@ use tilelink::exec::{run_comm_compute, simulate};
 use tilelink::ir::{BlockDesc, BlockRole, ComputeKind, TileOp, TileProgram};
 use tilelink::primitives::NotifyScope;
 use tilelink::tile::{read_tile, TileRect};
-use tilelink::{
-    BlockChannel, Compiler, DeviceHandle, OverlapReport, StaticMapping, TileMapping,
-};
+use tilelink::{BlockChannel, Compiler, DeviceHandle, OverlapReport, StaticMapping, TileMapping};
 use tilelink_compute::{FlashAccumulator, Tensor};
 use tilelink_shmem::ProcessGroup;
 use tilelink_sim::ClusterSpec;
@@ -54,7 +52,11 @@ pub fn sp_attention_functional(
     let s_per_rank = k_shards[0].shape()[0];
     let d = k_shards[0].shape()[1];
     let s = s_per_rank * world;
-    assert_eq!(s_per_rank % kv_tile_rows, 0, "KV tile must divide the shard length");
+    assert_eq!(
+        s_per_rank % kv_tile_rows,
+        0,
+        "KV tile must divide the shard length"
+    );
     // one communication tile per kv_tile_rows rows of the gathered sequence
     let mapping = StaticMapping::new(s, kv_tile_rows, world, 1);
 
@@ -81,8 +83,24 @@ pub fn sp_attention_functional(
                 for step in 0..world {
                     let src_rank = (rank + step) % world;
                     let dst_off = src_rank * s_per_rank * d;
-                    dev.rank_copy_data(src_rank, "attn/k_src", 0, rank, "attn/k", dst_off, s_per_rank * d);
-                    dev.rank_copy_data(src_rank, "attn/v_src", 0, rank, "attn/v", dst_off, s_per_rank * d);
+                    dev.rank_copy_data(
+                        src_rank,
+                        "attn/k_src",
+                        0,
+                        rank,
+                        "attn/k",
+                        dst_off,
+                        s_per_rank * d,
+                    );
+                    dev.rank_copy_data(
+                        src_rank,
+                        "attn/v_src",
+                        0,
+                        rank,
+                        "attn/v",
+                        dst_off,
+                        s_per_rank * d,
+                    );
                     // host notify: every KV tile of this segment is now ready
                     dev.rank_segment_ready(&mapping, src_rank);
                 }
@@ -219,9 +237,15 @@ mod tests {
         let world = 4;
         let (s_per_rank, d) = (8, 4);
         let s = s_per_rank * world;
-        let q_shards: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[s_per_rank, d], r as u64)).collect();
-        let k_shards: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[s_per_rank, d], 10 + r as u64)).collect();
-        let v_shards: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[s_per_rank, d], 20 + r as u64)).collect();
+        let q_shards: Vec<Tensor> = (0..world)
+            .map(|r| Tensor::random(&[s_per_rank, d], r as u64))
+            .collect();
+        let k_shards: Vec<Tensor> = (0..world)
+            .map(|r| Tensor::random(&[s_per_rank, d], 10 + r as u64))
+            .collect();
+        let v_shards: Vec<Tensor> = (0..world)
+            .map(|r| Tensor::random(&[s_per_rank, d], 20 + r as u64))
+            .collect();
         let k_full = Tensor::concat_rows(&k_shards);
         let v_full = Tensor::concat_rows(&v_shards);
         assert_eq!(k_full.shape(), &[s, d]);
@@ -242,11 +266,18 @@ mod tests {
         // KV tile equal to a full shard (one tile per rank).
         let world = 2;
         let (s_per_rank, d) = (6, 3);
-        let q: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[s_per_rank, d], 30 + r as u64)).collect();
-        let k: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[s_per_rank, d], 40 + r as u64)).collect();
-        let v: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[s_per_rank, d], 50 + r as u64)).collect();
+        let q: Vec<Tensor> = (0..world)
+            .map(|r| Tensor::random(&[s_per_rank, d], 30 + r as u64))
+            .collect();
+        let k: Vec<Tensor> = (0..world)
+            .map(|r| Tensor::random(&[s_per_rank, d], 40 + r as u64))
+            .collect();
+        let v: Vec<Tensor> = (0..world)
+            .map(|r| Tensor::random(&[s_per_rank, d], 50 + r as u64))
+            .collect();
         let outputs = sp_attention_functional(world, &q, &k, &v, 6);
-        let expected = attention_reference(&q[1], &Tensor::concat_rows(&k), &Tensor::concat_rows(&v));
+        let expected =
+            attention_reference(&q[1], &Tensor::concat_rows(&k), &Tensor::concat_rows(&v));
         assert!(outputs[1].allclose(&expected, 1e-3));
     }
 

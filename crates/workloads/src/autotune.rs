@@ -1,0 +1,389 @@
+//! Simulator-guided autotuning of the workload layers.
+//!
+//! This module connects the layers of this crate to the `tilelink-tune`
+//! design-space search: each layer gets a [`tilelink_tune::CostOracle`] that
+//! compiles the candidate configuration through the TileLink compiler and
+//! measures the simulated makespan, plus a `tuned_*` constructor that runs the
+//! search and returns the best configuration together with its timing.
+//!
+//! The paper picks the per-workload `OverlapConfig` by hand (Section 7); these
+//! constructors *generate* it, which is the point of decoupling the design
+//! space in the first place (Section 3.1).
+
+use std::path::PathBuf;
+
+use tilelink::{OverlapConfig, OverlapReport};
+use tilelink_sim::ClusterSpec;
+use tilelink_tune::{CostOracle, SearchSpace, Strategy, TuneCache, TuneReport, Tuner};
+
+use crate::{attention, mlp, moe, AttnShape, MlpShape, MoeShape};
+
+// ---------------------------------------------------------------------------
+// Oracles
+// ---------------------------------------------------------------------------
+
+/// Prices one config for the full tensor-parallel MLP layer (both halves plus
+/// the activation, mirroring [`mlp::timed_full_mlp`] but with the candidate
+/// config applied to both halves).
+#[derive(Debug, Clone)]
+pub struct MlpOracle {
+    shape: MlpShape,
+    cluster: ClusterSpec,
+}
+
+impl MlpOracle {
+    /// Creates the oracle for one MLP shape on one cluster.
+    pub fn new(shape: MlpShape, cluster: ClusterSpec) -> Self {
+        Self { shape, cluster }
+    }
+}
+
+impl CostOracle for MlpOracle {
+    fn workload_key(&self) -> String {
+        format!(
+            "mlp/S{}-H{}-I{}",
+            self.shape.tokens, self.shape.hidden, self.shape.intermediate
+        )
+    }
+
+    fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    fn evaluate(&self, cfg: &OverlapConfig) -> tilelink::Result<OverlapReport> {
+        let ag = mlp::timed_ag_gemm(&self.shape, &self.cluster, cfg)?;
+        let rs = mlp::timed_gemm_rs(&self.shape, &self.cluster, cfg)?;
+        let act = mlp::activation_seconds(&self.shape, &self.cluster);
+        Ok(OverlapReport::new(
+            ag.total_s + rs.total_s + act,
+            ag.comm_only_s + rs.comm_only_s,
+            ag.comp_only_s + rs.comp_only_s + act,
+        ))
+    }
+
+    fn is_supported(&self, cfg: &OverlapConfig) -> bool {
+        // The ring ReduceScatter half indexes tiles as segment × tile, so the
+        // token count must split evenly into per-rank segments of compute tiles.
+        let world = self.cluster.world_size();
+        self.shape.tokens.is_multiple_of(world * cfg.compute_tile.m)
+    }
+}
+
+/// Prices one config for the AllGather + GEMM half of the MLP on its own.
+#[derive(Debug, Clone)]
+pub struct MlpAgGemmOracle {
+    shape: MlpShape,
+    cluster: ClusterSpec,
+}
+
+impl MlpAgGemmOracle {
+    /// Creates the oracle for one MLP shape on one cluster.
+    pub fn new(shape: MlpShape, cluster: ClusterSpec) -> Self {
+        Self { shape, cluster }
+    }
+}
+
+impl CostOracle for MlpAgGemmOracle {
+    fn workload_key(&self) -> String {
+        format!(
+            "mlp_ag_gemm/S{}-H{}-I{}",
+            self.shape.tokens, self.shape.hidden, self.shape.intermediate
+        )
+    }
+
+    fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    fn evaluate(&self, cfg: &OverlapConfig) -> tilelink::Result<OverlapReport> {
+        mlp::timed_ag_gemm(&self.shape, &self.cluster, cfg)
+    }
+
+    fn is_supported(&self, cfg: &OverlapConfig) -> bool {
+        // One producer tile per comm block: keep tiles aligned to the shard.
+        let world = self.cluster.world_size();
+        self.shape.tokens.is_multiple_of(world * cfg.comm_tile.m)
+    }
+}
+
+/// Prices one config for the full MoE layer (both halves plus activation,
+/// mirroring [`moe::timed_full_moe`] with the candidate config).
+#[derive(Debug, Clone)]
+pub struct MoeOracle {
+    shape: MoeShape,
+    cluster: ClusterSpec,
+}
+
+impl MoeOracle {
+    /// Creates the oracle for one MoE shape on one cluster.
+    pub fn new(shape: MoeShape, cluster: ClusterSpec) -> Self {
+        Self { shape, cluster }
+    }
+}
+
+impl CostOracle for MoeOracle {
+    fn workload_key(&self) -> String {
+        format!(
+            "moe/S{}-H{}-I{}-E{}-K{}",
+            self.shape.tokens,
+            self.shape.hidden,
+            self.shape.intermediate,
+            self.shape.experts,
+            self.shape.top_k
+        )
+    }
+
+    fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    fn evaluate(&self, cfg: &OverlapConfig) -> tilelink::Result<OverlapReport> {
+        let first = moe::timed_ag_group_gemm(&self.shape, &self.cluster, cfg)?;
+        let second = moe::timed_group_gemm_rs(&self.shape, &self.cluster, cfg)?;
+        let world = self.cluster.world_size();
+        let act_elems =
+            moe::dispatched_rows(&self.shape) as f64 * (self.shape.intermediate / world) as f64;
+        let act = 3.0 * act_elems * mlp::BYTES_PER_ELEM / self.cluster.gpu.hbm_bytes_per_s()
+            + self.cluster.gpu.kernel_launch_s();
+        Ok(OverlapReport::new(
+            first.total_s + second.total_s + act,
+            first.comm_only_s + second.comm_only_s,
+            first.comp_only_s + second.comp_only_s + act,
+        ))
+    }
+
+    fn is_supported(&self, cfg: &OverlapConfig) -> bool {
+        let world = self.cluster.world_size();
+        self.shape.tokens.is_multiple_of(world * cfg.compute_tile.m)
+    }
+}
+
+/// Prices one config for the sequence-parallel attention kernel at one
+/// sequence length.
+#[derive(Debug, Clone)]
+pub struct AttentionOracle {
+    shape: AttnShape,
+    seq_len: usize,
+    cluster: ClusterSpec,
+}
+
+impl AttentionOracle {
+    /// Creates the oracle for one attention shape and sequence length.
+    pub fn new(shape: AttnShape, seq_len: usize, cluster: ClusterSpec) -> Self {
+        Self {
+            shape,
+            seq_len,
+            cluster,
+        }
+    }
+}
+
+impl CostOracle for AttentionOracle {
+    fn workload_key(&self) -> String {
+        format!(
+            "sp_attention/h{}-d{}-s{}",
+            self.shape.heads, self.shape.head_dim, self.seq_len
+        )
+    }
+
+    fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    fn evaluate(&self, cfg: &OverlapConfig) -> tilelink::Result<OverlapReport> {
+        attention::timed_sp_attention(&self.shape, self.seq_len, &self.cluster, cfg)
+    }
+
+    fn is_supported(&self, _cfg: &OverlapConfig) -> bool {
+        self.seq_len.is_multiple_of(self.cluster.world_size())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuned constructors
+// ---------------------------------------------------------------------------
+
+/// Options shared by the `tuned_*` constructors.
+#[derive(Debug, Clone)]
+pub struct TuneOptions {
+    /// Search strategy (default: beam, width 4, 3 sweeps).
+    pub strategy: Strategy,
+    /// Design space to explore (default: [`SearchSpace::standard`]).
+    pub space: SearchSpace,
+    /// Persistent cache file; `None` keeps the cache in memory.
+    pub cache_path: Option<PathBuf>,
+    /// Evaluation threads; `None` uses one per CPU.
+    pub threads: Option<usize>,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        Self {
+            strategy: Strategy::default(),
+            space: SearchSpace::standard(),
+            cache_path: None,
+            threads: None,
+        }
+    }
+}
+
+impl TuneOptions {
+    /// Uses the process-wide default persistent cache (see
+    /// [`TuneCache::default_path`]).
+    pub fn with_default_cache(mut self) -> Self {
+        self.cache_path = Some(TuneCache::default_path());
+        self
+    }
+}
+
+/// A tuned layer: the winning configuration, its simulated timing, and the
+/// full search report.
+#[derive(Debug, Clone)]
+pub struct TunedLayer {
+    /// The best configuration the search found.
+    pub config: OverlapConfig,
+    /// Simulated timing of the layer under [`TunedLayer::config`].
+    pub layer: OverlapReport,
+    /// The ranked search outcome (all candidates, statistics).
+    pub search: TuneReport,
+}
+
+fn run_tune(oracle: &dyn CostOracle, opts: &TuneOptions) -> tilelink_tune::Result<TunedLayer> {
+    let mut tuner = Tuner::new(opts.strategy);
+    if let Some(threads) = opts.threads {
+        tuner = tuner.with_threads(threads);
+    }
+    if let Some(path) = &opts.cache_path {
+        tuner = tuner.with_cache(TuneCache::open(path)?);
+    }
+    let search = tuner.tune(oracle, &opts.space)?;
+    Ok(TunedLayer {
+        config: search.best.config.clone(),
+        layer: search.best.report,
+        search,
+    })
+}
+
+/// Searches the overlap design space for the full MLP layer and returns the
+/// tuned configuration (compare with [`mlp::timed_full_mlp`], which replays
+/// the hand-picked defaults).
+///
+/// # Errors
+///
+/// Returns an error if the space prunes empty or every candidate fails.
+pub fn tuned_full_mlp(
+    shape: &MlpShape,
+    cluster: &ClusterSpec,
+    opts: &TuneOptions,
+) -> tilelink_tune::Result<TunedLayer> {
+    run_tune(&MlpOracle::new(shape.clone(), cluster.clone()), opts)
+}
+
+/// Searches the design space for the AllGather + GEMM half of the MLP.
+///
+/// # Errors
+///
+/// Returns an error if the space prunes empty or every candidate fails.
+pub fn tuned_ag_gemm(
+    shape: &MlpShape,
+    cluster: &ClusterSpec,
+    opts: &TuneOptions,
+) -> tilelink_tune::Result<TunedLayer> {
+    run_tune(&MlpAgGemmOracle::new(shape.clone(), cluster.clone()), opts)
+}
+
+/// Searches the overlap design space for the full MoE layer.
+///
+/// # Errors
+///
+/// Returns an error if the space prunes empty or every candidate fails.
+pub fn tuned_full_moe(
+    shape: &MoeShape,
+    cluster: &ClusterSpec,
+    opts: &TuneOptions,
+) -> tilelink_tune::Result<TunedLayer> {
+    run_tune(&MoeOracle::new(shape.clone(), cluster.clone()), opts)
+}
+
+/// Searches the overlap design space for the sequence-parallel attention
+/// kernel at one sequence length.
+///
+/// # Errors
+///
+/// Returns an error if the space prunes empty or every candidate fails.
+pub fn tuned_sp_attention(
+    shape: &AttnShape,
+    seq_len: usize,
+    cluster: &ClusterSpec,
+    opts: &TuneOptions,
+) -> tilelink_tune::Result<TunedLayer> {
+    run_tune(
+        &AttentionOracle::new(shape.clone(), seq_len, cluster.clone()),
+        opts,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilelink::TileShape;
+
+    /// A compact space that keeps test runtimes low while still exercising
+    /// several axes.
+    fn small_space() -> SearchSpace {
+        SearchSpace::new()
+            .with_comm_tiles([TileShape::new(128, 128), TileShape::new(256, 128)])
+            .with_compute_tiles([TileShape::new(128, 256), TileShape::new(256, 256)])
+            .with_mappings([
+                tilelink::CommMapping::CopyEngine,
+                tilelink::CommMapping::Sm { sms: 20 },
+            ])
+            .with_stages([2, 3])
+    }
+
+    #[test]
+    fn beam_tuned_mlp_never_loses_to_the_default_config() {
+        let shape = crate::shapes::mlp_shapes()[0].clone();
+        let cluster = ClusterSpec::h800_node(8);
+        let oracle = MlpOracle::new(shape.clone(), cluster.clone());
+        let default_report = oracle.evaluate(&OverlapConfig::default()).unwrap();
+
+        let opts = TuneOptions {
+            strategy: Strategy::Beam {
+                width: 2,
+                sweeps: 2,
+            },
+            space: small_space(),
+            ..TuneOptions::default()
+        };
+        let tuned = tuned_full_mlp(&shape, &cluster, &opts).unwrap();
+        assert!(
+            tuned.layer.total_s <= default_report.total_s,
+            "tuned {} ms > default {} ms",
+            tuned.layer.total_ms(),
+            default_report.total_ms()
+        );
+    }
+
+    #[test]
+    fn unsupported_tile_sizes_are_pruned_for_mlp() {
+        let shape = crate::shapes::mlp_shapes()[0].clone();
+        let cluster = ClusterSpec::h800_node(8);
+        let oracle = MlpOracle::new(shape, cluster);
+        // 8192 tokens over 8 ranks: 1024 rows per rank. A 384-row compute tile
+        // does not divide the segment, so the ring RS indexing rejects it.
+        let bad = OverlapConfig::default().with_compute_tile(TileShape::new(384, 256));
+        assert!(!oracle.is_supported(&bad));
+        let good = OverlapConfig::default().with_compute_tile(TileShape::new(256, 256));
+        assert!(oracle.is_supported(&good));
+    }
+
+    #[test]
+    fn attention_oracle_requires_even_sharding() {
+        let shape = crate::shapes::attn_shapes()[0].clone();
+        let odd = AttentionOracle::new(shape.clone(), 16_384 + 1, ClusterSpec::h800_node(8));
+        assert!(!odd.is_supported(&OverlapConfig::default()));
+        let even = AttentionOracle::new(shape, 16_384, ClusterSpec::h800_node(8));
+        assert!(even.is_supported(&OverlapConfig::default()));
+    }
+}

@@ -50,8 +50,14 @@ pub fn non_overlap_ag_gemm(shape: &MlpShape, cluster: &ClusterSpec) -> OverlapRe
     let world = cluster.world_size();
     let comm = ring_collective_seconds(cluster, gathered_bytes(shape));
     let n_local = 2 * shape.intermediate / world;
-    let comp = cost.gemm_seconds(shape.tokens, n_local, shape.hidden, 128, 256, cluster.gpu.sm_count)
-        + cluster.gpu.kernel_launch_s();
+    let comp = cost.gemm_seconds(
+        shape.tokens,
+        n_local,
+        shape.hidden,
+        128,
+        256,
+        cluster.gpu.sm_count,
+    ) + cluster.gpu.kernel_launch_s();
     OverlapReport::new(comm + comp, comm, comp)
 }
 
@@ -61,8 +67,14 @@ pub fn non_overlap_gemm_rs(shape: &MlpShape, cluster: &ClusterSpec) -> OverlapRe
     let world = cluster.world_size();
     let comm = ring_collective_seconds(cluster, gathered_bytes(shape));
     let k_local = shape.intermediate / world;
-    let comp = cost.gemm_seconds(shape.tokens, shape.hidden, k_local, 128, 256, cluster.gpu.sm_count)
-        + cluster.gpu.kernel_launch_s();
+    let comp = cost.gemm_seconds(
+        shape.tokens,
+        shape.hidden,
+        k_local,
+        128,
+        256,
+        cluster.gpu.sm_count,
+    ) + cluster.gpu.kernel_launch_s();
     OverlapReport::new(comm + comp, comm, comp)
 }
 
@@ -89,8 +101,14 @@ pub fn decompose_ag_gemm(shape: &MlpShape, cluster: &ClusterSpec) -> OverlapRepo
     let chunk_rows = shape.tokens / chunks;
     let chunk_comm = gathered_bytes(shape) / chunks as f64 / cluster.gpu.nvlink_bytes_per_s();
     // The decomposed GEMM loses efficiency from wave quantisation on the small chunk.
-    let chunk_comp =
-        cost.gemm_seconds(chunk_rows, n_local, shape.hidden, 128, 256, cluster.gpu.sm_count);
+    let chunk_comp = cost.gemm_seconds(
+        chunk_rows,
+        n_local,
+        shape.hidden,
+        128,
+        256,
+        cluster.gpu.sm_count,
+    );
     // Per chunk: a copy launch, a GEMM launch and two host synchronisations to
     // order the streams (the host intervention the paper blames for Async-TP's
     // overhead).
@@ -110,8 +128,14 @@ pub fn decompose_gemm_rs(shape: &MlpShape, cluster: &ClusterSpec) -> OverlapRepo
     let k_local = shape.intermediate / world;
     let chunk_rows = shape.tokens / chunks;
     let chunk_comm = gathered_bytes(shape) / chunks as f64 / cluster.gpu.nvlink_bytes_per_s();
-    let chunk_comp =
-        cost.gemm_seconds(chunk_rows, shape.hidden, k_local, 128, 256, cluster.gpu.sm_count);
+    let chunk_comp = cost.gemm_seconds(
+        chunk_rows,
+        shape.hidden,
+        k_local,
+        128,
+        256,
+        cluster.gpu.sm_count,
+    );
     let per_chunk_overhead = 2.0 * cluster.gpu.kernel_launch_s() + 2.0 * cluster.gpu.host_sync_s();
     let steady = (chunks as f64) * chunk_comm.max(chunk_comp);
     let total = chunk_comp + steady + chunks as f64 * per_chunk_overhead;
@@ -130,10 +154,21 @@ pub fn flux_ag_gemm(shape: &MlpShape, cluster: &ClusterSpec) -> OverlapReport {
     let world = cluster.world_size();
     let comm = ring_collective_seconds(cluster, gathered_bytes(shape));
     let n_local = 2 * shape.intermediate / world;
-    let comp = cost.gemm_seconds(shape.tokens, n_local, shape.hidden, 128, 256, cluster.gpu.sm_count);
+    let comp = cost.gemm_seconds(
+        shape.tokens,
+        n_local,
+        shape.hidden,
+        128,
+        256,
+        cluster.gpu.sm_count,
+    );
     // A hand-tuned fused kernel: tiny exposed communication prologue plus the GEMM.
     let exposed = comm / world as f64;
-    OverlapReport::new(comp.max(comm) + exposed + cluster.gpu.kernel_launch_s(), comm, comp)
+    OverlapReport::new(
+        comp.max(comm) + exposed + cluster.gpu.kernel_launch_s(),
+        comm,
+        comp,
+    )
 }
 
 /// FLUX-style fused GEMM + ReduceScatter: the tightly-coupled tile choice
@@ -146,9 +181,20 @@ pub fn flux_gemm_rs(shape: &MlpShape, cluster: &ClusterSpec) -> OverlapReport {
     let k_local = shape.intermediate / world;
     // Coupled tile: the GEMM must adopt the communication tile (128x128) and
     // runs its reduction epilogue on the same CTAs, costing efficiency.
-    let comp = cost.gemm_seconds(shape.tokens, shape.hidden, k_local, 128, 128, cluster.gpu.sm_count) * 1.15;
+    let comp = cost.gemm_seconds(
+        shape.tokens,
+        shape.hidden,
+        k_local,
+        128,
+        128,
+        cluster.gpu.sm_count,
+    ) * 1.15;
     let exposed = 0.35 * comm;
-    OverlapReport::new(comp.max(comm) + exposed + cluster.gpu.kernel_launch_s(), comm, comp)
+    OverlapReport::new(
+        comp.max(comm) + exposed + cluster.gpu.kernel_launch_s(),
+        comm,
+        comp,
+    )
 }
 
 /// FLUX-style full MLP.
@@ -203,9 +249,14 @@ pub fn cublas_nccl_moe_first(shape: &MoeShape, cluster: &ClusterSpec) -> Overlap
     let gather = unfused_shuffle_seconds(shape, cluster, shape.hidden);
     let rows_per_expert = (dispatched_rows(shape) / shape.experts).max(1);
     let i_local = shape.intermediate / world;
-    let per_expert =
-        cost.gemm_seconds(rows_per_expert, i_local, shape.hidden, 64, 64, cluster.gpu.sm_count)
-            + cluster.gpu.kernel_launch_s();
+    let per_expert = cost.gemm_seconds(
+        rows_per_expert,
+        i_local,
+        shape.hidden,
+        64,
+        64,
+        cluster.gpu.sm_count,
+    ) + cluster.gpu.kernel_launch_s();
     let comp = gather + shape.experts as f64 * per_expert;
     OverlapReport::new(comm + comp, comm, comp)
 }
@@ -264,11 +315,23 @@ fn moe_second_baseline(
     let mut comp = if per_expert_launches {
         let rows_per_expert = (gemm_rows / shape.experts).max(1);
         shape.experts as f64
-            * (cost.gemm_seconds(rows_per_expert, shape.hidden, i_local, 64, 64, cluster.gpu.sm_count)
-                + cluster.gpu.kernel_launch_s())
+            * (cost.gemm_seconds(
+                rows_per_expert,
+                shape.hidden,
+                i_local,
+                64,
+                64,
+                cluster.gpu.sm_count,
+            ) + cluster.gpu.kernel_launch_s())
     } else {
-        cost.gemm_seconds(gemm_rows, shape.hidden, i_local, 128, 128, cluster.gpu.sm_count)
-            + cluster.gpu.kernel_launch_s()
+        cost.gemm_seconds(
+            gemm_rows,
+            shape.hidden,
+            i_local,
+            128,
+            128,
+            cluster.gpu.sm_count,
+        ) + cluster.gpu.kernel_launch_s()
     };
     if !fused_epilogue {
         comp += unfused_shuffle_seconds(shape, cluster, shape.hidden);
@@ -294,7 +357,12 @@ pub fn vllm_moe_second(shape: &MoeShape, cluster: &ClusterSpec) -> OverlapReport
     moe_second_baseline(shape, cluster, true, false)
 }
 
-fn combine_moe(first: OverlapReport, second: OverlapReport, shape: &MoeShape, cluster: &ClusterSpec) -> OverlapReport {
+fn combine_moe(
+    first: OverlapReport,
+    second: OverlapReport,
+    shape: &MoeShape,
+    cluster: &ClusterSpec,
+) -> OverlapReport {
     let world = cluster.world_size();
     let act_elems = dispatched_rows(shape) as f64 * (shape.intermediate / world) as f64;
     let act = 3.0 * act_elems * BYTES_PER_ELEM / cluster.gpu.hbm_bytes_per_s()
@@ -341,19 +409,13 @@ pub fn vllm_full_moe(shape: &MoeShape, cluster: &ClusterSpec) -> OverlapReport {
 // ---------------------------------------------------------------------------
 
 fn kv_allgather_seconds(shape: &AttnShape, seq_len: usize, cluster: &ClusterSpec) -> f64 {
-    let world = cluster.world_size();
     let total = 2.0 * shape.heads as f64 * seq_len as f64 * shape.head_dim as f64 * BYTES_PER_ELEM;
-    ring_collective_seconds(cluster, total) * (world as f64 - 1.0).max(1.0) / (world as f64 - 1.0).max(1.0)
+    ring_collective_seconds(cluster, total)
 }
 
 /// Flash-attention compute time for one rank's query shard against the full
 /// sequence, at `efficiency` of peak.
-fn flash_seconds(
-    shape: &AttnShape,
-    seq_len: usize,
-    cluster: &ClusterSpec,
-    efficiency: f64,
-) -> f64 {
+fn flash_seconds(shape: &AttnShape, seq_len: usize, cluster: &ClusterSpec, efficiency: f64) -> f64 {
     let world = cluster.world_size();
     let q_rows = seq_len / world;
     let flops = 4.0 * shape.heads as f64 * q_rows as f64 * seq_len as f64 * shape.head_dim as f64;
@@ -402,7 +464,11 @@ pub fn overlapped_attention_estimate(
     let comm = kv_allgather_seconds(shape, seq_len, cluster);
     let comp = flash_seconds(shape, seq_len, cluster, 0.7);
     let exposed = comm / cluster.world_size() as f64;
-    OverlapReport::new(comp.max(comm) + exposed + cluster.gpu.kernel_launch_s(), comm, comp)
+    OverlapReport::new(
+        comp.max(comm) + exposed + cluster.gpu.kernel_launch_s(),
+        comm,
+        comp,
+    )
 }
 
 #[cfg(test)]

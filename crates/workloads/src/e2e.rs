@@ -50,7 +50,12 @@ fn moe_shape_of(model: &ModelConfig, tokens: usize) -> Option<MoeShape> {
 /// local 8192-token context, output projection and the tensor-parallel
 /// AllReduce of the projections). Identical math is used for both strategies;
 /// only the exposed communication differs.
-fn attention_part_seconds(model: &ModelConfig, tokens: usize, cluster: &ClusterSpec, overlapped: bool) -> f64 {
+fn attention_part_seconds(
+    model: &ModelConfig,
+    tokens: usize,
+    cluster: &ClusterSpec,
+    overlapped: bool,
+) -> f64 {
     let cost = CostModel::new(cluster.clone());
     let world = cluster.world_size();
     let h = model.hidden;
@@ -105,7 +110,11 @@ fn ffn_tilelink_seconds(
 }
 
 /// End-to-end PyTorch (non-overlapping) estimate for one model.
-pub fn torch_model_timing(model: &ModelConfig, cluster: &ClusterSpec, tokens: usize) -> ModelTiming {
+pub fn torch_model_timing(
+    model: &ModelConfig,
+    cluster: &ClusterSpec,
+    tokens: usize,
+) -> ModelTiming {
     let attn = attention_part_seconds(model, tokens, cluster, false);
     let ffn = ffn_torch_seconds(model, tokens, cluster);
     ModelTiming {
@@ -141,7 +150,11 @@ pub fn tilelink_model_timing(
 /// # Errors
 ///
 /// Returns an error if a TileLink kernel fails to compile or simulate.
-pub fn model_speedup(model: &ModelConfig, cluster: &ClusterSpec, tokens: usize) -> tilelink::Result<f64> {
+pub fn model_speedup(
+    model: &ModelConfig,
+    cluster: &ClusterSpec,
+    tokens: usize,
+) -> tilelink::Result<f64> {
     let torch = torch_model_timing(model, cluster, tokens);
     let tl = tilelink_model_timing(model, cluster, tokens)?;
     Ok(torch.total_s / tl.total_s)
@@ -168,7 +181,11 @@ impl E2eComparison {
 /// # Errors
 ///
 /// Returns an error if a TileLink kernel fails to compile or simulate.
-pub fn compare_model(model: &ModelConfig, cluster: &ClusterSpec, tokens: usize) -> tilelink::Result<E2eComparison> {
+pub fn compare_model(
+    model: &ModelConfig,
+    cluster: &ClusterSpec,
+    tokens: usize,
+) -> tilelink::Result<E2eComparison> {
     Ok(E2eComparison {
         torch: torch_model_timing(model, cluster, tokens),
         tilelink: tilelink_model_timing(model, cluster, tokens)?,

@@ -16,15 +16,20 @@
 //!   FLUX-style fusion, CUTLASS+NCCL, vLLM-style fused MoE operators,
 //!   RingAttention and the non-flash "Torch" attention baseline;
 //! * [`e2e`] — end-to-end per-model estimates combining the layer results
-//!   (Figure 11).
+//!   (Figure 11);
+//! * [`autotune`] — `tilelink-tune` oracles and `tuned_*` constructors that
+//!   *search* the overlap design space per layer instead of replaying the
+//!   hand-picked defaults.
 
 #![deny(missing_docs)]
 
 pub mod attention;
+pub mod autotune;
 pub mod baselines;
 pub mod e2e;
 pub mod mlp;
 pub mod moe;
 pub mod shapes;
 
+pub use autotune::{TuneOptions, TunedLayer};
 pub use shapes::{AttnShape, MlpShape, ModelConfig, MoeShape};

@@ -80,7 +80,11 @@ pub fn ag_gemm_functional(
     let m = tokens.shape()[0];
     let k = tokens.shape()[1];
     let m_per_rank = m / world;
-    assert_eq!(m % (world * comm_tile_m), 0, "M must divide evenly for this kernel");
+    assert_eq!(
+        m % (world * comm_tile_m),
+        0,
+        "M must divide evenly for this kernel"
+    );
     let mapping = StaticMapping::new(m, comm_tile_m, world, 2);
 
     ProcessGroup::launch(world, |ctx| {
@@ -90,10 +94,18 @@ pub fn ag_gemm_functional(
         let src = ctx.alloc("mlp/ag_src", m_per_rank * k);
         src.write_slice(
             0,
-            tokens.slice_rows(rank * m_per_rank..(rank + 1) * m_per_rank).data(),
+            tokens
+                .slice_rows(rank * m_per_rank..(rank + 1) * m_per_rank)
+                .data(),
         );
         ctx.alloc("mlp/ag_gathered", m * k);
-        let bc = BlockChannel::derive(rank, world, &mapping, mapping.num_tiles() / world, m / compute_tile_m);
+        let bc = BlockChannel::derive(
+            rank,
+            world,
+            &mapping,
+            mapping.num_tiles() / world,
+            m / compute_tile_m,
+        );
         let dev = DeviceHandle::new(&ctx, "mlp_ag_gemm", bc, 0);
         dev.barrier_all();
 
@@ -110,7 +122,14 @@ pub fn ag_gemm_functional(
                 let rows = mapping.rows_of(tile).expect("tile in range");
                 let local_rows = (rows.start - rank * m_per_rank)..(rows.end - rank * m_per_rank);
                 let data = read_tile(&src, k, &TileRect::full_rows(local_rows, k));
-                dev.tile_push_data("mlp/ag_gathered", &mapping, tile, k, &data, PushTarget::Broadcast);
+                dev.tile_push_data(
+                    "mlp/ag_gathered",
+                    &mapping,
+                    tile,
+                    k,
+                    &data,
+                    PushTarget::Broadcast,
+                );
                 dev.producer_tile_notify(&mapping, tile, NotifyScope::Broadcast);
             },
             // computation blocks: wait for the rows they need, then GEMM
@@ -159,7 +178,11 @@ pub fn gemm_rs_functional(
     let m = act_shards[0].shape()[0];
     let n = weight_shards[0].shape()[1];
     let m_per_rank = m / world;
-    assert_eq!(m % (world * tile_m), 0, "M must divide evenly for this kernel");
+    assert_eq!(
+        m % (world * tile_m),
+        0,
+        "M must divide evenly for this kernel"
+    );
     let mapping = StaticMapping::new(m, tile_m, world, 2);
     let tiles_per_segment = m_per_rank / tile_m;
     let num_tiles = mapping.num_tiles();
@@ -206,7 +229,8 @@ pub fn gemm_rs_functional(
                         // fold in the partial sum pushed by the next rank
                         dev.peer_tile_wait(tile_global, 1);
                         let partial = dev.buffer_on(rank, "mlp/rs_partial");
-                        let incoming = read_tile(&partial, n, &TileRect::full_rows(rows.clone(), n));
+                        let incoming =
+                            read_tile(&partial, n, &TileRect::full_rows(rows.clone(), n));
                         for (d, p) in data.iter_mut().zip(incoming) {
                             *d += p;
                         }
@@ -357,7 +381,8 @@ pub fn gemm_rs_program(
         // Ring ReduceScatter blocks: one per tile of this rank's segment.
         let to_rank = (rank + world - 1) % world;
         for tid_m in 0..tiles_per_segment {
-            let mut block = BlockDesc::new(format!("rs/r{rank}/t{tid_m}"), rank, BlockRole::Producer);
+            let mut block =
+                BlockDesc::new(format!("rs/r{rank}/t{tid_m}"), rank, BlockRole::Producer);
             for stage in 0..world {
                 let seg = (rank + stage + 1) % world;
                 let tile_global = seg * tiles_per_segment + tid_m;
@@ -415,7 +440,8 @@ pub fn timed_ag_gemm(
     cfg: &OverlapConfig,
 ) -> tilelink::Result<OverlapReport> {
     let world = cluster.world_size();
-    let (program, mapping) = ag_gemm_program(shape.tokens, shape.hidden, shape.intermediate, world, cfg);
+    let (program, mapping) =
+        ag_gemm_program(shape.tokens, shape.hidden, shape.intermediate, world, cfg);
     let kernel = Compiler::new(cfg.clone(), cluster.gpu.clone()).compile(&program, &mapping)?;
     let (report, _) = simulate(&kernel, cluster)?;
     Ok(report)
@@ -432,7 +458,8 @@ pub fn timed_gemm_rs(
     cfg: &OverlapConfig,
 ) -> tilelink::Result<OverlapReport> {
     let world = cluster.world_size();
-    let (program, mapping) = gemm_rs_program(shape.tokens, shape.hidden, shape.intermediate, world, cfg);
+    let (program, mapping) =
+        gemm_rs_program(shape.tokens, shape.hidden, shape.intermediate, world, cfg);
     let kernel = Compiler::new(cfg.clone(), cluster.gpu.clone()).compile(&program, &mapping)?;
     let (report, _) = simulate(&kernel, cluster)?;
     Ok(report)
@@ -479,7 +506,9 @@ mod tests {
         let world = 4;
         let (m, k, n_local) = (32, 12, 6);
         let tokens = Tensor::random(&[m, k], 1);
-        let weights: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[k, n_local], 100 + r as u64)).collect();
+        let weights: Vec<Tensor> = (0..world)
+            .map(|r| Tensor::random(&[k, n_local], 100 + r as u64))
+            .collect();
         let got = ag_gemm_functional(world, &tokens, &weights, 4, 8);
         let expected = reference_ag_gemm(&tokens, &weights);
         for (g, e) in got.iter().zip(&expected) {
@@ -492,7 +521,9 @@ mod tests {
         // comm tile 2 rows, compute tile 8 rows: the decoupled-tile-size case.
         let world = 2;
         let tokens = Tensor::random(&[16, 8], 3);
-        let weights: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[8, 4], 7 + r as u64)).collect();
+        let weights: Vec<Tensor> = (0..world)
+            .map(|r| Tensor::random(&[8, 4], 7 + r as u64))
+            .collect();
         let got = ag_gemm_functional(world, &tokens, &weights, 2, 8);
         let expected = reference_ag_gemm(&tokens, &weights);
         for (g, e) in got.iter().zip(&expected) {
@@ -504,8 +535,12 @@ mod tests {
     fn functional_gemm_rs_matches_collective_reference() {
         let world = 4;
         let (m, k_local, n) = (32, 6, 10);
-        let acts: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[m, k_local], 11 + r as u64)).collect();
-        let weights: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[k_local, n], 23 + r as u64)).collect();
+        let acts: Vec<Tensor> = (0..world)
+            .map(|r| Tensor::random(&[m, k_local], 11 + r as u64))
+            .collect();
+        let weights: Vec<Tensor> = (0..world)
+            .map(|r| Tensor::random(&[k_local, n], 23 + r as u64))
+            .collect();
         let got = gemm_rs_functional(world, &acts, &weights, 4);
 
         // reference: full sum then slice rows per rank
@@ -516,7 +551,11 @@ mod tests {
         }
         for (r, g) in got.iter().enumerate() {
             let expected = full.slice_rows(r * m / world..(r + 1) * m / world);
-            assert!(g.allclose(&expected, 1e-3), "rank {r} diff {}", g.max_abs_diff(&expected));
+            assert!(
+                g.allclose(&expected, 1e-3),
+                "rank {r} diff {}",
+                g.max_abs_diff(&expected)
+            );
         }
     }
 
@@ -526,8 +565,12 @@ mod tests {
         // reduce_scatter of the flattened partial outputs.
         let world = 2;
         let (m, k_local, n) = (8, 3, 4);
-        let acts: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[m, k_local], 31 + r as u64)).collect();
-        let weights: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[k_local, n], 41 + r as u64)).collect();
+        let acts: Vec<Tensor> = (0..world)
+            .map(|r| Tensor::random(&[m, k_local], 31 + r as u64))
+            .collect();
+        let weights: Vec<Tensor> = (0..world)
+            .map(|r| Tensor::random(&[k_local, n], 41 + r as u64))
+            .collect();
         let overlapped = gemm_rs_functional(world, &acts, &weights, 2);
 
         let acts2 = acts.clone();
@@ -552,7 +595,10 @@ mod tests {
         assert!(report.total_s < report.comm_only_s + report.comp_only_s);
         // Table 2 magnitude check: the overlapped AG+GEMM of MLP-1 is a few
         // hundred microseconds to a millisecond on 8 GPUs.
-        assert!(report.total_ms() > 0.05 && report.total_ms() < 5.0, "{report}");
+        assert!(
+            report.total_ms() > 0.05 && report.total_ms() < 5.0,
+            "{report}"
+        );
     }
 
     #[test]
@@ -566,7 +612,10 @@ mod tests {
         let cluster = ClusterSpec::h800_node(8);
         let report = timed_gemm_rs(&shape, &cluster, &gemm_rs_config()).unwrap();
         assert!(report.total_s < report.comm_only_s + report.comp_only_s);
-        assert!(report.total_ms() > 0.05 && report.total_ms() < 2.0, "{report}");
+        assert!(
+            report.total_ms() > 0.05 && report.total_ms() < 2.0,
+            "{report}"
+        );
     }
 
     #[test]

@@ -93,7 +93,9 @@ pub fn ag_moe_functional(
         let src = ctx.alloc("moe/src", m_per_rank * h);
         src.write_slice(
             0,
-            tokens.slice_rows(rank * m_per_rank..(rank + 1) * m_per_rank).data(),
+            tokens
+                .slice_rows(rank * m_per_rank..(rank + 1) * m_per_rank)
+                .data(),
         );
         ctx.alloc("moe/gathered", m * h);
         let num_dispatch_tiles = dispatch.num_rows().div_ceil(dispatch_tile_m);
@@ -114,7 +116,9 @@ pub fn ag_moe_functional(
         for t in 0..num_dispatch_tiles {
             let rows = t * dispatch_tile_m..((t + 1) * dispatch_tile_m).min(dispatch.num_rows());
             let expert = dispatch.expert_of_row[rows.start];
-            dyn_mapping.fill(t, rows, expert, t).expect("fill dynamic mapping");
+            dyn_mapping
+                .fill(t, rows, expert, t)
+                .expect("fill dynamic mapping");
         }
 
         let own_tiles = ag_mapping.tiles_of_rank(rank);
@@ -130,7 +134,14 @@ pub fn ag_moe_functional(
                 let rows = ag_mapping.rows_of(tile).expect("tile in range");
                 let local_rows = (rows.start - rank * m_per_rank)..(rows.end - rank * m_per_rank);
                 let data = read_tile(&src, h, &TileRect::full_rows(local_rows, h));
-                dev.tile_push_data("moe/gathered", &ag_mapping, tile, h, &data, PushTarget::Broadcast);
+                dev.tile_push_data(
+                    "moe/gathered",
+                    &ag_mapping,
+                    tile,
+                    h,
+                    &data,
+                    PushTarget::Broadcast,
+                );
                 dev.producer_tile_notify(&ag_mapping, tile, NotifyScope::Broadcast);
             },
             // Group GEMM consumer blocks: one per dispatched-row tile
@@ -180,7 +191,7 @@ pub fn ag_moe_functional(
 // ---------------------------------------------------------------------------
 
 /// Expected number of dispatched rows per rank-sharded expert group.
-fn dispatched_rows(shape: &MoeShape) -> usize {
+pub fn dispatched_rows(shape: &MoeShape) -> usize {
     shape.tokens * shape.top_k
 }
 
@@ -222,8 +233,10 @@ pub fn ag_group_gemm_program(
         for b in 0..compute_tiles {
             // Each Group-GEMM block consumes tokens scattered across the whole
             // gathered matrix, so it waits on a spread of producer tiles.
-            let mut block = BlockDesc::new(format!("ggemm/r{rank}/b{b}"), rank, BlockRole::Consumer);
-            let wait_tiles = (mapping.num_tiles() * (b + 1) / compute_tiles).min(mapping.num_tiles());
+            let mut block =
+                BlockDesc::new(format!("ggemm/r{rank}/b{b}"), rank, BlockRole::Consumer);
+            let wait_tiles =
+                (mapping.num_tiles() * (b + 1) / compute_tiles).min(mapping.num_tiles());
             for tile in (mapping.num_tiles() * b / compute_tiles)..wait_tiles {
                 block = block.op(TileOp::ConsumerWait { tile });
             }
@@ -303,7 +316,8 @@ pub fn group_gemm_rs_program(
         // Ring ReduceScatter, identical in structure to the MLP second half.
         let to_rank = (rank + world - 1) % world;
         for tid_m in 0..tiles_per_segment {
-            let mut block = BlockDesc::new(format!("rs/r{rank}/t{tid_m}"), rank, BlockRole::Producer);
+            let mut block =
+                BlockDesc::new(format!("rs/r{rank}/t{tid_m}"), rank, BlockRole::Producer);
             for stage in 0..world {
                 let seg = (rank + stage + 1) % world;
                 let tile_global = seg * tiles_per_segment + tid_m;
@@ -316,8 +330,13 @@ pub fn group_gemm_rs_program(
                     });
                 if stage != 0 {
                     block = block
-                        .op(TileOp::PeerWait { slot: tile_global, expected: 1 })
-                        .op(TileOp::Compute(ComputeKind::Reduction { elems: tile_m * h }));
+                        .op(TileOp::PeerWait {
+                            slot: tile_global,
+                            expected: 1,
+                        })
+                        .op(TileOp::Compute(ComputeKind::Reduction {
+                            elems: tile_m * h,
+                        }));
                 }
                 if stage == world - 1 {
                     block = block.op(TileOp::StoreTile {
@@ -333,7 +352,10 @@ pub fn group_gemm_rs_program(
                             tile: tile_global,
                             target: PushTarget::Rank(to_rank),
                         })
-                        .op(TileOp::PeerNotify { slot: tile_global, dst_rank: to_rank });
+                        .op(TileOp::PeerNotify {
+                            slot: tile_global,
+                            dst_rank: to_rank,
+                        });
                 }
             }
             program.add_block(block);

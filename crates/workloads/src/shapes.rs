@@ -18,12 +18,48 @@ pub struct MlpShape {
 /// The six MLP configurations of Table 4.
 pub fn mlp_shapes() -> Vec<MlpShape> {
     vec![
-        MlpShape { name: "MLP-1", tokens: 8192, hidden: 4096, intermediate: 11008, source: "LLaMA-7B" },
-        MlpShape { name: "MLP-2", tokens: 8192, hidden: 4096, intermediate: 14336, source: "LLaMA-3.1-8B" },
-        MlpShape { name: "MLP-3", tokens: 8192, hidden: 3584, intermediate: 14336, source: "Gemma-2-9B" },
-        MlpShape { name: "MLP-4", tokens: 8192, hidden: 4608, intermediate: 36864, source: "Gemma-2-27B" },
-        MlpShape { name: "MLP-5", tokens: 8192, hidden: 8192, intermediate: 28672, source: "LLaMA-3.1-70B" },
-        MlpShape { name: "MLP-6", tokens: 8192, hidden: 8192, intermediate: 29568, source: "Qwen-2-72B" },
+        MlpShape {
+            name: "MLP-1",
+            tokens: 8192,
+            hidden: 4096,
+            intermediate: 11008,
+            source: "LLaMA-7B",
+        },
+        MlpShape {
+            name: "MLP-2",
+            tokens: 8192,
+            hidden: 4096,
+            intermediate: 14336,
+            source: "LLaMA-3.1-8B",
+        },
+        MlpShape {
+            name: "MLP-3",
+            tokens: 8192,
+            hidden: 3584,
+            intermediate: 14336,
+            source: "Gemma-2-9B",
+        },
+        MlpShape {
+            name: "MLP-4",
+            tokens: 8192,
+            hidden: 4608,
+            intermediate: 36864,
+            source: "Gemma-2-27B",
+        },
+        MlpShape {
+            name: "MLP-5",
+            tokens: 8192,
+            hidden: 8192,
+            intermediate: 28672,
+            source: "LLaMA-3.1-70B",
+        },
+        MlpShape {
+            name: "MLP-6",
+            tokens: 8192,
+            hidden: 8192,
+            intermediate: 29568,
+            source: "Qwen-2-72B",
+        },
     ]
 }
 
@@ -47,12 +83,54 @@ pub struct MoeShape {
 /// The six MoE configurations of Table 4.
 pub fn moe_shapes() -> Vec<MoeShape> {
     vec![
-        MoeShape { name: "MoE-1", tokens: 8192, hidden: 2048, intermediate: 1536, experts: 8, top_k: 2 },
-        MoeShape { name: "MoE-2", tokens: 8192, hidden: 2048, intermediate: 1536, experts: 32, top_k: 2 },
-        MoeShape { name: "MoE-3", tokens: 8192, hidden: 2048, intermediate: 1536, experts: 32, top_k: 5 },
-        MoeShape { name: "MoE-4", tokens: 8192, hidden: 4096, intermediate: 2048, experts: 8, top_k: 2 },
-        MoeShape { name: "MoE-5", tokens: 8192, hidden: 4096, intermediate: 2048, experts: 32, top_k: 2 },
-        MoeShape { name: "MoE-6", tokens: 8192, hidden: 4096, intermediate: 2048, experts: 32, top_k: 5 },
+        MoeShape {
+            name: "MoE-1",
+            tokens: 8192,
+            hidden: 2048,
+            intermediate: 1536,
+            experts: 8,
+            top_k: 2,
+        },
+        MoeShape {
+            name: "MoE-2",
+            tokens: 8192,
+            hidden: 2048,
+            intermediate: 1536,
+            experts: 32,
+            top_k: 2,
+        },
+        MoeShape {
+            name: "MoE-3",
+            tokens: 8192,
+            hidden: 2048,
+            intermediate: 1536,
+            experts: 32,
+            top_k: 5,
+        },
+        MoeShape {
+            name: "MoE-4",
+            tokens: 8192,
+            hidden: 4096,
+            intermediate: 2048,
+            experts: 8,
+            top_k: 2,
+        },
+        MoeShape {
+            name: "MoE-5",
+            tokens: 8192,
+            hidden: 4096,
+            intermediate: 2048,
+            experts: 32,
+            top_k: 2,
+        },
+        MoeShape {
+            name: "MoE-6",
+            tokens: 8192,
+            hidden: 4096,
+            intermediate: 2048,
+            experts: 32,
+            top_k: 5,
+        },
     ]
 }
 
@@ -72,8 +150,18 @@ pub struct AttnShape {
 /// The two attention configurations of Table 4 (16k–128k context).
 pub fn attn_shapes() -> Vec<AttnShape> {
     vec![
-        AttnShape { name: "Attn-1", heads: 32, head_dim: 128, seq_lens: vec![16_384, 32_768, 65_536, 131_072] },
-        AttnShape { name: "Attn-2", heads: 64, head_dim: 128, seq_lens: vec![16_384, 32_768, 65_536, 131_072] },
+        AttnShape {
+            name: "Attn-1",
+            heads: 32,
+            head_dim: 128,
+            seq_lens: vec![16_384, 32_768, 65_536, 131_072],
+        },
+        AttnShape {
+            name: "Attn-2",
+            heads: 64,
+            head_dim: 128,
+            seq_lens: vec![16_384, 32_768, 65_536, 131_072],
+        },
     ]
 }
 
@@ -110,14 +198,78 @@ impl ModelConfig {
 /// The eight models evaluated end-to-end in Figure 11.
 pub fn model_configs() -> Vec<ModelConfig> {
     vec![
-        ModelConfig { name: "GPT3-6.7B", layers: 32, hidden: 4096, intermediate: 16384, heads: 32, moe: None, shared_expert: false },
-        ModelConfig { name: "LLaMA2-7B", layers: 32, hidden: 4096, intermediate: 11008, heads: 32, moe: None, shared_expert: false },
-        ModelConfig { name: "LLaMA2-13B", layers: 40, hidden: 5120, intermediate: 13824, heads: 40, moe: None, shared_expert: false },
-        ModelConfig { name: "LLaMA2-70B", layers: 80, hidden: 8192, intermediate: 28672, heads: 64, moe: None, shared_expert: false },
-        ModelConfig { name: "GPT3-175B", layers: 96, hidden: 12288, intermediate: 49152, heads: 96, moe: None, shared_expert: false },
-        ModelConfig { name: "Mixtral-8x7B", layers: 32, hidden: 4096, intermediate: 0, heads: 32, moe: Some((8, 2, 14336)), shared_expert: false },
-        ModelConfig { name: "Mixtral-8x22B", layers: 56, hidden: 6144, intermediate: 0, heads: 48, moe: Some((8, 2, 16384)), shared_expert: false },
-        ModelConfig { name: "Qwen1.5-2.7B", layers: 24, hidden: 2048, intermediate: 5504, heads: 16, moe: Some((60, 4, 1408)), shared_expert: true },
+        ModelConfig {
+            name: "GPT3-6.7B",
+            layers: 32,
+            hidden: 4096,
+            intermediate: 16384,
+            heads: 32,
+            moe: None,
+            shared_expert: false,
+        },
+        ModelConfig {
+            name: "LLaMA2-7B",
+            layers: 32,
+            hidden: 4096,
+            intermediate: 11008,
+            heads: 32,
+            moe: None,
+            shared_expert: false,
+        },
+        ModelConfig {
+            name: "LLaMA2-13B",
+            layers: 40,
+            hidden: 5120,
+            intermediate: 13824,
+            heads: 40,
+            moe: None,
+            shared_expert: false,
+        },
+        ModelConfig {
+            name: "LLaMA2-70B",
+            layers: 80,
+            hidden: 8192,
+            intermediate: 28672,
+            heads: 64,
+            moe: None,
+            shared_expert: false,
+        },
+        ModelConfig {
+            name: "GPT3-175B",
+            layers: 96,
+            hidden: 12288,
+            intermediate: 49152,
+            heads: 96,
+            moe: None,
+            shared_expert: false,
+        },
+        ModelConfig {
+            name: "Mixtral-8x7B",
+            layers: 32,
+            hidden: 4096,
+            intermediate: 0,
+            heads: 32,
+            moe: Some((8, 2, 14336)),
+            shared_expert: false,
+        },
+        ModelConfig {
+            name: "Mixtral-8x22B",
+            layers: 56,
+            hidden: 6144,
+            intermediate: 0,
+            heads: 48,
+            moe: Some((8, 2, 16384)),
+            shared_expert: false,
+        },
+        ModelConfig {
+            name: "Qwen1.5-2.7B",
+            layers: 24,
+            hidden: 2048,
+            intermediate: 5504,
+            heads: 16,
+            moe: Some((60, 4, 1408)),
+            shared_expert: true,
+        },
     ]
 }
 

@@ -1,0 +1,66 @@
+//! End-to-end autotuning demo: search the overlap design space for the MLP-1
+//! layer on a simulated 8×H800 node instead of replaying the hand-picked
+//! defaults.
+//!
+//! Run with `cargo run --release --example autotune`.
+
+use tilelink::OverlapConfig;
+use tilelink_sim::ClusterSpec;
+use tilelink_tune::{CostOracle, SearchSpace, Strategy, Tuner};
+use tilelink_workloads::autotune::{self, MlpOracle, TuneOptions};
+use tilelink_workloads::shapes;
+
+fn main() {
+    let cluster = ClusterSpec::h800_node(8);
+    let shape = shapes::mlp_shapes()[0].clone();
+    println!(
+        "tuning {} (S={} H={} I={}) on 8xH800...\n",
+        shape.name, shape.tokens, shape.hidden, shape.intermediate
+    );
+
+    // What the hand-picked default costs.
+    let oracle = MlpOracle::new(shape.clone(), cluster.clone());
+    let default_report = oracle
+        .evaluate(&OverlapConfig::default())
+        .expect("default config evaluates");
+    println!("default config: {default_report}");
+
+    // Beam search over the standard space (the high-level path).
+    let tuned = autotune::tuned_full_mlp(&shape, &cluster, &TuneOptions::default())
+        .expect("beam search succeeds");
+    println!(
+        "\nbeam search ({} simulated candidates):",
+        tuned.search.evaluations
+    );
+    println!("tuned config:   {}", tuned.layer);
+    println!("config:         {}", tuned.config.cache_key());
+    println!(
+        "speedup over default: {:.2}x",
+        default_report.total_s / tuned.layer.total_s
+    );
+
+    // The low-level path: a custom space searched exhaustively.
+    let space = SearchSpace::new()
+        .with_comm_tiles([
+            tilelink::TileShape::new(128, 128),
+            tilelink::TileShape::new(256, 128),
+        ])
+        .with_compute_tiles([
+            tilelink::TileShape::new(128, 256),
+            tilelink::TileShape::new(256, 256),
+        ])
+        .with_mappings([
+            tilelink::CommMapping::CopyEngine,
+            tilelink::CommMapping::Sm { sms: 20 },
+            tilelink::CommMapping::Hybrid { sms: 20 },
+        ])
+        .with_stages([2, 3]);
+    let report = Tuner::new(Strategy::Exhaustive)
+        .tune(&oracle, &space)
+        .expect("exhaustive search succeeds");
+    println!(
+        "\nexhaustive search over a custom {}-point space:",
+        space.len_unpruned()
+    );
+    print!("{}", report.summary(5));
+}

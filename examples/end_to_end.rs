@@ -9,7 +9,10 @@ use tilelink_workloads::shapes::model_configs;
 fn main() {
     let (cluster, tokens) = e2e::single_node_setup();
     println!("simulated 8xH800, batch 4 x sequence 8192\n");
-    for model in model_configs().iter().filter(|m| m.name == "LLaMA2-7B" || m.name == "Mixtral-8x7B") {
+    for model in model_configs()
+        .iter()
+        .filter(|m| m.name == "LLaMA2-7B" || m.name == "Mixtral-8x7B")
+    {
         let cmp = e2e::compare_model(model, &cluster, tokens).expect("comparison");
         println!(
             "{:<14} PyTorch {:>8.1} ms | TileLink {:>8.1} ms | speedup {:.2}x (attention {:.0}% of time)",

@@ -17,7 +17,10 @@ fn main() {
         .map(|r| Tensor::random(&[experts, h, i_local], 40 + r as u64))
         .collect();
     let routing = topk_routing(&logits, top_k);
-    println!("router put {:?} tokens on each expert", routing.expert_counts());
+    println!(
+        "router put {:?} tokens on each expert",
+        routing.expert_counts()
+    );
 
     let results = moe::ag_moe_functional(world, &tokens, &logits, &weights, top_k, 4, 4);
     println!(

@@ -41,9 +41,17 @@ fn main() {
             |b| {
                 let tile = own_tiles[b];
                 let rows = mapping.rows_of(tile).unwrap();
-                let local = (rows.start - rank * ROWS / WORLD) * COLS..(rows.end - rank * ROWS / WORLD) * COLS;
+                let local = (rows.start - rank * ROWS / WORLD) * COLS
+                    ..(rows.end - rank * ROWS / WORLD) * COLS;
                 let data = shard.read_range(local.start, local.len());
-                dev.tile_push_data("gathered", &mapping, tile, COLS, &data, PushTarget::Broadcast);
+                dev.tile_push_data(
+                    "gathered",
+                    &mapping,
+                    tile,
+                    COLS,
+                    &data,
+                    PushTarget::Broadcast,
+                );
                 dev.producer_tile_notify(&mapping, tile, NotifyScope::Broadcast);
             },
             // computation block: wait for every tile and sum the gathered matrix

@@ -12,9 +12,15 @@ fn main() {
     // --- functional check ----------------------------------------------------
     let world = 4;
     let (s_per_rank, d) = (8, 8);
-    let q: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[s_per_rank, d], r as u64)).collect();
-    let k: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[s_per_rank, d], 10 + r as u64)).collect();
-    let v: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[s_per_rank, d], 20 + r as u64)).collect();
+    let q: Vec<Tensor> = (0..world)
+        .map(|r| Tensor::random(&[s_per_rank, d], r as u64))
+        .collect();
+    let k: Vec<Tensor> = (0..world)
+        .map(|r| Tensor::random(&[s_per_rank, d], 10 + r as u64))
+        .collect();
+    let v: Vec<Tensor> = (0..world)
+        .map(|r| Tensor::random(&[s_per_rank, d], 20 + r as u64))
+        .collect();
     let outputs = attention::sp_attention_functional(world, &q, &k, &v, 4);
     let k_full = Tensor::concat_rows(&k);
     let v_full = Tensor::concat_rows(&v);
@@ -30,8 +36,9 @@ fn main() {
     for &seq in &shape.seq_lens {
         let torch = baselines::torch_attention(shape, seq, &cluster);
         let ring = baselines::ring_attention(shape, seq, &cluster);
-        let tl = attention::timed_sp_attention(shape, seq, &cluster, &attention::attention_config())
-            .expect("simulation");
+        let tl =
+            attention::timed_sp_attention(shape, seq, &cluster, &attention::attention_config())
+                .expect("simulation");
         println!(
             "  seq {:>6}: Torch {:>9.2} ms | RingAttn {:>9.2} ms | TileLink {:>9.2} ms | overlap ratio {:>5.1}%",
             seq,

@@ -15,7 +15,9 @@ fn main() {
     // --- functional check on a small problem -------------------------------
     let world = 4;
     let tokens = Tensor::random(&[32, 16], 1);
-    let weights: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[16, 8], 10 + r as u64)).collect();
+    let weights: Vec<Tensor> = (0..world)
+        .map(|r| Tensor::random(&[16, 8], 10 + r as u64))
+        .collect();
     let outputs = mlp::ag_gemm_functional(world, &tokens, &weights, 4, 8);
     for (rank, out) in outputs.iter().enumerate() {
         let reference = matmul(&tokens, &weights[rank]);
@@ -23,8 +25,12 @@ fn main() {
     }
     println!("functional AG+GEMM matches the unoverlapped reference on {world} ranks");
 
-    let acts: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[32, 8], 20 + r as u64)).collect();
-    let w2: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[8, 12], 30 + r as u64)).collect();
+    let acts: Vec<Tensor> = (0..world)
+        .map(|r| Tensor::random(&[32, 8], 20 + r as u64))
+        .collect();
+    let w2: Vec<Tensor> = (0..world)
+        .map(|r| Tensor::random(&[8, 12], 30 + r as u64))
+        .collect();
     let rs_out = mlp::gemm_rs_functional(world, &acts, &w2, 4);
     println!(
         "functional GEMM+ReduceScatter produced {} shards of shape {:?}",
@@ -41,7 +47,11 @@ fn main() {
     println!("\nMLP-1 ({}) on simulated 8xH800:", shape.source);
     println!("  cuBLAS+NCCL : {:>8.3} ms", non_overlap.total_ms());
     println!("  FLUX        : {:>8.3} ms", flux.total_ms());
-    println!("  TileLink    : {:>8.3} ms  ({})", tilelink.total_ms(), tilelink);
+    println!(
+        "  TileLink    : {:>8.3} ms  ({})",
+        tilelink.total_ms(),
+        tilelink
+    );
     println!(
         "  speedup over non-overlap: {:.2}x",
         tilelink.speedup_over(&non_overlap)

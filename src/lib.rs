@@ -9,6 +9,7 @@
 //! * [`tilelink_sim`] — discrete-event GPU cluster simulator
 //! * [`tilelink_compute`] — dense compute kernels and cost models
 //! * [`tilelink_collectives`] — NCCL-like collectives
+//! * [`tilelink_tune`] — simulator-guided autotuner over the overlap design space
 //! * [`tilelink_workloads`] — MLP / MoE / attention workloads and baselines
 
 pub use tilelink;
@@ -16,4 +17,5 @@ pub use tilelink_collectives;
 pub use tilelink_compute;
 pub use tilelink_shmem;
 pub use tilelink_sim;
+pub use tilelink_tune;
 pub use tilelink_workloads;

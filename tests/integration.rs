@@ -16,7 +16,9 @@ fn overlapped_ag_gemm_equals_collective_then_gemm() {
     let world = 4;
     let (m, k, n_local) = (32, 8, 6);
     let tokens = Tensor::random(&[m, k], 1);
-    let weights: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[k, n_local], 7 + r as u64)).collect();
+    let weights: Vec<Tensor> = (0..world)
+        .map(|r| Tensor::random(&[k, n_local], 7 + r as u64))
+        .collect();
 
     let overlapped = mlp::ag_gemm_functional(world, &tokens, &weights, 4, 8);
 
@@ -40,8 +42,12 @@ fn overlapped_ag_gemm_equals_collective_then_gemm() {
 fn overlapped_gemm_rs_equals_gemm_then_reduce_scatter() {
     let world = 4;
     let (m, k_local, n) = (16, 4, 6);
-    let acts: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[m, k_local], 11 + r as u64)).collect();
-    let weights: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[k_local, n], 17 + r as u64)).collect();
+    let acts: Vec<Tensor> = (0..world)
+        .map(|r| Tensor::random(&[m, k_local], 11 + r as u64))
+        .collect();
+    let weights: Vec<Tensor> = (0..world)
+        .map(|r| Tensor::random(&[k_local, n], 17 + r as u64))
+        .collect();
 
     let overlapped = mlp::gemm_rs_functional(world, &acts, &weights, 2);
 
@@ -66,10 +72,16 @@ fn full_functional_mlp_layer_matches_single_device_math() {
     let (m, h, i) = (16, 6, 8);
     let tokens = Tensor::random(&[m, h], 3);
     // gate and up projections, column-sharded
-    let w_gate: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[h, i / world], 31 + r as u64)).collect();
-    let w_up: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[h, i / world], 41 + r as u64)).collect();
+    let w_gate: Vec<Tensor> = (0..world)
+        .map(|r| Tensor::random(&[h, i / world], 31 + r as u64))
+        .collect();
+    let w_up: Vec<Tensor> = (0..world)
+        .map(|r| Tensor::random(&[h, i / world], 41 + r as u64))
+        .collect();
     // second projection, row-sharded
-    let w_down: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[i / world, h], 51 + r as u64)).collect();
+    let w_down: Vec<Tensor> = (0..world)
+        .map(|r| Tensor::random(&[i / world, h], 51 + r as u64))
+        .collect();
 
     let gate = mlp::ag_gemm_functional(world, &tokens, &w_gate, 4, 4);
     let up = mlp::ag_gemm_functional(world, &tokens, &w_up, 4, 4);
@@ -79,15 +91,24 @@ fn full_functional_mlp_layer_matches_single_device_math() {
     let down = mlp::gemm_rs_functional(world, &hidden, &w_down, 4);
 
     // single-device reference
-    let w_gate_full = Tensor::concat_rows(&w_gate.iter().map(|w| w.transpose()).collect::<Vec<_>>()).transpose();
-    let w_up_full = Tensor::concat_rows(&w_up.iter().map(|w| w.transpose()).collect::<Vec<_>>()).transpose();
+    let w_gate_full =
+        Tensor::concat_rows(&w_gate.iter().map(|w| w.transpose()).collect::<Vec<_>>()).transpose();
+    let w_up_full =
+        Tensor::concat_rows(&w_up.iter().map(|w| w.transpose()).collect::<Vec<_>>()).transpose();
     let w_down_full = Tensor::concat_rows(&w_down);
     let reference = matmul(
-        &tilelink_compute::activation::silu_mul(&matmul(&tokens, &w_gate_full), &matmul(&tokens, &w_up_full)),
+        &tilelink_compute::activation::silu_mul(
+            &matmul(&tokens, &w_gate_full),
+            &matmul(&tokens, &w_up_full),
+        ),
         &w_down_full,
     );
     let stitched = Tensor::concat_rows(&down);
-    assert!(stitched.allclose(&reference, 1e-3), "diff {}", stitched.max_abs_diff(&reference));
+    assert!(
+        stitched.allclose(&reference, 1e-3),
+        "diff {}",
+        stitched.max_abs_diff(&reference)
+    );
 }
 
 #[test]
@@ -95,7 +116,9 @@ fn overlapped_moe_equals_dispatch_reference() {
     let world = 2;
     let tokens = Tensor::random(&[12, 6], 5);
     let logits = Tensor::random(&[12, 4], 6);
-    let weights: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[4, 6, 5], 70 + r as u64)).collect();
+    let weights: Vec<Tensor> = (0..world)
+        .map(|r| Tensor::random(&[4, 6, 5], 70 + r as u64))
+        .collect();
     let results = moe::ag_moe_functional(world, &tokens, &logits, &weights, 2, 2, 4);
 
     let routing = tilelink_compute::topk::topk_routing(&logits, 2);
@@ -114,9 +137,15 @@ fn overlapped_moe_equals_dispatch_reference() {
 fn overlapped_attention_equals_reference_attention() {
     let world = 2;
     let (s_per_rank, d) = (6, 4);
-    let q: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[s_per_rank, d], r as u64)).collect();
-    let k: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[s_per_rank, d], 10 + r as u64)).collect();
-    let v: Vec<Tensor> = (0..world).map(|r| Tensor::random(&[s_per_rank, d], 20 + r as u64)).collect();
+    let q: Vec<Tensor> = (0..world)
+        .map(|r| Tensor::random(&[s_per_rank, d], r as u64))
+        .collect();
+    let k: Vec<Tensor> = (0..world)
+        .map(|r| Tensor::random(&[s_per_rank, d], 10 + r as u64))
+        .collect();
+    let v: Vec<Tensor> = (0..world)
+        .map(|r| Tensor::random(&[s_per_rank, d], 20 + r as u64))
+        .collect();
     let out = attention::sp_attention_functional(world, &q, &k, &v, 3);
     let k_full = Tensor::concat_rows(&k);
     let v_full = Tensor::concat_rows(&v);
@@ -136,19 +165,29 @@ fn paper_headline_speedups_hold_on_the_simulated_cluster() {
     let mlp_speedup = mlp::timed_full_mlp(mlp_shape, &cluster)
         .unwrap()
         .speedup_over(&baselines::non_overlap_full_mlp(mlp_shape, &cluster));
-    assert!(mlp_speedup > 1.1 && mlp_speedup < 3.0, "MLP speedup {mlp_speedup:.2}");
+    assert!(
+        mlp_speedup > 1.1 && mlp_speedup < 3.0,
+        "MLP speedup {mlp_speedup:.2}"
+    );
 
     let moe_shape = &shapes::moe_shapes()[2];
     let moe_speedup = moe::timed_full_moe(moe_shape, &cluster)
         .unwrap()
         .speedup_over(&baselines::cublas_nccl_full_moe(moe_shape, &cluster));
-    assert!(moe_speedup > 2.0 && moe_speedup < 25.0, "MoE speedup {moe_speedup:.2}");
+    assert!(
+        moe_speedup > 2.0 && moe_speedup < 25.0,
+        "MoE speedup {moe_speedup:.2}"
+    );
 
     let attn_shape = &shapes::attn_shapes()[0];
-    let attn = attention::timed_sp_attention(attn_shape, 65_536, &cluster, &attention::attention_config())
-        .unwrap();
+    let attn =
+        attention::timed_sp_attention(attn_shape, 65_536, &cluster, &attention::attention_config())
+            .unwrap();
     let attn_speedup = attn.speedup_over(&baselines::torch_attention(attn_shape, 65_536, &cluster));
-    assert!(attn_speedup > 2.0 && attn_speedup < 10.0, "attention speedup {attn_speedup:.2}");
+    assert!(
+        attn_speedup > 2.0 && attn_speedup < 10.0,
+        "attention speedup {attn_speedup:.2}"
+    );
 }
 
 #[test]

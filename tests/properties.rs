@@ -1,6 +1,9 @@
 //! Property-based tests on the core invariants of the reproduction.
+//!
+//! The container has no third-party property-testing crate available, so the
+//! properties are exercised with a small deterministic pseudo-random sampler:
+//! every case is reproducible from the printed seed.
 
-use proptest::prelude::*;
 use tilelink::{StaticMapping, TileMapping};
 use tilelink_collectives::Comm;
 use tilelink_compute::attention::{attention_reference, flash_attention};
@@ -8,45 +11,72 @@ use tilelink_compute::gemm::{matmul, matmul_tiled};
 use tilelink_compute::Tensor;
 use tilelink_shmem::ProcessGroup;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// A splitmix64-style generator: deterministic, seedable, no dependencies.
+struct Rng(u64);
 
-    /// The static tile-centric mapping partitions the global rows exactly once,
-    /// maps every tile to a valid rank/channel, and its per-channel thresholds
-    /// sum to the tile count.
-    #[test]
-    fn static_mapping_is_a_partition(
-        m in 1usize..2048,
-        tile in 1usize..256,
-        ranks in 1usize..9,
-        channels in 1usize..5,
-    ) {
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Self(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `lo..hi`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi);
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+/// The static tile-centric mapping partitions the global rows exactly once,
+/// maps every tile to a valid rank/channel, and its per-channel thresholds
+/// sum to the tile count.
+#[test]
+fn static_mapping_is_a_partition() {
+    let mut rng = Rng::new(0xA11CE);
+    for case in 0..24 {
+        let m = rng.range(1, 2048);
+        let tile = rng.range(1, 256);
+        let ranks = rng.range(1, 9);
+        let channels = rng.range(1, 5);
+        let ctx = format!("case {case}: m={m} tile={tile} ranks={ranks} channels={channels}");
         let map = StaticMapping::new(m, tile, ranks, channels);
         let mut covered = vec![false; m];
         for t in 0..map.num_tiles() {
             let rows = map.rows_of(t).unwrap();
-            prop_assert!(!rows.is_empty());
+            assert!(!rows.is_empty(), "{ctx}");
             for r in rows {
-                prop_assert!(!covered[r], "row {r} covered twice");
+                assert!(!covered[r], "row {r} covered twice ({ctx})");
                 covered[r] = true;
             }
-            prop_assert!(map.rank_of(t).unwrap() < ranks);
-            prop_assert!(map.channel_of(t).unwrap() < map.num_channels());
+            assert!(map.rank_of(t).unwrap() < ranks, "{ctx}");
+            assert!(map.channel_of(t).unwrap() < map.num_channels(), "{ctx}");
         }
-        prop_assert!(covered.into_iter().all(|c| c));
-        let total: u64 = (0..map.num_channels()).map(|c| map.channel_threshold(c)).sum();
-        prop_assert_eq!(total, map.num_tiles() as u64);
+        assert!(covered.into_iter().all(|c| c), "{ctx}");
+        let total: u64 = (0..map.num_channels())
+            .map(|c| map.channel_threshold(c))
+            .sum();
+        assert_eq!(total, map.num_tiles() as u64, "{ctx}");
     }
+}
 
-    /// Consumers waiting on `channels_for_rows` always cover every producer tile
-    /// overlapping their row range, whatever the (decoupled) consumer tile size.
-    #[test]
-    fn consumer_channels_cover_producer_tiles(
-        m in 64usize..1024,
-        prod_tile in 1usize..128,
-        cons_tile in 1usize..256,
-        ranks in 1usize..9,
-    ) {
+/// Consumers waiting on `channels_for_rows` always cover every producer tile
+/// overlapping their row range, whatever the (decoupled) consumer tile size.
+#[test]
+fn consumer_channels_cover_producer_tiles() {
+    let mut rng = Rng::new(0xB0B);
+    for case in 0..24 {
+        let m = rng.range(64, 1024);
+        let prod_tile = rng.range(1, 128);
+        let cons_tile = rng.range(1, 256);
+        let ranks = rng.range(1, 9);
+        let ctx = format!("case {case}: m={m} prod={prod_tile} cons={cons_tile} ranks={ranks}");
         let map = StaticMapping::new(m, prod_tile, ranks, 2);
         let mut start = 0usize;
         while start < m {
@@ -55,63 +85,76 @@ proptest! {
             for t in 0..map.num_tiles() {
                 let trows = map.rows_of(t).unwrap();
                 if trows.start < rows.end && rows.start < trows.end {
-                    prop_assert!(channels.contains(&map.channel_of(t).unwrap()));
+                    assert!(
+                        channels.contains(&map.channel_of(t).unwrap()),
+                        "tile {t} not covered for rows {rows:?} ({ctx})"
+                    );
                 }
             }
             start += cons_tile;
         }
     }
+}
 
-    /// Tiled GEMM equals the reference GEMM for arbitrary shapes and tile sizes.
-    #[test]
-    fn tiled_gemm_matches_reference(
-        m in 1usize..24,
-        k in 1usize..16,
-        n in 1usize..24,
-        tm in 1usize..16,
-        tn in 1usize..16,
-        seed in 0u64..1000,
-    ) {
+/// Tiled GEMM equals the reference GEMM for arbitrary shapes and tile sizes.
+#[test]
+fn tiled_gemm_matches_reference() {
+    let mut rng = Rng::new(0xC0FFEE);
+    for case in 0..24 {
+        let m = rng.range(1, 24);
+        let k = rng.range(1, 16);
+        let n = rng.range(1, 24);
+        let tm = rng.range(1, 16);
+        let tn = rng.range(1, 16);
+        let seed = rng.range(0, 1000) as u64;
         let a = Tensor::random(&[m, k], seed);
         let b = Tensor::random(&[k, n], seed + 1);
         let reference = matmul(&a, &b);
         let tiled = matmul_tiled(&a, &b, tm, tn);
-        prop_assert!(tiled.allclose(&reference, 1e-4));
+        assert!(
+            tiled.allclose(&reference, 1e-4),
+            "case {case}: m={m} k={k} n={n} tm={tm} tn={tn} seed={seed}"
+        );
     }
+}
 
-    /// Flash attention equals reference attention for any KV block size — the
-    /// property that makes the overlapped attention kernel correct regardless
-    /// of the order or granularity in which remote KV tiles arrive.
-    #[test]
-    fn flash_attention_matches_reference(
-        sq in 1usize..6,
-        skv in 1usize..24,
-        d in 1usize..8,
-        block in 1usize..16,
-        seed in 0u64..1000,
-    ) {
+/// Flash attention equals reference attention for any KV block size — the
+/// property that makes the overlapped attention kernel correct regardless
+/// of the order or granularity in which remote KV tiles arrive.
+#[test]
+fn flash_attention_matches_reference() {
+    let mut rng = Rng::new(0xF1A54);
+    for case in 0..24 {
+        let sq = rng.range(1, 6);
+        let skv = rng.range(1, 24);
+        let d = rng.range(1, 8);
+        let block = rng.range(1, 16);
+        let seed = rng.range(0, 1000) as u64;
         let q = Tensor::random(&[sq, d], seed);
         let k = Tensor::random(&[skv, d], seed + 1);
         let v = Tensor::random(&[skv, d], seed + 2);
         let reference = attention_reference(&q, &k, &v);
         let flash = flash_attention(&q, &k, &v, block);
-        prop_assert!(flash.allclose(&reference, 1e-3));
+        assert!(
+            flash.allclose(&reference, 1e-3),
+            "case {case}: sq={sq} skv={skv} d={d} block={block} seed={seed}"
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// AllGather followed by element-wise summation equals AllReduce, and
-    /// ReduceScatter shards concatenate to the AllReduce result — the standard
-    /// collective algebra the TP layers rely on.
-    #[test]
-    fn collective_algebra_holds(world in 2usize..5, len_per in 1usize..5, seed in 0u64..100) {
+/// AllGather followed by element-wise summation equals AllReduce, and
+/// ReduceScatter shards concatenate to the AllReduce result — the standard
+/// collective algebra the TP layers rely on.
+#[test]
+fn collective_algebra_holds() {
+    let mut rng = Rng::new(0xD15C0);
+    for case in 0..8 {
+        let world = rng.range(2, 5);
+        let len_per = rng.range(1, 5);
+        let seed = rng.range(0, 100) as u64;
         let len = world * len_per;
         let inputs: Vec<Vec<f32>> = (0..world)
-            .map(|r| {
-                Tensor::random(&[len, 1], seed + r as u64).into_vec()
-            })
+            .map(|r| Tensor::random(&[len, 1], seed + r as u64).into_vec())
             .collect();
         let inputs2 = inputs.clone();
         let results = ProcessGroup::launch(world, move |ctx| {
@@ -124,7 +167,10 @@ proptest! {
         });
         for (ar, rs_gathered) in results {
             for (a, b) in ar.iter().zip(&rs_gathered) {
-                prop_assert!((a - b).abs() < 1e-4);
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "case {case}: world={world} len_per={len_per} seed={seed}"
+                );
             }
         }
     }

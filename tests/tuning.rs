@@ -1,0 +1,130 @@
+//! Cross-crate autotuner tests: the `tilelink-tune` search driving the real
+//! workload oracles on the simulated cluster (the acceptance path of the
+//! `tilelink-tune` subsystem).
+
+use tilelink::{CommMapping, OverlapConfig, TileShape};
+use tilelink_sim::ClusterSpec;
+use tilelink_tune::{CostOracle, SearchSpace, Strategy, TuneCache, Tuner};
+use tilelink_workloads::autotune::{self, MlpAgGemmOracle, MlpOracle, TuneOptions};
+use tilelink_workloads::shapes;
+
+/// A small space that still spans tile sizes, mappings and stages.
+fn small_space() -> SearchSpace {
+    SearchSpace::new()
+        .with_comm_tiles([TileShape::new(128, 128), TileShape::new(256, 128)])
+        .with_compute_tiles([TileShape::new(128, 256), TileShape::new(256, 256)])
+        .with_mappings([CommMapping::CopyEngine, CommMapping::Hybrid { sms: 20 }])
+        .with_stages([2, 3])
+}
+
+#[test]
+fn beam_tuned_mlp1_is_never_worse_than_the_default_config() {
+    // The acceptance criterion for the fig8 MLP shape on an 8-rank H800 node.
+    let shape = shapes::mlp_shapes()[0].clone();
+    let cluster = ClusterSpec::h800_node(8);
+    let oracle = MlpOracle::new(shape.clone(), cluster.clone());
+    let default_makespan = oracle.evaluate(&OverlapConfig::default()).unwrap().total_s;
+
+    let opts = TuneOptions {
+        strategy: Strategy::Beam {
+            width: 2,
+            sweeps: 2,
+        },
+        space: small_space(),
+        ..TuneOptions::default()
+    };
+    let tuned = autotune::tuned_full_mlp(&shape, &cluster, &opts).unwrap();
+    assert!(
+        tuned.layer.total_s <= default_makespan,
+        "tuned {} s > default {} s",
+        tuned.layer.total_s,
+        default_makespan
+    );
+    // The winner is a real, valid configuration.
+    tuned.config.validate(cluster.gpu.sm_count).unwrap();
+}
+
+#[test]
+fn repeated_search_is_served_entirely_from_the_persistent_cache() {
+    let dir = std::env::temp_dir().join(format!("tilelink-tuning-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mlp-ag.tsv");
+    let _ = std::fs::remove_file(&path);
+
+    let shape = shapes::mlp_shapes()[0].clone();
+    let cluster = ClusterSpec::h800_node(8);
+    let oracle = MlpAgGemmOracle::new(shape, cluster);
+    let space = small_space();
+
+    let first = Tuner::new(Strategy::Exhaustive)
+        .with_cache(TuneCache::open(&path).unwrap())
+        .tune(&oracle, &space)
+        .unwrap();
+    assert!(first.evaluations > 0);
+    assert_eq!(first.cache_hits, 0);
+
+    let second = Tuner::new(Strategy::Exhaustive)
+        .with_cache(TuneCache::open(&path).unwrap())
+        .tune(&oracle, &space)
+        .unwrap();
+    assert_eq!(
+        second.evaluations, 0,
+        "second search must not touch the simulator"
+    );
+    assert_eq!(second.cache_hits, first.ranked.len());
+    assert_eq!(second.best.config, first.best.config);
+    assert_eq!(second.best.report, first.best.report);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn search_over_the_real_oracle_is_deterministic_across_thread_counts() {
+    let shape = shapes::mlp_shapes()[0].clone();
+    let cluster = ClusterSpec::h800_node(8);
+    let oracle = MlpAgGemmOracle::new(shape, cluster);
+    let space = small_space();
+
+    let serial = Tuner::new(Strategy::Exhaustive)
+        .with_threads(1)
+        .tune(&oracle, &space)
+        .unwrap();
+    let parallel = Tuner::new(Strategy::Exhaustive)
+        .with_threads(8)
+        .tune(&oracle, &space)
+        .unwrap();
+    assert_eq!(serial.best.config, parallel.best.config);
+    let a: Vec<_> = serial
+        .ranked
+        .iter()
+        .map(|c| (&c.config, c.report.total_s))
+        .collect();
+    let b: Vec<_> = parallel
+        .ranked
+        .iter()
+        .map(|c| (&c.config, c.report.total_s))
+        .collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn invalid_and_unsupported_candidates_are_pruned_not_evaluated() {
+    let shape = shapes::mlp_shapes()[0].clone();
+    let cluster = ClusterSpec::h800_node(8);
+    let oracle = MlpOracle::new(shape, cluster);
+
+    // 200 comm SMs exceeds the device; 384-row compute tiles break the ring
+    // ReduceScatter segmentation. Both must be pruned before evaluation.
+    let space = SearchSpace::new()
+        .with_compute_tiles([TileShape::new(128, 256), TileShape::new(384, 256)])
+        .with_mappings([CommMapping::CopyEngine, CommMapping::Sm { sms: 200 }]);
+    let candidates = space.candidates(&oracle);
+    assert_eq!(candidates.len(), 1);
+    assert_eq!(candidates[0].compute_tile, TileShape::new(128, 256));
+    assert_eq!(candidates[0].comm_mapping, CommMapping::CopyEngine);
+
+    let report = Tuner::new(Strategy::Exhaustive)
+        .tune(&oracle, &space)
+        .unwrap();
+    assert_eq!(report.ranked.len(), 1);
+    assert_eq!(report.evaluations, 1);
+}
