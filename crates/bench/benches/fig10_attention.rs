@@ -2,11 +2,13 @@
 //!
 //! Run with `cargo bench -p tilelink-bench --bench fig10_attention`.
 
-use tilelink_bench::{bench_case, default_cluster, fig10, geomean};
+use tilelink_bench::{bench_case, cost_for, default_cluster, fig10, geomean};
+use tilelink_sim::CostModelSpec;
 use tilelink_workloads::{attention, shapes};
 
 fn main() {
     let cluster = default_cluster();
+    let cost = cost_for(&cluster, &CostModelSpec::Analytic);
     let shape = &shapes::attn_shapes()[0];
     for &seq in &[16_384usize, 65_536] {
         bench_case(
@@ -20,7 +22,7 @@ fn main() {
     }
 
     for idx in 0..shapes::attn_shapes().len() {
-        let rows = fig10(&cluster, idx);
+        let rows = fig10(idx, &cost);
         println!(
             "Figure 10 {}: geomean speedup over Torch = {:.2}x, over RingAttn = {:.2}x, mean overlap ratio = {:.1}%",
             shapes::attn_shapes()[idx].name,

@@ -3,6 +3,7 @@
 //! Run with `cargo bench -p tilelink-bench --bench fig11_e2e`.
 
 use tilelink_bench::{bench_case, fig11, geomean};
+use tilelink_sim::CostModelSpec;
 use tilelink_workloads::{e2e, shapes};
 
 fn main() {
@@ -15,7 +16,7 @@ fn main() {
     }
 
     for (two_nodes, label) in [(false, "8xH800"), (true, "16xH800")] {
-        let rows = fig11(two_nodes, usize::MAX);
+        let rows = fig11(two_nodes, usize::MAX, &CostModelSpec::Analytic);
         println!(
             "Figure 11 ({label}): geomean TileLink speedup over PyTorch = {:.2}x",
             geomean(rows.iter().map(|r| r.speedup()))

@@ -2,11 +2,13 @@
 //!
 //! Run with `cargo bench -p tilelink-bench --bench fig8_mlp`.
 
-use tilelink_bench::{bench_case, default_cluster, fig8, geomean, MlpPanel};
+use tilelink_bench::{bench_case, cost_for, default_cluster, fig8, geomean, MlpPanel};
+use tilelink_sim::CostModelSpec;
 use tilelink_workloads::{mlp, shapes};
 
 fn main() {
     let cluster = default_cluster();
+    let cost = cost_for(&cluster, &CostModelSpec::Analytic);
     // Benchmark the TileLink kernel generation + simulation for two shapes.
     for shape in shapes::mlp_shapes().iter().take(2) {
         bench_case(
@@ -23,7 +25,7 @@ fn main() {
         (MlpPanel::GemmRs, "GEMM+RS"),
         (MlpPanel::Full, "full MLP"),
     ] {
-        let groups = fig8(&cluster, panel);
+        let groups = fig8(panel, &cost);
         println!(
             "Figure 8 {name}: TileLink geomean speedup over cuBLAS+NCCL = {:.2}x, over FLUX = {:.2}x",
             geomean(groups.iter().map(|g| g.speedup("TileLink", "cuBLAS+NCCL"))),

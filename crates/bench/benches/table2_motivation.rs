@@ -2,7 +2,8 @@
 //!
 //! Run with `cargo bench -p tilelink-bench --bench table2_motivation`.
 
-use tilelink_bench::{bench_case, default_cluster, table2};
+use tilelink_bench::{bench_case, cost_for, default_cluster, table2};
+use tilelink_sim::CostModelSpec;
 use tilelink_workloads::{baselines, mlp, shapes};
 
 fn main() {
@@ -19,7 +20,7 @@ fn main() {
     });
 
     // Print the actual table once so `cargo bench` output records it.
-    for g in table2(&cluster) {
+    for g in table2(&cost_for(&cluster, &CostModelSpec::Analytic)) {
         println!("{}:", g.label);
         for e in &g.entries {
             println!("  {:<15} {:>9.3} ms", e.method, e.ms);

@@ -4,6 +4,17 @@
 //! Flags (combine freely; no flags prints everything):
 //! `--table2 --shapes --fig8 --fig9 --fig10 --fig11 --ablation`
 //!
+//! `--quick` prints a fast smoke subset (shapes + Table 2) — used by CI to
+//! keep this binary from rotting.
+//!
+//! `--cost-model {analytic|calibrated[:path]}` selects the cost provider the
+//! simulator prices transfers with: the default `analytic` model reproduces
+//! the historical figures; `calibrated` layers the α/β + achieved-bandwidth
+//! table (built-in H800 defaults, or a TSV you measured) over it, repricing
+//! baselines and TileLink kernels consistently. The provider's revision is
+//! folded into the persistent tuning-cache key, so `--tune` results obtained
+//! under different cost models never alias.
+//!
 //! `--tune` additionally runs the `tilelink-tune` design-space search on the
 //! Figure 8 MLP and Figure 9 MoE shapes and prints tuned-vs-default speedups.
 //! It is opt-in (not part of the no-flag default) because a cold search
@@ -11,12 +22,39 @@
 //! near-free thanks to the persistent tuning cache.
 
 use tilelink_bench::{
-    default_cluster, fig10, fig11, fig8, fig9, geomean, table2, MlpPanel, MoePanel,
+    cost_for, default_cluster, fig10, fig11, fig8, fig9, geomean, table2, MlpPanel, MoePanel,
 };
+use tilelink_sim::CostModelSpec;
 use tilelink_workloads::shapes;
 
+/// The section flags of a command line: everything except the option-style
+/// arguments (`--cost-model` and its value, `--quick`). `--tune` keeps its
+/// historical role as a section selector.
+fn section_flags(args: &[String]) -> Vec<&String> {
+    let mut sections: Vec<&String> = Vec::new();
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--cost-model" {
+            skip_next = true; // skip the flag's value too
+            continue;
+        }
+        if a == "--quick" || a.starts_with("--cost-model=") {
+            continue;
+        }
+        sections.push(a);
+    }
+    sections
+}
+
+/// Section selection: no section flag means "print everything", so
+/// `reproduce --cost-model calibrated` still prints everything.
 fn wants(args: &[String], flag: &str) -> bool {
-    args.is_empty() || args.iter().any(|a| a == flag)
+    let sections = section_flags(args);
+    sections.is_empty() || sections.iter().any(|a| *a == flag)
 }
 
 fn print_groups(title: &str, groups: &[tilelink_bench::Group], baseline: &str) {
@@ -38,33 +76,42 @@ fn print_groups(title: &str, groups: &[tilelink_bench::Group], baseline: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cluster = default_cluster();
+    let spec = CostModelSpec::from_args(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    // Build once and fail fast on an unloadable calibration file; every
+    // single-cluster section below shares this provider (fig11 picks its own
+    // clusters, so it takes the spec instead).
+    let cost = cost_for(&cluster, &spec);
+    println!("(cost model: {spec}, revision {})", cost.revision());
+
+    if args.iter().any(|a| a == "--quick") {
+        // `--quick` replaces section selection entirely; combining it with
+        // section flags would silently drop them, so reject that instead.
+        if let Some(flag) = section_flags(&args).first() {
+            eprintln!("error: --quick cannot be combined with {flag}");
+            std::process::exit(2);
+        }
+        // CI smoke subset: cheap, but exercises shapes, baselines and one
+        // compiled TileLink kernel per MLP half.
+        print_shapes();
+        print_groups(
+            "Table 2: motivational example (MLP-1)",
+            &table2(&cost),
+            "Non-Overlap",
+        );
+        return;
+    }
 
     if wants(&args, "--shapes") {
-        println!("== Table 4: benchmark shapes ==");
-        for s in shapes::mlp_shapes() {
-            println!(
-                "{}: S={} H={} I={} ({})",
-                s.name, s.tokens, s.hidden, s.intermediate, s.source
-            );
-        }
-        for s in shapes::moe_shapes() {
-            println!(
-                "{}: S={} H={} I={} E={} topk={}",
-                s.name, s.tokens, s.hidden, s.intermediate, s.experts, s.top_k
-            );
-        }
-        for s in shapes::attn_shapes() {
-            println!(
-                "{}: heads={} head_dim={} seq={:?}",
-                s.name, s.heads, s.head_dim, s.seq_lens
-            );
-        }
+        print_shapes();
     }
 
     if wants(&args, "--table2") {
         print_groups(
             "Table 2: motivational example (MLP-1)",
-            &table2(&cluster),
+            &table2(&cost),
             "Non-Overlap",
         );
     }
@@ -72,17 +119,17 @@ fn main() {
     if wants(&args, "--fig8") {
         print_groups(
             "Figure 8: AG+GEMM",
-            &fig8(&cluster, MlpPanel::AgGemm),
+            &fig8(MlpPanel::AgGemm, &cost),
             "cuBLAS+NCCL",
         );
         print_groups(
             "Figure 8: GEMM+RS",
-            &fig8(&cluster, MlpPanel::GemmRs),
+            &fig8(MlpPanel::GemmRs, &cost),
             "cuBLAS+NCCL",
         );
         print_groups(
             "Figure 8: full MLP",
-            &fig8(&cluster, MlpPanel::Full),
+            &fig8(MlpPanel::Full, &cost),
             "cuBLAS+NCCL",
         );
     }
@@ -90,24 +137,24 @@ fn main() {
     if wants(&args, "--fig9") {
         print_groups(
             "Figure 9: AG+Gather+GroupGEMM",
-            &fig9(&cluster, MoePanel::First),
+            &fig9(MoePanel::First, &cost),
             "cuBLAS+NCCL",
         );
         print_groups(
             "Figure 9: GroupGEMM+Scatter+TopK+RS",
-            &fig9(&cluster, MoePanel::Second),
+            &fig9(MoePanel::Second, &cost),
             "cuBLAS+NCCL",
         );
         print_groups(
             "Figure 9: full MoE",
-            &fig9(&cluster, MoePanel::Full),
+            &fig9(MoePanel::Full, &cost),
             "cuBLAS+NCCL",
         );
     }
 
     if wants(&args, "--fig10") {
         for idx in 0..shapes::attn_shapes().len() {
-            let rows = fig10(&cluster, idx);
+            let rows = fig10(idx, &cost);
             println!("\n== Figure 10: {} ==", shapes::attn_shapes()[idx].name);
             for r in &rows {
                 print!("{:<16}", r.label);
@@ -127,7 +174,7 @@ fn main() {
 
     if wants(&args, "--fig11") {
         for (two_nodes, label) in [(false, "8xH800"), (true, "16xH800")] {
-            let rows = fig11(two_nodes, usize::MAX);
+            let rows = fig11(two_nodes, usize::MAX, &spec);
             println!("\n== Figure 11: end-to-end, {label} ==");
             for r in &rows {
                 println!(
@@ -146,29 +193,60 @@ fn main() {
     }
 
     if wants(&args, "--ablation") {
-        ablations(&cluster);
+        ablations(&cost);
     }
 
     // Opt-in only: a cold tuning run simulates hundreds of candidates.
     if args.iter().any(|a| a == "--tune") {
-        tune(&cluster);
+        tune(&cluster, &cost);
+    }
+}
+
+fn print_shapes() {
+    println!("== Table 4: benchmark shapes ==");
+    for s in shapes::mlp_shapes() {
+        println!(
+            "{}: S={} H={} I={} ({})",
+            s.name, s.tokens, s.hidden, s.intermediate, s.source
+        );
+    }
+    for s in shapes::moe_shapes() {
+        println!(
+            "{}: S={} H={} I={} E={} topk={}",
+            s.name, s.tokens, s.hidden, s.intermediate, s.experts, s.top_k
+        );
+    }
+    for s in shapes::attn_shapes() {
+        println!(
+            "{}: heads={} head_dim={} seq={:?}",
+            s.name, s.heads, s.head_dim, s.seq_lens
+        );
     }
 }
 
 /// Tuned-vs-default comparison on the Figure 8 MLP and Figure 9 MoE shapes.
-fn tune(cluster: &tilelink_sim::ClusterSpec) {
+fn tune(cluster: &tilelink_sim::ClusterSpec, cost: &tilelink_sim::SharedCost) {
     use tilelink_workloads::autotune::{self, MlpOracle, MoeOracle, TuneOptions};
 
-    let opts = TuneOptions::default().with_default_cache();
+    let opts = TuneOptions::default()
+        .with_default_cache()
+        .with_cost(cost.clone());
     if let Some(path) = &opts.cache_path {
-        println!("\n(tuning cache: {})", path.display());
+        println!(
+            "\n(tuning cache: {}, cost-model revision {})",
+            path.display(),
+            cost.revision()
+        );
     }
 
     println!("\n== Autotune: Figure 8 MLP layers (tuned vs default config) ==");
     let mut speedups = Vec::new();
     for shape in shapes::mlp_shapes() {
         let tuned = autotune::tuned_full_mlp(&shape, cluster, &opts).expect("tuning succeeds");
-        let default_ms = default_ms(&tuned, &MlpOracle::new(shape.clone(), cluster.clone()));
+        let default_ms = default_ms(
+            &tuned,
+            &MlpOracle::new(shape.clone(), cluster.clone()).with_cost(cost.clone()),
+        );
         let speedup = default_ms / tuned.layer.total_ms();
         speedups.push(speedup);
         println!(
@@ -191,7 +269,10 @@ fn tune(cluster: &tilelink_sim::ClusterSpec) {
     let mut speedups = Vec::new();
     for shape in shapes::moe_shapes() {
         let tuned = autotune::tuned_full_moe(&shape, cluster, &opts).expect("tuning succeeds");
-        let default_ms = default_ms(&tuned, &MoeOracle::new(shape.clone(), cluster.clone()));
+        let default_ms = default_ms(
+            &tuned,
+            &MoeOracle::new(shape.clone(), cluster.clone()).with_cost(cost.clone()),
+        );
         let speedup = default_ms / tuned.layer.total_ms();
         speedups.push(speedup);
         println!(
@@ -213,7 +294,7 @@ fn tune(cluster: &tilelink_sim::ClusterSpec) {
 
 /// Ablations over the design choices called out in DESIGN.md: decoupled tile
 /// sizes, number of communication SMs and resource mapping.
-fn ablations(cluster: &tilelink_sim::ClusterSpec) {
+fn ablations(cost: &tilelink_sim::SharedCost) {
     use tilelink::config::{CommMapping, TileShape};
     use tilelink_workloads::mlp;
 
@@ -221,14 +302,14 @@ fn ablations(cluster: &tilelink_sim::ClusterSpec) {
     println!("\n== Ablation: compute tile size (AG+GEMM, MLP-1) ==");
     for tile in [64usize, 128, 256] {
         let cfg = mlp::ag_gemm_config().with_compute_tile(TileShape::new(128, tile));
-        let r = mlp::timed_ag_gemm(shape, cluster, &cfg).expect("ablation");
+        let r = mlp::timed_ag_gemm_with(shape, &cfg, cost).expect("ablation");
         println!("compute tile 128x{tile:<4} -> {:>9.3} ms", r.total_ms());
     }
 
     println!("\n== Ablation: communication SMs (GEMM+RS, MLP-1) ==");
     for sms in [8u64, 20, 40] {
         let cfg = mlp::gemm_rs_config().with_comm_mapping(CommMapping::Hybrid { sms });
-        let r = mlp::timed_gemm_rs(shape, cluster, &cfg).expect("ablation");
+        let r = mlp::timed_gemm_rs_with(shape, &cfg, cost).expect("ablation");
         println!("comm SMs {sms:<3} -> {:>9.3} ms", r.total_ms());
     }
 
@@ -239,7 +320,7 @@ fn ablations(cluster: &tilelink_sim::ClusterSpec) {
         ("hybrid", CommMapping::Hybrid { sms: 20 }),
     ] {
         let cfg = mlp::ag_gemm_config().with_comm_mapping(mapping);
-        let r = mlp::timed_ag_gemm(shape, cluster, &cfg).expect("ablation");
+        let r = mlp::timed_ag_gemm_with(shape, &cfg, cost).expect("ablation");
         println!("{name:<12} -> {:>9.3} ms", r.total_ms());
     }
 }

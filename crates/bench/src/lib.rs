@@ -7,7 +7,7 @@
 
 #![deny(missing_docs)]
 
-use tilelink_sim::ClusterSpec;
+use tilelink_sim::{ClusterSpec, CostModelSpec, SharedCost};
 use tilelink_workloads::{attention, baselines, e2e, mlp, moe, shapes};
 
 /// One (method, milliseconds) measurement.
@@ -53,31 +53,43 @@ pub fn default_cluster() -> ClusterSpec {
     ClusterSpec::h800_node(8)
 }
 
+/// Builds the cost provider a figure harness prices a cluster with.
+///
+/// # Panics
+///
+/// Panics if the spec names a calibration file that cannot be loaded (the
+/// harness validates the flag before running figures).
+pub fn cost_for(cluster: &ClusterSpec, spec: &CostModelSpec) -> SharedCost {
+    spec.build(cluster)
+        .unwrap_or_else(|e| panic!("cannot build cost model {spec}: {e}"))
+}
+
 // ---------------------------------------------------------------------------
 // Table 2 — motivational example (MLP-1, AG+GEMM and GEMM+RS)
 // ---------------------------------------------------------------------------
 
-/// Reproduces Table 2: the four techniques on the two halves of MLP-1.
-pub fn table2(cluster: &ClusterSpec) -> Vec<Group> {
+/// Reproduces Table 2: the four techniques on the two halves of MLP-1,
+/// priced by `cost` (the cluster is the provider's; see [`cost_for`]).
+pub fn table2(cost: &SharedCost) -> Vec<Group> {
     let shape = &shapes::mlp_shapes()[0];
     let ag = Group {
         label: "AG+GEMM (MLP-1)".to_string(),
         entries: vec![
             Measurement {
                 method: "Non-Overlap",
-                ms: baselines::non_overlap_ag_gemm(shape, cluster).total_ms(),
+                ms: baselines::non_overlap_ag_gemm_with(shape, &**cost).total_ms(),
             },
             Measurement {
                 method: "Decomposition",
-                ms: baselines::decompose_ag_gemm(shape, cluster).total_ms(),
+                ms: baselines::decompose_ag_gemm_with(shape, &**cost).total_ms(),
             },
             Measurement {
                 method: "Fusion (FLUX)",
-                ms: baselines::flux_ag_gemm(shape, cluster).total_ms(),
+                ms: baselines::flux_ag_gemm_with(shape, &**cost).total_ms(),
             },
             Measurement {
                 method: "TileLink",
-                ms: mlp::timed_ag_gemm(shape, cluster, &mlp::ag_gemm_config())
+                ms: mlp::timed_ag_gemm_with(shape, &mlp::ag_gemm_config(), cost)
                     .expect("tilelink ag+gemm")
                     .total_ms(),
             },
@@ -88,19 +100,19 @@ pub fn table2(cluster: &ClusterSpec) -> Vec<Group> {
         entries: vec![
             Measurement {
                 method: "Non-Overlap",
-                ms: baselines::non_overlap_gemm_rs(shape, cluster).total_ms(),
+                ms: baselines::non_overlap_gemm_rs_with(shape, &**cost).total_ms(),
             },
             Measurement {
                 method: "Decomposition",
-                ms: baselines::decompose_gemm_rs(shape, cluster).total_ms(),
+                ms: baselines::decompose_gemm_rs_with(shape, &**cost).total_ms(),
             },
             Measurement {
                 method: "Fusion (FLUX)",
-                ms: baselines::flux_gemm_rs(shape, cluster).total_ms(),
+                ms: baselines::flux_gemm_rs_with(shape, &**cost).total_ms(),
             },
             Measurement {
                 method: "TileLink",
-                ms: mlp::timed_gemm_rs(shape, cluster, &mlp::gemm_rs_config())
+                ms: mlp::timed_gemm_rs_with(shape, &mlp::gemm_rs_config(), cost)
                     .expect("tilelink gemm+rs")
                     .total_ms(),
             },
@@ -124,33 +136,34 @@ pub enum MlpPanel {
     Full,
 }
 
-/// Reproduces one panel of Figure 8 across MLP-1..6.
-pub fn fig8(cluster: &ClusterSpec, panel: MlpPanel) -> Vec<Group> {
+/// Reproduces one panel of Figure 8 across MLP-1..6, priced by `cost` (the
+/// cluster is the provider's).
+pub fn fig8(panel: MlpPanel, cost: &SharedCost) -> Vec<Group> {
     shapes::mlp_shapes()
         .iter()
         .map(|shape| {
             let (base, decomp, flux, tilelink) = match panel {
                 MlpPanel::AgGemm => (
-                    baselines::non_overlap_ag_gemm(shape, cluster).total_ms(),
-                    baselines::decompose_ag_gemm(shape, cluster).total_ms(),
-                    baselines::flux_ag_gemm(shape, cluster).total_ms(),
-                    mlp::timed_ag_gemm(shape, cluster, &mlp::ag_gemm_config())
+                    baselines::non_overlap_ag_gemm_with(shape, &**cost).total_ms(),
+                    baselines::decompose_ag_gemm_with(shape, &**cost).total_ms(),
+                    baselines::flux_ag_gemm_with(shape, &**cost).total_ms(),
+                    mlp::timed_ag_gemm_with(shape, &mlp::ag_gemm_config(), cost)
                         .expect("tilelink")
                         .total_ms(),
                 ),
                 MlpPanel::GemmRs => (
-                    baselines::non_overlap_gemm_rs(shape, cluster).total_ms(),
-                    baselines::decompose_gemm_rs(shape, cluster).total_ms(),
-                    baselines::flux_gemm_rs(shape, cluster).total_ms(),
-                    mlp::timed_gemm_rs(shape, cluster, &mlp::gemm_rs_config())
+                    baselines::non_overlap_gemm_rs_with(shape, &**cost).total_ms(),
+                    baselines::decompose_gemm_rs_with(shape, &**cost).total_ms(),
+                    baselines::flux_gemm_rs_with(shape, &**cost).total_ms(),
+                    mlp::timed_gemm_rs_with(shape, &mlp::gemm_rs_config(), cost)
                         .expect("tilelink")
                         .total_ms(),
                 ),
                 MlpPanel::Full => (
-                    baselines::non_overlap_full_mlp(shape, cluster).total_ms(),
-                    baselines::decompose_full_mlp(shape, cluster).total_ms(),
-                    baselines::flux_full_mlp(shape, cluster).total_ms(),
-                    mlp::timed_full_mlp(shape, cluster)
+                    baselines::non_overlap_full_mlp_with(shape, &**cost).total_ms(),
+                    baselines::decompose_full_mlp_with(shape, &**cost).total_ms(),
+                    baselines::flux_full_mlp_with(shape, &**cost).total_ms(),
+                    mlp::timed_full_mlp_with(shape, cost)
                         .expect("tilelink")
                         .total_ms(),
                 ),
@@ -195,34 +208,35 @@ pub enum MoePanel {
     Full,
 }
 
-/// Reproduces one panel of Figure 9 across MoE-1..6.
-pub fn fig9(cluster: &ClusterSpec, panel: MoePanel) -> Vec<Group> {
+/// Reproduces one panel of Figure 9 across MoE-1..6, priced by `cost` (the
+/// cluster is the provider's).
+pub fn fig9(panel: MoePanel, cost: &SharedCost) -> Vec<Group> {
     shapes::moe_shapes()
         .iter()
         .map(|shape| {
             let cfg = moe::moe_config();
             let (cublas, cutlass, vllm, tilelink) = match panel {
                 MoePanel::First => (
-                    baselines::cublas_nccl_moe_first(shape, cluster).total_ms(),
-                    baselines::cutlass_nccl_moe_first(shape, cluster).total_ms(),
-                    baselines::vllm_moe_first(shape, cluster).total_ms(),
-                    moe::timed_ag_group_gemm(shape, cluster, &cfg)
+                    baselines::cublas_nccl_moe_first_with(shape, &**cost).total_ms(),
+                    baselines::cutlass_nccl_moe_first_with(shape, &**cost).total_ms(),
+                    baselines::vllm_moe_first_with(shape, &**cost).total_ms(),
+                    moe::timed_ag_group_gemm_with(shape, &cfg, cost)
                         .expect("tilelink")
                         .total_ms(),
                 ),
                 MoePanel::Second => (
-                    baselines::cublas_nccl_moe_second(shape, cluster).total_ms(),
-                    baselines::cutlass_nccl_moe_second(shape, cluster).total_ms(),
-                    baselines::vllm_moe_second(shape, cluster).total_ms(),
-                    moe::timed_group_gemm_rs(shape, cluster, &cfg)
+                    baselines::cublas_nccl_moe_second_with(shape, &**cost).total_ms(),
+                    baselines::cutlass_nccl_moe_second_with(shape, &**cost).total_ms(),
+                    baselines::vllm_moe_second_with(shape, &**cost).total_ms(),
+                    moe::timed_group_gemm_rs_with(shape, &cfg, cost)
                         .expect("tilelink")
                         .total_ms(),
                 ),
                 MoePanel::Full => (
-                    baselines::cublas_nccl_full_moe(shape, cluster).total_ms(),
-                    baselines::cutlass_nccl_full_moe(shape, cluster).total_ms(),
-                    baselines::vllm_full_moe(shape, cluster).total_ms(),
-                    moe::timed_full_moe(shape, cluster)
+                    baselines::cublas_nccl_full_moe_with(shape, &**cost).total_ms(),
+                    baselines::cutlass_nccl_full_moe_with(shape, &**cost).total_ms(),
+                    baselines::vllm_full_moe_with(shape, &**cost).total_ms(),
+                    moe::timed_full_moe_with(shape, cost)
                         .expect("tilelink")
                         .total_ms(),
                 ),
@@ -267,18 +281,23 @@ pub struct AttentionRow {
     pub overlap_ratio: f64,
 }
 
-/// Reproduces Figure 10 for one attention configuration.
-pub fn fig10(cluster: &ClusterSpec, shape_index: usize) -> Vec<AttentionRow> {
+/// Reproduces Figure 10 for one attention configuration, priced by `cost`
+/// (the cluster is the provider's).
+pub fn fig10(shape_index: usize, cost: &SharedCost) -> Vec<AttentionRow> {
     let shape = &shapes::attn_shapes()[shape_index];
     shape
         .seq_lens
         .iter()
         .map(|&seq| {
-            let torch = baselines::torch_attention(shape, seq, cluster).total_ms();
-            let ring = baselines::ring_attention(shape, seq, cluster).total_ms();
-            let tl =
-                attention::timed_sp_attention(shape, seq, cluster, &attention::attention_config())
-                    .expect("tilelink attention");
+            let torch = baselines::torch_attention_with(shape, seq, &**cost).total_ms();
+            let ring = baselines::ring_attention_with(shape, seq, &**cost).total_ms();
+            let tl = attention::timed_sp_attention_with(
+                shape,
+                seq,
+                &attention::attention_config(),
+                cost,
+            )
+            .expect("tilelink attention");
             AttentionRow {
                 label: format!("{} / {}k", shape.name, seq / 1024),
                 group: Group {
@@ -328,19 +347,22 @@ impl E2eRow {
 
 /// Reproduces Figure 11 for either the 8-GPU (false) or 16-GPU (true) setup.
 ///
+/// Takes the cost-model *spec* rather than a built provider because the
+/// cluster is chosen inside (a provider is bound to one cluster).
 /// `model_subset` limits the evaluation to the first `n` models (the Criterion
 /// benches use a subset to keep run times reasonable); pass `usize::MAX` for all.
-pub fn fig11(two_nodes: bool, model_subset: usize) -> Vec<E2eRow> {
+pub fn fig11(two_nodes: bool, model_subset: usize, spec: &CostModelSpec) -> Vec<E2eRow> {
     let (cluster, tokens) = if two_nodes {
         e2e::two_node_setup()
     } else {
         e2e::single_node_setup()
     };
+    let cost = cost_for(&cluster, spec);
     shapes::model_configs()
         .iter()
         .take(model_subset)
         .map(|model| {
-            let cmp = e2e::compare_model(model, &cluster, tokens).expect("e2e comparison");
+            let cmp = e2e::compare_model_with(model, tokens, &cost).expect("e2e comparison");
             E2eRow {
                 model: model.name,
                 torch_ms: cmp.torch.total_s * 1e3,
@@ -400,7 +422,7 @@ mod tests {
 
     #[test]
     fn table2_has_expected_shape_and_ordering() {
-        let groups = table2(&default_cluster());
+        let groups = table2(&cost_for(&default_cluster(), &CostModelSpec::Analytic));
         assert_eq!(groups.len(), 2);
         for g in &groups {
             assert_eq!(g.entries.len(), 4);
@@ -413,7 +435,7 @@ mod tests {
 
     #[test]
     fn fig10_rows_have_overlap_ratio() {
-        let rows = fig10(&default_cluster(), 0);
+        let rows = fig10(0, &cost_for(&default_cluster(), &CostModelSpec::Analytic));
         assert_eq!(rows.len(), 4);
         for r in &rows {
             assert!(r.overlap_ratio >= 0.0 && r.overlap_ratio <= 1.0);
@@ -423,7 +445,7 @@ mod tests {
 
     #[test]
     fn fig11_subset_speeds_up() {
-        let rows = fig11(false, 2);
+        let rows = fig11(false, 2, &CostModelSpec::Analytic);
         assert_eq!(rows.len(), 2);
         for r in rows {
             assert!(r.speedup() > 1.0, "{}: {:.2}", r.model, r.speedup());

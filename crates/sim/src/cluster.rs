@@ -2,6 +2,49 @@
 
 use crate::GpuSpec;
 
+/// The class of link a (source, destination) rank pair communicates over.
+///
+/// Cost models price transfers per class: a self-copy moves through HBM, an
+/// intra-node transfer rides NVLink and an inter-node transfer crosses the
+/// InfiniBand fabric, each with its own latency and achieved-bandwidth curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkClass {
+    /// Source and destination are the same rank (HBM-to-HBM copy).
+    SelfCopy,
+    /// Both ranks share a node (NVLink).
+    IntraNode,
+    /// The ranks live on different nodes (InfiniBand).
+    InterNode,
+}
+
+impl LinkClass {
+    /// All classes, in calibration-table order.
+    pub const ALL: [LinkClass; 3] = [
+        LinkClass::SelfCopy,
+        LinkClass::IntraNode,
+        LinkClass::InterNode,
+    ];
+
+    /// Stable tag used in calibration TSV files (`self`, `nvlink`, `ib`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            LinkClass::SelfCopy => "self",
+            LinkClass::IntraNode => "nvlink",
+            LinkClass::InterNode => "ib",
+        }
+    }
+
+    /// Parses a calibration-table tag back into a class.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "self" => Some(LinkClass::SelfCopy),
+            "nvlink" => Some(LinkClass::IntraNode),
+            "ib" => Some(LinkClass::InterNode),
+            _ => None,
+        }
+    }
+}
+
 /// A homogeneous cluster of `nodes` machines with `gpus_per_node` GPUs each.
 ///
 /// The paper evaluates on one node of 8×H800 (Figures 8–10, left of Figure 11)
@@ -77,12 +120,25 @@ impl ClusterSpec {
     ///
     /// Panics if either rank is out of range.
     pub fn link_bytes_per_s(&self, src: usize, dst: usize) -> f64 {
+        match self.link_class(src, dst) {
+            LinkClass::SelfCopy => self.gpu.hbm_bytes_per_s(),
+            LinkClass::IntraNode => self.gpu.nvlink_bytes_per_s(),
+            LinkClass::InterNode => self.gpu.ib_bytes_per_s(),
+        }
+    }
+
+    /// Link class of a (source, destination) rank pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rank is out of range.
+    pub fn link_class(&self, src: usize, dst: usize) -> LinkClass {
         if src == dst {
-            self.gpu.hbm_bytes_per_s()
+            LinkClass::SelfCopy
         } else if self.same_node(src, dst) {
-            self.gpu.nvlink_bytes_per_s()
+            LinkClass::IntraNode
         } else {
-            self.gpu.ib_bytes_per_s()
+            LinkClass::InterNode
         }
     }
 }
@@ -115,6 +171,18 @@ mod tests {
         let ib = c.link_bytes_per_s(0, 8);
         assert!(local > nvlink);
         assert!(nvlink > ib);
+    }
+
+    #[test]
+    fn link_class_matches_topology() {
+        let c = ClusterSpec::h800_multi_node(2);
+        assert_eq!(c.link_class(3, 3), LinkClass::SelfCopy);
+        assert_eq!(c.link_class(0, 7), LinkClass::IntraNode);
+        assert_eq!(c.link_class(0, 8), LinkClass::InterNode);
+        for class in LinkClass::ALL {
+            assert_eq!(LinkClass::from_tag(class.tag()), Some(class));
+        }
+        assert_eq!(LinkClass::from_tag("bogus"), None);
     }
 
     #[test]

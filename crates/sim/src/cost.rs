@@ -1,6 +1,37 @@
 //! Analytic cost model: converts work descriptions into durations.
 
-use crate::{ClusterSpec, Seconds, Task, Work};
+use crate::{ClusterSpec, LinkClass, Seconds, Task, Work};
+
+/// Per-message latency floor (α) of a self-copy, in seconds.
+///
+/// Even a zero-byte message (a barrier release, a signal flag) costs a memory
+/// round trip; without the floor the simulator prices such tasks at exactly
+/// 0 s, which lets degenerate schedules look free.
+pub const ALPHA_SELF_S: Seconds = 0.15e-6;
+/// Per-message latency floor (α) of an intra-node NVLink transfer, in seconds.
+pub const ALPHA_INTRA_NODE_S: Seconds = 0.5e-6;
+/// Per-message latency floor (α) of an inter-node InfiniBand transfer, in seconds.
+pub const ALPHA_INTER_NODE_S: Seconds = 2.0e-6;
+
+/// α floor for one link class (see [`ALPHA_SELF_S`] and friends).
+pub fn link_alpha_s(class: LinkClass) -> Seconds {
+    match class {
+        LinkClass::SelfCopy => ALPHA_SELF_S,
+        LinkClass::IntraNode => ALPHA_INTRA_NODE_S,
+        LinkClass::InterNode => ALPHA_INTER_NODE_S,
+    }
+}
+
+/// Fraction of the link a transfer task gets: port resources are percentage
+/// shares, any other carrier (a DMA engine, the host) owns the full port.
+pub(crate) fn link_share(task: &Task, units: u64) -> f64 {
+    match task.resource {
+        crate::ResourceKind::LinkOut | crate::ResourceKind::LinkIn => {
+            (units as f64 / 100.0).clamp(1e-3, 1.0)
+        }
+        _ => 1.0,
+    }
+}
 
 /// Converts [`Work`] into durations given a [`ClusterSpec`] and the number of
 /// resource units a task was granted.
@@ -15,6 +46,14 @@ pub struct CostModel {
 }
 
 impl CostModel {
+    /// Stable fingerprint of the analytic model's formulas and constants.
+    ///
+    /// Folded into tuning-cache keys (see `tilelink-tune`) so cached results
+    /// evaluated under an older model revision self-invalidate. Bump this
+    /// whenever a formula or constant in this file changes observable
+    /// durations.
+    pub const REVISION: &'static str = "analytic-v2";
+
     /// Creates a cost model for a cluster.
     pub fn new(cluster: ClusterSpec) -> Self {
         Self { cluster }
@@ -48,15 +87,14 @@ impl CostModel {
             }
             Work::LinkBytes { bytes, dst_rank } => {
                 let bw = self.cluster.link_bytes_per_s(task.rank, dst_rank);
-                // Only port resources are expressed as a percentage share of the
-                // link; a DMA engine (or any other carrier) gets the full port.
-                let share = match task.resource {
-                    crate::ResourceKind::LinkOut | crate::ResourceKind::LinkIn => {
-                        (units as f64 / 100.0).clamp(1e-3, 1.0)
-                    }
-                    _ => 1.0,
-                };
-                bytes / (bw * share)
+                let share = link_share(task, units);
+                // A transfer can never beat the per-message latency of its
+                // link class: the α floor keeps barrier/signal-sized messages
+                // from costing 0 s. Sub-floor transfers only occur for
+                // messages well under ~100 KB, so bandwidth-bound transfers
+                // are priced exactly as before.
+                let alpha = link_alpha_s(self.cluster.link_class(task.rank, dst_rank));
+                (bytes / (bw * share)).max(alpha)
             }
             Work::Latency { seconds } => seconds,
         }
@@ -134,9 +172,13 @@ impl CostModel {
         bytes / self.cluster.gpu.hbm_bytes_per_s()
     }
 
-    /// Seconds to move `bytes` from `src` to `dst` at full port bandwidth.
+    /// Seconds to move `bytes` from `src` to `dst` at full port bandwidth,
+    /// floored at the link class's per-message α (consistent with how
+    /// [`CostModel::duration`] prices [`Work::LinkBytes`], so the closed-form
+    /// baselines and the simulated path agree on small messages).
     pub fn link_seconds(&self, src: usize, dst: usize, bytes: f64) -> Seconds {
-        bytes / self.cluster.link_bytes_per_s(src, dst)
+        let alpha = link_alpha_s(self.cluster.link_class(src, dst));
+        (bytes / self.cluster.link_bytes_per_s(src, dst)).max(alpha)
     }
 }
 
@@ -191,6 +233,48 @@ mod tests {
             },
         );
         assert!(multi.duration(&inter, 100) > multi.duration(&intra, 100));
+    }
+
+    #[test]
+    fn tiny_link_messages_pay_the_alpha_floor() {
+        // A 1-byte signal used to cost ~0 s; it must now pay the per-message
+        // latency of its link class.
+        let multi = CostModel::new(ClusterSpec::h800_multi_node(2));
+        for (dst, alpha) in [
+            (0usize, ALPHA_SELF_S),
+            (1, ALPHA_INTRA_NODE_S),
+            (8, ALPHA_INTER_NODE_S),
+        ] {
+            let t = Task::new(
+                "sig",
+                0,
+                ResourceKind::DmaEngine,
+                1,
+                Work::LinkBytes {
+                    bytes: 1.0,
+                    dst_rank: dst,
+                },
+            );
+            assert_eq!(multi.duration(&t, 1), alpha, "dst {dst}");
+        }
+    }
+
+    #[test]
+    fn bulk_link_transfers_are_unaffected_by_the_alpha_floor() {
+        // 1 GB over NVLink takes 5 ms >> α: the floor must not perturb it.
+        let m = model();
+        let t = Task::new(
+            "c",
+            0,
+            ResourceKind::DmaEngine,
+            1,
+            Work::LinkBytes {
+                bytes: 1e9,
+                dst_rank: 1,
+            },
+        );
+        let expected = 1e9 / m.cluster().gpu.nvlink_bytes_per_s();
+        assert_eq!(m.duration(&t, 1), expected);
     }
 
     #[test]
@@ -252,6 +336,19 @@ mod tests {
         let few = m.gemm_seconds(4096, 4096, 4096, 128, 128, 32);
         let many = m.gemm_seconds(4096, 4096, 4096, 128, 128, 128);
         assert!(many < few);
+    }
+
+    #[test]
+    fn link_seconds_helper_applies_the_same_alpha_floor_as_duration() {
+        // The closed-form helper the baselines use must agree with the
+        // engine's per-task pricing on tiny messages.
+        let m = CostModel::new(ClusterSpec::h800_multi_node(2));
+        assert_eq!(m.link_seconds(0, 1, 1.0), ALPHA_INTRA_NODE_S);
+        assert_eq!(m.link_seconds(0, 8, 1.0), ALPHA_INTER_NODE_S);
+        assert_eq!(m.link_seconds(0, 0, 1.0), ALPHA_SELF_S);
+        // Bandwidth-bound transfers are unaffected.
+        let bulk = 1e9 / m.cluster().gpu.nvlink_bytes_per_s();
+        assert_eq!(m.link_seconds(0, 1, 1e9), bulk);
     }
 
     #[test]

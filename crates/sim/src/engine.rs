@@ -4,8 +4,8 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use crate::{
-    ClusterSpec, CostModel, ResourceKind, Result, Seconds, SimError, TaskGraph, TaskId, Trace,
-    TraceEntry, Work,
+    analytic_cost, ClusterSpec, CostProvider, ResourceKind, Result, Seconds, SharedCost, SimError,
+    TaskGraph, TaskId, Trace, TraceEntry, Work,
 };
 
 /// A completion event in the event queue. Ordered by time, then task id for
@@ -40,38 +40,44 @@ impl Ord for Completion {
 /// which mirrors how a GPU's block scheduler drains a grid.
 #[derive(Debug, Clone)]
 pub struct Engine {
-    cluster: ClusterSpec,
-    cost: CostModel,
+    cost: SharedCost,
 }
 
 impl Engine {
-    /// Creates an engine for the given cluster.
+    /// Creates an engine for the given cluster with the default analytic cost
+    /// model.
     pub fn new(cluster: ClusterSpec) -> Self {
-        let cost = CostModel::new(cluster.clone());
-        Self { cluster, cost }
+        Self::with_cost(analytic_cost(&cluster))
+    }
+
+    /// Creates an engine priced by an explicit cost provider (the cluster is
+    /// taken from the provider, so the two can never disagree).
+    pub fn with_cost(cost: SharedCost) -> Self {
+        Self { cost }
     }
 
     /// The cluster being simulated.
     pub fn cluster(&self) -> &ClusterSpec {
-        &self.cluster
+        self.cost.cluster()
     }
 
-    /// The cost model used to convert work into durations.
-    pub fn cost(&self) -> &CostModel {
-        &self.cost
+    /// The cost provider used to convert work into durations.
+    pub fn cost(&self) -> &dyn CostProvider {
+        &*self.cost
     }
 
     fn capacity(&self, kind: ResourceKind) -> u64 {
+        let gpu = &self.cluster().gpu;
         match kind {
-            ResourceKind::Sm => self.cluster.gpu.sm_count,
-            ResourceKind::DmaEngine => self.cluster.gpu.dma_engines,
+            ResourceKind::Sm => gpu.sm_count,
+            ResourceKind::DmaEngine => gpu.dma_engines,
             ResourceKind::LinkOut | ResourceKind::LinkIn => 100,
             ResourceKind::Host => 1,
         }
     }
 
     fn validate(&self, graph: &TaskGraph) -> Result<()> {
-        let world = self.cluster.world_size();
+        let world = self.cluster().world_size();
         for (id, task) in graph.iter() {
             if task.rank >= world {
                 return Err(SimError::InvalidRank {
@@ -109,7 +115,7 @@ impl Engine {
         self.validate(graph)?;
 
         let mut available: HashMap<(usize, ResourceKind), u64> = HashMap::new();
-        for rank in 0..self.cluster.world_size() {
+        for rank in 0..self.cluster().world_size() {
             for kind in ResourceKind::ALL {
                 available.insert((rank, kind), self.capacity(kind));
             }
@@ -235,7 +241,7 @@ impl Engine {
         }
 
         let entries: Vec<TraceEntry> = entries.into_iter().flatten().collect();
-        Ok(Trace::new(self.cluster.clone(), entries))
+        Ok(Trace::new(self.cluster().clone(), entries))
     }
 }
 
@@ -411,6 +417,31 @@ mod tests {
         );
         let trace = Engine::new(ClusterSpec::new(gpu, 1, 1)).run(&g).unwrap();
         assert!((trace.makespan() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn engine_with_calibrated_cost_slows_small_transfers() {
+        let cluster = ClusterSpec::h800_node(2);
+        let mut g = TaskGraph::new();
+        g.add_task(
+            "signal",
+            0,
+            ResourceKind::DmaEngine,
+            1,
+            Work::LinkBytes {
+                bytes: 8.0,
+                dst_rank: 1,
+            },
+        );
+        let analytic = Engine::new(cluster.clone()).run(&g).unwrap().makespan();
+        let calibrated = Engine::with_cost(std::sync::Arc::new(
+            crate::CalibratedCostModel::h800_defaults(cluster),
+        ))
+        .run(&g)
+        .unwrap()
+        .makespan();
+        assert!(analytic > 0.0, "α floor keeps signals from being free");
+        assert!(calibrated > analytic);
     }
 
     #[test]

@@ -33,6 +33,12 @@ pub enum SimError {
         /// Number of tasks that could not be scheduled.
         stuck: usize,
     },
+    /// A cost-model calibration table could not be read or parsed, or a
+    /// cost-model selector string was malformed.
+    Calibration {
+        /// Human-readable description of the problem.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -59,6 +65,9 @@ impl fmt::Display for SimError {
                     "dependency cycle detected: {stuck} tasks can never start"
                 )
             }
+            SimError::Calibration { message } => {
+                write!(f, "cost-model calibration error: {message}")
+            }
         }
     }
 }
@@ -83,6 +92,9 @@ mod tests {
                 world_size: 8,
             },
             SimError::DependencyCycle { stuck: 2 },
+            SimError::Calibration {
+                message: "bad table".to_string(),
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -21,6 +21,14 @@
 //! executed by [`Engine::run`], producing a [`Trace`] with per-task timing, a
 //! makespan, and per-resource utilisation.
 //!
+//! Work is priced by a pluggable [`CostProvider`]: the analytic [`CostModel`]
+//! (the default — roofline GEMMs, pure-bandwidth links with a per-message α
+//! floor) or the measured [`CalibratedCostModel`] (α/β latency plus a
+//! size-bucketed achieved-bandwidth table per link class, loadable from a
+//! TSV). [`CostModelSpec`] parses `--cost-model` command-line selectors, and
+//! every provider exposes a [`CostProvider::revision`] fingerprint that
+//! downstream caches fold into their keys.
+//!
 //! # Example
 //!
 //! ```
@@ -44,21 +52,25 @@
 
 #![deny(missing_docs)]
 
+mod calibration;
 mod cluster;
 mod cost;
 mod engine;
 mod error;
 mod gpu;
 mod graph;
+mod provider;
 mod task;
 mod trace;
 
-pub use cluster::ClusterSpec;
-pub use cost::CostModel;
+pub use calibration::{BandwidthBucket, CalibratedCostModel, LinkCalibration};
+pub use cluster::{ClusterSpec, LinkClass};
+pub use cost::{link_alpha_s, CostModel, ALPHA_INTER_NODE_S, ALPHA_INTRA_NODE_S, ALPHA_SELF_S};
 pub use engine::Engine;
 pub use error::SimError;
 pub use gpu::GpuSpec;
 pub use graph::TaskGraph;
+pub use provider::{analytic_cost, CostModelSpec, CostProvider, SharedCost};
 pub use task::{ResourceKind, Task, TaskId, Work};
 pub use trace::{Trace, TraceEntry};
 

@@ -1,6 +1,6 @@
 //! The TileLink compiler: frontend IR → executable kernel description.
 
-use tilelink_sim::GpuSpec;
+use tilelink_sim::{GpuSpec, SharedCost};
 
 use crate::config::OverlapConfig;
 use crate::ir::TileProgram;
@@ -44,12 +44,24 @@ impl CompiledKernel {
 pub struct Compiler {
     config: OverlapConfig,
     gpu: GpuSpec,
+    cost: Option<SharedCost>,
 }
 
 impl Compiler {
-    /// Creates a compiler for one device and configuration.
+    /// Creates a compiler for one device and configuration (resource mapping
+    /// uses the analytic cost model's efficiency heuristics).
     pub fn new(config: OverlapConfig, gpu: GpuSpec) -> Self {
-        Self { config, gpu }
+        Self {
+            config,
+            gpu,
+            cost: None,
+        }
+    }
+
+    /// Replaces the cost provider consulted by the resource-mapping pass.
+    pub fn with_cost(mut self, cost: SharedCost) -> Self {
+        self.cost = Some(cost);
+        self
     }
 
     /// The configuration this compiler applies.
@@ -78,7 +90,8 @@ impl Compiler {
             .collect();
         // Pipelining must preserve consistency; verify the invariant.
         check_consistency(&blocks)?;
-        let plan = ResourcePlan::derive(&self.config, &self.gpu, program)?;
+        let plan =
+            ResourcePlan::derive_with(&self.config, &self.gpu, program, self.cost.as_deref())?;
         Ok(CompiledKernel {
             name: program.name.clone(),
             world_size: program.world_size,

@@ -17,7 +17,9 @@
 
 use std::collections::HashMap;
 
-use tilelink_sim::{ClusterSpec, Engine, ResourceKind, TaskGraph, TaskId, Trace, Work};
+use tilelink_sim::{
+    analytic_cost, ClusterSpec, Engine, ResourceKind, SharedCost, TaskGraph, TaskId, Trace, Work,
+};
 
 use crate::compile::CompiledKernel;
 use crate::ir::{BlockRole, TileOp};
@@ -452,18 +454,31 @@ fn build_graph(kernel: &CompiledKernel, cluster: &ClusterSpec, subset: Subset) -
     builder.finish(subset)
 }
 
-/// Simulates a compiled kernel on `cluster` and reports the overlapped time,
-/// the communication-only time and the computation-only time.
+/// Simulates a compiled kernel on `cluster` with the default analytic cost
+/// model and reports the overlapped time, the communication-only time and the
+/// computation-only time.
 ///
 /// # Errors
 ///
 /// Returns an error if the generated task graph is invalid (which indicates a
 /// compiler bug, e.g. a dependency cycle between blocks).
 pub fn simulate(kernel: &CompiledKernel, cluster: &ClusterSpec) -> Result<(OverlapReport, Trace)> {
-    let engine = Engine::new(cluster.clone());
-    let full = engine.run(&build_graph(kernel, cluster, Subset::All))?;
-    let comm = engine.run(&build_graph(kernel, cluster, Subset::CommOnly))?;
-    let comp = engine.run(&build_graph(kernel, cluster, Subset::ComputeOnly))?;
+    simulate_with(kernel, &analytic_cost(cluster))
+}
+
+/// Simulates a compiled kernel priced by an explicit cost provider (the
+/// cluster is the provider's).
+///
+/// # Errors
+///
+/// Returns an error if the generated task graph is invalid (which indicates a
+/// compiler bug, e.g. a dependency cycle between blocks).
+pub fn simulate_with(kernel: &CompiledKernel, cost: &SharedCost) -> Result<(OverlapReport, Trace)> {
+    let cluster = cost.cluster().clone();
+    let engine = Engine::with_cost(cost.clone());
+    let full = engine.run(&build_graph(kernel, &cluster, Subset::All))?;
+    let comm = engine.run(&build_graph(kernel, &cluster, Subset::CommOnly))?;
+    let comp = engine.run(&build_graph(kernel, &cluster, Subset::ComputeOnly))?;
     let report = OverlapReport::new(full.makespan(), comm.makespan(), comp.makespan());
     Ok((report, full))
 }
@@ -543,6 +558,33 @@ mod tests {
         assert!(report.total_s < serial, "no overlap achieved: {report}");
         assert!(report.total_s >= report.comp_only_s * 0.99);
         assert!(report.overlap_ratio() > 0.0);
+    }
+
+    #[test]
+    fn simulate_with_analytic_provider_matches_simulate() {
+        let program = ag_gemm_program(4, 4, 4.0e6, 1024);
+        let kernel = compile(&program, OverlapConfig::default());
+        let cluster = ClusterSpec::h800_node(4);
+        let (a, _) = simulate(&kernel, &cluster).unwrap();
+        let (b, _) = simulate_with(&kernel, &analytic_cost(&cluster)).unwrap();
+        assert_eq!(a, b, "the trait boundary must not change analytic results");
+    }
+
+    #[test]
+    fn calibrated_provider_prices_communication_higher() {
+        let program = ag_gemm_program(4, 4, 4.0e6, 1024);
+        let kernel = compile(&program, OverlapConfig::default());
+        let cluster = ClusterSpec::h800_node(4);
+        let calibrated: tilelink_sim::SharedCost = std::sync::Arc::new(
+            tilelink_sim::CalibratedCostModel::h800_defaults(cluster.clone()),
+        );
+        let (analytic, _) = simulate(&kernel, &cluster).unwrap();
+        let (measured, _) = simulate_with(&kernel, &calibrated).unwrap();
+        // The H800 table never credits a transfer with more than 95% of peak,
+        // so the comm-only phase must be strictly slower than pure-bandwidth.
+        assert!(measured.comm_only_s > analytic.comm_only_s);
+        // Compute-only work is priced by the shared analytic base.
+        assert!((measured.comp_only_s - analytic.comp_only_s).abs() < 1e-12);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::config::{CommMapping, OverlapConfig};
 use crate::ir::{BlockRole, TileProgram};
 use crate::{Result, TileLinkError};
-use tilelink_sim::GpuSpec;
+use tilelink_sim::{CostProvider, GpuSpec};
 
 /// Which lane a communication block's transfers travel on in the simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,13 +37,30 @@ pub struct ResourcePlan {
 }
 
 impl ResourcePlan {
-    /// Derives the plan from the kernel configuration, the device and the program.
+    /// Derives the plan from the kernel configuration, the device and the
+    /// program, using the analytic cost model's efficiency heuristics.
     ///
     /// # Errors
     ///
     /// Returns [`TileLinkError::InvalidConfig`] if the configuration is invalid
     /// for the device (for example reserving every SM for communication).
     pub fn derive(config: &OverlapConfig, gpu: &GpuSpec, program: &TileProgram) -> Result<Self> {
+        Self::derive_with(config, gpu, program, None)
+    }
+
+    /// Derives the plan with the GEMM-efficiency heuristic of an explicit cost
+    /// provider (`None` falls back to the analytic model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TileLinkError::InvalidConfig`] if the configuration is invalid
+    /// for the device (for example reserving every SM for communication).
+    pub fn derive_with(
+        config: &OverlapConfig,
+        gpu: &GpuSpec,
+        program: &TileProgram,
+        cost: Option<&dyn CostProvider>,
+    ) -> Result<Self> {
         config.validate(gpu.sm_count)?;
         let comm_sms = config.comm_mapping.comm_sms();
         let compute_sms = gpu.sm_count - comm_sms;
@@ -71,12 +88,17 @@ impl ResourcePlan {
         }
         // Tile efficiency of the computation side: decoupling lets the compute
         // tile stay large even when the communication tile is small.
-        let compute_efficiency = tilelink_sim::CostModel::gemm_tile_efficiency(
-            config.compute_tile.m,
-            config.compute_tile.n,
-            // The K extent is unknown at this level; use a deep-reduction proxy.
-            4096,
-        );
+        // The K extent is unknown at this level; use a deep-reduction proxy.
+        let compute_efficiency = match cost {
+            Some(cost) => {
+                cost.gemm_tile_efficiency(config.compute_tile.m, config.compute_tile.n, 4096)
+            }
+            None => tilelink_sim::CostModel::gemm_tile_efficiency(
+                config.compute_tile.m,
+                config.compute_tile.n,
+                4096,
+            ),
+        };
         // Each coarse consumer block of the tile program stands for a row of
         // real thread blocks. Spread them so the grid drains in a handful of
         // waves: early tiles finish first and release their consumers, which is
@@ -159,6 +181,17 @@ mod tests {
             .unwrap()
             .compute_efficiency;
         assert!(e_large > e_small);
+    }
+
+    #[test]
+    fn derive_with_provider_matches_analytic_default() {
+        let cluster = tilelink_sim::ClusterSpec::h800_node(8);
+        let cost = tilelink_sim::analytic_cost(&cluster);
+        let cfg = OverlapConfig::default();
+        let p = program_with_blocks(2, 4);
+        let a = ResourcePlan::derive(&cfg, &GpuSpec::h800(), &p).unwrap();
+        let b = ResourcePlan::derive_with(&cfg, &GpuSpec::h800(), &p, Some(&*cost)).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -15,8 +15,12 @@ pub const CACHE_PATH_ENV: &str = "TILELINK_TUNE_CACHE";
 ///
 /// The on-disk format is a line-oriented TSV so cache files can be inspected
 /// and diffed: `key<TAB>total_s<TAB>comm_only_s<TAB>comp_only_s`. Keys combine
-/// the oracle's workload key, the [`crate::cluster_key`] of the cluster and
+/// the oracle's workload key, the [`crate::cluster_key`] of the cluster, the
+/// cost-model revision ([`crate::CostOracle::cost_revision`]) and
 /// [`OverlapConfig::cache_key`], none of which contain tabs or newlines.
+/// Because the revision is part of the key, entries evaluated under a
+/// different cost model simply miss — a stale cache self-invalidates instead
+/// of serving timings the current model would not produce.
 ///
 /// Unparseable lines are skipped on load (a truncated line from an interrupted
 /// run only loses that entry, never the whole cache).
@@ -108,9 +112,18 @@ impl TuneCache {
         self.entries.is_empty()
     }
 
-    /// The full cache key for one (workload, cluster, config) triple.
-    pub fn key(workload_key: &str, cluster_key: &str, cfg: &OverlapConfig) -> String {
-        format!("{workload_key}|{cluster_key}|{}", cfg.cache_key())
+    /// The full cache key for one (workload, cluster, cost-model revision,
+    /// config) quadruple.
+    pub fn key(
+        workload_key: &str,
+        cluster_key: &str,
+        cost_revision: &str,
+        cfg: &OverlapConfig,
+    ) -> String {
+        format!(
+            "{workload_key}|{cluster_key}|{cost_revision}|{}",
+            cfg.cache_key()
+        )
     }
 
     /// Looks up a cached report.
@@ -176,7 +189,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let mut cache = TuneCache::open(&path).unwrap();
         assert!(cache.is_empty());
-        let key = TuneCache::key("w", "c", &OverlapConfig::default());
+        let key = TuneCache::key("w", "c", "analytic-v2", &OverlapConfig::default());
         cache.insert(key.clone(), OverlapReport::new(1.25e-3, 5e-4, 1e-3));
         cache.flush().unwrap();
 
@@ -209,9 +222,24 @@ mod tests {
     }
 
     #[test]
-    fn keys_embed_all_three_parts() {
-        let k = TuneCache::key("mlp", "h800x8", &OverlapConfig::default());
-        assert!(k.starts_with("mlp|h800x8|"));
+    fn keys_embed_all_four_parts() {
+        let k = TuneCache::key("mlp", "h800x8", "analytic-v2", &OverlapConfig::default());
+        assert!(k.starts_with("mlp|h800x8|analytic-v2|"));
         assert!(k.contains("ct128x128"));
+    }
+
+    #[test]
+    fn keys_differ_across_cost_model_revisions() {
+        let cfg = OverlapConfig::default();
+        let analytic = TuneCache::key("mlp", "h800x8", "analytic-v2", &cfg);
+        let calibrated = TuneCache::key("mlp", "h800x8", "calibrated-00ff", &cfg);
+        assert_ne!(analytic, calibrated);
+        let mut cache = TuneCache::in_memory();
+        cache.insert(analytic.clone(), OverlapReport::new(1.0, 0.5, 0.5));
+        assert!(cache.get(&analytic).is_some());
+        assert!(
+            cache.get(&calibrated).is_none(),
+            "an entry written under one revision must miss under another"
+        );
     }
 }

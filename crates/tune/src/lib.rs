@@ -20,9 +20,12 @@
 //!   that visits a tiny fraction of large spaces while never returning a
 //!   config worse than its seed (the default config);
 //! * [`TuneCache`] — a persistent on-disk cache keyed by
-//!   `(workload, cluster, config)` so repeated searches are near-free. The
-//!   simulator is deterministic, so cached costs never go stale for a fixed
-//!   cost-model version.
+//!   `(workload, cluster, cost-model revision, config)` so repeated searches
+//!   are near-free. The simulator is deterministic, so cached costs never go
+//!   stale for a fixed cost model — and because the provider's
+//!   [`tilelink_sim::CostProvider::revision`] fingerprint is part of the key,
+//!   entries evaluated under an older cost model self-invalidate instead of
+//!   serving wrong timings.
 //!
 //! Candidate evaluation is embarrassingly parallel (the simulator is pure),
 //! so the tuner fans evaluations out over `std::thread`.
@@ -68,7 +71,7 @@ pub use cache::TuneCache;
 pub use error::TuneError;
 pub use oracle::{cluster_key, CostOracle, FnOracle};
 pub use search::{Candidate, Strategy, TuneReport, Tuner};
-pub use space::SearchSpace;
+pub use space::{AxisConstraint, SearchSpace, RING_REQUIRES_PUSH};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, TuneError>;

@@ -22,6 +22,17 @@ pub trait CostOracle: Sync {
     /// The cluster the workload runs on.
     fn cluster(&self) -> &ClusterSpec;
 
+    /// Revision fingerprint of the cost model pricing the evaluations (see
+    /// [`tilelink_sim::CostProvider::revision`]).
+    ///
+    /// Folded into the persistent tuning-cache key so entries evaluated under
+    /// a different cost model miss instead of serving stale timings. Oracles
+    /// that evaluate through a non-default provider must override this with
+    /// that provider's revision.
+    fn cost_revision(&self) -> String {
+        tilelink_sim::CostModel::REVISION.to_string()
+    }
+
     /// Compiles and simulates one candidate, returning its timing report.
     ///
     /// # Errors
@@ -71,6 +82,7 @@ where
     cluster: ClusterSpec,
     evaluate: E,
     supported: S,
+    revision: String,
 }
 
 impl<E> FnOracle<E>
@@ -84,6 +96,7 @@ where
             cluster,
             evaluate,
             supported: |_| true,
+            revision: tilelink_sim::CostModel::REVISION.to_string(),
         }
     }
 }
@@ -103,7 +116,14 @@ where
             cluster: self.cluster,
             evaluate: self.evaluate,
             supported,
+            revision: self.revision,
         }
+    }
+
+    /// Replaces the cost-model revision reported for cache keying.
+    pub fn with_revision(mut self, revision: impl Into<String>) -> Self {
+        self.revision = revision.into();
+        self
     }
 }
 
@@ -127,6 +147,10 @@ where
     fn is_supported(&self, cfg: &OverlapConfig) -> bool {
         (self.supported)(cfg)
     }
+
+    fn cost_revision(&self) -> String {
+        self.revision.clone()
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +164,16 @@ mod tests {
         let c = cluster_key(&ClusterSpec::new(tilelink_sim::GpuSpec::a100(), 8, 1));
         assert_ne!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn default_revision_is_the_analytic_model() {
+        let oracle = FnOracle::new("t", ClusterSpec::h800_node(2), |_| {
+            Ok(OverlapReport::new(1.0, 0.5, 0.5))
+        });
+        assert_eq!(oracle.cost_revision(), tilelink_sim::CostModel::REVISION);
+        let oracle = oracle.with_revision("calibrated-abc");
+        assert_eq!(oracle.cost_revision(), "calibrated-abc");
     }
 
     #[test]

@@ -155,6 +155,7 @@ impl Tuner {
     pub fn tune(&self, oracle: &dyn CostOracle, space: &SearchSpace) -> Result<TuneReport> {
         let workload = oracle.workload_key();
         let cluster = cluster_key(oracle.cluster());
+        let revision = oracle.cost_revision();
         let mut stats = BatchStats {
             evaluations: 0,
             cache_hits: 0,
@@ -176,7 +177,7 @@ impl Tuner {
                 }
                 self.evaluate_batch(
                     oracle,
-                    (&workload, &cluster),
+                    (&workload, &cluster, &revision),
                     &candidates,
                     &mut stats,
                     &mut evaluated,
@@ -187,7 +188,7 @@ impl Tuner {
                 let width = width.max(1);
                 let sm_count = oracle.cluster().gpu.sm_count;
                 let valid = |cfg: &OverlapConfig| {
-                    cfg.validate(sm_count).is_ok() && oracle.is_supported(cfg)
+                    cfg.validate(sm_count).is_ok() && space.allows(cfg) && oracle.is_supported(cfg)
                 };
                 // Seeds: the library default and the space's own first-corner
                 // config. Keeping them in the pool guarantees the final result
@@ -211,7 +212,7 @@ impl Tuner {
                 }
                 self.evaluate_batch(
                     oracle,
-                    (&workload, &cluster),
+                    (&workload, &cluster, &revision),
                     &seeds,
                     &mut stats,
                     &mut evaluated,
@@ -226,7 +227,7 @@ impl Tuner {
                     for chunk in space.candidates(oracle).chunks(16) {
                         self.evaluate_batch(
                             oracle,
-                            (&workload, &cluster),
+                            (&workload, &cluster, &revision),
                             chunk,
                             &mut stats,
                             &mut evaluated,
@@ -258,7 +259,7 @@ impl Tuner {
                         }
                         self.evaluate_batch(
                             oracle,
-                            (&workload, &cluster),
+                            (&workload, &cluster, &revision),
                             &frontier,
                             &mut stats,
                             &mut evaluated,
@@ -319,11 +320,12 @@ impl Tuner {
 
     /// Evaluates `configs` (cache first, then the oracle in parallel),
     /// appending successes to `evaluated` in candidate order. `keys` is the
-    /// `(workload_key, cluster_key)` pair fed to [`TuneCache::key`].
+    /// `(workload_key, cluster_key, cost_revision)` triple fed to
+    /// [`TuneCache::key`].
     fn evaluate_batch(
         &self,
         oracle: &dyn CostOracle,
-        keys: (&str, &str),
+        keys: (&str, &str, &str),
         configs: &[OverlapConfig],
         stats: &mut BatchStats,
         evaluated: &mut Vec<Candidate>,
@@ -339,7 +341,7 @@ impl Tuner {
                     hit_or_miss.push(None); // already ranked; nothing to do
                     continue;
                 }
-                let key = TuneCache::key(keys.0, keys.1, cfg);
+                let key = TuneCache::key(keys.0, keys.1, keys.2, cfg);
                 match cache.get(&key) {
                     Some(report) => {
                         stats.cache_hits += 1;
@@ -400,7 +402,7 @@ impl Tuner {
                     match result {
                         Ok(report) => {
                             stats.evaluations += 1;
-                            let key = TuneCache::key(keys.0, keys.1, cfg);
+                            let key = TuneCache::key(keys.0, keys.1, keys.2, cfg);
                             cache.insert(key, report);
                             (report, false)
                         }
@@ -615,6 +617,72 @@ mod tests {
         assert_eq!(second.best.config, first.best.config);
         assert!(second.best.from_cache);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cache_entries_miss_under_a_different_cost_revision_and_hit_again() {
+        let dir = std::env::temp_dir().join(format!("tilelink-tune-rev-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.tsv");
+        let _ = std::fs::remove_file(&path);
+
+        let oracle_with = |counter: &'static AtomicUsize, revision: &str| {
+            FnOracle::new("rev", ClusterSpec::h800_node(8), move |cfg| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                let t = cfg.num_stages as f64;
+                Ok(OverlapReport::new(t, t / 2.0, t / 2.0))
+            })
+            .with_revision(revision)
+        };
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        let space = SearchSpace::new().with_stages([2, 3]);
+        let run = |revision: &str| {
+            Tuner::new(Strategy::Exhaustive)
+                .with_cache(TuneCache::open(&path).unwrap())
+                .tune(&oracle_with(&CALLS, revision), &space)
+                .unwrap()
+        };
+
+        let first = run("analytic-v2");
+        assert_eq!(first.evaluations, 2);
+        // A different cost-model revision must not be served stale timings.
+        let other = run("calibrated-deadbeef");
+        assert_eq!(
+            other.evaluations, 2,
+            "revision change must force re-evaluation"
+        );
+        assert_eq!(other.cache_hits, 0);
+        // Returning to the original revision hits the original entries again.
+        let back = run("analytic-v2");
+        assert_eq!(back.evaluations, 0);
+        assert_eq!(back.cache_hits, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn beam_respects_cross_axis_constraints() {
+        use tilelink::{TileOrder, TransferMode};
+        let seen_ring_pull = std::sync::atomic::AtomicBool::new(false);
+        let oracle = FnOracle::new("c", ClusterSpec::h800_node(8), |cfg| {
+            if cfg.order == TileOrder::Ring && cfg.mode == TransferMode::Pull {
+                seen_ring_pull.store(true, Ordering::SeqCst);
+            }
+            Ok(OverlapReport::new(1.0, 0.5, 0.5))
+        });
+        let space = SearchSpace::new()
+            .with_orders([TileOrder::AllToAll, TileOrder::Ring])
+            .with_modes([TransferMode::Pull, TransferMode::Push])
+            .with_constraint(crate::RING_REQUIRES_PUSH);
+        Tuner::new(Strategy::Beam {
+            width: 4,
+            sweeps: 2,
+        })
+        .tune(&oracle, &space)
+        .unwrap();
+        assert!(
+            !seen_ring_pull.load(Ordering::SeqCst),
+            "constrained pair must never reach the oracle"
+        );
     }
 
     #[test]

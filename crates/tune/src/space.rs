@@ -4,13 +4,43 @@ use tilelink::{CommMapping, OverlapConfig, TileOrder, TileShape, TransferMode};
 
 use crate::CostOracle;
 
+/// A named cross-axis validity constraint (see [`SearchSpace::with_constraint`]).
+///
+/// The predicate is a plain `fn` pointer so spaces stay `Clone`/`PartialEq`
+/// and searches stay deterministic. Equality compares the *name* only
+/// (function-pointer comparison is not meaningful), so give distinct
+/// constraints distinct names.
+#[derive(Debug, Clone, Copy)]
+pub struct AxisConstraint {
+    /// Human-readable name, e.g. `"ring-requires-push"`.
+    pub name: &'static str,
+    /// Returns `true` if the configuration satisfies the constraint.
+    pub pred: fn(&OverlapConfig) -> bool,
+}
+
+impl PartialEq for AxisConstraint {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+    }
+}
+
+/// Built-in constraint: [`TileOrder::Ring`] only combines with
+/// [`TransferMode::Push`] (ring schedules forward partial results to a
+/// neighbour, which is inherently a push; a pull-mode ring would deadlock on
+/// real hardware and only "works" in the simulator by accident).
+pub const RING_REQUIRES_PUSH: AxisConstraint = AxisConstraint {
+    name: "ring-requires-push",
+    pred: |cfg| cfg.order != TileOrder::Ring || cfg.mode == TransferMode::Push,
+};
+
 /// A builder over the seven axes of the overlap design space.
 ///
 /// Every axis starts from the corresponding [`OverlapConfig::default`] value;
 /// builder methods replace one axis with a list of candidates. The full space
 /// is the cartesian product of the axes, enumerated in a fixed nested-loop
 /// order (so searches are deterministic), with invalid combinations pruned by
-/// [`OverlapConfig::validate`] and the oracle's
+/// [`OverlapConfig::validate`], the space's own cross-axis constraints
+/// ([`SearchSpace::with_constraint`]) and the oracle's
 /// [`CostOracle::is_supported`][crate::CostOracle::is_supported] predicate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchSpace {
@@ -21,6 +51,7 @@ pub struct SearchSpace {
     mappings: Vec<CommMapping>,
     channels: Vec<usize>,
     stages: Vec<usize>,
+    constraints: Vec<AxisConstraint>,
 }
 
 impl Default for SearchSpace {
@@ -34,6 +65,7 @@ impl Default for SearchSpace {
             mappings: vec![d.comm_mapping],
             channels: vec![d.channels_per_rank],
             stages: vec![d.num_stages],
+            constraints: Vec::new(),
         }
     }
 }
@@ -114,6 +146,36 @@ impl SearchSpace {
     pub fn with_stages(mut self, stages: impl IntoIterator<Item = usize>) -> Self {
         self.stages = stages.into_iter().collect();
         self
+    }
+
+    /// Adds a cross-axis validity constraint; configurations violating it are
+    /// pruned at enumeration time, before any compile or simulation attempt.
+    ///
+    /// Use this for axis pairs that can never combine (e.g.
+    /// [`RING_REQUIRES_PUSH`]): pruning up front keeps them out of oracle
+    /// calls entirely, instead of relying on per-candidate compile failures.
+    ///
+    /// ```
+    /// use tilelink_tune::{SearchSpace, RING_REQUIRES_PUSH};
+    /// use tilelink::{OverlapConfig, TileOrder};
+    ///
+    /// let space = SearchSpace::new().with_constraint(RING_REQUIRES_PUSH);
+    /// let ring_pull = OverlapConfig::default().with_order(TileOrder::Ring);
+    /// assert!(!space.allows(&ring_pull));
+    /// ```
+    pub fn with_constraint(mut self, constraint: AxisConstraint) -> Self {
+        self.constraints.push(constraint);
+        self
+    }
+
+    /// The cross-axis constraints of this space.
+    pub fn constraints(&self) -> &[AxisConstraint] {
+        &self.constraints
+    }
+
+    /// Returns `true` if `cfg` satisfies every cross-axis constraint.
+    pub fn allows(&self, cfg: &OverlapConfig) -> bool {
+        self.constraints.iter().all(|c| (c.pred)(cfg))
     }
 
     /// Number of combinations before pruning.
@@ -200,7 +262,8 @@ impl SearchSpace {
     /// Enumerates every valid candidate for `oracle`, in deterministic order.
     ///
     /// A candidate is valid when [`OverlapConfig::validate`] accepts it for the
-    /// oracle's GPU and the oracle's `is_supported` predicate holds.
+    /// oracle's GPU, every cross-axis constraint of the space allows it, and
+    /// the oracle's `is_supported` predicate holds.
     pub fn candidates(&self, oracle: &dyn CostOracle) -> Vec<OverlapConfig> {
         let sm_count = oracle.cluster().gpu.sm_count;
         let mut out = Vec::new();
@@ -220,7 +283,10 @@ impl SearchSpace {
                                         channels_per_rank,
                                         num_stages,
                                     };
-                                    if cfg.validate(sm_count).is_ok() && oracle.is_supported(&cfg) {
+                                    if cfg.validate(sm_count).is_ok()
+                                        && self.allows(&cfg)
+                                        && oracle.is_supported(&cfg)
+                                    {
                                         out.push(cfg);
                                     }
                                 }
@@ -285,6 +351,45 @@ mod tests {
             .map(|c| c.num_stages)
             .collect();
         assert_eq!(stages, vec![2, 4]);
+    }
+
+    #[test]
+    fn cross_axis_constraints_prune_at_enumeration_time() {
+        use tilelink::{TileOrder, TransferMode};
+        let space = SearchSpace::new()
+            .with_orders([TileOrder::AllToAll, TileOrder::Ring])
+            .with_modes([TransferMode::Pull, TransferMode::Push]);
+        // Without the constraint all four pairs enumerate.
+        assert_eq!(space.candidates(&unit_oracle()).len(), 4);
+        let constrained = space.with_constraint(crate::RING_REQUIRES_PUSH);
+        let cands = constrained.candidates(&unit_oracle());
+        assert_eq!(cands.len(), 3, "ring+pull must be pruned");
+        assert!(cands
+            .iter()
+            .all(|c| c.order != TileOrder::Ring || c.mode == TransferMode::Push));
+        assert!(!constrained.allows(&OverlapConfig::default().with_order(TileOrder::Ring)));
+        assert_eq!(constrained.constraints().len(), 1);
+        assert_eq!(constrained.constraints()[0].name, "ring-requires-push");
+    }
+
+    #[test]
+    fn constraints_compose() {
+        let space = SearchSpace::new()
+            .with_stages([2, 3, 4])
+            .with_constraint(AxisConstraint {
+                name: "even-stages",
+                pred: |cfg| cfg.num_stages % 2 == 0,
+            })
+            .with_constraint(AxisConstraint {
+                name: "shallow",
+                pred: |cfg| cfg.num_stages < 4,
+            });
+        let stages: Vec<usize> = space
+            .candidates(&unit_oracle())
+            .iter()
+            .map(|c| c.num_stages)
+            .collect();
+        assert_eq!(stages, vec![2]);
     }
 
     #[test]

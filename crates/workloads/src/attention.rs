@@ -8,14 +8,14 @@
 //! is order-invariant, so tiles may arrive in any rank order).
 
 use tilelink::config::{CommMapping, OverlapConfig, TileShape};
-use tilelink::exec::{run_comm_compute, simulate};
+use tilelink::exec::{run_comm_compute, simulate_with};
 use tilelink::ir::{BlockDesc, BlockRole, ComputeKind, TileOp, TileProgram};
 use tilelink::primitives::NotifyScope;
 use tilelink::tile::{read_tile, TileRect};
 use tilelink::{BlockChannel, Compiler, DeviceHandle, OverlapReport, StaticMapping, TileMapping};
 use tilelink_compute::{FlashAccumulator, Tensor};
 use tilelink_shmem::ProcessGroup;
-use tilelink_sim::ClusterSpec;
+use tilelink_sim::{analytic_cost, ClusterSpec, SharedCost};
 
 use crate::mlp::BYTES_PER_ELEM;
 use crate::AttnShape;
@@ -209,7 +209,8 @@ pub fn sp_attention_program(
     (program, mapping)
 }
 
-/// Simulates the TileLink sequence-parallel attention kernel.
+/// Simulates the TileLink sequence-parallel attention kernel with the default
+/// analytic cost model.
 ///
 /// # Errors
 ///
@@ -220,10 +221,27 @@ pub fn timed_sp_attention(
     cluster: &ClusterSpec,
     cfg: &OverlapConfig,
 ) -> tilelink::Result<OverlapReport> {
-    let world = cluster.world_size();
+    timed_sp_attention_with(shape, seq_len, cfg, &analytic_cost(cluster))
+}
+
+/// Simulates the TileLink sequence-parallel attention kernel priced by an
+/// explicit cost provider (the cluster is the provider's).
+///
+/// # Errors
+///
+/// Returns an error if compilation or simulation fails.
+pub fn timed_sp_attention_with(
+    shape: &AttnShape,
+    seq_len: usize,
+    cfg: &OverlapConfig,
+    cost: &SharedCost,
+) -> tilelink::Result<OverlapReport> {
+    let world = cost.cluster().world_size();
     let (program, mapping) = sp_attention_program(shape.heads, shape.head_dim, seq_len, world, cfg);
-    let kernel = Compiler::new(cfg.clone(), cluster.gpu.clone()).compile(&program, &mapping)?;
-    let (report, _) = simulate(&kernel, cluster)?;
+    let kernel = Compiler::new(cfg.clone(), cost.cluster().gpu.clone())
+        .with_cost(cost.clone())
+        .compile(&program, &mapping)?;
+    let (report, _) = simulate_with(&kernel, cost)?;
     Ok(report)
 }
 

@@ -13,7 +13,7 @@
 use std::path::PathBuf;
 
 use tilelink::{OverlapConfig, OverlapReport};
-use tilelink_sim::ClusterSpec;
+use tilelink_sim::{analytic_cost, ClusterSpec, SharedCost};
 use tilelink_tune::{CostOracle, SearchSpace, Strategy, TuneCache, TuneReport, Tuner};
 
 use crate::{attention, mlp, moe, AttnShape, MlpShape, MoeShape};
@@ -28,13 +28,23 @@ use crate::{attention, mlp, moe, AttnShape, MlpShape, MoeShape};
 #[derive(Debug, Clone)]
 pub struct MlpOracle {
     shape: MlpShape,
-    cluster: ClusterSpec,
+    cost: SharedCost,
 }
 
 impl MlpOracle {
-    /// Creates the oracle for one MLP shape on one cluster.
+    /// Creates the oracle for one MLP shape on one cluster (analytic costs).
     pub fn new(shape: MlpShape, cluster: ClusterSpec) -> Self {
-        Self { shape, cluster }
+        Self {
+            shape,
+            cost: analytic_cost(&cluster),
+        }
+    }
+
+    /// Replaces the cost provider (and with it the cluster) the oracle
+    /// evaluates against.
+    pub fn with_cost(mut self, cost: SharedCost) -> Self {
+        self.cost = cost;
+        self
     }
 }
 
@@ -47,13 +57,17 @@ impl CostOracle for MlpOracle {
     }
 
     fn cluster(&self) -> &ClusterSpec {
-        &self.cluster
+        self.cost.cluster()
+    }
+
+    fn cost_revision(&self) -> String {
+        self.cost.revision()
     }
 
     fn evaluate(&self, cfg: &OverlapConfig) -> tilelink::Result<OverlapReport> {
-        let ag = mlp::timed_ag_gemm(&self.shape, &self.cluster, cfg)?;
-        let rs = mlp::timed_gemm_rs(&self.shape, &self.cluster, cfg)?;
-        let act = mlp::activation_seconds(&self.shape, &self.cluster);
+        let ag = mlp::timed_ag_gemm_with(&self.shape, cfg, &self.cost)?;
+        let rs = mlp::timed_gemm_rs_with(&self.shape, cfg, &self.cost)?;
+        let act = mlp::activation_seconds_with(&self.shape, &*self.cost);
         Ok(OverlapReport::new(
             ag.total_s + rs.total_s + act,
             ag.comm_only_s + rs.comm_only_s,
@@ -64,7 +78,7 @@ impl CostOracle for MlpOracle {
     fn is_supported(&self, cfg: &OverlapConfig) -> bool {
         // The ring ReduceScatter half indexes tiles as segment × tile, so the
         // token count must split evenly into per-rank segments of compute tiles.
-        let world = self.cluster.world_size();
+        let world = self.cluster().world_size();
         self.shape.tokens.is_multiple_of(world * cfg.compute_tile.m)
     }
 }
@@ -73,13 +87,23 @@ impl CostOracle for MlpOracle {
 #[derive(Debug, Clone)]
 pub struct MlpAgGemmOracle {
     shape: MlpShape,
-    cluster: ClusterSpec,
+    cost: SharedCost,
 }
 
 impl MlpAgGemmOracle {
-    /// Creates the oracle for one MLP shape on one cluster.
+    /// Creates the oracle for one MLP shape on one cluster (analytic costs).
     pub fn new(shape: MlpShape, cluster: ClusterSpec) -> Self {
-        Self { shape, cluster }
+        Self {
+            shape,
+            cost: analytic_cost(&cluster),
+        }
+    }
+
+    /// Replaces the cost provider (and with it the cluster) the oracle
+    /// evaluates against.
+    pub fn with_cost(mut self, cost: SharedCost) -> Self {
+        self.cost = cost;
+        self
     }
 }
 
@@ -92,16 +116,20 @@ impl CostOracle for MlpAgGemmOracle {
     }
 
     fn cluster(&self) -> &ClusterSpec {
-        &self.cluster
+        self.cost.cluster()
+    }
+
+    fn cost_revision(&self) -> String {
+        self.cost.revision()
     }
 
     fn evaluate(&self, cfg: &OverlapConfig) -> tilelink::Result<OverlapReport> {
-        mlp::timed_ag_gemm(&self.shape, &self.cluster, cfg)
+        mlp::timed_ag_gemm_with(&self.shape, cfg, &self.cost)
     }
 
     fn is_supported(&self, cfg: &OverlapConfig) -> bool {
         // One producer tile per comm block: keep tiles aligned to the shard.
-        let world = self.cluster.world_size();
+        let world = self.cluster().world_size();
         self.shape.tokens.is_multiple_of(world * cfg.comm_tile.m)
     }
 }
@@ -111,13 +139,23 @@ impl CostOracle for MlpAgGemmOracle {
 #[derive(Debug, Clone)]
 pub struct MoeOracle {
     shape: MoeShape,
-    cluster: ClusterSpec,
+    cost: SharedCost,
 }
 
 impl MoeOracle {
-    /// Creates the oracle for one MoE shape on one cluster.
+    /// Creates the oracle for one MoE shape on one cluster (analytic costs).
     pub fn new(shape: MoeShape, cluster: ClusterSpec) -> Self {
-        Self { shape, cluster }
+        Self {
+            shape,
+            cost: analytic_cost(&cluster),
+        }
+    }
+
+    /// Replaces the cost provider (and with it the cluster) the oracle
+    /// evaluates against.
+    pub fn with_cost(mut self, cost: SharedCost) -> Self {
+        self.cost = cost;
+        self
     }
 }
 
@@ -134,17 +172,17 @@ impl CostOracle for MoeOracle {
     }
 
     fn cluster(&self) -> &ClusterSpec {
-        &self.cluster
+        self.cost.cluster()
+    }
+
+    fn cost_revision(&self) -> String {
+        self.cost.revision()
     }
 
     fn evaluate(&self, cfg: &OverlapConfig) -> tilelink::Result<OverlapReport> {
-        let first = moe::timed_ag_group_gemm(&self.shape, &self.cluster, cfg)?;
-        let second = moe::timed_group_gemm_rs(&self.shape, &self.cluster, cfg)?;
-        let world = self.cluster.world_size();
-        let act_elems =
-            moe::dispatched_rows(&self.shape) as f64 * (self.shape.intermediate / world) as f64;
-        let act = 3.0 * act_elems * mlp::BYTES_PER_ELEM / self.cluster.gpu.hbm_bytes_per_s()
-            + self.cluster.gpu.kernel_launch_s();
+        let first = moe::timed_ag_group_gemm_with(&self.shape, cfg, &self.cost)?;
+        let second = moe::timed_group_gemm_rs_with(&self.shape, cfg, &self.cost)?;
+        let act = moe::activation_seconds_with(&self.shape, &*self.cost);
         Ok(OverlapReport::new(
             first.total_s + second.total_s + act,
             first.comm_only_s + second.comm_only_s,
@@ -153,7 +191,7 @@ impl CostOracle for MoeOracle {
     }
 
     fn is_supported(&self, cfg: &OverlapConfig) -> bool {
-        let world = self.cluster.world_size();
+        let world = self.cluster().world_size();
         self.shape.tokens.is_multiple_of(world * cfg.compute_tile.m)
     }
 }
@@ -164,17 +202,25 @@ impl CostOracle for MoeOracle {
 pub struct AttentionOracle {
     shape: AttnShape,
     seq_len: usize,
-    cluster: ClusterSpec,
+    cost: SharedCost,
 }
 
 impl AttentionOracle {
-    /// Creates the oracle for one attention shape and sequence length.
+    /// Creates the oracle for one attention shape and sequence length
+    /// (analytic costs).
     pub fn new(shape: AttnShape, seq_len: usize, cluster: ClusterSpec) -> Self {
         Self {
             shape,
             seq_len,
-            cluster,
+            cost: analytic_cost(&cluster),
         }
+    }
+
+    /// Replaces the cost provider (and with it the cluster) the oracle
+    /// evaluates against.
+    pub fn with_cost(mut self, cost: SharedCost) -> Self {
+        self.cost = cost;
+        self
     }
 }
 
@@ -187,15 +233,19 @@ impl CostOracle for AttentionOracle {
     }
 
     fn cluster(&self) -> &ClusterSpec {
-        &self.cluster
+        self.cost.cluster()
+    }
+
+    fn cost_revision(&self) -> String {
+        self.cost.revision()
     }
 
     fn evaluate(&self, cfg: &OverlapConfig) -> tilelink::Result<OverlapReport> {
-        attention::timed_sp_attention(&self.shape, self.seq_len, &self.cluster, cfg)
+        attention::timed_sp_attention_with(&self.shape, self.seq_len, cfg, &self.cost)
     }
 
     fn is_supported(&self, _cfg: &OverlapConfig) -> bool {
-        self.seq_len.is_multiple_of(self.cluster.world_size())
+        self.seq_len.is_multiple_of(self.cluster().world_size())
     }
 }
 
@@ -214,6 +264,11 @@ pub struct TuneOptions {
     pub cache_path: Option<PathBuf>,
     /// Evaluation threads; `None` uses one per CPU.
     pub threads: Option<usize>,
+    /// Cost provider pricing the candidates; `None` uses the analytic model
+    /// for the constructor's cluster. The provider's revision becomes part of
+    /// the tuning-cache key, so results tuned under different cost models
+    /// never alias.
+    pub cost: Option<SharedCost>,
 }
 
 impl Default for TuneOptions {
@@ -223,6 +278,7 @@ impl Default for TuneOptions {
             space: SearchSpace::standard(),
             cache_path: None,
             threads: None,
+            cost: None,
         }
     }
 }
@@ -232,6 +288,12 @@ impl TuneOptions {
     /// [`TuneCache::default_path`]).
     pub fn with_default_cache(mut self) -> Self {
         self.cache_path = Some(TuneCache::default_path());
+        self
+    }
+
+    /// Prices candidates with an explicit cost provider.
+    pub fn with_cost(mut self, cost: SharedCost) -> Self {
+        self.cost = Some(cost);
         self
     }
 }
@@ -246,6 +308,24 @@ pub struct TunedLayer {
     pub layer: OverlapReport,
     /// The ranked search outcome (all candidates, statistics).
     pub search: TuneReport,
+}
+
+/// The provider from `opts`, checked against the cluster the caller named.
+///
+/// # Panics
+///
+/// Panics if `opts.cost` is priced for a different cluster than `cluster` —
+/// silently tuning against the provider's topology would return a winning
+/// config (and cache entries) for hardware the caller did not ask about.
+fn checked_cost(opts: &TuneOptions, cluster: &ClusterSpec) -> Option<SharedCost> {
+    opts.cost.as_ref().map(|cost| {
+        assert_eq!(
+            cost.cluster(),
+            cluster,
+            "TuneOptions::cost is priced for a different cluster"
+        );
+        cost.clone()
+    })
 }
 
 fn run_tune(oracle: &dyn CostOracle, opts: &TuneOptions) -> tilelink_tune::Result<TunedLayer> {
@@ -276,7 +356,11 @@ pub fn tuned_full_mlp(
     cluster: &ClusterSpec,
     opts: &TuneOptions,
 ) -> tilelink_tune::Result<TunedLayer> {
-    run_tune(&MlpOracle::new(shape.clone(), cluster.clone()), opts)
+    let mut oracle = MlpOracle::new(shape.clone(), cluster.clone());
+    if let Some(cost) = checked_cost(opts, cluster) {
+        oracle = oracle.with_cost(cost);
+    }
+    run_tune(&oracle, opts)
 }
 
 /// Searches the design space for the AllGather + GEMM half of the MLP.
@@ -289,7 +373,11 @@ pub fn tuned_ag_gemm(
     cluster: &ClusterSpec,
     opts: &TuneOptions,
 ) -> tilelink_tune::Result<TunedLayer> {
-    run_tune(&MlpAgGemmOracle::new(shape.clone(), cluster.clone()), opts)
+    let mut oracle = MlpAgGemmOracle::new(shape.clone(), cluster.clone());
+    if let Some(cost) = checked_cost(opts, cluster) {
+        oracle = oracle.with_cost(cost);
+    }
+    run_tune(&oracle, opts)
 }
 
 /// Searches the overlap design space for the full MoE layer.
@@ -302,7 +390,11 @@ pub fn tuned_full_moe(
     cluster: &ClusterSpec,
     opts: &TuneOptions,
 ) -> tilelink_tune::Result<TunedLayer> {
-    run_tune(&MoeOracle::new(shape.clone(), cluster.clone()), opts)
+    let mut oracle = MoeOracle::new(shape.clone(), cluster.clone());
+    if let Some(cost) = checked_cost(opts, cluster) {
+        oracle = oracle.with_cost(cost);
+    }
+    run_tune(&oracle, opts)
 }
 
 /// Searches the overlap design space for the sequence-parallel attention
@@ -317,10 +409,11 @@ pub fn tuned_sp_attention(
     cluster: &ClusterSpec,
     opts: &TuneOptions,
 ) -> tilelink_tune::Result<TunedLayer> {
-    run_tune(
-        &AttentionOracle::new(shape.clone(), seq_len, cluster.clone()),
-        opts,
-    )
+    let mut oracle = AttentionOracle::new(shape.clone(), seq_len, cluster.clone());
+    if let Some(cost) = checked_cost(opts, cluster) {
+        oracle = oracle.with_cost(cost);
+    }
+    run_tune(&oracle, opts)
 }
 
 #[cfg(test)]
@@ -376,6 +469,15 @@ mod tests {
         assert!(!oracle.is_supported(&bad));
         let good = OverlapConfig::default().with_compute_tile(TileShape::new(256, 256));
         assert!(oracle.is_supported(&good));
+    }
+
+    #[test]
+    #[should_panic(expected = "different cluster")]
+    fn mismatched_tune_options_cost_is_rejected() {
+        let shape = crate::shapes::mlp_shapes()[0].clone();
+        let opts = TuneOptions::default().with_cost(analytic_cost(&ClusterSpec::h800_node(4)));
+        // Named cluster (8 GPUs) disagrees with the provider's (4 GPUs).
+        let _ = tuned_full_mlp(&shape, &ClusterSpec::h800_node(8), &opts);
     }
 
     #[test]

@@ -2,10 +2,14 @@
 //! same simulated hardware.
 //!
 //! Every baseline uses the *same* cost ingredients as the TileLink timed path
-//! (the `tilelink-sim` cost model: tensor-core roofline, tile efficiency, wave
-//! quantisation, link bandwidth, kernel-launch and host-sync latencies), so the
-//! comparisons in the benchmark harness measure the overlap *strategy*, not a
-//! different hardware model. The strategies are:
+//! (the `tilelink-sim` cost provider: tensor-core roofline, tile efficiency,
+//! wave quantisation, link bandwidth, kernel-launch and host-sync latencies),
+//! so the comparisons in the benchmark harness measure the overlap *strategy*,
+//! not a different hardware model. Each baseline comes in two forms: the
+//! historical `foo(shape, cluster)` signature priced by the default analytic
+//! [`CostModel`], and a `foo_with(shape, cost)` variant priced by any
+//! [`CostProvider`] (e.g. the calibrated model), so a `--cost-model` switch
+//! reprices baselines and TileLink kernels consistently. The strategies are:
 //!
 //! * **cuBLAS + NCCL (non-overlap)** — collective, then compute, serially;
 //! * **Async-TP (decomposition)** — the operators are split into `world`
@@ -20,24 +24,37 @@
 //!   (materialised-score attention, and ring-scheduled blockwise attention).
 
 use tilelink::OverlapReport;
-use tilelink_sim::{ClusterSpec, CostModel};
+use tilelink_sim::{ClusterSpec, CostModel, CostProvider};
 
 use crate::mlp::BYTES_PER_ELEM;
 use crate::{AttnShape, MlpShape, MoeShape};
 
 /// Seconds for a ring AllGather / ReduceScatter where every rank ends up
-/// sending `(world-1)/world` of `total_bytes` through its link.
-fn ring_collective_seconds(cluster: &ClusterSpec, total_bytes: f64) -> f64 {
+/// sending `(world-1)/world` of `total_bytes` through its link, priced step
+/// by step so a calibrated provider sees the real per-message chunk size.
+///
+/// Every hop is priced as the rank 0→1 link (intra-node on all evaluated
+/// clusters), matching the pre-provider analytic model; on multi-node rings
+/// the node-crossing hops actually ride InfiniBand, so calibrated multi-node
+/// baselines are priced optimistically (conservative for TileLink's reported
+/// speedups). Bottleneck-aware hop pricing is a ROADMAP item because it would
+/// change the pinned analytic Figure 11 numbers.
+fn ring_collective_seconds(cost: &dyn CostProvider, total_bytes: f64) -> f64 {
+    let cluster = cost.cluster();
     let world = cluster.world_size() as f64;
     if world <= 1.0 {
         return 0.0;
     }
     let per_rank = total_bytes / world;
-    (world - 1.0) * per_rank / cluster.gpu.nvlink_bytes_per_s() + cluster.gpu.kernel_launch_s()
+    (world - 1.0) * cost.link_seconds(0, 1, per_rank) + cluster.gpu.kernel_launch_s()
 }
 
 fn gathered_bytes(shape: &MlpShape) -> f64 {
     shape.tokens as f64 * shape.hidden as f64 * BYTES_PER_ELEM
+}
+
+fn analytic(cluster: &ClusterSpec) -> CostModel {
+    CostModel::new(cluster.clone())
 }
 
 // ---------------------------------------------------------------------------
@@ -46,9 +63,14 @@ fn gathered_bytes(shape: &MlpShape) -> f64 {
 
 /// cuBLAS + NCCL AllGather + GEMM: collective then GEMM, no overlap.
 pub fn non_overlap_ag_gemm(shape: &MlpShape, cluster: &ClusterSpec) -> OverlapReport {
-    let cost = CostModel::new(cluster.clone());
+    non_overlap_ag_gemm_with(shape, &analytic(cluster))
+}
+
+/// [`non_overlap_ag_gemm`] priced by an explicit cost provider.
+pub fn non_overlap_ag_gemm_with(shape: &MlpShape, cost: &dyn CostProvider) -> OverlapReport {
+    let cluster = cost.cluster();
     let world = cluster.world_size();
-    let comm = ring_collective_seconds(cluster, gathered_bytes(shape));
+    let comm = ring_collective_seconds(cost, gathered_bytes(shape));
     let n_local = 2 * shape.intermediate / world;
     let comp = cost.gemm_seconds(
         shape.tokens,
@@ -63,9 +85,14 @@ pub fn non_overlap_ag_gemm(shape: &MlpShape, cluster: &ClusterSpec) -> OverlapRe
 
 /// cuBLAS + NCCL GEMM + ReduceScatter: GEMM then collective, no overlap.
 pub fn non_overlap_gemm_rs(shape: &MlpShape, cluster: &ClusterSpec) -> OverlapReport {
-    let cost = CostModel::new(cluster.clone());
+    non_overlap_gemm_rs_with(shape, &analytic(cluster))
+}
+
+/// [`non_overlap_gemm_rs`] priced by an explicit cost provider.
+pub fn non_overlap_gemm_rs_with(shape: &MlpShape, cost: &dyn CostProvider) -> OverlapReport {
+    let cluster = cost.cluster();
     let world = cluster.world_size();
-    let comm = ring_collective_seconds(cluster, gathered_bytes(shape));
+    let comm = ring_collective_seconds(cost, gathered_bytes(shape));
     let k_local = shape.intermediate / world;
     let comp = cost.gemm_seconds(
         shape.tokens,
@@ -80,9 +107,14 @@ pub fn non_overlap_gemm_rs(shape: &MlpShape, cluster: &ClusterSpec) -> OverlapRe
 
 /// cuBLAS + NCCL full MLP (both halves plus the activation).
 pub fn non_overlap_full_mlp(shape: &MlpShape, cluster: &ClusterSpec) -> OverlapReport {
-    let a = non_overlap_ag_gemm(shape, cluster);
-    let b = non_overlap_gemm_rs(shape, cluster);
-    let act = crate::mlp::activation_seconds(shape, cluster);
+    non_overlap_full_mlp_with(shape, &analytic(cluster))
+}
+
+/// [`non_overlap_full_mlp`] priced by an explicit cost provider.
+pub fn non_overlap_full_mlp_with(shape: &MlpShape, cost: &dyn CostProvider) -> OverlapReport {
+    let a = non_overlap_ag_gemm_with(shape, cost);
+    let b = non_overlap_gemm_rs_with(shape, cost);
+    let act = crate::mlp::activation_seconds_with(shape, cost);
     OverlapReport::new(
         a.total_s + b.total_s + act,
         a.comm_only_s + b.comm_only_s,
@@ -94,12 +126,17 @@ pub fn non_overlap_full_mlp(shape: &MlpShape, cluster: &ClusterSpec) -> OverlapR
 /// each chunk's copy and GEMM run on separate streams with host
 /// synchronisation between them.
 pub fn decompose_ag_gemm(shape: &MlpShape, cluster: &ClusterSpec) -> OverlapReport {
-    let cost = CostModel::new(cluster.clone());
+    decompose_ag_gemm_with(shape, &analytic(cluster))
+}
+
+/// [`decompose_ag_gemm`] priced by an explicit cost provider.
+pub fn decompose_ag_gemm_with(shape: &MlpShape, cost: &dyn CostProvider) -> OverlapReport {
+    let cluster = cost.cluster();
     let world = cluster.world_size();
     let chunks = world.max(2);
     let n_local = 2 * shape.intermediate / world;
     let chunk_rows = shape.tokens / chunks;
-    let chunk_comm = gathered_bytes(shape) / chunks as f64 / cluster.gpu.nvlink_bytes_per_s();
+    let chunk_comm = cost.link_seconds(0, 1, gathered_bytes(shape) / chunks as f64);
     // The decomposed GEMM loses efficiency from wave quantisation on the small chunk.
     let chunk_comp = cost.gemm_seconds(
         chunk_rows,
@@ -122,12 +159,17 @@ pub fn decompose_ag_gemm(shape: &MlpShape, cluster: &ClusterSpec) -> OverlapRepo
 
 /// Async-TP style decomposition of GEMM + ReduceScatter.
 pub fn decompose_gemm_rs(shape: &MlpShape, cluster: &ClusterSpec) -> OverlapReport {
-    let cost = CostModel::new(cluster.clone());
+    decompose_gemm_rs_with(shape, &analytic(cluster))
+}
+
+/// [`decompose_gemm_rs`] priced by an explicit cost provider.
+pub fn decompose_gemm_rs_with(shape: &MlpShape, cost: &dyn CostProvider) -> OverlapReport {
+    let cluster = cost.cluster();
     let world = cluster.world_size();
     let chunks = world.max(2);
     let k_local = shape.intermediate / world;
     let chunk_rows = shape.tokens / chunks;
-    let chunk_comm = gathered_bytes(shape) / chunks as f64 / cluster.gpu.nvlink_bytes_per_s();
+    let chunk_comm = cost.link_seconds(0, 1, gathered_bytes(shape) / chunks as f64);
     let chunk_comp = cost.gemm_seconds(
         chunk_rows,
         shape.hidden,
@@ -150,9 +192,14 @@ pub fn decompose_gemm_rs(shape: &MlpShape, cluster: &ClusterSpec) -> OverlapRepo
 /// hidden beneath a highly-tuned GEMM (the best result in Figure 8's first
 /// panel).
 pub fn flux_ag_gemm(shape: &MlpShape, cluster: &ClusterSpec) -> OverlapReport {
-    let cost = CostModel::new(cluster.clone());
+    flux_ag_gemm_with(shape, &analytic(cluster))
+}
+
+/// [`flux_ag_gemm`] priced by an explicit cost provider.
+pub fn flux_ag_gemm_with(shape: &MlpShape, cost: &dyn CostProvider) -> OverlapReport {
+    let cluster = cost.cluster();
     let world = cluster.world_size();
-    let comm = ring_collective_seconds(cluster, gathered_bytes(shape));
+    let comm = ring_collective_seconds(cost, gathered_bytes(shape));
     let n_local = 2 * shape.intermediate / world;
     let comp = cost.gemm_seconds(
         shape.tokens,
@@ -175,9 +222,14 @@ pub fn flux_ag_gemm(shape: &MlpShape, cluster: &ClusterSpec) -> OverlapReport {
 /// penalises the GEMM and leaves part of the scatter exposed (the paper finds
 /// it slower than the non-overlapped baseline here).
 pub fn flux_gemm_rs(shape: &MlpShape, cluster: &ClusterSpec) -> OverlapReport {
-    let cost = CostModel::new(cluster.clone());
+    flux_gemm_rs_with(shape, &analytic(cluster))
+}
+
+/// [`flux_gemm_rs`] priced by an explicit cost provider.
+pub fn flux_gemm_rs_with(shape: &MlpShape, cost: &dyn CostProvider) -> OverlapReport {
+    let cluster = cost.cluster();
     let world = cluster.world_size();
-    let comm = ring_collective_seconds(cluster, gathered_bytes(shape));
+    let comm = ring_collective_seconds(cost, gathered_bytes(shape));
     let k_local = shape.intermediate / world;
     // Coupled tile: the GEMM must adopt the communication tile (128x128) and
     // runs its reduction epilogue on the same CTAs, costing efficiency.
@@ -199,9 +251,14 @@ pub fn flux_gemm_rs(shape: &MlpShape, cluster: &ClusterSpec) -> OverlapReport {
 
 /// FLUX-style full MLP.
 pub fn flux_full_mlp(shape: &MlpShape, cluster: &ClusterSpec) -> OverlapReport {
-    let a = flux_ag_gemm(shape, cluster);
-    let b = flux_gemm_rs(shape, cluster);
-    let act = crate::mlp::activation_seconds(shape, cluster);
+    flux_full_mlp_with(shape, &analytic(cluster))
+}
+
+/// [`flux_full_mlp`] priced by an explicit cost provider.
+pub fn flux_full_mlp_with(shape: &MlpShape, cost: &dyn CostProvider) -> OverlapReport {
+    let a = flux_ag_gemm_with(shape, cost);
+    let b = flux_gemm_rs_with(shape, cost);
+    let act = crate::mlp::activation_seconds_with(shape, cost);
     OverlapReport::new(
         a.total_s + b.total_s + act,
         a.comm_only_s + b.comm_only_s,
@@ -211,9 +268,14 @@ pub fn flux_full_mlp(shape: &MlpShape, cluster: &ClusterSpec) -> OverlapReport {
 
 /// Async-TP full MLP.
 pub fn decompose_full_mlp(shape: &MlpShape, cluster: &ClusterSpec) -> OverlapReport {
-    let a = decompose_ag_gemm(shape, cluster);
-    let b = decompose_gemm_rs(shape, cluster);
-    let act = crate::mlp::activation_seconds(shape, cluster);
+    decompose_full_mlp_with(shape, &analytic(cluster))
+}
+
+/// [`decompose_full_mlp`] priced by an explicit cost provider.
+pub fn decompose_full_mlp_with(shape: &MlpShape, cost: &dyn CostProvider) -> OverlapReport {
+    let a = decompose_ag_gemm_with(shape, cost);
+    let b = decompose_gemm_rs_with(shape, cost);
+    let act = crate::mlp::activation_seconds_with(shape, cost);
     OverlapReport::new(
         a.total_s + b.total_s + act,
         a.comm_only_s + b.comm_only_s,
@@ -235,18 +297,23 @@ fn dispatched_rows(shape: &MoeShape) -> usize {
 
 /// Time of an *unfused* gather (or scatter) that materialises the dispatched
 /// token matrix in HBM.
-fn unfused_shuffle_seconds(shape: &MoeShape, cluster: &ClusterSpec, width: usize) -> f64 {
+fn unfused_shuffle_seconds(shape: &MoeShape, cost: &dyn CostProvider, width: usize) -> f64 {
     let bytes = (shape.tokens + 2 * dispatched_rows(shape)) as f64 * width as f64 * BYTES_PER_ELEM;
-    bytes / cluster.gpu.hbm_bytes_per_s() + cluster.gpu.kernel_launch_s()
+    cost.hbm_seconds(bytes) + cost.cluster().gpu.kernel_launch_s()
 }
 
 /// First MoE half with cuBLAS + NCCL: AllGather, unfused gather, one GEMM per
 /// expert (each paying a launch and running far below peak).
 pub fn cublas_nccl_moe_first(shape: &MoeShape, cluster: &ClusterSpec) -> OverlapReport {
-    let cost = CostModel::new(cluster.clone());
+    cublas_nccl_moe_first_with(shape, &analytic(cluster))
+}
+
+/// [`cublas_nccl_moe_first`] priced by an explicit cost provider.
+pub fn cublas_nccl_moe_first_with(shape: &MoeShape, cost: &dyn CostProvider) -> OverlapReport {
+    let cluster = cost.cluster();
     let world = cluster.world_size();
-    let comm = ring_collective_seconds(cluster, moe_gathered_bytes(shape));
-    let gather = unfused_shuffle_seconds(shape, cluster, shape.hidden);
+    let comm = ring_collective_seconds(cost, moe_gathered_bytes(shape));
+    let gather = unfused_shuffle_seconds(shape, cost, shape.hidden);
     let rows_per_expert = (dispatched_rows(shape) / shape.experts).max(1);
     let i_local = shape.intermediate / world;
     let per_expert = cost.gemm_seconds(
@@ -263,10 +330,15 @@ pub fn cublas_nccl_moe_first(shape: &MoeShape, cluster: &ClusterSpec) -> Overlap
 
 /// First MoE half with CUTLASS + NCCL: unfused gather, one grouped GEMM.
 pub fn cutlass_nccl_moe_first(shape: &MoeShape, cluster: &ClusterSpec) -> OverlapReport {
-    let cost = CostModel::new(cluster.clone());
+    cutlass_nccl_moe_first_with(shape, &analytic(cluster))
+}
+
+/// [`cutlass_nccl_moe_first`] priced by an explicit cost provider.
+pub fn cutlass_nccl_moe_first_with(shape: &MoeShape, cost: &dyn CostProvider) -> OverlapReport {
+    let cluster = cost.cluster();
     let world = cluster.world_size();
-    let comm = ring_collective_seconds(cluster, moe_gathered_bytes(shape));
-    let gather = unfused_shuffle_seconds(shape, cluster, shape.hidden);
+    let comm = ring_collective_seconds(cost, moe_gathered_bytes(shape));
+    let gather = unfused_shuffle_seconds(shape, cost, shape.hidden);
     let i_local = shape.intermediate / world;
     let group_gemm = cost.gemm_seconds(
         dispatched_rows(shape),
@@ -283,9 +355,14 @@ pub fn cutlass_nccl_moe_first(shape: &MoeShape, cluster: &ClusterSpec) -> Overla
 /// First MoE half with vLLM's fused gather + grouped GEMM (no overlap with the
 /// AllGather).
 pub fn vllm_moe_first(shape: &MoeShape, cluster: &ClusterSpec) -> OverlapReport {
-    let cost = CostModel::new(cluster.clone());
+    vllm_moe_first_with(shape, &analytic(cluster))
+}
+
+/// [`vllm_moe_first`] priced by an explicit cost provider.
+pub fn vllm_moe_first_with(shape: &MoeShape, cost: &dyn CostProvider) -> OverlapReport {
+    let cluster = cost.cluster();
     let world = cluster.world_size();
-    let comm = ring_collective_seconds(cluster, moe_gathered_bytes(shape));
+    let comm = ring_collective_seconds(cost, moe_gathered_bytes(shape));
     let i_local = shape.intermediate / world;
     let fused = cost.gemm_seconds(
         dispatched_rows(shape),
@@ -303,14 +380,14 @@ pub fn vllm_moe_first(shape: &MoeShape, cluster: &ClusterSpec) -> OverlapReport 
 /// (false), and `per_expert_launches` distinguishes cuBLAS (true) from the rest.
 fn moe_second_baseline(
     shape: &MoeShape,
-    cluster: &ClusterSpec,
+    cost: &dyn CostProvider,
     fused_epilogue: bool,
     per_expert_launches: bool,
 ) -> OverlapReport {
-    let cost = CostModel::new(cluster.clone());
+    let cluster = cost.cluster();
     let world = cluster.world_size();
     let i_local = shape.intermediate / world;
-    let comm = ring_collective_seconds(cluster, moe_gathered_bytes(shape));
+    let comm = ring_collective_seconds(cost, moe_gathered_bytes(shape));
     let gemm_rows = dispatched_rows(shape);
     let mut comp = if per_expert_launches {
         let rows_per_expert = (gemm_rows / shape.experts).max(1);
@@ -334,39 +411,51 @@ fn moe_second_baseline(
         ) + cluster.gpu.kernel_launch_s()
     };
     if !fused_epilogue {
-        comp += unfused_shuffle_seconds(shape, cluster, shape.hidden);
+        comp += unfused_shuffle_seconds(shape, cost, shape.hidden);
     }
     // top-k reduce epilogue (memory bound)
-    comp += dispatched_rows(shape) as f64 * shape.hidden as f64 * BYTES_PER_ELEM * 3.0
-        / cluster.gpu.hbm_bytes_per_s();
+    comp += cost
+        .hbm_seconds(dispatched_rows(shape) as f64 * shape.hidden as f64 * BYTES_PER_ELEM * 3.0);
     OverlapReport::new(comm + comp, comm, comp)
 }
 
 /// Second MoE half with cuBLAS + NCCL.
 pub fn cublas_nccl_moe_second(shape: &MoeShape, cluster: &ClusterSpec) -> OverlapReport {
-    moe_second_baseline(shape, cluster, false, true)
+    cublas_nccl_moe_second_with(shape, &analytic(cluster))
+}
+
+/// [`cublas_nccl_moe_second`] priced by an explicit cost provider.
+pub fn cublas_nccl_moe_second_with(shape: &MoeShape, cost: &dyn CostProvider) -> OverlapReport {
+    moe_second_baseline(shape, cost, false, true)
 }
 
 /// Second MoE half with CUTLASS + NCCL.
 pub fn cutlass_nccl_moe_second(shape: &MoeShape, cluster: &ClusterSpec) -> OverlapReport {
-    moe_second_baseline(shape, cluster, false, false)
+    cutlass_nccl_moe_second_with(shape, &analytic(cluster))
+}
+
+/// [`cutlass_nccl_moe_second`] priced by an explicit cost provider.
+pub fn cutlass_nccl_moe_second_with(shape: &MoeShape, cost: &dyn CostProvider) -> OverlapReport {
+    moe_second_baseline(shape, cost, false, false)
 }
 
 /// Second MoE half with vLLM's fused scatter kernels.
 pub fn vllm_moe_second(shape: &MoeShape, cluster: &ClusterSpec) -> OverlapReport {
-    moe_second_baseline(shape, cluster, true, false)
+    vllm_moe_second_with(shape, &analytic(cluster))
+}
+
+/// [`vllm_moe_second`] priced by an explicit cost provider.
+pub fn vllm_moe_second_with(shape: &MoeShape, cost: &dyn CostProvider) -> OverlapReport {
+    moe_second_baseline(shape, cost, true, false)
 }
 
 fn combine_moe(
     first: OverlapReport,
     second: OverlapReport,
     shape: &MoeShape,
-    cluster: &ClusterSpec,
+    cost: &dyn CostProvider,
 ) -> OverlapReport {
-    let world = cluster.world_size();
-    let act_elems = dispatched_rows(shape) as f64 * (shape.intermediate / world) as f64;
-    let act = 3.0 * act_elems * BYTES_PER_ELEM / cluster.gpu.hbm_bytes_per_s()
-        + cluster.gpu.kernel_launch_s();
+    let act = crate::moe::activation_seconds_with(shape, cost);
     OverlapReport::new(
         first.total_s + second.total_s + act,
         first.comm_only_s + second.comm_only_s,
@@ -376,31 +465,46 @@ fn combine_moe(
 
 /// Full MoE layer with cuBLAS + NCCL.
 pub fn cublas_nccl_full_moe(shape: &MoeShape, cluster: &ClusterSpec) -> OverlapReport {
+    cublas_nccl_full_moe_with(shape, &analytic(cluster))
+}
+
+/// [`cublas_nccl_full_moe`] priced by an explicit cost provider.
+pub fn cublas_nccl_full_moe_with(shape: &MoeShape, cost: &dyn CostProvider) -> OverlapReport {
     combine_moe(
-        cublas_nccl_moe_first(shape, cluster),
-        cublas_nccl_moe_second(shape, cluster),
+        cublas_nccl_moe_first_with(shape, cost),
+        cublas_nccl_moe_second_with(shape, cost),
         shape,
-        cluster,
+        cost,
     )
 }
 
 /// Full MoE layer with CUTLASS + NCCL.
 pub fn cutlass_nccl_full_moe(shape: &MoeShape, cluster: &ClusterSpec) -> OverlapReport {
+    cutlass_nccl_full_moe_with(shape, &analytic(cluster))
+}
+
+/// [`cutlass_nccl_full_moe`] priced by an explicit cost provider.
+pub fn cutlass_nccl_full_moe_with(shape: &MoeShape, cost: &dyn CostProvider) -> OverlapReport {
     combine_moe(
-        cutlass_nccl_moe_first(shape, cluster),
-        cutlass_nccl_moe_second(shape, cluster),
+        cutlass_nccl_moe_first_with(shape, cost),
+        cutlass_nccl_moe_second_with(shape, cost),
         shape,
-        cluster,
+        cost,
     )
 }
 
 /// Full MoE layer with vLLM's fused operators.
 pub fn vllm_full_moe(shape: &MoeShape, cluster: &ClusterSpec) -> OverlapReport {
+    vllm_full_moe_with(shape, &analytic(cluster))
+}
+
+/// [`vllm_full_moe`] priced by an explicit cost provider.
+pub fn vllm_full_moe_with(shape: &MoeShape, cost: &dyn CostProvider) -> OverlapReport {
     combine_moe(
-        vllm_moe_first(shape, cluster),
-        vllm_moe_second(shape, cluster),
+        vllm_moe_first_with(shape, cost),
+        vllm_moe_second_with(shape, cost),
         shape,
-        cluster,
+        cost,
     )
 }
 
@@ -408,14 +512,20 @@ pub fn vllm_full_moe(shape: &MoeShape, cluster: &ClusterSpec) -> OverlapReport {
 // Attention: Torch (non-flash, non-overlap) and RingAttention
 // ---------------------------------------------------------------------------
 
-fn kv_allgather_seconds(shape: &AttnShape, seq_len: usize, cluster: &ClusterSpec) -> f64 {
+fn kv_allgather_seconds(shape: &AttnShape, seq_len: usize, cost: &dyn CostProvider) -> f64 {
     let total = 2.0 * shape.heads as f64 * seq_len as f64 * shape.head_dim as f64 * BYTES_PER_ELEM;
-    ring_collective_seconds(cluster, total)
+    ring_collective_seconds(cost, total)
 }
 
 /// Flash-attention compute time for one rank's query shard against the full
 /// sequence, at `efficiency` of peak.
-fn flash_seconds(shape: &AttnShape, seq_len: usize, cluster: &ClusterSpec, efficiency: f64) -> f64 {
+fn flash_seconds(
+    shape: &AttnShape,
+    seq_len: usize,
+    cost: &dyn CostProvider,
+    efficiency: f64,
+) -> f64 {
+    let cluster = cost.cluster();
     let world = cluster.world_size();
     let q_rows = seq_len / world;
     let flops = 4.0 * shape.heads as f64 * q_rows as f64 * seq_len as f64 * shape.head_dim as f64;
@@ -426,13 +536,23 @@ fn flash_seconds(shape: &AttnShape, seq_len: usize, cluster: &ClusterSpec, effic
 /// by attention with materialised score matrices (two batched GEMMs plus a
 /// softmax over the `S_q × S_kv` matrix).
 pub fn torch_attention(shape: &AttnShape, seq_len: usize, cluster: &ClusterSpec) -> OverlapReport {
+    torch_attention_with(shape, seq_len, &analytic(cluster))
+}
+
+/// [`torch_attention`] priced by an explicit cost provider.
+pub fn torch_attention_with(
+    shape: &AttnShape,
+    seq_len: usize,
+    cost: &dyn CostProvider,
+) -> OverlapReport {
+    let cluster = cost.cluster();
     let world = cluster.world_size();
-    let comm = kv_allgather_seconds(shape, seq_len, cluster);
+    let comm = kv_allgather_seconds(shape, seq_len, cost);
     let q_rows = seq_len / world;
     // materialised scores: written and re-read around the softmax (4 passes)
     let score_bytes = 4.0 * shape.heads as f64 * q_rows as f64 * seq_len as f64 * BYTES_PER_ELEM;
-    let softmax = score_bytes / cluster.gpu.hbm_bytes_per_s();
-    let gemms = flash_seconds(shape, seq_len, cluster, 0.45);
+    let softmax = cost.hbm_seconds(score_bytes);
+    let gemms = flash_seconds(shape, seq_len, cost, 0.45);
     let comp = softmax + gemms + 3.0 * cluster.gpu.kernel_launch_s();
     OverlapReport::new(comm + comp, comm, comp)
 }
@@ -441,9 +561,19 @@ pub fn torch_attention(shape: &AttnShape, seq_len: usize, cluster: &ClusterSpec)
 /// the `world` steps waits for its KV block before computing, so the first
 /// transfer is exposed and the blockwise rescaling costs efficiency.
 pub fn ring_attention(shape: &AttnShape, seq_len: usize, cluster: &ClusterSpec) -> OverlapReport {
+    ring_attention_with(shape, seq_len, &analytic(cluster))
+}
+
+/// [`ring_attention`] priced by an explicit cost provider.
+pub fn ring_attention_with(
+    shape: &AttnShape,
+    seq_len: usize,
+    cost: &dyn CostProvider,
+) -> OverlapReport {
+    let cluster = cost.cluster();
     let world = cluster.world_size();
-    let comm = kv_allgather_seconds(shape, seq_len, cluster);
-    let comp = flash_seconds(shape, seq_len, cluster, 0.35);
+    let comm = kv_allgather_seconds(shape, seq_len, cost);
+    let comp = flash_seconds(shape, seq_len, cost, 0.35);
     let step_comm = comm / (world as f64 - 1.0).max(1.0);
     let step_comp = comp / world as f64;
     let per_step_sync = cluster.gpu.host_sync_s();
@@ -461,8 +591,18 @@ pub fn overlapped_attention_estimate(
     seq_len: usize,
     cluster: &ClusterSpec,
 ) -> OverlapReport {
-    let comm = kv_allgather_seconds(shape, seq_len, cluster);
-    let comp = flash_seconds(shape, seq_len, cluster, 0.7);
+    overlapped_attention_estimate_with(shape, seq_len, &analytic(cluster))
+}
+
+/// [`overlapped_attention_estimate`] priced by an explicit cost provider.
+pub fn overlapped_attention_estimate_with(
+    shape: &AttnShape,
+    seq_len: usize,
+    cost: &dyn CostProvider,
+) -> OverlapReport {
+    let cluster = cost.cluster();
+    let comm = kv_allgather_seconds(shape, seq_len, cost);
+    let comp = flash_seconds(shape, seq_len, cost, 0.7);
     let exposed = comm / cluster.world_size() as f64;
     OverlapReport::new(
         comp.max(comm) + exposed + cluster.gpu.kernel_launch_s(),
@@ -475,6 +615,7 @@ pub fn overlapped_attention_estimate(
 mod tests {
     use super::*;
     use crate::shapes::{attn_shapes, mlp_shapes, moe_shapes};
+    use tilelink_sim::CalibratedCostModel;
 
     fn cluster() -> ClusterSpec {
         ClusterSpec::h800_node(8)
@@ -570,5 +711,50 @@ mod tests {
         let t16 = torch_attention(shape, 16_384, &c).total_s;
         let t128 = torch_attention(shape, 131_072, &c).total_s;
         assert!(t128 > 4.0 * t16);
+    }
+
+    #[test]
+    fn analytic_wrappers_match_their_with_variants() {
+        // The provider refactor must not change any analytic baseline number.
+        let c = cluster();
+        let cost = analytic(&c);
+        let mlp = &mlp_shapes()[0];
+        assert_eq!(
+            non_overlap_full_mlp(mlp, &c),
+            non_overlap_full_mlp_with(mlp, &cost)
+        );
+        assert_eq!(flux_full_mlp(mlp, &c), flux_full_mlp_with(mlp, &cost));
+        assert_eq!(
+            decompose_full_mlp(mlp, &c),
+            decompose_full_mlp_with(mlp, &cost)
+        );
+        let moe = &moe_shapes()[0];
+        assert_eq!(
+            cublas_nccl_full_moe(moe, &c),
+            cublas_nccl_full_moe_with(moe, &cost)
+        );
+        assert_eq!(vllm_full_moe(moe, &c), vllm_full_moe_with(moe, &cost));
+        let attn = &attn_shapes()[0];
+        assert_eq!(
+            torch_attention(attn, 16_384, &c),
+            torch_attention_with(attn, 16_384, &cost)
+        );
+        assert_eq!(
+            ring_attention(attn, 16_384, &c),
+            ring_attention_with(attn, 16_384, &cost)
+        );
+    }
+
+    #[test]
+    fn calibrated_provider_raises_baseline_communication_costs() {
+        // The calibrated table never credits more than 95% of peak bandwidth,
+        // so every baseline's comm phase is strictly slower than analytic.
+        let c = cluster();
+        let calibrated = CalibratedCostModel::h800_defaults(c.clone());
+        let shape = &mlp_shapes()[0];
+        let a = non_overlap_ag_gemm(shape, &c);
+        let m = non_overlap_ag_gemm_with(shape, &calibrated);
+        assert!(m.comm_only_s > a.comm_only_s);
+        assert!(m.total_s > a.total_s);
     }
 }

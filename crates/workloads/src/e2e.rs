@@ -5,7 +5,7 @@
 //! non-overlapping execution and once with TileLink's overlapped kernels, on
 //! one node (8 GPUs, batch 4 × sequence 8192) or two nodes (16 GPUs, batch 8).
 
-use tilelink_sim::{ClusterSpec, CostModel};
+use tilelink_sim::{analytic_cost, ClusterSpec, CostProvider, SharedCost};
 
 use crate::baselines;
 use crate::mlp::BYTES_PER_ELEM;
@@ -53,10 +53,10 @@ fn moe_shape_of(model: &ModelConfig, tokens: usize) -> Option<MoeShape> {
 fn attention_part_seconds(
     model: &ModelConfig,
     tokens: usize,
-    cluster: &ClusterSpec,
+    cost: &dyn CostProvider,
     overlapped: bool,
 ) -> f64 {
-    let cost = CostModel::new(cluster.clone());
+    let cluster = cost.cluster();
     let world = cluster.world_size();
     let h = model.hidden;
     let head_dim = (h / model.heads).max(1);
@@ -69,22 +69,26 @@ fn attention_part_seconds(
     // tensor-parallel collective on the output projection
     let comm_bytes = tokens as f64 * h as f64 * BYTES_PER_ELEM;
     let world_f = world as f64;
-    let comm = 2.0 * (world_f - 1.0) / world_f * comm_bytes / cluster.gpu.nvlink_bytes_per_s();
+    // Ring AllReduce: 2(world-1) steps, each moving one comm_bytes/world
+    // chunk — priced per chunk so a calibrated provider sees the real
+    // per-message size (for the analytic model this is algebraically the
+    // aggregate-bytes formula used before).
+    let comm = 2.0 * (world_f - 1.0) * cost.link_seconds(0, 1, comm_bytes / world_f);
     let exposed_comm = if overlapped { comm * 0.4 } else { comm };
     qkv + attn + exposed_comm + 4.0 * cluster.gpu.kernel_launch_s()
 }
 
 /// FFN-part time per layer under the PyTorch (non-overlapping) strategy.
-fn ffn_torch_seconds(model: &ModelConfig, tokens: usize, cluster: &ClusterSpec) -> f64 {
+fn ffn_torch_seconds(model: &ModelConfig, tokens: usize, cost: &dyn CostProvider) -> f64 {
     let mut total = 0.0;
     if model.intermediate > 0 {
-        total += baselines::non_overlap_full_mlp(&mlp_shape_of(model, tokens), cluster).total_s;
+        total += baselines::non_overlap_full_mlp_with(&mlp_shape_of(model, tokens), cost).total_s;
     }
     if let Some(moe) = moe_shape_of(model, tokens) {
         // PyTorch-style execution of the MoE layer: grouped GEMM kernels with
         // unfused token shuffling and no overlap (the CUTLASS+NCCL column of
         // Figure 9 is the closest open implementation).
-        total += baselines::cutlass_nccl_full_moe(&moe, cluster).total_s;
+        total += baselines::cutlass_nccl_full_moe_with(&moe, cost).total_s;
     }
     total
 }
@@ -97,14 +101,14 @@ fn ffn_torch_seconds(model: &ModelConfig, tokens: usize, cluster: &ClusterSpec) 
 fn ffn_tilelink_seconds(
     model: &ModelConfig,
     tokens: usize,
-    cluster: &ClusterSpec,
+    cost: &SharedCost,
 ) -> tilelink::Result<f64> {
     let mut total = 0.0;
     if model.intermediate > 0 {
-        total += crate::mlp::timed_full_mlp(&mlp_shape_of(model, tokens), cluster)?.total_s;
+        total += crate::mlp::timed_full_mlp_with(&mlp_shape_of(model, tokens), cost)?.total_s;
     }
     if let Some(moe) = moe_shape_of(model, tokens) {
-        total += crate::moe::timed_full_moe(&moe, cluster)?.total_s;
+        total += crate::moe::timed_full_moe_with(&moe, cost)?.total_s;
     }
     Ok(total)
 }
@@ -115,8 +119,17 @@ pub fn torch_model_timing(
     cluster: &ClusterSpec,
     tokens: usize,
 ) -> ModelTiming {
-    let attn = attention_part_seconds(model, tokens, cluster, false);
-    let ffn = ffn_torch_seconds(model, tokens, cluster);
+    torch_model_timing_with(model, tokens, &*analytic_cost(cluster))
+}
+
+/// [`torch_model_timing`] priced by an explicit cost provider.
+pub fn torch_model_timing_with(
+    model: &ModelConfig,
+    tokens: usize,
+    cost: &dyn CostProvider,
+) -> ModelTiming {
+    let attn = attention_part_seconds(model, tokens, cost, false);
+    let ffn = ffn_torch_seconds(model, tokens, cost);
     ModelTiming {
         model: model.name,
         total_s: model.layers as f64 * (attn + ffn),
@@ -135,8 +148,21 @@ pub fn tilelink_model_timing(
     cluster: &ClusterSpec,
     tokens: usize,
 ) -> tilelink::Result<ModelTiming> {
-    let attn = attention_part_seconds(model, tokens, cluster, true);
-    let ffn = ffn_tilelink_seconds(model, tokens, cluster)?;
+    tilelink_model_timing_with(model, tokens, &analytic_cost(cluster))
+}
+
+/// [`tilelink_model_timing`] priced by an explicit cost provider.
+///
+/// # Errors
+///
+/// Returns an error if a TileLink kernel fails to compile or simulate.
+pub fn tilelink_model_timing_with(
+    model: &ModelConfig,
+    tokens: usize,
+    cost: &SharedCost,
+) -> tilelink::Result<ModelTiming> {
+    let attn = attention_part_seconds(model, tokens, &**cost, true);
+    let ffn = ffn_tilelink_seconds(model, tokens, cost)?;
     Ok(ModelTiming {
         model: model.name,
         total_s: model.layers as f64 * (attn + ffn),
@@ -186,9 +212,22 @@ pub fn compare_model(
     cluster: &ClusterSpec,
     tokens: usize,
 ) -> tilelink::Result<E2eComparison> {
+    compare_model_with(model, tokens, &analytic_cost(cluster))
+}
+
+/// [`compare_model`] priced by an explicit cost provider.
+///
+/// # Errors
+///
+/// Returns an error if a TileLink kernel fails to compile or simulate.
+pub fn compare_model_with(
+    model: &ModelConfig,
+    tokens: usize,
+    cost: &SharedCost,
+) -> tilelink::Result<E2eComparison> {
     Ok(E2eComparison {
-        torch: torch_model_timing(model, cluster, tokens),
-        tilelink: tilelink_model_timing(model, cluster, tokens)?,
+        torch: torch_model_timing_with(model, tokens, &**cost),
+        tilelink: tilelink_model_timing_with(model, tokens, cost)?,
     })
 }
 

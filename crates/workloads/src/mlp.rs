@@ -17,7 +17,7 @@
 //!   Figure 8 and Table 2.
 
 use tilelink::config::{CommMapping, OverlapConfig, TileShape};
-use tilelink::exec::{run_comm_compute, simulate};
+use tilelink::exec::{run_comm_compute, simulate_with};
 use tilelink::ir::{BlockDesc, BlockRole, ComputeKind, TileOp, TileProgram};
 use tilelink::primitives::{NotifyScope, PushTarget};
 use tilelink::tile::{read_tile, write_tile, TileRect};
@@ -25,7 +25,7 @@ use tilelink::{BlockChannel, Compiler, DeviceHandle, OverlapReport, StaticMappin
 use tilelink_compute::gemm::matmul;
 use tilelink_compute::Tensor;
 use tilelink_shmem::ProcessGroup;
-use tilelink_sim::ClusterSpec;
+use tilelink_sim::{analytic_cost, ClusterSpec, CostModel, CostProvider, SharedCost};
 
 /// Bytes per element on the paper's hardware (BF16).
 pub const BYTES_PER_ELEM: f64 = 2.0;
@@ -429,7 +429,8 @@ pub fn gemm_rs_program(
     (program, mapping)
 }
 
-/// Simulates the TileLink AllGather + GEMM kernel for one MLP shape.
+/// Simulates the TileLink AllGather + GEMM kernel for one MLP shape with the
+/// default analytic cost model.
 ///
 /// # Errors
 ///
@@ -439,15 +440,32 @@ pub fn timed_ag_gemm(
     cluster: &ClusterSpec,
     cfg: &OverlapConfig,
 ) -> tilelink::Result<OverlapReport> {
-    let world = cluster.world_size();
+    timed_ag_gemm_with(shape, cfg, &analytic_cost(cluster))
+}
+
+/// Simulates the TileLink AllGather + GEMM kernel priced by an explicit cost
+/// provider (the cluster is the provider's).
+///
+/// # Errors
+///
+/// Returns an error if compilation or simulation fails.
+pub fn timed_ag_gemm_with(
+    shape: &crate::MlpShape,
+    cfg: &OverlapConfig,
+    cost: &SharedCost,
+) -> tilelink::Result<OverlapReport> {
+    let world = cost.cluster().world_size();
     let (program, mapping) =
         ag_gemm_program(shape.tokens, shape.hidden, shape.intermediate, world, cfg);
-    let kernel = Compiler::new(cfg.clone(), cluster.gpu.clone()).compile(&program, &mapping)?;
-    let (report, _) = simulate(&kernel, cluster)?;
+    let kernel = Compiler::new(cfg.clone(), cost.cluster().gpu.clone())
+        .with_cost(cost.clone())
+        .compile(&program, &mapping)?;
+    let (report, _) = simulate_with(&kernel, cost)?;
     Ok(report)
 }
 
-/// Simulates the TileLink GEMM + ReduceScatter kernel for one MLP shape.
+/// Simulates the TileLink GEMM + ReduceScatter kernel for one MLP shape with
+/// the default analytic cost model.
 ///
 /// # Errors
 ///
@@ -457,15 +475,32 @@ pub fn timed_gemm_rs(
     cluster: &ClusterSpec,
     cfg: &OverlapConfig,
 ) -> tilelink::Result<OverlapReport> {
-    let world = cluster.world_size();
+    timed_gemm_rs_with(shape, cfg, &analytic_cost(cluster))
+}
+
+/// Simulates the TileLink GEMM + ReduceScatter kernel priced by an explicit
+/// cost provider (the cluster is the provider's).
+///
+/// # Errors
+///
+/// Returns an error if compilation or simulation fails.
+pub fn timed_gemm_rs_with(
+    shape: &crate::MlpShape,
+    cfg: &OverlapConfig,
+    cost: &SharedCost,
+) -> tilelink::Result<OverlapReport> {
+    let world = cost.cluster().world_size();
     let (program, mapping) =
         gemm_rs_program(shape.tokens, shape.hidden, shape.intermediate, world, cfg);
-    let kernel = Compiler::new(cfg.clone(), cluster.gpu.clone()).compile(&program, &mapping)?;
-    let (report, _) = simulate(&kernel, cluster)?;
+    let kernel = Compiler::new(cfg.clone(), cost.cluster().gpu.clone())
+        .with_cost(cost.clone())
+        .compile(&program, &mapping)?;
+    let (report, _) = simulate_with(&kernel, cost)?;
     Ok(report)
 }
 
-/// Simulates the full TileLink MLP layer (AG+GEMM, activation, GEMM+RS).
+/// Simulates the full TileLink MLP layer (AG+GEMM, activation, GEMM+RS) with
+/// the default analytic cost model.
 ///
 /// # Errors
 ///
@@ -474,9 +509,21 @@ pub fn timed_full_mlp(
     shape: &crate::MlpShape,
     cluster: &ClusterSpec,
 ) -> tilelink::Result<OverlapReport> {
-    let ag = timed_ag_gemm(shape, cluster, &ag_gemm_config())?;
-    let rs = timed_gemm_rs(shape, cluster, &gemm_rs_config())?;
-    let act = activation_seconds(shape, cluster);
+    timed_full_mlp_with(shape, &analytic_cost(cluster))
+}
+
+/// Simulates the full TileLink MLP layer priced by an explicit cost provider.
+///
+/// # Errors
+///
+/// Returns an error if either half fails to compile or simulate.
+pub fn timed_full_mlp_with(
+    shape: &crate::MlpShape,
+    cost: &SharedCost,
+) -> tilelink::Result<OverlapReport> {
+    let ag = timed_ag_gemm_with(shape, &ag_gemm_config(), cost)?;
+    let rs = timed_gemm_rs_with(shape, &gemm_rs_config(), cost)?;
+    let act = activation_seconds_with(shape, &**cost);
     Ok(OverlapReport::new(
         ag.total_s + rs.total_s + act,
         ag.comm_only_s + rs.comm_only_s,
@@ -486,10 +533,16 @@ pub fn timed_full_mlp(
 
 /// Time of the SiLU-mul activation between the two MLP halves (memory bound).
 pub fn activation_seconds(shape: &crate::MlpShape, cluster: &ClusterSpec) -> f64 {
+    activation_seconds_with(shape, &CostModel::new(cluster.clone()))
+}
+
+/// Activation time priced by an explicit cost provider.
+pub fn activation_seconds_with(shape: &crate::MlpShape, cost: &dyn CostProvider) -> f64 {
+    let cluster = cost.cluster();
     let world = cluster.world_size();
     let elems = shape.tokens as f64 * (shape.intermediate / world) as f64;
     // read gate + up, write result
-    3.0 * elems * BYTES_PER_ELEM / cluster.gpu.hbm_bytes_per_s() + cluster.gpu.kernel_launch_s()
+    cost.hbm_seconds(3.0 * elems * BYTES_PER_ELEM) + cluster.gpu.kernel_launch_s()
 }
 
 #[cfg(test)]

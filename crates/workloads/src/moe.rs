@@ -18,7 +18,7 @@
 //! tile touches.
 
 use tilelink::config::{CommMapping, OverlapConfig, TileShape};
-use tilelink::exec::{run_comm_compute, simulate};
+use tilelink::exec::{run_comm_compute, simulate_with};
 use tilelink::ir::{BlockDesc, BlockRole, ComputeKind, TileOp, TileProgram};
 use tilelink::primitives::{NotifyScope, PushTarget};
 use tilelink::tile::{read_tile, TileRect};
@@ -30,7 +30,7 @@ use tilelink_compute::group_gemm::expert_weight;
 use tilelink_compute::topk::{topk_routing, Routing};
 use tilelink_compute::{Dispatch, Tensor};
 use tilelink_shmem::ProcessGroup;
-use tilelink_sim::ClusterSpec;
+use tilelink_sim::{analytic_cost, ClusterSpec, CostProvider, SharedCost};
 
 use crate::mlp::BYTES_PER_ELEM;
 use crate::MoeShape;
@@ -364,7 +364,8 @@ pub fn group_gemm_rs_program(
     (program, mapping)
 }
 
-/// Simulates the TileLink AG + Gather + GroupGEMM kernel.
+/// Simulates the TileLink AG + Gather + GroupGEMM kernel with the default
+/// analytic cost model.
 ///
 /// # Errors
 ///
@@ -374,14 +375,31 @@ pub fn timed_ag_group_gemm(
     cluster: &ClusterSpec,
     cfg: &OverlapConfig,
 ) -> tilelink::Result<OverlapReport> {
-    let world = cluster.world_size();
+    timed_ag_group_gemm_with(shape, cfg, &analytic_cost(cluster))
+}
+
+/// Simulates the TileLink AG + Gather + GroupGEMM kernel priced by an
+/// explicit cost provider (the cluster is the provider's).
+///
+/// # Errors
+///
+/// Returns an error if compilation or simulation fails.
+pub fn timed_ag_group_gemm_with(
+    shape: &MoeShape,
+    cfg: &OverlapConfig,
+    cost: &SharedCost,
+) -> tilelink::Result<OverlapReport> {
+    let world = cost.cluster().world_size();
     let (program, mapping) = ag_group_gemm_program(shape, world, cfg);
-    let kernel = Compiler::new(cfg.clone(), cluster.gpu.clone()).compile(&program, &mapping)?;
-    let (report, _) = simulate(&kernel, cluster)?;
+    let kernel = Compiler::new(cfg.clone(), cost.cluster().gpu.clone())
+        .with_cost(cost.clone())
+        .compile(&program, &mapping)?;
+    let (report, _) = simulate_with(&kernel, cost)?;
     Ok(report)
 }
 
-/// Simulates the TileLink GroupGEMM + Scatter + TopK-Reduce + RS kernel.
+/// Simulates the TileLink GroupGEMM + Scatter + TopK-Reduce + RS kernel with
+/// the default analytic cost model.
 ///
 /// # Errors
 ///
@@ -391,33 +409,66 @@ pub fn timed_group_gemm_rs(
     cluster: &ClusterSpec,
     cfg: &OverlapConfig,
 ) -> tilelink::Result<OverlapReport> {
-    let world = cluster.world_size();
+    timed_group_gemm_rs_with(shape, cfg, &analytic_cost(cluster))
+}
+
+/// Simulates the TileLink GroupGEMM + Scatter + TopK-Reduce + RS kernel
+/// priced by an explicit cost provider (the cluster is the provider's).
+///
+/// # Errors
+///
+/// Returns an error if compilation or simulation fails.
+pub fn timed_group_gemm_rs_with(
+    shape: &MoeShape,
+    cfg: &OverlapConfig,
+    cost: &SharedCost,
+) -> tilelink::Result<OverlapReport> {
+    let world = cost.cluster().world_size();
     let mut cfg = cfg.clone();
     cfg.comm_mapping = CommMapping::Hybrid { sms: 20 };
     let (program, mapping) = group_gemm_rs_program(shape, world, &cfg);
-    let kernel = Compiler::new(cfg.clone(), cluster.gpu.clone()).compile(&program, &mapping)?;
-    let (report, _) = simulate(&kernel, cluster)?;
+    let kernel = Compiler::new(cfg.clone(), cost.cluster().gpu.clone())
+        .with_cost(cost.clone())
+        .compile(&program, &mapping)?;
+    let (report, _) = simulate_with(&kernel, cost)?;
     Ok(report)
 }
 
-/// Simulates the full TileLink MoE layer (both halves plus the activation).
+/// Simulates the full TileLink MoE layer (both halves plus the activation)
+/// with the default analytic cost model.
 ///
 /// # Errors
 ///
 /// Returns an error if either half fails.
 pub fn timed_full_moe(shape: &MoeShape, cluster: &ClusterSpec) -> tilelink::Result<OverlapReport> {
+    timed_full_moe_with(shape, &analytic_cost(cluster))
+}
+
+/// Simulates the full TileLink MoE layer priced by an explicit cost provider.
+///
+/// # Errors
+///
+/// Returns an error if either half fails.
+pub fn timed_full_moe_with(shape: &MoeShape, cost: &SharedCost) -> tilelink::Result<OverlapReport> {
     let cfg = moe_config();
-    let first = timed_ag_group_gemm(shape, cluster, &cfg)?;
-    let second = timed_group_gemm_rs(shape, cluster, &cfg)?;
-    let world = cluster.world_size();
-    let act_elems = dispatched_rows(shape) as f64 * (shape.intermediate / world) as f64;
-    let act = 3.0 * act_elems * BYTES_PER_ELEM / cluster.gpu.hbm_bytes_per_s()
-        + cluster.gpu.kernel_launch_s();
+    let first = timed_ag_group_gemm_with(shape, &cfg, cost)?;
+    let second = timed_group_gemm_rs_with(shape, &cfg, cost)?;
+    let act = activation_seconds_with(shape, &**cost);
     Ok(OverlapReport::new(
         first.total_s + second.total_s + act,
         first.comm_only_s + second.comm_only_s,
         first.comp_only_s + second.comp_only_s + act,
     ))
+}
+
+/// Time of the expert-MLP activation between the two MoE halves, priced by an
+/// explicit cost provider (memory bound; three passes over the dispatched
+/// intermediate activations).
+pub fn activation_seconds_with(shape: &MoeShape, cost: &dyn CostProvider) -> f64 {
+    let cluster = cost.cluster();
+    let world = cluster.world_size();
+    let act_elems = dispatched_rows(shape) as f64 * (shape.intermediate / world) as f64;
+    cost.hbm_seconds(3.0 * act_elems * BYTES_PER_ELEM) + cluster.gpu.kernel_launch_s()
 }
 
 #[cfg(test)]

@@ -3,31 +3,48 @@
 //! defaults.
 //!
 //! Run with `cargo run --release --example autotune`.
+//!
+//! Pass `--cost-model {analytic|calibrated[:path]}` to pick the cost provider
+//! the candidates are priced with; the provider's revision is part of the
+//! tuning-cache key, so analytic and calibrated results never alias.
 
 use tilelink::OverlapConfig;
-use tilelink_sim::ClusterSpec;
+use tilelink_sim::{ClusterSpec, CostModelSpec};
 use tilelink_tune::{CostOracle, SearchSpace, Strategy, Tuner};
 use tilelink_workloads::autotune::{self, MlpOracle, TuneOptions};
 use tilelink_workloads::shapes;
 
 fn main() {
     let cluster = ClusterSpec::h800_node(8);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let spec = CostModelSpec::from_args(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let cost = spec
+        .build(&cluster)
+        .unwrap_or_else(|e| panic!("cannot build cost model {spec}: {e}"));
     let shape = shapes::mlp_shapes()[0].clone();
     println!(
-        "tuning {} (S={} H={} I={}) on 8xH800...\n",
-        shape.name, shape.tokens, shape.hidden, shape.intermediate
+        "tuning {} (S={} H={} I={}) on 8xH800 with the {} cost model (revision {})...\n",
+        shape.name,
+        shape.tokens,
+        shape.hidden,
+        shape.intermediate,
+        spec,
+        cost.revision()
     );
 
     // What the hand-picked default costs.
-    let oracle = MlpOracle::new(shape.clone(), cluster.clone());
+    let oracle = MlpOracle::new(shape.clone(), cluster.clone()).with_cost(cost.clone());
     let default_report = oracle
         .evaluate(&OverlapConfig::default())
         .expect("default config evaluates");
     println!("default config: {default_report}");
 
     // Beam search over the standard space (the high-level path).
-    let tuned = autotune::tuned_full_mlp(&shape, &cluster, &TuneOptions::default())
-        .expect("beam search succeeds");
+    let opts = TuneOptions::default().with_cost(cost.clone());
+    let tuned = autotune::tuned_full_mlp(&shape, &cluster, &opts).expect("beam search succeeds");
     println!(
         "\nbeam search ({} simulated candidates):",
         tuned.search.evaluations
@@ -39,7 +56,8 @@ fn main() {
         default_report.total_s / tuned.layer.total_s
     );
 
-    // The low-level path: a custom space searched exhaustively.
+    // The low-level path: a custom space searched exhaustively, with a
+    // cross-axis constraint pruning ring+pull pairs at enumeration time.
     let space = SearchSpace::new()
         .with_comm_tiles([
             tilelink::TileShape::new(128, 128),
@@ -54,7 +72,8 @@ fn main() {
             tilelink::CommMapping::Sm { sms: 20 },
             tilelink::CommMapping::Hybrid { sms: 20 },
         ])
-        .with_stages([2, 3]);
+        .with_stages([2, 3])
+        .with_constraint(tilelink_tune::RING_REQUIRES_PUSH);
     let report = Tuner::new(Strategy::Exhaustive)
         .tune(&oracle, &space)
         .expect("exhaustive search succeeds");

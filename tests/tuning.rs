@@ -2,8 +2,10 @@
 //! workload oracles on the simulated cluster (the acceptance path of the
 //! `tilelink-tune` subsystem).
 
+use std::sync::Arc;
+
 use tilelink::{CommMapping, OverlapConfig, TileShape};
-use tilelink_sim::ClusterSpec;
+use tilelink_sim::{analytic_cost, CalibratedCostModel, ClusterSpec};
 use tilelink_tune::{CostOracle, SearchSpace, Strategy, TuneCache, Tuner};
 use tilelink_workloads::autotune::{self, MlpAgGemmOracle, MlpOracle, TuneOptions};
 use tilelink_workloads::shapes;
@@ -104,6 +106,89 @@ fn search_over_the_real_oracle_is_deterministic_across_thread_counts() {
         .map(|c| (&c.config, c.report.total_s))
         .collect();
     assert_eq!(a, b);
+}
+
+#[test]
+fn tuning_cache_self_invalidates_across_cost_model_revisions() {
+    // A tuning-cache entry written under one cost-model revision must miss
+    // (and re-evaluate) under another, and hit again when the revision
+    // returns — the acceptance path of the cost-provider refactor.
+    let dir = std::env::temp_dir().join(format!("tilelink-tuning-rev-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mlp-ag-rev.tsv");
+    let _ = std::fs::remove_file(&path);
+
+    let shape = shapes::mlp_shapes()[0].clone();
+    let cluster = ClusterSpec::h800_node(8);
+    let analytic = analytic_cost(&cluster);
+    let calibrated: tilelink_sim::SharedCost =
+        Arc::new(CalibratedCostModel::h800_defaults(cluster.clone()));
+    assert_ne!(analytic.revision(), calibrated.revision());
+    let space = small_space();
+
+    let run = |cost: &tilelink_sim::SharedCost| {
+        let oracle = MlpAgGemmOracle::new(shape.clone(), cluster.clone()).with_cost(cost.clone());
+        Tuner::new(Strategy::Exhaustive)
+            .with_cache(TuneCache::open(&path).unwrap())
+            .tune(&oracle, &space)
+            .unwrap()
+    };
+
+    let first = run(&analytic);
+    assert!(first.evaluations > 0);
+    assert_eq!(first.cache_hits, 0);
+
+    // Different revision: every candidate must be re-simulated.
+    let other = run(&calibrated);
+    assert_eq!(other.cache_hits, 0, "stale analytic entries must not hit");
+    assert_eq!(other.evaluations, other.ranked.len());
+    // The calibrated link model prices the AllGather strictly higher.
+    assert!(other.best.report.comm_only_s > first.best.report.comm_only_s);
+
+    // Returning to the original revision hits the original entries again.
+    let back = run(&analytic);
+    assert_eq!(
+        back.evaluations, 0,
+        "revision round-trip must be cache-served"
+    );
+    assert_eq!(back.cache_hits, first.ranked.len());
+    assert_eq!(back.best.config, first.best.config);
+    assert_eq!(back.best.report, first.best.report);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn calibrated_tuning_runs_through_tune_options() {
+    // The high-level tuned_* path accepts a provider via TuneOptions and
+    // reports strictly positive, calibrated timings.
+    let shape = shapes::mlp_shapes()[0].clone();
+    let cluster = ClusterSpec::h800_node(8);
+    let calibrated: tilelink_sim::SharedCost =
+        Arc::new(CalibratedCostModel::h800_defaults(cluster.clone()));
+    let opts = TuneOptions {
+        strategy: Strategy::Beam {
+            width: 2,
+            sweeps: 1,
+        },
+        space: small_space(),
+        ..TuneOptions::default()
+    }
+    .with_cost(calibrated.clone());
+    let tuned = autotune::tuned_full_mlp(&shape, &cluster, &opts).unwrap();
+    assert!(tuned.layer.total_s > 0.0);
+
+    // Same search under the analytic default: the calibrated run must be
+    // priced higher on communication (achieved bandwidth < 100% of peak).
+    let analytic_opts = TuneOptions {
+        strategy: Strategy::Beam {
+            width: 2,
+            sweeps: 1,
+        },
+        space: small_space(),
+        ..TuneOptions::default()
+    };
+    let analytic_tuned = autotune::tuned_full_mlp(&shape, &cluster, &analytic_opts).unwrap();
+    assert!(tuned.layer.comm_only_s > analytic_tuned.layer.comm_only_s);
 }
 
 #[test]
