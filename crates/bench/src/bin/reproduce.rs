@@ -20,16 +20,26 @@
 //! It is opt-in (not part of the no-flag default) because a cold search
 //! simulates a few hundred candidate kernels per shape; repeated runs are
 //! near-free thanks to the persistent tuning cache.
+//!
+//! `--routing {uniform|zipf:<s>|hot:<k>}` and `--objective {mean|p<1-99>|worst}`
+//! make the MoE part of `--tune` routing-distribution-aware: candidates are
+//! priced over sampled routings through the dynamic tile mapping and the
+//! search minimises the chosen statistic (e.g. the p95 makespan) instead of
+//! the expected-routing mean. The report prints the mean/uniform-tuned and the
+//! skew-tuned winner side by side per Figure 9 shape. `--quick --tune` runs a
+//! reduced smoke version of the same comparison (used by CI).
 
 use tilelink_bench::{
     cost_for, default_cluster, fig10, fig11, fig8, fig9, geomean, table2, MlpPanel, MoePanel,
 };
 use tilelink_sim::CostModelSpec;
-use tilelink_workloads::shapes;
+use tilelink_tune::Objective;
+use tilelink_workloads::moe::RoutingProfile;
+use tilelink_workloads::{shapes, RoutingSpec};
 
 /// The section flags of a command line: everything except the option-style
-/// arguments (`--cost-model` and its value, `--quick`). `--tune` keeps its
-/// historical role as a section selector.
+/// arguments (`--cost-model`, `--routing`, `--objective` and their values,
+/// `--quick`). `--tune` keeps its historical role as a section selector.
 fn section_flags(args: &[String]) -> Vec<&String> {
     let mut sections: Vec<&String> = Vec::new();
     let mut skip_next = false;
@@ -38,16 +48,54 @@ fn section_flags(args: &[String]) -> Vec<&String> {
             skip_next = false;
             continue;
         }
-        if a == "--cost-model" {
+        if a == "--cost-model" || a == "--routing" || a == "--objective" {
             skip_next = true; // skip the flag's value too
             continue;
         }
-        if a == "--quick" || a.starts_with("--cost-model=") {
+        if a == "--quick"
+            || a.starts_with("--cost-model=")
+            || a.starts_with("--routing=")
+            || a.starts_with("--objective=")
+        {
             continue;
         }
         sections.push(a);
     }
     sections
+}
+
+/// Extracts the value of an option-style `--flag VALUE` / `--flag=VALUE`.
+fn option_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        return match args.get(i + 1) {
+            Some(v) => Ok(Some(v.clone())),
+            None => Err(format!("{flag} requires a value")),
+        };
+    }
+    let prefix = format!("{flag}=");
+    Ok(args
+        .iter()
+        .find_map(|a| a.strip_prefix(&prefix))
+        .map(String::from))
+}
+
+/// Parses `--routing` / `--objective` into the routing-aware tuning inputs.
+/// `--objective` without `--routing` implies sampled uniform routing (a
+/// percentile needs a distribution to take the percentile of).
+fn routing_args(args: &[String]) -> Result<(Option<RoutingSpec>, Objective), String> {
+    let profile = option_value(args, "--routing")?
+        .map(|v| v.parse::<RoutingProfile>())
+        .transpose()?;
+    let objective = option_value(args, "--objective")?
+        .map(|v| v.parse::<Objective>())
+        .transpose()?
+        .unwrap_or(Objective::Mean);
+    let spec = match (profile, objective) {
+        (Some(p), _) => Some(RoutingSpec::new(p)),
+        (None, Objective::Mean) => None,
+        (None, _) => Some(RoutingSpec::new(RoutingProfile::Uniform)),
+    };
+    Ok((spec, objective))
 }
 
 /// Section selection: no section flag means "print everything", so
@@ -85,11 +133,23 @@ fn main() {
     // clusters, so it takes the spec instead).
     let cost = cost_for(&cluster, &spec);
     println!("(cost model: {spec}, revision {})", cost.revision());
+    let (routing, objective) = routing_args(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    // Routing flags only affect the tuning pass; accepting them without
+    // `--tune` would silently drop them (same policy as --quick + sections).
+    if routing.is_some() && !args.iter().any(|a| a == "--tune") {
+        eprintln!("error: --routing/--objective require --tune");
+        std::process::exit(2);
+    }
 
     if args.iter().any(|a| a == "--quick") {
         // `--quick` replaces section selection entirely; combining it with
         // section flags would silently drop them, so reject that instead.
-        if let Some(flag) = section_flags(&args).first() {
+        // `--tune` is the one exception: `--quick --tune` runs a reduced
+        // tuning smoke (the CI entry point for the routing-aware search).
+        if let Some(flag) = section_flags(&args).iter().find(|f| **f != "--tune") {
             eprintln!("error: --quick cannot be combined with {flag}");
             std::process::exit(2);
         }
@@ -101,6 +161,9 @@ fn main() {
             &table2(&cost),
             "Non-Overlap",
         );
+        if args.iter().any(|a| a == "--tune") {
+            quick_tune_smoke(&cluster, &cost, routing, objective);
+        }
         return;
     }
 
@@ -198,7 +261,7 @@ fn main() {
 
     // Opt-in only: a cold tuning run simulates hundreds of candidates.
     if args.iter().any(|a| a == "--tune") {
-        tune(&cluster, &cost);
+        tune(&cluster, &cost, routing, objective);
     }
 }
 
@@ -224,8 +287,15 @@ fn print_shapes() {
     }
 }
 
-/// Tuned-vs-default comparison on the Figure 8 MLP and Figure 9 MoE shapes.
-fn tune(cluster: &tilelink_sim::ClusterSpec, cost: &tilelink_sim::SharedCost) {
+/// Tuned-vs-default comparison on the Figure 8 MLP and Figure 9 MoE shapes,
+/// plus — when a routing distribution was requested — the mean/uniform-tuned
+/// vs skew-tuned winner comparison per Figure 9 shape.
+fn tune(
+    cluster: &tilelink_sim::ClusterSpec,
+    cost: &tilelink_sim::SharedCost,
+    routing: Option<RoutingSpec>,
+    objective: Objective,
+) {
     use tilelink_workloads::autotune::{self, MlpOracle, MoeOracle, TuneOptions};
 
     let opts = TuneOptions::default()
@@ -267,6 +337,7 @@ fn tune(cluster: &tilelink_sim::ClusterSpec, cost: &tilelink_sim::SharedCost) {
 
     println!("\n== Autotune: Figure 9 MoE layers (tuned vs default config) ==");
     let mut speedups = Vec::new();
+    let mut mean_winners = Vec::new();
     for shape in shapes::moe_shapes() {
         let tuned = autotune::tuned_full_moe(&shape, cluster, &opts).expect("tuning succeeds");
         let default_ms = default_ms(
@@ -285,10 +356,100 @@ fn tune(cluster: &tilelink_sim::ClusterSpec, cost: &tilelink_sim::SharedCost) {
             tuned.search.cache_hits,
             tuned.config.cache_key()
         );
+        mean_winners.push((shape, tuned));
     }
     println!(
         "geomean tuned-vs-default speedup: {:.2}x",
         geomean(speedups)
+    );
+
+    // Routing-distribution-aware pass: retune each MoE shape over sampled
+    // routings and print the skew winner next to the mean/uniform winner.
+    let Some(spec) = routing else { return };
+    let routed_opts = opts.with_routing(spec).with_objective(objective);
+    println!("\n== Autotune: Figure 9 MoE layers under routing {spec}, objective {objective} ==");
+    for (shape, mean_tuned) in &mean_winners {
+        let routed =
+            autotune::tuned_full_moe(shape, cluster, &routed_opts).expect("tuning succeeds");
+        let marker = if routed.config == mean_tuned.config {
+            "same config"
+        } else {
+            "DIFFERS"
+        };
+        println!(
+            "{:<8} mean/uniform best: {:<44} {:>9.3} ms",
+            shape.name,
+            mean_tuned.config.cache_key(),
+            mean_tuned.layer.total_ms(),
+        );
+        println!(
+            "         {}/{} best:   {:<44} {:>9.3} ms  ({} sims, {} cached)  [{marker}]",
+            spec.profile,
+            objective,
+            routed.config.cache_key(),
+            routed.layer.total_ms(),
+            routed.search.evaluations,
+            routed.search.cache_hits,
+        );
+    }
+}
+
+/// Reduced tuning smoke for `--quick --tune`: one MoE shape, a compact space,
+/// few routing samples — enough to exercise the routing-aware search end to
+/// end without the cost of the full `--tune` pass. CI runs this under both
+/// cost models.
+fn quick_tune_smoke(
+    cluster: &tilelink_sim::ClusterSpec,
+    cost: &tilelink_sim::SharedCost,
+    routing: Option<RoutingSpec>,
+    objective: Objective,
+) {
+    use tilelink::{CommMapping, TileShape};
+    use tilelink_tune::{SearchSpace, Strategy};
+    use tilelink_workloads::autotune::{self, TuneOptions};
+
+    let shape = shapes::moe_shapes()[0].clone();
+    let space = SearchSpace::new()
+        .with_comm_tiles([TileShape::new(128, 128), TileShape::new(256, 128)])
+        .with_compute_tiles([TileShape::new(128, 256), TileShape::new(256, 256)])
+        .with_mappings([CommMapping::CopyEngine, CommMapping::Hybrid { sms: 20 }])
+        .with_stages([2, 3]);
+    let base = TuneOptions {
+        strategy: Strategy::Beam {
+            width: 2,
+            sweeps: 1,
+        },
+        space,
+        ..TuneOptions::default()
+    }
+    .with_cost(cost.clone());
+
+    println!("\n== Autotune smoke: {} (compact space) ==", shape.name);
+    let mean_tuned =
+        autotune::tuned_full_moe(&shape, cluster, &base).expect("mean tuning succeeds");
+    println!(
+        "mean/uniform best: {:<44} {:>9.3} ms ({} sims)",
+        mean_tuned.config.cache_key(),
+        mean_tuned.layer.total_ms(),
+        mean_tuned.search.evaluations,
+    );
+    let Some(mut spec) = routing else { return };
+    spec.samples = 4; // smoke: fewer sampled routings per candidate
+    let routed_opts = base.with_routing(spec).with_objective(objective);
+    let routed =
+        autotune::tuned_full_moe(&shape, cluster, &routed_opts).expect("routed tuning succeeds");
+    let marker = if routed.config == mean_tuned.config {
+        "same config"
+    } else {
+        "DIFFERS"
+    };
+    println!(
+        "{}/{} best:     {:<44} {:>9.3} ms ({} sims)  [{marker}]",
+        spec.profile,
+        objective,
+        routed.config.cache_key(),
+        routed.layer.total_ms(),
+        routed.search.evaluations,
     );
 }
 

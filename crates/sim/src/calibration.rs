@@ -162,8 +162,9 @@ impl LinkCalibration {
     /// # Errors
     ///
     /// Returns [`SimError::Calibration`] on an unknown class tag, a
-    /// non-numeric field, an achieved fraction outside `(0, 1]` or a negative
-    /// α.
+    /// non-numeric field, an achieved fraction outside `(0, 1]`, a negative
+    /// α, non-monotone bucket edges within a class, or a class whose last
+    /// bucket edge is not `inf`.
     pub fn from_tsv(text: &str) -> Result<Self> {
         let bad = |line_no: usize, message: String| SimError::Calibration {
             message: format!("line {line_no}: {message}"),
@@ -231,6 +232,22 @@ impl LinkCalibration {
         let mut cal = Self::empty();
         for class in LinkClass::ALL {
             let buckets = std::mem::take(&mut per_class[class_index(class)]);
+            // Bucket edges must be authored in strictly increasing order: a
+            // duplicated or out-of-order edge is almost always a typo in a
+            // hand-edited table, and silently re-sorting it would hide which
+            // bucket actually prices a message.
+            for pair in buckets.windows(2) {
+                if pair[1].max_bytes <= pair[0].max_bytes {
+                    return Err(SimError::Calibration {
+                        message: format!(
+                            "class {:?} bucket edges must be strictly increasing, got {} after {}",
+                            class.tag(),
+                            pair[1].max_bytes,
+                            pair[0].max_bytes
+                        ),
+                    });
+                }
+            }
             // A calibrated class must cover every message size: without a
             // final `inf` bucket, arbitrarily large transfers would silently
             // inherit the last (typically small-message) achieved fraction.
@@ -535,6 +552,71 @@ mod tests {
                 err.to_string().contains(needle),
                 "{text:?}: {err} missing {needle:?}"
             );
+        }
+    }
+
+    #[test]
+    fn shipped_calibration_tsv_round_trips_to_the_builtin_defaults() {
+        // The repository ships data/h800-calibration.tsv as the worked example
+        // of the TSV format; it must stay loadable and exactly equal to the
+        // built-in defaults (same buckets, same fingerprint, same revision),
+        // so `--cost-model calibrated` and `--cost-model calibrated:<path>`
+        // price identically out of the box.
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../data/h800-calibration.tsv"
+        );
+        let shipped = LinkCalibration::load(path).unwrap();
+        let builtin = LinkCalibration::h800_defaults();
+        assert_eq!(shipped, builtin);
+        assert_eq!(shipped.fingerprint(), builtin.fingerprint());
+        let cluster = ClusterSpec::h800_node(8);
+        assert_eq!(
+            CalibratedCostModel::new(cluster.clone(), shipped.clone()).revision(),
+            CalibratedCostModel::new(cluster, builtin).revision()
+        );
+        // And the canonical serialisation round-trips the shipped table.
+        let reparsed = LinkCalibration::from_tsv(&shipped.to_tsv()).unwrap();
+        assert_eq!(shipped, reparsed);
+    }
+
+    #[test]
+    fn loader_failure_modes_produce_distinct_errors() {
+        // Each malformed table must fail with its own diagnosable message:
+        // a missing `inf` bucket, non-monotone bucket edges and an unknown
+        // link class are different authoring mistakes.
+        let missing_inf = LinkCalibration::from_tsv("nvlink\t4096\t1.2\t0.05")
+            .unwrap_err()
+            .to_string();
+        let non_monotone = LinkCalibration::from_tsv(
+            "nvlink\t65536\t1.2\t0.35\nnvlink\t4096\t1.2\t0.05\nnvlink\tinf\t1.2\t0.95",
+        )
+        .unwrap_err()
+        .to_string();
+        let duplicate_edge = LinkCalibration::from_tsv(
+            "nvlink\t4096\t1.2\t0.05\nnvlink\t4096\t1.2\t0.35\nnvlink\tinf\t1.2\t0.95",
+        )
+        .unwrap_err()
+        .to_string();
+        let bad_class = LinkCalibration::from_tsv("pcie\tinf\t1.2\t0.5")
+            .unwrap_err()
+            .to_string();
+        assert!(missing_inf.contains("no `inf` bucket"), "{missing_inf}");
+        assert!(
+            non_monotone.contains("strictly increasing"),
+            "{non_monotone}"
+        );
+        assert!(
+            duplicate_edge.contains("strictly increasing"),
+            "{duplicate_edge}"
+        );
+        assert!(bad_class.contains("unknown link class"), "{bad_class}");
+        for (a, b) in [
+            (&missing_inf, &non_monotone),
+            (&missing_inf, &bad_class),
+            (&non_monotone, &bad_class),
+        ] {
+            assert_ne!(a, b, "failure modes must be distinguishable");
         }
     }
 

@@ -73,10 +73,16 @@ impl DynamicMapping {
 
     /// Fills the lookup tables for one tile.
     ///
+    /// Tiles partition the row space: a fill whose row range overlaps the
+    /// filled range of a *different* tile is rejected (re-filling the same
+    /// tile, e.g. when a new routing arrives, is allowed and replaces the old
+    /// entry).
+    ///
     /// # Errors
     ///
     /// Returns [`TileLinkError::TileOutOfRange`] for a bad tile id and
-    /// [`TileLinkError::InvalidConfig`] for a bad rank/channel.
+    /// [`TileLinkError::InvalidConfig`] for a bad rank/channel or a row range
+    /// overlapping another tile's.
     pub fn fill(&self, tile: usize, rows: Range<usize>, rank: usize, channel: usize) -> Result<()> {
         if tile >= self.num_tiles {
             return Err(TileLinkError::TileOutOfRange {
@@ -93,6 +99,21 @@ impl DynamicMapping {
             });
         }
         let mut tables = self.tables.write().expect("mapping lock poisoned");
+        for (other, entry) in tables.entries.iter().enumerate() {
+            if other == tile {
+                continue;
+            }
+            if let Some(r) = &entry.rows {
+                if r.start < rows.end && rows.start < r.end {
+                    return Err(TileLinkError::InvalidConfig {
+                        reason: format!(
+                            "rows {}..{} of tile {tile} overlap rows {}..{} already filled for tile {other}",
+                            rows.start, rows.end, r.start, r.end
+                        ),
+                    });
+                }
+            }
+        }
         let entry = &mut tables.entries[tile];
         if let Some(old) = entry.channel {
             // Re-filling a tile moves its contribution between channels.
@@ -217,8 +238,71 @@ mod tests {
     #[test]
     fn out_of_range_fill_is_rejected() {
         let map = DynamicMapping::new(1, 1);
-        assert!(map.fill(5, 0..1, 0, 0).is_err());
-        assert!(map.fill(0, 0..1, 0, 7).is_err());
+        assert!(matches!(
+            map.fill(5, 0..1, 0, 0),
+            Err(TileLinkError::TileOutOfRange {
+                tile: 5,
+                num_tiles: 1
+            })
+        ));
+        assert!(matches!(
+            map.fill(0, 0..1, 0, 7),
+            Err(TileLinkError::InvalidConfig { .. })
+        ));
+        // A rejected fill leaves the mapping untouched.
+        assert!(!map.is_complete());
+    }
+
+    #[test]
+    fn overlapping_fill_ranges_are_rejected() {
+        let map = DynamicMapping::new(3, 2);
+        map.fill(0, 0..64, 0, 0).unwrap();
+        // Partial overlap from either side, containment and exact duplication
+        // are all rejected; the existing entry survives.
+        for bad in [32..96, 0..64, 10..20, 63..64, 0..1] {
+            let err = map.fill(1, bad.clone(), 0, 1).unwrap_err();
+            assert!(
+                matches!(&err, TileLinkError::InvalidConfig { reason }
+                    if reason.contains("overlap") && reason.contains("tile 0")),
+                "{bad:?}: {err}"
+            );
+        }
+        assert_eq!(map.rows_of(0).unwrap(), 0..64);
+        // Adjacent (touching) ranges are fine, and so is an empty range.
+        map.fill(1, 64..128, 0, 1).unwrap();
+        map.fill(2, 128..128, 0, 0).unwrap();
+        assert!(map.is_complete());
+    }
+
+    #[test]
+    fn refilling_a_tile_with_a_new_range_is_allowed() {
+        // A new routing re-fills the same tile: its own old range must not be
+        // counted as a conflict.
+        let map = DynamicMapping::new(2, 2);
+        map.fill(0, 0..64, 0, 0).unwrap();
+        map.fill(0, 0..32, 1, 1).unwrap();
+        assert_eq!(map.rows_of(0).unwrap(), 0..32);
+        assert_eq!(map.rank_of(0).unwrap(), 1);
+        // The freed rows become available to other tiles.
+        map.fill(1, 32..64, 0, 0).unwrap();
+        assert!(map.is_complete());
+    }
+
+    #[test]
+    fn partially_filled_map_is_not_complete() {
+        let map = DynamicMapping::new(3, 2);
+        assert!(!map.is_complete());
+        map.fill(0, 0..8, 0, 0).unwrap();
+        assert!(!map.is_complete(), "1 of 3 tiles filled");
+        map.fill(2, 16..24, 0, 1).unwrap();
+        assert!(!map.is_complete(), "2 of 3 tiles filled");
+        // The unfilled middle tile still errors on lookup.
+        assert!(matches!(
+            map.rank_of(1),
+            Err(TileLinkError::MappingNotFilled { tile: 1 })
+        ));
+        map.fill(1, 8..16, 0, 0).unwrap();
+        assert!(map.is_complete());
     }
 
     #[test]

@@ -16,11 +16,13 @@ pub const CACHE_PATH_ENV: &str = "TILELINK_TUNE_CACHE";
 /// The on-disk format is a line-oriented TSV so cache files can be inspected
 /// and diffed: `key<TAB>total_s<TAB>comm_only_s<TAB>comp_only_s`. Keys combine
 /// the oracle's workload key, the [`crate::cluster_key`] of the cluster, the
-/// cost-model revision ([`crate::CostOracle::cost_revision`]) and
-/// [`OverlapConfig::cache_key`], none of which contain tabs or newlines.
-/// Because the revision is part of the key, entries evaluated under a
-/// different cost model simply miss — a stale cache self-invalidates instead
-/// of serving timings the current model would not produce.
+/// cost-model revision ([`crate::CostOracle::cost_revision`]), the objective
+/// key ([`crate::Objective::key`]) and [`OverlapConfig::cache_key`], none of
+/// which contain tabs or newlines. Because the revision and the objective are
+/// part of the key, entries evaluated under a different cost model — or tuned
+/// for a different statistic of the sampled makespans — simply miss: a stale
+/// cache self-invalidates instead of serving timings the current model would
+/// not produce, and mean-tuned entries never alias with p99-tuned ones.
 ///
 /// Unparseable lines are skipped on load (a truncated line from an interrupted
 /// run only loses that entry, never the whole cache).
@@ -113,15 +115,16 @@ impl TuneCache {
     }
 
     /// The full cache key for one (workload, cluster, cost-model revision,
-    /// config) quadruple.
+    /// objective, config) quintuple.
     pub fn key(
         workload_key: &str,
         cluster_key: &str,
         cost_revision: &str,
+        objective_key: &str,
         cfg: &OverlapConfig,
     ) -> String {
         format!(
-            "{workload_key}|{cluster_key}|{cost_revision}|{}",
+            "{workload_key}|{cluster_key}|{cost_revision}|{objective_key}|{}",
             cfg.cache_key()
         )
     }
@@ -189,7 +192,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let mut cache = TuneCache::open(&path).unwrap();
         assert!(cache.is_empty());
-        let key = TuneCache::key("w", "c", "analytic-v2", &OverlapConfig::default());
+        let key = TuneCache::key("w", "c", "analytic-v2", "mean", &OverlapConfig::default());
         cache.insert(key.clone(), OverlapReport::new(1.25e-3, 5e-4, 1e-3));
         cache.flush().unwrap();
 
@@ -222,17 +225,23 @@ mod tests {
     }
 
     #[test]
-    fn keys_embed_all_four_parts() {
-        let k = TuneCache::key("mlp", "h800x8", "analytic-v2", &OverlapConfig::default());
-        assert!(k.starts_with("mlp|h800x8|analytic-v2|"));
+    fn keys_embed_all_five_parts() {
+        let k = TuneCache::key(
+            "mlp",
+            "h800x8",
+            "analytic-v2",
+            "mean",
+            &OverlapConfig::default(),
+        );
+        assert!(k.starts_with("mlp|h800x8|analytic-v2|mean|"));
         assert!(k.contains("ct128x128"));
     }
 
     #[test]
     fn keys_differ_across_cost_model_revisions() {
         let cfg = OverlapConfig::default();
-        let analytic = TuneCache::key("mlp", "h800x8", "analytic-v2", &cfg);
-        let calibrated = TuneCache::key("mlp", "h800x8", "calibrated-00ff", &cfg);
+        let analytic = TuneCache::key("mlp", "h800x8", "analytic-v2", "mean", &cfg);
+        let calibrated = TuneCache::key("mlp", "h800x8", "calibrated-00ff", "mean", &cfg);
         assert_ne!(analytic, calibrated);
         let mut cache = TuneCache::in_memory();
         cache.insert(analytic.clone(), OverlapReport::new(1.0, 0.5, 0.5));
@@ -240,6 +249,21 @@ mod tests {
         assert!(
             cache.get(&calibrated).is_none(),
             "an entry written under one revision must miss under another"
+        );
+    }
+
+    #[test]
+    fn keys_differ_across_objectives() {
+        let cfg = OverlapConfig::default();
+        let mean = TuneCache::key("moe", "h800x8", "analytic-v2", "mean", &cfg);
+        let p95 = TuneCache::key("moe", "h800x8", "analytic-v2", "p95", &cfg);
+        assert_ne!(mean, p95);
+        let mut cache = TuneCache::in_memory();
+        cache.insert(mean.clone(), OverlapReport::new(1.0, 0.5, 0.5));
+        assert!(cache.get(&mean).is_some());
+        assert!(
+            cache.get(&p95).is_none(),
+            "a mean-tuned entry must miss under a percentile objective"
         );
     }
 }

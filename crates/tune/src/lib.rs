@@ -63,12 +63,14 @@
 
 mod cache;
 mod error;
+mod objective;
 mod oracle;
 mod search;
 mod space;
 
 pub use cache::TuneCache;
 pub use error::TuneError;
+pub use objective::Objective;
 pub use oracle::{cluster_key, CostOracle, FnOracle};
 pub use search::{Candidate, Strategy, TuneReport, Tuner};
 pub use space::{AxisConstraint, SearchSpace, RING_REQUIRES_PUSH};

@@ -3,6 +3,8 @@
 use tilelink::{OverlapConfig, OverlapReport};
 use tilelink_sim::ClusterSpec;
 
+use crate::Objective;
+
 /// Prices one [`OverlapConfig`] for one workload on one cluster.
 ///
 /// The workload crates implement this by building the tile program for the
@@ -31,6 +33,17 @@ pub trait CostOracle: Sync {
     /// that provider's revision.
     fn cost_revision(&self) -> String {
         tilelink_sim::CostModel::REVISION.to_string()
+    }
+
+    /// The statistic this oracle's [`CostOracle::evaluate`] reports when the
+    /// workload is priced over sampled executions (see [`Objective`]).
+    ///
+    /// Deterministic single-execution oracles keep the default
+    /// ([`Objective::Mean`]). The objective's [`Objective::key`] is folded
+    /// into the persistent tuning-cache key alongside the cost revision, so
+    /// mean-tuned and tail-tuned entries never collide.
+    fn objective(&self) -> Objective {
+        Objective::Mean
     }
 
     /// Compiles and simulates one candidate, returning its timing report.
@@ -83,6 +96,7 @@ where
     evaluate: E,
     supported: S,
     revision: String,
+    objective: Objective,
 }
 
 impl<E> FnOracle<E>
@@ -97,6 +111,7 @@ where
             evaluate,
             supported: |_| true,
             revision: tilelink_sim::CostModel::REVISION.to_string(),
+            objective: Objective::Mean,
         }
     }
 }
@@ -117,12 +132,19 @@ where
             evaluate: self.evaluate,
             supported,
             revision: self.revision,
+            objective: self.objective,
         }
     }
 
     /// Replaces the cost-model revision reported for cache keying.
     pub fn with_revision(mut self, revision: impl Into<String>) -> Self {
         self.revision = revision.into();
+        self
+    }
+
+    /// Replaces the objective reported for cache keying.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
         self
     }
 }
@@ -150,6 +172,10 @@ where
 
     fn cost_revision(&self) -> String {
         self.revision.clone()
+    }
+
+    fn objective(&self) -> Objective {
+        self.objective
     }
 }
 

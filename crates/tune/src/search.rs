@@ -156,6 +156,7 @@ impl Tuner {
         let workload = oracle.workload_key();
         let cluster = cluster_key(oracle.cluster());
         let revision = oracle.cost_revision();
+        let objective = oracle.objective().key();
         let mut stats = BatchStats {
             evaluations: 0,
             cache_hits: 0,
@@ -177,7 +178,7 @@ impl Tuner {
                 }
                 self.evaluate_batch(
                     oracle,
-                    (&workload, &cluster, &revision),
+                    (&workload, &cluster, &revision, &objective),
                     &candidates,
                     &mut stats,
                     &mut evaluated,
@@ -212,7 +213,7 @@ impl Tuner {
                 }
                 self.evaluate_batch(
                     oracle,
-                    (&workload, &cluster, &revision),
+                    (&workload, &cluster, &revision, &objective),
                     &seeds,
                     &mut stats,
                     &mut evaluated,
@@ -227,7 +228,7 @@ impl Tuner {
                     for chunk in space.candidates(oracle).chunks(16) {
                         self.evaluate_batch(
                             oracle,
-                            (&workload, &cluster, &revision),
+                            (&workload, &cluster, &revision, &objective),
                             chunk,
                             &mut stats,
                             &mut evaluated,
@@ -259,7 +260,7 @@ impl Tuner {
                         }
                         self.evaluate_batch(
                             oracle,
-                            (&workload, &cluster, &revision),
+                            (&workload, &cluster, &revision, &objective),
                             &frontier,
                             &mut stats,
                             &mut evaluated,
@@ -320,12 +321,12 @@ impl Tuner {
 
     /// Evaluates `configs` (cache first, then the oracle in parallel),
     /// appending successes to `evaluated` in candidate order. `keys` is the
-    /// `(workload_key, cluster_key, cost_revision)` triple fed to
-    /// [`TuneCache::key`].
+    /// `(workload_key, cluster_key, cost_revision, objective_key)` quadruple
+    /// fed to [`TuneCache::key`].
     fn evaluate_batch(
         &self,
         oracle: &dyn CostOracle,
-        keys: (&str, &str, &str),
+        keys: (&str, &str, &str, &str),
         configs: &[OverlapConfig],
         stats: &mut BatchStats,
         evaluated: &mut Vec<Candidate>,
@@ -341,7 +342,7 @@ impl Tuner {
                     hit_or_miss.push(None); // already ranked; nothing to do
                     continue;
                 }
-                let key = TuneCache::key(keys.0, keys.1, keys.2, cfg);
+                let key = TuneCache::key(keys.0, keys.1, keys.2, keys.3, cfg);
                 match cache.get(&key) {
                     Some(report) => {
                         stats.cache_hits += 1;
@@ -402,7 +403,7 @@ impl Tuner {
                     match result {
                         Ok(report) => {
                             stats.evaluations += 1;
-                            let key = TuneCache::key(keys.0, keys.1, keys.2, cfg);
+                            let key = TuneCache::key(keys.0, keys.1, keys.2, keys.3, cfg);
                             cache.insert(key, report);
                             (report, false)
                         }

@@ -10,13 +10,64 @@
 //! constructors *generate* it, which is the point of decoupling the design
 //! space in the first place (Section 3.1).
 
+use std::fmt;
 use std::path::PathBuf;
 
 use tilelink::{OverlapConfig, OverlapReport};
 use tilelink_sim::{analytic_cost, ClusterSpec, SharedCost};
-use tilelink_tune::{CostOracle, SearchSpace, Strategy, TuneCache, TuneReport, Tuner};
+use tilelink_tune::{CostOracle, Objective, SearchSpace, Strategy, TuneCache, TuneReport, Tuner};
 
+use crate::moe::{RoutingProfile, RoutingSampler};
 use crate::{attention, mlp, moe, AttnShape, MlpShape, MoeShape};
+
+// ---------------------------------------------------------------------------
+// Routing-aware tuning inputs
+// ---------------------------------------------------------------------------
+
+/// Default number of routings sampled per candidate evaluation.
+pub const DEFAULT_ROUTING_SAMPLES: usize = 8;
+
+/// Default seed of the routing sampler (any fixed value works; what matters
+/// is that the same seed prices the same routings on every run).
+pub const DEFAULT_ROUTING_SEED: u64 = 0x7e11_e50e;
+
+/// How a routing-aware tuning run samples the expert loads.
+///
+/// A spec pins the full sampled distribution: the [`RoutingProfile`], the
+/// number of samples per candidate and the sampler seed. All three are part
+/// of the oracle's workload key, so tuning-cache entries for different
+/// distributions never alias.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutingSpec {
+    /// The expert-popularity distribution to sample.
+    pub profile: RoutingProfile,
+    /// Routings priced per candidate configuration.
+    pub samples: usize,
+    /// Sampler seed (same seed ⇒ bit-identical samples and tuned winners).
+    pub seed: u64,
+}
+
+impl RoutingSpec {
+    /// A spec for `profile` with the default sample count and seed.
+    pub fn new(profile: RoutingProfile) -> Self {
+        Self {
+            profile,
+            samples: DEFAULT_ROUTING_SAMPLES,
+            seed: DEFAULT_ROUTING_SEED,
+        }
+    }
+
+    /// The sampler this spec describes.
+    pub fn sampler(&self) -> RoutingSampler {
+        RoutingSampler::new(self.profile, self.seed)
+    }
+}
+
+impl fmt::Display for RoutingSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{},n={},seed={}", self.profile, self.samples, self.seed)
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Oracles
@@ -136,18 +187,31 @@ impl CostOracle for MlpAgGemmOracle {
 
 /// Prices one config for the full MoE layer (both halves plus activation,
 /// mirroring [`moe::timed_full_moe`] with the candidate config).
+///
+/// By default the oracle prices the *expected* uniform routing through the
+/// static program builders (the historical behaviour, so existing figures and
+/// caches are unchanged). With [`MoeOracle::with_routing`] it instead prices
+/// every candidate over sampled routings through the dynamic-mapping builders
+/// ([`moe::timed_routed_full_moe_with`]) and folds the per-sample reports
+/// with its [`Objective`] — tuning for the tail of the routing distribution
+/// rather than the mean.
 #[derive(Debug, Clone)]
 pub struct MoeOracle {
     shape: MoeShape,
     cost: SharedCost,
+    routing: Option<RoutingSpec>,
+    objective: Objective,
 }
 
 impl MoeOracle {
-    /// Creates the oracle for one MoE shape on one cluster (analytic costs).
+    /// Creates the oracle for one MoE shape on one cluster (analytic costs,
+    /// expected uniform routing, mean objective).
     pub fn new(shape: MoeShape, cluster: ClusterSpec) -> Self {
         Self {
             shape,
             cost: analytic_cost(&cluster),
+            routing: None,
+            objective: Objective::Mean,
         }
     }
 
@@ -157,18 +221,37 @@ impl MoeOracle {
         self.cost = cost;
         self
     }
+
+    /// Prices candidates over routings sampled from `spec` instead of the
+    /// expected uniform routing.
+    pub fn with_routing(mut self, spec: RoutingSpec) -> Self {
+        self.routing = Some(spec);
+        self
+    }
+
+    /// Replaces the statistic folding the per-sample reports (only meaningful
+    /// together with [`MoeOracle::with_routing`]; a non-mean objective over
+    /// the single expected-routing evaluation is the identity).
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
 }
 
 impl CostOracle for MoeOracle {
     fn workload_key(&self) -> String {
-        format!(
+        let base = format!(
             "moe/S{}-H{}-I{}-E{}-K{}",
             self.shape.tokens,
             self.shape.hidden,
             self.shape.intermediate,
             self.shape.experts,
             self.shape.top_k
-        )
+        );
+        match &self.routing {
+            None => base,
+            Some(spec) => format!("{base}/rt={spec}"),
+        }
     }
 
     fn cluster(&self) -> &ClusterSpec {
@@ -179,15 +262,32 @@ impl CostOracle for MoeOracle {
         self.cost.revision()
     }
 
+    fn objective(&self) -> Objective {
+        self.objective
+    }
+
     fn evaluate(&self, cfg: &OverlapConfig) -> tilelink::Result<OverlapReport> {
-        let first = moe::timed_ag_group_gemm_with(&self.shape, cfg, &self.cost)?;
-        let second = moe::timed_group_gemm_rs_with(&self.shape, cfg, &self.cost)?;
-        let act = moe::activation_seconds_with(&self.shape, &*self.cost);
-        Ok(OverlapReport::new(
-            first.total_s + second.total_s + act,
-            first.comm_only_s + second.comm_only_s,
-            first.comp_only_s + second.comp_only_s + act,
-        ))
+        let Some(spec) = &self.routing else {
+            let first = moe::timed_ag_group_gemm_with(&self.shape, cfg, &self.cost)?;
+            let second = moe::timed_group_gemm_rs_with(&self.shape, cfg, &self.cost)?;
+            let act = moe::activation_seconds_with(&self.shape, &*self.cost);
+            return Ok(OverlapReport::new(
+                first.total_s + second.total_s + act,
+                first.comm_only_s + second.comm_only_s,
+                first.comp_only_s + second.comp_only_s + act,
+            ));
+        };
+        let sampler = spec.sampler();
+        let mut reports = Vec::with_capacity(spec.samples.max(1));
+        for sample in sampler.samples_for(&self.shape, spec.samples.max(1)) {
+            reports.push(moe::timed_routed_full_moe_with(
+                &self.shape,
+                cfg,
+                &self.cost,
+                &sample,
+            )?);
+        }
+        Ok(self.objective.fold_reports(&reports))
     }
 
     fn is_supported(&self, cfg: &OverlapConfig) -> bool {
@@ -269,6 +369,15 @@ pub struct TuneOptions {
     /// the tuning-cache key, so results tuned under different cost models
     /// never alias.
     pub cost: Option<SharedCost>,
+    /// Routing distribution for MoE tuning; `None` prices the expected
+    /// uniform routing (the historical behaviour). Ignored by the non-MoE
+    /// constructors, whose mappings are static.
+    pub routing: Option<RoutingSpec>,
+    /// Statistic of the sampled makespans the search minimises (see
+    /// [`Objective`]); folded into the tuning-cache key so mean-tuned and
+    /// tail-tuned entries never collide. Only meaningful together with
+    /// [`TuneOptions::routing`].
+    pub objective: Objective,
 }
 
 impl Default for TuneOptions {
@@ -279,6 +388,8 @@ impl Default for TuneOptions {
             cache_path: None,
             threads: None,
             cost: None,
+            routing: None,
+            objective: Objective::Mean,
         }
     }
 }
@@ -294,6 +405,18 @@ impl TuneOptions {
     /// Prices candidates with an explicit cost provider.
     pub fn with_cost(mut self, cost: SharedCost) -> Self {
         self.cost = Some(cost);
+        self
+    }
+
+    /// Prices MoE candidates over routings sampled from `spec`.
+    pub fn with_routing(mut self, spec: RoutingSpec) -> Self {
+        self.routing = Some(spec);
+        self
+    }
+
+    /// Minimises `objective` over the sampled makespans.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
         self
     }
 }
@@ -382,6 +505,10 @@ pub fn tuned_ag_gemm(
 
 /// Searches the overlap design space for the full MoE layer.
 ///
+/// With [`TuneOptions::routing`] set, candidates are priced over sampled
+/// routings through the dynamic tile mapping and the search minimises
+/// [`TuneOptions::objective`] instead of the expected-routing mean.
+///
 /// # Errors
 ///
 /// Returns an error if the space prunes empty or every candidate fails.
@@ -390,9 +517,12 @@ pub fn tuned_full_moe(
     cluster: &ClusterSpec,
     opts: &TuneOptions,
 ) -> tilelink_tune::Result<TunedLayer> {
-    let mut oracle = MoeOracle::new(shape.clone(), cluster.clone());
+    let mut oracle = MoeOracle::new(shape.clone(), cluster.clone()).with_objective(opts.objective);
     if let Some(cost) = checked_cost(opts, cluster) {
         oracle = oracle.with_cost(cost);
+    }
+    if let Some(spec) = opts.routing {
+        oracle = oracle.with_routing(spec);
     }
     run_tune(&oracle, opts)
 }
@@ -478,6 +608,66 @@ mod tests {
         let opts = TuneOptions::default().with_cost(analytic_cost(&ClusterSpec::h800_node(4)));
         // Named cluster (8 GPUs) disagrees with the provider's (4 GPUs).
         let _ = tuned_full_mlp(&shape, &ClusterSpec::h800_node(8), &opts);
+    }
+
+    #[test]
+    fn routed_moe_oracle_changes_key_and_prices_the_tail_higher() {
+        let shape = crate::shapes::moe_shapes()[0].clone();
+        let cluster = ClusterSpec::h800_node(8);
+        let plain = MoeOracle::new(shape.clone(), cluster.clone());
+        let spec = RoutingSpec {
+            samples: 3,
+            ..RoutingSpec::new(RoutingProfile::Zipf { s: 1.2 })
+        };
+        let mean = MoeOracle::new(shape.clone(), cluster.clone()).with_routing(spec);
+        let worst = MoeOracle::new(shape, cluster)
+            .with_routing(spec)
+            .with_objective(Objective::WorstCase);
+
+        // Workload keys separate expected-routing and sampled-routing runs;
+        // the objective is keyed separately (through CostOracle::objective).
+        assert_ne!(plain.workload_key(), mean.workload_key());
+        assert_eq!(mean.workload_key(), worst.workload_key());
+        assert_eq!(plain.objective(), Objective::Mean);
+        assert_eq!(worst.objective(), Objective::WorstCase);
+
+        let cfg = OverlapConfig::default();
+        let mean_report = mean.evaluate(&cfg).unwrap();
+        let worst_report = worst.evaluate(&cfg).unwrap();
+        assert!(
+            worst_report.total_s >= mean_report.total_s,
+            "worst case {} < mean {}",
+            worst_report.total_s,
+            mean_report.total_s
+        );
+        // Re-evaluation is bit-identical (fixed seed, deterministic sampler).
+        assert_eq!(mean.evaluate(&cfg).unwrap(), mean_report);
+    }
+
+    #[test]
+    fn tuned_full_moe_with_routing_produces_a_valid_winner() {
+        let shape = crate::shapes::moe_shapes()[0].clone();
+        let cluster = ClusterSpec::h800_node(8);
+        let opts = TuneOptions {
+            strategy: Strategy::Beam {
+                width: 2,
+                sweeps: 1,
+            },
+            space: small_space(),
+            ..TuneOptions::default()
+        }
+        .with_routing(RoutingSpec {
+            samples: 2,
+            ..RoutingSpec::new(RoutingProfile::HotExpert { hot: 1 })
+        })
+        .with_objective(Objective::Percentile(95));
+        let tuned = tuned_full_moe(&shape, &cluster, &opts).unwrap();
+        tuned.config.validate(cluster.gpu.sm_count).unwrap();
+        assert!(tuned.layer.total_s > 0.0);
+        // Same options, same winner: the sampled path stays deterministic.
+        let again = tuned_full_moe(&shape, &cluster, &opts).unwrap();
+        assert_eq!(tuned.config, again.config);
+        assert_eq!(tuned.layer, again.layer);
     }
 
     #[test]

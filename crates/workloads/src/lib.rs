@@ -31,5 +31,6 @@ pub mod mlp;
 pub mod moe;
 pub mod shapes;
 
-pub use autotune::{TuneOptions, TunedLayer};
+pub use autotune::{RoutingSpec, TuneOptions, TunedLayer};
+pub use moe::{RoutingProfile, RoutingSample, RoutingSampler};
 pub use shapes::{AttnShape, MlpShape, ModelConfig, MoeShape};

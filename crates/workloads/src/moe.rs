@@ -32,6 +32,10 @@ use tilelink_compute::{Dispatch, Tensor};
 use tilelink_shmem::ProcessGroup;
 use tilelink_sim::{analytic_cost, ClusterSpec, CostProvider, SharedCost};
 
+use std::fmt;
+use std::ops::Range;
+use std::str::FromStr;
+
 use crate::mlp::BYTES_PER_ELEM;
 use crate::MoeShape;
 
@@ -471,6 +475,570 @@ pub fn activation_seconds_with(shape: &MoeShape, cost: &dyn CostProvider) -> f64
     cost.hbm_seconds(3.0 * act_elems * BYTES_PER_ELEM) + cluster.gpu.kernel_launch_s()
 }
 
+// ---------------------------------------------------------------------------
+// Routing distributions: sampler + routed (dynamic-mapping) timed kernels
+// ---------------------------------------------------------------------------
+
+/// Relative traffic of a hot expert under [`RoutingProfile::HotExpert`]
+/// (cold experts have weight 1).
+const HOT_EXPERT_WEIGHT: f64 = 8.0;
+
+/// How dispatched rows distribute over experts when sampling routings.
+///
+/// The timed MoE kernels historically priced the *expected* (load-balanced)
+/// routing; real MoE layers route with skew, and the skew — not the mean —
+/// determines how much overlap is achievable. A profile describes the expert
+/// popularity distribution the [`RoutingSampler`] draws from; which experts
+/// are popular is re-drawn per sample, so a set of samples covers "any expert
+/// may be hot", not "expert 0 is hot".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoutingProfile {
+    /// Every expert equally likely (sampled, so counts still fluctuate around
+    /// the mean the way a balanced router's do).
+    Uniform,
+    /// Zipf-distributed popularity: the `i`-th most popular expert has weight
+    /// `(i + 1)^-s`. `s ≈ 1.0–1.5` matches reported MoE routing skew.
+    Zipf {
+        /// The Zipf exponent (`> 0`; larger is more skewed).
+        s: f64,
+    },
+    /// `hot` experts receive [`HOT_EXPERT_WEIGHT`]× the traffic of the rest —
+    /// the "few hot experts" regime of capacity-overflow studies. With
+    /// `hot >= experts` every expert is "hot", which degenerates to
+    /// [`RoutingProfile::Uniform`] (the sampler cannot know the expert count
+    /// at parse time, so this is not rejected — pick `hot` well below the
+    /// shape's expert count for actual skew).
+    HotExpert {
+        /// Number of hot experts (`>= 1`).
+        hot: usize,
+    },
+}
+
+impl RoutingProfile {
+    /// Weight of the expert holding popularity rank `rank` (0 = most popular).
+    fn weight_of_rank(&self, rank: usize) -> f64 {
+        match self {
+            RoutingProfile::Uniform => 1.0,
+            RoutingProfile::Zipf { s } => ((rank + 1) as f64).powf(-s),
+            RoutingProfile::HotExpert { hot } => {
+                if rank < *hot {
+                    HOT_EXPERT_WEIGHT
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for RoutingProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingProfile::Uniform => write!(f, "uniform"),
+            RoutingProfile::Zipf { s } => write!(f, "zipf:{s}"),
+            RoutingProfile::HotExpert { hot } => write!(f, "hot:{hot}"),
+        }
+    }
+}
+
+impl FromStr for RoutingProfile {
+    type Err = String;
+
+    /// Parses the `--routing` flag values: `uniform`, `zipf:<s>` or `hot:<k>`.
+    fn from_str(text: &str) -> Result<Self, String> {
+        if text == "uniform" {
+            return Ok(RoutingProfile::Uniform);
+        }
+        if let Some(s) = text.strip_prefix("zipf:") {
+            return match s.parse::<f64>() {
+                Ok(s) if s.is_finite() && s > 0.0 => Ok(RoutingProfile::Zipf { s }),
+                _ => Err(format!(
+                    "zipf exponent must be a positive number, got {s:?}"
+                )),
+            };
+        }
+        if let Some(k) = text.strip_prefix("hot:") {
+            return match k.parse::<usize>() {
+                Ok(hot) if hot >= 1 => Ok(RoutingProfile::HotExpert { hot }),
+                _ => Err(format!("hot expert count must be >= 1, got {k:?}")),
+            };
+        }
+        Err(format!(
+            "unknown routing profile {text:?} (expected uniform, zipf:<s> or hot:<k>)"
+        ))
+    }
+}
+
+/// One sampled routing: how many dispatched rows land on each expert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingSample {
+    /// Dispatched rows per expert (sums to the shape's dispatched row count).
+    pub rows_per_expert: Vec<usize>,
+}
+
+impl RoutingSample {
+    /// The exactly-balanced sample the expected-routing kernels assume.
+    pub fn balanced(experts: usize, rows: usize) -> Self {
+        let base = rows / experts;
+        let extra = rows % experts;
+        Self {
+            rows_per_expert: (0..experts)
+                .map(|e| base + usize::from(e < extra))
+                .collect(),
+        }
+    }
+
+    /// Total dispatched rows.
+    pub fn total_rows(&self) -> usize {
+        self.rows_per_expert.iter().sum()
+    }
+
+    /// Rows on the most-loaded expert.
+    pub fn max_rows(&self) -> usize {
+        self.rows_per_expert.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Load imbalance: max over mean (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let n = self.rows_per_expert.len();
+        if n == 0 || self.total_rows() == 0 {
+            return 1.0;
+        }
+        self.max_rows() as f64 / (self.total_rows() as f64 / n as f64)
+    }
+}
+
+/// A splitmix64 generator: deterministic, seedable, no dependencies (the
+/// builtin-sampler approach of the repository's property tests).
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `0..n`.
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Deterministic, seedable sampler of per-expert routing loads.
+///
+/// Every `(seed, sample index)` pair maps to exactly one [`RoutingSample`],
+/// independent of call order and thread count — tuned winners built on
+/// sampled routings are bit-identical across runs. (The Zipf profile's
+/// weights go through `f64::powf`, so samples are bit-stable per platform
+/// libm rather than across every platform; persistent tuning caches carry
+/// the cluster and workload key, not the sample values, so a cross-platform
+/// cache at worst re-simulates.)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutingSampler {
+    profile: RoutingProfile,
+    seed: u64,
+}
+
+impl RoutingSampler {
+    /// Creates a sampler for one profile and seed.
+    pub fn new(profile: RoutingProfile, seed: u64) -> Self {
+        Self { profile, seed }
+    }
+
+    /// The sampler's profile.
+    pub fn profile(&self) -> RoutingProfile {
+        self.profile
+    }
+
+    /// The sampler's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Draws sample `index`: `rows` dispatched rows over `experts` experts.
+    ///
+    /// Expert popularity ranks are re-permuted per sample (so different
+    /// samples have different hot experts), then each row picks an expert by
+    /// weighted draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `experts` is zero.
+    pub fn sample(&self, experts: usize, rows: usize, index: usize) -> RoutingSample {
+        assert!(experts > 0, "expert count must be positive");
+        let mut rng = SplitMix::new(
+            self.seed
+                .wrapping_add((index as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F)),
+        );
+        // Fisher–Yates permutation of popularity ranks over experts.
+        let mut rank_of_expert: Vec<usize> = (0..experts).collect();
+        for i in (1..experts).rev() {
+            let j = rng.below(i + 1);
+            rank_of_expert.swap(i, j);
+        }
+        let weights: Vec<f64> = rank_of_expert
+            .iter()
+            .map(|&r| self.profile.weight_of_rank(r))
+            .collect();
+        let mut cumulative = Vec::with_capacity(experts);
+        let mut total = 0.0;
+        for w in &weights {
+            total += w;
+            cumulative.push(total);
+        }
+        let mut rows_per_expert = vec![0usize; experts];
+        for _ in 0..rows {
+            let u = rng.next_f64() * total;
+            let e = cumulative.partition_point(|&c| c <= u).min(experts - 1);
+            rows_per_expert[e] += 1;
+        }
+        RoutingSample { rows_per_expert }
+    }
+
+    /// Draws the first `n` samples for one MoE shape.
+    pub fn samples_for(&self, shape: &MoeShape, n: usize) -> Vec<RoutingSample> {
+        (0..n)
+            .map(|i| self.sample(shape.experts, dispatched_rows(shape), i))
+            .collect()
+    }
+}
+
+/// Dispatch tiles per Group-GEMM consumer block (the granularity the expected
+/// routing builder [`ag_group_gemm_program`] uses too).
+const DISPATCH_TILES_PER_BLOCK: usize = 8;
+
+/// Builds the routed AG + Gather + GroupGEMM program for one sampled routing.
+///
+/// Unlike [`ag_group_gemm_program`], which assumes the expected uniform
+/// routing, the consumer side is laid out from the sample through a
+/// [`DynamicMapping`]: one entry per Group-GEMM block describing the
+/// dispatched-row slice it computes and (in the mapping's rank slot) the
+/// expert group it belongs to. A hot expert gets proportionally more — and,
+/// beyond the block row target, proportionally *larger* — consumer blocks, so
+/// skewed samples price to longer makespans than balanced ones.
+///
+/// The returned mapping covers both tile namespaces: tiles
+/// `0..ag.num_tiles()` mirror the static AllGather mapping (token rows),
+/// tiles after that are the dispatch tiles (row ranges offset by the token
+/// count, so the two spaces never overlap; dispatch tiles signal on their own
+/// channels after the AllGather channels).
+///
+/// # Errors
+///
+/// Returns an error if the dynamic mapping cannot be filled (which indicates
+/// a builder bug, e.g. overlapping dispatch slices).
+pub fn routed_ag_group_gemm_program(
+    shape: &MoeShape,
+    world: usize,
+    cfg: &OverlapConfig,
+    sample: &RoutingSample,
+) -> tilelink::Result<(TileProgram, DynamicMapping)> {
+    let m = shape.tokens;
+    let h = shape.hidden;
+    let i_local = shape.intermediate / world;
+    let ag = StaticMapping::new(m, cfg.comm_tile.m, world, cfg.channels_per_rank);
+    let ag_tiles = ag.num_tiles();
+    let ag_channels = ag.num_channels();
+
+    // One consumer block per slice of at most `compute_tile.m * 8` dispatched
+    // rows of one expert (mirroring the expected-routing builder's block
+    // granularity).
+    let rows_per_block_target = (cfg.compute_tile.m * DISPATCH_TILES_PER_BLOCK).max(1);
+    let mut block_rows: Vec<Range<usize>> = Vec::new();
+    let mut block_expert: Vec<usize> = Vec::new();
+    let mut cursor = 0usize;
+    for (expert, &rows_e) in sample.rows_per_expert.iter().enumerate() {
+        if rows_e == 0 {
+            continue;
+        }
+        let blocks_e = rows_e.div_ceil(rows_per_block_target);
+        let per_block = rows_e.div_ceil(blocks_e);
+        let expert_end = cursor + rows_e;
+        while cursor < expert_end {
+            let end = (cursor + per_block).min(expert_end);
+            block_rows.push(cursor..end);
+            block_expert.push(expert);
+            cursor = end;
+        }
+    }
+    let dispatch_tiles = block_rows.len();
+
+    let dyn_map = DynamicMapping::new(
+        ag_tiles + dispatch_tiles.max(1),
+        ag_channels + cfg.channels_per_rank,
+    );
+    for t in 0..ag_tiles {
+        dyn_map.fill(t, ag.rows_of(t)?, ag.rank_of(t)?, ag.channel_of(t)?)?;
+    }
+    for (d, rows) in block_rows.iter().enumerate() {
+        // Dispatched-row space starts after the token rows.
+        dyn_map.fill(
+            ag_tiles + d,
+            m + rows.start..m + rows.end,
+            block_expert[d],
+            ag_channels + d % cfg.channels_per_rank,
+        )?;
+    }
+
+    let tile_bytes = cfg.comm_tile.m as f64 * h as f64 * BYTES_PER_ELEM;
+    let mut program = TileProgram::new("moe_routed_ag_group_gemm", world);
+    for rank in 0..world {
+        for (i, tile) in ag.tiles_of_rank(rank).into_iter().enumerate() {
+            program.add_block(
+                BlockDesc::new(format!("ag/r{rank}/b{i}"), rank, BlockRole::Producer)
+                    .op(TileOp::PushTile {
+                        buffer: "gathered".into(),
+                        bytes: tile_bytes,
+                        tile,
+                        target: PushTarget::Broadcast,
+                    })
+                    .op(TileOp::ProducerNotify {
+                        tile,
+                        scope: NotifyScope::Broadcast,
+                    }),
+            );
+        }
+        for d in 0..dispatch_tiles {
+            // The block's row slice and expert group come back out of the
+            // dynamic mapping — the tables are the single source of truth the
+            // compiled program is laid out from.
+            let rows = dyn_map.rows_of(ag_tiles + d)?;
+            let expert = dyn_map.rank_of(ag_tiles + d)?;
+            let rows_blk = rows.len();
+            let mut block = BlockDesc::new(
+                format!("ggemm/r{rank}/e{expert}/d{d}"),
+                rank,
+                BlockRole::Consumer,
+            );
+            // Tokens routed to one expert are scattered over the whole
+            // gathered matrix, so blocks wait on a prefix spread of producer
+            // tiles (the same arrival model as the expected-routing builder).
+            let wait_hi = (ag_tiles * (d + 1) / dispatch_tiles).min(ag_tiles);
+            for tile in (ag_tiles * d / dispatch_tiles)..wait_hi {
+                block = block.op(TileOp::ConsumerWait { tile });
+            }
+            block = block
+                .op(TileOp::LoadTile {
+                    buffer: "gathered".into(),
+                    bytes: rows_blk as f64 * h as f64 * BYTES_PER_ELEM,
+                    tile: None,
+                })
+                .op(TileOp::Compute(ComputeKind::MatmulTile {
+                    m: rows_blk,
+                    n: i_local,
+                    k: h,
+                }))
+                .op(TileOp::StoreTile {
+                    buffer: "expert_out".into(),
+                    bytes: rows_blk as f64 * i_local as f64 * BYTES_PER_ELEM,
+                    tile: Some(ag_tiles + d),
+                });
+            program.add_block(block);
+        }
+    }
+    Ok((program, dyn_map))
+}
+
+/// Builds the routed GroupGEMM + Scatter + TopK-Reduce + ReduceScatter
+/// program for one sampled routing.
+///
+/// The second-half Group GEMM runs per expert, so its block sizes follow the
+/// sample; each expert block publishes the share of the token tiles
+/// proportional to its load, which delays the ReduceScatter behind hot
+/// experts exactly the way a skewed scatter does.
+pub fn routed_group_gemm_rs_program(
+    shape: &MoeShape,
+    world: usize,
+    cfg: &OverlapConfig,
+    sample: &RoutingSample,
+) -> (TileProgram, StaticMapping) {
+    let m = shape.tokens;
+    let h = shape.hidden;
+    let i_local = shape.intermediate / world;
+    let rows_total = sample.total_rows().max(1);
+    let tile_m = cfg.compute_tile.m;
+    let mapping = StaticMapping::new(m, tile_m, world, cfg.channels_per_rank);
+    let num_tiles = mapping.num_tiles();
+    let m_per_rank = m / world;
+    let tiles_per_segment = (m_per_rank / tile_m).max(1);
+    let tile_out_bytes = tile_m as f64 * h as f64 * BYTES_PER_ELEM;
+    let mut program = TileProgram::new("moe_routed_group_gemm_rs", world);
+    for rank in 0..world {
+        // Per-expert Group GEMM, fused with the scatter + top-k reduce
+        // epilogue; token tiles are apportioned to experts by cumulative load
+        // so every tile is published exactly once.
+        let mut cumulative = 0usize;
+        for (expert, &rows_e) in sample.rows_per_expert.iter().enumerate() {
+            if rows_e == 0 {
+                continue;
+            }
+            let tile_lo = num_tiles * cumulative / rows_total;
+            cumulative += rows_e;
+            let tile_hi = num_tiles * cumulative / rows_total;
+            let mut block = BlockDesc::new(
+                format!("ggemm2/r{rank}/e{expert}"),
+                rank,
+                BlockRole::Consumer,
+            )
+            .op(TileOp::LoadTile {
+                buffer: "expert_act".into(),
+                bytes: rows_e as f64 * i_local as f64 * BYTES_PER_ELEM,
+                tile: None,
+            })
+            .op(TileOp::Compute(ComputeKind::MatmulTile {
+                m: rows_e,
+                n: h,
+                k: i_local,
+            }))
+            // top-k weighted combine of the expert rows into token rows
+            .op(TileOp::Compute(ComputeKind::Elementwise {
+                elems: rows_e * h,
+            }));
+            for tile in tile_lo..tile_hi {
+                block = block
+                    .op(TileOp::StoreTile {
+                        buffer: "gemm_out".into(),
+                        bytes: tile_out_bytes,
+                        tile: Some(tile),
+                    })
+                    .op(TileOp::ProducerNotify {
+                        tile,
+                        scope: NotifyScope::Local,
+                    });
+            }
+            program.add_block(block);
+        }
+        // Ring ReduceScatter, identical in structure to the expected-routing
+        // builder (the collective itself is routing-independent; only *when*
+        // its inputs become ready depends on the sample).
+        let to_rank = (rank + world - 1) % world;
+        for tid_m in 0..tiles_per_segment {
+            let mut block =
+                BlockDesc::new(format!("rs/r{rank}/t{tid_m}"), rank, BlockRole::Producer);
+            for stage in 0..world {
+                let seg = (rank + stage + 1) % world;
+                let tile_global = seg * tiles_per_segment + tid_m;
+                block = block
+                    .op(TileOp::ConsumerWait { tile: tile_global })
+                    .op(TileOp::LoadTile {
+                        buffer: "gemm_out".into(),
+                        bytes: tile_out_bytes,
+                        tile: Some(tile_global),
+                    });
+                if stage != 0 {
+                    block = block
+                        .op(TileOp::PeerWait {
+                            slot: tile_global,
+                            expected: 1,
+                        })
+                        .op(TileOp::Compute(ComputeKind::Reduction {
+                            elems: tile_m * h,
+                        }));
+                }
+                if stage == world - 1 {
+                    block = block.op(TileOp::StoreTile {
+                        buffer: "out".into(),
+                        bytes: tile_out_bytes,
+                        tile: None,
+                    });
+                } else {
+                    block = block
+                        .op(TileOp::PushTile {
+                            buffer: "partial".into(),
+                            bytes: tile_out_bytes,
+                            tile: tile_global,
+                            target: PushTarget::Rank(to_rank),
+                        })
+                        .op(TileOp::PeerNotify {
+                            slot: tile_global,
+                            dst_rank: to_rank,
+                        });
+                }
+            }
+            program.add_block(block);
+        }
+    }
+    (program, mapping)
+}
+
+/// Simulates the routed AG + Gather + GroupGEMM kernel for one sampled
+/// routing, priced by an explicit cost provider.
+///
+/// # Errors
+///
+/// Returns an error if compilation or simulation fails.
+pub fn timed_routed_ag_group_gemm_with(
+    shape: &MoeShape,
+    cfg: &OverlapConfig,
+    cost: &SharedCost,
+    sample: &RoutingSample,
+) -> tilelink::Result<OverlapReport> {
+    let world = cost.cluster().world_size();
+    let (program, dyn_map) = routed_ag_group_gemm_program(shape, world, cfg, sample)?;
+    let kernel = Compiler::new(cfg.clone(), cost.cluster().gpu.clone())
+        .with_cost(cost.clone())
+        .compile(&program, &dyn_map)?;
+    let (report, _) = simulate_with(&kernel, cost)?;
+    Ok(report)
+}
+
+/// Simulates the routed GroupGEMM + Scatter + TopK-Reduce + RS kernel for one
+/// sampled routing, priced by an explicit cost provider.
+///
+/// # Errors
+///
+/// Returns an error if compilation or simulation fails.
+pub fn timed_routed_group_gemm_rs_with(
+    shape: &MoeShape,
+    cfg: &OverlapConfig,
+    cost: &SharedCost,
+    sample: &RoutingSample,
+) -> tilelink::Result<OverlapReport> {
+    let world = cost.cluster().world_size();
+    let mut cfg = cfg.clone();
+    cfg.comm_mapping = CommMapping::Hybrid { sms: 20 };
+    let (program, mapping) = routed_group_gemm_rs_program(shape, world, &cfg, sample);
+    let kernel = Compiler::new(cfg.clone(), cost.cluster().gpu.clone())
+        .with_cost(cost.clone())
+        .compile(&program, &mapping)?;
+    let (report, _) = simulate_with(&kernel, cost)?;
+    Ok(report)
+}
+
+/// Simulates the full routed MoE layer (both halves plus the activation) for
+/// one sampled routing, priced by an explicit cost provider.
+///
+/// # Errors
+///
+/// Returns an error if either half fails.
+pub fn timed_routed_full_moe_with(
+    shape: &MoeShape,
+    cfg: &OverlapConfig,
+    cost: &SharedCost,
+    sample: &RoutingSample,
+) -> tilelink::Result<OverlapReport> {
+    let first = timed_routed_ag_group_gemm_with(shape, cfg, cost, sample)?;
+    let second = timed_routed_group_gemm_rs_with(shape, cfg, cost, sample)?;
+    let act = activation_seconds_with(shape, &**cost);
+    Ok(OverlapReport::new(
+        first.total_s + second.total_s + act,
+        first.comm_only_s + second.comm_only_s,
+        first.comp_only_s + second.comp_only_s + act,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -550,5 +1118,115 @@ mod tests {
         let k2 = timed_full_moe(&shapes[1], &cluster).unwrap(); // MoE-2: topk 2
         let k5 = timed_full_moe(&shapes[2], &cluster).unwrap(); // MoE-3: topk 5
         assert!(k5.total_s > k2.total_s);
+    }
+
+    #[test]
+    fn routing_profile_parse_round_trips() {
+        for text in ["uniform", "zipf:1.2", "zipf:0.5", "hot:4", "hot:1"] {
+            let profile: RoutingProfile = text.parse().unwrap();
+            assert_eq!(profile.to_string(), text);
+        }
+        for bad in ["zipf", "zipf:-1", "zipf:abc", "hot:0", "hot:x", "skewed"] {
+            assert!(bad.parse::<RoutingProfile>().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn sampler_is_deterministic_and_conserves_rows() {
+        let shape = crate::shapes::moe_shapes()[2].clone(); // 32 experts, topk 5
+        let rows = dispatched_rows(&shape);
+        for profile in [
+            RoutingProfile::Uniform,
+            RoutingProfile::Zipf { s: 1.2 },
+            RoutingProfile::HotExpert { hot: 2 },
+        ] {
+            let a = RoutingSampler::new(profile, 42).samples_for(&shape, 4);
+            let b = RoutingSampler::new(profile, 42).samples_for(&shape, 4);
+            assert_eq!(a, b, "{profile}: same seed must be bit-identical");
+            for s in &a {
+                assert_eq!(s.total_rows(), rows, "{profile}: rows must be conserved");
+                assert_eq!(s.rows_per_expert.len(), shape.experts);
+            }
+            // Different seeds and different indices draw different routings.
+            let c = RoutingSampler::new(profile, 43).sample(shape.experts, rows, 0);
+            assert_ne!(a[0], c, "{profile}: different seed");
+            assert_ne!(a[0], a[1], "{profile}: different index");
+        }
+    }
+
+    #[test]
+    fn skewed_profiles_are_more_imbalanced_than_uniform() {
+        let shape = crate::shapes::moe_shapes()[2].clone();
+        let mean_imbalance = |profile| {
+            let sampler = RoutingSampler::new(profile, 7);
+            let samples = sampler.samples_for(&shape, 8);
+            samples.iter().map(RoutingSample::imbalance).sum::<f64>() / 8.0
+        };
+        let uniform = mean_imbalance(RoutingProfile::Uniform);
+        let zipf = mean_imbalance(RoutingProfile::Zipf { s: 1.2 });
+        let hot = mean_imbalance(RoutingProfile::HotExpert { hot: 2 });
+        assert!(uniform < zipf, "uniform {uniform} vs zipf {zipf}");
+        assert!(uniform < hot, "uniform {uniform} vs hot {hot}");
+        // Sampled-uniform still hovers near balance.
+        assert!(uniform < 1.5, "uniform imbalance {uniform}");
+        assert!(zipf > 2.0, "zipf:1.2 imbalance {zipf}");
+    }
+
+    #[test]
+    fn routed_kernels_price_skew_higher_than_balance() {
+        let shape = crate::shapes::moe_shapes()[0].clone();
+        let cost = analytic_cost(&ClusterSpec::h800_node(8));
+        let cfg = moe_config();
+        let rows = dispatched_rows(&shape);
+        let balanced = RoutingSample::balanced(shape.experts, rows);
+        // Everything on one expert: the worst possible skew.
+        let mut all_on_one = vec![0usize; shape.experts];
+        all_on_one[3] = rows;
+        let skewed = RoutingSample {
+            rows_per_expert: all_on_one,
+        };
+        let flat = timed_routed_full_moe_with(&shape, &cfg, &cost, &balanced).unwrap();
+        let hot = timed_routed_full_moe_with(&shape, &cfg, &cost, &skewed).unwrap();
+        assert!(
+            hot.total_s > flat.total_s,
+            "skewed {} ms <= balanced {} ms",
+            hot.total_ms(),
+            flat.total_ms()
+        );
+        // Both are real overlapped kernels in a sane range.
+        assert!(flat.total_s < flat.comm_only_s + flat.comp_only_s);
+        assert!(flat.total_ms() > 0.01 && hot.total_ms() < 50.0);
+    }
+
+    #[test]
+    fn routed_kernel_is_deterministic_for_a_fixed_sample() {
+        let shape = crate::shapes::moe_shapes()[0].clone();
+        let cost = analytic_cost(&ClusterSpec::h800_node(8));
+        let sample = RoutingSampler::new(RoutingProfile::Zipf { s: 1.2 }, 42).sample(
+            shape.experts,
+            dispatched_rows(&shape),
+            0,
+        );
+        let a = timed_routed_full_moe_with(&shape, &moe_config(), &cost, &sample).unwrap();
+        let b = timed_routed_full_moe_with(&shape, &moe_config(), &cost, &sample).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn routed_first_half_fills_a_complete_dynamic_mapping() {
+        let shape = crate::shapes::moe_shapes()[0].clone();
+        let sample = RoutingSample::balanced(shape.experts, dispatched_rows(&shape));
+        let (program, dyn_map) =
+            routed_ag_group_gemm_program(&shape, 8, &moe_config(), &sample).unwrap();
+        assert!(dyn_map.is_complete());
+        assert!(program.blocks.len() > 8);
+        // AG tiles mirror the static mapping; dispatch tiles live beyond the
+        // token rows and carry the expert id in the rank slot.
+        let ag = StaticMapping::new(shape.tokens, 128, 8, 4);
+        let ag_tiles = ag.num_tiles();
+        assert_eq!(dyn_map.rows_of(0).unwrap(), ag.rows_of(0).unwrap());
+        let first_dispatch = dyn_map.rows_of(ag_tiles).unwrap();
+        assert!(first_dispatch.start >= shape.tokens);
+        assert!(dyn_map.rank_of(ag_tiles).unwrap() < shape.experts);
     }
 }

@@ -7,12 +7,47 @@
 //! Pass `--cost-model {analytic|calibrated[:path]}` to pick the cost provider
 //! the candidates are priced with; the provider's revision is part of the
 //! tuning-cache key, so analytic and calibrated results never alias.
+//!
+//! Pass `--routing {uniform|zipf:<s>|hot:<k>}` (optionally with
+//! `--objective {mean|p<1-99>|worst}`) to additionally run a
+//! routing-distribution-aware MoE search: MoE-1 is tuned once for the
+//! expected uniform routing and once over sampled routings for the chosen
+//! objective, and both winners are printed side by side.
+
+use std::str::FromStr;
 
 use tilelink::OverlapConfig;
 use tilelink_sim::{ClusterSpec, CostModelSpec};
-use tilelink_tune::{CostOracle, SearchSpace, Strategy, Tuner};
+use tilelink_tune::{CostOracle, Objective, SearchSpace, Strategy, Tuner};
 use tilelink_workloads::autotune::{self, MlpOracle, TuneOptions};
-use tilelink_workloads::shapes;
+use tilelink_workloads::moe::RoutingProfile;
+use tilelink_workloads::{shapes, RoutingSpec};
+
+/// Value of an option-style `--flag VALUE` / `--flag=VALUE`, parsed with `T`'s
+/// `FromStr`.
+fn parse_flag<T: FromStr>(args: &[String], flag: &str) -> Option<T>
+where
+    T::Err: std::fmt::Display,
+{
+    let text = match args.iter().position(|a| a == flag) {
+        Some(i) => Some(args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("error: {flag} requires a value");
+            std::process::exit(2);
+        })),
+        None => {
+            let prefix = format!("{flag}=");
+            args.iter().find_map(|a| a.strip_prefix(&prefix).map(|_| a))
+        }
+    }?;
+    let value = text.strip_prefix(&format!("{flag}=")).unwrap_or(text);
+    match value.parse::<T>() {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let cluster = ClusterSpec::h800_node(8);
@@ -21,6 +56,8 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
+    let routing: Option<RoutingProfile> = parse_flag(&args, "--routing");
+    let objective: Objective = parse_flag(&args, "--objective").unwrap_or(Objective::Mean);
     let cost = spec
         .build(&cluster)
         .unwrap_or_else(|e| panic!("cannot build cost model {spec}: {e}"));
@@ -82,4 +119,43 @@ fn main() {
         space.len_unpruned()
     );
     print!("{}", report.summary(5));
+
+    // Routing-distribution-aware MoE search: tune MoE-1 for the expected
+    // uniform routing and for the sampled distribution, side by side.
+    // `--objective` without `--routing` implies sampled uniform routing (the
+    // same convention as the `reproduce` binary — a percentile needs a
+    // distribution to take the percentile of).
+    let profile = match (routing, objective) {
+        (Some(p), _) => p,
+        (None, Objective::Mean) => return,
+        (None, _) => RoutingProfile::Uniform,
+    };
+    let moe_shape = shapes::moe_shapes()[0].clone();
+    let moe_opts = TuneOptions::default().with_cost(cost.clone());
+    println!(
+        "\ntuning {} under routing {profile}, objective {objective}...",
+        moe_shape.name
+    );
+    let mean_tuned =
+        autotune::tuned_full_moe(&moe_shape, &cluster, &moe_opts).expect("mean search succeeds");
+    let routed_opts = moe_opts
+        .with_routing(RoutingSpec::new(profile))
+        .with_objective(objective);
+    let routed = autotune::tuned_full_moe(&moe_shape, &cluster, &routed_opts)
+        .expect("routed search succeeds");
+    println!(
+        "mean/uniform winner: {}  ({})",
+        mean_tuned.config.cache_key(),
+        mean_tuned.layer
+    );
+    println!(
+        "{profile}/{objective} winner:  {}  ({})",
+        routed.config.cache_key(),
+        routed.layer
+    );
+    if routed.config == mean_tuned.config {
+        println!("the sampled distribution keeps the mean-tuned config");
+    } else {
+        println!("the sampled distribution picks a different config");
+    }
 }

@@ -4,12 +4,17 @@
 //! properties are exercised with a small deterministic pseudo-random sampler:
 //! every case is reproducible from the printed seed.
 
-use tilelink::{StaticMapping, TileMapping};
+use tilelink::{
+    CommMapping, OverlapConfig, OverlapReport, StaticMapping, TileMapping, TileOrder, TileShape,
+    TransferMode,
+};
 use tilelink_collectives::Comm;
 use tilelink_compute::attention::{attention_reference, flash_attention};
 use tilelink_compute::gemm::{matmul, matmul_tiled};
 use tilelink_compute::Tensor;
 use tilelink_shmem::ProcessGroup;
+use tilelink_sim::ClusterSpec;
+use tilelink_tune::{FnOracle, SearchSpace, Strategy, Tuner, RING_REQUIRES_PUSH};
 
 /// A splitmix64-style generator: deterministic, seedable, no dependencies.
 struct Rng(u64);
@@ -139,6 +144,131 @@ fn flash_attention_matches_reference() {
             flash.allclose(&reference, 1e-3),
             "case {case}: sq={sq} skv={skv} d={d} block={block} seed={seed}"
         );
+    }
+}
+
+/// Beam search over any constrained space is consistent with exhaustive
+/// search: its winner is never *better* than the exhaustive optimum (it
+/// evaluates a subset of the same candidates), and neither strategy ever
+/// lets a constraint-violating or invalid configuration reach the oracle.
+#[test]
+fn beam_is_never_better_than_exhaustive_and_both_respect_constraints() {
+    /// A deterministic synthetic makespan, non-separable across axes so the
+    /// beam's coordinate descent can genuinely get stuck short of the optimum.
+    fn price(cfg: &OverlapConfig) -> f64 {
+        let tile = cfg.compute_tile.numel() as f64;
+        let comm = cfg.comm_tile.numel() as f64;
+        let order = match cfg.order {
+            TileOrder::Ring => 0.85,
+            TileOrder::AllToAll => 1.0,
+        };
+        let mode = match cfg.mode {
+            TransferMode::Push => 0.95,
+            TransferMode::Pull => 1.0,
+        };
+        let sms = cfg.comm_mapping.comm_sms() as f64;
+        (1e9 / tile + 3e4 / comm.sqrt()) * order * mode
+            + sms * (cfg.num_stages as f64) * 1.7e2
+            + cfg.channels_per_rank as f64 * 31.0
+    }
+
+    let comm_tiles = [
+        TileShape::new(64, 64),
+        TileShape::new(128, 128),
+        TileShape::new(256, 128),
+    ];
+    let compute_tiles = [
+        TileShape::new(64, 128),
+        TileShape::new(128, 128),
+        TileShape::new(128, 256),
+    ];
+    let mappings = [
+        CommMapping::CopyEngine,
+        CommMapping::Sm { sms: 8 },
+        CommMapping::Sm { sms: 40 },
+        CommMapping::Hybrid { sms: 20 },
+    ];
+    let cluster = ClusterSpec::h800_node(8);
+    let sm_count = cluster.gpu.sm_count;
+
+    let mut rng = Rng::new(0xBEA2);
+    for case in 0..10 {
+        // A random small sub-space; always both orders and modes so the
+        // ring+pull constraint has pairs to prune. Every axis keeps the
+        // default config's value in its candidate list, because the beam
+        // always seeds from the default — a space excluding the seed would
+        // let the beam (legitimately) explore outside the enumerated product
+        // and beat the exhaustive optimum.
+        let default = OverlapConfig::default();
+        let pick = |rng: &mut Rng, n: usize| {
+            let lo = rng.range(0, n);
+            let hi = rng.range(lo + 1, n + 1);
+            lo..hi
+        };
+        fn with_default<T: PartialEq>(mut subset: Vec<T>, default: T) -> Vec<T> {
+            if !subset.contains(&default) {
+                subset.push(default);
+            }
+            subset
+        }
+        let space = SearchSpace::new()
+            .with_comm_tiles(with_default(
+                comm_tiles[pick(&mut rng, comm_tiles.len())].to_vec(),
+                default.comm_tile,
+            ))
+            .with_compute_tiles(with_default(
+                compute_tiles[pick(&mut rng, compute_tiles.len())].to_vec(),
+                default.compute_tile,
+            ))
+            .with_orders([TileOrder::AllToAll, TileOrder::Ring])
+            .with_modes([TransferMode::Pull, TransferMode::Push])
+            .with_mappings(with_default(
+                mappings[pick(&mut rng, mappings.len())].to_vec(),
+                default.comm_mapping,
+            ))
+            .with_stages(with_default(
+                (2..=rng.range(2, 5)).collect::<Vec<_>>(),
+                default.num_stages,
+            ))
+            .with_constraint(RING_REQUIRES_PUSH);
+        let width = rng.range(1, 4);
+        let sweeps = rng.range(1, 4);
+        let ctx = format!("case {case}: width={width} sweeps={sweeps}");
+
+        let oracle = FnOracle::new("prop", cluster.clone(), |cfg| {
+            let t = price(cfg);
+            Ok(OverlapReport::new(t, t / 3.0, 2.0 * t / 3.0))
+        });
+        let exhaustive = Tuner::new(Strategy::Exhaustive)
+            .tune(&oracle, &space)
+            .unwrap();
+        let beam = Tuner::new(Strategy::Beam { width, sweeps })
+            .tune(&oracle, &space)
+            .unwrap();
+
+        // Beam evaluates a subset of the exhaustive candidates, so it can tie
+        // the optimum but never beat it.
+        assert!(
+            beam.best.report.total_s >= exhaustive.best.report.total_s,
+            "{ctx}: beam {} < exhaustive {}",
+            beam.best.report.total_s,
+            exhaustive.best.report.total_s
+        );
+        // Neither search may evaluate a constraint-violating or invalid
+        // config — pruning happens before the oracle, not after.
+        for (which, report) in [("exhaustive", &exhaustive), ("beam", &beam)] {
+            assert!(!report.ranked.is_empty(), "{ctx} {which}");
+            for c in &report.ranked {
+                assert!(
+                    c.config.order != TileOrder::Ring || c.config.mode == TransferMode::Push,
+                    "{ctx}: {which} evaluated ring+pull {}",
+                    c.config.cache_key()
+                );
+                c.config
+                    .validate(sm_count)
+                    .unwrap_or_else(|e| panic!("{ctx}: {which} evaluated invalid config: {e}"));
+            }
+        }
     }
 }
 
