@@ -19,7 +19,9 @@
 //! Figure 8 MLP and Figure 9 MoE shapes and prints tuned-vs-default speedups.
 //! It is opt-in (not part of the no-flag default) because a cold search
 //! simulates a few hundred candidate kernels per shape; repeated runs are
-//! near-free thanks to the persistent tuning cache.
+//! near-free thanks to the persistent tuning cache. Combined with `--fig11`
+//! (`--fig11 --tune`) the end-to-end rows gain a third, tuned-TileLink column
+//! whose per-layer configs come from the same search and cache.
 //!
 //! `--routing {uniform|zipf:<s>|hot:<k>}` and `--objective {mean|p<1-99>|worst}`
 //! make the MoE part of `--tune` routing-distribution-aware: candidates are
@@ -30,12 +32,13 @@
 //! reduced smoke version of the same comparison (used by CI).
 
 use tilelink_bench::{
-    cost_for, default_cluster, fig10, fig11, fig8, fig9, geomean, table2, MlpPanel, MoePanel,
+    cost_for, default_cluster, fig10, fig11, fig11_tuned, fig8, fig9, geomean, table2, MlpPanel,
+    MoePanel,
 };
 use tilelink_sim::CostModelSpec;
-use tilelink_tune::Objective;
+use tilelink_tune::{Objective, TuneCache};
 use tilelink_workloads::moe::RoutingProfile;
-use tilelink_workloads::{shapes, RoutingSpec};
+use tilelink_workloads::{shapes, RoutingSpec, TuneOptions};
 
 /// The section flags of a command line: everything except the option-style
 /// arguments (`--cost-model`, `--routing`, `--objective` and their values,
@@ -163,6 +166,7 @@ fn main() {
         );
         if args.iter().any(|a| a == "--tune") {
             quick_tune_smoke(&cluster, &cost, routing, objective);
+            quick_e2e_tune_smoke(&spec, routing, objective);
         }
         return;
     }
@@ -236,22 +240,64 @@ fn main() {
     }
 
     if wants(&args, "--fig11") {
+        // Under --tune the Figure 11 rows gain a third, tuned-TileLink column:
+        // per-layer configs searched by tilelink-tune (persistent cache, so
+        // reruns answer from disk with zero simulations).
+        let tune_requested = args.iter().any(|a| a == "--tune");
+        let tune_opts = tune_requested.then(|| {
+            let opts = TuneOptions::default().with_default_cache();
+            let opts = match routing {
+                Some(spec) => opts.with_routing(spec).with_objective(objective),
+                None => opts.with_objective(objective),
+            };
+            println!(
+                "\n(figure 11 tuning cache: {})",
+                TuneCache::default_path().display()
+            );
+            if let Some(spec) = &opts.routing {
+                // The tuned MoE estimate is the objective statistic over
+                // sampled routings — a harder workload than the
+                // uniform-routing default column.
+                println!(
+                    "(MoE layers tuned and priced under routing {spec}, objective {objective})"
+                );
+            }
+            opts
+        });
         for (two_nodes, label) in [(false, "8xH800"), (true, "16xH800")] {
-            let rows = fig11(two_nodes, usize::MAX, &spec);
+            let rows = match &tune_opts {
+                Some(opts) => fig11_tuned(two_nodes, usize::MAX, &spec, opts),
+                None => fig11(two_nodes, usize::MAX, &spec),
+            };
             println!("\n== Figure 11: end-to-end, {label} ==");
             for r in &rows {
-                println!(
+                print!(
                     "{:<16} Torch {:>10.1} ms   TileLink {:>10.1} ms   speedup {:.2}x",
                     r.model,
                     r.torch_ms,
                     r.tilelink_ms,
                     r.speedup()
                 );
+                match (&r.tuned, r.tuned_speedup()) {
+                    (Some(t), Some(s)) => println!(
+                        "   tuned {:>10.1} ms   speedup {s:.2}x ({} sims, {} cached)",
+                        t.ms, t.evaluations, t.cache_hits
+                    ),
+                    _ => println!(),
+                }
             }
-            println!(
+            print!(
                 "geomean speedup: {:.2}x",
                 geomean(rows.iter().map(|r| r.speedup()))
             );
+            if rows.iter().all(|r| r.tuned.is_some()) {
+                println!(
+                    "   tuned geomean: {:.2}x",
+                    geomean(rows.iter().filter_map(|r| r.tuned_speedup()))
+                );
+            } else {
+                println!();
+            }
         }
     }
 
@@ -451,6 +497,59 @@ fn quick_tune_smoke(
         routed.layer.total_ms(),
         routed.search.evaluations,
     );
+}
+
+/// Reduced tuned-e2e smoke for `--quick --tune`: one dense and one MoE model
+/// on the single-node setup plus the dense model on the two-node setup,
+/// against the persistent default cache (so CI's repeated steps reuse the
+/// tuning TSV instead of re-simulating). Unlike the layer smoke above this
+/// searches the *standard* space — the tuned column is only meaningful if the
+/// search can reach configurations at least as good as the hand-picked ones.
+fn quick_e2e_tune_smoke(spec: &CostModelSpec, routing: Option<RoutingSpec>, objective: Objective) {
+    let mut opts = TuneOptions::default()
+        .with_default_cache()
+        .with_objective(objective);
+    if let Some(mut spec) = routing {
+        spec.samples = 4; // smoke: fewer sampled routings per candidate
+        opts = opts.with_routing(spec);
+    }
+    println!(
+        "\n== Tuned e2e smoke (Figure 11 subset, cache {}) ==",
+        TuneCache::default_path().display()
+    );
+    if let Some(spec) = &opts.routing {
+        // The tuned MoE estimate is then the objective statistic over sampled
+        // routings — a harder workload than the uniform-routing default
+        // column, so the two speedups are not directly comparable.
+        println!("(MoE layers tuned and priced under routing {spec}, objective {objective})");
+    }
+    let models = shapes::model_configs();
+    // One dense and one MoE model on the single-node setup (the MoE model is
+    // what --routing/--objective act on), the dense one again on two nodes.
+    for (two_nodes, names, label) in [
+        (false, &["LLaMA2-7B", "Mixtral-8x7B"][..], "8xH800"),
+        (true, &["LLaMA2-7B"][..], "16xH800"),
+    ] {
+        let (cluster, tokens) = if two_nodes {
+            tilelink_workloads::e2e::two_node_setup()
+        } else {
+            tilelink_workloads::e2e::single_node_setup()
+        };
+        let cost = cost_for(&cluster, spec);
+        for model in models.iter().filter(|m| names.contains(&m.name)) {
+            let cmp =
+                tilelink_workloads::e2e::compare_model_tuned_with(model, tokens, &cost, &opts)
+                    .expect("tuned e2e smoke");
+            println!(
+                "{label:<8} {:<14} default speedup {:.2}x   tuned speedup {:.2}x ({} sims, {} cached)",
+                model.name,
+                cmp.default_speedup(),
+                cmp.tuned_speedup(),
+                cmp.tuned.evaluations,
+                cmp.tuned.cache_hits
+            );
+        }
+    }
 }
 
 /// Ablations over the design choices called out in DESIGN.md: decoupled tile

@@ -11,7 +11,7 @@
 //! the pinned constants to the values printed in the assertion message, and
 //! say so in the commit message. Do not loosen the tolerance.
 
-use tilelink_bench::{cost_for, default_cluster, fig8, fig9, geomean, MlpPanel, MoePanel};
+use tilelink_bench::{cost_for, default_cluster, fig11, fig8, fig9, geomean, MlpPanel, MoePanel};
 use tilelink_sim::CostModelSpec;
 use tilelink_workloads::autotune::{self, TuneOptions};
 use tilelink_workloads::shapes;
@@ -44,6 +44,30 @@ fn fig9_full_moe_geomean_is_pinned() {
     let groups = fig9(MoePanel::Full, &cost);
     let actual = geomean(groups.iter().map(|g| g.speedup("TileLink", "cuBLAS+NCCL")));
     assert_pinned("fig9 full-MoE geomean", actual, 3.976571952754703);
+}
+
+#[test]
+fn fig11_e2e_geomeans_are_pinned() {
+    // End-to-end Figure 11 speedup geomeans under the analytic model, both
+    // cluster setups. The 16-GPU value was re-baselined deliberately when the
+    // ring baselines started paying the InfiniBand bottleneck hop
+    // (1.492083017131577 before the fix, when every hop was priced as the
+    // intra-node rank 0→1 link); the 8-GPU value is bit-identical to the
+    // pre-fix figure because every single-node hop rides NVLink.
+    let single = fig11(false, usize::MAX, &CostModelSpec::Analytic);
+    let actual = geomean(single.iter().map(|r| r.speedup()));
+    assert_pinned("fig11 8xH800 geomean", actual, 1.650689315301968);
+
+    let two_node = fig11(true, usize::MAX, &CostModelSpec::Analytic);
+    let actual = geomean(two_node.iter().map(|r| r.speedup()));
+    assert_pinned("fig11 16xH800 geomean", actual, 2.831073385410031);
+
+    // The two-node torch baselines must stay strictly costlier than the
+    // single-node ones (IB pricing + doubled tokens), model by model.
+    for (one, two) in single.iter().zip(&two_node) {
+        assert_eq!(one.model, two.model);
+        assert!(two.torch_ms > 2.0 * one.torch_ms, "{}", one.model);
+    }
 }
 
 #[test]

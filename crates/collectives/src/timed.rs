@@ -6,7 +6,7 @@
 //! [`CollectiveSchedule`] with per-rank start and end marker tasks so callers
 //! can wire the collective into a larger dependency graph.
 
-use tilelink_sim::{ClusterSpec, ResourceKind, TaskGraph, TaskId, Work};
+use tilelink_sim::{ClusterSpec, CostModel, CostProvider, ResourceKind, TaskGraph, TaskId, Work};
 
 /// Which hardware resource carries the collective's data movement.
 ///
@@ -288,21 +288,45 @@ pub fn all_to_all(
     CollectiveSchedule { start, end }
 }
 
-/// Closed-form estimate of a ring collective's duration in seconds: `(R-1)`
-/// pipeline steps of `bytes_per_rank` at the slowest link in the ring.
+/// Seconds of the *slowest* hop of a rank → rank+1 ring moving `bytes` per
+/// step, priced through `cost` (so it carries the provider's per-message α
+/// floor and any calibrated bandwidth curve).
 ///
-/// Useful for sanity checks and quick analytical comparisons; the benchmark
-/// harness uses the task-graph builders so that overlap with compute is
-/// captured.
-pub fn ring_collective_seconds(cluster: &ClusterSpec, bytes_per_rank: f64) -> f64 {
+/// On a single node every hop rides NVLink and this equals the rank 0→1 hop;
+/// on a multi-node ring the node-crossing hops ride InfiniBand and the ring
+/// pipeline drains at that bottleneck rate. Every closed-form ring estimate
+/// (here and in the workload baselines) prices hops through this one helper so
+/// the estimators cannot drift apart.
+pub fn ring_hop_seconds(cost: &dyn CostProvider, bytes: f64) -> f64 {
+    let cluster = cost.cluster();
     let world = cluster.world_size();
     if world <= 1 {
         return 0.0;
     }
-    let slowest = (0..world)
-        .map(|r| cluster.link_bytes_per_s(r, (r + 1) % world))
-        .fold(f64::INFINITY, f64::min);
-    (world - 1) as f64 * bytes_per_rank / slowest
+    (0..world)
+        .map(|r| cost.link_seconds(r, (r + 1) % world, bytes))
+        .fold(0.0, f64::max)
+}
+
+/// Closed-form estimate of a ring collective's duration in seconds: `(R-1)`
+/// pipeline steps of `bytes_per_rank` at the slowest hop in the ring
+/// ([`ring_hop_seconds`]), priced by an explicit cost provider.
+///
+/// Useful for sanity checks and quick analytical comparisons; the benchmark
+/// harness uses the task-graph builders so that overlap with compute is
+/// captured.
+pub fn ring_collective_seconds_with(cost: &dyn CostProvider, bytes_per_rank: f64) -> f64 {
+    let world = cost.cluster().world_size();
+    if world <= 1 {
+        return 0.0;
+    }
+    (world - 1) as f64 * ring_hop_seconds(cost, bytes_per_rank)
+}
+
+/// [`ring_collective_seconds_with`] priced by the default analytic
+/// [`CostModel`] for `cluster` (the historical signature).
+pub fn ring_collective_seconds(cluster: &ClusterSpec, bytes_per_rank: f64) -> f64 {
+    ring_collective_seconds_with(&CostModel::new(cluster.clone()), bytes_per_rank)
 }
 
 #[cfg(test)]
@@ -419,6 +443,53 @@ mod tests {
         let t = run(&g, &cluster);
         assert!(t <= cluster.gpu.kernel_launch_s() * 1.01);
         assert_eq!(ring_collective_seconds(&cluster, 1e9), 0.0);
+    }
+
+    #[test]
+    fn closed_form_ring_pays_the_bottleneck_hop_across_nodes() {
+        // Same per-rank bytes: the two-node ring has more hops *and* each
+        // pipeline step drains at InfiniBand rate, so it must cost more than
+        // (15/7)x the single-node estimate (the hop-count ratio alone).
+        let one = ClusterSpec::h800_node(8);
+        let two = ClusterSpec::h800_multi_node(2);
+        let bytes = 16e6;
+        let t1 = ring_collective_seconds(&one, bytes);
+        let t2 = ring_collective_seconds(&two, bytes);
+        assert!(t2 > t1 * 15.0 / 7.0, "t1={t1} t2={t2}");
+        // And the bottleneck hop itself is the IB hop, not the NVLink one.
+        let cost = CostModel::new(two.clone());
+        let hop = ring_hop_seconds(&cost, bytes);
+        assert_eq!(hop, cost.link_seconds(7, 8, bytes));
+        assert!(hop > cost.link_seconds(0, 1, bytes));
+    }
+
+    #[test]
+    fn closed_form_ring_has_the_per_message_alpha_floor() {
+        // A tiny message is latency-bound: each of the (R-1) steps pays at
+        // least the link class's α, never pure bandwidth.
+        let cluster = ClusterSpec::h800_node(8);
+        let cost = CostModel::new(cluster.clone());
+        let tiny = ring_collective_seconds(&cluster, 1.0);
+        let alpha = cost.link_seconds(0, 1, 0.0);
+        assert!(alpha > 0.0);
+        assert!(tiny >= 7.0 * alpha, "tiny={tiny} alpha={alpha}");
+    }
+
+    #[test]
+    fn closed_form_wrapper_matches_the_provider_form() {
+        for cluster in [ClusterSpec::h800_node(8), ClusterSpec::h800_multi_node(2)] {
+            let cost = CostModel::new(cluster.clone());
+            for bytes in [1.0, 1e6, 64e6] {
+                assert_eq!(
+                    ring_collective_seconds(&cluster, bytes),
+                    ring_collective_seconds_with(&cost, bytes)
+                );
+            }
+        }
+        assert_eq!(
+            ring_hop_seconds(&CostModel::new(ClusterSpec::h800_node(1)), 1e9),
+            0.0
+        );
     }
 
     #[test]

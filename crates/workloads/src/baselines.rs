@@ -33,12 +33,12 @@ use crate::{AttnShape, MlpShape, MoeShape};
 /// sending `(world-1)/world` of `total_bytes` through its link, priced step
 /// by step so a calibrated provider sees the real per-message chunk size.
 ///
-/// Every hop is priced as the rank 0→1 link (intra-node on all evaluated
-/// clusters), matching the pre-provider analytic model; on multi-node rings
-/// the node-crossing hops actually ride InfiniBand, so calibrated multi-node
-/// baselines are priced optimistically (conservative for TileLink's reported
-/// speedups). Bottleneck-aware hop pricing is a ROADMAP item because it would
-/// change the pinned analytic Figure 11 numbers.
+/// Hops are priced through the shared
+/// [`tilelink_collectives::timed::ring_collective_seconds_with`] estimator:
+/// every pipeline step drains at the *slowest* hop of the ring, so on
+/// multi-node rings the baselines pay the InfiniBand node-crossing hop (and,
+/// via [`CostProvider::link_seconds`], the per-message α floor) exactly like
+/// the collectives crate's own closed form.
 fn ring_collective_seconds(cost: &dyn CostProvider, total_bytes: f64) -> f64 {
     let cluster = cost.cluster();
     let world = cluster.world_size() as f64;
@@ -46,7 +46,8 @@ fn ring_collective_seconds(cost: &dyn CostProvider, total_bytes: f64) -> f64 {
         return 0.0;
     }
     let per_rank = total_bytes / world;
-    (world - 1.0) * cost.link_seconds(0, 1, per_rank) + cluster.gpu.kernel_launch_s()
+    tilelink_collectives::timed::ring_collective_seconds_with(cost, per_rank)
+        + cluster.gpu.kernel_launch_s()
 }
 
 fn gathered_bytes(shape: &MlpShape) -> f64 {
@@ -136,7 +137,10 @@ pub fn decompose_ag_gemm_with(shape: &MlpShape, cost: &dyn CostProvider) -> Over
     let chunks = world.max(2);
     let n_local = 2 * shape.intermediate / world;
     let chunk_rows = shape.tokens / chunks;
-    let chunk_comm = cost.link_seconds(0, 1, gathered_bytes(shape) / chunks as f64);
+    // Each chunk's copy circulates around the same ring as the collective, so
+    // it drains at the slowest (on multi-node rings: InfiniBand) hop.
+    let chunk_comm =
+        tilelink_collectives::timed::ring_hop_seconds(cost, gathered_bytes(shape) / chunks as f64);
     // The decomposed GEMM loses efficiency from wave quantisation on the small chunk.
     let chunk_comp = cost.gemm_seconds(
         chunk_rows,
@@ -169,7 +173,8 @@ pub fn decompose_gemm_rs_with(shape: &MlpShape, cost: &dyn CostProvider) -> Over
     let chunks = world.max(2);
     let k_local = shape.intermediate / world;
     let chunk_rows = shape.tokens / chunks;
-    let chunk_comm = cost.link_seconds(0, 1, gathered_bytes(shape) / chunks as f64);
+    let chunk_comm =
+        tilelink_collectives::timed::ring_hop_seconds(cost, gathered_bytes(shape) / chunks as f64);
     let chunk_comp = cost.gemm_seconds(
         chunk_rows,
         shape.hidden,
@@ -743,6 +748,37 @@ mod tests {
             ring_attention(attn, 16_384, &c),
             ring_attention_with(attn, 16_384, &cost)
         );
+    }
+
+    #[test]
+    fn two_node_ring_baseline_pays_inter_node_pricing() {
+        // At equal per-rank bytes, the 16-GPU two-node ring has 15 pipeline
+        // steps draining at InfiniBand rate vs the 8-GPU single-node ring's 7
+        // NVLink steps — strictly slower under both cost models.
+        let one = cluster();
+        let two = ClusterSpec::h800_multi_node(2);
+        let per_rank = 8e6;
+        for (label, cost_one, cost_two) in [
+            (
+                "analytic",
+                Box::new(analytic(&one)) as Box<dyn CostProvider>,
+                Box::new(analytic(&two)) as Box<dyn CostProvider>,
+            ),
+            (
+                "calibrated",
+                Box::new(CalibratedCostModel::h800_defaults(one.clone())),
+                Box::new(CalibratedCostModel::h800_defaults(two.clone())),
+            ),
+        ] {
+            let t8 = ring_collective_seconds(&*cost_one, per_rank * 8.0);
+            let t16 = ring_collective_seconds(&*cost_two, per_rank * 16.0);
+            // Strictly slower than the single-node ring even after accounting
+            // for the extra hops alone: the bottleneck hop is IB.
+            assert!(
+                t16 > t8 * 15.0 / 7.0,
+                "{label}: t8={t8} t16={t16} (two-node ring must pay IB)"
+            );
+        }
     }
 
     #[test]

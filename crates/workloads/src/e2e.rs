@@ -5,8 +5,10 @@
 //! non-overlapping execution and once with TileLink's overlapped kernels, on
 //! one node (8 GPUs, batch 4 × sequence 8192) or two nodes (16 GPUs, batch 8).
 
+use tilelink::OverlapConfig;
 use tilelink_sim::{analytic_cost, ClusterSpec, CostProvider, SharedCost};
 
+use crate::autotune::{self, TuneOptions};
 use crate::baselines;
 use crate::mlp::BYTES_PER_ELEM;
 use crate::shapes::{ModelConfig, E2E_TOKENS_SINGLE_NODE};
@@ -71,9 +73,11 @@ fn attention_part_seconds(
     let world_f = world as f64;
     // Ring AllReduce: 2(world-1) steps, each moving one comm_bytes/world
     // chunk — priced per chunk so a calibrated provider sees the real
-    // per-message size (for the analytic model this is algebraically the
-    // aggregate-bytes formula used before).
-    let comm = 2.0 * (world_f - 1.0) * cost.link_seconds(0, 1, comm_bytes / world_f);
+    // per-message size, at the slowest hop of the ring so two-node setups pay
+    // the InfiniBand node-crossing hop (single-node: identical to rank 0→1).
+    let comm = 2.0
+        * (world_f - 1.0)
+        * tilelink_collectives::timed::ring_hop_seconds(cost, comm_bytes / world_f);
     let exposed_comm = if overlapped { comm * 0.4 } else { comm };
     qkv + attn + exposed_comm + 4.0 * cluster.gpu.kernel_launch_s()
 }
@@ -231,6 +235,128 @@ pub fn compare_model_with(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Tuned Figure 11: searched per-layer configs instead of the hand-picked ones
+// ---------------------------------------------------------------------------
+
+/// End-to-end timing of one model under *searched* per-layer configurations,
+/// plus the winning configs and the search-effort counters.
+///
+/// Produced by [`tuned_model_timing_with`]: the FFN parts replay the best
+/// [`OverlapConfig`] the `tilelink-tune` search found per layer kind instead
+/// of the hand-picked defaults of [`tilelink_model_timing_with`]. The
+/// counters aggregate over both layer searches, so a rerun against a warm
+/// persistent [`tilelink_tune::TuneCache`] reports zero `evaluations`.
+#[derive(Debug, Clone)]
+pub struct TunedModelTiming {
+    /// Per-model timing under the tuned configurations.
+    pub timing: ModelTiming,
+    /// Winning config of the dense MLP part (`None` for pure-MoE layers).
+    pub mlp_config: Option<OverlapConfig>,
+    /// Winning config of the MoE part (`None` for dense models).
+    pub moe_config: Option<OverlapConfig>,
+    /// Simulator evaluations performed across the layer searches.
+    pub evaluations: usize,
+    /// Lookups served by the tuning cache instead of the simulator.
+    pub cache_hits: usize,
+}
+
+/// End-to-end TileLink estimate for one model with per-layer configurations
+/// pulled from the `tilelink-tune` search instead of the hand-picked defaults.
+///
+/// The dense MLP part runs [`autotune::tuned_full_mlp`] and the MoE part
+/// [`autotune::tuned_full_moe`] on the model's e2e layer shapes; `opts`
+/// carries the strategy, space, persistent-cache path and — for MoE layers —
+/// the routing distribution and [`tilelink_tune::Objective`] the search
+/// minimises. Any `opts.cost` is replaced by `cost` so the search always
+/// prices against the caller's provider and cluster.
+///
+/// # Errors
+///
+/// Returns an error if a layer search prunes empty, every candidate fails, or
+/// the persistent cache cannot be written.
+pub fn tuned_model_timing_with(
+    model: &ModelConfig,
+    tokens: usize,
+    cost: &SharedCost,
+    opts: &TuneOptions,
+) -> tilelink_tune::Result<TunedModelTiming> {
+    let cluster = cost.cluster().clone();
+    let opts = opts.clone().with_cost(cost.clone());
+    let attn = attention_part_seconds(model, tokens, &**cost, true);
+    let mut ffn = 0.0;
+    let mut evaluations = 0;
+    let mut cache_hits = 0;
+    let mut mlp_config = None;
+    let mut moe_config = None;
+    if model.intermediate > 0 {
+        let tuned = autotune::tuned_full_mlp(&mlp_shape_of(model, tokens), &cluster, &opts)?;
+        ffn += tuned.layer.total_s;
+        evaluations += tuned.search.evaluations;
+        cache_hits += tuned.search.cache_hits;
+        mlp_config = Some(tuned.config);
+    }
+    if let Some(moe) = moe_shape_of(model, tokens) {
+        let tuned = autotune::tuned_full_moe(&moe, &cluster, &opts)?;
+        ffn += tuned.layer.total_s;
+        evaluations += tuned.search.evaluations;
+        cache_hits += tuned.search.cache_hits;
+        moe_config = Some(tuned.config);
+    }
+    Ok(TunedModelTiming {
+        timing: ModelTiming {
+            model: model.name,
+            total_s: model.layers as f64 * (attn + ffn),
+            attention_s: model.layers as f64 * attn,
+            ffn_s: model.layers as f64 * ffn,
+        },
+        mlp_config,
+        moe_config,
+        evaluations,
+        cache_hits,
+    })
+}
+
+/// The Figure 11 comparison with the tuned TileLink column alongside the
+/// default-config one.
+#[derive(Debug, Clone)]
+pub struct E2eTunedComparison {
+    /// The default-config comparison (PyTorch baseline + TileLink defaults).
+    pub base: E2eComparison,
+    /// TileLink with searched per-layer configurations.
+    pub tuned: TunedModelTiming,
+}
+
+impl E2eTunedComparison {
+    /// Speed-up of default-config TileLink over the baseline.
+    pub fn default_speedup(&self) -> f64 {
+        self.base.speedup()
+    }
+
+    /// Speed-up of tuned TileLink over the baseline.
+    pub fn tuned_speedup(&self) -> f64 {
+        self.base.torch.total_s / self.tuned.timing.total_s
+    }
+}
+
+/// Runs the Figure 11 comparison for one model with both the default-config
+/// and the tuned TileLink estimates.
+///
+/// # Errors
+///
+/// Returns an error if a TileLink kernel fails to compile or simulate, or if
+/// a layer search fails (see [`tuned_model_timing_with`]).
+pub fn compare_model_tuned_with(
+    model: &ModelConfig,
+    tokens: usize,
+    cost: &SharedCost,
+    opts: &TuneOptions,
+) -> tilelink_tune::Result<E2eTunedComparison> {
+    let base = compare_model_with(model, tokens, cost).map_err(tilelink_tune::TuneError::from)?;
+    let tuned = tuned_model_timing_with(model, tokens, cost, opts)?;
+    Ok(E2eTunedComparison { base, tuned })
+}
+
 /// The default single-node setup of Figure 11 (8×H800, batch 4 × seq 8192).
 pub fn single_node_setup() -> (ClusterSpec, usize) {
     (ClusterSpec::h800_node(8), E2E_TOKENS_SINGLE_NODE)
@@ -290,5 +416,80 @@ mod tests {
         assert_eq!(single_node_setup().0.world_size(), 8);
         assert_eq!(two_node_setup().0.world_size(), 16);
         assert_eq!(two_node_setup().1, 2 * single_node_setup().1);
+    }
+
+    #[test]
+    fn two_node_torch_baseline_pays_inter_node_pricing() {
+        // The 16-GPU setup doubles the token count but per-GPU compute stays
+        // put; only the collectives grow — and they must grow by more than the
+        // token ratio, because the two-node ring drains at InfiniBand rate.
+        let (c8, t8) = single_node_setup();
+        let (c16, t16) = two_node_setup();
+        let model = &model_configs()[1]; // LLaMA2-7B
+        let torch8 = torch_model_timing(model, &c8, t8);
+        let cmp16 = compare_model_with(model, t16, &analytic_cost(&c16)).unwrap();
+        let token_scale = (t16 / t8) as f64;
+        assert!(
+            cmp16.torch.total_s > token_scale * torch8.total_s,
+            "two-node torch {} s must exceed single-node {} s x{token_scale}",
+            cmp16.torch.total_s,
+            torch8.total_s
+        );
+        // TileLink still wins on the two-node cluster.
+        assert!(cmp16.speedup() > 1.0, "speedup {}", cmp16.speedup());
+    }
+
+    #[test]
+    fn tuned_speedup_is_at_least_the_default_config_speedup() {
+        // The quick subset of the tuned Figure 11 path: one dense and one MoE
+        // model. Under the deterministic analytic model the searched config
+        // matches or beats the hand-picked per-half defaults on every model,
+        // so this pins that (empirical, deterministic) property; it is not a
+        // structural invariant — the search cannot represent the defaults'
+        // mixed per-half configuration.
+        let (cluster, tokens) = single_node_setup();
+        let cost = analytic_cost(&cluster);
+        let opts = TuneOptions::default();
+        let models = model_configs();
+        for model in [&models[1], &models[5]] {
+            // LLaMA2-7B, Mixtral-8x7B
+            let cmp = compare_model_tuned_with(model, tokens, &cost, &opts).unwrap();
+            assert!(
+                cmp.tuned_speedup() >= cmp.default_speedup(),
+                "{}: tuned {:.3}x < default {:.3}x",
+                model.name,
+                cmp.tuned_speedup(),
+                cmp.default_speedup()
+            );
+            assert_eq!(model.intermediate > 0, cmp.tuned.mlp_config.is_some());
+            assert_eq!(model.is_moe(), cmp.tuned.moe_config.is_some());
+        }
+    }
+
+    #[test]
+    fn two_node_tuned_rerun_hits_the_persistent_cache() {
+        // A warm persistent TuneCache makes the two-node tuned estimate free:
+        // the rerun answers every candidate from disk, zero simulations.
+        let dir = std::env::temp_dir().join(format!("tilelink-e2e-tuned-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.tsv");
+        let _ = std::fs::remove_file(&path);
+
+        let (cluster, tokens) = two_node_setup();
+        let cost = analytic_cost(&cluster);
+        let opts = TuneOptions {
+            cache_path: Some(path.clone()),
+            ..TuneOptions::default()
+        };
+        let model = &model_configs()[1]; // LLaMA2-7B
+        let cold = tuned_model_timing_with(model, tokens, &cost, &opts).unwrap();
+        assert!(cold.evaluations > 0, "cold search must simulate");
+
+        let warm = tuned_model_timing_with(model, tokens, &cost, &opts).unwrap();
+        assert_eq!(warm.evaluations, 0, "warm rerun must not simulate");
+        assert!(warm.cache_hits > 0);
+        assert_eq!(warm.timing, cold.timing);
+        assert_eq!(warm.mlp_config, cold.mlp_config);
+        let _ = std::fs::remove_file(&path);
     }
 }

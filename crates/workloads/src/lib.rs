@@ -16,7 +16,7 @@
 //!   FLUX-style fusion, CUTLASS+NCCL, vLLM-style fused MoE operators,
 //!   RingAttention and the non-flash "Torch" attention baseline;
 //! * [`e2e`] — end-to-end per-model estimates combining the layer results
-//!   (Figure 11);
+//!   (Figure 11), with both hand-picked and tuned per-layer configurations;
 //! * [`autotune`] — `tilelink-tune` oracles and `tuned_*` constructors that
 //!   *search* the overlap design space per layer instead of replaying the
 //!   hand-picked defaults.
@@ -32,5 +32,6 @@ pub mod moe;
 pub mod shapes;
 
 pub use autotune::{RoutingSpec, TuneOptions, TunedLayer};
+pub use e2e::{E2eTunedComparison, TunedModelTiming};
 pub use moe::{RoutingProfile, RoutingSample, RoutingSampler};
 pub use shapes::{AttnShape, MlpShape, ModelConfig, MoeShape};

@@ -213,3 +213,51 @@ fn invalid_and_unsupported_candidates_are_pruned_not_evaluated() {
     assert_eq!(report.ranked.len(), 1);
     assert_eq!(report.evaluations, 1);
 }
+
+#[test]
+fn tuned_e2e_calibrated_cache_never_serves_the_analytic_search() {
+    // The tuned Figure 11 path against a persistent cache: a calibrated-model
+    // search fills the cache, its rerun is free, and an analytic search over
+    // the same file re-simulates (revision-keyed entries never alias).
+    let dir = std::env::temp_dir().join(format!("tilelink-e2e-rev-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cache.tsv");
+    let _ = std::fs::remove_file(&path);
+
+    let (cluster, tokens) = tilelink_workloads::e2e::single_node_setup();
+    let calibrated: tilelink_sim::SharedCost =
+        Arc::new(CalibratedCostModel::h800_defaults(cluster.clone()));
+    let model = shapes::model_configs()
+        .into_iter()
+        .find(|m| m.name == "LLaMA2-7B")
+        .unwrap();
+    let opts = TuneOptions {
+        strategy: Strategy::Beam {
+            width: 2,
+            sweeps: 1,
+        },
+        space: small_space(),
+        cache_path: Some(path.clone()),
+        ..TuneOptions::default()
+    };
+
+    let cold = tilelink_workloads::e2e::tuned_model_timing_with(&model, tokens, &calibrated, &opts)
+        .unwrap();
+    assert!(cold.evaluations > 0);
+    assert!(cold.mlp_config.is_some());
+    assert_eq!(cold.moe_config, None);
+
+    let warm = tilelink_workloads::e2e::tuned_model_timing_with(&model, tokens, &calibrated, &opts)
+        .unwrap();
+    assert_eq!(warm.evaluations, 0, "warm calibrated rerun must be free");
+    assert_eq!(warm.timing, cold.timing);
+
+    let analytic = analytic_cost(&cluster);
+    let cross =
+        tilelink_workloads::e2e::tuned_model_timing_with(&model, tokens, &analytic, &opts).unwrap();
+    assert!(
+        cross.evaluations > 0,
+        "analytic search must not be served calibrated timings"
+    );
+    let _ = std::fs::remove_file(&path);
+}
