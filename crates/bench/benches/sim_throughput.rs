@@ -1,0 +1,35 @@
+//! Raw simulator throughput: full-trace path vs makespan-only fast path on
+//! the three representative kernel graphs (Figure 8 MLP half, routed Figure 9
+//! MoE half, two-node e2e-scale kernel), plus the wall-clock throughput of a
+//! cold Figure 9 tuning run.
+//!
+//! Run with `cargo bench -p tilelink-bench --bench sim_throughput`
+//! (`SIM_BENCH_ITERS` overrides the per-path iteration count). This is the
+//! local view of the trajectory `reproduce --bench-sim --json` records into
+//! `BENCH_sim.json` for CI.
+
+use tilelink_bench::{fig9_tune_throughput, sim_throughput};
+use tilelink_sim::CostModelSpec;
+
+fn main() {
+    let iters: usize = std::env::var("SIM_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    println!("simulator throughput ({iters} timed simulations per path, analytic cost model)\n");
+    for row in sim_throughput(iters, &CostModelSpec::Analytic) {
+        println!(
+            "{:<24} {:>6} tasks   trace {:>9.1} sims/s   makespan-only {:>9.1} sims/s   {:>5.2}x",
+            row.name,
+            row.tasks,
+            row.trace_sims_per_sec,
+            row.makespan_sims_per_sec,
+            row.speedup()
+        );
+    }
+    let tune = fig9_tune_throughput(false, &CostModelSpec::Analytic);
+    println!(
+        "\nfig9 MoE-1 cold tune (standard space): {:.2} s wall, {} candidates ({:.1}/s), {} sims ({:.1}/s)",
+        tune.wall_s, tune.candidates, tune.candidates_per_sec, tune.evaluations, tune.sims_per_sec
+    );
+}

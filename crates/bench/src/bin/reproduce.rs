@@ -23,6 +23,13 @@
 //! (`--fig11 --tune`) the end-to-end rows gain a third, tuned-TileLink column
 //! whose per-layer configs come from the same search and cache.
 //!
+//! `--bench-sim` times the simulator itself instead of printing figures:
+//! simulations/sec of the full-trace path vs the makespan-only fast path on
+//! three representative kernel graphs, plus the wall-clock throughput of a
+//! cold Figure 9 tune. `--bench-sim --json` additionally writes the numbers
+//! to `BENCH_sim.json` (the perf trajectory CI uploads as an artifact);
+//! `--bench-sim --quick` uses fewer iterations and a compact tuning space.
+//!
 //! `--routing {uniform|zipf:<s>|hot:<k>}` and `--objective {mean|p<1-99>|worst}`
 //! make the MoE part of `--tune` routing-distribution-aware: candidates are
 //! priced over sampled routings through the dynamic tile mapping and the
@@ -32,8 +39,8 @@
 //! reduced smoke version of the same comparison (used by CI).
 
 use tilelink_bench::{
-    cost_for, default_cluster, fig10, fig11, fig11_tuned, fig8, fig9, geomean, table2, MlpPanel,
-    MoePanel,
+    bench_sim_json, cost_for, default_cluster, fig10, fig11, fig11_tuned, fig8, fig9,
+    fig9_tune_throughput, geomean, sim_throughput, table2, MlpPanel, MoePanel,
 };
 use tilelink_sim::CostModelSpec;
 use tilelink_tune::{Objective, TuneCache};
@@ -145,6 +152,31 @@ fn main() {
     if routing.is_some() && !args.iter().any(|a| a == "--tune") {
         eprintln!("error: --routing/--objective require --tune");
         std::process::exit(2);
+    }
+
+    // `--json` only means something to `--bench-sim`; anywhere else it would
+    // be silently swallowed as an unmatched section flag, so reject it (same
+    // policy as --routing without --tune).
+    if args.iter().any(|a| a == "--json") && !args.iter().any(|a| a == "--bench-sim") {
+        eprintln!("error: --json requires --bench-sim");
+        std::process::exit(2);
+    }
+
+    if args.iter().any(|a| a == "--bench-sim") {
+        // A perf-trajectory mode, not a figure section: it times the
+        // simulator itself (trace path vs makespan-only fast path, plus a
+        // cold Figure 9 tune) and with --json records the numbers into
+        // BENCH_sim.json so future perf PRs have a baseline.
+        let quick = args.iter().any(|a| a == "--quick");
+        if let Some(flag) = section_flags(&args)
+            .iter()
+            .find(|f| **f != "--bench-sim" && **f != "--json")
+        {
+            eprintln!("error: --bench-sim cannot be combined with {flag}");
+            std::process::exit(2);
+        }
+        bench_sim(quick, args.iter().any(|a| a == "--json"), &spec, &cost);
+        return;
     }
 
     if args.iter().any(|a| a == "--quick") {
@@ -549,6 +581,46 @@ fn quick_e2e_tune_smoke(spec: &CostModelSpec, routing: Option<RoutingSpec>, obje
                 cmp.tuned.cache_hits
             );
         }
+    }
+}
+
+/// Simulator-throughput trajectory: trace path vs makespan-only fast path on
+/// the three benchmark graphs, plus one cold Figure 9 tune — all priced by
+/// the selected `--cost-model`. With `json` the numbers are also written to
+/// `BENCH_sim.json` in the working directory.
+fn bench_sim(quick: bool, json: bool, spec: &CostModelSpec, cost: &tilelink_sim::SharedCost) {
+    let iters = if quick { 30 } else { 200 };
+    println!("== Simulator throughput ({iters} timed simulations per path) ==");
+    let rows = sim_throughput(iters, spec);
+    for r in &rows {
+        println!(
+            "{:<24} {:>6} tasks   trace {:>9.1} sims/s   makespan-only {:>9.1} sims/s   {:>5.2}x",
+            r.name,
+            r.tasks,
+            r.trace_sims_per_sec,
+            r.makespan_sims_per_sec,
+            r.speedup()
+        );
+    }
+    let tune = fig9_tune_throughput(quick, spec);
+    println!(
+        "fig9 MoE-1 cold tune ({}): {:.2} s wall, {} candidates ({:.1}/s), {} sims ({:.1}/s)",
+        if quick {
+            "compact space"
+        } else {
+            "standard space"
+        },
+        tune.wall_s,
+        tune.candidates,
+        tune.candidates_per_sec,
+        tune.evaluations,
+        tune.sims_per_sec
+    );
+    if json {
+        let path = "BENCH_sim.json";
+        std::fs::write(path, bench_sim_json(&rows, &tune, quick, &cost.revision()))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("(wrote {path})");
     }
 }
 

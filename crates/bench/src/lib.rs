@@ -434,6 +434,213 @@ pub fn fig11_tuned(
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Simulator throughput (the engine's own perf trajectory)
+// ---------------------------------------------------------------------------
+
+/// Throughput of the simulator on one benchmark graph: full-trace path
+/// ([`tilelink_sim::Engine::run`]) vs makespan-only fast path
+/// ([`tilelink_sim::Engine::makespan`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimThroughput {
+    /// Graph label.
+    pub name: &'static str,
+    /// Number of tasks in the graph.
+    pub tasks: usize,
+    /// Simulations per second through the trace-recording path.
+    pub trace_sims_per_sec: f64,
+    /// Simulations per second through the makespan-only path.
+    pub makespan_sims_per_sec: f64,
+}
+
+impl SimThroughput {
+    /// Speed-up of the makespan-only path over the trace path.
+    pub fn speedup(&self) -> f64 {
+        self.makespan_sims_per_sec / self.trace_sims_per_sec
+    }
+}
+
+fn time_sims(mut f: impl FnMut(), iters: usize) -> f64 {
+    f(); // warm-up, untimed
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    iters as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Measures simulations/second on the three representative kernel graphs
+/// (Figure 8 MLP half, routed Figure 9 MoE half, two-node e2e-scale kernel)
+/// priced by `spec`'s cost model, `iters` timed simulations per path.
+///
+/// # Panics
+///
+/// Panics if a benchmark kernel fails to build (a compiler regression) or the
+/// spec names an unloadable calibration file.
+pub fn sim_throughput(iters: usize, spec: &CostModelSpec) -> Vec<SimThroughput> {
+    use tilelink_sim::{Engine, SimScratch};
+    use tilelink_workloads::simgraph;
+
+    let single = cost_for(&default_cluster(), spec);
+    let two_node = cost_for(&e2e::two_node_setup().0, spec);
+    let cases: [(&'static str, &tilelink_sim::SharedCost, _); 3] = [
+        (
+            "fig8_mlp_ag_gemm",
+            &single,
+            simgraph::fig8_mlp_graph_with(&single).expect("fig8 bench graph"),
+        ),
+        (
+            "fig9_routed_moe_first",
+            &single,
+            simgraph::fig9_routed_moe_graph_with(&single).expect("fig9 bench graph"),
+        ),
+        (
+            "e2e_two_node_ag_gemm",
+            &two_node,
+            simgraph::e2e_two_node_graph_with(&two_node).expect("e2e bench graph"),
+        ),
+    ];
+    cases
+        .into_iter()
+        .map(|(name, cost, graph)| {
+            let engine = Engine::with_cost(cost.clone());
+            let mut scratch = SimScratch::new();
+            let trace_sims_per_sec = time_sims(
+                || {
+                    std::hint::black_box(engine.run(&graph).expect("trace path"));
+                },
+                iters,
+            );
+            let makespan_sims_per_sec = time_sims(
+                || {
+                    std::hint::black_box(
+                        engine
+                            .makespan_with_scratch(&graph, &mut scratch)
+                            .expect("fast path"),
+                    );
+                },
+                iters,
+            );
+            SimThroughput {
+                name,
+                tasks: graph.len(),
+                trace_sims_per_sec,
+                makespan_sims_per_sec,
+            }
+        })
+        .collect()
+}
+
+/// Wall-clock throughput of one cold Figure 9 MoE tuning run (in-memory
+/// cache, so every candidate is simulated).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneThroughput {
+    /// Wall-clock seconds of the whole search.
+    pub wall_s: f64,
+    /// Distinct candidates ranked by the search.
+    pub candidates: usize,
+    /// Oracle calls performed (each prices one candidate on the simulator).
+    pub evaluations: usize,
+    /// Candidates ranked per second of wall time.
+    pub candidates_per_sec: f64,
+    /// Oracle evaluations per second of wall time.
+    pub sims_per_sec: f64,
+}
+
+/// Times a cold `tilelink-tune` search on the first Figure 9 MoE shape,
+/// priced by `spec`'s cost model.
+///
+/// `quick` uses a compact space and a narrow beam (the CI trajectory
+/// recording); otherwise the standard space under the default strategy — the
+/// same search `reproduce --tune` runs per shape.
+///
+/// # Panics
+///
+/// Panics if the search fails (an oracle or space regression) or the spec
+/// names an unloadable calibration file.
+pub fn fig9_tune_throughput(quick: bool, spec: &CostModelSpec) -> TuneThroughput {
+    use tilelink::TileShape;
+    use tilelink_tune::{SearchSpace, Strategy};
+    use tilelink_workloads::autotune;
+
+    let shape = shapes::moe_shapes()[0].clone();
+    let opts = if quick {
+        TuneOptions {
+            strategy: Strategy::Beam {
+                width: 2,
+                sweeps: 1,
+            },
+            space: SearchSpace::new()
+                .with_comm_tiles([TileShape::new(128, 128), TileShape::new(256, 128)])
+                .with_compute_tiles([TileShape::new(128, 256), TileShape::new(256, 256)])
+                .with_mappings([
+                    tilelink::CommMapping::CopyEngine,
+                    tilelink::CommMapping::Hybrid { sms: 20 },
+                ])
+                .with_stages([2, 3]),
+            ..TuneOptions::default()
+        }
+    } else {
+        TuneOptions {
+            strategy: Strategy::default(),
+            ..TuneOptions::default()
+        }
+    };
+    let opts = opts.with_cost(cost_for(&default_cluster(), spec));
+    let start = std::time::Instant::now();
+    let tuned = autotune::tuned_full_moe(&shape, &default_cluster(), &opts).expect("fig9 tune");
+    let wall_s = start.elapsed().as_secs_f64();
+    TuneThroughput {
+        wall_s,
+        candidates: tuned.search.ranked.len(),
+        evaluations: tuned.search.evaluations,
+        candidates_per_sec: tuned.search.ranked.len() as f64 / wall_s,
+        sims_per_sec: tuned.search.evaluations as f64 / wall_s,
+    }
+}
+
+/// Serialises the simulator-throughput trajectory as JSON (`BENCH_sim.json`):
+/// per-graph simulations/sec on both engine paths plus the Figure 9 tune
+/// throughput, so future perf PRs have a baseline to compare against.
+/// `cost_revision` records which cost model priced the runs.
+pub fn bench_sim_json(
+    graphs: &[SimThroughput],
+    tune: &TuneThroughput,
+    quick: bool,
+    cost_revision: &str,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"tilelink-bench-sim/v1\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"cost_revision\": \"{cost_revision}\",\n"));
+    out.push_str("  \"graphs\": [\n");
+    for (i, g) in graphs.iter().enumerate() {
+        let comma = if i + 1 == graphs.len() { "" } else { "," };
+        out.push_str(&format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"tasks\": {}, \"trace_sims_per_sec\": {:.1}, ",
+                "\"makespan_sims_per_sec\": {:.1}, \"speedup\": {:.2}}}{}\n"
+            ),
+            g.name,
+            g.tasks,
+            g.trace_sims_per_sec,
+            g.makespan_sims_per_sec,
+            g.speedup(),
+            comma
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        concat!(
+            "  \"fig9_tune\": {{\"wall_s\": {:.3}, \"candidates\": {}, \"evaluations\": {}, ",
+            "\"candidates_per_sec\": {:.1}, \"sims_per_sec\": {:.1}}}\n"
+        ),
+        tune.wall_s, tune.candidates, tune.evaluations, tune.candidates_per_sec, tune.sims_per_sec
+    ));
+    out.push('}');
+    out
+}
+
 /// Times `iters` invocations of `f` and prints min/median/max wall-clock
 /// milliseconds under `name`.
 ///
@@ -503,6 +710,40 @@ mod tests {
             assert!(r.overlap_ratio >= 0.0 && r.overlap_ratio <= 1.0);
             assert!(r.group.speedup("TileLink", "Torch") > 1.0);
         }
+    }
+
+    #[test]
+    fn sim_throughput_measures_all_three_graphs() {
+        let rows = sim_throughput(2, &CostModelSpec::Analytic);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.tasks > 0, "{}", r.name);
+            assert!(r.trace_sims_per_sec > 0.0, "{}", r.name);
+            assert!(r.makespan_sims_per_sec > 0.0, "{}", r.name);
+        }
+        let tune = TuneThroughput {
+            wall_s: 2.0,
+            candidates: 10,
+            evaluations: 8,
+            candidates_per_sec: 5.0,
+            sims_per_sec: 4.0,
+        };
+        let json = bench_sim_json(&rows, &tune, true, "analytic-v2");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"fig9_tune\""));
+        assert!(json.contains("fig9_routed_moe_first"));
+        assert!(json.contains("\"quick\": true"));
+        assert!(json.contains("\"cost_revision\": \"analytic-v2\""));
+    }
+
+    #[test]
+    fn sim_throughput_accepts_the_calibrated_model() {
+        let spec = CostModelSpec::Calibrated { path: None };
+        let rows = sim_throughput(1, &spec);
+        assert_eq!(rows.len(), 3);
+        let tune = fig9_tune_throughput(true, &spec);
+        assert!(tune.evaluations > 0);
+        assert!(tune.wall_s > 0.0);
     }
 
     #[test]

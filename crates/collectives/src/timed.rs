@@ -6,7 +6,9 @@
 //! [`CollectiveSchedule`] with per-rank start and end marker tasks so callers
 //! can wire the collective into a larger dependency graph.
 
-use tilelink_sim::{ClusterSpec, CostModel, CostProvider, ResourceKind, TaskGraph, TaskId, Work};
+use tilelink_sim::{
+    ClusterSpec, CostModel, CostProvider, GpuSpec, ResourceKind, TaskGraph, TaskId, Work,
+};
 
 /// Which hardware resource carries the collective's data movement.
 ///
@@ -98,7 +100,7 @@ pub fn ring_all_gather(
                     format!("{label}/comm_ag/step{step}/r{rank}"),
                     rank,
                     ResourceKind::LinkOut,
-                    100,
+                    GpuSpec::LINK_PORT_SHARES,
                     Work::LinkBytes {
                         bytes: bytes_per_rank,
                         dst_rank: dst,
@@ -174,7 +176,7 @@ pub fn ring_reduce_scatter(
                 },
                 match resource {
                     CommResource::CopyEngine => 1,
-                    CommResource::Sm { .. } => 100,
+                    CommResource::Sm { .. } => GpuSpec::LINK_PORT_SHARES,
                 },
                 Work::LinkBytes {
                     bytes: bytes_per_rank,
@@ -274,7 +276,7 @@ pub fn all_to_all(
                 format!("{label}/comm_a2a/{src}->{dst}"),
                 src,
                 ResourceKind::LinkOut,
-                (100 / (world as u64 - 1)).max(1),
+                (GpuSpec::LINK_PORT_SHARES / (world as u64 - 1)).max(1),
                 Work::LinkBytes {
                     bytes: bytes_per_pair,
                     dst_rank: dst,

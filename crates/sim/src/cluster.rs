@@ -1,6 +1,6 @@
 //! Cluster topology: nodes × GPUs.
 
-use crate::GpuSpec;
+use crate::{GpuSpec, ResourceKind};
 
 /// The class of link a (source, destination) rank pair communicates over.
 ///
@@ -127,6 +127,20 @@ impl ClusterSpec {
         }
     }
 
+    /// Capacity of one resource kind on every rank of this cluster (the
+    /// simulator models homogeneous clusters, so capacities are per-kind).
+    ///
+    /// This is the single source of truth shared by the scheduler's resource
+    /// tables and the trace utilisation report.
+    pub fn resource_capacity(&self, kind: ResourceKind) -> u64 {
+        match kind {
+            ResourceKind::Sm => self.gpu.sm_count,
+            ResourceKind::DmaEngine => self.gpu.dma_engines,
+            ResourceKind::LinkOut | ResourceKind::LinkIn => GpuSpec::LINK_PORT_SHARES,
+            ResourceKind::Host => 1,
+        }
+    }
+
     /// Link class of a (source, destination) rank pair.
     ///
     /// # Panics
@@ -188,6 +202,25 @@ mod tests {
     #[test]
     fn default_is_8_gpu_node() {
         assert_eq!(ClusterSpec::default().world_size(), 8);
+    }
+
+    #[test]
+    fn resource_capacities_come_from_the_gpu_spec() {
+        let c = ClusterSpec::h800_node(2);
+        assert_eq!(c.resource_capacity(ResourceKind::Sm), c.gpu.sm_count);
+        assert_eq!(
+            c.resource_capacity(ResourceKind::DmaEngine),
+            c.gpu.dma_engines
+        );
+        assert_eq!(
+            c.resource_capacity(ResourceKind::LinkOut),
+            GpuSpec::LINK_PORT_SHARES
+        );
+        assert_eq!(
+            c.resource_capacity(ResourceKind::LinkIn),
+            GpuSpec::LINK_PORT_SHARES
+        );
+        assert_eq!(c.resource_capacity(ResourceKind::Host), 1);
     }
 
     #[test]

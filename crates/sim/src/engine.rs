@@ -1,36 +1,12 @@
-//! The discrete-event scheduler.
+//! The discrete-event scheduler facade: validation plus the two recorders.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::cell::RefCell;
 
+use crate::sched::{schedule, SimScratch};
 use crate::{
-    analytic_cost, ClusterSpec, CostProvider, ResourceKind, Result, Seconds, SharedCost, SimError,
-    TaskGraph, TaskId, Trace, TraceEntry, Work,
+    analytic_cost, ClusterSpec, CostProvider, Result, Seconds, SharedCost, SimError, TaskGraph,
+    Trace, TraceEntry, Work,
 };
-
-/// A completion event in the event queue. Ordered by time, then task id for
-/// determinism.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Completion {
-    time: Seconds,
-    task: TaskId,
-}
-
-impl Eq for Completion {}
-
-impl PartialOrd for Completion {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Completion {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time
-            .total_cmp(&other.time)
-            .then(self.task.cmp(&other.task))
-    }
-}
 
 /// Executes [`TaskGraph`]s against a [`ClusterSpec`].
 ///
@@ -38,6 +14,13 @@ impl Ord for Completion {
 /// as (a) all of its dependencies have finished and (b) its requested resource
 /// units are free on its rank. Ready tasks are considered in submission order,
 /// which mirrors how a GPU's block scheduler drains a grid.
+///
+/// The scheduling core lives in [`crate::sched`]; the engine exposes it twice:
+///
+/// * [`Engine::run`] records a full [`Trace`] (per-task timing, utilisation);
+/// * [`Engine::makespan`] / [`Engine::makespan_with_scratch`] record nothing
+///   and return only the makespan — several times faster, and what search
+///   loops that price thousands of candidate graphs should call.
 #[derive(Debug, Clone)]
 pub struct Engine {
     cost: SharedCost,
@@ -66,16 +49,6 @@ impl Engine {
         &*self.cost
     }
 
-    fn capacity(&self, kind: ResourceKind) -> u64 {
-        let gpu = &self.cluster().gpu;
-        match kind {
-            ResourceKind::Sm => gpu.sm_count,
-            ResourceKind::DmaEngine => gpu.dma_engines,
-            ResourceKind::LinkOut | ResourceKind::LinkIn => 100,
-            ResourceKind::Host => 1,
-        }
-    }
-
     fn validate(&self, graph: &TaskGraph) -> Result<()> {
         let world = self.cluster().world_size();
         for (id, task) in graph.iter() {
@@ -93,7 +66,7 @@ impl Engine {
                     });
                 }
             }
-            let cap = self.capacity(task.resource);
+            let cap = self.cluster().resource_capacity(task.resource);
             if task.units == 0 || task.units > cap {
                 return Err(SimError::InsufficientCapacity {
                     task: id,
@@ -113,142 +86,74 @@ impl Engine {
     /// units than exist, or if the dependency graph contains a cycle.
     pub fn run(&self, graph: &TaskGraph) -> Result<Trace> {
         self.validate(graph)?;
-
-        let mut available: HashMap<(usize, ResourceKind), u64> = HashMap::new();
-        for rank in 0..self.cluster().world_size() {
-            for kind in ResourceKind::ALL {
-                available.insert((rank, kind), self.capacity(kind));
-            }
-        }
-
-        let mut predecessor_count = graph.predecessor_counts();
-        let mut ready: VecDeque<TaskId> = graph
-            .iter()
-            .filter(|(id, _)| predecessor_count[id.0] == 0)
-            .map(|(id, _)| id)
-            .collect();
-        let mut events: BinaryHeap<Reverse<Completion>> = BinaryHeap::new();
         let mut entries: Vec<Option<TraceEntry>> = vec![None; graph.len()];
-        // Extra resources (dst LinkIn) held by a running task.
-        let mut extra_held: HashMap<TaskId, (usize, ResourceKind, u64)> = HashMap::new();
-
-        let mut now: Seconds = 0.0;
-        let mut completed = 0usize;
-        let mut running = 0usize;
-
-        loop {
-            // Start every ready task whose resources are free, in FIFO order.
-            let mut deferred: VecDeque<TaskId> = VecDeque::new();
-            while let Some(id) = ready.pop_front() {
-                let task = graph.task(id);
-                let key = (task.rank, task.resource);
-                let free = *available.get(&key).expect("resource exists");
-                // A link transfer also needs ingress capacity at the destination.
-                let link_dst = match task.work {
-                    Work::LinkBytes { dst_rank, .. } if dst_rank != task.rank => {
-                        Some((dst_rank, ResourceKind::LinkIn, task.units))
-                    }
-                    _ => None,
-                };
-                let dst_free = link_dst
-                    .map(|(r, k, u)| *available.get(&(r, k)).expect("resource exists") >= u)
-                    .unwrap_or(true);
-                if free >= task.units && dst_free {
-                    *available.get_mut(&key).expect("resource exists") -= task.units;
-                    if let Some((r, k, u)) = link_dst {
-                        *available.get_mut(&(r, k)).expect("resource exists") -= u;
-                        extra_held.insert(id, (r, k, u));
-                    }
-                    let duration = self.cost.duration(task, task.units);
-                    let end = now + duration;
-                    entries[id.0] = Some(TraceEntry {
-                        task: id,
-                        name: task.name.clone(),
-                        rank: task.rank,
-                        resource: task.resource,
-                        units: task.units,
-                        start: now,
-                        end,
-                    });
-                    events.push(Reverse(Completion {
-                        time: end,
-                        task: id,
-                    }));
-                    running += 1;
-                } else {
-                    deferred.push_back(id);
-                }
-            }
-            ready = deferred;
-
-            if running == 0 {
-                if completed == graph.len() {
-                    break;
-                }
-                // Nothing is running and nothing could start: the remaining
-                // tasks are blocked on predecessors that will never finish.
-                return Err(SimError::DependencyCycle {
-                    stuck: graph.len() - completed,
-                });
-            }
-
-            // Advance to the next completion.
-            let Reverse(Completion { time, task: id }) = events.pop().expect("running tasks exist");
-            now = time;
-            running -= 1;
-            completed += 1;
-            let task = graph.task(id);
-            *available
-                .get_mut(&(task.rank, task.resource))
-                .expect("resource exists") += task.units;
-            if let Some((r, k, u)) = extra_held.remove(&id) {
-                *available.get_mut(&(r, k)).expect("resource exists") += u;
-            }
-            for &succ in graph.successors(id) {
-                predecessor_count[succ.0] -= 1;
-                if predecessor_count[succ.0] == 0 {
-                    ready.push_back(succ);
-                }
-            }
-
-            // Drain any other completions at the same instant before trying to
-            // start new work, so resources freed "simultaneously" are pooled.
-            while let Some(&Reverse(peek)) = events.peek() {
-                if peek.time > now {
-                    break;
-                }
-                let Reverse(Completion { task: id, .. }) = events.pop().expect("peeked");
-                running -= 1;
-                completed += 1;
-                let task = graph.task(id);
-                *available
-                    .get_mut(&(task.rank, task.resource))
-                    .expect("resource exists") += task.units;
-                if let Some((r, k, u)) = extra_held.remove(&id) {
-                    *available.get_mut(&(r, k)).expect("resource exists") += u;
-                }
-                for &succ in graph.successors(id) {
-                    predecessor_count[succ.0] -= 1;
-                    if predecessor_count[succ.0] == 0 {
-                        ready.push_back(succ);
-                    }
-                }
-            }
-
-            if completed == graph.len() && running == 0 && ready.is_empty() {
-                break;
-            }
-        }
-
+        // The trace path allocates per-task entries anyway, so it pays for a
+        // local scratch rather than borrowing the thread-local one — keeping
+        // `run` re-entrant for cost providers that themselves simulate.
+        let mut scratch = SimScratch::new();
+        schedule(&*self.cost, graph, &mut scratch, |id, task, start, end| {
+            entries[id.0] = Some(TraceEntry {
+                task: id,
+                name: task.name.clone(),
+                rank: task.rank,
+                resource: task.resource,
+                units: task.units,
+                start,
+                end,
+            });
+        })?;
         let entries: Vec<TraceEntry> = entries.into_iter().flatten().collect();
         Ok(Trace::new(self.cluster().clone(), entries))
     }
+
+    /// Runs the graph to completion and returns only its makespan, skipping
+    /// all trace recording.
+    ///
+    /// This is the fast path for search loops: it produces bit-identical
+    /// timing to [`Engine::run`] (one shared scheduler, see [`crate::sched`])
+    /// but allocates no per-task entries. Buffers are reused through one
+    /// scratch per thread; callers managing their own can use
+    /// [`Engine::makespan_with_scratch`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Engine::run`].
+    pub fn makespan(&self, graph: &TaskGraph) -> Result<Seconds> {
+        SCRATCH.with(|scratch| match scratch.try_borrow_mut() {
+            Ok(mut scratch) => self.makespan_with_scratch(graph, &mut scratch),
+            // Re-entrant simulation (a cost provider that itself simulates on
+            // this thread): fall back to a fresh scratch instead of panicking
+            // on the RefCell.
+            Err(_) => self.makespan_with_scratch(graph, &mut SimScratch::new()),
+        })
+    }
+
+    /// [`Engine::makespan`] with an explicit reusable scratch buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Engine::run`].
+    pub fn makespan_with_scratch(
+        &self,
+        graph: &TaskGraph,
+        scratch: &mut SimScratch,
+    ) -> Result<Seconds> {
+        self.validate(graph)?;
+        schedule(&*self.cost, graph, scratch, |_, _, _, _| {})
+    }
+}
+
+thread_local! {
+    /// One warm scratch per thread: repeated simulations (e.g. a tuner worker
+    /// thread pricing candidates back to back) reuse its buffers without any
+    /// caller-side plumbing.
+    static SCRATCH: RefCell<SimScratch> = RefCell::new(SimScratch::new());
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{GpuSpec, Task};
+    use crate::{GpuSpec, ResourceKind, Task, TaskId};
 
     fn engine() -> Engine {
         Engine::new(ClusterSpec::h800_node(4))
@@ -259,6 +164,7 @@ mod tests {
         let trace = engine().run(&TaskGraph::new()).unwrap();
         assert_eq!(trace.makespan(), 0.0);
         assert!(trace.entries().is_empty());
+        assert_eq!(engine().makespan(&TaskGraph::new()).unwrap(), 0.0);
     }
 
     #[test]
@@ -372,6 +278,10 @@ mod tests {
             engine().run(&g),
             Err(SimError::DependencyCycle { .. })
         ));
+        assert!(matches!(
+            engine().makespan(&g),
+            Err(SimError::DependencyCycle { .. })
+        ));
     }
 
     #[test]
@@ -465,5 +375,76 @@ mod tests {
         let a = e.run(&g).unwrap();
         let b = e.run(&g).unwrap();
         assert_eq!(a.makespan(), b.makespan());
+    }
+
+    /// Prices every task by running a nested simulation on the same thread —
+    /// the re-entrancy case the thread-local scratch must tolerate.
+    #[derive(Debug)]
+    struct RecursiveCost {
+        inner: SharedCost,
+    }
+
+    impl CostProvider for RecursiveCost {
+        fn cluster(&self) -> &ClusterSpec {
+            self.inner.cluster()
+        }
+
+        fn duration(&self, task: &crate::Task, units: u64) -> Seconds {
+            let mut sub = TaskGraph::new();
+            sub.add_host_latency("nested", 0, 1e-6);
+            let nested = Engine::with_cost(self.inner.clone())
+                .makespan(&sub)
+                .expect("nested simulation");
+            self.inner.duration(task, units) + nested
+        }
+
+        fn revision(&self) -> String {
+            "recursive-test".to_string()
+        }
+    }
+
+    #[test]
+    fn engine_survives_reentrant_cost_providers() {
+        let cluster = ClusterSpec::h800_node(2);
+        let cost: SharedCost = std::sync::Arc::new(RecursiveCost {
+            inner: analytic_cost(&cluster),
+        });
+        let engine = Engine::with_cost(cost);
+        let mut g = TaskGraph::new();
+        g.add_task("a", 0, ResourceKind::Sm, 66, Work::Latency { seconds: 1.0 });
+        g.add_task("b", 1, ResourceKind::Sm, 66, Work::Latency { seconds: 2.0 });
+        // Both recorders must price through the nested simulation without
+        // panicking on the thread-local scratch.
+        let traced = engine.run(&g).unwrap().makespan();
+        let fast = engine.makespan(&g).unwrap();
+        assert_eq!(fast.to_bits(), traced.to_bits());
+        assert!((fast - (2.0 + 1e-6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn makespan_matches_run_and_reuses_scratch() {
+        let mut g = TaskGraph::new();
+        for i in 0..40 {
+            let t = g.add_task(
+                format!("t{i}"),
+                i % 4,
+                ResourceKind::Sm,
+                48,
+                Work::Latency {
+                    seconds: 0.01 * (i % 5 + 1) as f64,
+                },
+            );
+            if i >= 3 {
+                g.add_dep(TaskId(i - 3), t);
+            }
+        }
+        let e = engine();
+        let traced = e.run(&g).unwrap().makespan();
+        let mut scratch = SimScratch::new();
+        // Same scratch across repeated runs must not change the result.
+        for _ in 0..3 {
+            assert_eq!(e.makespan_with_scratch(&g, &mut scratch).unwrap(), traced);
+        }
+        assert_eq!(e.makespan(&g).unwrap(), traced);
     }
 }

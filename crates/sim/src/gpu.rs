@@ -32,6 +32,13 @@ pub struct GpuSpec {
 }
 
 impl GpuSpec {
+    /// Number of shareable units one interconnect port direction is divided
+    /// into: a `LinkOut`/`LinkIn` task's `units` is the *percent* of the
+    /// port's per-direction bandwidth it occupies. The scheduler's capacity
+    /// tables, trace utilisation and the workload graph builders all derive
+    /// their port shares from this constant so they cannot drift.
+    pub const LINK_PORT_SHARES: u64 = 100;
+
     /// NVIDIA H800 SXM (the paper's platform): 132 SMs, ~990 TFLOP/s dense BF16,
     /// 3.35 TB/s HBM3, 200 GB/s per-direction NVLink (400 GB/s total), 50 GB/s IB.
     pub fn h800() -> Self {

@@ -1,5 +1,7 @@
 //! Task-graph construction API.
 
+use std::sync::Arc;
+
 use crate::{ResourceKind, Task, TaskId, Work};
 
 /// A dependency graph of simulated tasks.
@@ -36,7 +38,7 @@ impl TaskGraph {
     /// Adds a task and returns its id.
     pub fn add_task(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Arc<str>>,
         rank: usize,
         resource: ResourceKind,
         units: u64,
@@ -81,7 +83,7 @@ impl TaskGraph {
     /// and synchronisation overheads.
     pub fn add_host_latency(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Arc<str>>,
         rank: usize,
         seconds: f64,
     ) -> TaskId {
@@ -107,9 +109,11 @@ impl TaskGraph {
         &self.successors[id.0]
     }
 
-    /// Number of predecessors of every task (cloned, for the scheduler).
-    pub(crate) fn predecessor_counts(&self) -> Vec<usize> {
-        self.predecessor_count.clone()
+    /// Copies the predecessor counts into `out`, reusing its allocation (the
+    /// scheduler runs this once per simulation).
+    pub(crate) fn fill_predecessor_counts(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend_from_slice(&self.predecessor_count);
     }
 }
 
@@ -134,8 +138,10 @@ mod tests {
         g.add_deps(&[a, b], c);
         assert_eq!(g.len(), 3);
         assert_eq!(g.successors(a), &[b, c]);
-        assert_eq!(g.predecessor_counts(), vec![0, 1, 2]);
-        assert_eq!(g.task(c).name, "c");
+        let mut counts = Vec::new();
+        g.fill_predecessor_counts(&mut counts);
+        assert_eq!(counts, vec![0, 1, 2]);
+        assert_eq!(&*g.task(c).name, "c");
     }
 
     #[test]
@@ -151,7 +157,7 @@ mod tests {
         let mut g = TaskGraph::new();
         g.add_host_latency("first", 0, 0.0);
         g.add_host_latency("second", 0, 0.0);
-        let names: Vec<&str> = g.iter().map(|(_, t)| t.name.as_str()).collect();
+        let names: Vec<&str> = g.iter().map(|(_, t)| &*t.name).collect();
         assert_eq!(names, vec!["first", "second"]);
     }
 }

@@ -19,7 +19,10 @@
 //!
 //! Work is described as a dependency graph of [`Task`]s ([`TaskGraph`]) and
 //! executed by [`Engine::run`], producing a [`Trace`] with per-task timing, a
-//! makespan, and per-resource utilisation.
+//! makespan, and per-resource utilisation. Search loops that only need the
+//! makespan should call [`Engine::makespan`] (optionally threading a reusable
+//! [`SimScratch`] through [`Engine::makespan_with_scratch`]): the same
+//! scheduler with trace recording compiled out, several times faster.
 //!
 //! Work is priced by a pluggable [`CostProvider`]: the analytic [`CostModel`]
 //! (the default — roofline GEMMs, pure-bandwidth links with a per-message α
@@ -60,6 +63,7 @@ mod error;
 mod gpu;
 mod graph;
 mod provider;
+mod sched;
 mod task;
 mod trace;
 
@@ -71,6 +75,7 @@ pub use error::SimError;
 pub use gpu::GpuSpec;
 pub use graph::TaskGraph;
 pub use provider::{analytic_cost, CostModelSpec, CostProvider, SharedCost};
+pub use sched::SimScratch;
 pub use task::{ResourceKind, Task, TaskId, Work};
 pub use trace::{Trace, TraceEntry};
 

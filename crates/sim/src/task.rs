@@ -1,5 +1,7 @@
 //! Tasks: the unit of simulated work.
 
+use std::sync::Arc;
+
 /// Identifier of a task inside one [`crate::TaskGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TaskId(pub usize);
@@ -38,6 +40,21 @@ impl ResourceKind {
         ResourceKind::LinkIn,
         ResourceKind::Host,
     ];
+
+    /// Number of resource kinds (the stride of flat per-rank resource tables).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index of this kind in [`ResourceKind::ALL`] order, used to
+    /// address flat `rank * COUNT + index` tables in the scheduler hot path.
+    pub const fn index(self) -> usize {
+        match self {
+            ResourceKind::Sm => 0,
+            ResourceKind::DmaEngine => 1,
+            ResourceKind::LinkOut => 2,
+            ResourceKind::LinkIn => 3,
+            ResourceKind::Host => 4,
+        }
+    }
 }
 
 impl std::fmt::Display for ResourceKind {
@@ -98,8 +115,9 @@ pub enum Work {
 /// One node of the simulated task graph.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Task {
-    /// Human-readable name, used in traces.
-    pub name: String,
+    /// Human-readable name, used in traces. Interned as `Arc<str>` so trace
+    /// recording shares one allocation with the task instead of deep-copying.
+    pub name: Arc<str>,
     /// Rank (GPU index) the task runs on.
     pub rank: usize,
     /// Resource kind the task occupies.
@@ -113,7 +131,7 @@ pub struct Task {
 impl Task {
     /// Creates a task description.
     pub fn new(
-        name: impl Into<String>,
+        name: impl Into<Arc<str>>,
         rank: usize,
         resource: ResourceKind,
         units: u64,
@@ -140,11 +158,19 @@ mod tests {
     }
 
     #[test]
+    fn resource_kind_indices_match_all_order() {
+        assert_eq!(ResourceKind::COUNT, 5);
+        for (i, kind) in ResourceKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+
+    #[test]
     fn task_constructor_stores_fields() {
         let t = Task::new("t", 3, ResourceKind::Sm, 16, Work::HbmBytes { bytes: 1.0 });
         assert_eq!(t.rank, 3);
         assert_eq!(t.units, 16);
-        assert_eq!(t.name, "t");
+        assert_eq!(&*t.name, "t");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Execution traces: per-task timing, makespan and utilisation.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::{ClusterSpec, ResourceKind, Seconds, TaskId};
 
@@ -9,8 +10,8 @@ use crate::{ClusterSpec, ResourceKind, Seconds, TaskId};
 pub struct TraceEntry {
     /// Task id within the graph.
     pub task: TaskId,
-    /// Task name.
-    pub name: String,
+    /// Task name (shares the interned allocation of [`crate::Task::name`]).
+    pub name: Arc<str>,
     /// Rank the task ran on.
     pub rank: usize,
     /// Resource kind the task occupied.
@@ -66,12 +67,7 @@ impl Trace {
     /// Sum of `duration × occupied-fraction` for one resource on one rank,
     /// normalised by the makespan: 1.0 means the resource was fully busy.
     pub fn utilization(&self, rank: usize, resource: ResourceKind) -> f64 {
-        let capacity = match resource {
-            ResourceKind::Sm => self.cluster.gpu.sm_count,
-            ResourceKind::DmaEngine => self.cluster.gpu.dma_engines,
-            ResourceKind::LinkOut | ResourceKind::LinkIn => 100,
-            ResourceKind::Host => 1,
-        } as f64;
+        let capacity = self.cluster.resource_capacity(resource) as f64;
         let makespan = self.makespan();
         if makespan == 0.0 {
             return 0.0;

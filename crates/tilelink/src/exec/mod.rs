@@ -4,4 +4,4 @@ pub mod functional;
 pub mod timed;
 
 pub use functional::{run_blocks, run_comm_compute};
-pub use timed::{simulate, simulate_with};
+pub use timed::{simulate, simulate_report_with, simulate_with, task_graph};

@@ -18,7 +18,8 @@
 use std::collections::HashMap;
 
 use tilelink_sim::{
-    analytic_cost, ClusterSpec, Engine, ResourceKind, SharedCost, TaskGraph, TaskId, Trace, Work,
+    analytic_cost, ClusterSpec, Engine, GpuSpec, ResourceKind, SharedCost, TaskGraph, TaskId,
+    Trace, Work,
 };
 
 use crate::compile::CompiledKernel;
@@ -184,7 +185,7 @@ impl<'a> GraphBuilder<'a> {
                 label,
                 src_rank,
                 ResourceKind::LinkOut,
-                port_share.min(100),
+                port_share.min(GpuSpec::LINK_PORT_SHARES),
                 Work::LinkBytes { bytes, dst_rank },
             ),
             TransferLane::CopyEngine => {
@@ -483,6 +484,37 @@ pub fn simulate_with(kernel: &CompiledKernel, cost: &SharedCost) -> Result<(Over
     Ok((report, full))
 }
 
+/// Report-only simulation: the three makespans [`OverlapReport`] needs,
+/// without constructing any trace.
+///
+/// This is the fast path every workload wrapper and autotuning oracle runs
+/// on: it drives the same scheduler as [`simulate_with`] through
+/// [`Engine::makespan`] (bit-identical timing, per-thread scratch reuse) but
+/// skips all per-task entry recording. Use [`simulate_with`] when the caller
+/// actually inspects the trace.
+///
+/// # Errors
+///
+/// Returns an error if the generated task graph is invalid (which indicates a
+/// compiler bug, e.g. a dependency cycle between blocks).
+pub fn simulate_report_with(kernel: &CompiledKernel, cost: &SharedCost) -> Result<OverlapReport> {
+    let cluster = cost.cluster().clone();
+    let engine = Engine::with_cost(cost.clone());
+    let full = engine.makespan(&build_graph(kernel, &cluster, Subset::All))?;
+    let comm = engine.makespan(&build_graph(kernel, &cluster, Subset::CommOnly))?;
+    let comp = engine.makespan(&build_graph(kernel, &cluster, Subset::ComputeOnly))?;
+    Ok(OverlapReport::new(full, comm, comp))
+}
+
+/// The full task graph (all block roles) a compiled kernel simulates as.
+///
+/// Exposed for benchmark harnesses that time the simulator itself on real
+/// kernel graphs (`tilelink-bench`'s `sim_throughput`); figure reproduction
+/// goes through [`simulate_with`] / [`simulate_report_with`] instead.
+pub fn task_graph(kernel: &CompiledKernel, cluster: &ClusterSpec) -> TaskGraph {
+    build_graph(kernel, cluster, Subset::All)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -558,6 +590,42 @@ mod tests {
         assert!(report.total_s < serial, "no overlap achieved: {report}");
         assert!(report.total_s >= report.comp_only_s * 0.99);
         assert!(report.overlap_ratio() > 0.0);
+    }
+
+    #[test]
+    fn report_only_path_is_bit_identical_to_the_trace_path() {
+        let program = ag_gemm_program(4, 4, 4.0e6, 2048);
+        let cluster = ClusterSpec::h800_node(4);
+        for cost in [
+            analytic_cost(&cluster),
+            std::sync::Arc::new(tilelink_sim::CalibratedCostModel::h800_defaults(
+                cluster.clone(),
+            )) as tilelink_sim::SharedCost,
+        ] {
+            for cfg in [
+                OverlapConfig::default(),
+                OverlapConfig::default().with_comm_mapping(CommMapping::CopyEngine),
+            ] {
+                let kernel = compile(&program, cfg);
+                let (traced, _) = simulate_with(&kernel, &cost).unwrap();
+                let fast = simulate_report_with(&kernel, &cost).unwrap();
+                assert_eq!(fast, traced, "fast path must not change any figure");
+            }
+        }
+    }
+
+    #[test]
+    fn task_graph_matches_the_simulated_graph() {
+        let program = ag_gemm_program(4, 4, 4.0e6, 1024);
+        let kernel = compile(&program, OverlapConfig::default());
+        let cluster = ClusterSpec::h800_node(4);
+        let graph = task_graph(&kernel, &cluster);
+        assert!(!graph.is_empty());
+        let makespan = tilelink_sim::Engine::new(cluster.clone())
+            .makespan(&graph)
+            .unwrap();
+        let (report, _) = simulate(&kernel, &cluster).unwrap();
+        assert_eq!(makespan.to_bits(), report.total_s.to_bits());
     }
 
     #[test]

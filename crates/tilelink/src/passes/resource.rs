@@ -77,7 +77,7 @@ impl ResourcePlan {
         let lane = match config.comm_mapping {
             CommMapping::CopyEngine => TransferLane::CopyEngine,
             CommMapping::Sm { .. } => TransferLane::SmPort {
-                port_share: (100 / comm_blocks_per_rank as u64).max(1),
+                port_share: (GpuSpec::LINK_PORT_SHARES / comm_blocks_per_rank as u64).max(1),
             },
             CommMapping::Hybrid { .. } => TransferLane::CopyEngine,
         };

@@ -114,6 +114,28 @@ impl TuneCache {
         self.entries.is_empty()
     }
 
+    /// The shared `workload|cluster|revision|objective` prefix of every key
+    /// of one tuning run.
+    ///
+    /// All four parts are fixed for the duration of a [`crate::Tuner::tune`]
+    /// call, so the tuner builds this once per run and derives per-candidate
+    /// keys with [`TuneCache::key_in`] instead of re-assembling (and
+    /// re-allocating) the full quadruple on every cache probe.
+    pub fn key_prefix(
+        workload_key: &str,
+        cluster_key: &str,
+        cost_revision: &str,
+        objective_key: &str,
+    ) -> String {
+        format!("{workload_key}|{cluster_key}|{cost_revision}|{objective_key}")
+    }
+
+    /// The full cache key of one candidate under a memoized
+    /// [`TuneCache::key_prefix`].
+    pub fn key_in(prefix: &str, cfg: &OverlapConfig) -> String {
+        format!("{prefix}|{}", cfg.cache_key())
+    }
+
     /// The full cache key for one (workload, cluster, cost-model revision,
     /// objective, config) quintuple.
     pub fn key(
@@ -123,9 +145,9 @@ impl TuneCache {
         objective_key: &str,
         cfg: &OverlapConfig,
     ) -> String {
-        format!(
-            "{workload_key}|{cluster_key}|{cost_revision}|{objective_key}|{}",
-            cfg.cache_key()
+        Self::key_in(
+            &Self::key_prefix(workload_key, cluster_key, cost_revision, objective_key),
+            cfg,
         )
     }
 
@@ -235,6 +257,16 @@ mod tests {
         );
         assert!(k.starts_with("mlp|h800x8|analytic-v2|mean|"));
         assert!(k.contains("ct128x128"));
+    }
+
+    #[test]
+    fn memoized_prefix_produces_identical_keys() {
+        let cfg = OverlapConfig::default();
+        let prefix = TuneCache::key_prefix("mlp", "h800x8", "analytic-v2", "p95");
+        assert_eq!(
+            TuneCache::key_in(&prefix, &cfg),
+            TuneCache::key("mlp", "h800x8", "analytic-v2", "p95", &cfg)
+        );
     }
 
     #[test]

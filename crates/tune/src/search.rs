@@ -153,10 +153,16 @@ impl Tuner {
     /// oracle, and [`TuneError::CacheIo`] if the persistent cache cannot be
     /// written.
     pub fn tune(&self, oracle: &dyn CostOracle, space: &SearchSpace) -> Result<TuneReport> {
-        let workload = oracle.workload_key();
-        let cluster = cluster_key(oracle.cluster());
-        let revision = oracle.cost_revision();
-        let objective = oracle.objective().key();
+        // The workload / cluster / revision / objective parts of the cache
+        // key are fixed for this whole run, and the oracle accessors allocate
+        // a String per call: memoize the joined prefix once instead of
+        // re-assembling it for every candidate probe.
+        let prefix = TuneCache::key_prefix(
+            &oracle.workload_key(),
+            &cluster_key(oracle.cluster()),
+            &oracle.cost_revision(),
+            &oracle.objective().key(),
+        );
         let mut stats = BatchStats {
             evaluations: 0,
             cache_hits: 0,
@@ -178,7 +184,7 @@ impl Tuner {
                 }
                 self.evaluate_batch(
                     oracle,
-                    (&workload, &cluster, &revision, &objective),
+                    &prefix,
                     &candidates,
                     &mut stats,
                     &mut evaluated,
@@ -213,7 +219,7 @@ impl Tuner {
                 }
                 self.evaluate_batch(
                     oracle,
-                    (&workload, &cluster, &revision, &objective),
+                    &prefix,
                     &seeds,
                     &mut stats,
                     &mut evaluated,
@@ -228,7 +234,7 @@ impl Tuner {
                     for chunk in space.candidates(oracle).chunks(16) {
                         self.evaluate_batch(
                             oracle,
-                            (&workload, &cluster, &revision, &objective),
+                            &prefix,
                             chunk,
                             &mut stats,
                             &mut evaluated,
@@ -260,7 +266,7 @@ impl Tuner {
                         }
                         self.evaluate_batch(
                             oracle,
-                            (&workload, &cluster, &revision, &objective),
+                            &prefix,
                             &frontier,
                             &mut stats,
                             &mut evaluated,
@@ -320,13 +326,12 @@ impl Tuner {
     }
 
     /// Evaluates `configs` (cache first, then the oracle in parallel),
-    /// appending successes to `evaluated` in candidate order. `keys` is the
-    /// `(workload_key, cluster_key, cost_revision, objective_key)` quadruple
-    /// fed to [`TuneCache::key`].
+    /// appending successes to `evaluated` in candidate order. `prefix` is the
+    /// memoized [`TuneCache::key_prefix`] of this tuning run.
     fn evaluate_batch(
         &self,
         oracle: &dyn CostOracle,
-        keys: (&str, &str, &str, &str),
+        prefix: &str,
         configs: &[OverlapConfig],
         stats: &mut BatchStats,
         evaluated: &mut Vec<Candidate>,
@@ -342,7 +347,7 @@ impl Tuner {
                     hit_or_miss.push(None); // already ranked; nothing to do
                     continue;
                 }
-                let key = TuneCache::key(keys.0, keys.1, keys.2, keys.3, cfg);
+                let key = TuneCache::key_in(prefix, cfg);
                 match cache.get(&key) {
                     Some(report) => {
                         stats.cache_hits += 1;
@@ -403,7 +408,7 @@ impl Tuner {
                     match result {
                         Ok(report) => {
                             stats.evaluations += 1;
-                            let key = TuneCache::key(keys.0, keys.1, keys.2, keys.3, cfg);
+                            let key = TuneCache::key_in(prefix, cfg);
                             cache.insert(key, report);
                             (report, false)
                         }

@@ -8,7 +8,7 @@
 //! is order-invariant, so tiles may arrive in any rank order).
 
 use tilelink::config::{CommMapping, OverlapConfig, TileShape};
-use tilelink::exec::{run_comm_compute, simulate_with};
+use tilelink::exec::{run_comm_compute, simulate_report_with};
 use tilelink::ir::{BlockDesc, BlockRole, ComputeKind, TileOp, TileProgram};
 use tilelink::primitives::NotifyScope;
 use tilelink::tile::{read_tile, TileRect};
@@ -241,8 +241,7 @@ pub fn timed_sp_attention_with(
     let kernel = Compiler::new(cfg.clone(), cost.cluster().gpu.clone())
         .with_cost(cost.clone())
         .compile(&program, &mapping)?;
-    let (report, _) = simulate_with(&kernel, cost)?;
-    Ok(report)
+    simulate_report_with(&kernel, cost)
 }
 
 #[cfg(test)]

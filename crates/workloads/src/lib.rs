@@ -30,6 +30,7 @@ pub mod e2e;
 pub mod mlp;
 pub mod moe;
 pub mod shapes;
+pub mod simgraph;
 
 pub use autotune::{RoutingSpec, TuneOptions, TunedLayer};
 pub use e2e::{E2eTunedComparison, TunedModelTiming};

@@ -17,7 +17,7 @@
 //!   Figure 8 and Table 2.
 
 use tilelink::config::{CommMapping, OverlapConfig, TileShape};
-use tilelink::exec::{run_comm_compute, simulate_with};
+use tilelink::exec::{run_comm_compute, simulate_report_with};
 use tilelink::ir::{BlockDesc, BlockRole, ComputeKind, TileOp, TileProgram};
 use tilelink::primitives::{NotifyScope, PushTarget};
 use tilelink::tile::{read_tile, write_tile, TileRect};
@@ -460,8 +460,7 @@ pub fn timed_ag_gemm_with(
     let kernel = Compiler::new(cfg.clone(), cost.cluster().gpu.clone())
         .with_cost(cost.clone())
         .compile(&program, &mapping)?;
-    let (report, _) = simulate_with(&kernel, cost)?;
-    Ok(report)
+    simulate_report_with(&kernel, cost)
 }
 
 /// Simulates the TileLink GEMM + ReduceScatter kernel for one MLP shape with
@@ -495,8 +494,7 @@ pub fn timed_gemm_rs_with(
     let kernel = Compiler::new(cfg.clone(), cost.cluster().gpu.clone())
         .with_cost(cost.clone())
         .compile(&program, &mapping)?;
-    let (report, _) = simulate_with(&kernel, cost)?;
-    Ok(report)
+    simulate_report_with(&kernel, cost)
 }
 
 /// Simulates the full TileLink MLP layer (AG+GEMM, activation, GEMM+RS) with

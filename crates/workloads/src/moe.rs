@@ -18,7 +18,7 @@
 //! tile touches.
 
 use tilelink::config::{CommMapping, OverlapConfig, TileShape};
-use tilelink::exec::{run_comm_compute, simulate_with};
+use tilelink::exec::{run_comm_compute, simulate_report_with};
 use tilelink::ir::{BlockDesc, BlockRole, ComputeKind, TileOp, TileProgram};
 use tilelink::primitives::{NotifyScope, PushTarget};
 use tilelink::tile::{read_tile, TileRect};
@@ -398,8 +398,7 @@ pub fn timed_ag_group_gemm_with(
     let kernel = Compiler::new(cfg.clone(), cost.cluster().gpu.clone())
         .with_cost(cost.clone())
         .compile(&program, &mapping)?;
-    let (report, _) = simulate_with(&kernel, cost)?;
-    Ok(report)
+    simulate_report_with(&kernel, cost)
 }
 
 /// Simulates the TileLink GroupGEMM + Scatter + TopK-Reduce + RS kernel with
@@ -434,8 +433,7 @@ pub fn timed_group_gemm_rs_with(
     let kernel = Compiler::new(cfg.clone(), cost.cluster().gpu.clone())
         .with_cost(cost.clone())
         .compile(&program, &mapping)?;
-    let (report, _) = simulate_with(&kernel, cost)?;
-    Ok(report)
+    simulate_report_with(&kernel, cost)
 }
 
 /// Simulates the full TileLink MoE layer (both halves plus the activation)
@@ -990,8 +988,7 @@ pub fn timed_routed_ag_group_gemm_with(
     let kernel = Compiler::new(cfg.clone(), cost.cluster().gpu.clone())
         .with_cost(cost.clone())
         .compile(&program, &dyn_map)?;
-    let (report, _) = simulate_with(&kernel, cost)?;
-    Ok(report)
+    simulate_report_with(&kernel, cost)
 }
 
 /// Simulates the routed GroupGEMM + Scatter + TopK-Reduce + RS kernel for one
@@ -1013,8 +1010,7 @@ pub fn timed_routed_group_gemm_rs_with(
     let kernel = Compiler::new(cfg.clone(), cost.cluster().gpu.clone())
         .with_cost(cost.clone())
         .compile(&program, &mapping)?;
-    let (report, _) = simulate_with(&kernel, cost)?;
-    Ok(report)
+    simulate_report_with(&kernel, cost)
 }
 
 /// Simulates the full routed MoE layer (both halves plus the activation) for
