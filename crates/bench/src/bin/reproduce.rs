@@ -37,10 +37,26 @@
 //! the expected-routing mean. The report prints the mean/uniform-tuned and the
 //! skew-tuned winner side by side per Figure 9 shape. `--quick --tune` runs a
 //! reduced smoke version of the same comparison (used by CI).
+//!
+//! Observability (combine with any of the above, including `--quick` and
+//! `--bench-sim`):
+//!
+//! * `--profile[=<path>]` enables the `tilelink-probe` span profiler for the
+//!   whole run and prints a per-phase wall-time table (count, total, mean,
+//!   p95, max, self-minus-children) on exit; with `=<path>` it also writes
+//!   the report plus the metrics-registry snapshot as JSON.
+//! * `--trace-out <dir>` simulates the three benchmark graphs and writes one
+//!   Chrome `trace_event` JSON per graph into `<dir>` (ranks as processes,
+//!   resource lanes as threads — open in Perfetto or `chrome://tracing`),
+//!   printing each trace's utilisation/overlap summary. Combined with
+//!   `--profile` it also writes `host.trace.json` with the host-side spans.
+//! * `--verbose` (requires `--tune`) prints per-beam-round search progress
+//!   (round, best-so-far, evaluations) to stderr while tuning.
 
 use tilelink_bench::{
-    bench_sim_json, cost_for, default_cluster, fig10, fig11, fig11_tuned, fig8, fig9,
-    fig9_tune_throughput, geomean, sim_throughput, table2, MlpPanel, MoePanel,
+    bench_sim_json, benchmark_graphs, cost_for, default_cluster, fig10, fig11, fig11_tuned, fig8,
+    fig9, fig9_oracle_phases, fig9_tune_throughput, geomean, sim_throughput, table2, MlpPanel,
+    MoePanel,
 };
 use tilelink_sim::CostModelSpec;
 use tilelink_tune::{Objective, TuneCache};
@@ -48,8 +64,9 @@ use tilelink_workloads::moe::RoutingProfile;
 use tilelink_workloads::{shapes, RoutingSpec, TuneOptions};
 
 /// The section flags of a command line: everything except the option-style
-/// arguments (`--cost-model`, `--routing`, `--objective` and their values,
-/// `--quick`). `--tune` keeps its historical role as a section selector.
+/// arguments (`--cost-model`, `--routing`, `--objective`, `--trace-out` and
+/// their values, `--quick`, `--verbose` and `--profile[=…]`). `--tune` keeps
+/// its historical role as a section selector.
 fn section_flags(args: &[String]) -> Vec<&String> {
     let mut sections: Vec<&String> = Vec::new();
     let mut skip_next = false;
@@ -58,20 +75,39 @@ fn section_flags(args: &[String]) -> Vec<&String> {
             skip_next = false;
             continue;
         }
-        if a == "--cost-model" || a == "--routing" || a == "--objective" {
+        if a == "--cost-model" || a == "--routing" || a == "--objective" || a == "--trace-out" {
             skip_next = true; // skip the flag's value too
             continue;
         }
         if a == "--quick"
+            || a == "--profile"
+            || a == "--verbose"
             || a.starts_with("--cost-model=")
             || a.starts_with("--routing=")
             || a.starts_with("--objective=")
+            || a.starts_with("--trace-out=")
+            || a.starts_with("--profile=")
         {
             continue;
         }
         sections.push(a);
     }
     sections
+}
+
+/// Parses `--profile[=<path>]`: `None` when absent, `Some(None)` for the bare
+/// flag (table on stdout only), `Some(Some(path))` when a JSON report was
+/// also requested.
+fn profile_arg(args: &[String]) -> Option<Option<String>> {
+    let mut found = None;
+    for a in args {
+        if a == "--profile" {
+            found = found.or(Some(None));
+        } else if let Some(path) = a.strip_prefix("--profile=") {
+            found = Some(Some(path.to_string()));
+        }
+    }
+    found
 }
 
 /// Extracts the value of an option-style `--flag VALUE` / `--flag=VALUE`.
@@ -162,20 +198,61 @@ fn main() {
         std::process::exit(2);
     }
 
+    // Like --routing, --verbose only changes the tuning pass.
+    let verbose = args.iter().any(|a| a == "--verbose");
+    if verbose && !args.iter().any(|a| a == "--tune") {
+        eprintln!("error: --verbose requires --tune");
+        std::process::exit(2);
+    }
+
+    let profile = profile_arg(&args);
+    let trace_out = option_value(&args, "--trace-out").unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    if profile.is_some() {
+        // Enabled before any section runs so the exit report attributes the
+        // whole run; disabled sites cost one relaxed atomic load each.
+        tilelink_probe::set_enabled(true);
+    }
+
+    run(&args, &cluster, &spec, &cost, routing, objective, verbose);
+
+    if let Some(dir) = &trace_out {
+        write_traces(dir, &spec);
+    }
+    if let Some(json_path) = &profile {
+        finish_profile(json_path.as_deref(), trace_out.as_deref());
+    }
+}
+
+/// Everything the selected flags asked for, in section order. Split out of
+/// `main` so its early returns (`--bench-sim`, `--quick`) still fall through
+/// to the `--trace-out` / `--profile` epilogue.
+#[allow(clippy::too_many_arguments)]
+fn run(
+    args: &[String],
+    cluster: &tilelink_sim::ClusterSpec,
+    spec: &CostModelSpec,
+    cost: &tilelink_sim::SharedCost,
+    routing: Option<RoutingSpec>,
+    objective: Objective,
+    verbose: bool,
+) {
     if args.iter().any(|a| a == "--bench-sim") {
         // A perf-trajectory mode, not a figure section: it times the
         // simulator itself (trace path vs makespan-only fast path, plus a
         // cold Figure 9 tune) and with --json records the numbers into
         // BENCH_sim.json so future perf PRs have a baseline.
         let quick = args.iter().any(|a| a == "--quick");
-        if let Some(flag) = section_flags(&args)
+        if let Some(flag) = section_flags(args)
             .iter()
             .find(|f| **f != "--bench-sim" && **f != "--json")
         {
             eprintln!("error: --bench-sim cannot be combined with {flag}");
             std::process::exit(2);
         }
-        bench_sim(quick, args.iter().any(|a| a == "--json"), &spec, &cost);
+        bench_sim(quick, args.iter().any(|a| a == "--json"), spec, cost);
         return;
     }
 
@@ -184,7 +261,7 @@ fn main() {
         // section flags would silently drop them, so reject that instead.
         // `--tune` is the one exception: `--quick --tune` runs a reduced
         // tuning smoke (the CI entry point for the routing-aware search).
-        if let Some(flag) = section_flags(&args).iter().find(|f| **f != "--tune") {
+        if let Some(flag) = section_flags(args).iter().find(|f| **f != "--tune") {
             eprintln!("error: --quick cannot be combined with {flag}");
             std::process::exit(2);
         }
@@ -193,67 +270,67 @@ fn main() {
         print_shapes();
         print_groups(
             "Table 2: motivational example (MLP-1)",
-            &table2(&cost),
+            &table2(cost),
             "Non-Overlap",
         );
         if args.iter().any(|a| a == "--tune") {
-            quick_tune_smoke(&cluster, &cost, routing, objective);
-            quick_e2e_tune_smoke(&spec, routing, objective);
+            quick_tune_smoke(cluster, cost, routing, objective, verbose);
+            quick_e2e_tune_smoke(spec, routing, objective, verbose);
         }
         return;
     }
 
-    if wants(&args, "--shapes") {
+    if wants(args, "--shapes") {
         print_shapes();
     }
 
-    if wants(&args, "--table2") {
+    if wants(args, "--table2") {
         print_groups(
             "Table 2: motivational example (MLP-1)",
-            &table2(&cost),
+            &table2(cost),
             "Non-Overlap",
         );
     }
 
-    if wants(&args, "--fig8") {
+    if wants(args, "--fig8") {
         print_groups(
             "Figure 8: AG+GEMM",
-            &fig8(MlpPanel::AgGemm, &cost),
+            &fig8(MlpPanel::AgGemm, cost),
             "cuBLAS+NCCL",
         );
         print_groups(
             "Figure 8: GEMM+RS",
-            &fig8(MlpPanel::GemmRs, &cost),
+            &fig8(MlpPanel::GemmRs, cost),
             "cuBLAS+NCCL",
         );
         print_groups(
             "Figure 8: full MLP",
-            &fig8(MlpPanel::Full, &cost),
+            &fig8(MlpPanel::Full, cost),
             "cuBLAS+NCCL",
         );
     }
 
-    if wants(&args, "--fig9") {
+    if wants(args, "--fig9") {
         print_groups(
             "Figure 9: AG+Gather+GroupGEMM",
-            &fig9(MoePanel::First, &cost),
+            &fig9(MoePanel::First, cost),
             "cuBLAS+NCCL",
         );
         print_groups(
             "Figure 9: GroupGEMM+Scatter+TopK+RS",
-            &fig9(MoePanel::Second, &cost),
+            &fig9(MoePanel::Second, cost),
             "cuBLAS+NCCL",
         );
         print_groups(
             "Figure 9: full MoE",
-            &fig9(MoePanel::Full, &cost),
+            &fig9(MoePanel::Full, cost),
             "cuBLAS+NCCL",
         );
     }
 
-    if wants(&args, "--fig10") {
+    if wants(args, "--fig10") {
         for idx in 0..shapes::attn_shapes().len() {
-            let rows = fig10(idx, &cost);
+            let rows = fig10(idx, cost);
             println!("\n== Figure 10: {} ==", shapes::attn_shapes()[idx].name);
             for r in &rows {
                 print!("{:<16}", r.label);
@@ -271,13 +348,15 @@ fn main() {
         }
     }
 
-    if wants(&args, "--fig11") {
+    if wants(args, "--fig11") {
         // Under --tune the Figure 11 rows gain a third, tuned-TileLink column:
         // per-layer configs searched by tilelink-tune (persistent cache, so
         // reruns answer from disk with zero simulations).
         let tune_requested = args.iter().any(|a| a == "--tune");
         let tune_opts = tune_requested.then(|| {
-            let opts = TuneOptions::default().with_default_cache();
+            let opts = TuneOptions::default()
+                .with_default_cache()
+                .with_verbose(verbose);
             let opts = match routing {
                 Some(spec) => opts.with_routing(spec).with_objective(objective),
                 None => opts.with_objective(objective),
@@ -298,8 +377,8 @@ fn main() {
         });
         for (two_nodes, label) in [(false, "8xH800"), (true, "16xH800")] {
             let rows = match &tune_opts {
-                Some(opts) => fig11_tuned(two_nodes, usize::MAX, &spec, opts),
-                None => fig11(two_nodes, usize::MAX, &spec),
+                Some(opts) => fig11_tuned(two_nodes, usize::MAX, spec, opts),
+                None => fig11(two_nodes, usize::MAX, spec),
             };
             println!("\n== Figure 11: end-to-end, {label} ==");
             for r in &rows {
@@ -333,13 +412,55 @@ fn main() {
         }
     }
 
-    if wants(&args, "--ablation") {
-        ablations(&cost);
+    if wants(args, "--ablation") {
+        ablations(cost);
     }
 
     // Opt-in only: a cold tuning run simulates hundreds of candidates.
     if args.iter().any(|a| a == "--tune") {
-        tune(&cluster, &cost, routing, objective);
+        tune(cluster, cost, routing, objective, verbose);
+    }
+}
+
+/// `--trace-out` epilogue: simulates the three benchmark graphs and writes
+/// one Chrome `trace_event` JSON per graph into `dir`, printing each trace's
+/// per-rank utilisation and overlap summary.
+fn write_traces(dir: &str, spec: &CostModelSpec) {
+    use tilelink_sim::Engine;
+
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {dir}: {e}"));
+    for (name, cost, graph) in benchmark_graphs(spec) {
+        let trace = Engine::with_cost(cost)
+            .run(&graph)
+            .expect("benchmark graph simulates");
+        let path = format!("{dir}/{name}.trace.json");
+        std::fs::write(&path, trace.to_chrome_json())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("\n== Trace: {name} (wrote {path}) ==");
+        print!("{}", trace.summary());
+    }
+}
+
+/// `--profile` epilogue: drains every span recorded during the run, prints
+/// the per-phase attribution table and — when a path was given — writes the
+/// JSON report (phases plus the metrics-registry snapshot). When `--trace-out`
+/// was also given, the host spans are additionally exported as a Chrome trace
+/// next to the simulated ones.
+fn finish_profile(json_path: Option<&str>, trace_dir: Option<&str>) {
+    let spans = tilelink_probe::take_spans();
+    let report = tilelink_probe::ProfileReport::from_spans(&spans);
+    println!("\n== Host profile ({} spans) ==", spans.len());
+    print!("{}", report.render());
+    if let Some(path) = json_path {
+        std::fs::write(path, report.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("(wrote {path})");
+    }
+    if let Some(dir) = trace_dir {
+        let path = format!("{dir}/host.trace.json");
+        std::fs::write(&path, tilelink_probe::chrome::spans_to_chrome(&spans))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("(wrote {path})");
     }
 }
 
@@ -373,12 +494,14 @@ fn tune(
     cost: &tilelink_sim::SharedCost,
     routing: Option<RoutingSpec>,
     objective: Objective,
+    verbose: bool,
 ) {
     use tilelink_workloads::autotune::{self, MlpOracle, MoeOracle, TuneOptions};
 
     let opts = TuneOptions::default()
         .with_default_cache()
-        .with_cost(cost.clone());
+        .with_cost(cost.clone())
+        .with_verbose(verbose);
     if let Some(path) = &opts.cache_path {
         println!(
             "\n(tuning cache: {}, cost-model revision {})",
@@ -481,6 +604,7 @@ fn quick_tune_smoke(
     cost: &tilelink_sim::SharedCost,
     routing: Option<RoutingSpec>,
     objective: Objective,
+    verbose: bool,
 ) {
     use tilelink::{CommMapping, TileShape};
     use tilelink_tune::{SearchSpace, Strategy};
@@ -500,7 +624,8 @@ fn quick_tune_smoke(
         space,
         ..TuneOptions::default()
     }
-    .with_cost(cost.clone());
+    .with_cost(cost.clone())
+    .with_verbose(verbose);
 
     println!("\n== Autotune smoke: {} (compact space) ==", shape.name);
     let mean_tuned =
@@ -537,10 +662,16 @@ fn quick_tune_smoke(
 /// tuning TSV instead of re-simulating). Unlike the layer smoke above this
 /// searches the *standard* space — the tuned column is only meaningful if the
 /// search can reach configurations at least as good as the hand-picked ones.
-fn quick_e2e_tune_smoke(spec: &CostModelSpec, routing: Option<RoutingSpec>, objective: Objective) {
+fn quick_e2e_tune_smoke(
+    spec: &CostModelSpec,
+    routing: Option<RoutingSpec>,
+    objective: Objective,
+    verbose: bool,
+) {
     let mut opts = TuneOptions::default()
         .with_default_cache()
-        .with_objective(objective);
+        .with_objective(objective)
+        .with_verbose(verbose);
     if let Some(mut spec) = routing {
         spec.samples = 4; // smoke: fewer sampled routings per candidate
         opts = opts.with_routing(spec);
@@ -602,6 +733,20 @@ fn bench_sim(quick: bool, json: bool, spec: &CostModelSpec, cost: &tilelink_sim:
             r.speedup()
         );
     }
+    // Compile-vs-simulate attribution of one full fig9 MoE oracle evaluation
+    // (span-profiled build/lower/plan/graph/simulate phases).
+    let phases = fig9_oracle_phases(spec);
+    println!(
+        "fig9 MoE-1 oracle phases: build {:.3} ms, lower {:.3} ms, plan {:.3} ms, \
+         graph {:.3} ms, simulate {:.3} ms ({:.1}% compile of {:.3} ms wall)",
+        phases.build_ms,
+        phases.lower_ms,
+        phases.plan_ms,
+        phases.graph_ms,
+        phases.simulate_ms,
+        phases.compile_fraction() * 100.0,
+        phases.total_ms
+    );
     let tune = fig9_tune_throughput(quick, spec);
     println!(
         "fig9 MoE-1 cold tune ({}): {:.2} s wall, {} candidates ({:.1}/s), {} sims ({:.1}/s)",
@@ -618,8 +763,11 @@ fn bench_sim(quick: bool, json: bool, spec: &CostModelSpec, cost: &tilelink_sim:
     );
     if json {
         let path = "BENCH_sim.json";
-        std::fs::write(path, bench_sim_json(&rows, &tune, quick, &cost.revision()))
-            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        std::fs::write(
+            path,
+            bench_sim_json(&rows, &phases, &tune, quick, &cost.revision()),
+        )
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         println!("(wrote {path})");
     }
 }

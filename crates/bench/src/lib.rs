@@ -469,9 +469,34 @@ fn time_sims(mut f: impl FnMut(), iters: usize) -> f64 {
     iters as f64 / start.elapsed().as_secs_f64()
 }
 
+/// The three representative kernel graphs every simulator-facing harness mode
+/// shares (Figure 8 MLP half, routed Figure 9 MoE half, two-node e2e-scale
+/// kernel), each paired with the cost provider that priced it.
+///
+/// # Panics
+///
+/// Panics if a benchmark kernel fails to build (a compiler regression) or the
+/// spec names an unloadable calibration file.
+pub fn benchmark_graphs(
+    spec: &CostModelSpec,
+) -> Vec<(&'static str, SharedCost, tilelink_sim::TaskGraph)> {
+    use tilelink_workloads::simgraph;
+
+    let single = cost_for(&default_cluster(), spec);
+    let two_node = cost_for(&e2e::two_node_setup().0, spec);
+    let fig8 = simgraph::fig8_mlp_graph_with(&single).expect("fig8 bench graph");
+    let fig9 = simgraph::fig9_routed_moe_graph_with(&single).expect("fig9 bench graph");
+    let e2e = simgraph::e2e_two_node_graph_with(&two_node).expect("e2e bench graph");
+    vec![
+        ("fig8_mlp_ag_gemm", single.clone(), fig8),
+        ("fig9_routed_moe_first", single, fig9),
+        ("e2e_two_node_ag_gemm", two_node, e2e),
+    ]
+}
+
 /// Measures simulations/second on the three representative kernel graphs
-/// (Figure 8 MLP half, routed Figure 9 MoE half, two-node e2e-scale kernel)
-/// priced by `spec`'s cost model, `iters` timed simulations per path.
+/// ([`benchmark_graphs`]) priced by `spec`'s cost model, `iters` timed
+/// simulations per path.
 ///
 /// # Panics
 ///
@@ -479,28 +504,8 @@ fn time_sims(mut f: impl FnMut(), iters: usize) -> f64 {
 /// spec names an unloadable calibration file.
 pub fn sim_throughput(iters: usize, spec: &CostModelSpec) -> Vec<SimThroughput> {
     use tilelink_sim::{Engine, SimScratch};
-    use tilelink_workloads::simgraph;
 
-    let single = cost_for(&default_cluster(), spec);
-    let two_node = cost_for(&e2e::two_node_setup().0, spec);
-    let cases: [(&'static str, &tilelink_sim::SharedCost, _); 3] = [
-        (
-            "fig8_mlp_ag_gemm",
-            &single,
-            simgraph::fig8_mlp_graph_with(&single).expect("fig8 bench graph"),
-        ),
-        (
-            "fig9_routed_moe_first",
-            &single,
-            simgraph::fig9_routed_moe_graph_with(&single).expect("fig9 bench graph"),
-        ),
-        (
-            "e2e_two_node_ag_gemm",
-            &two_node,
-            simgraph::e2e_two_node_graph_with(&two_node).expect("e2e bench graph"),
-        ),
-    ];
-    cases
+    benchmark_graphs(spec)
         .into_iter()
         .map(|(name, cost, graph)| {
             let engine = Engine::with_cost(cost.clone());
@@ -599,12 +604,92 @@ pub fn fig9_tune_throughput(quick: bool, spec: &CostModelSpec) -> TuneThroughput
     }
 }
 
+/// Wall-clock milliseconds of each instrumented phase of one full Figure 9
+/// MoE oracle evaluation (see [`fig9_oracle_phases`]): the compile-vs-simulate
+/// attribution the ROADMAP's compile-speedup work will be judged against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OraclePhases {
+    /// Tile-program building (`compile.build` spans).
+    pub build_ms: f64,
+    /// Lowering + consistency checks + pipelining (`compile.lower`).
+    pub lower_ms: f64,
+    /// Resource planning (`compile.plan`, [`ResourcePlan::derive`]-equivalent).
+    pub plan_ms: f64,
+    /// Task-graph construction (`graph.build`).
+    pub graph_ms: f64,
+    /// Discrete-event simulation (`simulate`).
+    pub simulate_ms: f64,
+    /// Wall clock of the whole oracle evaluation (phases plus glue).
+    pub total_ms: f64,
+}
+
+impl OraclePhases {
+    /// Fraction of the evaluation spent compiling (build + lower + plan +
+    /// graph construction) rather than simulating.
+    pub fn compile_fraction(&self) -> f64 {
+        let compile = self.build_ms + self.lower_ms + self.plan_ms + self.graph_ms;
+        let attributed = compile + self.simulate_ms;
+        if attributed > 0.0 {
+            compile / attributed
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Profiles one full Figure 9 MoE oracle evaluation (default config, MoE-1,
+/// both layer halves plus activation) and attributes its wall time to the
+/// instrumented pipeline phases.
+///
+/// The span profiler is enabled just for this evaluation and restored to its
+/// previous state afterwards; spans recorded before the call are preserved
+/// for any later process-wide profile report.
+///
+/// # Panics
+///
+/// Panics if the evaluation fails (a compiler/oracle regression) or the spec
+/// names an unloadable calibration file.
+pub fn fig9_oracle_phases(spec: &CostModelSpec) -> OraclePhases {
+    use tilelink_tune::CostOracle;
+    use tilelink_workloads::autotune::MoeOracle;
+
+    let shape = shapes::moe_shapes()[0].clone();
+    let oracle =
+        MoeOracle::new(shape, default_cluster()).with_cost(cost_for(&default_cluster(), spec));
+    let was_enabled = tilelink_probe::enabled();
+    tilelink_probe::set_enabled(true);
+    // Scoped capture: set aside spans recorded before this evaluation so the
+    // report attributes exactly one oracle call, then put everything back.
+    let mut prior = tilelink_probe::take_spans();
+    let start = std::time::Instant::now();
+    oracle
+        .evaluate(&tilelink::OverlapConfig::default())
+        .expect("fig9 oracle evaluation");
+    let total_ms = start.elapsed().as_secs_f64() * 1e3;
+    let ours = tilelink_probe::take_spans();
+    tilelink_probe::set_enabled(was_enabled);
+    let report = tilelink_probe::ProfileReport::from_spans(&ours);
+    prior.extend(ours);
+    tilelink_probe::restore_spans(prior);
+    let ms = |name: &str| report.phase(name).map_or(0.0, |p| p.total_ms());
+    OraclePhases {
+        build_ms: ms("compile.build"),
+        lower_ms: ms("compile.lower"),
+        plan_ms: ms("compile.plan"),
+        graph_ms: ms("graph.build"),
+        simulate_ms: ms("simulate"),
+        total_ms,
+    }
+}
+
 /// Serialises the simulator-throughput trajectory as JSON (`BENCH_sim.json`):
-/// per-graph simulations/sec on both engine paths plus the Figure 9 tune
-/// throughput, so future perf PRs have a baseline to compare against.
-/// `cost_revision` records which cost model priced the runs.
+/// per-graph simulations/sec on both engine paths, the compile-vs-simulate
+/// phase breakdown of one full Figure 9 MoE oracle evaluation, plus the
+/// Figure 9 tune throughput, so future perf PRs have a baseline to compare
+/// against. `cost_revision` records which cost model priced the runs.
 pub fn bench_sim_json(
     graphs: &[SimThroughput],
+    phases: &OraclePhases,
     tune: &TuneThroughput,
     quick: bool,
     cost_revision: &str,
@@ -630,6 +715,20 @@ pub fn bench_sim_json(
         ));
     }
     out.push_str("  ],\n");
+    out.push_str(&format!(
+        concat!(
+            "  \"fig9_oracle_phases\": {{\"build_ms\": {:.4}, \"lower_ms\": {:.4}, ",
+            "\"plan_ms\": {:.4}, \"graph_ms\": {:.4}, \"simulate_ms\": {:.4}, ",
+            "\"total_ms\": {:.4}, \"compile_fraction\": {:.3}}},\n"
+        ),
+        phases.build_ms,
+        phases.lower_ms,
+        phases.plan_ms,
+        phases.graph_ms,
+        phases.simulate_ms,
+        phases.total_ms,
+        phases.compile_fraction()
+    ));
     out.push_str(&format!(
         concat!(
             "  \"fig9_tune\": {{\"wall_s\": {:.3}, \"candidates\": {}, \"evaluations\": {}, ",
@@ -728,12 +827,127 @@ mod tests {
             candidates_per_sec: 5.0,
             sims_per_sec: 4.0,
         };
-        let json = bench_sim_json(&rows, &tune, true, "analytic-v2");
+        let phases = OraclePhases {
+            build_ms: 0.5,
+            lower_ms: 1.0,
+            plan_ms: 0.25,
+            graph_ms: 0.75,
+            simulate_ms: 2.5,
+            total_ms: 5.5,
+        };
+        let json = bench_sim_json(&rows, &phases, &tune, true, "analytic-v2");
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"fig9_tune\""));
         assert!(json.contains("fig9_routed_moe_first"));
         assert!(json.contains("\"quick\": true"));
         assert!(json.contains("\"cost_revision\": \"analytic-v2\""));
+        // The perf trajectory is machine-read by CI and future PRs: hold it to
+        // a validator-grade parse, and check the phase keys CI gates on.
+        let v = tilelink_probe::parse_json(&json).expect("valid BENCH_sim JSON");
+        let ph = v.get("fig9_oracle_phases").expect("phase breakdown");
+        for key in ["build_ms", "lower_ms", "plan_ms", "graph_ms", "simulate_ms"] {
+            assert!(
+                ph.get(key)
+                    .and_then(tilelink_probe::JsonValue::as_f64)
+                    .is_some(),
+                "{key}"
+            );
+        }
+        assert_eq!(
+            ph.get("compile_fraction")
+                .and_then(tilelink_probe::JsonValue::as_f64),
+            Some(0.5)
+        );
+    }
+
+    #[test]
+    fn fig9_oracle_phases_attribute_the_evaluation() {
+        let phases = fig9_oracle_phases(&CostModelSpec::Analytic);
+        // Every instrumented phase of the MoE oracle must actually run: both
+        // halves build + lower + plan, build their graphs, and simulate.
+        assert!(phases.build_ms > 0.0, "{phases:?}");
+        assert!(phases.lower_ms > 0.0, "{phases:?}");
+        assert!(phases.plan_ms > 0.0, "{phases:?}");
+        assert!(phases.graph_ms > 0.0, "{phases:?}");
+        assert!(phases.simulate_ms > 0.0, "{phases:?}");
+        // Attributed phase time can never exceed the evaluation's wall clock
+        // (build/lower/plan/graph/simulate are disjoint top-level scopes).
+        let attributed = phases.build_ms
+            + phases.lower_ms
+            + phases.plan_ms
+            + phases.graph_ms
+            + phases.simulate_ms;
+        assert!(
+            attributed <= phases.total_ms,
+            "attributed {attributed} ms > wall {} ms",
+            phases.total_ms
+        );
+        let frac = phases.compile_fraction();
+        assert!((0.0..=1.0).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn fig8_trace_out_is_validator_grade_chrome_json() {
+        use tilelink_probe::JsonValue;
+
+        // The same graph `--trace-out` exports: first of the benchmark set.
+        let (name, cost, graph) = benchmark_graphs(&CostModelSpec::Analytic)
+            .into_iter()
+            .next()
+            .expect("benchmark graphs");
+        assert_eq!(name, "fig8_mlp_ag_gemm");
+        let tasks = graph.len();
+        let trace = tilelink_sim::Engine::with_cost(cost)
+            .run(&graph)
+            .expect("fig8 graph simulates");
+        let parsed = tilelink_probe::parse_json(&trace.to_chrome_json()).expect("valid trace JSON");
+        let JsonValue::Array(events) = parsed else {
+            panic!("trace_event output must be a JSON array");
+        };
+        let meta_of = |meta: &str, pid: f64, tid: Option<f64>| {
+            events
+                .iter()
+                .filter(|m| {
+                    m.get("ph").and_then(JsonValue::as_str) == Some("M")
+                        && m.get("name").and_then(JsonValue::as_str) == Some(meta)
+                        && m.get("pid").and_then(JsonValue::as_f64) == Some(pid)
+                        && tid.is_none_or(|t| m.get("tid").and_then(JsonValue::as_f64) == Some(t))
+                })
+                .count()
+        };
+        let mut x_events = 0usize;
+        for ev in &events {
+            let pid = ev.get("pid").and_then(JsonValue::as_f64).expect("pid");
+            let tid = ev.get("tid").and_then(JsonValue::as_f64).expect("tid");
+            match ev.get("ph").and_then(JsonValue::as_str) {
+                Some("M") => {}
+                Some("X") => {
+                    x_events += 1;
+                    // Consistent timestamps, and lanes/processes that were
+                    // actually declared: every rank names its process, every
+                    // used resource lane names its thread.
+                    assert!(ev.get("ts").and_then(JsonValue::as_f64).expect("ts") >= 0.0);
+                    assert!(ev.get("dur").and_then(JsonValue::as_f64).expect("dur") >= 0.0);
+                    assert_eq!(meta_of("process_name", pid, None), 1, "pid {pid}");
+                    assert_eq!(
+                        meta_of("thread_name", pid, Some(tid)),
+                        1,
+                        "pid {pid} tid {tid}"
+                    );
+                }
+                ph => panic!("unexpected ph {ph:?}"),
+            }
+        }
+        // One complete event per simulated task, spread over all 8 ranks.
+        assert_eq!(x_events, tasks);
+        let mut pids: Vec<u64> = events
+            .iter()
+            .filter_map(|e| e.get("pid").and_then(JsonValue::as_f64))
+            .map(|p| p as u64)
+            .collect();
+        pids.sort_unstable();
+        pids.dedup();
+        assert_eq!(pids, (0..8).collect::<Vec<_>>());
     }
 
     #[test]

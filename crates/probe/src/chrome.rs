@@ -1,0 +1,182 @@
+//! Chrome `trace_event` JSON builder.
+//!
+//! Emits the JSON Array Format understood by `chrome://tracing` and
+//! Perfetto: a flat array of complete (`"ph": "X"`) events with microsecond
+//! `ts`/`dur`, plus `process_name` / `thread_name` metadata events so lanes
+//! get human-readable labels. Callers choose what a process (`pid`) and a
+//! thread (`tid`) mean — the simulator maps ranks to processes and resource
+//! kinds to thread lanes; the host-span exporter maps the process to the
+//! profiled binary and real threads to lanes.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a non-negative microsecond value with fixed 3-decimal precision.
+///
+/// `trace_event` timestamps are (possibly fractional) microseconds; fixed
+/// precision keeps the output deterministic across platforms.
+fn us(v: f64) -> String {
+    format!("{:.3}", v.max(0.0))
+}
+
+/// An in-progress Chrome `trace_event` array.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<String>,
+}
+
+impl ChromeTrace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events added so far (including metadata events).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Names process `pid` (shown as a top-level group in the viewer).
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        ));
+    }
+
+    /// Names thread lane `tid` of process `pid`.
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        ));
+    }
+
+    /// Orders thread lane `tid` of process `pid` in the viewer (lower first).
+    pub fn thread_sort_index(&mut self, pid: u64, tid: u64, index: u64) {
+        self.events.push(format!(
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"sort_index\":{index}}}}}"
+        ));
+    }
+
+    /// Adds one complete (`ph: "X"`) event. `ts_us`/`dur_us` are microseconds.
+    pub fn complete_event(
+        &mut self,
+        name: &str,
+        category: &str,
+        pid: u64,
+        tid: u64,
+        ts_us: f64,
+        dur_us: f64,
+    ) {
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\
+             \"ts\":{},\"dur\":{}}}",
+            json_escape(name),
+            json_escape(category),
+            us(ts_us),
+            us(dur_us)
+        ));
+    }
+
+    /// Serialises the trace as a JSON array (the JSON Array Format).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(e);
+            if i + 1 != self.events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Renders host-side profiler spans as a Chrome trace: one process (`pid` 0)
+/// for the host, one thread lane per recording thread.
+#[must_use]
+pub fn spans_to_chrome(spans: &[crate::span::SpanRecord]) -> String {
+    let mut trace = ChromeTrace::new();
+    trace.process_name(0, "host");
+    let mut threads: Vec<u64> = spans.iter().map(|s| s.thread).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    for t in threads {
+        trace.thread_name(0, t, &format!("thread {t}"));
+    }
+    for s in spans {
+        trace.complete_event(
+            s.name,
+            "host",
+            0,
+            s.thread,
+            s.start_ns as f64 / 1_000.0,
+            s.dur_ns as f64 / 1_000.0,
+        );
+    }
+    trace.to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse_json, JsonValue};
+
+    #[test]
+    fn escape_covers_quotes_backslashes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn built_trace_is_valid_json_with_expected_fields() {
+        let mut t = ChromeTrace::new();
+        t.process_name(3, "rank 3");
+        t.thread_name(3, 1, "copy \"lane\"");
+        t.complete_event("push/r0/b1", "comm", 3, 1, 0.0, 12.5);
+        let parsed = parse_json(&t.to_json()).expect("valid JSON");
+        let JsonValue::Array(events) = parsed else {
+            panic!("expected array");
+        };
+        assert_eq!(events.len(), 3);
+        let ev = &events[2];
+        assert_eq!(ev.get("ph").and_then(JsonValue::as_str), Some("X"));
+        assert_eq!(ev.get("pid").and_then(JsonValue::as_f64), Some(3.0));
+        assert_eq!(ev.get("tid").and_then(JsonValue::as_f64), Some(1.0));
+        assert_eq!(ev.get("dur").and_then(JsonValue::as_f64), Some(12.5));
+    }
+}

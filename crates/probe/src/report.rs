@@ -1,0 +1,204 @@
+//! Aggregation of finished spans into per-phase wall-time reports.
+//!
+//! [`ProfileReport::from_spans`] groups [`SpanRecord`]s by phase name and
+//! computes count, total, mean, p95, max and self (total minus children)
+//! time per phase. The report renders as a fixed-width table for the
+//! terminal and as JSON (phases plus the metrics registry snapshot) for
+//! `--profile=<path>` and CI checks.
+
+use crate::span::SpanRecord;
+
+/// Aggregated wall-time statistics for one phase (span name).
+#[derive(Debug, Clone)]
+pub struct PhaseStats {
+    /// Phase name (the static span name, e.g. `"compile.lower"`).
+    pub name: &'static str,
+    /// Number of spans recorded under this name.
+    pub count: usize,
+    /// Sum of span durations in nanoseconds.
+    pub total_ns: u64,
+    /// Sum of self time (duration minus direct children) in nanoseconds.
+    pub self_ns: u64,
+    /// Mean span duration in nanoseconds.
+    pub mean_ns: u64,
+    /// 95th-percentile span duration in nanoseconds.
+    pub p95_ns: u64,
+    /// Maximum span duration in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl PhaseStats {
+    /// Total time in milliseconds.
+    #[must_use]
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns as f64 / 1e6
+    }
+}
+
+/// A per-phase aggregation of every span recorded during a run.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileReport {
+    /// Phases sorted by descending total time.
+    pub phases: Vec<PhaseStats>,
+}
+
+impl ProfileReport {
+    /// Aggregates `spans` by phase name.
+    #[must_use]
+    pub fn from_spans(spans: &[SpanRecord]) -> Self {
+        let mut names: Vec<&'static str> = spans.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        let mut phases: Vec<PhaseStats> = names
+            .into_iter()
+            .map(|name| {
+                let mut durs: Vec<u64> = spans
+                    .iter()
+                    .filter(|s| s.name == name)
+                    .map(|s| s.dur_ns)
+                    .collect();
+                durs.sort_unstable();
+                let count = durs.len();
+                let total_ns: u64 = durs.iter().sum();
+                let self_ns: u64 = spans
+                    .iter()
+                    .filter(|s| s.name == name)
+                    .map(SpanRecord::self_ns)
+                    .sum();
+                // Nearest-rank p95 over the sorted durations.
+                let p95_idx = ((count as f64 * 0.95).ceil() as usize).clamp(1, count) - 1;
+                PhaseStats {
+                    name,
+                    count,
+                    total_ns,
+                    self_ns,
+                    mean_ns: total_ns / count as u64,
+                    p95_ns: durs[p95_idx],
+                    max_ns: *durs.last().expect("non-empty"),
+                }
+            })
+            .collect();
+        phases.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(b.name)));
+        Self { phases }
+    }
+
+    /// Looks up one phase by name.
+    #[must_use]
+    pub fn phase(&self, name: &str) -> Option<&PhaseStats> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Renders the report as a fixed-width table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>7} {:>12} {:>11} {:>11} {:>11} {:>12}\n",
+            "phase", "count", "total ms", "mean us", "p95 us", "max us", "self ms"
+        ));
+        for p in &self.phases {
+            out.push_str(&format!(
+                "{:<24} {:>7} {:>12.3} {:>11.1} {:>11.1} {:>11.1} {:>12.3}\n",
+                p.name,
+                p.count,
+                p.total_ms(),
+                p.mean_ns as f64 / 1e3,
+                p.p95_ns as f64 / 1e3,
+                p.max_ns as f64 / 1e3,
+                p.self_ns as f64 / 1e6,
+            ));
+        }
+        out
+    }
+
+    /// Serialises the phases (and the metrics registry snapshot) as one JSON
+    /// document: `{"schema", "phases": {name: {…}}, "metrics": {…}}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"tilelink-probe/v1\",\n  \"phases\": {");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"total_ms\": {:.6}, \"mean_us\": {:.3}, \
+                 \"p95_us\": {:.3}, \"max_us\": {:.3}, \"self_ms\": {:.6}}}",
+                crate::chrome::json_escape(p.name),
+                p.count,
+                p.total_ms(),
+                p.mean_ns as f64 / 1e3,
+                p.p95_ns as f64 / 1e3,
+                p.max_ns as f64 / 1e3,
+                p.self_ns as f64 / 1e6,
+            ));
+        }
+        out.push_str("\n  },\n  \"metrics\": ");
+        // Indent the metrics object to keep the document readable.
+        let metrics = crate::metrics::metrics_json().replace('\n', "\n  ");
+        out.push_str(&metrics);
+        out.push_str("\n}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &'static str, dur_ns: u64, child_ns: u64) -> SpanRecord {
+        SpanRecord {
+            id: 1,
+            parent: 0,
+            name,
+            thread: 0,
+            start_ns: 0,
+            dur_ns,
+            child_ns,
+        }
+    }
+
+    #[test]
+    fn aggregates_by_phase_with_self_time() {
+        let spans = vec![
+            record("a", 100, 40),
+            record("a", 300, 0),
+            record("b", 50, 0),
+        ];
+        let report = ProfileReport::from_spans(&spans);
+        assert_eq!(report.phases.len(), 2);
+        // Sorted by total time descending: "a" (400) before "b" (50).
+        assert_eq!(report.phases[0].name, "a");
+        let a = report.phase("a").unwrap();
+        assert_eq!(a.count, 2);
+        assert_eq!(a.total_ns, 400);
+        assert_eq!(a.self_ns, 360);
+        assert_eq!(a.mean_ns, 200);
+        assert_eq!(a.p95_ns, 300);
+        assert_eq!(a.max_ns, 300);
+        let table = report.render();
+        assert!(table.contains("phase"));
+        assert!(table.contains('a'));
+    }
+
+    #[test]
+    fn profile_json_is_valid_and_carries_phases_and_metrics() {
+        let spans = vec![record("compile.lower", 1_000_000, 0)];
+        let json = ProfileReport::from_spans(&spans).to_json();
+        let v = crate::json::parse_json(&json).expect("valid profile JSON");
+        assert_eq!(
+            v.get("schema").and_then(crate::json::JsonValue::as_str),
+            Some("tilelink-probe/v1")
+        );
+        let lower = v
+            .get("phases")
+            .and_then(|p| p.get("compile.lower"))
+            .unwrap();
+        assert_eq!(
+            lower
+                .get("total_ms")
+                .and_then(crate::json::JsonValue::as_f64),
+            Some(1.0)
+        );
+        assert!(v.get("metrics").and_then(|m| m.get("counters")).is_some());
+    }
+}

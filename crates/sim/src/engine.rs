@@ -85,6 +85,7 @@ impl Engine {
     /// Returns an error if a task references an invalid rank, requests more
     /// units than exist, or if the dependency graph contains a cycle.
     pub fn run(&self, graph: &TaskGraph) -> Result<Trace> {
+        tilelink_probe::metrics::SIM_TRACE_RUNS.inc();
         self.validate(graph)?;
         let mut entries: Vec<Option<TraceEntry>> = vec![None; graph.len()];
         // The trace path allocates per-task entries anyway, so it pays for a
@@ -120,11 +121,17 @@ impl Engine {
     /// Same failure modes as [`Engine::run`].
     pub fn makespan(&self, graph: &TaskGraph) -> Result<Seconds> {
         SCRATCH.with(|scratch| match scratch.try_borrow_mut() {
-            Ok(mut scratch) => self.makespan_with_scratch(graph, &mut scratch),
+            Ok(mut scratch) => {
+                tilelink_probe::metrics::SIM_SCRATCH_REUSES.inc();
+                self.makespan_with_scratch(graph, &mut scratch)
+            }
             // Re-entrant simulation (a cost provider that itself simulates on
             // this thread): fall back to a fresh scratch instead of panicking
             // on the RefCell.
-            Err(_) => self.makespan_with_scratch(graph, &mut SimScratch::new()),
+            Err(_) => {
+                tilelink_probe::metrics::SIM_SCRATCH_COLD.inc();
+                self.makespan_with_scratch(graph, &mut SimScratch::new())
+            }
         })
     }
 
@@ -138,6 +145,9 @@ impl Engine {
         graph: &TaskGraph,
         scratch: &mut SimScratch,
     ) -> Result<Seconds> {
+        // One relaxed counter bump per simulation (never per event) keeps the
+        // fast path's throughput intact while the registry still sees every run.
+        tilelink_probe::metrics::SIM_MAKESPAN_RUNS.inc();
         self.validate(graph)?;
         schedule(&*self.cost, graph, scratch, |_, _, _, _| {})
     }

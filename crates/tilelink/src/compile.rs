@@ -82,16 +82,22 @@ impl Compiler {
         mapping: &dyn TileMapping,
     ) -> Result<CompiledKernel> {
         self.config.validate(self.gpu.sm_count)?;
-        let lowered = lower(program, mapping)?;
-        check_consistency(&lowered)?;
-        let blocks: Vec<LoweredBlock> = lowered
-            .iter()
-            .map(|b| pipeline_block(b, self.config.num_stages))
-            .collect();
-        // Pipelining must preserve consistency; verify the invariant.
-        check_consistency(&blocks)?;
-        let plan =
-            ResourcePlan::derive_with(&self.config, &self.gpu, program, self.cost.as_deref())?;
+        let blocks = {
+            let _span = tilelink_probe::span("compile.lower");
+            let lowered = lower(program, mapping)?;
+            check_consistency(&lowered)?;
+            let blocks: Vec<LoweredBlock> = lowered
+                .iter()
+                .map(|b| pipeline_block(b, self.config.num_stages))
+                .collect();
+            // Pipelining must preserve consistency; verify the invariant.
+            check_consistency(&blocks)?;
+            blocks
+        };
+        let plan = {
+            let _span = tilelink_probe::span("compile.plan");
+            ResourcePlan::derive_with(&self.config, &self.gpu, program, self.cost.as_deref())?
+        };
         Ok(CompiledKernel {
             name: program.name.clone(),
             world_size: program.world_size,

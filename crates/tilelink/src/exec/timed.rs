@@ -443,6 +443,7 @@ impl<'a> GraphBuilder<'a> {
 }
 
 fn build_graph(kernel: &CompiledKernel, cluster: &ClusterSpec, subset: Subset) -> TaskGraph {
+    let _span = tilelink_probe::span("graph.build");
     let mut builder = GraphBuilder::new(kernel, cluster);
     let blocks: Vec<&LoweredBlock> = kernel
         .blocks
@@ -477,9 +478,13 @@ pub fn simulate(kernel: &CompiledKernel, cluster: &ClusterSpec) -> Result<(Overl
 pub fn simulate_with(kernel: &CompiledKernel, cost: &SharedCost) -> Result<(OverlapReport, Trace)> {
     let cluster = cost.cluster().clone();
     let engine = Engine::with_cost(cost.clone());
-    let full = engine.run(&build_graph(kernel, &cluster, Subset::All))?;
-    let comm = engine.run(&build_graph(kernel, &cluster, Subset::CommOnly))?;
-    let comp = engine.run(&build_graph(kernel, &cluster, Subset::ComputeOnly))?;
+    let full_graph = build_graph(kernel, &cluster, Subset::All);
+    let comm_graph = build_graph(kernel, &cluster, Subset::CommOnly);
+    let comp_graph = build_graph(kernel, &cluster, Subset::ComputeOnly);
+    let _span = tilelink_probe::span("simulate");
+    let full = engine.run(&full_graph)?;
+    let comm = engine.run(&comm_graph)?;
+    let comp = engine.run(&comp_graph)?;
     let report = OverlapReport::new(full.makespan(), comm.makespan(), comp.makespan());
     Ok((report, full))
 }
@@ -500,9 +505,13 @@ pub fn simulate_with(kernel: &CompiledKernel, cost: &SharedCost) -> Result<(Over
 pub fn simulate_report_with(kernel: &CompiledKernel, cost: &SharedCost) -> Result<OverlapReport> {
     let cluster = cost.cluster().clone();
     let engine = Engine::with_cost(cost.clone());
-    let full = engine.makespan(&build_graph(kernel, &cluster, Subset::All))?;
-    let comm = engine.makespan(&build_graph(kernel, &cluster, Subset::CommOnly))?;
-    let comp = engine.makespan(&build_graph(kernel, &cluster, Subset::ComputeOnly))?;
+    let full_graph = build_graph(kernel, &cluster, Subset::All);
+    let comm_graph = build_graph(kernel, &cluster, Subset::CommOnly);
+    let comp_graph = build_graph(kernel, &cluster, Subset::ComputeOnly);
+    let _span = tilelink_probe::span("simulate");
+    let full = engine.makespan(&full_graph)?;
+    let comm = engine.makespan(&comm_graph)?;
+    let comp = engine.makespan(&comp_graph)?;
     Ok(OverlapReport::new(full, comm, comp))
 }
 

@@ -156,6 +156,21 @@ impl TuneCache {
         self.entries.get(key).copied()
     }
 
+    /// Number of entries for the same `workload|cluster` scope that were
+    /// recorded under a *different* cost-model revision or objective than
+    /// `current_prefix` (a full [`TuneCache::key_prefix`]).
+    ///
+    /// These entries are not wrong — they self-invalidate by missing — but
+    /// every one of them represents an oracle call the current run has to
+    /// repeat, which is worth surfacing in the metrics registry.
+    pub fn count_stale(&self, scope: &str, current_prefix: &str) -> usize {
+        let current = format!("{current_prefix}|");
+        self.entries
+            .keys()
+            .filter(|k| k.starts_with(scope) && !k.starts_with(&current))
+            .count()
+    }
+
     /// Inserts (or replaces) a cached report. Call [`TuneCache::flush`] to
     /// persist.
     pub fn insert(&mut self, key: String, report: OverlapReport) {
@@ -282,6 +297,32 @@ mod tests {
             cache.get(&calibrated).is_none(),
             "an entry written under one revision must miss under another"
         );
+    }
+
+    #[test]
+    fn stale_entries_are_counted_per_scope() {
+        let cfg = OverlapConfig::default();
+        let r = OverlapReport::new(1.0, 0.5, 0.5);
+        let mut cache = TuneCache::in_memory();
+        cache.insert(
+            TuneCache::key("mlp", "h800x8", "analytic-v2", "mean", &cfg),
+            r,
+        );
+        cache.insert(
+            TuneCache::key("mlp", "h800x8", "calibrated-00ff", "mean", &cfg),
+            r,
+        );
+        cache.insert(
+            TuneCache::key("moe", "h800x8", "analytic-v2", "mean", &cfg),
+            r,
+        );
+        let prefix = TuneCache::key_prefix("mlp", "h800x8", "analytic-v2", "mean");
+        // One mlp entry under another revision is stale; the moe entry is out
+        // of scope and the matching-revision entry is current.
+        assert_eq!(cache.count_stale("mlp|h800x8|", &prefix), 1);
+        let p95 = TuneCache::key_prefix("mlp", "h800x8", "analytic-v2", "p95");
+        assert_eq!(cache.count_stale("mlp|h800x8|", &p95), 2);
+        assert_eq!(cache.count_stale("lm|", &prefix), 0);
     }
 
     #[test]

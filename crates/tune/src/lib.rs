@@ -72,8 +72,8 @@ pub use cache::TuneCache;
 pub use error::TuneError;
 pub use objective::Objective;
 pub use oracle::{cluster_key, CostOracle, FnOracle};
-pub use search::{Candidate, Strategy, TuneReport, Tuner};
-pub use space::{AxisConstraint, SearchSpace, RING_REQUIRES_PUSH};
+pub use search::{Candidate, FailedBreakdown, RoundProgress, Strategy, TuneReport, Tuner};
+pub use space::{AxisConstraint, PruneCounts, SearchSpace, RING_REQUIRES_PUSH};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, TuneError>;

@@ -1,13 +1,20 @@
 //! Search strategies and the multi-threaded tuner driver.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use tilelink::{OverlapConfig, OverlapReport, TileLinkError};
+use tilelink_probe::metrics::{
+    TUNE_CACHE_HITS, TUNE_CACHE_MISSES, TUNE_CACHE_REVISION_INVALIDATIONS, TUNE_CANDIDATES_CACHED,
+    TUNE_CANDIDATES_FAILED_SIM, TUNE_CANDIDATES_PRUNED_CONSTRAINT, TUNE_CANDIDATES_PRUNED_VALIDATE,
+    TUNE_CANDIDATES_SIMULATED, TUNE_EVAL_US, TUNE_SPACE_SIZE,
+};
 
 use crate::oracle::cluster_key;
-use crate::space::SearchSpace;
+use crate::space::{PruneCounts, SearchSpace};
 use crate::{CostOracle, Result, TuneCache, TuneError};
 
 /// How the tuner explores the space.
@@ -48,6 +55,53 @@ pub struct Candidate {
     pub from_cache: bool,
 }
 
+/// Why candidates dropped out of a tuning run, by pruning stage.
+///
+/// The three counters partition the configurations that were considered but
+/// never ranked: `validate_rejected` and `constraint_pruned` never reached the
+/// oracle (free), while `simulation_error` candidates cost a full compile or
+/// simulation attempt before failing.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FailedBreakdown {
+    /// Rejected by [`OverlapConfig::validate`] (impossible on the GPU).
+    pub validate_rejected: usize,
+    /// Rejected by a cross-axis space constraint or the oracle's
+    /// [`CostOracle::is_supported`] predicate.
+    pub constraint_pruned: usize,
+    /// Reached the oracle but errored while compiling or simulating.
+    pub simulation_error: usize,
+}
+
+impl FailedBreakdown {
+    /// Total candidates lost across all three stages.
+    pub fn total(&self) -> usize {
+        self.validate_rejected + self.constraint_pruned + self.simulation_error
+    }
+}
+
+impl std::fmt::Display for FailedBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} validate-rejected, {} constraint-pruned, {} simulation errors",
+            self.validate_rejected, self.constraint_pruned, self.simulation_error
+        )
+    }
+}
+
+/// Progress of one beam-search round (one full pass over the axes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundProgress {
+    /// Round number, starting at 1 (round 0 is the seed evaluation).
+    pub round: usize,
+    /// Best simulated makespan after the round, in seconds.
+    pub best_total_s: f64,
+    /// Cumulative oracle evaluations after the round.
+    pub evaluations: usize,
+    /// Cumulative cache hits after the round.
+    pub cache_hits: usize,
+}
+
 /// The outcome of one tuning run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TuneReport {
@@ -60,8 +114,10 @@ pub struct TuneReport {
     pub evaluations: usize,
     /// Lookups served by the cache instead of the oracle.
     pub cache_hits: usize,
-    /// Candidates whose evaluation failed (compile/simulate error).
-    pub failed: usize,
+    /// Candidates lost per pruning stage (never ranked).
+    pub failed: FailedBreakdown,
+    /// Per-round progress of a beam search (empty for [`Strategy::Exhaustive`]).
+    pub rounds: Vec<RoundProgress>,
 }
 
 impl TuneReport {
@@ -73,7 +129,7 @@ impl TuneReport {
     /// A short human-readable table of the `n` best candidates.
     pub fn summary(&self, n: usize) -> String {
         let mut out = format!(
-            "{} candidates evaluated ({} simulated, {} cached, {} failed)\n",
+            "{} candidates evaluated ({} simulated, {} cached; {})\n",
             self.ranked.len(),
             self.evaluations,
             self.cache_hits,
@@ -102,6 +158,7 @@ impl TuneReport {
 pub struct Tuner {
     strategy: Strategy,
     threads: usize,
+    verbose: bool,
     cache: Mutex<TuneCache>,
 }
 
@@ -123,6 +180,7 @@ impl Tuner {
         Self {
             strategy,
             threads,
+            verbose: false,
             cache: Mutex::new(TuneCache::in_memory()),
         }
     }
@@ -130,6 +188,14 @@ impl Tuner {
     /// Replaces the evaluation thread count (minimum 1).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Prints per-beam-round progress (round, best-so-far, evaluations) to
+    /// stderr while the search runs. Off by default; the same numbers are
+    /// always available afterwards in [`TuneReport::rounds`].
+    pub fn with_verbose(mut self, verbose: bool) -> Self {
+        self.verbose = verbose;
         self
     }
 
@@ -163,12 +229,31 @@ impl Tuner {
             &oracle.cost_revision(),
             &oracle.objective().key(),
         );
+        TUNE_SPACE_SIZE.set(space.len_unpruned() as i64);
+        {
+            // Entries for this workload+cluster recorded under another cost
+            // revision or objective will self-invalidate (miss) this run;
+            // surface how many in the metrics registry.
+            let scope = format!(
+                "{}|{}|",
+                oracle.workload_key(),
+                cluster_key(oracle.cluster())
+            );
+            let stale = self
+                .cache
+                .lock()
+                .expect("tune cache lock poisoned")
+                .count_stale(&scope, &prefix);
+            TUNE_CACHE_REVISION_INVALIDATIONS.add(stale as u64);
+        }
         let mut stats = BatchStats {
             evaluations: 0,
             cache_hits: 0,
             failed: 0,
             last_error: None,
         };
+        let mut pruned = PruneCounts::default();
+        let mut rounds: Vec<RoundProgress> = Vec::new();
 
         // (config, report, from_cache) in first-evaluation order.
         let mut evaluated: Vec<Candidate> = Vec::new();
@@ -176,7 +261,8 @@ impl Tuner {
 
         match self.strategy {
             Strategy::Exhaustive => {
-                let candidates = space.candidates(oracle);
+                let (candidates, counts) = space.candidates_counted(oracle);
+                pruned = counts;
                 if candidates.is_empty() {
                     return Err(TuneError::EmptySpace {
                         unpruned: space.len_unpruned(),
@@ -194,8 +280,20 @@ impl Tuner {
             Strategy::Beam { width, sweeps } => {
                 let width = width.max(1);
                 let sm_count = oracle.cluster().gpu.sm_count;
+                // Per-stage rejection tallies for every config the sweep
+                // considers (Cells because `valid` is shared immutably).
+                let validate_rejected = Cell::new(0usize);
+                let constraint_pruned = Cell::new(0usize);
                 let valid = |cfg: &OverlapConfig| {
-                    cfg.validate(sm_count).is_ok() && space.allows(cfg) && oracle.is_supported(cfg)
+                    if cfg.validate(sm_count).is_err() {
+                        validate_rejected.set(validate_rejected.get() + 1);
+                        return false;
+                    }
+                    if !space.allows(cfg) || !oracle.is_supported(cfg) {
+                        constraint_pruned.set(constraint_pruned.get() + 1);
+                        return false;
+                    }
+                    true
                 };
                 // Seeds: the library default and the space's own first-corner
                 // config. Keeping them in the pool guarantees the final result
@@ -250,7 +348,8 @@ impl Tuner {
                     .first()
                     .and_then(|c| seen.get(c))
                     .map(|&i| evaluated[i].report.total_s);
-                for _ in 0..sweeps.max(1) {
+                for round in 1..=sweeps.max(1) {
+                    let _round_span = tilelink_probe::span("tune.beam_round");
                     let mut improved = false;
                     for axis in 0..SearchSpace::NUM_AXES {
                         let mut frontier: Vec<OverlapConfig> = Vec::new();
@@ -282,10 +381,29 @@ impl Tuner {
                             improved = true;
                         }
                     }
+                    let progress = RoundProgress {
+                        round,
+                        best_total_s: best.unwrap_or(f64::INFINITY),
+                        evaluations: stats.evaluations,
+                        cache_hits: stats.cache_hits,
+                    };
+                    if self.verbose {
+                        eprintln!(
+                            "[tune] round {}: best {:.4} ms | {} evals, {} cache hits, {} failed",
+                            progress.round,
+                            progress.best_total_s * 1e3,
+                            progress.evaluations,
+                            progress.cache_hits,
+                            stats.failed
+                        );
+                    }
+                    rounds.push(progress);
                     if !improved {
                         break;
                     }
                 }
+                pruned.validate_rejected = validate_rejected.get();
+                pruned.constraint_pruned = constraint_pruned.get();
             }
         }
 
@@ -303,6 +421,9 @@ impl Tuner {
             });
         }
 
+        TUNE_CANDIDATES_PRUNED_VALIDATE.add(pruned.validate_rejected as u64);
+        TUNE_CANDIDATES_PRUNED_CONSTRAINT.add(pruned.constraint_pruned as u64);
+
         let mut ranked = evaluated;
         ranked.sort_by(|a, b| a.report.total_s.total_cmp(&b.report.total_s));
         Ok(TuneReport {
@@ -310,7 +431,12 @@ impl Tuner {
             ranked,
             evaluations: stats.evaluations,
             cache_hits: stats.cache_hits,
-            failed: stats.failed,
+            failed: FailedBreakdown {
+                validate_rejected: pruned.validate_rejected,
+                constraint_pruned: pruned.constraint_pruned,
+                simulation_error: stats.failed,
+            },
+            rounds,
         })
     }
 
@@ -341,6 +467,7 @@ impl Tuner {
         let mut misses: Vec<&OverlapConfig> = Vec::new();
         let mut hit_or_miss: Vec<Option<OverlapReport>> = Vec::with_capacity(configs.len());
         {
+            let _span = tilelink_probe::span("tune.cache_lookup");
             let cache = self.cache.lock().expect("tune cache lock poisoned");
             for cfg in configs {
                 if seen.contains_key(cfg) {
@@ -351,9 +478,11 @@ impl Tuner {
                 match cache.get(&key) {
                     Some(report) => {
                         stats.cache_hits += 1;
+                        TUNE_CACHE_HITS.inc();
                         hit_or_miss.push(Some(report));
                     }
                     None => {
+                        TUNE_CACHE_MISSES.inc();
                         misses.push(cfg);
                         hit_or_miss.push(None);
                     }
@@ -365,10 +494,19 @@ impl Tuner {
         // a slot per candidate, so completion order never affects ranking.
         let mut results: Vec<Option<tilelink::Result<OverlapReport>>> = vec![None; misses.len()];
         if !misses.is_empty() {
+            // One timed, profiled oracle call. The span lands on whichever
+            // worker thread ran it (the profiler keeps per-thread stacks).
+            let timed_eval = |cfg: &OverlapConfig| {
+                let _span = tilelink_probe::span("tune.candidate");
+                let t0 = Instant::now();
+                let r = oracle.evaluate(cfg);
+                TUNE_EVAL_US.record(t0.elapsed().as_micros() as u64);
+                r
+            };
             let workers = self.threads.min(misses.len());
             if workers <= 1 {
                 for (slot, cfg) in results.iter_mut().zip(&misses) {
-                    *slot = Some(oracle.evaluate(cfg));
+                    *slot = Some(timed_eval(cfg));
                 }
             } else {
                 let next = AtomicUsize::new(0);
@@ -381,7 +519,7 @@ impl Tuner {
                             if i >= misses.len() {
                                 break;
                             }
-                            let r = oracle.evaluate(misses[i]);
+                            let r = timed_eval(misses[i]);
                             *slots[i].lock().expect("result slot lock poisoned") = Some(r);
                         });
                     }
@@ -401,19 +539,24 @@ impl Tuner {
                 continue;
             }
             let (report, from_cache) = match cached {
-                Some(report) => (report, true),
+                Some(report) => {
+                    TUNE_CANDIDATES_CACHED.inc();
+                    (report, true)
+                }
                 None => {
                     let result = results[miss_idx].take().expect("evaluated slot");
                     miss_idx += 1;
                     match result {
                         Ok(report) => {
                             stats.evaluations += 1;
+                            TUNE_CANDIDATES_SIMULATED.inc();
                             let key = TuneCache::key_in(prefix, cfg);
                             cache.insert(key, report);
                             (report, false)
                         }
                         Err(e) => {
                             stats.failed += 1;
+                            TUNE_CANDIDATES_FAILED_SIM.inc();
                             stats.last_error = Some(e);
                             continue;
                         }
@@ -474,7 +617,8 @@ mod tests {
         assert_eq!(report.best.config.comm_mapping, CommMapping::CopyEngine);
         assert_eq!(report.best.config.num_stages, 2);
         assert_eq!(report.evaluations, calls.load(Ordering::SeqCst));
-        assert_eq!(report.failed, 0);
+        assert_eq!(report.failed.simulation_error, 0);
+        assert!(report.rounds.is_empty(), "exhaustive search has no rounds");
         // Ranking is fastest-first.
         for w in report.ranked.windows(2) {
             assert!(w[0].report.total_s <= w[1].report.total_s);
@@ -538,9 +682,71 @@ mod tests {
         let report = Tuner::new(Strategy::Exhaustive)
             .tune(&oracle, &space)
             .unwrap();
-        assert_eq!(report.failed, 1);
+        assert_eq!(report.failed.simulation_error, 1);
+        assert_eq!(report.failed.validate_rejected, 0);
+        assert_eq!(report.failed.constraint_pruned, 0);
+        assert_eq!(report.failed.total(), 1);
         assert_eq!(report.ranked.len(), 2);
         assert_eq!(report.best.config.num_stages, 2);
+    }
+
+    #[test]
+    fn failure_breakdown_separates_the_three_pruning_stages() {
+        // 200 comm SMs fail validate on an H800; stage 3 is unsupported by the
+        // oracle (constraint); stage 4 errors in the oracle (simulation).
+        let oracle = FnOracle::new("stages", ClusterSpec::h800_node(8), |cfg| {
+            if cfg.num_stages == 4 {
+                Err(tilelink::TileLinkError::InvalidConfig {
+                    reason: "synthetic".to_string(),
+                })
+            } else {
+                Ok(OverlapReport::new(cfg.num_stages as f64, 0.1, 0.9))
+            }
+        })
+        .with_support(|cfg: &OverlapConfig| cfg.num_stages != 3);
+        let space = SearchSpace::new()
+            .with_mappings([CommMapping::CopyEngine, CommMapping::Sm { sms: 200 }])
+            .with_stages([2, 3, 4]);
+        let report = Tuner::new(Strategy::Exhaustive)
+            .tune(&oracle, &space)
+            .unwrap();
+        // Sm{200} is validate-rejected for all 3 stages; stage 3 of the valid
+        // mapping is constraint-pruned; stage 4 errors in the oracle.
+        assert_eq!(report.failed.validate_rejected, 3);
+        assert_eq!(report.failed.constraint_pruned, 1);
+        assert_eq!(report.failed.simulation_error, 1);
+        assert_eq!(report.failed.total(), 5);
+        assert_eq!(report.ranked.len(), 1);
+        let text = report.summary(1);
+        assert!(text.contains("3 validate-rejected"), "{text}");
+        assert!(text.contains("1 constraint-pruned"), "{text}");
+        assert!(text.contains("1 simulation errors"), "{text}");
+    }
+
+    #[test]
+    fn beam_reports_per_round_progress() {
+        let calls = AtomicUsize::new(0);
+        let report = Tuner::new(Strategy::Beam {
+            width: 2,
+            sweeps: 3,
+        })
+        .tune(&analytic(&calls), &space())
+        .unwrap();
+        assert!(!report.rounds.is_empty());
+        assert!(report.rounds.len() <= 3);
+        for (i, round) in report.rounds.iter().enumerate() {
+            assert_eq!(round.round, i + 1);
+            assert!(round.best_total_s.is_finite());
+        }
+        // Best-so-far never regresses and cumulative counters never shrink.
+        for w in report.rounds.windows(2) {
+            assert!(w[1].best_total_s <= w[0].best_total_s);
+            assert!(w[1].evaluations >= w[0].evaluations);
+            assert!(w[1].cache_hits >= w[0].cache_hits);
+        }
+        let last = report.rounds.last().unwrap();
+        assert_eq!(last.best_total_s, report.best.report.total_s);
+        assert_eq!(last.evaluations, report.evaluations);
     }
 
     #[test]
@@ -565,7 +771,7 @@ mod tests {
         .tune(&oracle, &space)
         .unwrap();
         assert_eq!(report.best.config.num_stages, 4);
-        assert!(report.failed >= 1);
+        assert!(report.failed.simulation_error >= 1);
     }
 
     #[test]

@@ -265,8 +265,17 @@ impl SearchSpace {
     /// oracle's GPU, every cross-axis constraint of the space allows it, and
     /// the oracle's `is_supported` predicate holds.
     pub fn candidates(&self, oracle: &dyn CostOracle) -> Vec<OverlapConfig> {
+        self.candidates_counted(oracle).0
+    }
+
+    /// Like [`SearchSpace::candidates`], but also reports how many
+    /// combinations each pruning stage rejected, so tuning reports can
+    /// attribute the gap between [`SearchSpace::len_unpruned`] and the
+    /// evaluated count.
+    pub fn candidates_counted(&self, oracle: &dyn CostOracle) -> (Vec<OverlapConfig>, PruneCounts) {
         let sm_count = oracle.cluster().gpu.sm_count;
         let mut out = Vec::new();
+        let mut counts = PruneCounts::default();
         for &comm_tile in &self.comm_tiles {
             for &compute_tile in &self.compute_tiles {
                 for &order in &self.orders {
@@ -283,10 +292,11 @@ impl SearchSpace {
                                         channels_per_rank,
                                         num_stages,
                                     };
-                                    if cfg.validate(sm_count).is_ok()
-                                        && self.allows(&cfg)
-                                        && oracle.is_supported(&cfg)
-                                    {
+                                    if cfg.validate(sm_count).is_err() {
+                                        counts.validate_rejected += 1;
+                                    } else if !self.allows(&cfg) || !oracle.is_supported(&cfg) {
+                                        counts.constraint_pruned += 1;
+                                    } else {
                                         out.push(cfg);
                                     }
                                 }
@@ -296,8 +306,20 @@ impl SearchSpace {
                 }
             }
         }
-        out
+        (out, counts)
     }
+}
+
+/// How many combinations each pruning stage of one enumeration rejected
+/// (see [`SearchSpace::candidates_counted`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PruneCounts {
+    /// Rejected by [`OverlapConfig::validate`] (physically impossible on the
+    /// oracle's GPU, e.g. more communication SMs than the chip has).
+    pub validate_rejected: usize,
+    /// Rejected by a cross-axis constraint of the space or by the oracle's
+    /// [`CostOracle::is_supported`] predicate.
+    pub constraint_pruned: usize,
 }
 
 #[cfg(test)]
@@ -351,6 +373,28 @@ mod tests {
             .map(|c| c.num_stages)
             .collect();
         assert_eq!(stages, vec![2, 4]);
+    }
+
+    #[test]
+    fn counted_enumeration_attributes_every_rejection() {
+        use tilelink::{TileOrder, TransferMode};
+        // 2 mappings × 2 orders × 2 modes = 8 combos: 4 fail validate
+        // (Sm{200} > 132 SMs), ring+pull of the valid mapping is pruned by the
+        // constraint, 3 survive.
+        let space = SearchSpace::new()
+            .with_mappings([CommMapping::Sm { sms: 20 }, CommMapping::Sm { sms: 200 }])
+            .with_orders([TileOrder::AllToAll, TileOrder::Ring])
+            .with_modes([TransferMode::Pull, TransferMode::Push])
+            .with_constraint(crate::RING_REQUIRES_PUSH);
+        let (cands, counts) = space.candidates_counted(&unit_oracle());
+        assert_eq!(cands.len(), 3);
+        assert_eq!(counts.validate_rejected, 4);
+        assert_eq!(counts.constraint_pruned, 1);
+        assert_eq!(
+            cands.len() + counts.validate_rejected + counts.constraint_pruned,
+            space.len_unpruned()
+        );
+        assert_eq!(cands, space.candidates(&unit_oracle()));
     }
 
     #[test]

@@ -147,6 +147,7 @@ pub fn sp_attention_program(
     world: usize,
     _cfg: &OverlapConfig,
 ) -> (TileProgram, StaticMapping) {
+    let _span = tilelink_probe::span("compile.build");
     let s_per_rank = seq_len / world;
     // Communication tiles cover one rank's KV shard per host copy.
     let mapping = StaticMapping::new(seq_len, s_per_rank, world, 1);

@@ -378,6 +378,10 @@ pub struct TuneOptions {
     /// tail-tuned entries never collide. Only meaningful together with
     /// [`TuneOptions::routing`].
     pub objective: Objective,
+    /// Prints per-beam-round search progress (round, best-so-far, evals) to
+    /// stderr while tuning runs. The same numbers are always available
+    /// afterwards in [`tilelink_tune::TuneReport::rounds`].
+    pub verbose: bool,
 }
 
 impl Default for TuneOptions {
@@ -390,6 +394,7 @@ impl Default for TuneOptions {
             cost: None,
             routing: None,
             objective: Objective::Mean,
+            verbose: false,
         }
     }
 }
@@ -417,6 +422,12 @@ impl TuneOptions {
     /// Minimises `objective` over the sampled makespans.
     pub fn with_objective(mut self, objective: Objective) -> Self {
         self.objective = objective;
+        self
+    }
+
+    /// Prints per-beam-round search progress to stderr.
+    pub fn with_verbose(mut self, verbose: bool) -> Self {
+        self.verbose = verbose;
         self
     }
 }
@@ -452,7 +463,7 @@ fn checked_cost(opts: &TuneOptions, cluster: &ClusterSpec) -> Option<SharedCost>
 }
 
 fn run_tune(oracle: &dyn CostOracle, opts: &TuneOptions) -> tilelink_tune::Result<TunedLayer> {
-    let mut tuner = Tuner::new(opts.strategy);
+    let mut tuner = Tuner::new(opts.strategy).with_verbose(opts.verbose);
     if let Some(threads) = opts.threads {
         tuner = tuner.with_threads(threads);
     }

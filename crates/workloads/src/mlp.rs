@@ -282,6 +282,7 @@ pub fn ag_gemm_program(
     world: usize,
     cfg: &OverlapConfig,
 ) -> (TileProgram, StaticMapping) {
+    let _span = tilelink_probe::span("compile.build");
     let mapping = StaticMapping::new(tokens, cfg.comm_tile.m, world, cfg.channels_per_rank);
     let n_local = 2 * intermediate / world;
     let tile_bytes = cfg.comm_tile.m as f64 * hidden as f64 * BYTES_PER_ELEM;
@@ -344,6 +345,7 @@ pub fn gemm_rs_program(
     world: usize,
     cfg: &OverlapConfig,
 ) -> (TileProgram, StaticMapping) {
+    let _span = tilelink_probe::span("compile.build");
     let tile_m = cfg.compute_tile.m;
     let mapping = StaticMapping::new(tokens, tile_m, world, cfg.channels_per_rank);
     let k_local = intermediate / world;

@@ -209,6 +209,7 @@ pub fn ag_group_gemm_program(
     world: usize,
     cfg: &OverlapConfig,
 ) -> (TileProgram, StaticMapping) {
+    let _span = tilelink_probe::span("compile.build");
     let m = shape.tokens;
     let h = shape.hidden;
     let i_local = shape.intermediate / world;
@@ -274,6 +275,7 @@ pub fn group_gemm_rs_program(
     world: usize,
     cfg: &OverlapConfig,
 ) -> (TileProgram, StaticMapping) {
+    let _span = tilelink_probe::span("compile.build");
     let m = shape.tokens;
     let h = shape.hidden;
     let i_local = shape.intermediate / world;
@@ -743,6 +745,7 @@ pub fn routed_ag_group_gemm_program(
     cfg: &OverlapConfig,
     sample: &RoutingSample,
 ) -> tilelink::Result<(TileProgram, DynamicMapping)> {
+    let _span = tilelink_probe::span("compile.build");
     let m = shape.tokens;
     let h = shape.hidden;
     let i_local = shape.intermediate / world;
@@ -862,6 +865,7 @@ pub fn routed_group_gemm_rs_program(
     cfg: &OverlapConfig,
     sample: &RoutingSample,
 ) -> (TileProgram, StaticMapping) {
+    let _span = tilelink_probe::span("compile.build");
     let m = shape.tokens;
     let h = shape.hidden;
     let i_local = shape.intermediate / world;
