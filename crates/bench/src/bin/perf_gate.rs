@@ -1,0 +1,219 @@
+//! Soft performance gate over the recorded `BENCH_sim.json` trajectory.
+//!
+//! Re-measures the quick simulator/tuner benchmarks in-process and compares
+//! them against a recorded `BENCH_sim.json`: throughput metrics (sims/s,
+//! candidates/s) that fall more than 20% below the recording and oracle
+//! phases that run more than 20% slower are reported as `PERF WARN` lines.
+//!
+//! The gate is deliberately *soft* — it always exits 0. Benchmark numbers on
+//! shared CI runners are noisy, so a hard gate would flake; the warnings exist
+//! to make a real regression visible in the log next to the commit that
+//! caused it, not to block merges.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_gate <recorded BENCH_sim.json> [fresh BENCH_sim.json]
+//! ```
+//!
+//! With one argument the fresh numbers are measured in-process (quick mode,
+//! analytic cost model — matching how the recording is produced by
+//! `reproduce --bench-sim --quick --json`). With two arguments both sides are
+//! read from disk, which lets CI reuse a fresh file it already generated.
+
+use tilelink_probe::{parse_json, JsonValue};
+
+use tilelink_bench::{
+    bench_sim_json, cost_for, default_cluster, fig9_oracle_phases, fig9_tune_throughput,
+    sim_throughput,
+};
+use tilelink_sim::CostModelSpec;
+
+/// Fractional change beyond which a metric counts as regressed.
+const THRESHOLD: f64 = 0.20;
+
+fn usage() -> ! {
+    eprintln!("usage: perf_gate <recorded BENCH_sim.json> [fresh BENCH_sim.json]");
+    std::process::exit(2)
+}
+
+fn load(path: &str) -> JsonValue {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    parse_json(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e:?}"))
+}
+
+/// Measures the quick benchmark suite in-process and returns it rendered as
+/// the same JSON document `reproduce --bench-sim --quick --json` writes.
+fn measure_fresh() -> JsonValue {
+    let spec = CostModelSpec::default();
+    let cost = cost_for(&default_cluster(), &spec);
+    let rows = sim_throughput(30, &spec);
+    let profile = fig9_oracle_phases(&spec);
+    let tune = fig9_tune_throughput(true, &spec);
+    let text = bench_sim_json(&rows, &profile, &tune, true, &cost.revision());
+    parse_json(&text).expect("fresh benchmark JSON renders valid")
+}
+
+/// One comparison outcome; `regressed` applies the 20% threshold in the
+/// metric's better-direction.
+struct Check {
+    label: String,
+    recorded: f64,
+    fresh: f64,
+    /// `true` when larger values are better (throughput) — otherwise the
+    /// metric is a duration where smaller is better.
+    higher_is_better: bool,
+}
+
+impl Check {
+    fn regressed(&self) -> bool {
+        if self.recorded <= 0.0 {
+            return false;
+        }
+        if self.higher_is_better {
+            self.fresh < self.recorded * (1.0 - THRESHOLD)
+        } else {
+            self.fresh > self.recorded * (1.0 + THRESHOLD)
+        }
+    }
+
+    fn change_pct(&self) -> f64 {
+        if self.recorded == 0.0 {
+            0.0
+        } else {
+            (self.fresh / self.recorded - 1.0) * 100.0
+        }
+    }
+}
+
+fn number_at(doc: &JsonValue, path: &[&str]) -> Option<f64> {
+    let mut cur = doc;
+    for key in path {
+        cur = cur.get(key)?;
+    }
+    cur.as_f64()
+}
+
+fn push_check(
+    checks: &mut Vec<Check>,
+    recorded: &JsonValue,
+    fresh: &JsonValue,
+    path: &[&str],
+    label: String,
+    higher_is_better: bool,
+) {
+    match (number_at(recorded, path), number_at(fresh, path)) {
+        (Some(r), Some(f)) => checks.push(Check {
+            label,
+            recorded: r,
+            fresh: f,
+            higher_is_better,
+        }),
+        _ => println!("PERF NOTE {label}: missing on one side, skipped"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (recorded, fresh) = match args.as_slice() {
+        [rec] => {
+            println!("perf_gate: measuring fresh quick benchmarks in-process...");
+            (load(rec), measure_fresh())
+        }
+        [rec, new] => (load(rec), load(new)),
+        _ => usage(),
+    };
+
+    let mut checks = Vec::new();
+
+    // Simulator throughput per benchmark graph (higher is better).
+    let empty = Vec::new();
+    let recorded_graphs = recorded
+        .get("graphs")
+        .and_then(|g| g.as_array())
+        .unwrap_or(&empty);
+    for g in recorded_graphs {
+        let Some(name) = g.get("name").and_then(|n| n.as_str()) else {
+            continue;
+        };
+        let fresh_graph = fresh
+            .get("graphs")
+            .and_then(|fg| fg.as_array())
+            .and_then(|fg| {
+                fg.iter()
+                    .find(|cand| cand.get("name").and_then(|n| n.as_str()) == Some(name))
+            });
+        let Some(fresh_graph) = fresh_graph else {
+            println!("PERF NOTE graphs/{name}: missing from fresh run, skipped");
+            continue;
+        };
+        for metric in ["trace_sims_per_sec", "makespan_sims_per_sec"] {
+            match (
+                g.get(metric).and_then(|v| v.as_f64()),
+                fresh_graph.get(metric).and_then(|v| v.as_f64()),
+            ) {
+                (Some(r), Some(f)) => checks.push(Check {
+                    label: format!("graphs/{name}/{metric}"),
+                    recorded: r,
+                    fresh: f,
+                    higher_is_better: true,
+                }),
+                _ => println!("PERF NOTE graphs/{name}/{metric}: missing, skipped"),
+            }
+        }
+    }
+
+    // Tuner throughput (higher is better).
+    for metric in ["candidates_per_sec", "sims_per_sec"] {
+        push_check(
+            &mut checks,
+            &recorded,
+            &fresh,
+            &["fig9_tune", metric],
+            format!("fig9_tune/{metric}"),
+            true,
+        );
+    }
+
+    // Oracle phase durations (lower is better).
+    for section in ["fig9_oracle_phases", "fig9_oracle_phases_warm"] {
+        for phase in [
+            "build_ms",
+            "lower_ms",
+            "plan_ms",
+            "graph_ms",
+            "simulate_ms",
+            "total_ms",
+        ] {
+            push_check(
+                &mut checks,
+                &recorded,
+                &fresh,
+                &[section, phase],
+                format!("{section}/{phase}"),
+                false,
+            );
+        }
+    }
+
+    let mut regressions = 0usize;
+    for c in &checks {
+        if c.regressed() {
+            regressions += 1;
+            println!(
+                "PERF WARN {}: recorded {:.3}, fresh {:.3} ({:+.1}%)",
+                c.label,
+                c.recorded,
+                c.fresh,
+                c.change_pct()
+            );
+        }
+    }
+    println!(
+        "perf_gate: {} metrics compared, {} regression(s) beyond {:.0}% (soft gate, informational only)",
+        checks.len(),
+        regressions,
+        THRESHOLD * 100.0
+    );
+    // Always exit 0: see the module docs — this gate warns, it never fails CI.
+}

@@ -735,21 +735,24 @@ fn bench_sim(quick: bool, json: bool, spec: &CostModelSpec, cost: &tilelink_sim:
     }
     // Compile-vs-simulate attribution of one full fig9 MoE oracle evaluation
     // (span-profiled build/lower/plan/graph/simulate phases).
-    let phases = fig9_oracle_phases(spec);
-    println!(
-        "fig9 MoE-1 oracle phases: build {:.3} ms, lower {:.3} ms, plan {:.3} ms, \
-         graph {:.3} ms, simulate {:.3} ms ({:.1}% compile of {:.3} ms wall)",
-        phases.build_ms,
-        phases.lower_ms,
-        phases.plan_ms,
-        phases.graph_ms,
-        phases.simulate_ms,
-        phases.compile_fraction() * 100.0,
-        phases.total_ms
-    );
+    let profile = fig9_oracle_phases(spec);
+    for (label, phases) in [("cold", &profile.cold), ("warm", &profile.warm)] {
+        println!(
+            "fig9 MoE-1 oracle phases ({label}): build {:.3} ms, lower {:.3} ms, plan {:.3} ms, \
+             graph {:.3} ms, simulate {:.3} ms ({:.1}% compile of {:.3} ms wall)",
+            phases.build_ms,
+            phases.lower_ms,
+            phases.plan_ms,
+            phases.graph_ms,
+            phases.simulate_ms,
+            phases.compile_fraction() * 100.0,
+            phases.total_ms
+        );
+    }
     let tune = fig9_tune_throughput(quick, spec);
     println!(
-        "fig9 MoE-1 cold tune ({}): {:.2} s wall, {} candidates ({:.1}/s), {} sims ({:.1}/s)",
+        "fig9 MoE-1 cold tune ({}): {:.2} s wall, {} candidates ({:.1}/s), {} sims ({:.1}/s), \
+         {:.0}% patched compiles",
         if quick {
             "compact space"
         } else {
@@ -759,13 +762,14 @@ fn bench_sim(quick: bool, json: bool, spec: &CostModelSpec, cost: &tilelink_sim:
         tune.candidates,
         tune.candidates_per_sec,
         tune.evaluations,
-        tune.sims_per_sec
+        tune.sims_per_sec,
+        tune.patch_rate() * 100.0
     );
     if json {
         let path = "BENCH_sim.json";
         std::fs::write(
             path,
-            bench_sim_json(&rows, &phases, &tune, quick, &cost.revision()),
+            bench_sim_json(&rows, &profile, &tune, quick, &cost.revision()),
         )
         .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         println!("(wrote {path})");

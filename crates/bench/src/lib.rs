@@ -550,6 +550,22 @@ pub struct TuneThroughput {
     pub candidates_per_sec: f64,
     /// Oracle evaluations per second of wall time.
     pub sims_per_sec: f64,
+    /// Candidate compiles served by patching a cached lowered program.
+    pub compile_patched: u64,
+    /// Candidate compiles that rebuilt the tile program from the frontend.
+    pub compile_full_rebuilds: u64,
+}
+
+impl TuneThroughput {
+    /// Fraction of candidate compiles served by the incremental patch path.
+    pub fn patch_rate(&self) -> f64 {
+        let total = self.compile_patched + self.compile_full_rebuilds;
+        if total == 0 {
+            0.0
+        } else {
+            self.compile_patched as f64 / total as f64
+        }
+    }
 }
 
 /// Times a cold `tilelink-tune` search on the first Figure 9 MoE shape,
@@ -558,6 +574,12 @@ pub struct TuneThroughput {
 /// `quick` uses a compact space and a narrow beam (the CI trajectory
 /// recording); otherwise the standard space under the default strategy — the
 /// same search `reproduce --tune` runs per shape.
+///
+/// The search is repeated from a cold compile cache several times and the
+/// fastest repeat is reported (criterion-style minimum-time estimation): a
+/// quick search finishes in ~10 ms, so a single wall-clock window is dominated
+/// by scheduler noise on a shared core, while the best of N approaches the
+/// true cost of the work.
 ///
 /// # Panics
 ///
@@ -592,16 +614,32 @@ pub fn fig9_tune_throughput(quick: bool, spec: &CostModelSpec) -> TuneThroughput
         }
     };
     let opts = opts.with_cost(cost_for(&default_cluster(), spec));
-    let start = std::time::Instant::now();
-    let tuned = autotune::tuned_full_moe(&shape, &default_cluster(), &opts).expect("fig9 tune");
-    let wall_s = start.elapsed().as_secs_f64();
-    TuneThroughput {
-        wall_s,
-        candidates: tuned.search.ranked.len(),
-        evaluations: tuned.search.evaluations,
-        candidates_per_sec: tuned.search.ranked.len() as f64 / wall_s,
-        sims_per_sec: tuned.search.evaluations as f64 / wall_s,
+    let repeats = if quick { 5 } else { 3 };
+    let mut best: Option<TuneThroughput> = None;
+    for _ in 0..repeats {
+        // A cold search: no lowered programs carried over from earlier runs in
+        // this process (or from the previous repeat).
+        tilelink::reset_compile_cache();
+        let start = std::time::Instant::now();
+        let tuned = autotune::tuned_full_moe(&shape, &default_cluster(), &opts).expect("fig9 tune");
+        let wall_s = start.elapsed().as_secs_f64();
+        let run = TuneThroughput {
+            wall_s,
+            candidates: tuned.search.ranked.len(),
+            evaluations: tuned.search.evaluations,
+            candidates_per_sec: tuned.search.ranked.len() as f64 / wall_s,
+            sims_per_sec: tuned.search.evaluations as f64 / wall_s,
+            compile_patched: tuned.search.compile_patched,
+            compile_full_rebuilds: tuned.search.compile_full_rebuilds,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| run.candidates_per_sec > b.candidates_per_sec)
+        {
+            best = Some(run);
+        }
     }
+    best.expect("at least one tune repeat")
 }
 
 /// Wall-clock milliseconds of each instrumented phase of one full Figure 9
@@ -637,19 +675,36 @@ impl OraclePhases {
     }
 }
 
-/// Profiles one full Figure 9 MoE oracle evaluation (default config, MoE-1,
-/// both layer halves plus activation) and attributes its wall time to the
-/// instrumented pipeline phases.
+/// Cold and warm phase attributions of the Figure 9 MoE oracle.
 ///
-/// The span profiler is enabled just for this evaluation and restored to its
-/// previous state afterwards; spans recorded before the call are preserved
-/// for any later process-wide profile report.
+/// *Cold* is the first evaluation after [`tilelink::reset_compile_cache`]:
+/// the tile programs are built from the frontend, lowered and checked. *Warm*
+/// is the steady state the tuner actually runs in: the immediately following
+/// evaluation of the same `(workload, cluster)`, where the compiler patches
+/// the cached lowered programs (pipeline + re-plan only) instead of
+/// rebuilding them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleProfile {
+    /// First evaluation, empty compile cache.
+    pub cold: OraclePhases,
+    /// Second evaluation, incremental recompilation path.
+    pub warm: OraclePhases,
+}
+
+/// Profiles one full Figure 9 MoE oracle evaluation (default config, MoE-1,
+/// both layer halves plus activation) twice — cold, then warm — and
+/// attributes each evaluation's wall time to the instrumented pipeline
+/// phases.
+///
+/// The span profiler is enabled just for these evaluations and restored to
+/// its previous state afterwards; spans recorded before the call are
+/// preserved for any later process-wide profile report.
 ///
 /// # Panics
 ///
 /// Panics if the evaluation fails (a compiler/oracle regression) or the spec
 /// names an unloadable calibration file.
-pub fn fig9_oracle_phases(spec: &CostModelSpec) -> OraclePhases {
+pub fn fig9_oracle_phases(spec: &CostModelSpec) -> OracleProfile {
     use tilelink_tune::CostOracle;
     use tilelink_workloads::autotune::MoeOracle;
 
@@ -658,28 +713,35 @@ pub fn fig9_oracle_phases(spec: &CostModelSpec) -> OraclePhases {
         MoeOracle::new(shape, default_cluster()).with_cost(cost_for(&default_cluster(), spec));
     let was_enabled = tilelink_probe::enabled();
     tilelink_probe::set_enabled(true);
-    // Scoped capture: set aside spans recorded before this evaluation so the
-    // report attributes exactly one oracle call, then put everything back.
+    // Scoped capture: set aside spans recorded before these evaluations so
+    // each report attributes exactly one oracle call, then put everything
+    // back.
     let mut prior = tilelink_probe::take_spans();
-    let start = std::time::Instant::now();
-    oracle
-        .evaluate(&tilelink::OverlapConfig::default())
-        .expect("fig9 oracle evaluation");
-    let total_ms = start.elapsed().as_secs_f64() * 1e3;
-    let ours = tilelink_probe::take_spans();
+    tilelink::reset_compile_cache();
+    let mut measure = || {
+        let start = std::time::Instant::now();
+        oracle
+            .evaluate(&tilelink::OverlapConfig::default())
+            .expect("fig9 oracle evaluation");
+        let total_ms = start.elapsed().as_secs_f64() * 1e3;
+        let ours = tilelink_probe::take_spans();
+        let report = tilelink_probe::ProfileReport::from_spans(&ours);
+        prior.extend(ours);
+        let ms = |name: &str| report.phase(name).map_or(0.0, |p| p.total_ms());
+        OraclePhases {
+            build_ms: ms("compile.build"),
+            lower_ms: ms("compile.lower"),
+            plan_ms: ms("compile.plan"),
+            graph_ms: ms("graph.build"),
+            simulate_ms: ms("simulate"),
+            total_ms,
+        }
+    };
+    let cold = measure();
+    let warm = measure();
     tilelink_probe::set_enabled(was_enabled);
-    let report = tilelink_probe::ProfileReport::from_spans(&ours);
-    prior.extend(ours);
     tilelink_probe::restore_spans(prior);
-    let ms = |name: &str| report.phase(name).map_or(0.0, |p| p.total_ms());
-    OraclePhases {
-        build_ms: ms("compile.build"),
-        lower_ms: ms("compile.lower"),
-        plan_ms: ms("compile.plan"),
-        graph_ms: ms("graph.build"),
-        simulate_ms: ms("simulate"),
-        total_ms,
-    }
+    OracleProfile { cold, warm }
 }
 
 /// Serialises the simulator-throughput trajectory as JSON (`BENCH_sim.json`):
@@ -689,7 +751,7 @@ pub fn fig9_oracle_phases(spec: &CostModelSpec) -> OraclePhases {
 /// against. `cost_revision` records which cost model priced the runs.
 pub fn bench_sim_json(
     graphs: &[SimThroughput],
-    phases: &OraclePhases,
+    profile: &OracleProfile,
     tune: &TuneThroughput,
     quick: bool,
     cost_revision: &str,
@@ -715,26 +777,44 @@ pub fn bench_sim_json(
         ));
     }
     out.push_str("  ],\n");
+    let phase_entry = |phases: &OraclePhases| {
+        format!(
+            concat!(
+                "{{\"build_ms\": {:.4}, \"lower_ms\": {:.4}, ",
+                "\"plan_ms\": {:.4}, \"graph_ms\": {:.4}, \"simulate_ms\": {:.4}, ",
+                "\"total_ms\": {:.4}, \"compile_fraction\": {:.3}}}"
+            ),
+            phases.build_ms,
+            phases.lower_ms,
+            phases.plan_ms,
+            phases.graph_ms,
+            phases.simulate_ms,
+            phases.total_ms,
+            phases.compile_fraction()
+        )
+    };
     out.push_str(&format!(
-        concat!(
-            "  \"fig9_oracle_phases\": {{\"build_ms\": {:.4}, \"lower_ms\": {:.4}, ",
-            "\"plan_ms\": {:.4}, \"graph_ms\": {:.4}, \"simulate_ms\": {:.4}, ",
-            "\"total_ms\": {:.4}, \"compile_fraction\": {:.3}}},\n"
-        ),
-        phases.build_ms,
-        phases.lower_ms,
-        phases.plan_ms,
-        phases.graph_ms,
-        phases.simulate_ms,
-        phases.total_ms,
-        phases.compile_fraction()
+        "  \"fig9_oracle_phases\": {},\n",
+        phase_entry(&profile.cold)
+    ));
+    out.push_str(&format!(
+        "  \"fig9_oracle_phases_warm\": {},\n",
+        phase_entry(&profile.warm)
     ));
     out.push_str(&format!(
         concat!(
             "  \"fig9_tune\": {{\"wall_s\": {:.3}, \"candidates\": {}, \"evaluations\": {}, ",
-            "\"candidates_per_sec\": {:.1}, \"sims_per_sec\": {:.1}}}\n"
+            "\"candidates_per_sec\": {:.1}, \"sims_per_sec\": {:.1}, ",
+            "\"compile_patched\": {}, \"compile_full_rebuilds\": {}, \"patch_rate\": {:.3}}}\n"
         ),
-        tune.wall_s, tune.candidates, tune.evaluations, tune.candidates_per_sec, tune.sims_per_sec
+        tune.wall_s,
+        tune.candidates,
+        tune.evaluations,
+        tune.candidates_per_sec,
+        tune.sims_per_sec,
+        tune.compile_patched,
+        tune.compile_full_rebuilds,
+        tune.patch_rate()
     ));
     out.push('}');
     out
@@ -826,8 +906,10 @@ mod tests {
             evaluations: 8,
             candidates_per_sec: 5.0,
             sims_per_sec: 4.0,
+            compile_patched: 18,
+            compile_full_rebuilds: 2,
         };
-        let phases = OraclePhases {
+        let cold = OraclePhases {
             build_ms: 0.5,
             lower_ms: 1.0,
             plan_ms: 0.25,
@@ -835,7 +917,16 @@ mod tests {
             simulate_ms: 2.5,
             total_ms: 5.5,
         };
-        let json = bench_sim_json(&rows, &phases, &tune, true, "analytic-v2");
+        let warm = OraclePhases {
+            build_ms: 0.0,
+            lower_ms: 0.2,
+            plan_ms: 0.05,
+            graph_ms: 0.3,
+            simulate_ms: 2.5,
+            total_ms: 3.2,
+        };
+        let profile = OracleProfile { cold, warm };
+        let json = bench_sim_json(&rows, &profile, &tune, true, "analytic-v2");
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"fig9_tune\""));
         assert!(json.contains("fig9_routed_moe_first"));
@@ -844,27 +935,39 @@ mod tests {
         // The perf trajectory is machine-read by CI and future PRs: hold it to
         // a validator-grade parse, and check the phase keys CI gates on.
         let v = tilelink_probe::parse_json(&json).expect("valid BENCH_sim JSON");
-        let ph = v.get("fig9_oracle_phases").expect("phase breakdown");
-        for key in ["build_ms", "lower_ms", "plan_ms", "graph_ms", "simulate_ms"] {
-            assert!(
-                ph.get(key)
-                    .and_then(tilelink_probe::JsonValue::as_f64)
-                    .is_some(),
-                "{key}"
-            );
+        for entry in ["fig9_oracle_phases", "fig9_oracle_phases_warm"] {
+            let ph = v.get(entry).expect("phase breakdown");
+            for key in ["build_ms", "lower_ms", "plan_ms", "graph_ms", "simulate_ms"] {
+                assert!(
+                    ph.get(key)
+                        .and_then(tilelink_probe::JsonValue::as_f64)
+                        .is_some(),
+                    "{entry}.{key}"
+                );
+            }
         }
         assert_eq!(
-            ph.get("compile_fraction")
+            v.get("fig9_oracle_phases")
+                .and_then(|p| p.get("compile_fraction"))
                 .and_then(tilelink_probe::JsonValue::as_f64),
             Some(0.5)
+        );
+        let tune_v = v.get("fig9_tune").expect("tune block");
+        assert_eq!(
+            tune_v
+                .get("patch_rate")
+                .and_then(tilelink_probe::JsonValue::as_f64),
+            Some(0.9)
         );
     }
 
     #[test]
     fn fig9_oracle_phases_attribute_the_evaluation() {
-        let phases = fig9_oracle_phases(&CostModelSpec::Analytic);
-        // Every instrumented phase of the MoE oracle must actually run: both
-        // halves build + lower + plan, build their graphs, and simulate.
+        let profile = fig9_oracle_phases(&CostModelSpec::Analytic);
+        let phases = profile.cold;
+        // Every instrumented phase of a cold MoE oracle evaluation must
+        // actually run: both halves build + lower + plan, build their graphs,
+        // and simulate.
         assert!(phases.build_ms > 0.0, "{phases:?}");
         assert!(phases.lower_ms > 0.0, "{phases:?}");
         assert!(phases.plan_ms > 0.0, "{phases:?}");
@@ -884,6 +987,15 @@ mod tests {
         );
         let frac = phases.compile_fraction();
         assert!((0.0..=1.0).contains(&frac), "{frac}");
+        // The warm evaluation rides the incremental recompilation path: the
+        // frontend build never runs, while lowering (the cached-program
+        // patch), planning, graph construction and simulation still do.
+        let warm = profile.warm;
+        assert!(warm.build_ms == 0.0, "{warm:?}");
+        assert!(warm.lower_ms > 0.0, "{warm:?}");
+        assert!(warm.plan_ms > 0.0, "{warm:?}");
+        assert!(warm.graph_ms > 0.0, "{warm:?}");
+        assert!(warm.simulate_ms > 0.0, "{warm:?}");
     }
 
     #[test]

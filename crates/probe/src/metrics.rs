@@ -206,6 +206,16 @@ pub static TUNE_CANDIDATES_PRUNED_CONSTRAINT: Counter =
     Counter::new("tune.candidates.pruned_constraint");
 /// Candidates whose oracle evaluation returned an error.
 pub static TUNE_CANDIDATES_FAILED_SIM: Counter = Counter::new("tune.candidates.failed_sim");
+/// Candidate compiles served by patching a cached lowered program (the
+/// incremental-recompilation fast path).
+pub static TUNE_COMPILE_PATCHED: Counter = Counter::new("tune.compile.patched");
+/// Candidate compiles that rebuilt and re-lowered the program from scratch.
+pub static TUNE_COMPILE_FULL_REBUILDS: Counter = Counter::new("tune.compile.full_rebuilds");
+/// Task-graph builds that borrowed the thread-local warm graph scratch.
+pub static GRAPH_SCRATCH_REUSES: Counter = Counter::new("graph.scratch.reuses");
+/// Task-graph builds that allocated a fresh scratch (first build on a thread,
+/// or a re-entrant build while the scratch was borrowed).
+pub static GRAPH_SCRATCH_COLD: Counter = Counter::new("graph.scratch.cold");
 /// Makespan-only (fast-path) simulations run.
 pub static SIM_MAKESPAN_RUNS: Counter = Counter::new("sim.makespan_runs");
 /// Full-trace simulations run.
@@ -229,6 +239,10 @@ static COUNTERS: &[&Counter] = &[
     &TUNE_CANDIDATES_PRUNED_VALIDATE,
     &TUNE_CANDIDATES_PRUNED_CONSTRAINT,
     &TUNE_CANDIDATES_FAILED_SIM,
+    &TUNE_COMPILE_PATCHED,
+    &TUNE_COMPILE_FULL_REBUILDS,
+    &GRAPH_SCRATCH_REUSES,
+    &GRAPH_SCRATCH_COLD,
     &SIM_MAKESPAN_RUNS,
     &SIM_TRACE_RUNS,
     &SIM_SCRATCH_REUSES,

@@ -95,7 +95,7 @@ impl Engine {
         schedule(&*self.cost, graph, &mut scratch, |id, task, start, end| {
             entries[id.0] = Some(TraceEntry {
                 task: id,
-                name: task.name.clone(),
+                name: task.name.to_arc(),
                 rank: task.rank,
                 resource: task.resource,
                 units: task.units,

@@ -1,8 +1,6 @@
 //! Task-graph construction API.
 
-use std::sync::Arc;
-
-use crate::{ResourceKind, Task, TaskId, Work};
+use crate::{ResourceKind, Task, TaskId, TaskLabel, Work};
 
 /// A dependency graph of simulated tasks.
 ///
@@ -10,19 +8,42 @@ use crate::{ResourceKind, Task, TaskId, Work};
 /// per compiled kernel or per baseline implementation) and executed by
 /// [`crate::Engine::run`]. Edges express "must finish before": the tile-centric
 /// notify/wait pairs of the functional runtime become dependency edges here.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct TaskGraph {
     tasks: Vec<Task>,
-    /// `edges[i]` lists the tasks that depend on task `i`.
+    /// `edges[i]` lists the tasks that depend on task `i`. May hold warm
+    /// spare slots beyond `tasks.len()` after a [`Self::reset`]; only the
+    /// first `tasks.len()` entries are live.
     successors: Vec<Vec<TaskId>>,
     /// Number of unfinished predecessors per task.
     predecessor_count: Vec<usize>,
+}
+
+/// Equality over the *live* graph only: warm spare successor slots kept by
+/// [`TaskGraph::reset`] for reuse do not affect comparisons.
+impl PartialEq for TaskGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.tasks == other.tasks
+            && self.predecessor_count == other.predecessor_count
+            && self.successors[..self.tasks.len()] == other.successors[..other.tasks.len()]
+    }
 }
 
 impl TaskGraph {
     /// Creates an empty graph.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Clears the graph for rebuilding while keeping every allocation warm:
+    /// the task table, the predecessor counts and — crucially — each per-task
+    /// successor `Vec`, so the next build's `add_dep`s do not reallocate.
+    pub fn reset(&mut self) {
+        self.tasks.clear();
+        self.predecessor_count.clear();
+        for edges in &mut self.successors {
+            edges.clear();
+        }
     }
 
     /// Number of tasks in the graph.
@@ -38,7 +59,7 @@ impl TaskGraph {
     /// Adds a task and returns its id.
     pub fn add_task(
         &mut self,
-        name: impl Into<Arc<str>>,
+        name: impl Into<TaskLabel>,
         rank: usize,
         resource: ResourceKind,
         units: u64,
@@ -51,7 +72,9 @@ impl TaskGraph {
     pub fn push(&mut self, task: Task) -> TaskId {
         let id = TaskId(self.tasks.len());
         self.tasks.push(task);
-        self.successors.push(Vec::new());
+        if self.successors.len() < self.tasks.len() {
+            self.successors.push(Vec::new());
+        }
         self.predecessor_count.push(0);
         id
     }
@@ -83,7 +106,7 @@ impl TaskGraph {
     /// and synchronisation overheads.
     pub fn add_host_latency(
         &mut self,
-        name: impl Into<Arc<str>>,
+        name: impl Into<TaskLabel>,
         rank: usize,
         seconds: f64,
     ) -> TaskId {
@@ -150,6 +173,32 @@ mod tests {
         let mut g = TaskGraph::new();
         let a = g.add_host_latency("a", 0, 0.0);
         g.add_dep(a, TaskId(7));
+    }
+
+    #[test]
+    fn reset_keeps_slots_warm_and_rebuilds_identically() {
+        let build = |g: &mut TaskGraph| {
+            let a = g.add_task("a", 0, ResourceKind::Sm, 1, Work::Latency { seconds: 1.0 });
+            let b = g.add_task("b", 0, ResourceKind::Sm, 1, Work::Latency { seconds: 1.0 });
+            g.add_dep(a, b);
+        };
+        let mut fresh = TaskGraph::new();
+        build(&mut fresh);
+        // A bigger graph first, so reset leaves spare warm slots behind.
+        let mut reused = TaskGraph::new();
+        for i in 0..5 {
+            reused.add_host_latency(format!("t{i}"), 0, 0.0);
+        }
+        reused.add_dep(TaskId(0), TaskId(4));
+        reused.reset();
+        assert!(reused.is_empty());
+        build(&mut reused);
+        assert_eq!(reused, fresh);
+        assert_eq!(fresh, reused);
+        assert_eq!(reused.successors(TaskId(0)), &[TaskId(1)]);
+        let mut counts = Vec::new();
+        reused.fill_predecessor_counts(&mut counts);
+        assert_eq!(counts, vec![0, 1]);
     }
 
     #[test]

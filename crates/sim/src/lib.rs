@@ -76,7 +76,7 @@ pub use gpu::GpuSpec;
 pub use graph::TaskGraph;
 pub use provider::{analytic_cost, CostModelSpec, CostProvider, SharedCost};
 pub use sched::SimScratch;
-pub use task::{ResourceKind, Task, TaskId, Work};
+pub use task::{ResourceKind, Task, TaskId, TaskLabel, Work};
 pub use trace::{Trace, TraceEntry};
 
 /// Convenience result alias used throughout the crate.

@@ -112,12 +112,75 @@ pub enum Work {
     },
 }
 
+/// A task's trace label.
+///
+/// Makespan-only graphs are rebuilt thousands of times per tuning run and
+/// never read their labels, so the fast path constructs tasks as
+/// [`TaskLabel::Unlabeled`]: creating and dropping one is free, where even a
+/// shared `Arc<str>` pays two atomic reference-count updates per task per
+/// rebuild. The trace path uses [`TaskLabel::Named`], which shares its
+/// allocation with the trace entries that reference it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum TaskLabel {
+    /// No label (makespan-only graphs).
+    #[default]
+    Unlabeled,
+    /// A human-readable trace label.
+    Named(Arc<str>),
+}
+
+impl TaskLabel {
+    /// The label text (empty for [`TaskLabel::Unlabeled`]).
+    pub fn as_str(&self) -> &str {
+        match self {
+            TaskLabel::Unlabeled => "",
+            TaskLabel::Named(s) => s,
+        }
+    }
+
+    /// The label as a shareable `Arc<str>` (an empty shared `Arc` when
+    /// unlabeled; only the trace path calls this).
+    pub fn to_arc(&self) -> Arc<str> {
+        match self {
+            TaskLabel::Unlabeled => {
+                static EMPTY: std::sync::OnceLock<Arc<str>> = std::sync::OnceLock::new();
+                Arc::clone(EMPTY.get_or_init(|| Arc::from("")))
+            }
+            TaskLabel::Named(s) => Arc::clone(s),
+        }
+    }
+}
+
+impl std::ops::Deref for TaskLabel {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<&str> for TaskLabel {
+    fn from(s: &str) -> Self {
+        TaskLabel::Named(Arc::from(s))
+    }
+}
+
+impl From<String> for TaskLabel {
+    fn from(s: String) -> Self {
+        TaskLabel::Named(Arc::from(s))
+    }
+}
+
+impl From<Arc<str>> for TaskLabel {
+    fn from(s: Arc<str>) -> Self {
+        TaskLabel::Named(s)
+    }
+}
+
 /// One node of the simulated task graph.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Task {
-    /// Human-readable name, used in traces. Interned as `Arc<str>` so trace
-    /// recording shares one allocation with the task instead of deep-copying.
-    pub name: Arc<str>,
+    /// Trace label; [`TaskLabel::Unlabeled`] on the makespan fast path.
+    pub name: TaskLabel,
     /// Rank (GPU index) the task runs on.
     pub rank: usize,
     /// Resource kind the task occupies.
@@ -131,7 +194,7 @@ pub struct Task {
 impl Task {
     /// Creates a task description.
     pub fn new(
-        name: impl Into<Arc<str>>,
+        name: impl Into<TaskLabel>,
         rank: usize,
         resource: ResourceKind,
         units: u64,

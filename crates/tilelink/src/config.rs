@@ -95,7 +95,7 @@ impl CommMapping {
 }
 
 /// The complete decoupled design-space choice for one overlapped kernel.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OverlapConfig {
     /// Tile shape used by the communication (producer) side.
     pub comm_tile: TileShape,
@@ -284,15 +284,14 @@ mod tests {
     fn cache_key_is_injective_across_axes() {
         let base = OverlapConfig::default();
         let variants = [
-            base.clone(),
-            base.clone().with_comm_tile(TileShape::new(64, 128)),
-            base.clone().with_compute_tile(TileShape::new(64, 128)),
-            base.clone().with_order(TileOrder::Ring),
-            base.clone().with_mode(TransferMode::Push),
-            base.clone().with_comm_mapping(CommMapping::CopyEngine),
-            base.clone().with_comm_mapping(CommMapping::Sm { sms: 8 }),
-            base.clone()
-                .with_comm_mapping(CommMapping::Hybrid { sms: 20 }),
+            base,
+            base.with_comm_tile(TileShape::new(64, 128)),
+            base.with_compute_tile(TileShape::new(64, 128)),
+            base.with_order(TileOrder::Ring),
+            base.with_mode(TransferMode::Push),
+            base.with_comm_mapping(CommMapping::CopyEngine),
+            base.with_comm_mapping(CommMapping::Sm { sms: 8 }),
+            base.with_comm_mapping(CommMapping::Hybrid { sms: 20 }),
         ];
         let keys: std::collections::HashSet<String> =
             variants.iter().map(OverlapConfig::cache_key).collect();

@@ -14,17 +14,29 @@
 //! The executor also produces communication-only and computation-only variants
 //! of the graph so [`simulate`] can report the paper's overlap ratio
 //! (Section 7.2).
+//!
+//! Graph construction is the tuner's per-candidate hot path, so it reuses a
+//! thread-local [`GraphScratch`]: the task graph (with warm per-task successor
+//! vectors), the notifier map (a pooled linked-list multimap keyed by packed
+//! sync keys with a fast hasher) and the wait/launch lists all keep their
+//! allocations across builds. The makespan-only path additionally skips task
+//! *labels* entirely — the scheduler never reads names, and formatting
+//! thousands of them per candidate dominated graph-build time. The trace path
+//! keeps real labels.
 
+use std::cell::RefCell;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use tilelink_sim::{
     analytic_cost, ClusterSpec, Engine, GpuSpec, ResourceKind, SharedCost, TaskGraph, TaskId,
-    Trace, Work,
+    TaskLabel, Trace, Work,
 };
 
 use crate::compile::CompiledKernel;
 use crate::ir::{BlockRole, TileOp};
-use crate::passes::{LoweredBlock, TransferLane};
+use crate::passes::{LoweredBlockRef, TransferLane};
 use crate::report::OverlapReport;
 use crate::Result;
 
@@ -36,6 +48,17 @@ enum Subset {
     ComputeOnly,
 }
 
+impl Subset {
+    /// Index of the [`GraphScratch`] slot this subset's graph is built into.
+    fn slot(self) -> usize {
+        match self {
+            Subset::All => 0,
+            Subset::CommOnly => 1,
+            Subset::ComputeOnly => 2,
+        }
+    }
+}
+
 /// Synchronisation key connecting notifies to waits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum SyncKey {
@@ -43,6 +66,147 @@ enum SyncKey {
     Channel { rank: usize, channel: usize },
     /// Peer tile slot on a rank.
     Peer { rank: usize, slot: usize },
+}
+
+impl SyncKey {
+    /// Packs the key into one word for the fast-hashed notifier map
+    /// (rank < 2^30 and channel/slot < 2^33 in every realistic program).
+    fn packed(self) -> u64 {
+        match self {
+            SyncKey::Channel { rank, channel } => ((rank as u64) << 34) | ((channel as u64) << 1),
+            SyncKey::Peer { rank, slot } => ((rank as u64) << 34) | ((slot as u64) << 1) | 1,
+        }
+    }
+}
+
+/// A multiply-xor hasher for pre-packed `u64` keys — the std SipHash is
+/// measurable overhead at two lookups per lowered op.
+#[derive(Default)]
+struct PackedKeyHasher(u64);
+
+impl Hasher for PackedKeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut h = (self.0 ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 32;
+        self.0 = h;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+const NO_NODE: u32 = u32::MAX;
+
+/// `SyncKey → [TaskId]` multimap with per-key insertion order, backed by one
+/// pooled node vector so clearing it between builds frees nothing.
+#[derive(Default)]
+struct NotifierMap {
+    /// key → (head, tail) indices into `pool`.
+    heads: HashMap<u64, (u32, u32), BuildHasherDefault<PackedKeyHasher>>,
+    /// Linked-list nodes: (notifier, next index or `NO_NODE`).
+    pool: Vec<(TaskId, u32)>,
+}
+
+impl NotifierMap {
+    fn clear(&mut self) {
+        self.heads.clear();
+        self.pool.clear();
+    }
+
+    fn push(&mut self, key: SyncKey, task: TaskId) {
+        let node = u32::try_from(self.pool.len()).expect("notifier pool overflow");
+        self.pool.push((task, NO_NODE));
+        match self.heads.entry(key.packed()) {
+            Entry::Occupied(mut e) => {
+                let tail = e.get().1;
+                self.pool[tail as usize].1 = node;
+                e.get_mut().1 = node;
+            }
+            Entry::Vacant(v) => {
+                v.insert((node, node));
+            }
+        }
+    }
+
+    /// Iterates the notifiers of `key` in insertion order (the order the old
+    /// per-key `Vec` preserved — edge order feeds the scheduler's same-time
+    /// FIFO tie-break, so it must not change).
+    fn iter(&self, key: SyncKey) -> impl Iterator<Item = TaskId> + '_ {
+        let mut cur = self
+            .heads
+            .get(&key.packed())
+            .map_or(NO_NODE, |&(head, _)| head);
+        std::iter::from_fn(move || {
+            if cur == NO_NODE {
+                return None;
+            }
+            let (task, next) = self.pool[cur as usize];
+            cur = next;
+            Some(task)
+        })
+    }
+}
+
+/// One reusable graph target: a task graph plus the synchronisation state
+/// needed to resolve its notify -> wait edges.
+struct GraphSlot {
+    graph: TaskGraph,
+    notifiers: NotifierMap,
+    /// (waiting task, key) pairs to resolve in the second phase.
+    waits: Vec<(TaskId, SyncKey)>,
+    launch: Vec<TaskId>,
+}
+
+impl Default for GraphSlot {
+    fn default() -> Self {
+        Self {
+            graph: TaskGraph::new(),
+            notifiers: NotifierMap::default(),
+            waits: Vec::new(),
+            launch: Vec::new(),
+        }
+    }
+}
+
+/// Reusable per-thread graph-construction state, one slot per [`Subset`]
+/// (indexed by [`Subset::slot`]) so the report path can materialise the full,
+/// comm-only and compute-only graphs in a single walk over the lowered
+/// blocks.
+#[derive(Default)]
+struct GraphScratch {
+    slots: [GraphSlot; 3],
+    used: bool,
+}
+
+thread_local! {
+    static GRAPH_SCRATCH: RefCell<GraphScratch> = RefCell::new(GraphScratch::default());
+}
+
+/// Runs `f` with this thread's warm graph scratch (or a cold private one when
+/// the thread-local is already borrowed by a re-entrant build).
+fn with_graph_scratch<R>(f: impl FnOnce(&mut GraphScratch) -> R) -> R {
+    GRAPH_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => {
+            if scratch.used {
+                tilelink_probe::metrics::GRAPH_SCRATCH_REUSES.inc();
+            } else {
+                tilelink_probe::metrics::GRAPH_SCRATCH_COLD.inc();
+                scratch.used = true;
+            }
+            f(&mut scratch)
+        }
+        Err(_) => {
+            tilelink_probe::metrics::GRAPH_SCRATCH_COLD.inc();
+            f(&mut GraphScratch::default())
+        }
+    })
 }
 
 #[derive(Default)]
@@ -60,50 +224,56 @@ impl SegmentState {
 struct GraphBuilder<'a> {
     kernel: &'a CompiledKernel,
     cluster: &'a ClusterSpec,
-    graph: TaskGraph,
-    /// Tasks that notify each sync key.
-    notifiers: HashMap<SyncKey, Vec<TaskId>>,
-    /// (waiting task, key) pairs to resolve in the second phase.
-    waits: Vec<(TaskId, SyncKey)>,
-    launch: Vec<TaskId>,
+    scratch: &'a mut GraphScratch,
+    /// Real task labels (trace path) vs no labels (makespan path).
+    labels: bool,
     /// SMs granted to each communication (producer/host) block's compute steps.
     sms_per_comm_block: u64,
 }
 
 impl<'a> GraphBuilder<'a> {
-    fn new(kernel: &'a CompiledKernel, cluster: &'a ClusterSpec) -> Self {
-        let mut graph = TaskGraph::new();
-        let launch = (0..kernel.world_size)
-            .map(|r| {
-                graph.add_host_latency(
-                    format!("{}/launch/r{r}", kernel.name),
-                    r,
-                    cluster.gpu.kernel_launch_s(),
-                )
-            })
-            .collect();
-        // Communication blocks (reductions and epilogues of the comm side) share
-        // the SMs the resource plan reserved for communication.
-        let producer_blocks_per_rank = (0..kernel.world_size)
-            .map(|r| {
-                kernel
-                    .blocks
-                    .iter()
-                    .filter(|b| b.rank == r && b.role != BlockRole::Consumer)
-                    .count()
-            })
-            .max()
-            .unwrap_or(0)
-            .max(1) as u64;
-        let sms_per_comm_block = (kernel.plan.comm_sms / producer_blocks_per_rank).max(1);
+    fn new(
+        kernel: &'a CompiledKernel,
+        cluster: &'a ClusterSpec,
+        scratch: &'a mut GraphScratch,
+        labels: bool,
+    ) -> Self {
         Self {
             kernel,
             cluster,
-            graph,
-            notifiers: HashMap::new(),
-            waits: Vec::new(),
-            launch,
-            sms_per_comm_block,
+            scratch,
+            labels,
+            // Communication blocks (reductions and epilogues of the comm side)
+            // share the SMs the resource plan reserved for communication;
+            // precomputed at kernel assembly so graph builds don't rescan.
+            sms_per_comm_block: kernel.sms_per_comm_block,
+        }
+    }
+
+    /// Resets slot `ti` and seeds it with one launch task per rank.
+    fn init_slot(&mut self, ti: usize) {
+        let launch_s = self.cluster.gpu.kernel_launch_s();
+        let slot = &mut self.scratch.slots[ti];
+        slot.graph.reset();
+        slot.notifiers.clear();
+        slot.waits.clear();
+        slot.launch.clear();
+        for r in 0..self.kernel.world_size {
+            let label = if self.labels {
+                TaskLabel::from(format!("{}/launch/r{r}", self.kernel.name))
+            } else {
+                TaskLabel::Unlabeled
+            };
+            let id = slot.graph.add_host_latency(label, r, launch_s);
+            slot.launch.push(id);
+        }
+    }
+
+    fn label(&self, f: impl FnOnce() -> String) -> TaskLabel {
+        if self.labels {
+            TaskLabel::from(f())
+        } else {
+            TaskLabel::Unlabeled
         }
     }
 
@@ -122,22 +292,26 @@ impl<'a> GraphBuilder<'a> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn flush_segment(
         &mut self,
-        block: &LoweredBlock,
+        block: &LoweredBlockRef<'_>,
         segment: &mut SegmentState,
-        prev: &mut Option<TaskId>,
+        prev: &mut [Option<TaskId>; 2],
         pending_waits: &mut Vec<SyncKey>,
         seq: &mut usize,
+        targets: &[usize],
     ) {
         if segment.is_empty() && pending_waits.is_empty() {
             return;
         }
-        let label = if block.role == BlockRole::Consumer {
-            format!("compute_{}/{}", block.name, seq)
-        } else {
-            format!("comm_{}/{}", block.name, seq)
-        };
+        let label = self.label(|| {
+            if block.role == BlockRole::Consumer {
+                format!("compute_{}/{}", block.name, seq)
+            } else {
+                format!("comm_{}/{}", block.name, seq)
+            }
+        });
         *seq += 1;
         let work = if segment.matmul_flops > 0.0 {
             Work::MatmulFlops {
@@ -149,87 +323,100 @@ impl<'a> GraphBuilder<'a> {
                 bytes: segment.hbm_bytes.max(1.0),
             }
         };
-        let task = self.graph.add_task(
-            label,
-            block.rank,
-            ResourceKind::Sm,
-            self.compute_units(block.role),
-            work,
-        );
-        self.graph.add_dep(self.launch[block.rank], task);
-        if let Some(p) = *prev {
-            self.graph.add_dep(p, task);
+        let units = self.compute_units(block.role);
+        for (i, &ti) in targets.iter().enumerate() {
+            let slot = &mut self.scratch.slots[ti];
+            let task =
+                slot.graph
+                    .add_task(label.clone(), block.rank, ResourceKind::Sm, units, work);
+            slot.graph.add_dep(slot.launch[block.rank], task);
+            if let Some(p) = prev[i] {
+                slot.graph.add_dep(p, task);
+            }
+            for &key in pending_waits.iter() {
+                slot.waits.push((task, key));
+            }
+            prev[i] = Some(task);
         }
-        for key in pending_waits.drain(..) {
-            self.waits.push((task, key));
-        }
-        *prev = Some(task);
+        pending_waits.clear();
         *segment = SegmentState::default();
     }
 
     #[allow(clippy::too_many_arguments)]
     fn add_transfer(
         &mut self,
-        block: &LoweredBlock,
-        label: String,
+        block: &LoweredBlockRef<'_>,
+        label: TaskLabel,
         bytes: f64,
         src_rank: usize,
         dst_rank: usize,
-        prev: &mut Option<TaskId>,
+        prev: &mut [Option<TaskId>; 2],
         pending_waits: &mut Vec<SyncKey>,
         host_driven: bool,
-    ) -> TaskId {
+        targets: &[usize],
+    ) {
         let lane = self.kernel.plan.lane;
-        let task = match lane {
-            TransferLane::SmPort { port_share } => self.graph.add_task(
-                label,
-                src_rank,
-                ResourceKind::LinkOut,
-                port_share.min(GpuSpec::LINK_PORT_SHARES),
-                Work::LinkBytes { bytes, dst_rank },
-            ),
-            TransferLane::CopyEngine => {
-                // Only genuinely host-driven copies (cudaMemcpyPeerAsync from the
-                // CPU, Figure 6) pay a launch per transfer; device-initiated puts
-                // on the copy engine do not.
-                if self.kernel.plan.host_launch_per_copy && host_driven {
-                    let launch = self.graph.add_host_latency(
-                        format!("{}/copy_launch", block.name),
-                        block.rank,
-                        self.cluster.gpu.kernel_launch_s(),
-                    );
-                    if let Some(p) = *prev {
-                        self.graph.add_dep(p, launch);
-                    }
-                    *prev = Some(launch);
+        // Only genuinely host-driven copies (cudaMemcpyPeerAsync from the
+        // CPU, Figure 6) pay a launch per transfer; device-initiated puts
+        // on the copy engine do not.
+        let host_launch = matches!(lane, TransferLane::CopyEngine)
+            && self.kernel.plan.host_launch_per_copy
+            && host_driven;
+        let launch_label = if host_launch {
+            Some(self.label(|| format!("{}/copy_launch", block.name)))
+        } else {
+            None
+        };
+        let launch_s = self.cluster.gpu.kernel_launch_s();
+        for (i, &ti) in targets.iter().enumerate() {
+            let slot = &mut self.scratch.slots[ti];
+            if let Some(launch_label) = &launch_label {
+                let launch =
+                    slot.graph
+                        .add_host_latency(launch_label.clone(), block.rank, launch_s);
+                if let Some(p) = prev[i] {
+                    slot.graph.add_dep(p, launch);
                 }
-                self.graph.add_task(
-                    label,
+                prev[i] = Some(launch);
+            }
+            let task = match lane {
+                TransferLane::SmPort { port_share } => slot.graph.add_task(
+                    label.clone(),
+                    src_rank,
+                    ResourceKind::LinkOut,
+                    port_share.min(GpuSpec::LINK_PORT_SHARES),
+                    Work::LinkBytes { bytes, dst_rank },
+                ),
+                TransferLane::CopyEngine => slot.graph.add_task(
+                    label.clone(),
                     src_rank,
                     ResourceKind::DmaEngine,
                     1,
                     Work::LinkBytes { bytes, dst_rank },
-                )
+                ),
+            };
+            slot.graph.add_dep(slot.launch[block.rank], task);
+            if let Some(p) = prev[i] {
+                slot.graph.add_dep(p, task);
             }
-        };
-        self.graph.add_dep(self.launch[block.rank], task);
-        if let Some(p) = *prev {
-            self.graph.add_dep(p, task);
+            for &key in pending_waits.iter() {
+                slot.waits.push((task, key));
+            }
+            prev[i] = Some(task);
         }
-        for key in pending_waits.drain(..) {
-            self.waits.push((task, key));
-        }
-        *prev = Some(task);
-        task
+        pending_waits.clear();
     }
 
-    fn add_block(&mut self, block: &LoweredBlock) {
+    /// Adds `block`'s tasks to every slot in `targets` at once (each slot
+    /// gets its own task ids, predecessor chain and wait list).
+    fn add_block(&mut self, block: &LoweredBlockRef<'_>, targets: &[usize]) {
         let mut segment = SegmentState::default();
-        let mut prev: Option<TaskId> = None;
+        let mut prev: [Option<TaskId>; 2] = [None, None];
         let mut pending_waits: Vec<SyncKey> = Vec::new();
         let mut seq = 0usize;
+        let world_size = self.kernel.world_size;
 
-        for lop in &block.ops {
+        for lop in block.ops {
             match &lop.op {
                 TileOp::Compute(kind) => {
                     if kind.is_matmul_like() {
@@ -248,6 +435,7 @@ impl<'a> GraphBuilder<'a> {
                         &mut prev,
                         &mut pending_waits,
                         &mut seq,
+                        targets,
                     );
                     if let Some(channel) = lop.channel {
                         pending_waits.push(SyncKey::Channel {
@@ -263,6 +451,7 @@ impl<'a> GraphBuilder<'a> {
                         &mut prev,
                         &mut pending_waits,
                         &mut seq,
+                        targets,
                     );
                     pending_waits.push(SyncKey::Peer {
                         rank: block.rank,
@@ -276,14 +465,16 @@ impl<'a> GraphBuilder<'a> {
                         &mut prev,
                         &mut pending_waits,
                         &mut seq,
+                        targets,
                     );
-                    let notifier = prev.unwrap_or(self.launch[block.rank]);
                     if let Some(channel) = lop.channel {
-                        for &dst in &lop.dst_ranks {
-                            self.notifiers
-                                .entry(SyncKey::Channel { rank: dst, channel })
-                                .or_default()
-                                .push(notifier);
+                        for (i, &ti) in targets.iter().enumerate() {
+                            let slot = &mut self.scratch.slots[ti];
+                            let notifier = prev[i].unwrap_or(slot.launch[block.rank]);
+                            for dst in lop.targets.iter(world_size) {
+                                slot.notifiers
+                                    .push(SyncKey::Channel { rank: dst, channel }, notifier);
+                            }
                         }
                     }
                 }
@@ -294,15 +485,19 @@ impl<'a> GraphBuilder<'a> {
                         &mut prev,
                         &mut pending_waits,
                         &mut seq,
+                        targets,
                     );
-                    let notifier = prev.unwrap_or(self.launch[block.rank]);
-                    self.notifiers
-                        .entry(SyncKey::Peer {
-                            rank: *dst_rank,
-                            slot: *slot,
-                        })
-                        .or_default()
-                        .push(notifier);
+                    for (i, &ti) in targets.iter().enumerate() {
+                        let target = &mut self.scratch.slots[ti];
+                        let notifier = prev[i].unwrap_or(target.launch[block.rank]);
+                        target.notifiers.push(
+                            SyncKey::Peer {
+                                rank: *dst_rank,
+                                slot: *slot,
+                            },
+                            notifier,
+                        );
+                    }
                 }
                 TileOp::RankNotifySegment { .. } => {
                     // Host-side release: the dependency is carried by the copy
@@ -313,6 +508,7 @@ impl<'a> GraphBuilder<'a> {
                         &mut prev,
                         &mut pending_waits,
                         &mut seq,
+                        targets,
                     );
                 }
                 TileOp::PushTile { bytes, .. } => {
@@ -322,23 +518,25 @@ impl<'a> GraphBuilder<'a> {
                         &mut prev,
                         &mut pending_waits,
                         &mut seq,
+                        targets,
                     );
-                    let dsts = lop.dst_ranks.clone();
-                    for dst in dsts {
+                    for dst in lop.targets.iter(world_size) {
                         if dst == block.rank {
                             // local copy: charge HBM instead of the link
                             segment.hbm_bytes += bytes;
                             continue;
                         }
+                        let label = self.label(|| format!("comm_push_{}/{}", block.name, seq));
                         self.add_transfer(
                             block,
-                            format!("comm_push_{}/{}", block.name, seq),
+                            label,
                             *bytes,
                             block.rank,
                             dst,
                             &mut prev,
                             &mut pending_waits,
                             false,
+                            targets,
                         );
                         seq += 1;
                     }
@@ -350,20 +548,23 @@ impl<'a> GraphBuilder<'a> {
                         &mut prev,
                         &mut pending_waits,
                         &mut seq,
+                        targets,
                     );
-                    let src = lop.dst_ranks.first().copied().unwrap_or(block.rank);
+                    let src = lop.targets.first().unwrap_or(block.rank);
                     if src == block.rank {
                         segment.hbm_bytes += bytes;
                     } else {
+                        let label = self.label(|| format!("comm_pull_{}/{}", block.name, seq));
                         self.add_transfer(
                             block,
-                            format!("comm_pull_{}/{}", block.name, seq),
+                            label,
                             *bytes,
                             src,
                             block.rank,
                             &mut prev,
                             &mut pending_waits,
                             false,
+                            targets,
                         );
                         seq += 1;
                     }
@@ -375,85 +576,137 @@ impl<'a> GraphBuilder<'a> {
                         &mut prev,
                         &mut pending_waits,
                         &mut seq,
+                        targets,
                     );
+                    let label = self.label(|| format!("comm_copy_{}/{}", block.name, seq));
                     self.add_transfer(
                         block,
-                        format!("comm_copy_{}/{}", block.name, seq),
+                        label,
                         *bytes,
                         *src_rank,
                         block.rank,
                         &mut prev,
                         &mut pending_waits,
                         true,
+                        targets,
                     );
                     seq += 1;
                 }
             }
         }
-        self.flush_segment(block, &mut segment, &mut prev, &mut pending_waits, &mut seq);
+        self.flush_segment(
+            block,
+            &mut segment,
+            &mut prev,
+            &mut pending_waits,
+            &mut seq,
+            targets,
+        );
     }
 
-    fn finish(mut self, subset: Subset) -> TaskGraph {
+    /// Finalises slot `ti` as the `subset` graph: appends the comm-SM
+    /// reservation tasks (where the subset carries communication) and resolves
+    /// the slot's wait -> notifier edges.
+    fn finish_slot(&mut self, ti: usize, subset: Subset) {
+        let slot = &mut self.scratch.slots[ti];
         // Reserve the communication SMs for the duration of the data movement
         // (they are unavailable to compute blocks even while idle).
         if matches!(subset, Subset::All | Subset::CommOnly) {
             if let TransferLane::SmPort { .. } = self.kernel.plan.lane {
                 if self.kernel.plan.comm_sms > 0 {
-                    for rank in 0..self.kernel.world_size {
-                        let bytes: f64 = self
-                            .kernel
-                            .blocks
-                            .iter()
-                            .filter(|b| b.rank == rank && b.role != BlockRole::Consumer)
-                            .flat_map(|b| b.ops.iter())
-                            .map(|o| match o.op {
-                                TileOp::PushTile { bytes, .. }
-                                | TileOp::PullTile { bytes, .. }
-                                | TileOp::HostCopy { bytes, .. } => bytes,
-                                _ => 0.0,
-                            })
-                            .sum();
+                    // Per-rank transfer bytes are precomputed at kernel
+                    // assembly (invariant under pipelining).
+                    for (rank, &bytes) in self.kernel.rank_comm_bytes.iter().enumerate() {
                         if bytes > 0.0 {
                             let est = bytes / self.cluster.gpu.nvlink_bytes_per_s();
-                            let t = self.graph.add_task(
-                                format!("{}/comm_sm_reservation/r{rank}", self.kernel.name),
+                            let label = if self.labels {
+                                TaskLabel::from(format!(
+                                    "{}/comm_sm_reservation/r{rank}",
+                                    self.kernel.name
+                                ))
+                            } else {
+                                TaskLabel::Unlabeled
+                            };
+                            let t = slot.graph.add_task(
+                                label,
                                 rank,
                                 ResourceKind::Sm,
                                 self.kernel.plan.comm_sms,
                                 Work::Latency { seconds: est },
                             );
-                            self.graph.add_dep(self.launch[rank], t);
+                            slot.graph.add_dep(slot.launch[rank], t);
                         }
                     }
                 }
             }
         }
         // Resolve wait → notifier edges.
-        for (task, key) in &self.waits {
-            if let Some(notifiers) = self.notifiers.get(key) {
-                for &n in notifiers {
-                    if n != *task {
-                        self.graph.add_dep(n, *task);
-                    }
+        let GraphSlot {
+            graph,
+            notifiers,
+            waits,
+            ..
+        } = slot;
+        for &(task, key) in waits.iter() {
+            for n in notifiers.iter(key) {
+                if n != task {
+                    graph.add_dep(n, task);
                 }
             }
         }
-        self.graph
     }
 }
 
-fn build_graph(kernel: &CompiledKernel, cluster: &ClusterSpec, subset: Subset) -> TaskGraph {
+/// Builds the `subset` graph of `kernel` into `scratch.slots[0]`.
+fn build_graph_into(
+    scratch: &mut GraphScratch,
+    kernel: &CompiledKernel,
+    cluster: &ClusterSpec,
+    subset: Subset,
+    labels: bool,
+) {
     let _span = tilelink_probe::span("graph.build");
-    let mut builder = GraphBuilder::new(kernel, cluster);
-    let blocks: Vec<&LoweredBlock> = kernel
-        .blocks
-        .iter()
-        .filter(|b| builder.include(b.role, subset))
-        .collect();
-    for block in blocks {
-        builder.add_block(block);
+    let mut builder = GraphBuilder::new(kernel, cluster, scratch, labels);
+    builder.init_slot(0);
+    for idx in 0..kernel.lowered.block_count() {
+        let block = kernel.lowered.block(idx);
+        if builder.include(block.role, subset) {
+            builder.add_block(&block, &[0]);
+        }
     }
-    builder.finish(subset)
+    builder.finish_slot(0, subset);
+}
+
+/// Builds all three subset graphs of `kernel` in one walk over the lowered
+/// blocks: the full graph into `scratch.slots[0]`, the comm-only graph into
+/// slot 1 and the compute-only graph into slot 2 (see [`Subset::slot`]).
+///
+/// Every block belongs to the full graph plus exactly one subset, so each
+/// block is visited once and its tasks are appended to both targets in the
+/// same order separate per-subset walks would produce — the resulting graphs
+/// (and therefore the scheduled makespans) are bit-identical to three
+/// [`build_graph_into`] calls at a third less op iteration.
+fn build_subset_graphs_into(
+    scratch: &mut GraphScratch,
+    kernel: &CompiledKernel,
+    cluster: &ClusterSpec,
+) {
+    let _span = tilelink_probe::span("graph.build");
+    let mut builder = GraphBuilder::new(kernel, cluster, scratch, false);
+    for subset in [Subset::All, Subset::CommOnly, Subset::ComputeOnly] {
+        builder.init_slot(subset.slot());
+    }
+    for idx in 0..kernel.lowered.block_count() {
+        let block = kernel.lowered.block(idx);
+        let subset = match block.role {
+            BlockRole::Consumer => Subset::ComputeOnly,
+            _ => Subset::CommOnly,
+        };
+        builder.add_block(&block, &[Subset::All.slot(), subset.slot()]);
+    }
+    builder.finish_slot(Subset::All.slot(), Subset::All);
+    builder.finish_slot(Subset::CommOnly.slot(), Subset::CommOnly);
+    builder.finish_slot(Subset::ComputeOnly.slot(), Subset::ComputeOnly);
 }
 
 /// Simulates a compiled kernel on `cluster` with the default analytic cost
@@ -478,15 +731,25 @@ pub fn simulate(kernel: &CompiledKernel, cluster: &ClusterSpec) -> Result<(Overl
 pub fn simulate_with(kernel: &CompiledKernel, cost: &SharedCost) -> Result<(OverlapReport, Trace)> {
     let cluster = cost.cluster().clone();
     let engine = Engine::with_cost(cost.clone());
-    let full_graph = build_graph(kernel, &cluster, Subset::All);
-    let comm_graph = build_graph(kernel, &cluster, Subset::CommOnly);
-    let comp_graph = build_graph(kernel, &cluster, Subset::ComputeOnly);
-    let _span = tilelink_probe::span("simulate");
-    let full = engine.run(&full_graph)?;
-    let comm = engine.run(&comm_graph)?;
-    let comp = engine.run(&comp_graph)?;
-    let report = OverlapReport::new(full.makespan(), comm.makespan(), comp.makespan());
-    Ok((report, full))
+    with_graph_scratch(|scratch| {
+        build_graph_into(scratch, kernel, &cluster, Subset::All, true);
+        let full = {
+            let _span = tilelink_probe::span("simulate");
+            engine.run(&scratch.slots[0].graph)?
+        };
+        build_graph_into(scratch, kernel, &cluster, Subset::CommOnly, true);
+        let comm = {
+            let _span = tilelink_probe::span("simulate");
+            engine.run(&scratch.slots[0].graph)?
+        };
+        build_graph_into(scratch, kernel, &cluster, Subset::ComputeOnly, true);
+        let comp = {
+            let _span = tilelink_probe::span("simulate");
+            engine.run(&scratch.slots[0].graph)?
+        };
+        let report = OverlapReport::new(full.makespan(), comm.makespan(), comp.makespan());
+        Ok((report, full))
+    })
 }
 
 /// Report-only simulation: the three makespans [`OverlapReport`] needs,
@@ -495,7 +758,9 @@ pub fn simulate_with(kernel: &CompiledKernel, cost: &SharedCost) -> Result<(Over
 /// This is the fast path every workload wrapper and autotuning oracle runs
 /// on: it drives the same scheduler as [`simulate_with`] through
 /// [`Engine::makespan`] (bit-identical timing, per-thread scratch reuse) but
-/// skips all per-task entry recording. Use [`simulate_with`] when the caller
+/// skips all per-task entry recording *and all task labels* — the scheduler
+/// never reads names, and the empty shared label spares thousands of
+/// `format!` calls per candidate. Use [`simulate_with`] when the caller
 /// actually inspects the trace.
 ///
 /// # Errors
@@ -505,14 +770,22 @@ pub fn simulate_with(kernel: &CompiledKernel, cost: &SharedCost) -> Result<(Over
 pub fn simulate_report_with(kernel: &CompiledKernel, cost: &SharedCost) -> Result<OverlapReport> {
     let cluster = cost.cluster().clone();
     let engine = Engine::with_cost(cost.clone());
-    let full_graph = build_graph(kernel, &cluster, Subset::All);
-    let comm_graph = build_graph(kernel, &cluster, Subset::CommOnly);
-    let comp_graph = build_graph(kernel, &cluster, Subset::ComputeOnly);
-    let _span = tilelink_probe::span("simulate");
-    let full = engine.makespan(&full_graph)?;
-    let comm = engine.makespan(&comm_graph)?;
-    let comp = engine.makespan(&comp_graph)?;
-    Ok(OverlapReport::new(full, comm, comp))
+    with_graph_scratch(|scratch| {
+        build_subset_graphs_into(scratch, kernel, &cluster);
+        let full = {
+            let _span = tilelink_probe::span("simulate");
+            engine.makespan(&scratch.slots[Subset::All.slot()].graph)?
+        };
+        let comm = {
+            let _span = tilelink_probe::span("simulate");
+            engine.makespan(&scratch.slots[Subset::CommOnly.slot()].graph)?
+        };
+        let comp = {
+            let _span = tilelink_probe::span("simulate");
+            engine.makespan(&scratch.slots[Subset::ComputeOnly.slot()].graph)?
+        };
+        Ok(OverlapReport::new(full, comm, comp))
+    })
 }
 
 /// The full task graph (all block roles) a compiled kernel simulates as.
@@ -521,7 +794,10 @@ pub fn simulate_report_with(kernel: &CompiledKernel, cost: &SharedCost) -> Resul
 /// kernel graphs (`tilelink-bench`'s `sim_throughput`); figure reproduction
 /// goes through [`simulate_with`] / [`simulate_report_with`] instead.
 pub fn task_graph(kernel: &CompiledKernel, cluster: &ClusterSpec) -> TaskGraph {
-    build_graph(kernel, cluster, Subset::All)
+    with_graph_scratch(|scratch| {
+        build_graph_into(scratch, kernel, cluster, Subset::All, true);
+        scratch.slots[0].graph.clone()
+    })
 }
 
 #[cfg(test)]

@@ -14,8 +14,10 @@
 //! resource mapping) and the input of the timed executor. Functional execution
 //! uses the primitives API directly (see [`crate::exec::functional`]).
 
+mod intern;
 mod op;
 mod program;
 
+pub use intern::Symbol;
 pub use op::{ComputeKind, TileOp};
 pub use program::{BlockDesc, BlockRole, TileProgram};

@@ -1,5 +1,6 @@
 //! Tile-granular operations.
 
+use super::Symbol;
 use crate::primitives::{NotifyScope, PushTarget};
 
 /// A tile-granular compute step with enough shape information to cost it.
@@ -77,7 +78,10 @@ impl ComputeKind {
 }
 
 /// One tile-granular operation inside a block.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Ops are plain `Copy` data: buffer names are interned [`Symbol`]s, so moving
+/// an op through the lowering and pipelining passes never touches the heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TileOp {
     /// `consumer_tile_wait(tile_id)` — block until the tile's channel is complete.
     ConsumerWait {
@@ -108,7 +112,7 @@ pub enum TileOp {
     /// A local load of tile data from a named buffer.
     LoadTile {
         /// Buffer name (for diagnostics and consistency checking).
-        buffer: String,
+        buffer: Symbol,
         /// Bytes read.
         bytes: f64,
         /// Producer tile this load consumes, if it consumes remote-produced data.
@@ -117,7 +121,7 @@ pub enum TileOp {
     /// A local store of tile data to a named buffer.
     StoreTile {
         /// Buffer name.
-        buffer: String,
+        buffer: Symbol,
         /// Bytes written.
         bytes: f64,
         /// Producer tile this store completes, if it feeds a notify.
@@ -126,7 +130,7 @@ pub enum TileOp {
     /// `tile_push_data` — write a tile into one or more remote ranks.
     PushTile {
         /// Destination buffer name.
-        buffer: String,
+        buffer: Symbol,
         /// Bytes transferred per destination.
         bytes: f64,
         /// Producer tile id being pushed.
@@ -137,7 +141,7 @@ pub enum TileOp {
     /// `tile_pull_data` — read a tile from the owning remote rank.
     PullTile {
         /// Source buffer name.
-        buffer: String,
+        buffer: Symbol,
         /// Bytes transferred.
         bytes: f64,
         /// Producer tile id being pulled.

@@ -1,6 +1,6 @@
 //! Tile programs: per-rank blocks of tile operations.
 
-use super::TileOp;
+use super::{Symbol, TileOp};
 
 /// Whether a block belongs to the communication (producer) or computation
 /// (consumer) side of the fused kernel.
@@ -21,8 +21,8 @@ pub enum BlockRole {
 /// One block of a fused kernel on one rank.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BlockDesc {
-    /// Human-readable name used in traces and diagnostics.
-    pub name: String,
+    /// Human-readable name used in traces and diagnostics (interned).
+    pub name: Symbol,
     /// Rank the block runs on.
     pub rank: usize,
     /// Producer / consumer / host role.
@@ -33,7 +33,7 @@ pub struct BlockDesc {
 
 impl BlockDesc {
     /// Creates a block.
-    pub fn new(name: impl Into<String>, rank: usize, role: BlockRole) -> Self {
+    pub fn new(name: impl Into<Symbol>, rank: usize, role: BlockRole) -> Self {
         Self {
             name: name.into(),
             rank,
@@ -82,8 +82,8 @@ impl BlockDesc {
 /// A fused kernel: blocks for every rank.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TileProgram {
-    /// Kernel name.
-    pub name: String,
+    /// Kernel name (interned).
+    pub name: Symbol,
     /// Number of ranks the kernel runs on.
     pub world_size: usize,
     /// All blocks, across all ranks.
@@ -92,7 +92,7 @@ pub struct TileProgram {
 
 impl TileProgram {
     /// Creates an empty program.
-    pub fn new(name: impl Into<String>, world_size: usize) -> Self {
+    pub fn new(name: impl Into<Symbol>, world_size: usize) -> Self {
         Self {
             name: name.into(),
             world_size,

@@ -43,7 +43,7 @@ pub mod report;
 pub mod tile;
 
 pub use channel::BlockChannel;
-pub use compile::{CompiledKernel, Compiler};
+pub use compile::{detail_hash, reset_compile_cache, CacheSite, CompiledKernel, Compiler};
 pub use config::{CommMapping, OverlapConfig, TileOrder, TileShape, TransferMode};
 pub use error::TileLinkError;
 pub use mapping::{DynamicMapping, StaticMapping, TileMapping};

@@ -137,7 +137,22 @@ impl TileMapping for StaticMapping {
     }
 
     fn channel_threshold(&self, channel: usize) -> u64 {
-        self.tiles_of_channel(channel).len() as u64
+        // Closed form of `tiles_of_channel(channel).len()`: channel(t) is
+        // `min(t / tiles_per_channel, num_channels - 1)`, so every channel but
+        // the last covers one `tiles_per_channel`-sized slice of the tile range
+        // and the last channel absorbs the clamped tail.
+        let num_channels = self.num_channels();
+        if channel >= num_channels {
+            return 0;
+        }
+        let tiles_per_channel = (self.rows_per_channel() / self.tile_m).max(1);
+        let start = channel * tiles_per_channel;
+        let num_tiles = self.num_tiles();
+        if channel == num_channels - 1 {
+            num_tiles.saturating_sub(start) as u64
+        } else {
+            tiles_per_channel.min(num_tiles.saturating_sub(start)) as u64
+        }
     }
 
     fn channels_for_rows(&self, rows: Range<usize>) -> Vec<usize> {
@@ -253,6 +268,32 @@ mod tests {
             .map(|c| map.channel_threshold(c))
             .sum();
         assert_eq!(total, map.num_tiles() as u64);
+    }
+
+    #[test]
+    fn closed_form_threshold_matches_brute_force() {
+        // Including ragged shapes where the last channel absorbs the tail.
+        for (m, tile_m, ranks, channels) in [
+            (8192, 128, 8, 4),
+            (1000, 128, 4, 2),
+            (256, 256, 4, 2),
+            (4096, 64, 8, 4),
+            (300, 32, 3, 3),
+        ] {
+            let map = StaticMapping::new(m, tile_m, ranks, channels);
+            for c in 0..map.num_channels() + 2 {
+                let brute = if c < map.num_channels() {
+                    map.tiles_of_channel(c).len() as u64
+                } else {
+                    0
+                };
+                assert_eq!(
+                    map.channel_threshold(c),
+                    brute,
+                    "m={m} tile_m={tile_m} ranks={ranks} channels={channels} c={c}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -9,12 +9,67 @@
 //!    by a wait that covers that tile's channel (acquire-before-load);
 //! 2. every notify is preceded by the store/push of the tile it publishes
 //!    (store-before-release).
+//!
+//! The per-block membership sets ("which channels are acquired", "which tiles
+//! are published") are generation-stamped dense arrays held in a thread-local
+//! scratch: clearing them between blocks is a generation bump, not a
+//! reallocation, so a compile of thousands of blocks allocates the scratch
+//! once per thread.
 
-use std::collections::HashSet;
+use std::cell::RefCell;
 
 use crate::ir::{BlockRole, TileOp};
-use crate::passes::lower::LoweredBlock;
+use crate::passes::lower::{LoweredBlockRef, LoweredProgram};
 use crate::{Result, TileLinkError};
+
+/// A dense set of small integers with O(1) generation-stamped clearing.
+#[derive(Default)]
+struct StampedSet {
+    stamps: Vec<u32>,
+    generation: u32,
+    len: usize,
+}
+
+impl StampedSet {
+    fn clear(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Wrapped: old stamps could alias the new generation, so reset.
+            self.stamps.clear();
+            self.generation = 1;
+        }
+        self.len = 0;
+    }
+
+    fn insert(&mut self, key: usize) {
+        if key >= self.stamps.len() {
+            self.stamps.resize(key + 1, 0);
+        }
+        if self.stamps[key] != self.generation {
+            self.stamps[key] = self.generation;
+            self.len += 1;
+        }
+    }
+
+    fn contains(&self, key: usize) -> bool {
+        self.stamps.get(key) == Some(&self.generation)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[derive(Default)]
+struct CheckScratch {
+    acquired_channels: StampedSet,
+    acquired_peer_slots: StampedSet,
+    published_tiles: StampedSet,
+}
+
+thread_local! {
+    static CHECK_SCRATCH: RefCell<CheckScratch> = RefCell::default();
+}
 
 /// Checks the acquire/release ordering invariants on every block.
 ///
@@ -22,19 +77,31 @@ use crate::{Result, TileLinkError};
 ///
 /// Returns [`TileLinkError::ConsistencyViolation`] describing the first
 /// offending operation.
-pub fn check_consistency(blocks: &[LoweredBlock]) -> Result<()> {
-    for block in blocks {
-        check_block(block)?;
+pub fn check_consistency(program: &LoweredProgram) -> Result<()> {
+    CHECK_SCRATCH.with(|scratch| {
+        // `try_borrow_mut` guards against re-entrant checks on one thread (a
+        // cost callback compiling another kernel); the fallback path just
+        // allocates a private scratch.
+        match scratch.try_borrow_mut() {
+            Ok(mut s) => check_with(&mut s, program),
+            Err(_) => check_with(&mut CheckScratch::default(), program),
+        }
+    })
+}
+
+fn check_with(scratch: &mut CheckScratch, program: &LoweredProgram) -> Result<()> {
+    for block in program.iter_blocks() {
+        check_block(scratch, &block)?;
     }
     Ok(())
 }
 
-fn check_block(block: &LoweredBlock) -> Result<()> {
+fn check_block(scratch: &mut CheckScratch, block: &LoweredBlockRef<'_>) -> Result<()> {
     // Channels already acquired by a wait, and peer slots already waited on.
-    let mut acquired_channels: HashSet<usize> = HashSet::new();
-    let mut acquired_peer_slots: HashSet<usize> = HashSet::new();
+    scratch.acquired_channels.clear();
+    scratch.acquired_peer_slots.clear();
     // Tiles whose data this block has stored or pushed.
-    let mut published_tiles: HashSet<usize> = HashSet::new();
+    scratch.published_tiles.clear();
     let mut pushed_any = false;
     // Host-driven copies publish whole segments rather than individual tiles.
     let mut host_copied = false;
@@ -43,11 +110,11 @@ fn check_block(block: &LoweredBlock) -> Result<()> {
         match &lop.op {
             TileOp::ConsumerWait { .. } => {
                 if let Some(c) = lop.channel {
-                    acquired_channels.insert(c);
+                    scratch.acquired_channels.insert(c);
                 }
             }
             TileOp::PeerWait { slot, .. } => {
-                acquired_peer_slots.insert(*slot);
+                scratch.acquired_peer_slots.insert(*slot);
             }
             TileOp::RankNotifySegment { .. } => {
                 // host-side release; nothing to check locally
@@ -58,12 +125,12 @@ fn check_block(block: &LoweredBlock) -> Result<()> {
                 // (ring-style peers).
                 let channel_ok = lop
                     .channel
-                    .map(|c| acquired_channels.contains(&c))
+                    .map(|c| scratch.acquired_channels.contains(c))
                     .unwrap_or(false);
-                let peer_ok = !acquired_peer_slots.is_empty();
+                let peer_ok = !scratch.acquired_peer_slots.is_empty();
                 if block.role == BlockRole::Consumer && !channel_ok && !peer_ok {
                     return Err(TileLinkError::ConsistencyViolation {
-                        block: block.name.clone(),
+                        block: block.name.to_string(),
                         op_index: idx,
                         reason: format!(
                             "load of tile data on channel {:?} is not ordered after a wait",
@@ -73,29 +140,29 @@ fn check_block(block: &LoweredBlock) -> Result<()> {
                 }
             }
             TileOp::StoreTile { tile: Some(t), .. } => {
-                published_tiles.insert(*t);
+                scratch.published_tiles.insert(*t);
             }
             TileOp::PushTile { tile, .. } => {
-                published_tiles.insert(*tile);
+                scratch.published_tiles.insert(*tile);
                 pushed_any = true;
             }
             TileOp::HostCopy { .. } => {
                 host_copied = true;
             }
             TileOp::ProducerNotify { tile, .. }
-                if !published_tiles.contains(tile) && !host_copied =>
+                if !scratch.published_tiles.contains(*tile) && !host_copied =>
             {
                 return Err(TileLinkError::ConsistencyViolation {
-                        block: block.name.clone(),
+                        block: block.name.to_string(),
                         op_index: idx,
                         reason: format!(
                             "producer_tile_notify for tile {tile} is not preceded by a store or push of that tile"
                         ),
                     });
             }
-            TileOp::PeerNotify { .. } if !pushed_any && published_tiles.is_empty() => {
+            TileOp::PeerNotify { .. } if !pushed_any && scratch.published_tiles.is_empty() => {
                 return Err(TileLinkError::ConsistencyViolation {
-                    block: block.name.clone(),
+                    block: block.name.to_string(),
                     op_index: idx,
                     reason: "peer_tile_notify is not preceded by any data publication".to_string(),
                 });
@@ -114,7 +181,7 @@ mod tests {
     use crate::passes::lower::lower;
     use crate::primitives::{NotifyScope, PushTarget};
 
-    fn lower_single(block: BlockDesc) -> Vec<LoweredBlock> {
+    fn lower_single(block: BlockDesc) -> LoweredProgram {
         let mapping = StaticMapping::new(8, 2, 2, 2);
         let mut p = TileProgram::new("p", 2);
         p.add_block(block);
@@ -221,5 +288,35 @@ mod tests {
                 k: 2,
             }));
         assert!(check_consistency(&lower_single(block)).is_ok());
+    }
+
+    #[test]
+    fn stamped_set_state_does_not_leak_between_blocks() {
+        // Block 0 acquires channel 0; block 1 loads on channel 0 without its
+        // own wait and must still be rejected.
+        let mapping = StaticMapping::new(8, 2, 2, 2);
+        let mut p = TileProgram::new("p", 2);
+        p.add_block(
+            BlockDesc::new("ok", 0, BlockRole::Consumer)
+                .op(TileOp::ConsumerWait { tile: 0 })
+                .op(TileOp::LoadTile {
+                    buffer: "tokens".into(),
+                    bytes: 8.0,
+                    tile: Some(0),
+                }),
+        );
+        p.add_block(
+            BlockDesc::new("bad", 0, BlockRole::Consumer).op(TileOp::LoadTile {
+                buffer: "tokens".into(),
+                bytes: 8.0,
+                tile: Some(0),
+            }),
+        );
+        let lowered = lower(&p, &mapping).unwrap();
+        let err = check_consistency(&lowered).unwrap_err();
+        assert!(matches!(
+            err,
+            TileLinkError::ConsistencyViolation { op_index: 0, .. }
+        ));
     }
 }

@@ -1,12 +1,64 @@
 //! Lowering: resolve tile ids through the tile-centric mapping.
 
-use crate::ir::{BlockDesc, BlockRole, TileOp, TileProgram};
+use crate::ir::{BlockDesc, BlockRole, Symbol, TileOp, TileProgram};
 use crate::mapping::TileMapping;
 use crate::primitives::PushTarget;
 use crate::Result;
 
+/// Destination rank(s) of a lowered op, resolved through `f_R`.
+///
+/// Every pattern the lowering pass emits is either no target, a single rank,
+/// or a broadcast to the whole world, so this stays `Copy` instead of carrying
+/// a per-op `Vec<usize>`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Targets {
+    /// No destination ranks.
+    None,
+    /// A single destination rank.
+    One(usize),
+    /// Every rank in the world (`0..world_size`).
+    All,
+}
+
+impl Targets {
+    /// Iterates the destination ranks, given the program's world size.
+    pub fn iter(self, world_size: usize) -> impl Iterator<Item = usize> {
+        match self {
+            Targets::None => 0..0,
+            Targets::One(r) => r..r + 1,
+            Targets::All => 0..world_size,
+        }
+    }
+
+    /// The first destination rank, if any (`All` starts at rank 0).
+    pub fn first(self) -> Option<usize> {
+        match self {
+            Targets::None => None,
+            Targets::One(r) => Some(r),
+            Targets::All => Some(0),
+        }
+    }
+
+    /// Number of destination ranks, given the program's world size.
+    pub fn len(self, world_size: usize) -> usize {
+        match self {
+            Targets::None => 0,
+            Targets::One(_) => 1,
+            Targets::All => world_size,
+        }
+    }
+
+    /// Returns `true` if there are no destination ranks.
+    pub fn is_empty(self) -> bool {
+        matches!(self, Targets::None)
+    }
+}
+
 /// A [`TileOp`] annotated with the mapping results it needs at runtime.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Copy`, so pipelining reorders ops by swapping plain values and cloning a
+/// lowered program is a flat memcpy.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoweredOp {
     /// The original operation.
     pub op: TileOp,
@@ -15,23 +67,50 @@ pub struct LoweredOp {
     /// Producer threshold of that channel (for waits).
     pub threshold: Option<u64>,
     /// Destination rank(s) resolved through `f_R` (for notifies and pushes).
-    pub dst_ranks: Vec<usize>,
+    pub targets: Targets,
 }
 
-/// A block whose operations have been lowered.
-#[derive(Debug, Clone, PartialEq)]
-pub struct LoweredBlock {
+/// Block metadata inside a [`LoweredProgram`]: a name/rank/role plus the index
+/// range of the block's ops in the program's flat op table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockInfo {
     /// Block name.
-    pub name: String,
+    pub name: Symbol,
     /// Rank the block runs on.
     pub rank: usize,
     /// Producer / consumer / host role.
     pub role: BlockRole,
-    /// Lowered operations, in program order.
-    pub ops: Vec<LoweredOp>,
+    /// First op of the block in the flat op table.
+    pub start: u32,
+    /// One past the last op of the block.
+    pub end: u32,
 }
 
-impl LoweredBlock {
+/// A whole lowered program as two flat tables: one of ops, one of block
+/// ranges. Lowering performs exactly two heap allocations (one per table)
+/// instead of one per block plus one per op-with-destinations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoweredProgram {
+    /// All lowered ops, in block order.
+    pub ops: Vec<LoweredOp>,
+    /// Per-block metadata and op ranges.
+    pub blocks: Vec<BlockInfo>,
+}
+
+/// A view of one block of a [`LoweredProgram`].
+#[derive(Debug, Clone, Copy)]
+pub struct LoweredBlockRef<'a> {
+    /// Block name.
+    pub name: Symbol,
+    /// Rank the block runs on.
+    pub rank: usize,
+    /// Producer / consumer / host role.
+    pub role: BlockRole,
+    /// The block's lowered ops, in program order.
+    pub ops: &'a [LoweredOp],
+}
+
+impl LoweredBlockRef<'_> {
     /// Total flops of the block's compute steps.
     pub fn total_flops(&self) -> f64 {
         self.ops
@@ -44,104 +123,167 @@ impl LoweredBlock {
     }
 }
 
-fn lower_block(
+impl LoweredProgram {
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The `idx`-th block as a view over the flat op table.
+    pub fn block(&self, idx: usize) -> LoweredBlockRef<'_> {
+        let info = &self.blocks[idx];
+        LoweredBlockRef {
+            name: info.name,
+            rank: info.rank,
+            role: info.role,
+            ops: &self.ops[info.start as usize..info.end as usize],
+        }
+    }
+
+    /// Iterates all blocks as views.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = LoweredBlockRef<'_>> {
+        (0..self.blocks.len()).map(|i| self.block(i))
+    }
+
+    /// The mutable op slice of the `idx`-th block.
+    pub fn block_ops_mut(&mut self, idx: usize) -> &mut [LoweredOp] {
+        let info = &self.blocks[idx];
+        &mut self.ops[info.start as usize..info.end as usize]
+    }
+
+    /// Clears both tables, keeping their capacity.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+        self.blocks.clear();
+    }
+
+    /// Copies another lowered program into this one, reusing capacity.
+    pub fn clone_from_program(&mut self, other: &LoweredProgram) {
+        self.ops.clear();
+        self.ops.extend_from_slice(&other.ops);
+        self.blocks.clear();
+        self.blocks.extend_from_slice(&other.blocks);
+    }
+}
+
+fn lower_op(op: &TileOp, block_rank: usize, mapping: &dyn TileMapping) -> Result<LoweredOp> {
+    let lowered = match op {
+        TileOp::ConsumerWait { tile } => {
+            let channel = mapping.channel_of(*tile)?;
+            LoweredOp {
+                op: *op,
+                channel: Some(channel),
+                threshold: Some(mapping.channel_threshold(channel)),
+                targets: Targets::None,
+            }
+        }
+        TileOp::ProducerNotify { tile, scope } => {
+            let channel = mapping.channel_of(*tile)?;
+            let targets = match scope {
+                crate::primitives::NotifyScope::Local => Targets::One(block_rank),
+                crate::primitives::NotifyScope::Owner => Targets::One(mapping.rank_of(*tile)?),
+                crate::primitives::NotifyScope::Broadcast => Targets::All,
+            };
+            LoweredOp {
+                op: *op,
+                channel: Some(channel),
+                threshold: None,
+                targets,
+            }
+        }
+        TileOp::PushTile { tile, target, .. } => {
+            let targets = match target {
+                PushTarget::Owner => Targets::One(mapping.rank_of(*tile)?),
+                PushTarget::Rank(r) => Targets::One(*r),
+                PushTarget::Broadcast => Targets::All,
+            };
+            LoweredOp {
+                op: *op,
+                channel: None,
+                threshold: None,
+                targets,
+            }
+        }
+        TileOp::PullTile { tile, .. } => LoweredOp {
+            op: *op,
+            channel: None,
+            threshold: None,
+            targets: Targets::One(mapping.rank_of(*tile)?),
+        },
+        TileOp::LoadTile { tile, .. } | TileOp::StoreTile { tile, .. } => {
+            let channel = match tile {
+                Some(t) => Some(mapping.channel_of(*t)?),
+                None => None,
+            };
+            LoweredOp {
+                op: *op,
+                channel,
+                threshold: None,
+                targets: Targets::None,
+            }
+        }
+        TileOp::RankNotifySegment { segment } => LoweredOp {
+            op: *op,
+            channel: None,
+            threshold: None,
+            targets: Targets::One(*segment),
+        },
+        TileOp::PeerWait { .. }
+        | TileOp::PeerNotify { .. }
+        | TileOp::Compute(_)
+        | TileOp::HostCopy { .. } => LoweredOp {
+            op: *op,
+            channel: None,
+            threshold: None,
+            targets: Targets::None,
+        },
+    };
+    Ok(lowered)
+}
+
+fn lower_block_into(
+    out: &mut LoweredProgram,
     block: &BlockDesc,
     mapping: &dyn TileMapping,
-    world_size: usize,
-) -> Result<LoweredBlock> {
-    let mut ops = Vec::with_capacity(block.ops.len());
+) -> Result<()> {
+    let start = u32::try_from(out.ops.len()).expect("op table overflow");
     for op in &block.ops {
-        let lowered = match op {
-            TileOp::ConsumerWait { tile } => {
-                let channel = mapping.channel_of(*tile)?;
-                LoweredOp {
-                    op: op.clone(),
-                    channel: Some(channel),
-                    threshold: Some(mapping.channel_threshold(channel)),
-                    dst_ranks: Vec::new(),
-                }
-            }
-            TileOp::ProducerNotify { tile, scope } => {
-                let channel = mapping.channel_of(*tile)?;
-                let dst_ranks = match scope {
-                    crate::primitives::NotifyScope::Local => vec![block.rank],
-                    crate::primitives::NotifyScope::Owner => vec![mapping.rank_of(*tile)?],
-                    crate::primitives::NotifyScope::Broadcast => (0..world_size).collect(),
-                };
-                LoweredOp {
-                    op: op.clone(),
-                    channel: Some(channel),
-                    threshold: None,
-                    dst_ranks,
-                }
-            }
-            TileOp::PushTile { tile, target, .. } => {
-                let dst_ranks = match target {
-                    PushTarget::Owner => vec![mapping.rank_of(*tile)?],
-                    PushTarget::Rank(r) => vec![*r],
-                    PushTarget::Broadcast => (0..world_size).collect(),
-                };
-                LoweredOp {
-                    op: op.clone(),
-                    channel: None,
-                    threshold: None,
-                    dst_ranks,
-                }
-            }
-            TileOp::PullTile { tile, .. } => LoweredOp {
-                op: op.clone(),
-                channel: None,
-                threshold: None,
-                dst_ranks: vec![mapping.rank_of(*tile)?],
-            },
-            TileOp::LoadTile { tile, .. } => {
-                let channel = match tile {
-                    Some(t) => Some(mapping.channel_of(*t)?),
-                    None => None,
-                };
-                LoweredOp {
-                    op: op.clone(),
-                    channel,
-                    threshold: None,
-                    dst_ranks: Vec::new(),
-                }
-            }
-            TileOp::StoreTile { tile, .. } => {
-                let channel = match tile {
-                    Some(t) => Some(mapping.channel_of(*t)?),
-                    None => None,
-                };
-                LoweredOp {
-                    op: op.clone(),
-                    channel,
-                    threshold: None,
-                    dst_ranks: Vec::new(),
-                }
-            }
-            TileOp::RankNotifySegment { segment } => LoweredOp {
-                op: op.clone(),
-                channel: None,
-                threshold: None,
-                dst_ranks: vec![*segment],
-            },
-            TileOp::PeerWait { .. }
-            | TileOp::PeerNotify { .. }
-            | TileOp::Compute(_)
-            | TileOp::HostCopy { .. } => LoweredOp {
-                op: op.clone(),
-                channel: None,
-                threshold: None,
-                dst_ranks: Vec::new(),
-            },
-        };
-        ops.push(lowered);
+        out.ops.push(lower_op(op, block.rank, mapping)?);
     }
-    Ok(LoweredBlock {
-        name: block.name.clone(),
+    let end = u32::try_from(out.ops.len()).expect("op table overflow");
+    out.blocks.push(BlockInfo {
+        name: block.name,
         rank: block.rank,
         role: block.role,
-        ops,
-    })
+        start,
+        end,
+    });
+    Ok(())
+}
+
+/// Lowers every block of `program` through `mapping` into `out`, reusing
+/// `out`'s existing table capacity.
+///
+/// # Errors
+///
+/// Returns an error if any tile id is outside the mapping or a dynamic mapping
+/// has not been filled for a referenced tile. On error `out` is left cleared.
+pub fn lower_into(
+    out: &mut LoweredProgram,
+    program: &TileProgram,
+    mapping: &dyn TileMapping,
+) -> Result<()> {
+    out.clear();
+    out.blocks.reserve(program.blocks.len());
+    out.ops
+        .reserve(program.blocks.iter().map(|b| b.ops.len()).sum());
+    for block in &program.blocks {
+        if let Err(e) = lower_block_into(out, block, mapping) {
+            out.clear();
+            return Err(e);
+        }
+    }
+    Ok(())
 }
 
 /// Lowers every block of `program` through `mapping`.
@@ -150,12 +292,10 @@ fn lower_block(
 ///
 /// Returns an error if any tile id is outside the mapping or a dynamic mapping
 /// has not been filled for a referenced tile.
-pub fn lower(program: &TileProgram, mapping: &dyn TileMapping) -> Result<Vec<LoweredBlock>> {
-    program
-        .blocks
-        .iter()
-        .map(|b| lower_block(b, mapping, program.world_size))
-        .collect()
+pub fn lower(program: &TileProgram, mapping: &dyn TileMapping) -> Result<LoweredProgram> {
+    let mut out = LoweredProgram::default();
+    lower_into(&mut out, program, mapping)?;
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -202,15 +342,17 @@ mod tests {
     fn lowering_resolves_channels_and_ranks() {
         let mapping = StaticMapping::new(4, 2, 2, 1);
         let lowered = lower(&program(), &mapping).unwrap();
-        assert_eq!(lowered.len(), 2);
+        assert_eq!(lowered.block_count(), 2);
         // tile 1 → rows 2..4 → rank 1, channel 1
-        let notify = &lowered[0].ops[1];
+        let comm = lowered.block(0);
+        let notify = &comm.ops[1];
         assert_eq!(notify.channel, Some(1));
-        assert_eq!(notify.dst_ranks, vec![1]);
-        let wait = &lowered[1].ops[0];
+        assert_eq!(notify.targets, Targets::One(1));
+        let gemm = lowered.block(1);
+        let wait = &gemm.ops[0];
         assert_eq!(wait.channel, Some(1));
         assert_eq!(wait.threshold, Some(1));
-        assert!(lowered[1].total_flops() > 0.0);
+        assert!(gemm.total_flops() > 0.0);
     }
 
     #[test]
@@ -224,7 +366,26 @@ mod tests {
             }),
         );
         let lowered = lower(&p, &mapping).unwrap();
-        assert_eq!(lowered[0].ops[0].dst_ranks, vec![0, 1, 2, 3]);
+        let notify = lowered.block(0).ops[0];
+        assert_eq!(notify.targets, Targets::All);
+        assert_eq!(notify.targets.iter(4).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(notify.targets.len(4), 4);
+        assert_eq!(notify.targets.first(), Some(0));
+    }
+
+    #[test]
+    fn lowering_is_two_flat_tables() {
+        let mapping = StaticMapping::new(4, 2, 2, 1);
+        let lowered = lower(&program(), &mapping).unwrap();
+        assert_eq!(lowered.ops.len(), 5);
+        assert_eq!(lowered.blocks[0].start, 0);
+        assert_eq!(lowered.blocks[0].end, 2);
+        assert_eq!(lowered.blocks[1].start, 2);
+        assert_eq!(lowered.blocks[1].end, 5);
+        // lower_into reuses capacity without leaking stale state
+        let mut out = lowered.clone();
+        lower_into(&mut out, &program(), &mapping).unwrap();
+        assert_eq!(out, lowered);
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub mod pipeline;
 pub mod resource;
 
 pub use consistency::check_consistency;
-pub use lower::{lower, LoweredBlock, LoweredOp};
-pub use pipeline::pipeline_block;
-pub use resource::{ResourcePlan, TransferLane};
+pub use lower::{
+    lower, lower_into, BlockInfo, LoweredBlockRef, LoweredOp, LoweredProgram, Targets,
+};
+pub use pipeline::{pipeline_ops, pipeline_program};
+pub use resource::{PlanInputs, ResourcePlan, TransferLane};

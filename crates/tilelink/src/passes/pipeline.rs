@@ -10,23 +10,22 @@
 //! [`crate::passes::check_consistency`].
 
 use crate::ir::TileOp;
-use crate::passes::lower::{LoweredBlock, LoweredOp};
+use crate::passes::lower::{LoweredOp, LoweredProgram};
 
 fn is_barrier_for_loads(op: &TileOp) -> bool {
     op.is_wait() || op.is_notify() || op.is_transfer() || matches!(op, TileOp::StoreTile { .. })
 }
 
-/// Hoists each `LoadTile` up to `stages - 1` positions earlier, stopping at any
-/// synchronisation, transfer or store operation.
+/// Hoists each `LoadTile` in `ops` up to `stages - 1` positions earlier,
+/// in place, stopping at any synchronisation, transfer or store operation.
 ///
-/// `stages == 1` leaves the block untouched (no pipelining). Returns the
-/// transformed block; the original is not modified.
-pub fn pipeline_block(block: &LoweredBlock, stages: usize) -> LoweredBlock {
+/// `stages == 1` leaves the ops untouched (no pipelining). Ops are `Copy`, so
+/// reordering is pure swaps — no allocation.
+pub fn pipeline_ops(ops: &mut [LoweredOp], stages: usize) {
     if stages <= 1 {
-        return block.clone();
+        return;
     }
     let max_hoist = stages - 1;
-    let mut ops: Vec<LoweredOp> = block.ops.clone();
     // Walk forward; for every load, try to move it earlier past compute ops.
     let mut i = 0;
     while i < ops.len() {
@@ -45,11 +44,15 @@ pub fn pipeline_block(block: &LoweredBlock, stages: usize) -> LoweredBlock {
         }
         i += 1;
     }
-    LoweredBlock {
-        name: block.name.clone(),
-        rank: block.rank,
-        role: block.role,
-        ops,
+}
+
+/// Pipelines every block of `program` in place.
+pub fn pipeline_program(program: &mut LoweredProgram, stages: usize) {
+    if stages <= 1 {
+        return;
+    }
+    for idx in 0..program.block_count() {
+        pipeline_ops(program.block_ops_mut(idx), stages);
     }
 }
 
@@ -60,17 +63,15 @@ mod tests {
     use crate::mapping::StaticMapping;
     use crate::passes::{check_consistency, lower};
 
-    fn lowered(block: BlockDesc) -> LoweredBlock {
+    fn lowered(block: BlockDesc) -> LoweredProgram {
         let mapping = StaticMapping::new(8, 2, 2, 2);
         let mut p = TileProgram::new("p", 2);
         p.add_block(block);
-        lower(&p, &mapping).unwrap().remove(0)
+        lower(&p, &mapping).unwrap()
     }
 
-    fn kinds(block: &LoweredBlock) -> Vec<&'static str> {
-        block
-            .ops
-            .iter()
+    fn kinds(ops: &[LoweredOp]) -> Vec<&'static str> {
+        ops.iter()
             .map(|o| match o.op {
                 TileOp::ConsumerWait { .. } => "wait",
                 TileOp::LoadTile { .. } => "load",
@@ -115,16 +116,18 @@ mod tests {
     #[test]
     fn single_stage_is_identity() {
         let b = lowered(k_loop_block());
-        assert_eq!(pipeline_block(&b, 1), b);
+        let mut p = b.clone();
+        pipeline_program(&mut p, 1);
+        assert_eq!(p, b);
     }
 
     #[test]
     fn loads_are_hoisted_past_compute() {
-        let b = lowered(k_loop_block());
-        let p = pipeline_block(&b, 2);
+        let mut p = lowered(k_loop_block());
+        pipeline_program(&mut p, 2);
         // The second load moves above the first compute.
         assert_eq!(
-            kinds(&p),
+            kinds(p.block(0).ops),
             vec!["wait", "load", "load", "compute", "compute", "store"]
         );
     }
@@ -133,11 +136,12 @@ mod tests {
     fn loads_never_cross_the_wait() {
         let b = lowered(k_loop_block());
         for stages in 2..6 {
-            let p = pipeline_block(&b, stages);
+            let mut p = b.clone();
+            pipeline_program(&mut p, stages);
             // the wait must stay first
-            assert_eq!(kinds(&p)[0], "wait");
+            assert_eq!(kinds(p.block(0).ops)[0], "wait");
             // and the pipelined program must still be consistent
-            assert!(check_consistency(&[p]).is_ok(), "stages={stages}");
+            assert!(check_consistency(&p).is_ok(), "stages={stages}");
         }
     }
 
@@ -155,14 +159,16 @@ mod tests {
                 tile: Some(0),
             });
         let b = lowered(block);
-        let p2 = pipeline_block(&b, 2);
+        let mut p2 = b.clone();
+        pipeline_program(&mut p2, 2);
         assert_eq!(
-            kinds(&p2),
+            kinds(p2.block(0).ops),
             vec!["wait", "compute", "compute", "load", "compute"]
         );
-        let p4 = pipeline_block(&b, 4);
+        let mut p4 = b.clone();
+        pipeline_program(&mut p4, 4);
         assert_eq!(
-            kinds(&p4),
+            kinds(p4.block(0).ops),
             vec!["wait", "load", "compute", "compute", "compute"]
         );
     }

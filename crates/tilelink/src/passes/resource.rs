@@ -36,6 +36,42 @@ pub struct ResourcePlan {
     pub compute_efficiency: f64,
 }
 
+/// The facts the resource-mapping pass needs from a program: everything else
+/// in [`ResourcePlan::derive_with`] depends only on the config and the device.
+///
+/// Extracting this tiny summary is what lets the incremental recompilation
+/// path re-derive a plan for a patched candidate without walking (or even
+/// keeping) the `TileProgram` it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanInputs {
+    /// Number of ranks the program runs on.
+    pub world_size: usize,
+    /// Maximum number of communication (producer) blocks on any rank (≥ 1).
+    pub comm_blocks_per_rank: usize,
+    /// Maximum number of computation (consumer) blocks on any rank (≥ 1).
+    pub consumer_blocks_per_rank: usize,
+}
+
+impl PlanInputs {
+    /// Summarises a program in one pass over its blocks.
+    pub fn of_program(program: &TileProgram) -> Self {
+        let mut comm = vec![0usize; program.world_size];
+        let mut cons = vec![0usize; program.world_size];
+        for b in &program.blocks {
+            match b.role {
+                BlockRole::Producer => comm[b.rank] += 1,
+                BlockRole::Consumer => cons[b.rank] += 1,
+                BlockRole::Host => {}
+            }
+        }
+        Self {
+            world_size: program.world_size,
+            comm_blocks_per_rank: comm.into_iter().max().unwrap_or(0).max(1),
+            consumer_blocks_per_rank: cons.into_iter().max().unwrap_or(0).max(1),
+        }
+    }
+}
+
 impl ResourcePlan {
     /// Derives the plan from the kernel configuration, the device and the
     /// program, using the analytic cost model's efficiency heuristics.
@@ -61,19 +97,26 @@ impl ResourcePlan {
         program: &TileProgram,
         cost: Option<&dyn CostProvider>,
     ) -> Result<Self> {
+        Self::derive_from_inputs(config, gpu, PlanInputs::of_program(program), cost)
+    }
+
+    /// Derives the plan from a pre-computed program summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TileLinkError::InvalidConfig`] if the configuration is invalid
+    /// for the device (for example reserving every SM for communication).
+    pub fn derive_from_inputs(
+        config: &OverlapConfig,
+        gpu: &GpuSpec,
+        inputs: PlanInputs,
+        cost: Option<&dyn CostProvider>,
+    ) -> Result<Self> {
         config.validate(gpu.sm_count)?;
         let comm_sms = config.comm_mapping.comm_sms();
         let compute_sms = gpu.sm_count - comm_sms;
-        let comm_blocks_per_rank = (0..program.world_size)
-            .map(|r| program.block_count(r, BlockRole::Producer))
-            .max()
-            .unwrap_or(0)
-            .max(1);
-        let consumer_blocks_per_rank = (0..program.world_size)
-            .map(|r| program.block_count(r, BlockRole::Consumer))
-            .max()
-            .unwrap_or(0)
-            .max(1);
+        let comm_blocks_per_rank = inputs.comm_blocks_per_rank;
+        let consumer_blocks_per_rank = inputs.consumer_blocks_per_rank;
         let lane = match config.comm_mapping {
             CommMapping::CopyEngine => TransferLane::CopyEngine,
             CommMapping::Sm { .. } => TransferLane::SmPort {

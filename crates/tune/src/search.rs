@@ -2,15 +2,15 @@
 
 use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use tilelink::{OverlapConfig, OverlapReport, TileLinkError};
 use tilelink_probe::metrics::{
     TUNE_CACHE_HITS, TUNE_CACHE_MISSES, TUNE_CACHE_REVISION_INVALIDATIONS, TUNE_CANDIDATES_CACHED,
     TUNE_CANDIDATES_FAILED_SIM, TUNE_CANDIDATES_PRUNED_CONSTRAINT, TUNE_CANDIDATES_PRUNED_VALIDATE,
-    TUNE_CANDIDATES_SIMULATED, TUNE_EVAL_US, TUNE_SPACE_SIZE,
+    TUNE_CANDIDATES_SIMULATED, TUNE_COMPILE_FULL_REBUILDS, TUNE_COMPILE_PATCHED, TUNE_EVAL_US,
+    TUNE_SPACE_SIZE,
 };
 
 use crate::oracle::cluster_key;
@@ -118,12 +118,30 @@ pub struct TuneReport {
     pub failed: FailedBreakdown,
     /// Per-round progress of a beam search (empty for [`Strategy::Exhaustive`]).
     pub rounds: Vec<RoundProgress>,
+    /// Candidate compiles served by patching a cached lowered program during
+    /// this run (delta of `tune.compile.patched`; includes any concurrent
+    /// tuning on other threads of this process).
+    pub compile_patched: u64,
+    /// Candidate compiles that rebuilt the program from the frontend during
+    /// this run (delta of `tune.compile.full_rebuilds`).
+    pub compile_full_rebuilds: u64,
 }
 
 impl TuneReport {
     /// Best simulated makespan, in milliseconds.
     pub fn best_ms(&self) -> f64 {
         self.best.report.total_ms()
+    }
+
+    /// Fraction of candidate compiles served by the incremental patch path
+    /// rather than a full frontend rebuild (0.0 when nothing compiled).
+    pub fn compile_patch_rate(&self) -> f64 {
+        let total = self.compile_patched + self.compile_full_rebuilds;
+        if total == 0 {
+            0.0
+        } else {
+            self.compile_patched as f64 / total as f64
+        }
     }
 
     /// A short human-readable table of the `n` best candidates.
@@ -135,6 +153,12 @@ impl TuneReport {
             self.cache_hits,
             self.failed
         );
+        out.push_str(&format!(
+            "compiles: {} patched, {} full rebuilds ({:.0}% patch rate)\n",
+            self.compile_patched,
+            self.compile_full_rebuilds,
+            self.compile_patch_rate() * 100.0
+        ));
         for (i, c) in self.ranked.iter().take(n).enumerate() {
             out.push_str(&format!(
                 "  #{:<2} {:>9.4} ms  overlap {:>5.1}%  {}\n",
@@ -167,6 +191,100 @@ struct BatchStats {
     cache_hits: usize,
     failed: usize,
     last_error: Option<TileLinkError>,
+}
+
+/// Shared state of the per-tune evaluation pool.
+///
+/// Workers are spawned once per [`Tuner::tune`] call and stay alive across
+/// every beam batch: per-thread compile/graph/simulate scratch stays warm, and
+/// small frontier batches stop paying an OS-thread spawn per batch (the
+/// pre-pool behaviour, which dominated quick-search wall time).
+struct EvalPool {
+    state: Mutex<PoolState>,
+    /// Workers park here between batches.
+    work: Condvar,
+    /// The batch submitter parks here until `outstanding` drains.
+    done: Condvar,
+}
+
+#[derive(Default)]
+struct PoolState {
+    /// Pending (result slot, config) jobs of the current batch.
+    jobs: Vec<(usize, OverlapConfig)>,
+    results: Vec<Option<tilelink::Result<OverlapReport>>>,
+    outstanding: usize,
+    shutdown: bool,
+}
+
+impl EvalPool {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(PoolState::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Evaluates `misses` on the pool's workers (each worker holds the oracle
+    /// from its spawn closure); blocks until every slot is filled and returns
+    /// the results in candidate order.
+    fn run(&self, misses: &[&OverlapConfig]) -> Vec<Option<tilelink::Result<OverlapReport>>> {
+        {
+            let mut st = self.state.lock().expect("eval pool poisoned");
+            st.results.clear();
+            st.results.resize_with(misses.len(), || None);
+            // Reversed so `pop` hands jobs out in candidate order.
+            st.jobs.clear();
+            st.jobs
+                .extend(misses.iter().enumerate().map(|(i, &cfg)| (i, *cfg)).rev());
+            st.outstanding = misses.len();
+        }
+        self.work.notify_all();
+        let mut st = self.state.lock().expect("eval pool poisoned");
+        while st.outstanding > 0 {
+            st = self.done.wait(st).expect("eval pool poisoned");
+        }
+        std::mem::take(&mut st.results)
+    }
+
+    fn shutdown(&self) {
+        self.state.lock().expect("eval pool poisoned").shutdown = true;
+        self.work.notify_all();
+    }
+
+    fn worker(&self, oracle: &dyn CostOracle) {
+        loop {
+            let (idx, cfg) = {
+                let mut st = self.state.lock().expect("eval pool poisoned");
+                loop {
+                    if let Some(job) = st.jobs.pop() {
+                        break job;
+                    }
+                    if st.shutdown {
+                        return;
+                    }
+                    st = self.work.wait(st).expect("eval pool poisoned");
+                }
+            };
+            let r = timed_eval(oracle, &cfg);
+            let mut st = self.state.lock().expect("eval pool poisoned");
+            st.results[idx] = Some(r);
+            st.outstanding -= 1;
+            if st.outstanding == 0 {
+                self.done.notify_all();
+            }
+        }
+    }
+}
+
+/// One timed, profiled oracle call. The span lands on whichever worker thread
+/// ran it (the profiler keeps per-thread stacks).
+fn timed_eval(oracle: &dyn CostOracle, cfg: &OverlapConfig) -> tilelink::Result<OverlapReport> {
+    let _span = tilelink_probe::span("tune.candidate");
+    let t0 = Instant::now();
+    let r = oracle.evaluate(cfg);
+    TUNE_EVAL_US.record(t0.elapsed().as_micros() as u64);
+    r
 }
 
 impl Tuner {
@@ -252,6 +370,8 @@ impl Tuner {
             failed: 0,
             last_error: None,
         };
+        let patched_start = TUNE_COMPILE_PATCHED.get();
+        let rebuilds_start = TUNE_COMPILE_FULL_REBUILDS.get();
         let mut pruned = PruneCounts::default();
         let mut rounds: Vec<RoundProgress> = Vec::new();
 
@@ -259,153 +379,178 @@ impl Tuner {
         let mut evaluated: Vec<Candidate> = Vec::new();
         let mut seen: HashMap<OverlapConfig, usize> = HashMap::new();
 
-        match self.strategy {
-            Strategy::Exhaustive => {
-                let (candidates, counts) = space.candidates_counted(oracle);
-                pruned = counts;
-                if candidates.is_empty() {
-                    return Err(TuneError::EmptySpace {
-                        unpruned: space.len_unpruned(),
-                    });
-                }
-                self.evaluate_batch(
-                    oracle,
-                    &prefix,
-                    &candidates,
-                    &mut stats,
-                    &mut evaluated,
-                    &mut seen,
-                );
+        // One worker pool for the whole search: threads (and their warm
+        // per-thread scratch) survive across beam batches.
+        let pool = EvalPool::new();
+        let strategy_result: std::result::Result<(), TuneError> = std::thread::scope(|scope| {
+            for _ in 0..self.threads.max(1) {
+                scope.spawn(|| pool.worker(oracle));
             }
-            Strategy::Beam { width, sweeps } => {
-                let width = width.max(1);
-                let sm_count = oracle.cluster().gpu.sm_count;
-                // Per-stage rejection tallies for every config the sweep
-                // considers (Cells because `valid` is shared immutably).
-                let validate_rejected = Cell::new(0usize);
-                let constraint_pruned = Cell::new(0usize);
-                let valid = |cfg: &OverlapConfig| {
-                    if cfg.validate(sm_count).is_err() {
-                        validate_rejected.set(validate_rejected.get() + 1);
-                        return false;
-                    }
-                    if !space.allows(cfg) || !oracle.is_supported(cfg) {
-                        constraint_pruned.set(constraint_pruned.get() + 1);
-                        return false;
-                    }
-                    true
-                };
-                // Seeds: the library default and the space's own first-corner
-                // config. Keeping them in the pool guarantees the final result
-                // is never worse than either seed.
-                let mut seeds: Vec<OverlapConfig> = Vec::new();
-                for seed in [OverlapConfig::default(), space.seed()] {
-                    if valid(&seed) && !seeds.contains(&seed) {
-                        seeds.push(seed);
-                    }
-                }
-                if seeds.is_empty() {
-                    // Neither seed is valid for this workload: fall back to the
-                    // pruned enumeration for a starting pool.
-                    seeds = space.candidates(oracle);
-                    seeds.truncate(width);
-                }
-                if seeds.is_empty() {
-                    return Err(TuneError::EmptySpace {
-                        unpruned: space.len_unpruned(),
-                    });
-                }
-                self.evaluate_batch(
-                    oracle,
-                    &prefix,
-                    &seeds,
-                    &mut stats,
-                    &mut evaluated,
-                    &mut seen,
-                );
-                // Both seeds may pass validation yet fail in the oracle (e.g.
-                // a compile error for an unsupported axis pair). Walk the
-                // pruned enumeration in chunks until something evaluates, so
-                // the beam has a starting pool whenever Exhaustive would have
-                // found one.
-                if evaluated.is_empty() {
-                    for chunk in space.candidates(oracle).chunks(16) {
+            let out = (|| {
+                match self.strategy {
+                    Strategy::Exhaustive => {
+                        let (candidates, counts) = space.candidates_counted(oracle);
+                        pruned = counts;
+                        if candidates.is_empty() {
+                            return Err(TuneError::EmptySpace {
+                                unpruned: space.len_unpruned(),
+                            });
+                        }
                         self.evaluate_batch(
                             oracle,
+                            &pool,
                             &prefix,
-                            chunk,
+                            &candidates,
                             &mut stats,
                             &mut evaluated,
                             &mut seen,
                         );
-                        if !evaluated.is_empty() {
-                            break;
-                        }
                     }
-                }
-                let mut beam = Self::top(&evaluated, width);
-                let mut best = beam
-                    .first()
-                    .and_then(|c| seen.get(c))
-                    .map(|&i| evaluated[i].report.total_s);
-                for round in 1..=sweeps.max(1) {
-                    let _round_span = tilelink_probe::span("tune.beam_round");
-                    let mut improved = false;
-                    for axis in 0..SearchSpace::NUM_AXES {
-                        let mut frontier: Vec<OverlapConfig> = Vec::new();
-                        for base in &beam {
-                            for cfg in space.axis_variants(axis, base) {
-                                if valid(&cfg)
-                                    && !seen.contains_key(&cfg)
-                                    && !frontier.contains(&cfg)
-                                {
-                                    frontier.push(cfg);
+                    Strategy::Beam { width, sweeps } => {
+                        let width = width.max(1);
+                        let sm_count = oracle.cluster().gpu.sm_count;
+                        // Per-stage rejection tallies for every config the sweep
+                        // considers (Cells because `valid` is shared immutably).
+                        let validate_rejected = Cell::new(0usize);
+                        let constraint_pruned = Cell::new(0usize);
+                        let valid = |cfg: &OverlapConfig| {
+                            if cfg.validate(sm_count).is_err() {
+                                validate_rejected.set(validate_rejected.get() + 1);
+                                return false;
+                            }
+                            if !space.allows(cfg) || !oracle.is_supported(cfg) {
+                                constraint_pruned.set(constraint_pruned.get() + 1);
+                                return false;
+                            }
+                            true
+                        };
+                        // Seeds: the library default and the space's own first-corner
+                        // config. Keeping them in the pool guarantees the final result
+                        // is never worse than either seed.
+                        let mut seeds: Vec<OverlapConfig> = Vec::new();
+                        for seed in [OverlapConfig::default(), space.seed()] {
+                            if valid(&seed) && !seeds.contains(&seed) {
+                                seeds.push(seed);
+                            }
+                        }
+                        if seeds.is_empty() {
+                            // Neither seed is valid for this workload: fall back to the
+                            // pruned enumeration for a starting pool.
+                            seeds = space.candidates(oracle);
+                            seeds.truncate(width);
+                        }
+                        if seeds.is_empty() {
+                            return Err(TuneError::EmptySpace {
+                                unpruned: space.len_unpruned(),
+                            });
+                        }
+                        self.evaluate_batch(
+                            oracle,
+                            &pool,
+                            &prefix,
+                            &seeds,
+                            &mut stats,
+                            &mut evaluated,
+                            &mut seen,
+                        );
+                        // Both seeds may pass validation yet fail in the oracle (e.g.
+                        // a compile error for an unsupported axis pair). Walk the
+                        // pruned enumeration in chunks until something evaluates, so
+                        // the beam has a starting pool whenever Exhaustive would have
+                        // found one.
+                        if evaluated.is_empty() {
+                            for chunk in space.candidates(oracle).chunks(16) {
+                                self.evaluate_batch(
+                                    oracle,
+                                    &pool,
+                                    &prefix,
+                                    chunk,
+                                    &mut stats,
+                                    &mut evaluated,
+                                    &mut seen,
+                                );
+                                if !evaluated.is_empty() {
+                                    break;
                                 }
                             }
                         }
-                        self.evaluate_batch(
-                            oracle,
-                            &prefix,
-                            &frontier,
-                            &mut stats,
-                            &mut evaluated,
-                            &mut seen,
-                        );
-                        beam = Self::top(&evaluated, width);
-                        let new_best = beam
+                        let mut beam = Self::top(&evaluated, width);
+                        let mut best = beam
                             .first()
                             .and_then(|c| seen.get(c))
                             .map(|&i| evaluated[i].report.total_s);
-                        if new_best < best || best.is_none() {
-                            best = new_best;
-                            improved = true;
-                        }
-                    }
-                    let progress = RoundProgress {
-                        round,
-                        best_total_s: best.unwrap_or(f64::INFINITY),
-                        evaluations: stats.evaluations,
-                        cache_hits: stats.cache_hits,
-                    };
-                    if self.verbose {
-                        eprintln!(
-                            "[tune] round {}: best {:.4} ms | {} evals, {} cache hits, {} failed",
+                        for round in 1..=sweeps.max(1) {
+                            let _round_span = tilelink_probe::span("tune.beam_round");
+                            let mut improved = false;
+                            for axis in 0..SearchSpace::NUM_AXES {
+                                let mut frontier: Vec<OverlapConfig> = Vec::new();
+                                for base in &beam {
+                                    for cfg in space.axis_variants(axis, base) {
+                                        if valid(&cfg)
+                                            && !seen.contains_key(&cfg)
+                                            && !frontier.contains(&cfg)
+                                        {
+                                            frontier.push(cfg);
+                                        }
+                                    }
+                                }
+                                self.evaluate_batch(
+                                    oracle,
+                                    &pool,
+                                    &prefix,
+                                    &frontier,
+                                    &mut stats,
+                                    &mut evaluated,
+                                    &mut seen,
+                                );
+                                beam = Self::top(&evaluated, width);
+                                let new_best = beam
+                                    .first()
+                                    .and_then(|c| seen.get(c))
+                                    .map(|&i| evaluated[i].report.total_s);
+                                if new_best < best || best.is_none() {
+                                    best = new_best;
+                                    improved = true;
+                                }
+                            }
+                            let progress = RoundProgress {
+                                round,
+                                best_total_s: best.unwrap_or(f64::INFINITY),
+                                evaluations: stats.evaluations,
+                                cache_hits: stats.cache_hits,
+                            };
+                            if self.verbose {
+                                let patched =
+                                    TUNE_COMPILE_PATCHED.get().saturating_sub(patched_start);
+                                let rebuilds = TUNE_COMPILE_FULL_REBUILDS
+                                    .get()
+                                    .saturating_sub(rebuilds_start);
+                                let compiles = (patched + rebuilds).max(1);
+                                eprintln!(
+                            "[tune] round {}: best {:.4} ms | {} evals, {} cache hits, {} failed, {:.0}% patched compiles",
                             progress.round,
                             progress.best_total_s * 1e3,
                             progress.evaluations,
                             progress.cache_hits,
-                            stats.failed
+                            stats.failed,
+                            patched as f64 / compiles as f64 * 100.0
                         );
-                    }
-                    rounds.push(progress);
-                    if !improved {
-                        break;
+                            }
+                            rounds.push(progress);
+                            if !improved {
+                                break;
+                            }
+                        }
+                        pruned.validate_rejected = validate_rejected.get();
+                        pruned.constraint_pruned = constraint_pruned.get();
                     }
                 }
-                pruned.validate_rejected = validate_rejected.get();
-                pruned.constraint_pruned = constraint_pruned.get();
-            }
-        }
+                Ok(())
+            })();
+            pool.shutdown();
+            out
+        });
+        strategy_result?;
 
         self.cache
             .lock()
@@ -437,6 +582,10 @@ impl Tuner {
                 simulation_error: stats.failed,
             },
             rounds,
+            compile_patched: TUNE_COMPILE_PATCHED.get().saturating_sub(patched_start),
+            compile_full_rebuilds: TUNE_COMPILE_FULL_REBUILDS
+                .get()
+                .saturating_sub(rebuilds_start),
         })
     }
 
@@ -444,19 +593,17 @@ impl Tuner {
     fn top(evaluated: &[Candidate], width: usize) -> Vec<OverlapConfig> {
         let mut sorted: Vec<&Candidate> = evaluated.iter().collect();
         sorted.sort_by(|a, b| a.report.total_s.total_cmp(&b.report.total_s));
-        sorted
-            .into_iter()
-            .take(width)
-            .map(|c| c.config.clone())
-            .collect()
+        sorted.into_iter().take(width).map(|c| c.config).collect()
     }
 
     /// Evaluates `configs` (cache first, then the oracle in parallel),
     /// appending successes to `evaluated` in candidate order. `prefix` is the
     /// memoized [`TuneCache::key_prefix`] of this tuning run.
+    #[allow(clippy::too_many_arguments)]
     fn evaluate_batch(
         &self,
         oracle: &dyn CostOracle,
+        pool: &EvalPool,
         prefix: &str,
         configs: &[OverlapConfig],
         stats: &mut BatchStats,
@@ -494,39 +641,14 @@ impl Tuner {
         // a slot per candidate, so completion order never affects ranking.
         let mut results: Vec<Option<tilelink::Result<OverlapReport>>> = vec![None; misses.len()];
         if !misses.is_empty() {
-            // One timed, profiled oracle call. The span lands on whichever
-            // worker thread ran it (the profiler keeps per-thread stacks).
-            let timed_eval = |cfg: &OverlapConfig| {
-                let _span = tilelink_probe::span("tune.candidate");
-                let t0 = Instant::now();
-                let r = oracle.evaluate(cfg);
-                TUNE_EVAL_US.record(t0.elapsed().as_micros() as u64);
-                r
-            };
-            let workers = self.threads.min(misses.len());
-            if workers <= 1 {
+            if self.threads.min(misses.len()) <= 1 {
+                // Evaluate on this thread (its scratch is warm too) rather
+                // than paying a pool round-trip for a single candidate.
                 for (slot, cfg) in results.iter_mut().zip(&misses) {
-                    *slot = Some(timed_eval(cfg));
+                    *slot = Some(timed_eval(oracle, cfg));
                 }
             } else {
-                let next = AtomicUsize::new(0);
-                let slots: Vec<Mutex<Option<tilelink::Result<OverlapReport>>>> =
-                    misses.iter().map(|_| Mutex::new(None)).collect();
-                std::thread::scope(|scope| {
-                    for _ in 0..workers {
-                        scope.spawn(|| loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= misses.len() {
-                                break;
-                            }
-                            let r = timed_eval(misses[i]);
-                            *slots[i].lock().expect("result slot lock poisoned") = Some(r);
-                        });
-                    }
-                });
-                for (slot, cell) in results.iter_mut().zip(slots) {
-                    *slot = cell.into_inner().expect("result slot lock poisoned");
-                }
+                results = pool.run(&misses);
             }
         }
 
@@ -563,9 +685,9 @@ impl Tuner {
                     }
                 }
             };
-            seen.insert(cfg.clone(), evaluated.len());
+            seen.insert(*cfg, evaluated.len());
             evaluated.push(Candidate {
-                config: cfg.clone(),
+                config: *cfg,
                 report,
                 from_cache,
             });
@@ -577,7 +699,7 @@ impl Tuner {
 mod tests {
     use super::*;
     use crate::FnOracle;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use tilelink::{CommMapping, TileShape};
     use tilelink_sim::ClusterSpec;
 

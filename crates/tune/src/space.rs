@@ -199,33 +199,25 @@ impl SearchSpace {
             0 => self
                 .comm_tiles
                 .iter()
-                .map(|&t| base.clone().with_comm_tile(t))
+                .map(|&t| base.with_comm_tile(t))
                 .collect(),
             1 => self
                 .compute_tiles
                 .iter()
-                .map(|&t| base.clone().with_compute_tile(t))
+                .map(|&t| base.with_compute_tile(t))
                 .collect(),
-            2 => self
-                .orders
-                .iter()
-                .map(|&o| base.clone().with_order(o))
-                .collect(),
-            3 => self
-                .modes
-                .iter()
-                .map(|&m| base.clone().with_mode(m))
-                .collect(),
+            2 => self.orders.iter().map(|&o| base.with_order(o)).collect(),
+            3 => self.modes.iter().map(|&m| base.with_mode(m)).collect(),
             4 => self
                 .mappings
                 .iter()
-                .map(|&m| base.clone().with_comm_mapping(m))
+                .map(|&m| base.with_comm_mapping(m))
                 .collect(),
             5 => self
                 .channels
                 .iter()
                 .map(|&c| {
-                    let mut cfg = base.clone();
+                    let mut cfg = *base;
                     cfg.channels_per_rank = c;
                     cfg
                 })
@@ -234,7 +226,7 @@ impl SearchSpace {
                 .stages
                 .iter()
                 .map(|&s| {
-                    let mut cfg = base.clone();
+                    let mut cfg = *base;
                     cfg.num_stages = s;
                     cfg
                 })

@@ -12,7 +12,10 @@ use tilelink::exec::{run_comm_compute, simulate_report_with};
 use tilelink::ir::{BlockDesc, BlockRole, ComputeKind, TileOp, TileProgram};
 use tilelink::primitives::NotifyScope;
 use tilelink::tile::{read_tile, TileRect};
-use tilelink::{BlockChannel, Compiler, DeviceHandle, OverlapReport, StaticMapping, TileMapping};
+use tilelink::{
+    detail_hash, BlockChannel, CacheSite, Compiler, DeviceHandle, OverlapReport, StaticMapping,
+    TileMapping,
+};
 use tilelink_compute::{FlashAccumulator, Tensor};
 use tilelink_shmem::ProcessGroup;
 use tilelink_sim::{analytic_cost, ClusterSpec, SharedCost};
@@ -238,10 +241,28 @@ pub fn timed_sp_attention_with(
     cost: &SharedCost,
 ) -> tilelink::Result<OverlapReport> {
     let world = cost.cluster().world_size();
-    let (program, mapping) = sp_attention_program(shape.heads, shape.head_dim, seq_len, world, cfg);
-    let kernel = Compiler::new(cfg.clone(), cost.cluster().gpu.clone())
+    let kernel = Compiler::new(*cfg, cost.cluster().gpu.clone())
         .with_cost(cost.clone())
-        .compile(&program, &mapping)?;
+        .compile_cached(
+            CacheSite::new(
+                "attn.sp_attention",
+                detail_hash([
+                    shape.heads as u64,
+                    shape.head_dim as u64,
+                    seq_len as u64,
+                    world as u64,
+                ]),
+            ),
+            || {
+                Ok(sp_attention_program(
+                    shape.heads,
+                    shape.head_dim,
+                    seq_len,
+                    world,
+                    cfg,
+                ))
+            },
+        )?;
     simulate_report_with(&kernel, cost)
 }
 

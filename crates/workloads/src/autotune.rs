@@ -472,7 +472,7 @@ fn run_tune(oracle: &dyn CostOracle, opts: &TuneOptions) -> tilelink_tune::Resul
     }
     let search = tuner.tune(oracle, &opts.space)?;
     Ok(TunedLayer {
-        config: search.best.config.clone(),
+        config: search.best.config,
         layer: search.best.report,
         search,
     })

@@ -21,7 +21,10 @@ use tilelink::exec::{run_comm_compute, simulate_report_with};
 use tilelink::ir::{BlockDesc, BlockRole, ComputeKind, TileOp, TileProgram};
 use tilelink::primitives::{NotifyScope, PushTarget};
 use tilelink::tile::{read_tile, write_tile, TileRect};
-use tilelink::{BlockChannel, Compiler, DeviceHandle, OverlapReport, StaticMapping, TileMapping};
+use tilelink::{
+    detail_hash, BlockChannel, CacheSite, Compiler, DeviceHandle, OverlapReport, StaticMapping,
+    TileMapping,
+};
 use tilelink_compute::gemm::matmul;
 use tilelink_compute::Tensor;
 use tilelink_shmem::ProcessGroup;
@@ -431,6 +434,16 @@ pub fn gemm_rs_program(
     (program, mapping)
 }
 
+/// Compile-cache detail words for one MLP shape on one cluster size.
+fn mlp_detail(shape: &crate::MlpShape, world: usize) -> u64 {
+    detail_hash([
+        shape.tokens as u64,
+        shape.hidden as u64,
+        shape.intermediate as u64,
+        world as u64,
+    ])
+}
+
 /// Simulates the TileLink AllGather + GEMM kernel for one MLP shape with the
 /// default analytic cost model.
 ///
@@ -457,11 +470,20 @@ pub fn timed_ag_gemm_with(
     cost: &SharedCost,
 ) -> tilelink::Result<OverlapReport> {
     let world = cost.cluster().world_size();
-    let (program, mapping) =
-        ag_gemm_program(shape.tokens, shape.hidden, shape.intermediate, world, cfg);
-    let kernel = Compiler::new(cfg.clone(), cost.cluster().gpu.clone())
+    let kernel = Compiler::new(*cfg, cost.cluster().gpu.clone())
         .with_cost(cost.clone())
-        .compile(&program, &mapping)?;
+        .compile_cached(
+            CacheSite::new("mlp.ag_gemm", mlp_detail(shape, world)),
+            || {
+                Ok(ag_gemm_program(
+                    shape.tokens,
+                    shape.hidden,
+                    shape.intermediate,
+                    world,
+                    cfg,
+                ))
+            },
+        )?;
     simulate_report_with(&kernel, cost)
 }
 
@@ -491,11 +513,20 @@ pub fn timed_gemm_rs_with(
     cost: &SharedCost,
 ) -> tilelink::Result<OverlapReport> {
     let world = cost.cluster().world_size();
-    let (program, mapping) =
-        gemm_rs_program(shape.tokens, shape.hidden, shape.intermediate, world, cfg);
-    let kernel = Compiler::new(cfg.clone(), cost.cluster().gpu.clone())
+    let kernel = Compiler::new(*cfg, cost.cluster().gpu.clone())
         .with_cost(cost.clone())
-        .compile(&program, &mapping)?;
+        .compile_cached(
+            CacheSite::new("mlp.gemm_rs", mlp_detail(shape, world)),
+            || {
+                Ok(gemm_rs_program(
+                    shape.tokens,
+                    shape.hidden,
+                    shape.intermediate,
+                    world,
+                    cfg,
+                ))
+            },
+        )?;
     simulate_report_with(&kernel, cost)
 }
 

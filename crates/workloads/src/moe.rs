@@ -19,11 +19,12 @@
 
 use tilelink::config::{CommMapping, OverlapConfig, TileShape};
 use tilelink::exec::{run_comm_compute, simulate_report_with};
-use tilelink::ir::{BlockDesc, BlockRole, ComputeKind, TileOp, TileProgram};
+use tilelink::ir::{BlockDesc, BlockRole, ComputeKind, Symbol, TileOp, TileProgram};
 use tilelink::primitives::{NotifyScope, PushTarget};
 use tilelink::tile::{read_tile, TileRect};
 use tilelink::{
-    BlockChannel, Compiler, DeviceHandle, DynamicMapping, OverlapReport, StaticMapping, TileMapping,
+    detail_hash, BlockChannel, CacheSite, Compiler, DeviceHandle, DynamicMapping, OverlapReport,
+    StaticMapping, TileMapping,
 };
 use tilelink_compute::gemm::matmul;
 use tilelink_compute::group_gemm::expert_weight;
@@ -33,6 +34,7 @@ use tilelink_shmem::ProcessGroup;
 use tilelink_sim::{analytic_cost, ClusterSpec, CostProvider, SharedCost};
 
 use std::fmt;
+use std::fmt::Write as _;
 use std::ops::Range;
 use std::str::FromStr;
 
@@ -217,13 +219,21 @@ pub fn ag_group_gemm_program(
     let tile_bytes = cfg.comm_tile.m as f64 * h as f64 * BYTES_PER_ELEM;
     let rows = dispatched_rows(shape);
     let compute_tiles = rows.div_ceil(cfg.compute_tile.m * 8); // 8 dispatch tiles share one block
+                                                               // Buffer names are interned once here instead of once per op: the intern
+                                                               // table lookup takes a global lock, and these loops run for every block of
+                                                               // every rank on every cache-miss compile.
+    let gathered = Symbol::intern("gathered");
+    let expert_out = Symbol::intern("expert_out");
+    let mut name = String::with_capacity(32);
     let mut program = TileProgram::new("moe_ag_group_gemm", world);
     for rank in 0..world {
         for (i, tile) in mapping.tiles_of_rank(rank).into_iter().enumerate() {
+            name.clear();
+            write!(name, "ag/r{rank}/b{i}").expect("write to string");
             program.add_block(
-                BlockDesc::new(format!("ag/r{rank}/b{i}"), rank, BlockRole::Producer)
+                BlockDesc::new(name.as_str(), rank, BlockRole::Producer)
                     .op(TileOp::PushTile {
-                        buffer: "gathered".into(),
+                        buffer: gathered,
                         bytes: tile_bytes,
                         tile,
                         target: PushTarget::Broadcast,
@@ -238,8 +248,9 @@ pub fn ag_group_gemm_program(
         for b in 0..compute_tiles {
             // Each Group-GEMM block consumes tokens scattered across the whole
             // gathered matrix, so it waits on a spread of producer tiles.
-            let mut block =
-                BlockDesc::new(format!("ggemm/r{rank}/b{b}"), rank, BlockRole::Consumer);
+            name.clear();
+            write!(name, "ggemm/r{rank}/b{b}").expect("write to string");
+            let mut block = BlockDesc::new(name.as_str(), rank, BlockRole::Consumer);
             let wait_tiles =
                 (mapping.num_tiles() * (b + 1) / compute_tiles).min(mapping.num_tiles());
             for tile in (mapping.num_tiles() * b / compute_tiles)..wait_tiles {
@@ -247,7 +258,7 @@ pub fn ag_group_gemm_program(
             }
             block = block
                 .op(TileOp::LoadTile {
-                    buffer: "gathered".into(),
+                    buffer: gathered,
                     bytes: rows_per_block as f64 * h as f64 * BYTES_PER_ELEM,
                     tile: None,
                 })
@@ -257,7 +268,7 @@ pub fn ag_group_gemm_program(
                     k: h,
                 }))
                 .op(TileOp::StoreTile {
-                    buffer: "expert_out".into(),
+                    buffer: expert_out,
                     bytes: rows_per_block as f64 * i_local as f64 * BYTES_PER_ELEM,
                     tile: None,
                 });
@@ -285,6 +296,12 @@ pub fn group_gemm_rs_program(
     let m_per_rank = m / world;
     let tiles_per_segment = (m_per_rank / tile_m).max(1);
     let tile_out_bytes = tile_m as f64 * h as f64 * BYTES_PER_ELEM;
+    // Interned once per compile, not once per op (see ag_group_gemm_program).
+    let expert_act = Symbol::intern("expert_act");
+    let gemm_out = Symbol::intern("gemm_out");
+    let out_buf = Symbol::intern("out");
+    let partial = Symbol::intern("partial");
+    let mut name = String::with_capacity(32);
     let mut program = TileProgram::new("moe_group_gemm_rs", world);
     for rank in 0..world {
         // Group GEMM producing partial token outputs, fused with the scatter +
@@ -292,10 +309,12 @@ pub fn group_gemm_rs_program(
         for tile in 0..mapping.num_tiles() {
             let trows = mapping.rows_of(tile).expect("tile in range");
             let rows_of_tile = trows.len() * rows / m; // dispatched rows feeding this tile
+            name.clear();
+            write!(name, "ggemm2/r{rank}/t{tile}").expect("write to string");
             program.add_block(
-                BlockDesc::new(format!("ggemm2/r{rank}/t{tile}"), rank, BlockRole::Consumer)
+                BlockDesc::new(name.as_str(), rank, BlockRole::Consumer)
                     .op(TileOp::LoadTile {
-                        buffer: "expert_act".into(),
+                        buffer: expert_act,
                         bytes: rows_of_tile as f64 * i_local as f64 * BYTES_PER_ELEM,
                         tile: None,
                     })
@@ -309,7 +328,7 @@ pub fn group_gemm_rs_program(
                         elems: rows_of_tile * h,
                     }))
                     .op(TileOp::StoreTile {
-                        buffer: "gemm_out".into(),
+                        buffer: gemm_out,
                         bytes: tile_out_bytes,
                         tile: Some(tile),
                     })
@@ -322,15 +341,16 @@ pub fn group_gemm_rs_program(
         // Ring ReduceScatter, identical in structure to the MLP second half.
         let to_rank = (rank + world - 1) % world;
         for tid_m in 0..tiles_per_segment {
-            let mut block =
-                BlockDesc::new(format!("rs/r{rank}/t{tid_m}"), rank, BlockRole::Producer);
+            name.clear();
+            write!(name, "rs/r{rank}/t{tid_m}").expect("write to string");
+            let mut block = BlockDesc::new(name.as_str(), rank, BlockRole::Producer);
             for stage in 0..world {
                 let seg = (rank + stage + 1) % world;
                 let tile_global = seg * tiles_per_segment + tid_m;
                 block = block
                     .op(TileOp::ConsumerWait { tile: tile_global })
                     .op(TileOp::LoadTile {
-                        buffer: "gemm_out".into(),
+                        buffer: gemm_out,
                         bytes: tile_out_bytes,
                         tile: Some(tile_global),
                     });
@@ -346,14 +366,14 @@ pub fn group_gemm_rs_program(
                 }
                 if stage == world - 1 {
                     block = block.op(TileOp::StoreTile {
-                        buffer: "out".into(),
+                        buffer: out_buf,
                         bytes: tile_out_bytes,
                         tile: None,
                     });
                 } else {
                     block = block
                         .op(TileOp::PushTile {
-                            buffer: "partial".into(),
+                            buffer: partial,
                             bytes: tile_out_bytes,
                             tile: tile_global,
                             target: PushTarget::Rank(to_rank),
@@ -368,6 +388,35 @@ pub fn group_gemm_rs_program(
         }
     }
     (program, mapping)
+}
+
+/// Compile-cache detail words for one MoE shape on one cluster size.
+fn moe_detail(shape: &MoeShape, world: usize) -> u64 {
+    detail_hash([
+        shape.tokens as u64,
+        shape.hidden as u64,
+        shape.intermediate as u64,
+        shape.experts as u64,
+        shape.top_k as u64,
+        world as u64,
+    ])
+}
+
+/// Detail words for the routed kernels: the sampled per-expert row counts
+/// change the emitted program, so they are part of the cache identity.
+fn routed_detail(shape: &MoeShape, world: usize, sample: &RoutingSample) -> u64 {
+    detail_hash(
+        [
+            shape.tokens as u64,
+            shape.hidden as u64,
+            shape.intermediate as u64,
+            shape.experts as u64,
+            shape.top_k as u64,
+            world as u64,
+        ]
+        .into_iter()
+        .chain(sample.rows_per_expert.iter().map(|&r| r as u64)),
+    )
 }
 
 /// Simulates the TileLink AG + Gather + GroupGEMM kernel with the default
@@ -396,10 +445,12 @@ pub fn timed_ag_group_gemm_with(
     cost: &SharedCost,
 ) -> tilelink::Result<OverlapReport> {
     let world = cost.cluster().world_size();
-    let (program, mapping) = ag_group_gemm_program(shape, world, cfg);
-    let kernel = Compiler::new(cfg.clone(), cost.cluster().gpu.clone())
+    let kernel = Compiler::new(*cfg, cost.cluster().gpu.clone())
         .with_cost(cost.clone())
-        .compile(&program, &mapping)?;
+        .compile_cached(
+            CacheSite::new("moe.ag_group_gemm", moe_detail(shape, world)),
+            || Ok(ag_group_gemm_program(shape, world, cfg)),
+        )?;
     simulate_report_with(&kernel, cost)
 }
 
@@ -429,12 +480,14 @@ pub fn timed_group_gemm_rs_with(
     cost: &SharedCost,
 ) -> tilelink::Result<OverlapReport> {
     let world = cost.cluster().world_size();
-    let mut cfg = cfg.clone();
+    let mut cfg = *cfg;
     cfg.comm_mapping = CommMapping::Hybrid { sms: 20 };
-    let (program, mapping) = group_gemm_rs_program(shape, world, &cfg);
-    let kernel = Compiler::new(cfg.clone(), cost.cluster().gpu.clone())
+    let kernel = Compiler::new(cfg, cost.cluster().gpu.clone())
         .with_cost(cost.clone())
-        .compile(&program, &mapping)?;
+        .compile_cached(
+            CacheSite::new("moe.group_gemm_rs", moe_detail(shape, world)),
+            || Ok(group_gemm_rs_program(shape, world, &cfg)),
+        )?;
     simulate_report_with(&kernel, cost)
 }
 
@@ -988,10 +1041,15 @@ pub fn timed_routed_ag_group_gemm_with(
     sample: &RoutingSample,
 ) -> tilelink::Result<OverlapReport> {
     let world = cost.cluster().world_size();
-    let (program, dyn_map) = routed_ag_group_gemm_program(shape, world, cfg, sample)?;
-    let kernel = Compiler::new(cfg.clone(), cost.cluster().gpu.clone())
+    let kernel = Compiler::new(*cfg, cost.cluster().gpu.clone())
         .with_cost(cost.clone())
-        .compile(&program, &dyn_map)?;
+        .compile_cached(
+            CacheSite::new(
+                "moe.routed_ag_group_gemm",
+                routed_detail(shape, world, sample),
+            ),
+            || routed_ag_group_gemm_program(shape, world, cfg, sample),
+        )?;
     simulate_report_with(&kernel, cost)
 }
 
@@ -1008,12 +1066,17 @@ pub fn timed_routed_group_gemm_rs_with(
     sample: &RoutingSample,
 ) -> tilelink::Result<OverlapReport> {
     let world = cost.cluster().world_size();
-    let mut cfg = cfg.clone();
+    let mut cfg = *cfg;
     cfg.comm_mapping = CommMapping::Hybrid { sms: 20 };
-    let (program, mapping) = routed_group_gemm_rs_program(shape, world, &cfg, sample);
-    let kernel = Compiler::new(cfg.clone(), cost.cluster().gpu.clone())
+    let kernel = Compiler::new(cfg, cost.cluster().gpu.clone())
         .with_cost(cost.clone())
-        .compile(&program, &mapping)?;
+        .compile_cached(
+            CacheSite::new(
+                "moe.routed_group_gemm_rs",
+                routed_detail(shape, world, sample),
+            ),
+            || Ok(routed_group_gemm_rs_program(shape, world, &cfg, sample)),
+        )?;
     simulate_report_with(&kernel, cost)
 }
 

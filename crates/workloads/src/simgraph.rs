@@ -22,7 +22,7 @@ fn compile_to_graph(
     cfg: &OverlapConfig,
     cost: &SharedCost,
 ) -> tilelink::Result<TaskGraph> {
-    let kernel = Compiler::new(cfg.clone(), cost.cluster().gpu.clone())
+    let kernel = Compiler::new(*cfg, cost.cluster().gpu.clone())
         .with_cost(cost.clone())
         .compile(program, mapping)?;
     Ok(task_graph(&kernel, cost.cluster()))
