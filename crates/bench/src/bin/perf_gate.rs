@@ -1,9 +1,10 @@
-//! Soft performance gate over the recorded `BENCH_sim.json` trajectory.
+//! Soft performance gate over the recorded `BENCH_sim.json` /
+//! `BENCH_serve.json` trajectories.
 //!
-//! Re-measures the quick simulator/tuner benchmarks in-process and compares
-//! them against a recorded `BENCH_sim.json`: throughput metrics (sims/s,
-//! candidates/s) that fall more than 20% below the recording and oracle
-//! phases that run more than 20% slower are reported as `PERF WARN` lines.
+//! Compares fresh benchmark numbers against recorded ones: throughput metrics
+//! (sims/s, candidates/s, requests/s) that fall more than 20% below the
+//! recording and durations/latencies (oracle phases, warm/mixed p50/p95/p99)
+//! that run more than 20% slower are reported as `PERF WARN` lines.
 //!
 //! The gate is deliberately *soft* — it always exits 0. Benchmark numbers on
 //! shared CI runners are noisy, so a hard gate would flake; the warnings exist
@@ -13,13 +14,16 @@
 //! Usage:
 //!
 //! ```text
-//! perf_gate <recorded BENCH_sim.json> [fresh BENCH_sim.json]
+//! perf_gate <recorded.json> [fresh.json] [<recorded2.json> <fresh2.json>]
 //! ```
 //!
-//! With one argument the fresh numbers are measured in-process (quick mode,
-//! analytic cost model — matching how the recording is produced by
-//! `reproduce --bench-sim --quick --json`). With two arguments both sides are
-//! read from disk, which lets CI reuse a fresh file it already generated.
+//! With one argument the fresh sim numbers are measured in-process (quick
+//! mode, analytic cost model — matching how the recording is produced by
+//! `reproduce --bench-sim --quick --json`). With two or four arguments every
+//! file is read from disk, which lets CI reuse files it already generated;
+//! each recorded/fresh *pair* is dispatched on its `schema` field, so a
+//! `tilelink-bench-serve/v1` pair is gated on the serving metrics and
+//! anything else on the simulator ones.
 
 use tilelink_probe::{parse_json, JsonValue};
 
@@ -33,7 +37,7 @@ use tilelink_sim::CostModelSpec;
 const THRESHOLD: f64 = 0.20;
 
 fn usage() -> ! {
-    eprintln!("usage: perf_gate <recorded BENCH_sim.json> [fresh BENCH_sim.json]");
+    eprintln!("usage: perf_gate <recorded.json> [fresh.json] [<recorded2.json> <fresh2.json>]");
     std::process::exit(2)
 }
 
@@ -115,17 +119,60 @@ fn push_check(
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (recorded, fresh) = match args.as_slice() {
+    let mut pairs: Vec<(JsonValue, JsonValue)> = Vec::new();
+    match args.as_slice() {
         [rec] => {
             println!("perf_gate: measuring fresh quick benchmarks in-process...");
-            (load(rec), measure_fresh())
+            pairs.push((load(rec), measure_fresh()));
         }
-        [rec, new] => (load(rec), load(new)),
+        [rec, new] => pairs.push((load(rec), load(new))),
+        [rec1, new1, rec2, new2] => {
+            pairs.push((load(rec1), load(new1)));
+            pairs.push((load(rec2), load(new2)));
+        }
         _ => usage(),
-    };
+    }
 
     let mut checks = Vec::new();
+    for (recorded, fresh) in &pairs {
+        // Each pair declares what it measures via its schema field; the
+        // recorded side decides (both sides of a pair must match anyway for
+        // the shared JSON paths to resolve).
+        let schema = recorded
+            .get("schema")
+            .and_then(|s| s.as_str())
+            .unwrap_or("");
+        if schema.starts_with("tilelink-bench-serve") {
+            serve_checks(&mut checks, recorded, fresh);
+        } else {
+            sim_checks(&mut checks, recorded, fresh);
+        }
+    }
 
+    let mut regressions = 0usize;
+    for c in &checks {
+        if c.regressed() {
+            regressions += 1;
+            println!(
+                "PERF WARN {}: recorded {:.3}, fresh {:.3} ({:+.1}%)",
+                c.label,
+                c.recorded,
+                c.fresh,
+                c.change_pct()
+            );
+        }
+    }
+    println!(
+        "perf_gate: {} metrics compared, {} regression(s) beyond {:.0}% (soft gate, informational only)",
+        checks.len(),
+        regressions,
+        THRESHOLD * 100.0
+    );
+    // Always exit 0: see the module docs — this gate warns, it never fails CI.
+}
+
+/// Gated metrics of a `BENCH_sim.json` pair.
+fn sim_checks(checks: &mut Vec<Check>, recorded: &JsonValue, fresh: &JsonValue) {
     // Simulator throughput per benchmark graph (higher is better).
     let empty = Vec::new();
     let recorded_graphs = recorded
@@ -166,9 +213,9 @@ fn main() {
     // Tuner throughput (higher is better).
     for metric in ["candidates_per_sec", "sims_per_sec"] {
         push_check(
-            &mut checks,
-            &recorded,
-            &fresh,
+            checks,
+            recorded,
+            fresh,
             &["fig9_tune", metric],
             format!("fig9_tune/{metric}"),
             true,
@@ -186,34 +233,56 @@ fn main() {
             "total_ms",
         ] {
             push_check(
-                &mut checks,
-                &recorded,
-                &fresh,
+                checks,
+                recorded,
+                fresh,
                 &[section, phase],
                 format!("{section}/{phase}"),
                 false,
             );
         }
     }
+}
 
-    let mut regressions = 0usize;
-    for c in &checks {
-        if c.regressed() {
-            regressions += 1;
+/// Gated metrics of a `BENCH_serve.json` pair: serving throughput (higher is
+/// better) and warm/mixed latency percentiles (lower is better). The dedup
+/// phase is a correctness invariant rather than a perf number, so a fresh run
+/// that needed more than one search gets a note instead of a threshold check.
+fn serve_checks(checks: &mut Vec<Check>, recorded: &JsonValue, fresh: &JsonValue) {
+    if let Some(searches) = number_at(fresh, &["dedup", "searches"]) {
+        if searches > 1.0 {
             println!(
-                "PERF WARN {}: recorded {:.3}, fresh {:.3} ({:+.1}%)",
-                c.label,
-                c.recorded,
-                c.fresh,
-                c.change_pct()
+                "PERF NOTE dedup/searches: fresh run needed {searches} searches for one identical volley (expected 1)"
             );
         }
     }
-    println!(
-        "perf_gate: {} metrics compared, {} regression(s) beyond {:.0}% (soft gate, informational only)",
-        checks.len(),
-        regressions,
-        THRESHOLD * 100.0
-    );
-    // Always exit 0: see the module docs — this gate warns, it never fails CI.
+    for (phase, rps_path, lat_prefix) in [
+        ("warm", vec!["warm", "requests_per_sec"], vec!["warm"]),
+        (
+            "mixed",
+            vec!["mixed", "stats", "requests_per_sec"],
+            vec!["mixed", "stats"],
+        ),
+    ] {
+        push_check(
+            checks,
+            recorded,
+            fresh,
+            &rps_path,
+            format!("{phase}/requests_per_sec"),
+            true,
+        );
+        for pct in ["p50_us", "p95_us", "p99_us"] {
+            let mut path = lat_prefix.clone();
+            path.push(pct);
+            push_check(
+                checks,
+                recorded,
+                fresh,
+                &path,
+                format!("{phase}/{pct}"),
+                false,
+            );
+        }
+    }
 }

@@ -30,6 +30,19 @@
 //! to `BENCH_sim.json` (the perf trajectory CI uploads as an artifact);
 //! `--bench-sim --quick` uses fewer iterations and a compact tuning space.
 //!
+//! `--bench-serve` load-tests the `tilelink-serve` tuning daemon over real
+//! localhost sockets: a dedup volley (N identical cold requests must trigger
+//! exactly one search), a warm-hit hammer (the microsecond path) and a mixed
+//! catalog sweep, reporting throughput and p50/p95/p99 latency per phase.
+//! `--bench-serve --json` writes the numbers to `BENCH_serve.json` (soft-gated
+//! by `perf_gate` next to `BENCH_sim.json`); `--bench-serve --quick` runs the
+//! reduced CI volume.
+//!
+//! `--serve` runs a small smoke of the same daemon: boots it on an ephemeral
+//! port, then exercises PING, a cold search, a warm hit and a concurrent
+//! dedup volley through real client connections. Like `--tune` it is opt-in
+//! (not part of the no-flag default).
+//!
 //! `--routing {uniform|zipf:<s>|hot:<k>}` and `--objective {mean|p<1-99>|worst}`
 //! make the MoE part of `--tune` routing-distribution-aware: candidates are
 //! priced over sampled routings through the dynamic tile mapping and the
@@ -54,9 +67,9 @@
 //!   (round, best-so-far, evaluations) to stderr while tuning.
 
 use tilelink_bench::{
-    bench_sim_json, benchmark_graphs, cost_for, default_cluster, fig10, fig11, fig11_tuned, fig8,
-    fig9, fig9_oracle_phases, fig9_tune_throughput, geomean, sim_throughput, table2, MlpPanel,
-    MoePanel,
+    bench_serve_json, bench_sim_json, benchmark_graphs, cost_for, default_cluster, fig10, fig11,
+    fig11_tuned, fig8, fig9, fig9_oracle_phases, fig9_tune_throughput, geomean, sim_throughput,
+    table2, MlpPanel, MoePanel,
 };
 use tilelink_sim::CostModelSpec;
 use tilelink_tune::{Objective, TuneCache};
@@ -190,11 +203,15 @@ fn main() {
         std::process::exit(2);
     }
 
-    // `--json` only means something to `--bench-sim`; anywhere else it would
-    // be silently swallowed as an unmatched section flag, so reject it (same
-    // policy as --routing without --tune).
-    if args.iter().any(|a| a == "--json") && !args.iter().any(|a| a == "--bench-sim") {
-        eprintln!("error: --json requires --bench-sim");
+    // `--json` only means something to the bench modes; anywhere else it
+    // would be silently swallowed as an unmatched section flag, so reject it
+    // (same policy as --routing without --tune).
+    if args.iter().any(|a| a == "--json")
+        && !args
+            .iter()
+            .any(|a| a == "--bench-sim" || a == "--bench-serve")
+    {
+        eprintln!("error: --json requires --bench-sim or --bench-serve");
         std::process::exit(2);
     }
 
@@ -253,6 +270,22 @@ fn run(
             std::process::exit(2);
         }
         bench_sim(quick, args.iter().any(|a| a == "--json"), spec, cost);
+        return;
+    }
+
+    if args.iter().any(|a| a == "--bench-serve") {
+        // The serving counterpart of --bench-sim: load-tests the
+        // tilelink-serve daemon over real sockets and with --json records
+        // the numbers into BENCH_serve.json for the perf-gate trajectory.
+        let quick = args.iter().any(|a| a == "--quick");
+        if let Some(flag) = section_flags(args)
+            .iter()
+            .find(|f| **f != "--bench-serve" && **f != "--json")
+        {
+            eprintln!("error: --bench-serve cannot be combined with {flag}");
+            std::process::exit(2);
+        }
+        bench_serve(quick, args.iter().any(|a| a == "--json"), spec);
         return;
     }
 
@@ -419,6 +452,11 @@ fn run(
     // Opt-in only: a cold tuning run simulates hundreds of candidates.
     if args.iter().any(|a| a == "--tune") {
         tune(cluster, cost, routing, objective, verbose);
+    }
+
+    // Opt-in only, like --tune: boots a real daemon on an ephemeral port.
+    if args.iter().any(|a| a == "--serve") {
+        serve_smoke(spec);
     }
 }
 
@@ -774,6 +812,133 @@ fn bench_sim(quick: bool, json: bool, spec: &CostModelSpec, cost: &tilelink_sim:
         .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         println!("(wrote {path})");
     }
+}
+
+/// Serving-throughput trajectory: drives the `tilelink-serve` daemon with the
+/// three-phase load generator (dedup volley, warm hammer, mixed catalog
+/// sweep) over real localhost sockets. With `json` the numbers are also
+/// written to `BENCH_serve.json` in the working directory.
+fn bench_serve(quick: bool, json: bool, spec: &CostModelSpec) {
+    use tilelink_serve::loadgen::{run_loadgen, LoadGenConfig};
+
+    let cfg = if quick {
+        LoadGenConfig::quick(spec.clone())
+    } else {
+        LoadGenConfig::full(spec.clone())
+    };
+    println!(
+        "== Serving throughput ({} dedup waiters, {} clients x {} warm + {} mixed requests) ==",
+        cfg.dedup_waiters, cfg.clients, cfg.warm_requests, cfg.mixed_requests
+    );
+    let report = run_loadgen(&cfg).unwrap_or_else(|e| panic!("load generation failed: {e}"));
+
+    let d = &report.dedup;
+    println!(
+        "dedup  {:>3} identical cold requests -> {} search, {} deduped, {} warm ({} identical replies)",
+        d.waiters, d.searches, d.deduped, d.warm, d.identical
+    );
+    let w = &report.warm;
+    println!(
+        "warm   {:>6} requests in {:.3} s   {:>9.0} req/s   mean {:>7.1} us   \
+         p50 {:>5} us   p95 {:>5} us   p99 {:>5} us   max {:>6} us   [p99 < 1 ms: {}]",
+        w.count,
+        w.wall_s,
+        w.requests_per_sec,
+        w.mean_us,
+        w.p50_us,
+        w.p95_us,
+        w.p99_us,
+        w.max_us,
+        if w.p99_us < 1000 { "OK" } else { "MISS" }
+    );
+    let m = &report.mixed;
+    println!(
+        "mixed  {:>6} requests in {:.3} s   {:>9.0} req/s   mean {:>7.1} us   \
+         p50 {:>5} us   p95 {:>5} us   p99 {:>5} us   ({} warm, {} cold, {} deduped)",
+        m.stats.count,
+        m.stats.wall_s,
+        m.stats.requests_per_sec,
+        m.stats.mean_us,
+        m.stats.p50_us,
+        m.stats.p95_us,
+        m.stats.p99_us,
+        m.warm,
+        m.cold,
+        m.deduped
+    );
+    if json {
+        let path = "BENCH_serve.json";
+        std::fs::write(path, bench_serve_json(&report))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("(wrote {path})");
+    }
+}
+
+/// `--serve` smoke: boots the daemon on an ephemeral localhost port and
+/// exercises every request path through real client connections — PING, a
+/// cold quick-space search, a warm hit of the same key, and a concurrent
+/// volley of identical requests that must collapse into one search.
+fn serve_smoke(spec: &CostModelSpec) {
+    use std::sync::{Arc, Barrier};
+    use tilelink_serve::protocol::{parse_reply, Reply};
+    use tilelink_serve::server::{serve_ephemeral, Client};
+    use tilelink_serve::service::{ServeOptions, TuneService};
+
+    let server = serve_ephemeral(TuneService::new(ServeOptions {
+        cost: spec.clone(),
+        cache_path: None, // smoke stays hermetic: no shared TSV
+        threads: Some(2),
+        ..ServeOptions::quick()
+    }))
+    .expect("bind ephemeral port");
+    println!("\n== Serve smoke (daemon on {}) ==", server.addr());
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let pong = client.request("PING").expect("ping");
+    println!("PING -> {pong}");
+
+    let line = "TUNE workload=MLP-1";
+    for pass in ["cold", "warm"] {
+        let reply = client.request(line).expect("tune request");
+        let Ok(Reply::Ok(fields)) = parse_reply(&reply) else {
+            panic!("{pass} request failed: {reply}");
+        };
+        println!(
+            "{line} -> source={} total {:.3} ms ({} sims) best: {}",
+            fields.source, fields.total_ms, fields.evals, fields.config
+        );
+    }
+
+    // Concurrent identical cold requests: the daemon must run one search and
+    // broadcast it to everyone else.
+    const WAITERS: usize = 4;
+    let addr = server.addr();
+    let barrier = Arc::new(Barrier::new(WAITERS));
+    let handles: Vec<_> = (0..WAITERS)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                barrier.wait();
+                client
+                    .request("TUNE workload=MoE-1 routing=zipf:1.2 objective=p95")
+                    .expect("dedup request")
+            })
+        })
+        .collect();
+    let (mut cold, mut deduped) = (0, 0);
+    for handle in handles {
+        match parse_reply(&handle.join().expect("waiter thread")) {
+            Ok(Reply::Ok(fields)) if fields.source == "cold" => cold += 1,
+            Ok(Reply::Ok(fields)) if fields.source == "deduped" => deduped += 1,
+            other => panic!("dedup volley reply unexpected: {other:?}"),
+        }
+    }
+    println!("{WAITERS} concurrent identical requests -> {cold} search, {deduped} deduped");
+
+    let stats = client.request("STATS").expect("stats");
+    println!("{stats}");
+    server.shutdown();
 }
 
 /// Ablations over the design choices called out in DESIGN.md: decoupled tile

@@ -820,6 +820,59 @@ pub fn bench_sim_json(
     out
 }
 
+/// Serialises a serve load-generator run as JSON (`BENCH_serve.json`):
+/// dedup-phase batching counts, warm-path latency percentiles and
+/// throughput, and the mixed-phase source breakdown, next to
+/// `BENCH_sim.json` so `perf_gate` can soft-gate serving performance the
+/// same way it gates simulator throughput.
+pub fn bench_serve_json(report: &tilelink_serve::ServeBenchReport) -> String {
+    let latency_entry = |stats: &tilelink_serve::loadgen::LatencyStats| {
+        format!(
+            concat!(
+                "{{\"requests\": {}, \"wall_s\": {:.4}, \"requests_per_sec\": {:.1}, ",
+                "\"mean_us\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, ",
+                "\"max_us\": {}}}"
+            ),
+            stats.count,
+            stats.wall_s,
+            stats.requests_per_sec,
+            stats.mean_us,
+            stats.p50_us,
+            stats.p95_us,
+            stats.p99_us,
+            stats.max_us
+        )
+    };
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"tilelink-bench-serve/v1\",\n");
+    out.push_str(&format!("  \"quick\": {},\n", report.config.quick));
+    out.push_str(&format!(
+        "  \"cost_revision\": \"{}\",\n",
+        report.cost_revision
+    ));
+    out.push_str(&format!(
+        concat!(
+            "  \"dedup\": {{\"waiters\": {}, \"searches\": {}, \"deduped\": {}, ",
+            "\"warm\": {}, \"identical\": {}}},\n"
+        ),
+        report.dedup.waiters,
+        report.dedup.searches,
+        report.dedup.deduped,
+        report.dedup.warm,
+        report.dedup.identical
+    ));
+    out.push_str(&format!("  \"warm\": {},\n", latency_entry(&report.warm)));
+    out.push_str(&format!(
+        "  \"mixed\": {{\"stats\": {}, \"warm\": {}, \"cold\": {}, \"deduped\": {}}}\n",
+        latency_entry(&report.mixed.stats),
+        report.mixed.warm,
+        report.mixed.cold,
+        report.mixed.deduped
+    ));
+    out.push('}');
+    out
+}
+
 /// Times `iters` invocations of `f` and prints min/median/max wall-clock
 /// milliseconds under `name`.
 ///
@@ -879,6 +932,59 @@ mod tests {
             // TileLink beats the non-overlapping baseline.
             assert!(g.speedup("TileLink", "Non-Overlap") > 1.0, "{g:?}");
         }
+    }
+
+    #[test]
+    fn bench_serve_json_parses_with_every_gated_key() {
+        let stats = |count: usize| tilelink_serve::loadgen::LatencyStats {
+            count,
+            wall_s: 0.5,
+            requests_per_sec: count as f64 / 0.5,
+            mean_us: 42.0,
+            p50_us: 30,
+            p95_us: 90,
+            p99_us: 150,
+            max_us: 400,
+        };
+        let report = tilelink_serve::ServeBenchReport {
+            config: tilelink_serve::LoadGenConfig::quick(CostModelSpec::Analytic),
+            cost_revision: "analytic-v2".to_string(),
+            dedup: tilelink_serve::loadgen::DedupPhase {
+                waiters: 16,
+                searches: 1,
+                deduped: 15,
+                warm: 0,
+                identical: 16,
+            },
+            warm: stats(2000),
+            mixed: tilelink_serve::loadgen::MixedPhase {
+                stats: stats(200),
+                warm: 150,
+                cold: 30,
+                deduped: 20,
+            },
+        };
+        let json = bench_serve_json(&report);
+        let v = tilelink_probe::parse_json(&json).expect("valid BENCH_serve JSON");
+        // The keys perf_gate reads; losing one silently un-gates serving perf.
+        for (path, key) in [
+            ("warm", "requests_per_sec"),
+            ("warm", "p50_us"),
+            ("warm", "p95_us"),
+            ("warm", "p99_us"),
+            ("dedup", "searches"),
+            ("dedup", "deduped"),
+        ] {
+            assert!(
+                v.get(path).and_then(|o| o.get(key)).is_some(),
+                "missing {path}.{key} in {json}"
+            );
+        }
+        assert!(v
+            .get("mixed")
+            .and_then(|m| m.get("stats"))
+            .and_then(|s| s.get("p99_us"))
+            .is_some());
     }
 
     #[test]

@@ -84,6 +84,13 @@ impl Gauge {
         self.value.store(v, Ordering::Relaxed);
     }
 
+    /// Adds `delta` to the gauge (negative to decrement). Used for
+    /// level-style gauges such as `serve.inflight`.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
     /// Current value.
     #[must_use]
     pub fn get(&self) -> i64 {
@@ -225,8 +232,20 @@ pub static SIM_SCRATCH_REUSES: Counter = Counter::new("sim.scratch.reuses");
 /// Fast-path simulations that had to allocate a fresh scratch because the
 /// thread-local one was already borrowed (re-entrant simulation).
 pub static SIM_SCRATCH_COLD: Counter = Counter::new("sim.scratch.cold");
+/// Cache files that existed but could not be read when opening the default
+/// tune cache (the open falls back to in-memory, but loudly).
+pub static TUNE_CACHE_OPEN_ERRORS: Counter = Counter::new("tune.cache.open_errors");
+/// Serve requests answered from the sharded in-memory result cache.
+pub static SERVE_REQUESTS_WARM: Counter = Counter::new("serve.requests.warm");
+/// Serve requests that ran a search (the in-flight leader for their key).
+pub static SERVE_REQUESTS_COLD: Counter = Counter::new("serve.requests.cold");
+/// Serve requests that piggybacked on another request's in-flight search
+/// instead of starting their own.
+pub static SERVE_REQUESTS_DEDUPED: Counter = Counter::new("serve.requests.deduped");
 /// Size of the most recently enumerated search space (valid candidates).
 pub static TUNE_SPACE_SIZE: Gauge = Gauge::new("tune.space.size");
+/// Tuning requests currently being handled by the serve daemon.
+pub static SERVE_INFLIGHT: Gauge = Gauge::new("serve.inflight");
 /// Per-candidate oracle evaluation latency in microseconds.
 pub static TUNE_EVAL_US: Histogram = Histogram::new("tune.eval_us");
 
@@ -247,9 +266,13 @@ static COUNTERS: &[&Counter] = &[
     &SIM_TRACE_RUNS,
     &SIM_SCRATCH_REUSES,
     &SIM_SCRATCH_COLD,
+    &TUNE_CACHE_OPEN_ERRORS,
+    &SERVE_REQUESTS_WARM,
+    &SERVE_REQUESTS_COLD,
+    &SERVE_REQUESTS_DEDUPED,
 ];
 
-static GAUGES: &[&Gauge] = &[&TUNE_SPACE_SIZE];
+static GAUGES: &[&Gauge] = &[&TUNE_SPACE_SIZE, &SERVE_INFLIGHT];
 
 static HISTOGRAMS: &[&Histogram] = &[&TUNE_EVAL_US];
 

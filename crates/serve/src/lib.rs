@@ -1,0 +1,43 @@
+//! # tilelink-serve
+//!
+//! Tuning-as-a-service: a long-running daemon that answers "what is the best
+//! overlap config for this workload on this cluster?" over a line-oriented
+//! socket protocol, serving warm answers from a sharded in-memory cache in
+//! microseconds and collapsing concurrent identical cold misses into a
+//! single beam search.
+//!
+//! The pieces, bottom up:
+//!
+//! * [`shard::ShardedCache`] — the warm path: N independently `RwLock`ed
+//!   shards keyed by FNV hash, so concurrent warm hits touch disjoint locks;
+//! * [`service::TuneService`] — request → cache-key quintuple → warm hit /
+//!   in-flight piggyback / leader search, with the persistent
+//!   [`tilelink_tune::TuneCache`] as write-behind storage and the probe
+//!   counters `serve.requests.{warm,cold,deduped}` + `serve.inflight`
+//!   threaded through;
+//! * [`protocol`] — the wire grammar (`TUNE workload=MoE-1 routing=zipf:1.2
+//!   objective=p95`, `PING`, `STATS`) and its response forms;
+//! * [`server`] — the TCP front end (thread per connection, persistent
+//!   connections) and a minimal blocking [`server::Client`];
+//! * [`loadgen`] — the load generator behind `reproduce --bench-serve` and
+//!   `BENCH_serve.json`.
+//!
+//! Cold searches reuse the existing tuning stack unchanged: the same
+//! [`tilelink_workloads::autotune::MlpOracle`]/[`tilelink_workloads::autotune::MoeOracle`],
+//! the same [`tilelink_tune::Objective`] statistics, the same revision-keyed
+//! cache invalidation and the same multi-threaded evaluator. The daemon is
+//! a concurrency shell around machinery that already existed.
+
+#![deny(missing_docs)]
+
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod service;
+pub mod shard;
+
+pub use loadgen::{LoadGenConfig, ServeBenchReport};
+pub use protocol::{parse_command, parse_reply, Command, Reply, TuneRequest, WorkloadSpec};
+pub use server::{serve, serve_ephemeral, Client, ServerHandle};
+pub use service::{ServeOptions, Source, TuneOutcome, TuneService};
+pub use shard::ShardedCache;

@@ -1,0 +1,215 @@
+//! TCP front end: one thread per connection, one response line per request.
+//!
+//! Connections are persistent — a client sends any number of request lines
+//! and reads one response line per request, in order. Connection threads
+//! poll a shared shutdown flag between reads (via a short read timeout), so
+//! [`ServerHandle::shutdown`] drains cleanly even with idle clients
+//! attached.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::protocol::{parse_command, Command};
+use crate::service::TuneService;
+
+/// How long a connection thread blocks in one read before re-checking the
+/// shutdown flag. Short enough that shutdown is prompt, long enough that
+/// idle connections cost nothing measurable.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// A running daemon: the bound address plus the handles needed to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    service: Arc<TuneService>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The address the daemon is listening on (useful with `addr` port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service behind the listener.
+    pub fn service(&self) -> &Arc<TuneService> {
+        &self.service
+    }
+
+    /// Stops accepting, wakes the accept thread and joins it. Existing
+    /// connection threads notice the flag within [`READ_POLL`] and exit;
+    /// they are detached, so they drain in the background.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serves
+/// `service` until [`ServerHandle::shutdown`].
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve(service: Arc<TuneService>, addr: &str) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept_service = Arc::clone(&service);
+    let accept_thread = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let service = Arc::clone(&accept_service);
+            let shutdown = Arc::clone(&accept_shutdown);
+            std::thread::spawn(move || handle_connection(stream, &service, &shutdown));
+        }
+    });
+
+    Ok(ServerHandle {
+        addr: local,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        service,
+    })
+}
+
+/// Serves one connection until the peer closes, an I/O error, or shutdown.
+fn handle_connection(stream: TcpStream, service: &TuneService, shutdown: &Arc<AtomicBool>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = std::io::BufWriter::new(write_half);
+    let mut reader = BufReader::new(stream);
+    // `line` persists across timeout retries: a poll timeout can interrupt a
+    // partially received line, whose prefix read_line has already appended.
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // peer closed
+            Ok(_) => {
+                let response = respond(service, &line);
+                line.clear();
+                if writer.write_all(response.as_bytes()).is_err()
+                    || writer.write_all(b"\n").is_err()
+                    || writer.flush().is_err()
+                {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Produces the single response line (no newline) for one request line.
+fn respond(service: &TuneService, line: &str) -> String {
+    if line.trim().is_empty() {
+        return "ERR empty request".to_string();
+    }
+    match parse_command(line) {
+        Ok(Command::Ping) => "PONG".to_string(),
+        Ok(Command::Stats) => format!("STATS {}", service.stats_line()),
+        Ok(Command::Tune(req)) => match service.tune(&req) {
+            Ok((outcome, source)) => outcome.ok_fields(req.workload.name(), source).render(),
+            Err(message) => format!("ERR {}", message.replace('\n', " ")),
+        },
+        Err(message) => format!("ERR {}", message.replace('\n', " ")),
+    }
+}
+
+/// A minimal blocking client for the daemon's protocol — what the load
+/// generator, the smoke test and examples use to talk to the server.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request line and reads the matching response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the connection drops.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+}
+
+/// Shared infrastructure for binding test/bench servers: a server on an
+/// ephemeral localhost port.
+///
+/// # Errors
+///
+/// Returns the bind error.
+pub fn serve_ephemeral(service: TuneService) -> std::io::Result<ServerHandle> {
+    serve(Arc::new(service), "127.0.0.1:0")
+}

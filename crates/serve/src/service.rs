@@ -1,0 +1,517 @@
+//! The tuning service: warm sharded cache, deduplicated cold searches.
+//!
+//! Requests resolve in three ways, counted by the probe registry:
+//!
+//! * **warm** (`serve.requests.warm`) — the request key is in the sharded
+//!   in-memory result cache; the answer is a couple of lock-free hashes and
+//!   one shard read-lock away, microseconds end to end.
+//! * **cold** (`serve.requests.cold`) — this request is the first for its
+//!   key: it becomes the *leader*, runs the beam search (through the
+//!   existing `tilelink-tune` machinery, multi-threaded evaluator and
+//!   persistent [`TuneCache`] included), publishes the result and wakes the
+//!   waiters.
+//! * **deduped** (`serve.requests.deduped`) — an identical request arrived
+//!   while a leader was already searching; it blocks on the leader's
+//!   in-flight slot instead of starting a second search. N simultaneous
+//!   identical cold requests cost exactly one search.
+//!
+//! The persistent [`TuneCache`] is the service's write-behind layer: each
+//! cold search opens it, reuses any priced candidates, and flushes its new
+//! entries at the end (atomically, merged with concurrent writers). A
+//! restarted daemon therefore warms straight from disk — the first request
+//! per key still runs a "search", but one in which every candidate is a
+//! cache hit (`evals=0`).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+
+use tilelink_probe::metrics::{
+    SERVE_INFLIGHT, SERVE_REQUESTS_COLD, SERVE_REQUESTS_DEDUPED, SERVE_REQUESTS_WARM,
+};
+use tilelink_sim::{ClusterSpec, CostModelSpec, SharedCost};
+use tilelink_tune::{cluster_key, CostOracle, SearchSpace, Strategy, TuneCache};
+use tilelink_workloads::autotune::{MlpOracle, MoeOracle};
+use tilelink_workloads::{autotune, TuneOptions};
+
+use crate::protocol::{OkFields, TuneRequest, WorkloadSpec};
+use crate::shard::{ShardedCache, DEFAULT_SHARDS};
+
+/// How a request was answered (the `source=` response field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Served from the sharded in-memory cache.
+    Warm,
+    /// This request ran the search.
+    Cold,
+    /// Piggybacked on another request's in-flight search.
+    Deduped,
+}
+
+impl Source {
+    /// Wire name of the source.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Source::Warm => "warm",
+            Source::Cold => "cold",
+            Source::Deduped => "deduped",
+        }
+    }
+}
+
+/// The result of one tuning search, as cached and broadcast to waiters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneOutcome {
+    /// `OverlapConfig::cache_key` of the winning configuration.
+    pub config_key: String,
+    /// Simulated total layer time under the winner, seconds.
+    pub total_s: f64,
+    /// Exposed communication seconds under the winner.
+    pub comm_s: f64,
+    /// Computation seconds under the winner.
+    pub comp_s: f64,
+    /// Oracle evaluations the search ran.
+    pub evaluations: usize,
+    /// Candidates answered from the persistent cache.
+    pub cache_hits: usize,
+}
+
+impl TuneOutcome {
+    /// The response payload for this outcome.
+    pub fn ok_fields(&self, workload: &str, source: Source) -> OkFields {
+        OkFields {
+            workload: workload.to_string(),
+            source: source.as_str().to_string(),
+            config: self.config_key.clone(),
+            total_ms: self.total_s * 1e3,
+            comm_ms: self.comm_s * 1e3,
+            comp_ms: self.comp_s * 1e3,
+            evals: self.evaluations,
+            cache_hits: self.cache_hits,
+        }
+    }
+}
+
+/// Search failures are broadcast to every waiter as strings (the search
+/// error types are not `Clone`).
+type SearchResult = Result<TuneOutcome, String>;
+
+/// One in-flight cold search: waiters block on the condvar until the leader
+/// publishes into the slot.
+#[derive(Default)]
+struct Flight {
+    slot: Mutex<Option<SearchResult>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn wait(&self) -> SearchResult {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.done.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn publish(&self, result: SearchResult) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(result);
+        self.done.notify_all();
+    }
+}
+
+/// The search function a [`TuneService`] runs on a cold miss. Injectable so
+/// tests can count invocations against a slow stub instead of a real search.
+pub type SearchFn = dyn Fn(&TuneRequest, &SharedCost, &ServeOptions) -> SearchResult + Send + Sync;
+
+/// Configuration of a [`TuneService`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Cost model every search prices against.
+    pub cost: CostModelSpec,
+    /// Search strategy for cold misses.
+    pub strategy: Strategy,
+    /// Design space cold searches explore.
+    pub space: SearchSpace,
+    /// Persistent write-behind cache file; `None` keeps searches in-memory.
+    pub cache_path: Option<PathBuf>,
+    /// Shards of the warm result cache.
+    pub shards: usize,
+    /// Evaluation threads per search; `None` uses one per CPU.
+    pub threads: Option<usize>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            cost: CostModelSpec::Analytic,
+            strategy: Strategy::default(),
+            space: SearchSpace::standard(),
+            cache_path: Some(TuneCache::default_path()),
+            shards: DEFAULT_SHARDS,
+            threads: None,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// A compact configuration for smokes and quick benches: the same
+    /// reduced space and narrow beam the `--quick` tuning paths use, so a
+    /// cold search costs milliseconds instead of minutes.
+    pub fn quick() -> Self {
+        Self {
+            strategy: Strategy::Beam {
+                width: 2,
+                sweeps: 1,
+            },
+            space: SearchSpace::new()
+                .with_comm_tiles([
+                    tilelink::TileShape::new(128, 128),
+                    tilelink::TileShape::new(256, 128),
+                ])
+                .with_compute_tiles([
+                    tilelink::TileShape::new(128, 256),
+                    tilelink::TileShape::new(256, 256),
+                ])
+                .with_mappings([
+                    tilelink::CommMapping::CopyEngine,
+                    tilelink::CommMapping::Hybrid { sms: 20 },
+                ])
+                .with_stages([2, 3]),
+            ..Self::default()
+        }
+    }
+}
+
+/// The tuning service shared by every connection of the daemon.
+pub struct TuneService {
+    opts: ServeOptions,
+    results: ShardedCache<TuneOutcome>,
+    inflight: Mutex<HashMap<String, Arc<Flight>>>,
+    /// One provider per cluster asked about, built lazily; providers embed
+    /// their cluster, so one per topology serves every request for it.
+    providers: Mutex<HashMap<String, SharedCost>>,
+    search: Box<SearchFn>,
+}
+
+impl std::fmt::Debug for TuneService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TuneService")
+            .field("opts", &self.opts)
+            .field("cached", &self.results.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TuneService {
+    /// Creates a service running real beam searches on cold misses.
+    pub fn new(opts: ServeOptions) -> Self {
+        Self::with_search(opts, Box::new(run_search))
+    }
+
+    /// Creates a service with an injected search function (tests use a slow
+    /// counting stub to prove dedup semantics).
+    pub fn with_search(opts: ServeOptions, search: Box<SearchFn>) -> Self {
+        let results = ShardedCache::new(opts.shards);
+        Self {
+            opts,
+            results,
+            inflight: Mutex::new(HashMap::new()),
+            providers: Mutex::new(HashMap::new()),
+            search,
+        }
+    }
+
+    /// The options the service was built with.
+    pub fn options(&self) -> &ServeOptions {
+        &self.opts
+    }
+
+    /// Entries in the warm result cache.
+    pub fn cached_results(&self) -> usize {
+        self.results.len()
+    }
+
+    /// The cost provider for `cluster`, built on first use.
+    fn provider_for(&self, cluster: &ClusterSpec) -> Result<SharedCost, String> {
+        let key = cluster_key(cluster);
+        let mut providers = self.providers.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(cost) = providers.get(&key) {
+            return Ok(cost.clone());
+        }
+        let cost = self.opts.cost.build(cluster).map_err(|e| e.to_string())?;
+        providers.insert(key, cost.clone());
+        Ok(cost)
+    }
+
+    /// The full cache-key prefix of a request: workload (routing included),
+    /// cluster, cost revision and objective — the same quintuple scope the
+    /// persistent cache files entries under, so warm-cache identity and
+    /// disk identity can never drift apart.
+    fn request_key(&self, req: &TuneRequest, cost: &SharedCost) -> String {
+        let (workload_key, cluster_key, revision, objective) = match &req.workload {
+            WorkloadSpec::Mlp(shape) => {
+                let oracle =
+                    MlpOracle::new(shape.clone(), req.cluster.clone()).with_cost(cost.clone());
+                (
+                    oracle.workload_key(),
+                    cluster_key(oracle.cluster()),
+                    oracle.cost_revision(),
+                    oracle.objective().key(),
+                )
+            }
+            WorkloadSpec::Moe { shape, routing } => {
+                let mut oracle = MoeOracle::new(shape.clone(), req.cluster.clone())
+                    .with_cost(cost.clone())
+                    .with_objective(req.objective);
+                if let Some(spec) = routing {
+                    oracle = oracle.with_routing(*spec);
+                }
+                (
+                    oracle.workload_key(),
+                    cluster_key(oracle.cluster()),
+                    oracle.cost_revision(),
+                    oracle.objective().key(),
+                )
+            }
+        };
+        TuneCache::key_prefix(&workload_key, &cluster_key, &revision, &objective)
+    }
+
+    /// Answers one tuning request: warm hit, in-flight piggyback, or leader
+    /// search (see the module docs for the three paths).
+    ///
+    /// # Errors
+    ///
+    /// Returns the (stringified) search or cost-model error; parse errors
+    /// never reach this layer.
+    pub fn tune(&self, req: &TuneRequest) -> Result<(TuneOutcome, Source), String> {
+        SERVE_INFLIGHT.add(1);
+        let result = self.tune_inner(req);
+        SERVE_INFLIGHT.add(-1);
+        result
+    }
+
+    fn tune_inner(&self, req: &TuneRequest) -> Result<(TuneOutcome, Source), String> {
+        let cost = self.provider_for(&req.cluster)?;
+        let key = self.request_key(req, &cost);
+
+        if let Some(outcome) = self.results.get(&key) {
+            SERVE_REQUESTS_WARM.inc();
+            return Ok((outcome, Source::Warm));
+        }
+
+        // Join an in-flight search for this key, or become its leader. The
+        // map is the only cross-key shared state on the cold path and is
+        // held just long enough to decide.
+        enum Role {
+            Leader(Arc<Flight>),
+            Follower(Arc<Flight>),
+        }
+        let role = {
+            let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            match inflight.get(&key) {
+                Some(flight) => Role::Follower(Arc::clone(flight)),
+                None => {
+                    let flight = Arc::new(Flight::default());
+                    inflight.insert(key.clone(), Arc::clone(&flight));
+                    Role::Leader(flight)
+                }
+            }
+        };
+
+        match role {
+            Role::Follower(flight) => {
+                let result = flight.wait();
+                SERVE_REQUESTS_DEDUPED.inc();
+                result.map(|outcome| (outcome, Source::Deduped))
+            }
+            Role::Leader(flight) => {
+                let result = (self.search)(req, &cost, &self.opts);
+                if let Ok(outcome) = &result {
+                    self.results.insert(key.clone(), outcome.clone());
+                }
+                // Deregister *after* publishing to the warm cache: a request
+                // arriving in between sees either the in-flight entry or the
+                // warm result, never a gap that would start a second search.
+                self.inflight
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(&key);
+                flight.publish(result.clone());
+                SERVE_REQUESTS_COLD.inc();
+                result.map(|outcome| (outcome, Source::Cold))
+            }
+        }
+    }
+
+    /// One-line snapshot of the serve counters (the `STATS` response body).
+    pub fn stats_line(&self) -> String {
+        format!(
+            "warm={} cold={} deduped={} inflight={} cached={}",
+            SERVE_REQUESTS_WARM.get(),
+            SERVE_REQUESTS_COLD.get(),
+            SERVE_REQUESTS_DEDUPED.get(),
+            SERVE_INFLIGHT.get(),
+            self.results.len()
+        )
+    }
+}
+
+/// The real cold-search path: the same `tuned_full_*` constructors the
+/// `reproduce` binary uses, persistent cache and multi-threaded evaluator
+/// included.
+fn run_search(req: &TuneRequest, cost: &SharedCost, opts: &ServeOptions) -> SearchResult {
+    let mut topts = TuneOptions {
+        strategy: opts.strategy,
+        space: opts.space.clone(),
+        cache_path: opts.cache_path.clone(),
+        threads: opts.threads,
+        objective: req.objective,
+        ..TuneOptions::default()
+    }
+    .with_cost(cost.clone());
+    let tuned = match &req.workload {
+        WorkloadSpec::Mlp(shape) => autotune::tuned_full_mlp(shape, cost.cluster(), &topts),
+        WorkloadSpec::Moe { shape, routing } => {
+            if let Some(spec) = routing {
+                topts = topts.with_routing(*spec);
+            }
+            autotune::tuned_full_moe(shape, cost.cluster(), &topts)
+        }
+    }
+    .map_err(|e| e.to_string())?;
+    Ok(TuneOutcome {
+        config_key: tuned.config.cache_key(),
+        total_s: tuned.layer.total_s,
+        comm_s: tuned.layer.comm_only_s,
+        comp_s: tuned.layer.comp_only_s,
+        evaluations: tuned.search.evaluations,
+        cache_hits: tuned.search.cache_hits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{parse_command, Command};
+
+    fn request(line: &str) -> TuneRequest {
+        match parse_command(line).unwrap() {
+            Command::Tune(req) => *req,
+            other => panic!("expected TUNE, got {other:?}"),
+        }
+    }
+
+    fn stub_service(counter: Arc<std::sync::atomic::AtomicUsize>) -> TuneService {
+        let opts = ServeOptions {
+            cache_path: None,
+            ..ServeOptions::quick()
+        };
+        TuneService::with_search(
+            opts,
+            Box::new(move |req, _cost, _opts| {
+                counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                Ok(TuneOutcome {
+                    config_key: format!("stub-{}", req.workload.name()),
+                    total_s: 1e-3,
+                    comm_s: 4e-4,
+                    comp_s: 8e-4,
+                    evaluations: 1,
+                    cache_hits: 0,
+                })
+            }),
+        )
+    }
+
+    #[test]
+    fn warm_hits_after_one_cold_search() {
+        let calls = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let service = stub_service(Arc::clone(&calls));
+        let req = request("TUNE workload=MLP-1");
+
+        let (first, source) = service.tune(&req).unwrap();
+        assert_eq!(source, Source::Cold);
+        let (second, source) = service.tune(&req).unwrap();
+        assert_eq!(source, Source::Warm);
+        assert_eq!(first, second);
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn distinct_quintuple_axes_get_distinct_searches() {
+        let calls = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let service = stub_service(Arc::clone(&calls));
+        for line in [
+            "TUNE workload=MLP-1",
+            "TUNE workload=MLP-2",
+            "TUNE workload=MLP-1 cluster=h800x4",
+            "TUNE workload=MoE-1",
+            "TUNE workload=MoE-1 routing=zipf:1.2",
+            "TUNE workload=MoE-1 routing=zipf:1.2 objective=p95",
+            "TUNE workload=MoE-1 routing=zipf:1.2 seed=7",
+        ] {
+            let (_, source) = service.tune(&request(line)).unwrap();
+            assert_eq!(source, Source::Cold, "{line} should be a fresh key");
+        }
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 7);
+        assert_eq!(service.cached_results(), 7);
+    }
+
+    #[test]
+    fn search_errors_are_not_cached() {
+        let attempts = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let attempts_in_stub = Arc::clone(&attempts);
+        let service = TuneService::with_search(
+            ServeOptions {
+                cache_path: None,
+                ..ServeOptions::quick()
+            },
+            Box::new(move |_req, _cost, _opts| {
+                let n = attempts_in_stub.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if n == 0 {
+                    Err("transient failure".to_string())
+                } else {
+                    Ok(TuneOutcome {
+                        config_key: "recovered".into(),
+                        total_s: 1e-3,
+                        comm_s: 4e-4,
+                        comp_s: 8e-4,
+                        evaluations: 1,
+                        cache_hits: 0,
+                    })
+                }
+            }),
+        );
+        let req = request("TUNE workload=MLP-1");
+        assert!(service.tune(&req).is_err());
+        assert_eq!(service.cached_results(), 0, "failures must not be cached");
+        let (outcome, source) = service.tune(&req).unwrap();
+        assert_eq!(
+            source,
+            Source::Cold,
+            "a retry after a failure searches again"
+        );
+        assert_eq!(outcome.config_key, "recovered");
+    }
+
+    #[test]
+    fn warm_and_disk_identity_share_the_quintuple_prefix() {
+        let service = TuneService::new(ServeOptions {
+            cache_path: None,
+            ..ServeOptions::quick()
+        });
+        let req = request("TUNE workload=MoE-2 routing=hot:2 objective=p95");
+        let cost = service.provider_for(&req.cluster).unwrap();
+        let key = service.request_key(&req, &cost);
+        assert!(key.contains("moe/"), "workload part missing: {key}");
+        assert!(key.contains("rt="), "routing part missing: {key}");
+        assert!(key.contains("H800"), "cluster part missing: {key}");
+        assert!(
+            key.ends_with("|p95"),
+            "objective must close the prefix: {key}"
+        );
+    }
+}

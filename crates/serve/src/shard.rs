@@ -1,0 +1,147 @@
+//! A sharded concurrent map: the warm path of the serve daemon.
+//!
+//! Lock granularity is the point. A single `RwLock<HashMap>` would serialise
+//! every warm hit behind one lock word; splitting the key space over N
+//! independently locked shards lets N readers (and up to N writers) proceed
+//! in parallel with nothing shared but the immutable shard vector. Keys are
+//! assigned to shards by FNV-1a hash, which is cheap, has no per-process
+//! randomisation (so shard occupancy is reproducible in tests) and mixes the
+//! long, structured tuning keys well.
+
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+/// Number of shards [`ShardedCache::default`] uses — comfortably more than
+/// the worker threads a load generator throws at the daemon, so two
+/// concurrent warm hits rarely contend on the same lock.
+pub const DEFAULT_SHARDS: usize = 64;
+
+/// A concurrent string-keyed map split over independently locked shards.
+#[derive(Debug)]
+pub struct ShardedCache<V> {
+    shards: Vec<RwLock<HashMap<String, V>>>,
+}
+
+impl<V: Clone> Default for ShardedCache<V> {
+    fn default() -> Self {
+        Self::new(DEFAULT_SHARDS)
+    }
+}
+
+impl<V: Clone> ShardedCache<V> {
+    /// Creates a cache with `shards` independently locked shards (at least 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Number of shards (fixed at construction).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// FNV-1a over the key bytes, reduced to a shard index.
+    fn shard_of(&self, key: &str) -> usize {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in key.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (hash % self.shards.len() as u64) as usize
+    }
+
+    /// Clones the value under `key`, if present, holding only that shard's
+    /// read lock.
+    pub fn get(&self, key: &str) -> Option<V> {
+        let shard = self.shards[self.shard_of(key)]
+            .read()
+            .unwrap_or_else(|e| e.into_inner());
+        shard.get(key).cloned()
+    }
+
+    /// Inserts (or replaces) the value under `key`, holding only that shard's
+    /// write lock.
+    pub fn insert(&self, key: String, value: V) {
+        let mut shard = self.shards[self.shard_of(&key)]
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
+        shard.insert(key, value);
+    }
+
+    /// Total entries across all shards (takes each read lock in turn, so the
+    /// count is only a snapshot under concurrent writers).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// Returns `true` when no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn roundtrip_and_replace() {
+        let cache: ShardedCache<u32> = ShardedCache::new(8);
+        assert!(cache.is_empty());
+        cache.insert("a".into(), 1);
+        cache.insert("b".into(), 2);
+        cache.insert("a".into(), 3);
+        assert_eq!(cache.get("a"), Some(3));
+        assert_eq!(cache.get("b"), Some(2));
+        assert_eq!(cache.get("c"), None);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_shards_is_clamped() {
+        let cache: ShardedCache<u32> = ShardedCache::new(0);
+        assert_eq!(cache.shards(), 1);
+        cache.insert("k".into(), 7);
+        assert_eq!(cache.get("k"), Some(7));
+    }
+
+    #[test]
+    fn keys_spread_over_multiple_shards() {
+        let cache: ShardedCache<usize> = ShardedCache::new(16);
+        for i in 0..256 {
+            cache.insert(format!("mlp/S8192-H4096|key-{i}"), i);
+        }
+        assert_eq!(cache.len(), 256);
+        let occupied = (0..256)
+            .map(|i| cache.shard_of(&format!("mlp/S8192-H4096|key-{i}")))
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        assert!(
+            occupied > 8,
+            "256 keys should land on most of 16 shards, got {occupied}"
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_agree() {
+        let cache: Arc<ShardedCache<usize>> = Arc::new(ShardedCache::new(8));
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        cache.insert(format!("t{t}-k{i}"), i);
+                        assert_eq!(cache.get(&format!("t{t}-k{i}")), Some(i));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 800);
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end protocol tests over a real TCP socket, with real quick-space
+//! beam searches behind the daemon.
+
+use std::sync::{Arc, Barrier};
+
+use tilelink_serve::protocol::{parse_reply, Reply};
+use tilelink_serve::server::{serve_ephemeral, Client};
+use tilelink_serve::service::{ServeOptions, TuneService};
+
+fn quick_server() -> tilelink_serve::server::ServerHandle {
+    serve_ephemeral(TuneService::new(ServeOptions {
+        cache_path: None, // keep tests hermetic: no shared TSV
+        threads: Some(2),
+        ..ServeOptions::quick()
+    }))
+    .expect("bind ephemeral port")
+}
+
+#[test]
+fn ping_stats_and_errors_over_the_wire() {
+    let server = quick_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    assert_eq!(client.request("PING").unwrap(), "PONG");
+
+    let reply = parse_reply(&client.request("STATS").unwrap()).unwrap();
+    let Reply::Stats(stats) = reply else {
+        panic!("expected STATS, got {reply:?}");
+    };
+    assert!(stats.contains("cached="), "stats line: {stats}");
+
+    for bad in [
+        "TUNE workload=MLP-9",
+        "TUNE workload=MLP-1 cluster=h800x1",
+        "HELLO",
+        "",
+    ] {
+        let reply = parse_reply(&client.request(bad).unwrap()).unwrap();
+        assert!(
+            matches!(reply, Reply::Err(_)),
+            "{bad:?} should answer ERR, got {reply:?}"
+        );
+    }
+
+    // The connection survives every error above.
+    assert_eq!(client.request("PING").unwrap(), "PONG");
+    server.shutdown();
+}
+
+#[test]
+fn cold_then_warm_tune_over_the_wire() {
+    let server = quick_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let line = "TUNE workload=MLP-1 cluster=h800x8";
+    let Reply::Ok(cold) = parse_reply(&client.request(line).unwrap()).unwrap() else {
+        panic!("cold request failed");
+    };
+    assert_eq!(cold.workload, "MLP-1");
+    assert_eq!(cold.source, "cold");
+    assert!(cold.evals > 0, "a cold search evaluates candidates");
+    assert!(cold.total_ms > 0.0 && cold.total_ms.is_finite());
+    assert!(!cold.config.is_empty());
+
+    // Same request again — warm, identical winner, and from a *different*
+    // connection to prove the cache is connection-independent.
+    let mut second = Client::connect(server.addr()).unwrap();
+    let Reply::Ok(warm) = parse_reply(&second.request(line).unwrap()).unwrap() else {
+        panic!("warm request failed");
+    };
+    assert_eq!(warm.source, "warm");
+    assert_eq!(warm.config, cold.config);
+    assert_eq!(warm.total_ms, cold.total_ms);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_identical_requests_over_sockets_share_one_search() {
+    const N: usize = 8;
+    let server = quick_server();
+    let addr = server.addr();
+    let barrier = Arc::new(Barrier::new(N));
+
+    let mut handles = Vec::new();
+    for _ in 0..N {
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            barrier.wait();
+            client
+                .request("TUNE workload=MoE-1 routing=zipf:1.1 objective=p95")
+                .unwrap()
+        }));
+    }
+    let replies: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let mut cold = 0;
+    let mut deduped = 0;
+    let mut configs = std::collections::HashSet::new();
+    for reply in &replies {
+        let Reply::Ok(fields) = parse_reply(reply).unwrap() else {
+            panic!("request failed: {reply}");
+        };
+        match fields.source.as_str() {
+            "cold" => cold += 1,
+            "deduped" => deduped += 1,
+            other => panic!("unexpected source {other} (a racer went warm too early?)"),
+        }
+        configs.insert(fields.config);
+    }
+    assert_eq!(cold, 1, "exactly one socket request runs the search");
+    assert_eq!(deduped, N - 1);
+    assert_eq!(configs.len(), 1, "every client gets the same winner");
+    server.shutdown();
+}

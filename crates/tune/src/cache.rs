@@ -3,13 +3,42 @@
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 use tilelink::{OverlapConfig, OverlapReport};
+use tilelink_probe::metrics::TUNE_CACHE_OPEN_ERRORS;
 
 use crate::{Result, TuneError};
 
 /// Environment variable overriding the default cache location.
 pub const CACHE_PATH_ENV: &str = "TILELINK_TUNE_CACHE";
+
+/// Test-only crash injection for [`TuneCache::flush`]. When this variable is
+/// set to one of the recognised points, `flush` calls
+/// [`std::process::abort`] there, simulating a crash:
+///
+/// - `mid-write` — after roughly half the bytes of the new file have been
+///   written to the temp sibling,
+/// - `pre-rename` — after the temp sibling is complete but before it is
+///   renamed over the real file.
+///
+/// The torn-write regression tests spawn a child process with this set and
+/// then assert the real cache file is untouched. Never set it outside tests.
+pub const FLUSH_ABORT_ENV: &str = "TILELINK_TUNE_CACHE_FLUSH_ABORT";
+
+fn flush_abort_point(point: &str) {
+    if std::env::var(FLUSH_ABORT_ENV).as_deref() == Ok(point) {
+        std::process::abort();
+    }
+}
+
+/// Serialises the read-merge-rename sequence in [`TuneCache::flush`] within
+/// one process so two in-process flushes cannot interleave their
+/// read-then-rewrite windows and drop each other's entries. Cross-process
+/// writers are protected by the merge itself (best effort: the window between
+/// a flush's re-read and its rename is not locked across processes, but it is
+/// microseconds instead of the whole tuning run).
+static FLUSH_LOCK: Mutex<()> = Mutex::new(());
 
 /// A persistent map from tuning keys to simulated timing reports.
 ///
@@ -24,8 +53,19 @@ pub const CACHE_PATH_ENV: &str = "TILELINK_TUNE_CACHE";
 /// cache self-invalidates instead of serving timings the current model would
 /// not produce, and mean-tuned entries never alias with p99-tuned ones.
 ///
-/// Unparseable lines are skipped on load (a truncated line from an interrupted
-/// run only loses that entry, never the whole cache).
+/// # Persistence semantics
+///
+/// [`TuneCache::flush`] rewrites the file atomically: the new contents are
+/// written to a sibling temp file which is then `rename`d over the real path,
+/// so readers always see either the old complete file or the new complete
+/// file — an interrupted flush can never truncate the cache. Before
+/// rewriting, `flush` re-reads the on-disk file and merges it with the
+/// in-memory entries (union; the in-memory value wins when both sides hold
+/// the same key), so concurrent tuners sharing one cache file — as CI's
+/// shared `TILELINK_TUNE_CACHE` does across smoke steps — accumulate entries
+/// instead of clobbering each other. Unparseable lines are still skipped on
+/// load, so a cache file damaged by external means only loses the damaged
+/// entries, never the whole cache.
 #[derive(Debug)]
 pub struct TuneCache {
     path: Option<PathBuf>,
@@ -51,8 +91,19 @@ impl TuneCache {
     /// Returns [`TuneError::CacheIo`] if the file exists but cannot be read.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
+        let entries = Self::read_entries(&path)?;
+        Ok(Self {
+            path: Some(path),
+            entries,
+        })
+    }
+
+    /// Parses the TSV at `path` into a map, treating a missing file as empty
+    /// and skipping unparseable lines. Shared by [`TuneCache::open`] and the
+    /// merge pass of [`TuneCache::flush`].
+    fn read_entries(path: &Path) -> Result<HashMap<String, OverlapReport>> {
         let mut entries = HashMap::new();
-        match std::fs::read_to_string(&path) {
+        match std::fs::read_to_string(path) {
             Ok(text) => {
                 for line in text.lines() {
                     let mut parts = line.split('\t');
@@ -79,10 +130,7 @@ impl TuneCache {
                 })
             }
         }
-        Ok(Self {
-            path: Some(path),
-            entries,
-        })
+        Ok(entries)
     }
 
     /// The default cache location: `$TILELINK_TUNE_CACHE` if set, otherwise
@@ -94,9 +142,34 @@ impl TuneCache {
     }
 
     /// Opens the default cache (see [`TuneCache::default_path`]). Falls back
-    /// to an in-memory cache if the file exists but is unreadable.
+    /// to an in-memory cache if the file exists but is unreadable — loudly:
+    /// see [`TuneCache::open_or_warn`].
     pub fn open_default() -> Self {
-        Self::open(Self::default_path()).unwrap_or_else(|_| Self::in_memory())
+        Self::open_or_warn(Self::default_path())
+    }
+
+    /// Opens the cache at `path`, falling back to an *empty in-memory* cache
+    /// if the file exists but cannot be read.
+    ///
+    /// Unlike a silent fallback, the error is reported on stderr and counted
+    /// in the `tune.cache.open_errors` probe counter, so a permissions typo
+    /// on `$TILELINK_TUNE_CACHE` shows up as a warning instead of
+    /// masquerading as a cold cache that re-runs every search.
+    pub fn open_or_warn(path: impl AsRef<Path>) -> Self {
+        let path = path.as_ref();
+        match Self::open(path) {
+            Ok(cache) => cache,
+            Err(e) => {
+                TUNE_CACHE_OPEN_ERRORS.inc();
+                eprintln!(
+                    "warning: tuning cache {} is unreadable ({e}); continuing with an \
+                     empty in-memory cache, so every search will re-simulate and \
+                     nothing will be persisted",
+                    path.display()
+                );
+                Self::in_memory()
+            }
+        }
     }
 
     /// The backing file, if any.
@@ -179,7 +252,12 @@ impl TuneCache {
 
     /// Writes the cache to its backing file (no-op for in-memory caches).
     ///
-    /// Entries are written sorted by key so the file is deterministic.
+    /// The rewrite is atomic (temp sibling + `rename`) and merges with the
+    /// current on-disk contents first — union of both sides, the in-memory
+    /// value winning on key conflict — so an interrupted flush never
+    /// truncates the file and concurrent writers never clobber each other's
+    /// entries. Entries are written sorted by key so the file is
+    /// deterministic.
     ///
     /// # Errors
     ///
@@ -197,11 +275,21 @@ impl TuneCache {
                 std::fs::create_dir_all(parent).map_err(io_err)?;
             }
         }
-        let mut keys: Vec<&String> = self.entries.keys().collect();
+        let _serialize = FLUSH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+        // Merge with whatever is on disk right now: another tuner may have
+        // flushed since this cache was opened. In-memory entries win on
+        // conflict (they are this run's freshest measurements).
+        let mut merged = Self::read_entries(path)?;
+        for (key, report) in &self.entries {
+            merged.insert(key.clone(), *report);
+        }
+
+        let mut keys: Vec<&String> = merged.keys().collect();
         keys.sort();
-        let mut out = Vec::with_capacity(self.entries.len() * 64);
+        let mut out = Vec::with_capacity(merged.len() * 64);
         for key in keys {
-            let r = &self.entries[key];
+            let r = &merged[key];
             writeln!(
                 out,
                 "{key}\t{:.17e}\t{:.17e}\t{:.17e}",
@@ -209,7 +297,32 @@ impl TuneCache {
             )
             .map_err(io_err)?;
         }
-        std::fs::write(path, out).map_err(io_err)
+
+        // Write the new contents to a temp sibling, then rename it over the
+        // real file: readers only ever observe a complete file. The temp name
+        // embeds the pid so two processes flushing at once stage separately.
+        let mut tmp_name = path.file_name().map(|n| n.to_os_string()).ok_or_else(|| {
+            io_err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "cache path has no file name",
+            ))
+        })?;
+        tmp_name.push(format!(".{}.tmp", std::process::id()));
+        let tmp_path = path.with_file_name(tmp_name);
+        let write_result = (|| {
+            let mut file = std::fs::File::create(&tmp_path)?;
+            let half = out.len() / 2;
+            file.write_all(&out[..half])?;
+            flush_abort_point("mid-write");
+            file.write_all(&out[half..])?;
+            file.sync_all()?;
+            flush_abort_point("pre-rename");
+            std::fs::rename(&tmp_path, path)
+        })();
+        if write_result.is_err() {
+            let _ = std::fs::remove_file(&tmp_path);
+        }
+        write_result.map_err(io_err)
     }
 }
 
@@ -250,6 +363,88 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert!(cache.get("good").is_some());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_writers_merge_instead_of_clobbering() {
+        // Mirrors CI's shared TILELINK_TUNE_CACHE: two tuners open the same
+        // file, each learns a different entry, and both flush. Before the
+        // merge-on-flush fix the second flush rewrote the file from its own
+        // (disjoint) view and the first tuner's entry was lost.
+        let path = tmp("two-writer.tsv");
+        let _ = std::fs::remove_file(&path);
+        let mut a = TuneCache::open(&path).unwrap();
+        let mut b = TuneCache::open(&path).unwrap();
+        a.insert("ka".into(), OverlapReport::new(1.0, 0.4, 0.8));
+        a.flush().unwrap();
+        b.insert("kb".into(), OverlapReport::new(2.0, 0.9, 1.5));
+        b.flush().unwrap();
+
+        let merged = TuneCache::open(&path).unwrap();
+        assert!(
+            merged.get("ka").is_some(),
+            "entry flushed by writer A must survive writer B's flush"
+        );
+        assert!(merged.get("kb").is_some());
+        assert_eq!(merged.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flush_conflict_resolution_prefers_in_memory() {
+        let path = tmp("conflict.tsv");
+        let _ = std::fs::remove_file(&path);
+        let mut a = TuneCache::open(&path).unwrap();
+        let mut b = TuneCache::open(&path).unwrap();
+        a.insert("k".into(), OverlapReport::new(1.0, 0.4, 0.8));
+        a.flush().unwrap();
+        b.insert("k".into(), OverlapReport::new(3.0, 1.0, 2.5));
+        b.flush().unwrap();
+
+        let merged = TuneCache::open(&path).unwrap();
+        assert_eq!(
+            merged.get("k").unwrap().total_s,
+            3.0,
+            "on key conflict the flushing cache's own value wins"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flush_leaves_no_temp_files_behind() {
+        let dir = std::env::temp_dir().join(format!("tilelink-tmpscan-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clean.tsv");
+        let mut cache = TuneCache::open(&path).unwrap();
+        cache.insert("k".into(), OverlapReport::new(1.0, 0.5, 0.5));
+        cache.flush().unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "flush must clean up its temp sibling");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreadable_cache_surfaces_open_error() {
+        // A directory is unreadable as a file on every platform; before the
+        // fix open_or_warn/open_default swallowed this and the counter did
+        // not exist.
+        let dir = std::env::temp_dir().join(format!("tilelink-unreadable-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let before = TUNE_CACHE_OPEN_ERRORS.get();
+        let cache = TuneCache::open_or_warn(&dir);
+        assert!(
+            cache.path().is_none(),
+            "fallback cache must be in-memory so a later flush cannot damage the path"
+        );
+        assert!(
+            TUNE_CACHE_OPEN_ERRORS.get() > before,
+            "an unreadable cache file must be counted in tune.cache.open_errors"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -61,7 +61,7 @@
 
 #![deny(missing_docs)]
 
-mod cache;
+pub mod cache;
 mod error;
 mod objective;
 mod oracle;

@@ -11,12 +11,14 @@
 //! * [`tilelink_collectives`] — NCCL-like collectives
 //! * [`tilelink_tune`] — simulator-guided autotuner over the overlap design space
 //! * [`tilelink_workloads`] — MLP / MoE / attention workloads and baselines
+//! * [`tilelink_serve`] — tuning-as-a-service daemon (sharded warm cache, deduped searches)
 //! * [`tilelink_probe`] — span profiler, metrics registry and Chrome-trace export
 
 pub use tilelink;
 pub use tilelink_collectives;
 pub use tilelink_compute;
 pub use tilelink_probe;
+pub use tilelink_serve;
 pub use tilelink_shmem;
 pub use tilelink_sim;
 pub use tilelink_tune;
