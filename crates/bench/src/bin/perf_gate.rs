@@ -22,8 +22,9 @@
 //! `reproduce --bench-sim --quick --json`). With two or four arguments every
 //! file is read from disk, which lets CI reuse files it already generated;
 //! each recorded/fresh *pair* is dispatched on its `schema` field, so a
-//! `tilelink-bench-serve/v1` pair is gated on the serving metrics and
-//! anything else on the simulator ones.
+//! `tilelink-bench-serve/*` pair is gated on the serving metrics (including
+//! the v2 connection-ramp levels and pipeline counters) and anything else on
+//! the simulator ones.
 
 use tilelink_probe::{parse_json, JsonValue};
 
@@ -283,6 +284,75 @@ fn serve_checks(checks: &mut Vec<Check>, recorded: &JsonValue, fresh: &JsonValue
                 format!("{phase}/{pct}"),
                 false,
             );
+        }
+    }
+
+    // Connection-ramp levels (schema v2), matched by connection count: the
+    // latency at each level must not regress as connections multiply.
+    let empty = Vec::new();
+    let recorded_ramp = recorded
+        .get("ramp")
+        .and_then(|r| r.as_array())
+        .unwrap_or(&empty);
+    for level in recorded_ramp {
+        let Some(conns) = level.get("connections").and_then(|c| c.as_f64()) else {
+            continue;
+        };
+        let fresh_level = fresh.get("ramp").and_then(|r| r.as_array()).and_then(|r| {
+            r.iter()
+                .find(|cand| cand.get("connections").and_then(|c| c.as_f64()) == Some(conns))
+        });
+        let Some(fresh_level) = fresh_level else {
+            println!("PERF NOTE ramp/c{conns}: missing from fresh run, skipped");
+            continue;
+        };
+        for (metric, higher_is_better) in [
+            ("requests_per_sec", true),
+            ("p50_us", false),
+            ("p95_us", false),
+            ("p99_us", false),
+        ] {
+            match (
+                number_at(level, &["stats", metric]),
+                number_at(fresh_level, &["stats", metric]),
+            ) {
+                (Some(r), Some(f)) => checks.push(Check {
+                    label: format!("ramp/c{conns}/{metric}"),
+                    recorded: r,
+                    fresh: f,
+                    higher_is_better,
+                }),
+                _ => println!("PERF NOTE ramp/c{conns}/{metric}: missing, skipped"),
+            }
+        }
+    }
+
+    // Pipeline counters (schema v2): not latency dimensions, so they inform
+    // rather than threshold-gate — but a fresh run that starts rejecting
+    // requests or stops reusing the shared executor should say so in the log.
+    for key in [
+        "pool_rejected",
+        "cache_evictions",
+        "cache_expired",
+        "executor_reuses",
+    ] {
+        match (
+            number_at(recorded, &["metrics", key]),
+            number_at(fresh, &["metrics", key]),
+        ) {
+            (Some(r), Some(f)) => {
+                if key == "pool_rejected" && f > r {
+                    println!(
+                        "PERF NOTE metrics/pool_rejected: fresh run rejected {f} requests at the queue (recorded {r})"
+                    );
+                }
+                if key == "executor_reuses" && r > 0.0 && f == 0.0 {
+                    println!(
+                        "PERF NOTE metrics/executor_reuses: fresh run never reused the shared executor (recorded {r})"
+                    );
+                }
+            }
+            _ => println!("PERF NOTE metrics/{key}: missing on one side, skipped"),
         }
     }
 }

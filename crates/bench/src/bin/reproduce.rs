@@ -72,7 +72,7 @@ use tilelink_bench::{
     table2, MlpPanel, MoePanel,
 };
 use tilelink_sim::CostModelSpec;
-use tilelink_tune::{Objective, TuneCache};
+use tilelink_tune::{Objective, SearchExecutor, TuneCache};
 use tilelink_workloads::moe::RoutingProfile;
 use tilelink_workloads::{shapes, RoutingSpec, TuneOptions};
 
@@ -389,6 +389,7 @@ fn run(
         let tune_opts = tune_requested.then(|| {
             let opts = TuneOptions::default()
                 .with_default_cache()
+                .with_executor(SearchExecutor::global())
                 .with_verbose(verbose);
             let opts = match routing {
                 Some(spec) => opts.with_routing(spec).with_objective(objective),
@@ -539,6 +540,7 @@ fn tune(
     let opts = TuneOptions::default()
         .with_default_cache()
         .with_cost(cost.clone())
+        .with_executor(tilelink_tune::SearchExecutor::global())
         .with_verbose(verbose);
     if let Some(path) = &opts.cache_path {
         println!(
@@ -663,6 +665,7 @@ fn quick_tune_smoke(
         ..TuneOptions::default()
     }
     .with_cost(cost.clone())
+    .with_executor(tilelink_tune::SearchExecutor::global())
     .with_verbose(verbose);
 
     println!("\n== Autotune smoke: {} (compact space) ==", shape.name);
@@ -709,6 +712,7 @@ fn quick_e2e_tune_smoke(
     let mut opts = TuneOptions::default()
         .with_default_cache()
         .with_objective(objective)
+        .with_executor(SearchExecutor::global())
         .with_verbose(verbose);
     if let Some(mut spec) = routing {
         spec.samples = 4; // smoke: fewer sampled routings per candidate
@@ -865,6 +869,26 @@ fn bench_serve(quick: bool, json: bool, spec: &CostModelSpec) {
         m.warm,
         m.cold,
         m.deduped
+    );
+    for level in &report.ramp {
+        let s = &level.stats;
+        println!(
+            "ramp   {:>4} conns {:>6} requests   {:>9.0} req/s   mean {:>7.1} us   \
+             p50 {:>5} us   p95 {:>5} us   p99 {:>5} us   [p99 < 1 ms: {}]",
+            level.connections,
+            s.count,
+            s.requests_per_sec,
+            s.mean_us,
+            s.p50_us,
+            s.p95_us,
+            s.p99_us,
+            if s.p99_us < 1000 { "OK" } else { "MISS" }
+        );
+    }
+    let pm = &report.metrics;
+    println!(
+        "pipeline counters: pool_rejected={} cache_evictions={} cache_expired={} executor_reuses={}",
+        pm.pool_rejected, pm.cache_evictions, pm.cache_expired, pm.executor_reuses
     );
     if json {
         let path = "BENCH_serve.json";

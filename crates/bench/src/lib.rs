@@ -822,9 +822,10 @@ pub fn bench_sim_json(
 
 /// Serialises a serve load-generator run as JSON (`BENCH_serve.json`):
 /// dedup-phase batching counts, warm-path latency percentiles and
-/// throughput, and the mixed-phase source breakdown, next to
-/// `BENCH_sim.json` so `perf_gate` can soft-gate serving performance the
-/// same way it gates simulator throughput.
+/// throughput, the mixed-phase source breakdown, the connection-ramp levels
+/// and the pipeline-counter deltas, next to `BENCH_sim.json` so `perf_gate`
+/// can soft-gate serving performance the same way it gates simulator
+/// throughput.
 pub fn bench_serve_json(report: &tilelink_serve::ServeBenchReport) -> String {
     let latency_entry = |stats: &tilelink_serve::loadgen::LatencyStats| {
         format!(
@@ -844,7 +845,7 @@ pub fn bench_serve_json(report: &tilelink_serve::ServeBenchReport) -> String {
         )
     };
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"tilelink-bench-serve/v1\",\n");
+    out.push_str("  \"schema\": \"tilelink-bench-serve/v2\",\n");
     out.push_str(&format!("  \"quick\": {},\n", report.config.quick));
     out.push_str(&format!(
         "  \"cost_revision\": \"{}\",\n",
@@ -863,11 +864,31 @@ pub fn bench_serve_json(report: &tilelink_serve::ServeBenchReport) -> String {
     ));
     out.push_str(&format!("  \"warm\": {},\n", latency_entry(&report.warm)));
     out.push_str(&format!(
-        "  \"mixed\": {{\"stats\": {}, \"warm\": {}, \"cold\": {}, \"deduped\": {}}}\n",
+        "  \"mixed\": {{\"stats\": {}, \"warm\": {}, \"cold\": {}, \"deduped\": {}}},\n",
         latency_entry(&report.mixed.stats),
         report.mixed.warm,
         report.mixed.cold,
         report.mixed.deduped
+    ));
+    out.push_str("  \"ramp\": [\n");
+    for (i, level) in report.ramp.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"connections\": {}, \"stats\": {}}}{}\n",
+            level.connections,
+            latency_entry(&level.stats),
+            if i + 1 < report.ramp.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        concat!(
+            "  \"metrics\": {{\"pool_rejected\": {}, \"cache_evictions\": {}, ",
+            "\"cache_expired\": {}, \"executor_reuses\": {}}}\n"
+        ),
+        report.metrics.pool_rejected,
+        report.metrics.cache_evictions,
+        report.metrics.cache_expired,
+        report.metrics.executor_reuses
     ));
     out.push('}');
     out
@@ -963,6 +984,22 @@ mod tests {
                 cold: 30,
                 deduped: 20,
             },
+            ramp: vec![
+                tilelink_serve::RampLevel {
+                    connections: 8,
+                    stats: stats(2000),
+                },
+                tilelink_serve::RampLevel {
+                    connections: 64,
+                    stats: stats(2000),
+                },
+            ],
+            metrics: tilelink_serve::PipelineMetrics {
+                pool_rejected: 0,
+                cache_evictions: 3,
+                cache_expired: 1,
+                executor_reuses: 12,
+            },
         };
         let json = bench_serve_json(&report);
         let v = tilelink_probe::parse_json(&json).expect("valid BENCH_serve JSON");
@@ -974,6 +1011,10 @@ mod tests {
             ("warm", "p99_us"),
             ("dedup", "searches"),
             ("dedup", "deduped"),
+            ("metrics", "pool_rejected"),
+            ("metrics", "cache_evictions"),
+            ("metrics", "cache_expired"),
+            ("metrics", "executor_reuses"),
         ] {
             assert!(
                 v.get(path).and_then(|o| o.get(key)).is_some(),
@@ -985,6 +1026,16 @@ mod tests {
             .and_then(|m| m.get("stats"))
             .and_then(|s| s.get("p99_us"))
             .is_some());
+        // Every ramp level carries connections + p99 for the gate.
+        let ramp = v
+            .get("ramp")
+            .and_then(|r| r.as_array())
+            .expect("ramp array");
+        assert_eq!(ramp.len(), 2);
+        for level in ramp {
+            assert!(level.get("connections").is_some());
+            assert!(level.get("stats").and_then(|s| s.get("p99_us")).is_some());
+        }
     }
 
     #[test]

@@ -242,10 +242,29 @@ pub static SERVE_REQUESTS_COLD: Counter = Counter::new("serve.requests.cold");
 /// Serve requests that piggybacked on another request's in-flight search
 /// instead of starting their own.
 pub static SERVE_REQUESTS_DEDUPED: Counter = Counter::new("serve.requests.deduped");
+/// Requests the serve connection pool rejected because its admission queue
+/// was full (answered `ERR busy` without touching a worker).
+pub static SERVE_POOL_REJECTED: Counter = Counter::new("serve.pool.rejected");
+/// Warm-cache entries evicted to keep a shard under its entry cap (LRU).
+pub static SERVE_CACHE_EVICTIONS: Counter = Counter::new("serve.cache.evictions");
+/// Warm-cache entries dropped because they outlived the configured TTL.
+pub static SERVE_CACHE_EXPIRED: Counter = Counter::new("serve.cache.expired");
+/// Tuning runs admitted to a shared `SearchExecutor` whose worker pool was
+/// already warm (spawned by an earlier run) instead of spawning fresh
+/// threads.
+pub static TUNE_EXECUTOR_REUSES: Counter = Counter::new("tune.executor.reuses");
 /// Size of the most recently enumerated search space (valid candidates).
 pub static TUNE_SPACE_SIZE: Gauge = Gauge::new("tune.space.size");
 /// Tuning requests currently being handled by the serve daemon.
 pub static SERVE_INFLIGHT: Gauge = Gauge::new("serve.inflight");
+/// Parsed requests sitting in the serve connection pool's admission queue,
+/// waiting for a worker.
+pub static SERVE_POOL_QUEUED: Gauge = Gauge::new("serve.pool.queued");
+/// Serve connection-pool workers currently executing a request.
+pub static SERVE_POOL_ACTIVE: Gauge = Gauge::new("serve.pool.active");
+/// Tuning runs waiting for admission to a shared `SearchExecutor` (its
+/// concurrent-session bound is saturated).
+pub static TUNE_EXECUTOR_QUEUE_DEPTH: Gauge = Gauge::new("tune.executor.queue_depth");
 /// Per-candidate oracle evaluation latency in microseconds.
 pub static TUNE_EVAL_US: Histogram = Histogram::new("tune.eval_us");
 
@@ -270,9 +289,19 @@ static COUNTERS: &[&Counter] = &[
     &SERVE_REQUESTS_WARM,
     &SERVE_REQUESTS_COLD,
     &SERVE_REQUESTS_DEDUPED,
+    &SERVE_POOL_REJECTED,
+    &SERVE_CACHE_EVICTIONS,
+    &SERVE_CACHE_EXPIRED,
+    &TUNE_EXECUTOR_REUSES,
 ];
 
-static GAUGES: &[&Gauge] = &[&TUNE_SPACE_SIZE, &SERVE_INFLIGHT];
+static GAUGES: &[&Gauge] = &[
+    &TUNE_SPACE_SIZE,
+    &SERVE_INFLIGHT,
+    &SERVE_POOL_QUEUED,
+    &SERVE_POOL_ACTIVE,
+    &TUNE_EXECUTOR_QUEUE_DEPTH,
+];
 
 static HISTOGRAMS: &[&Histogram] = &[&TUNE_EVAL_US];
 

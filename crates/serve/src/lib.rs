@@ -6,10 +6,25 @@
 //! microseconds and collapsing concurrent identical cold misses into a
 //! single beam search.
 //!
+//! The request path is a staged, bounded pipeline — every stage has a fixed
+//! resource bound, so load shows up as queueing (visible in `STATS` and the
+//! probe gauges), never as unbounded threads or memory:
+//!
+//! ```text
+//! conns (any number)                         ← one nonblocking reactor thread
+//!   └─ bounded dispatch queue (ERR busy when full)
+//!        └─ fixed worker pool               ← serve.pool.{queued,active,rejected}
+//!             └─ TuneService: warm hit │ in-flight piggyback │ leader search
+//!                  └─ shared SearchExecutor ← tune.executor.{reuses,queue_depth}
+//! ```
+//!
 //! The pieces, bottom up:
 //!
 //! * [`shard::ShardedCache`] — the warm path: N independently `RwLock`ed
 //!   shards keyed by FNV hash, so concurrent warm hits touch disjoint locks;
+//!   bounded by a per-shard LRU entry cap and an idle TTL
+//!   ([`shard::CachePolicy`]), with churn counted in
+//!   `serve.cache.{evictions,expired}`;
 //! * [`service::TuneService`] — request → cache-key quintuple → warm hit /
 //!   in-flight piggyback / leader search, with the persistent
 //!   [`tilelink_tune::TuneCache`] as write-behind storage and the probe
@@ -17,16 +32,19 @@
 //!   threaded through;
 //! * [`protocol`] — the wire grammar (`TUNE workload=MoE-1 routing=zipf:1.2
 //!   objective=p95`, `PING`, `STATS`) and its response forms;
-//! * [`server`] — the TCP front end (thread per connection, persistent
-//!   connections) and a minimal blocking [`server::Client`];
+//! * [`server`] — the TCP front end: one reactor thread multiplexing every
+//!   connection over nonblocking sockets, a fixed worker pool behind a
+//!   bounded queue, and a minimal blocking [`server::Client`];
 //! * [`loadgen`] — the load generator behind `reproduce --bench-serve` and
-//!   `BENCH_serve.json`.
+//!   `BENCH_serve.json`, including a connection-ramp phase that holds total
+//!   work constant while multiplying idle connections.
 //!
 //! Cold searches reuse the existing tuning stack unchanged: the same
 //! [`tilelink_workloads::autotune::MlpOracle`]/[`tilelink_workloads::autotune::MoeOracle`],
 //! the same [`tilelink_tune::Objective`] statistics, the same revision-keyed
-//! cache invalidation and the same multi-threaded evaluator. The daemon is
-//! a concurrency shell around machinery that already existed.
+//! cache invalidation — but evaluation now runs on the process-shared
+//! [`tilelink_tune::SearchExecutor`], so concurrent cold searches interleave
+//! on one warm thread pool instead of each spawning their own.
 
 #![deny(missing_docs)]
 
@@ -36,8 +54,10 @@ pub mod server;
 pub mod service;
 pub mod shard;
 
-pub use loadgen::{LoadGenConfig, ServeBenchReport};
-pub use protocol::{parse_command, parse_reply, Command, Reply, TuneRequest, WorkloadSpec};
-pub use server::{serve, serve_ephemeral, Client, ServerHandle};
+pub use loadgen::{LoadGenConfig, PipelineMetrics, RampLevel, ServeBenchReport};
+pub use protocol::{
+    parse_command, parse_reply, parse_stats, Command, Reply, StatsFields, TuneRequest, WorkloadSpec,
+};
+pub use server::{serve, serve_ephemeral, Client, ServerHandle, MAX_LINE_BYTES};
 pub use service::{ServeOptions, Source, TuneOutcome, TuneService};
-pub use shard::ShardedCache;
+pub use shard::{CachePolicy, ShardedCache};

@@ -12,17 +12,28 @@
 //! 3. **mixed** — C connections sweep a catalog of distinct requests with
 //!    staggered offsets, so the run mixes cold searches, warm hits and
 //!    dedup collisions the way a real fleet of tuner clients would.
+//! 4. **ramp** — the connection count multiplies level by level while the
+//!    total warm-request volume stays constant, so the measurement isolates
+//!    what *connections* cost (the reactor's scan, not extra work). Against
+//!    the old thread-per-connection front end this is where the thread
+//!    explosion lived; against the reactor the warm p99 should stay flat.
 //!
 //! Sources are counted from the response lines themselves (every `OK` reply
 //! carries `source=`), so the phase numbers are exact even if other traffic
-//! shares the process's probe counters. Cold searches always use the
-//! compact `--quick` search space — the bench measures *serving*, not
-//! search depth — while request volumes scale with the quick flag.
+//! shares the process's probe counters. The pipeline counters that *are*
+//! process-global (`serve.pool.*`, `serve.cache.*`, `tune.executor.*`) are
+//! snapshotted before and after the run and reported as deltas. Cold
+//! searches always use the compact `--quick` search space — the bench
+//! measures *serving*, not search depth — while request volumes scale with
+//! the quick flag.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 
+use tilelink_probe::metrics::{
+    SERVE_CACHE_EVICTIONS, SERVE_CACHE_EXPIRED, SERVE_POOL_REJECTED, TUNE_EXECUTOR_REUSES,
+};
 use tilelink_sim::CostModelSpec;
 
 use crate::protocol::{parse_reply, Reply};
@@ -45,12 +56,18 @@ pub struct LoadGenConfig {
     /// Evaluation threads per cold search (bounded so concurrent cold
     /// searches do not oversubscribe the box).
     pub search_threads: usize,
+    /// Connection counts the ramp phase steps through.
+    pub ramp_connections: Vec<usize>,
+    /// Total warm requests per ramp level (split over the level's
+    /// connections, so offered work stays constant while connections grow).
+    pub ramp_total_requests: usize,
     /// Whether this is the reduced-volume quick configuration.
     pub quick: bool,
 }
 
 impl LoadGenConfig {
-    /// CI-sized run: ~2k warm requests, hundreds of mixed ones.
+    /// CI-sized run: ~2k warm requests, hundreds of mixed ones, ramp to 64
+    /// connections.
     pub fn quick(cost: CostModelSpec) -> Self {
         Self {
             cost,
@@ -59,11 +76,14 @@ impl LoadGenConfig {
             warm_requests: 250,
             mixed_requests: 25,
             search_threads: 2,
+            ramp_connections: vec![8, 16, 32, 64],
+            ramp_total_requests: 2000,
             quick: true,
         }
     }
 
-    /// Full run: tens of thousands of warm requests, thousands mixed.
+    /// Full run: tens of thousands of warm requests, thousands mixed, ramp
+    /// to 256 connections.
     pub fn full(cost: CostModelSpec) -> Self {
         Self {
             cost,
@@ -72,6 +92,8 @@ impl LoadGenConfig {
             warm_requests: 1000,
             mixed_requests: 100,
             search_threads: 2,
+            ramp_connections: vec![32, 64, 128, 256],
+            ramp_total_requests: 8000,
             quick: false,
         }
     }
@@ -160,6 +182,48 @@ pub struct MixedPhase {
     pub deduped: usize,
 }
 
+/// One connection-count step of the ramp phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RampLevel {
+    /// Concurrent persistent connections at this level.
+    pub connections: usize,
+    /// Warm-request latency/throughput at this level.
+    pub stats: LatencyStats,
+}
+
+/// Deltas of the process-global pipeline counters over one load-gen run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineMetrics {
+    /// Requests answered `ERR busy` by the bounded dispatch queue.
+    pub pool_rejected: u64,
+    /// Warm-cache entries evicted by the LRU cap.
+    pub cache_evictions: u64,
+    /// Warm-cache entries dropped by TTL expiry.
+    pub cache_expired: u64,
+    /// Cold searches that reused the already-warm shared executor pool.
+    pub executor_reuses: u64,
+}
+
+impl PipelineMetrics {
+    fn snapshot() -> Self {
+        Self {
+            pool_rejected: SERVE_POOL_REJECTED.get(),
+            cache_evictions: SERVE_CACHE_EVICTIONS.get(),
+            cache_expired: SERVE_CACHE_EXPIRED.get(),
+            executor_reuses: TUNE_EXECUTOR_REUSES.get(),
+        }
+    }
+
+    fn delta_since(&self, before: &Self) -> Self {
+        Self {
+            pool_rejected: self.pool_rejected - before.pool_rejected,
+            cache_evictions: self.cache_evictions - before.cache_evictions,
+            cache_expired: self.cache_expired - before.cache_expired,
+            executor_reuses: self.executor_reuses - before.executor_reuses,
+        }
+    }
+}
+
 /// Everything one load-generator run measured.
 #[derive(Debug, Clone)]
 pub struct ServeBenchReport {
@@ -173,6 +237,10 @@ pub struct ServeBenchReport {
     pub warm: LatencyStats,
     /// Mixed phase results.
     pub mixed: MixedPhase,
+    /// Connection-ramp levels, in ramp order.
+    pub ramp: Vec<RampLevel>,
+    /// Pipeline-counter deltas over the whole run.
+    pub metrics: PipelineMetrics,
 }
 
 /// The request every dedup waiter fires: routing-sampled and tail-tuned so
@@ -242,11 +310,14 @@ pub fn run_loadgen(cfg: &LoadGenConfig) -> std::io::Result<ServeBenchReport> {
         .map(|cost| cost.revision())
         .map_err(|e| std::io::Error::other(e.to_string()))?;
     let server = serve_ephemeral(TuneService::new(opts))?;
+    let before = PipelineMetrics::snapshot();
 
     let dedup = run_dedup_phase(&server, cfg.dedup_waiters)?;
     let warm = run_warm_phase(&server, cfg.clients, cfg.warm_requests)?;
     let mixed = run_mixed_phase(&server, cfg.clients, cfg.mixed_requests)?;
+    let ramp = run_ramp_phase(&server, &cfg.ramp_connections, cfg.ramp_total_requests)?;
 
+    let metrics = PipelineMetrics::snapshot().delta_since(&before);
     server.shutdown();
     let _ = std::fs::remove_file(&cache_path);
 
@@ -256,7 +327,28 @@ pub fn run_loadgen(cfg: &LoadGenConfig) -> std::io::Result<ServeBenchReport> {
         dedup,
         warm,
         mixed,
+        ramp,
+        metrics,
     })
+}
+
+/// The ramp phase: re-runs the warm measurement at each connection count,
+/// splitting a constant request total over the connections, so each level
+/// answers "what does 4× the connections cost?" rather than "what does 4×
+/// the work cost?".
+fn run_ramp_phase(
+    server: &ServerHandle,
+    levels: &[usize],
+    total_requests: usize,
+) -> std::io::Result<Vec<RampLevel>> {
+    let mut out = Vec::with_capacity(levels.len());
+    for &connections in levels {
+        let connections = connections.max(1);
+        let per_conn = (total_requests / connections).max(1);
+        let stats = run_warm_phase(server, connections, per_conn)?;
+        out.push(RampLevel { connections, stats });
+    }
+    Ok(out)
 }
 
 fn run_dedup_phase(server: &ServerHandle, waiters: usize) -> std::io::Result<DedupPhase> {

@@ -277,6 +277,66 @@ impl OkFields {
     }
 }
 
+/// The parsed payload of a `STATS` response: request sources, warm-cache
+/// occupancy and churn, and request-pool pressure. Gauges are signed so a
+/// transiently skewed snapshot still parses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsFields {
+    /// Requests answered from the warm cache.
+    pub warm: u64,
+    /// Requests that ran a search.
+    pub cold: u64,
+    /// Requests that piggybacked on an in-flight search.
+    pub deduped: u64,
+    /// Requests currently being answered.
+    pub inflight: i64,
+    /// Entries in the warm result cache (legacy alias of `cache_entries`).
+    pub cached: u64,
+    /// Entries in the warm result cache.
+    pub cache_entries: u64,
+    /// Warm entries evicted by the LRU cap so far.
+    pub evictions: u64,
+    /// Warm entries dropped by TTL expiry so far.
+    pub expired: u64,
+    /// Requests sitting in the worker-pool queue.
+    pub pool_queued: i64,
+    /// Requests executing on pool workers.
+    pub pool_active: i64,
+    /// Requests answered `ERR busy` because the queue was full.
+    pub pool_rejected: u64,
+}
+
+/// Parses the pair list of a `STATS` response into [`StatsFields`]
+/// (unlisted keys stay 0, so older daemons' shorter lines still parse).
+///
+/// # Errors
+///
+/// Returns a message on a malformed pair, an unknown key, or a bad number.
+pub fn parse_stats(pairs: &str) -> Result<StatsFields, String> {
+    let mut fields = StatsFields::default();
+    for pair in pairs.split_whitespace() {
+        let Some((key, value)) = pair.split_once('=') else {
+            return Err(format!("malformed stats pair {pair:?}"));
+        };
+        let bad_num = || format!("bad number in stats pair {pair:?}");
+        match key {
+            "warm" => fields.warm = value.parse().map_err(|_| bad_num())?,
+            "cold" => fields.cold = value.parse().map_err(|_| bad_num())?,
+            "deduped" => fields.deduped = value.parse().map_err(|_| bad_num())?,
+            "inflight" => fields.inflight = value.parse().map_err(|_| bad_num())?,
+            "cached" => fields.cached = value.parse().map_err(|_| bad_num())?,
+            "cache_entries" => fields.cache_entries = value.parse().map_err(|_| bad_num())?,
+            "evictions" => fields.evictions = value.parse().map_err(|_| bad_num())?,
+            "expired" => fields.expired = value.parse().map_err(|_| bad_num())?,
+            "pool_queued" => fields.pool_queued = value.parse().map_err(|_| bad_num())?,
+            "pool_active" => fields.pool_active = value.parse().map_err(|_| bad_num())?,
+            "pool_rejected" => fields.pool_rejected = value.parse().map_err(|_| bad_num())?,
+            _ => return Err(format!("unknown stats key {key:?}")),
+        }
+    }
+    Ok(fields)
+}
+
 /// One parsed response line, as seen by a client.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Reply {
@@ -286,8 +346,23 @@ pub enum Reply {
     Err(String),
     /// Answer to `PING`.
     Pong,
-    /// Answer to `STATS` (the raw pair list).
+    /// Answer to `STATS` (the raw pair list; see [`parse_stats`]).
     Stats(String),
+}
+
+impl Reply {
+    /// Parses this reply's `STATS` payload, if it is one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`parse_stats`] error, or a message when the reply is not
+    /// a `STATS` response at all.
+    pub fn stats(&self) -> Result<StatsFields, String> {
+        match self {
+            Reply::Stats(pairs) => parse_stats(pairs),
+            other => Err(format!("not a STATS reply: {other:?}")),
+        }
+    }
 }
 
 /// Parses one response line into a [`Reply`] (the client half of the
@@ -459,5 +534,50 @@ mod tests {
             Reply::Stats(s) if s == "warm=1 cold=2"
         ));
         assert!(parse_reply("BOGUS").is_err());
+    }
+
+    #[test]
+    fn stats_payload_roundtrips_through_the_typed_parser() {
+        let line = "STATS warm=12 cold=3 deduped=5 inflight=2 cached=7 cache_entries=7 \
+                    evictions=4 expired=1 pool_queued=6 pool_active=8 pool_rejected=9";
+        let stats = parse_reply(line).unwrap().stats().unwrap();
+        assert_eq!(
+            stats,
+            StatsFields {
+                warm: 12,
+                cold: 3,
+                deduped: 5,
+                inflight: 2,
+                cached: 7,
+                cache_entries: 7,
+                evictions: 4,
+                expired: 1,
+                pool_queued: 6,
+                pool_active: 8,
+                pool_rejected: 9,
+            }
+        );
+        // Shorter lines from older daemons still parse; absent keys stay 0.
+        let old = parse_stats("warm=1 cold=2 deduped=0 inflight=0 cached=3").unwrap();
+        assert_eq!(old.cache_entries, 0);
+        assert_eq!(old.warm, 1);
+        // A non-STATS reply refuses the typed accessor.
+        assert!(parse_reply("PONG").unwrap().stats().is_err());
+    }
+
+    #[test]
+    fn invalid_stats_payloads_are_rejected_with_reasons() {
+        for (pairs, needle) in [
+            ("warm", "malformed stats pair"),
+            ("warm=x", "bad number"),
+            ("inflight=1.5", "bad number"),
+            ("frobnications=3", "unknown stats key"),
+        ] {
+            let err = parse_stats(pairs).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "{pairs:?} should fail with {needle:?}, got {err:?}"
+            );
+        }
     }
 }

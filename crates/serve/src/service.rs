@@ -25,17 +25,20 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 use tilelink_probe::metrics::{
-    SERVE_INFLIGHT, SERVE_REQUESTS_COLD, SERVE_REQUESTS_DEDUPED, SERVE_REQUESTS_WARM,
+    SERVE_CACHE_EVICTIONS, SERVE_CACHE_EXPIRED, SERVE_INFLIGHT, SERVE_POOL_ACTIVE,
+    SERVE_POOL_QUEUED, SERVE_POOL_REJECTED, SERVE_REQUESTS_COLD, SERVE_REQUESTS_DEDUPED,
+    SERVE_REQUESTS_WARM,
 };
 use tilelink_sim::{ClusterSpec, CostModelSpec, SharedCost};
-use tilelink_tune::{cluster_key, CostOracle, SearchSpace, Strategy, TuneCache};
+use tilelink_tune::{cluster_key, CostOracle, SearchExecutor, SearchSpace, Strategy, TuneCache};
 use tilelink_workloads::autotune::{MlpOracle, MoeOracle};
 use tilelink_workloads::{autotune, TuneOptions};
 
 use crate::protocol::{OkFields, TuneRequest, WorkloadSpec};
-use crate::shard::{ShardedCache, DEFAULT_SHARDS};
+use crate::shard::{CachePolicy, ShardedCache, DEFAULT_SHARDS};
 
 /// How a request was answered (the `source=` response field).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,8 +142,24 @@ pub struct ServeOptions {
     pub cache_path: Option<PathBuf>,
     /// Shards of the warm result cache.
     pub shards: usize,
+    /// Entry cap of the warm result cache (`0` = unbounded); beyond it the
+    /// least-recently-used entry per shard is evicted.
+    pub cache_entries: usize,
+    /// Idle TTL of warm entries; `None` keeps them until evicted.
+    pub cache_ttl: Option<Duration>,
     /// Evaluation threads per search; `None` uses one per CPU.
     pub threads: Option<usize>,
+    /// Shared search executor for cold misses; `None` uses
+    /// [`SearchExecutor::global`], so every cold search in the process reuses
+    /// one warm evaluator pool.
+    pub executor: Option<Arc<SearchExecutor>>,
+    /// Sweep stale persistent-cache entries (older cost revisions or other
+    /// objectives for the same workload/cluster) after each cold search.
+    pub sweep_stale: bool,
+    /// Request worker threads behind the connection reactor.
+    pub pool_workers: usize,
+    /// Dispatch-queue bound; requests beyond it are answered `ERR busy`.
+    pub pool_queue: usize,
 }
 
 impl Default for ServeOptions {
@@ -151,7 +170,13 @@ impl Default for ServeOptions {
             space: SearchSpace::standard(),
             cache_path: Some(TuneCache::default_path()),
             shards: DEFAULT_SHARDS,
+            cache_entries: 4096,
+            cache_ttl: None,
             threads: None,
+            executor: None,
+            sweep_stale: true,
+            pool_workers: 8,
+            pool_queue: 256,
         }
     }
 }
@@ -214,7 +239,13 @@ impl TuneService {
     /// Creates a service with an injected search function (tests use a slow
     /// counting stub to prove dedup semantics).
     pub fn with_search(opts: ServeOptions, search: Box<SearchFn>) -> Self {
-        let results = ShardedCache::new(opts.shards);
+        let results = ShardedCache::with_policy(
+            opts.shards,
+            CachePolicy {
+                max_entries: opts.cache_entries,
+                ttl: opts.cache_ttl,
+            },
+        );
         Self {
             opts,
             results,
@@ -232,6 +263,17 @@ impl TuneService {
     /// Entries in the warm result cache.
     pub fn cached_results(&self) -> usize {
         self.results.len()
+    }
+
+    /// Request-pool sizing for the front end: `(workers, queue bound)`.
+    pub fn pool_config(&self) -> (usize, usize) {
+        (self.opts.pool_workers.max(1), self.opts.pool_queue.max(1))
+    }
+
+    /// Drops expired warm entries now; returns how many were reclaimed.
+    /// No-op without a [`ServeOptions::cache_ttl`].
+    pub fn purge_expired(&self) -> usize {
+        self.results.purge_expired()
     }
 
     /// The cost provider for `cluster`, built on first use.
@@ -280,6 +322,27 @@ impl TuneService {
         TuneCache::key_prefix(&workload_key, &cluster_key, &revision, &objective)
     }
 
+    /// Warm-cache-only probe: answers from the in-memory cache without ever
+    /// running — or waiting on — a search. `None` means the request needs
+    /// the cold path.
+    ///
+    /// This is the daemon front end's fast path: it never blocks beyond a
+    /// shard read lock, so the reactor thread can answer warm hits inline
+    /// instead of paying two scheduler hops through the worker pool. A
+    /// cluster whose cost provider was never built cannot have warm entries
+    /// (providers are built by the first search), so the probe only reuses
+    /// an existing provider and never constructs one.
+    pub fn try_warm(&self, req: &TuneRequest) -> Option<(TuneOutcome, Source)> {
+        let cost = {
+            let providers = self.providers.lock().unwrap_or_else(|e| e.into_inner());
+            providers.get(&cluster_key(&req.cluster)).cloned()?
+        };
+        let key = self.request_key(req, &cost);
+        let outcome = self.results.get(&key)?;
+        SERVE_REQUESTS_WARM.inc();
+        Some((outcome, Source::Warm))
+    }
+
     /// Answers one tuning request: warm hit, in-flight piggyback, or leader
     /// search (see the module docs for the three paths).
     ///
@@ -288,10 +351,8 @@ impl TuneService {
     /// Returns the (stringified) search or cost-model error; parse errors
     /// never reach this layer.
     pub fn tune(&self, req: &TuneRequest) -> Result<(TuneOutcome, Source), String> {
-        SERVE_INFLIGHT.add(1);
-        let result = self.tune_inner(req);
-        SERVE_INFLIGHT.add(-1);
-        result
+        let _inflight = InflightGuard::new();
+        self.tune_inner(req)
     }
 
     fn tune_inner(&self, req: &TuneRequest) -> Result<(TuneOutcome, Source), String> {
@@ -329,7 +390,18 @@ impl TuneService {
                 result.map(|outcome| (outcome, Source::Deduped))
             }
             Role::Leader(flight) => {
+                // If the search panics, the guard's Drop still deregisters
+                // the flight and publishes an error — waiters get `ERR`
+                // instead of blocking forever on a leader that unwound.
+                let mut guard = LeaderGuard {
+                    service: self,
+                    key: &key,
+                    flight: &flight,
+                    armed: true,
+                };
                 let result = (self.search)(req, &cost, &self.opts);
+                guard.armed = false;
+                drop(guard);
                 if let Ok(outcome) = &result {
                     self.results.insert(key.clone(), outcome.clone());
                 }
@@ -347,16 +419,68 @@ impl TuneService {
         }
     }
 
-    /// One-line snapshot of the serve counters (the `STATS` response body).
+    /// One-line snapshot of the serve counters (the `STATS` response body):
+    /// request sources, warm-cache occupancy and churn, and request-pool
+    /// pressure.
     pub fn stats_line(&self) -> String {
         format!(
-            "warm={} cold={} deduped={} inflight={} cached={}",
+            "warm={} cold={} deduped={} inflight={} cached={} cache_entries={} \
+             evictions={} expired={} pool_queued={} pool_active={} pool_rejected={}",
             SERVE_REQUESTS_WARM.get(),
             SERVE_REQUESTS_COLD.get(),
             SERVE_REQUESTS_DEDUPED.get(),
             SERVE_INFLIGHT.get(),
-            self.results.len()
+            self.results.len(),
+            self.results.len(),
+            SERVE_CACHE_EVICTIONS.get(),
+            SERVE_CACHE_EXPIRED.get(),
+            SERVE_POOL_QUEUED.get(),
+            SERVE_POOL_ACTIVE.get(),
+            SERVE_POOL_REJECTED.get(),
         )
+    }
+}
+
+/// RAII owner of one unit of the `serve.inflight` gauge: constructed on
+/// request entry, decremented on drop — error returns and unwinding panics
+/// can no longer leak the gauge upward.
+struct InflightGuard;
+
+impl InflightGuard {
+    fn new() -> Self {
+        SERVE_INFLIGHT.add(1);
+        InflightGuard
+    }
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        SERVE_INFLIGHT.add(-1);
+    }
+}
+
+/// Unwind insurance for a cold-search leader: while `armed`, dropping the
+/// guard (i.e. the search panicked) deregisters the in-flight entry and
+/// publishes an error so followers wake with `ERR` instead of waiting on a
+/// flight nobody will ever land.
+struct LeaderGuard<'a> {
+    service: &'a TuneService,
+    key: &'a str,
+    flight: &'a Flight,
+    armed: bool,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.service
+                .inflight
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(self.key);
+            self.flight
+                .publish(Err("search panicked before producing a result".to_string()));
+        }
     }
 }
 
@@ -364,6 +488,7 @@ impl TuneService {
 /// `reproduce` binary uses, persistent cache and multi-threaded evaluator
 /// included.
 fn run_search(req: &TuneRequest, cost: &SharedCost, opts: &ServeOptions) -> SearchResult {
+    let executor = opts.executor.clone().unwrap_or_else(SearchExecutor::global);
     let mut topts = TuneOptions {
         strategy: opts.strategy,
         space: opts.space.clone(),
@@ -372,7 +497,9 @@ fn run_search(req: &TuneRequest, cost: &SharedCost, opts: &ServeOptions) -> Sear
         objective: req.objective,
         ..TuneOptions::default()
     }
-    .with_cost(cost.clone());
+    .with_cost(cost.clone())
+    .with_executor(executor)
+    .with_stale_sweep(opts.sweep_stale);
     let tuned = match &req.workload {
         WorkloadSpec::Mlp(shape) => autotune::tuned_full_mlp(shape, cost.cluster(), &topts),
         WorkloadSpec::Moe { shape, routing } => {

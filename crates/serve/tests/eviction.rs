@@ -1,0 +1,99 @@
+//! Warm-cache churn stays bounded: the LRU entry cap holds under a stream
+//! of distinct keys, eviction order follows recency, and the
+//! `serve.cache.evictions` counter records the churn.
+//!
+//! Lives in its own test binary so the process-global eviction counter is
+//! not shared with unrelated tests.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use tilelink_probe::metrics::SERVE_CACHE_EVICTIONS;
+use tilelink_serve::protocol::{parse_command, Command, TuneRequest};
+use tilelink_serve::service::{ServeOptions, Source, TuneOutcome, TuneService};
+
+fn request(line: &str) -> TuneRequest {
+    match parse_command(line).unwrap() {
+        Command::Tune(req) => *req,
+        other => panic!("expected TUNE, got {other:?}"),
+    }
+}
+
+/// A stub service with a single-shard warm cache capped at `cap` entries —
+/// one shard makes the LRU order global, so eviction order is exact.
+fn capped_service(cap: usize, calls: Arc<AtomicUsize>) -> TuneService {
+    let opts = ServeOptions {
+        cache_path: None,
+        shards: 1,
+        cache_entries: cap,
+        ..ServeOptions::quick()
+    };
+    TuneService::with_search(
+        opts,
+        Box::new(move |req, _cost, _opts| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Ok(TuneOutcome {
+                config_key: format!("stub-{}", req.workload.name()),
+                total_s: 1e-3,
+                comm_s: 4e-4,
+                comp_s: 8e-4,
+                evaluations: 1,
+                cache_hits: 0,
+            })
+        }),
+    )
+}
+
+/// 18 distinct cache-key quintuples (workload / cluster axes).
+fn churn_catalog() -> Vec<String> {
+    let mut catalog = Vec::new();
+    for i in 1..=6 {
+        catalog.push(format!("TUNE workload=MLP-{i}"));
+        catalog.push(format!("TUNE workload=MLP-{i} cluster=h800x4"));
+        catalog.push(format!("TUNE workload=MoE-{i}"));
+    }
+    catalog
+}
+
+#[test]
+fn key_churn_stays_under_the_entry_cap_and_evicts_in_lru_order() {
+    const CAP: usize = 8;
+    let calls = Arc::new(AtomicUsize::new(0));
+    let service = capped_service(CAP, Arc::clone(&calls));
+    let catalog = churn_catalog();
+    assert!(catalog.len() > CAP, "churn must overflow the cap");
+
+    let evictions_before = SERVE_CACHE_EVICTIONS.get();
+    for line in &catalog {
+        let (_, source) = service.tune(&request(line)).unwrap();
+        assert_eq!(source, Source::Cold, "{line} is a fresh key");
+        assert!(
+            service.cached_results() <= CAP,
+            "cap must hold at every step, got {} entries",
+            service.cached_results()
+        );
+    }
+    assert_eq!(service.cached_results(), CAP);
+    let evicted = (SERVE_CACHE_EVICTIONS.get() - evictions_before) as usize;
+    assert_eq!(
+        evicted,
+        catalog.len() - CAP,
+        "every overflow insert evicts exactly one entry"
+    );
+
+    // Recency order: the newest CAP keys are still warm, the oldest are not.
+    let searches_so_far = calls.load(Ordering::SeqCst);
+    let (_, source) = service.tune(&request(catalog.last().unwrap())).unwrap();
+    assert_eq!(source, Source::Warm, "the newest key must still be cached");
+    let (_, source) = service.tune(&request(&catalog[0])).unwrap();
+    assert_eq!(
+        source,
+        Source::Cold,
+        "the oldest key must have been evicted"
+    );
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        searches_so_far + 1,
+        "only the evicted key re-searches"
+    );
+}

@@ -4,7 +4,7 @@
 use std::sync::{Arc, Barrier};
 
 use tilelink_serve::protocol::{parse_reply, Reply};
-use tilelink_serve::server::{serve_ephemeral, Client};
+use tilelink_serve::server::{serve_ephemeral, Client, MAX_LINE_BYTES};
 use tilelink_serve::service::{ServeOptions, TuneService};
 
 fn quick_server() -> tilelink_serve::server::ServerHandle {
@@ -24,10 +24,15 @@ fn ping_stats_and_errors_over_the_wire() {
     assert_eq!(client.request("PING").unwrap(), "PONG");
 
     let reply = parse_reply(&client.request("STATS").unwrap()).unwrap();
-    let Reply::Stats(stats) = reply else {
+    let Reply::Stats(stats) = &reply else {
         panic!("expected STATS, got {reply:?}");
     };
     assert!(stats.contains("cached="), "stats line: {stats}");
+    // The payload also parses through the typed reader, and the pipeline
+    // fields are present (an unknown or missing key would error here).
+    let fields = reply.stats().expect("stats line parses typed");
+    assert_eq!(fields.cached, fields.cache_entries, "legacy alias agrees");
+    assert!(fields.pool_queued >= 0 && fields.pool_active >= 0);
 
     for bad in [
         "TUNE workload=MLP-9",
@@ -71,6 +76,42 @@ fn cold_then_warm_tune_over_the_wire() {
     assert_eq!(warm.source, "warm");
     assert_eq!(warm.config, cold.config);
     assert_eq!(warm.total_ms, cold.total_ms);
+
+    // The typed STATS payload reflects the traffic this server just served.
+    let stats = parse_reply(&second.request("STATS").unwrap())
+        .unwrap()
+        .stats()
+        .expect("stats line parses typed");
+    assert!(stats.warm >= 1, "one warm hit recorded: {stats:?}");
+    assert!(stats.cold >= 1, "one cold search recorded: {stats:?}");
+    assert!(stats.cache_entries >= 1, "the winner is cached: {stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn oversized_request_lines_answer_err_and_close_the_connection() {
+    let server = quick_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // A request line one chunk past the cap: the daemon must refuse it with
+    // a bounded-size ERR instead of buffering without limit.
+    let huge = "X".repeat(MAX_LINE_BYTES + 4096);
+    let reply = client.request(&huge).unwrap();
+    assert!(
+        reply.starts_with("ERR request line exceeds"),
+        "got: {reply}"
+    );
+
+    // The daemon closes the connection after the refusal; the next request
+    // on the same socket fails instead of hanging.
+    assert!(
+        client.request("PING").is_err(),
+        "connection must be closed after an oversized line"
+    );
+
+    // Fresh connections are unaffected.
+    let mut fresh = Client::connect(server.addr()).unwrap();
+    assert_eq!(fresh.request("PING").unwrap(), "PONG");
     server.shutdown();
 }
 

@@ -1,6 +1,6 @@
 //! Persistent tuning cache keyed by `(workload, cluster, config)`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
@@ -70,6 +70,11 @@ static FLUSH_LOCK: Mutex<()> = Mutex::new(());
 pub struct TuneCache {
     path: Option<PathBuf>,
     entries: HashMap<String, OverlapReport>,
+    /// Keys removed by [`TuneCache::sweep_stale`]. The flush merge re-reads
+    /// the on-disk file, which would silently resurrect swept entries;
+    /// tombstones make the removal stick until the next flush rewrites the
+    /// file without them.
+    tombstones: HashSet<String>,
 }
 
 impl TuneCache {
@@ -78,6 +83,7 @@ impl TuneCache {
         Self {
             path: None,
             entries: HashMap::new(),
+            tombstones: HashSet::new(),
         }
     }
 
@@ -95,6 +101,7 @@ impl TuneCache {
         Ok(Self {
             path: Some(path),
             entries,
+            tombstones: HashSet::new(),
         })
     }
 
@@ -244,9 +251,35 @@ impl TuneCache {
             .count()
     }
 
+    /// Removes every entry in `scope` recorded under a different cost-model
+    /// revision or objective than `current_prefix` (the same notion of stale
+    /// as [`TuneCache::count_stale`]) and returns how many were swept.
+    ///
+    /// Swept keys are tombstoned so the next [`TuneCache::flush`] drops them
+    /// from the backing file too instead of resurrecting them through the
+    /// disk merge. This is the long-running daemon's memory/disk bound: a
+    /// cost-model upgrade no longer leaves the superseded revision's entries
+    /// behind forever. One-shot CLI runs that alternate between cost models
+    /// should prefer `count_stale`, which keeps both revisions warm.
+    pub fn sweep_stale(&mut self, scope: &str, current_prefix: &str) -> usize {
+        let current = format!("{current_prefix}|");
+        let stale: Vec<String> = self
+            .entries
+            .keys()
+            .filter(|k| k.starts_with(scope) && !k.starts_with(&current))
+            .cloned()
+            .collect();
+        for key in &stale {
+            self.entries.remove(key);
+            self.tombstones.insert(key.clone());
+        }
+        stale.len()
+    }
+
     /// Inserts (or replaces) a cached report. Call [`TuneCache::flush`] to
     /// persist.
     pub fn insert(&mut self, key: String, report: OverlapReport) {
+        self.tombstones.remove(&key);
         self.entries.insert(key, report);
     }
 
@@ -279,8 +312,13 @@ impl TuneCache {
 
         // Merge with whatever is on disk right now: another tuner may have
         // flushed since this cache was opened. In-memory entries win on
-        // conflict (they are this run's freshest measurements).
+        // conflict (they are this run's freshest measurements), and keys
+        // swept by `sweep_stale` are dropped from the merge so the rewrite
+        // shrinks the file instead of re-reading the stale entries back in.
         let mut merged = Self::read_entries(path)?;
+        for key in &self.tombstones {
+            merged.remove(key);
+        }
         for (key, report) in &self.entries {
             merged.insert(key.clone(), *report);
         }
@@ -518,6 +556,59 @@ mod tests {
         let p95 = TuneCache::key_prefix("mlp", "h800x8", "analytic-v2", "p95");
         assert_eq!(cache.count_stale("mlp|h800x8|", &p95), 2);
         assert_eq!(cache.count_stale("lm|", &prefix), 0);
+    }
+
+    #[test]
+    fn sweep_stale_removes_entries_and_shrinks_the_file() {
+        let path = tmp("sweep.tsv");
+        let _ = std::fs::remove_file(&path);
+        let cfg = OverlapConfig::default();
+        let r = OverlapReport::new(1.0, 0.5, 0.5);
+        let mut cache = TuneCache::open(&path).unwrap();
+        let stale_key = TuneCache::key("mlp", "h800x8", "analytic-v1", "mean", &cfg);
+        let fresh_key = TuneCache::key("mlp", "h800x8", "analytic-v2", "mean", &cfg);
+        let other_scope = TuneCache::key("moe", "h800x8", "analytic-v1", "mean", &cfg);
+        cache.insert(stale_key.clone(), r);
+        cache.insert(fresh_key.clone(), r);
+        cache.insert(other_scope.clone(), r);
+        cache.flush().unwrap();
+
+        let prefix = TuneCache::key_prefix("mlp", "h800x8", "analytic-v2", "mean");
+        let swept = cache.sweep_stale("mlp|h800x8|", &prefix);
+        assert_eq!(swept, 1);
+        assert!(cache.get(&stale_key).is_none());
+        assert!(cache.get(&fresh_key).is_some());
+        assert!(cache.get(&other_scope).is_some(), "out of scope, untouched");
+
+        // The flush merge re-reads the disk file; without tombstones the
+        // swept entry would ride back in through the merge.
+        cache.flush().unwrap();
+        let reloaded = TuneCache::open(&path).unwrap();
+        assert!(
+            reloaded.get(&stale_key).is_none(),
+            "swept entry must be dropped from the backing file too"
+        );
+        assert_eq!(reloaded.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reinserting_a_swept_key_clears_its_tombstone() {
+        let path = tmp("sweep-reinsert.tsv");
+        let _ = std::fs::remove_file(&path);
+        let cfg = OverlapConfig::default();
+        let mut cache = TuneCache::open(&path).unwrap();
+        let key = TuneCache::key("mlp", "h800x8", "analytic-v1", "mean", &cfg);
+        cache.insert(key.clone(), OverlapReport::new(1.0, 0.5, 0.5));
+        let prefix = TuneCache::key_prefix("mlp", "h800x8", "analytic-v2", "mean");
+        assert_eq!(cache.sweep_stale("mlp|h800x8|", &prefix), 1);
+        // Re-learned under the old prefix (e.g. the CLI switched back): the
+        // fresh value must survive the next flush.
+        cache.insert(key.clone(), OverlapReport::new(2.0, 1.0, 1.5));
+        cache.flush().unwrap();
+        let reloaded = TuneCache::open(&path).unwrap();
+        assert_eq!(reloaded.get(&key).unwrap().total_s, 2.0);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,437 @@
+//! A reusable, process-owned candidate-evaluation pool.
+//!
+//! [`Tuner::tune`](crate::Tuner::tune) historically spawned a fresh scoped
+//! worker pool per call. That is fine for one-shot CLI tuning, but a serving
+//! daemon runs many searches over its lifetime — often several at once for
+//! *different* cache keys — and per-call pools both pay a thread-spawn tax on
+//! every request and oversubscribe the machine under concurrent cold misses
+//! (N searches × min(cores, 16) threads each).
+//!
+//! [`SearchExecutor`] is the long-lived replacement: one warm worker pool
+//! owned by the process, shared by every search wired to it (the
+//! `tilelink-serve` daemon, `reproduce --tune`, the load generator). Searches
+//! are admitted through a bounded session queue
+//! ([`SearchExecutor::session`]), and their evaluation batches interleave
+//! job-by-job on the same workers, so concurrent cold searches share one
+//! pool's worth of threads instead of stacking pools.
+//!
+//! # Determinism
+//!
+//! The executor changes *where* candidates are evaluated, never *what* the
+//! search observes: results land in a slot per candidate exactly like the
+//! scoped pool, and the tuner merges them in candidate order. A search run
+//! through a shared executor is bit-identical to the same search run on a
+//! private pool (see the `executor_parity` integration test).
+//!
+//! # Safety
+//!
+//! Worker threads outlive any single `tune()` call, so jobs cannot borrow the
+//! caller's oracle through safe lifetimes. Instead [`SearchExecutor::run_batch`]
+//! erases the oracle borrow to a raw pointer and enforces the lifetime
+//! dynamically: it does not return until every job of the batch has completed,
+//! and a job's completion is signalled only after its last use of the oracle.
+//! Jobs never migrate between batches, so no worker can touch the pointer
+//! after `run_batch` returns and the borrow ends.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+use tilelink::{OverlapConfig, OverlapReport, TileLinkError};
+use tilelink_probe::metrics::{TUNE_EXECUTOR_QUEUE_DEPTH, TUNE_EXECUTOR_REUSES};
+
+use crate::search::timed_eval;
+use crate::CostOracle;
+
+/// Default cap on concurrently admitted search sessions.
+const DEFAULT_MAX_SESSIONS: usize = 4;
+
+/// A lifetime-erased `&dyn CostOracle`. See the module-level safety notes:
+/// the pointee is guaranteed live for as long as any job holding this pointer
+/// exists, because [`SearchExecutor::run_batch`] blocks until the batch
+/// drains.
+#[derive(Clone, Copy)]
+struct OraclePtr(*const (dyn CostOracle + 'static));
+
+// The pointer is only ever dereferenced to a `&dyn CostOracle`, and
+// `CostOracle: Sync` guarantees shared references are usable from any thread.
+unsafe impl Send for OraclePtr {}
+unsafe impl Sync for OraclePtr {}
+
+impl OraclePtr {
+    fn erase(oracle: &dyn CostOracle) -> Self {
+        // SAFETY: lifetime erasure only — the batch barrier in `run_batch`
+        // guarantees no job outlives the borrow this pointer was made from.
+        Self(unsafe {
+            std::mem::transmute::<*const (dyn CostOracle + '_), *const (dyn CostOracle + 'static)>(
+                oracle as *const dyn CostOracle,
+            )
+        })
+    }
+}
+
+/// One queued candidate evaluation.
+struct Job {
+    batch: Arc<Batch>,
+    idx: usize,
+    cfg: OverlapConfig,
+    oracle: OraclePtr,
+}
+
+/// Completion state of one [`SearchExecutor::run_batch`] call.
+struct Batch {
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+struct BatchState {
+    results: Vec<Option<tilelink::Result<OverlapReport>>>,
+    outstanding: usize,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    /// Worker threads spawned so far (0 until the first session arrives).
+    spawned: bool,
+    sessions_active: usize,
+    shutdown: bool,
+}
+
+struct Inner {
+    queue: Mutex<QueueState>,
+    /// Workers park here between jobs.
+    work: Condvar,
+    /// Sessions park here while the admission bound is saturated.
+    admission: Condvar,
+}
+
+/// A persistent evaluation worker pool shared across tuning runs.
+///
+/// Construct one with [`SearchExecutor::new`] (or take the process-wide
+/// [`SearchExecutor::global`]) and hand it to
+/// [`Tuner::with_executor`](crate::Tuner::with_executor). Workers are spawned
+/// lazily on the first admitted session and reused by every later one — the
+/// `tune.executor.reuses` counter tracks exactly that.
+pub struct SearchExecutor {
+    threads: usize,
+    max_sessions: usize,
+    inner: Arc<Inner>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for SearchExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchExecutor")
+            .field("threads", &self.threads)
+            .field("max_sessions", &self.max_sessions)
+            .finish()
+    }
+}
+
+impl Default for SearchExecutor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SearchExecutor {
+    /// Creates an executor with one worker per available CPU (capped at 16)
+    /// and the default concurrent-session bound. No threads are spawned until
+    /// the first search is admitted.
+    #[must_use]
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16);
+        Self::with_threads(threads)
+    }
+
+    /// Creates an executor with exactly `threads` workers (minimum 1).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            max_sessions: DEFAULT_MAX_SESSIONS,
+            inner: Arc::new(Inner {
+                queue: Mutex::new(QueueState {
+                    jobs: VecDeque::new(),
+                    spawned: false,
+                    sessions_active: 0,
+                    shutdown: false,
+                }),
+                work: Condvar::new(),
+                admission: Condvar::new(),
+            }),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Replaces the concurrent-session bound (minimum 1): how many tuning
+    /// runs may interleave their batches on the pool at once. Sessions beyond
+    /// the bound queue in [`SearchExecutor::session`].
+    #[must_use]
+    pub fn with_max_sessions(mut self, max_sessions: usize) -> Self {
+        self.max_sessions = max_sessions.max(1);
+        self
+    }
+
+    /// The process-wide executor shared by the serve daemon, the load
+    /// generator and `reproduce --tune`.
+    pub fn global() -> Arc<SearchExecutor> {
+        static GLOBAL: OnceLock<Arc<SearchExecutor>> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| Arc::new(SearchExecutor::new()))
+            .clone()
+    }
+
+    /// Number of worker threads this executor runs once warm.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Admits one tuning run, blocking while `max_sessions` runs are already
+    /// active. The returned guard releases the slot on drop.
+    ///
+    /// The first session spawns the worker pool; every later one reuses it
+    /// and increments `tune.executor.reuses`.
+    pub fn session(&self) -> ExecutorSession<'_> {
+        let mut st = self.inner.queue.lock().expect("executor queue poisoned");
+        if st.spawned {
+            TUNE_EXECUTOR_REUSES.inc();
+        } else {
+            st.spawned = true;
+            let mut handles = self.handles.lock().expect("executor handles poisoned");
+            for _ in 0..self.threads {
+                let inner = Arc::clone(&self.inner);
+                handles.push(
+                    std::thread::Builder::new()
+                        .name("tune-executor".to_string())
+                        .spawn(move || worker(&inner))
+                        .expect("spawn executor worker"),
+                );
+            }
+        }
+        while st.sessions_active >= self.max_sessions {
+            st = self
+                .inner
+                .admission
+                .wait(st)
+                .expect("executor queue poisoned");
+        }
+        st.sessions_active += 1;
+        ExecutorSession { executor: self }
+    }
+
+    /// Evaluates `misses` on the shared workers, blocking until every slot is
+    /// filled, and returns the results in candidate order. Batches from
+    /// concurrently admitted sessions interleave job-by-job (FIFO).
+    pub(crate) fn run_batch(
+        &self,
+        oracle: &dyn CostOracle,
+        misses: &[&OverlapConfig],
+    ) -> Vec<Option<tilelink::Result<OverlapReport>>> {
+        if misses.is_empty() {
+            return Vec::new();
+        }
+        let batch = Arc::new(Batch {
+            state: Mutex::new(BatchState {
+                results: vec![None; misses.len()],
+                outstanding: misses.len(),
+            }),
+            done: Condvar::new(),
+        });
+        let oracle = OraclePtr::erase(oracle);
+        {
+            let mut st = self.inner.queue.lock().expect("executor queue poisoned");
+            for (idx, &cfg) in misses.iter().enumerate() {
+                st.jobs.push_back(Job {
+                    batch: Arc::clone(&batch),
+                    idx,
+                    cfg: *cfg,
+                    oracle,
+                });
+            }
+            TUNE_EXECUTOR_QUEUE_DEPTH.set(st.jobs.len() as i64);
+        }
+        self.inner.work.notify_all();
+
+        // The barrier that makes `OraclePtr` sound: do not return (ending the
+        // oracle borrow) until every job of this batch has completed.
+        let mut bs = batch.state.lock().expect("executor batch poisoned");
+        while bs.outstanding > 0 {
+            bs = batch.done.wait(bs).expect("executor batch poisoned");
+        }
+        std::mem::take(&mut bs.results)
+    }
+}
+
+impl Drop for SearchExecutor {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.queue.lock().expect("executor queue poisoned");
+            st.shutdown = true;
+        }
+        self.inner.work.notify_all();
+        for handle in self
+            .handles
+            .lock()
+            .expect("executor handles poisoned")
+            .drain(..)
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Admission guard returned by [`SearchExecutor::session`]; releases the
+/// session slot (and wakes one queued session) on drop.
+pub struct ExecutorSession<'e> {
+    executor: &'e SearchExecutor,
+}
+
+impl Drop for ExecutorSession<'_> {
+    fn drop(&mut self) {
+        let mut st = self
+            .executor
+            .inner
+            .queue
+            .lock()
+            .expect("executor queue poisoned");
+        st.sessions_active -= 1;
+        drop(st);
+        self.executor.inner.admission.notify_one();
+    }
+}
+
+fn worker(inner: &Inner) {
+    loop {
+        let job = {
+            let mut st = inner.queue.lock().expect("executor queue poisoned");
+            loop {
+                if let Some(job) = st.jobs.pop_front() {
+                    TUNE_EXECUTOR_QUEUE_DEPTH.set(st.jobs.len() as i64);
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = inner.work.wait(st).expect("executor queue poisoned");
+            }
+        };
+        // SAFETY: see `OraclePtr` — the submitting `run_batch` is still
+        // blocked on this batch, so the oracle it borrowed is live.
+        let oracle: &dyn CostOracle = unsafe { &*job.oracle.0 };
+        // A panicking oracle must not kill a shared worker (the pool would
+        // silently shrink for every later search) nor wedge the batch
+        // barrier: surface it as a failed candidate instead.
+        let result = catch_unwind(AssertUnwindSafe(|| timed_eval(oracle, &job.cfg)))
+            .unwrap_or_else(|_| {
+                Err(TileLinkError::InvalidConfig {
+                    reason: "oracle panicked during evaluation".to_string(),
+                })
+            });
+        let mut bs = job.batch.state.lock().expect("executor batch poisoned");
+        bs.results[job.idx] = Some(result);
+        bs.outstanding -= 1;
+        if bs.outstanding == 0 {
+            job.batch.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnOracle;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use tilelink_sim::ClusterSpec;
+
+    fn counting_oracle(counter: &AtomicUsize) -> impl CostOracle + '_ {
+        FnOracle::new("exec", ClusterSpec::h800_node(8), move |cfg| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            let t = cfg.num_stages as f64;
+            Ok(OverlapReport::new(t, t / 2.0, t / 2.0))
+        })
+    }
+
+    #[test]
+    fn batches_fill_every_slot_in_candidate_order() {
+        let exec = SearchExecutor::with_threads(4);
+        let calls = AtomicUsize::new(0);
+        let oracle = counting_oracle(&calls);
+        let _session = exec.session();
+        let configs: Vec<OverlapConfig> = [2usize, 3, 4]
+            .iter()
+            .map(|&s| OverlapConfig {
+                num_stages: s,
+                ..Default::default()
+            })
+            .collect();
+        let refs: Vec<&OverlapConfig> = configs.iter().collect();
+        let results = exec.run_batch(&oracle, &refs);
+        assert_eq!(results.len(), 3);
+        for (i, r) in results.iter().enumerate() {
+            let report = r.as_ref().expect("slot filled").as_ref().expect("ok");
+            assert_eq!(report.total_s, configs[i].num_stages as f64);
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn second_session_reuses_the_warm_pool() {
+        let exec = SearchExecutor::with_threads(2);
+        let before = TUNE_EXECUTOR_REUSES.get();
+        drop(exec.session());
+        drop(exec.session());
+        assert!(
+            TUNE_EXECUTOR_REUSES.get() > before,
+            "the second session must count as a pool reuse"
+        );
+    }
+
+    #[test]
+    fn a_panicking_oracle_fails_the_candidate_not_the_pool() {
+        let exec = SearchExecutor::with_threads(2);
+        let panicky = FnOracle::new(
+            "boom",
+            ClusterSpec::h800_node(8),
+            |_| -> tilelink::Result<OverlapReport> { panic!("synthetic oracle panic") },
+        );
+        let _session = exec.session();
+        let cfg = OverlapConfig::default();
+        let results = exec.run_batch(&panicky, &[&cfg]);
+        assert!(matches!(
+            results[0],
+            Some(Err(TileLinkError::InvalidConfig { .. }))
+        ));
+        // And the pool still works afterwards.
+        let calls = AtomicUsize::new(0);
+        let oracle = counting_oracle(&calls);
+        let results = exec.run_batch(&oracle, &[&cfg]);
+        assert!(results[0].as_ref().unwrap().is_ok());
+    }
+
+    #[test]
+    fn admission_bound_limits_concurrent_sessions() {
+        let exec = Arc::new(SearchExecutor::with_threads(1).with_max_sessions(1));
+        let first = exec.session();
+        let exec2 = Arc::clone(&exec);
+        let waited = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let waited2 = Arc::clone(&waited);
+        let handle = std::thread::spawn(move || {
+            let _session = exec2.session();
+            waited2.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        assert!(
+            !waited.load(Ordering::SeqCst),
+            "second session must block while the first is active"
+        );
+        drop(first);
+        handle.join().unwrap();
+        assert!(waited.load(Ordering::SeqCst));
+    }
+}

@@ -63,6 +63,7 @@
 
 pub mod cache;
 mod error;
+mod executor;
 mod objective;
 mod oracle;
 mod search;
@@ -70,6 +71,7 @@ mod space;
 
 pub use cache::TuneCache;
 pub use error::TuneError;
+pub use executor::{ExecutorSession, SearchExecutor};
 pub use objective::Objective;
 pub use oracle::{cluster_key, CostOracle, FnOracle};
 pub use search::{Candidate, FailedBreakdown, RoundProgress, Strategy, TuneReport, Tuner};

@@ -2,7 +2,7 @@
 
 use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use tilelink::{OverlapConfig, OverlapReport, TileLinkError};
@@ -13,6 +13,7 @@ use tilelink_probe::metrics::{
     TUNE_SPACE_SIZE,
 };
 
+use crate::executor::SearchExecutor;
 use crate::oracle::cluster_key;
 use crate::space::{PruneCounts, SearchSpace};
 use crate::{CostOracle, Result, TuneCache, TuneError};
@@ -184,6 +185,8 @@ pub struct Tuner {
     threads: usize,
     verbose: bool,
     cache: Mutex<TuneCache>,
+    executor: Option<Arc<SearchExecutor>>,
+    sweep_stale: bool,
 }
 
 struct BatchStats {
@@ -277,9 +280,43 @@ impl EvalPool {
     }
 }
 
+/// How a batch of cache misses reaches the oracle: the per-run scoped pool,
+/// or a shared [`SearchExecutor`] whose workers outlive this run. Either way
+/// results land in a slot per candidate and are merged in candidate order, so
+/// the choice is unobservable in the ranking.
+enum Eval<'a> {
+    /// Scoped per-run pool; the `usize` is the run's thread count.
+    Pool(&'a EvalPool, usize),
+    /// Process-shared warm pool.
+    Shared(&'a SearchExecutor),
+}
+
+impl Eval<'_> {
+    fn parallelism(&self) -> usize {
+        match self {
+            Eval::Pool(_, threads) => *threads,
+            Eval::Shared(exec) => exec.threads(),
+        }
+    }
+
+    fn run(
+        &self,
+        oracle: &dyn CostOracle,
+        misses: &[&OverlapConfig],
+    ) -> Vec<Option<tilelink::Result<OverlapReport>>> {
+        match self {
+            Eval::Pool(pool, _) => pool.run(misses),
+            Eval::Shared(exec) => exec.run_batch(oracle, misses),
+        }
+    }
+}
+
 /// One timed, profiled oracle call. The span lands on whichever worker thread
 /// ran it (the profiler keeps per-thread stacks).
-fn timed_eval(oracle: &dyn CostOracle, cfg: &OverlapConfig) -> tilelink::Result<OverlapReport> {
+pub(crate) fn timed_eval(
+    oracle: &dyn CostOracle,
+    cfg: &OverlapConfig,
+) -> tilelink::Result<OverlapReport> {
     let _span = tilelink_probe::span("tune.candidate");
     let t0 = Instant::now();
     let r = oracle.evaluate(cfg);
@@ -300,12 +337,35 @@ impl Tuner {
             threads,
             verbose: false,
             cache: Mutex::new(TuneCache::in_memory()),
+            executor: None,
+            sweep_stale: false,
         }
     }
 
     /// Replaces the evaluation thread count (minimum 1).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Evaluates candidates on a shared [`SearchExecutor`] instead of
+    /// spawning a private scoped pool for this run. The executor's thread
+    /// count governs parallelism; results are bit-identical either way (slot
+    /// per candidate, merged in candidate order).
+    pub fn with_executor(mut self, executor: Arc<SearchExecutor>) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// Physically removes stale same-scope cache entries (other cost-model
+    /// revision or objective) at the start of the run instead of merely
+    /// counting them, and drops them from the backing file on the next flush.
+    ///
+    /// Off by default: a CLI alternating between cost models benefits from
+    /// keeping both revisions' entries. The long-running serve daemon turns
+    /// this on so its write-behind cache file and memory stay bounded.
+    pub fn with_stale_sweep(mut self, sweep: bool) -> Self {
+        self.sweep_stale = sweep;
         self
     }
 
@@ -351,17 +411,20 @@ impl Tuner {
         {
             // Entries for this workload+cluster recorded under another cost
             // revision or objective will self-invalidate (miss) this run;
-            // surface how many in the metrics registry.
+            // surface how many in the metrics registry. With the stale sweep
+            // enabled they are removed outright (memory and, on the next
+            // flush, the backing file) instead of counted in place.
             let scope = format!(
                 "{}|{}|",
                 oracle.workload_key(),
                 cluster_key(oracle.cluster())
             );
-            let stale = self
-                .cache
-                .lock()
-                .expect("tune cache lock poisoned")
-                .count_stale(&scope, &prefix);
+            let mut cache = self.cache.lock().expect("tune cache lock poisoned");
+            let stale = if self.sweep_stale {
+                cache.sweep_stale(&scope, &prefix)
+            } else {
+                cache.count_stale(&scope, &prefix)
+            };
             TUNE_CACHE_REVISION_INVALIDATIONS.add(stale as u64);
         }
         let mut stats = BatchStats {
@@ -379,14 +442,8 @@ impl Tuner {
         let mut evaluated: Vec<Candidate> = Vec::new();
         let mut seen: HashMap<OverlapConfig, usize> = HashMap::new();
 
-        // One worker pool for the whole search: threads (and their warm
-        // per-thread scratch) survive across beam batches.
-        let pool = EvalPool::new();
-        let strategy_result: std::result::Result<(), TuneError> = std::thread::scope(|scope| {
-            for _ in 0..self.threads.max(1) {
-                scope.spawn(|| pool.worker(oracle));
-            }
-            let out = (|| {
+        let mut run_strategy = |eval: &Eval| -> std::result::Result<(), TuneError> {
+            {
                 match self.strategy {
                     Strategy::Exhaustive => {
                         let (candidates, counts) = space.candidates_counted(oracle);
@@ -398,7 +455,7 @@ impl Tuner {
                         }
                         self.evaluate_batch(
                             oracle,
-                            &pool,
+                            eval,
                             &prefix,
                             &candidates,
                             &mut stats,
@@ -446,7 +503,7 @@ impl Tuner {
                         }
                         self.evaluate_batch(
                             oracle,
-                            &pool,
+                            eval,
                             &prefix,
                             &seeds,
                             &mut stats,
@@ -462,7 +519,7 @@ impl Tuner {
                             for chunk in space.candidates(oracle).chunks(16) {
                                 self.evaluate_batch(
                                     oracle,
-                                    &pool,
+                                    eval,
                                     &prefix,
                                     chunk,
                                     &mut stats,
@@ -496,7 +553,7 @@ impl Tuner {
                                 }
                                 self.evaluate_batch(
                                     oracle,
-                                    &pool,
+                                    eval,
                                     &prefix,
                                     &frontier,
                                     &mut stats,
@@ -546,10 +603,29 @@ impl Tuner {
                     }
                 }
                 Ok(())
-            })();
-            pool.shutdown();
-            out
-        });
+            }
+        };
+        let strategy_result: std::result::Result<(), TuneError> = match &self.executor {
+            Some(exec) => {
+                // Shared warm pool: admission is bounded, so concurrent runs
+                // interleave their batches instead of stacking private pools.
+                let _session = exec.session();
+                run_strategy(&Eval::Shared(exec))
+            }
+            None => {
+                // One scoped worker pool for the whole search: threads (and
+                // their warm per-thread scratch) survive across beam batches.
+                let pool = EvalPool::new();
+                std::thread::scope(|scope| {
+                    for _ in 0..self.threads.max(1) {
+                        scope.spawn(|| pool.worker(oracle));
+                    }
+                    let out = run_strategy(&Eval::Pool(&pool, self.threads));
+                    pool.shutdown();
+                    out
+                })
+            }
+        };
         strategy_result?;
 
         self.cache
@@ -603,7 +679,7 @@ impl Tuner {
     fn evaluate_batch(
         &self,
         oracle: &dyn CostOracle,
-        pool: &EvalPool,
+        eval: &Eval,
         prefix: &str,
         configs: &[OverlapConfig],
         stats: &mut BatchStats,
@@ -641,14 +717,14 @@ impl Tuner {
         // a slot per candidate, so completion order never affects ranking.
         let mut results: Vec<Option<tilelink::Result<OverlapReport>>> = vec![None; misses.len()];
         if !misses.is_empty() {
-            if self.threads.min(misses.len()) <= 1 {
+            if eval.parallelism().min(misses.len()) <= 1 {
                 // Evaluate on this thread (its scratch is warm too) rather
                 // than paying a pool round-trip for a single candidate.
                 for (slot, cfg) in results.iter_mut().zip(&misses) {
                     *slot = Some(timed_eval(oracle, cfg));
                 }
             } else {
-                results = pool.run(&misses);
+                results = eval.run(oracle, &misses);
             }
         }
 

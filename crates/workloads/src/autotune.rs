@@ -12,10 +12,13 @@
 
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use tilelink::{OverlapConfig, OverlapReport};
 use tilelink_sim::{analytic_cost, ClusterSpec, SharedCost};
-use tilelink_tune::{CostOracle, Objective, SearchSpace, Strategy, TuneCache, TuneReport, Tuner};
+use tilelink_tune::{
+    CostOracle, Objective, SearchExecutor, SearchSpace, Strategy, TuneCache, TuneReport, Tuner,
+};
 
 use crate::moe::{RoutingProfile, RoutingSampler};
 use crate::{attention, mlp, moe, AttnShape, MlpShape, MoeShape};
@@ -382,6 +385,18 @@ pub struct TuneOptions {
     /// stderr while tuning runs. The same numbers are always available
     /// afterwards in [`tilelink_tune::TuneReport::rounds`].
     pub verbose: bool,
+    /// Evaluates candidates on a shared [`SearchExecutor`] instead of a
+    /// private per-run pool. `None` (the default) keeps the historical
+    /// scoped-pool behaviour; long-running processes (the serve daemon,
+    /// `reproduce --tune`) pass [`SearchExecutor::global`] so back-to-back
+    /// and concurrent searches share one warm pool. Results are
+    /// bit-identical either way.
+    pub executor: Option<Arc<SearchExecutor>>,
+    /// Physically removes same-scope cache entries recorded under another
+    /// cost-model revision or objective at the start of the run (see
+    /// [`tilelink_tune::TuneCache::sweep_stale`]). Off by default; the serve
+    /// daemon enables it to bound its write-behind cache.
+    pub sweep_stale: bool,
 }
 
 impl Default for TuneOptions {
@@ -395,6 +410,8 @@ impl Default for TuneOptions {
             routing: None,
             objective: Objective::Mean,
             verbose: false,
+            executor: None,
+            sweep_stale: false,
         }
     }
 }
@@ -430,6 +447,18 @@ impl TuneOptions {
         self.verbose = verbose;
         self
     }
+
+    /// Evaluates candidates on `executor` (e.g. [`SearchExecutor::global`]).
+    pub fn with_executor(mut self, executor: Arc<SearchExecutor>) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// Sweeps stale same-scope cache entries at the start of the run.
+    pub fn with_stale_sweep(mut self, sweep: bool) -> Self {
+        self.sweep_stale = sweep;
+        self
+    }
 }
 
 /// A tuned layer: the winning configuration, its simulated timing, and the
@@ -463,9 +492,14 @@ fn checked_cost(opts: &TuneOptions, cluster: &ClusterSpec) -> Option<SharedCost>
 }
 
 fn run_tune(oracle: &dyn CostOracle, opts: &TuneOptions) -> tilelink_tune::Result<TunedLayer> {
-    let mut tuner = Tuner::new(opts.strategy).with_verbose(opts.verbose);
+    let mut tuner = Tuner::new(opts.strategy)
+        .with_verbose(opts.verbose)
+        .with_stale_sweep(opts.sweep_stale);
     if let Some(threads) = opts.threads {
         tuner = tuner.with_threads(threads);
+    }
+    if let Some(executor) = &opts.executor {
+        tuner = tuner.with_executor(Arc::clone(executor));
     }
     if let Some(path) = &opts.cache_path {
         tuner = tuner.with_cache(TuneCache::open(path)?);
