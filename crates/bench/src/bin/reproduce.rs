@@ -793,7 +793,8 @@ fn bench_sim(quick: bool, json: bool, spec: &CostModelSpec, cost: &tilelink_sim:
     }
     let tune = fig9_tune_throughput(quick, spec);
     println!(
-        "fig9 MoE-1 cold tune ({}): {:.2} s wall, {} candidates ({:.1}/s), {} sims ({:.1}/s), \
+        "fig9 MoE-1 cold tune ({}): {:.2} s wall, {} disposed/s ({} full sims, \
+         {} bound-pruned, {} bounded aborts; {:.0}% short-circuited), {} sims ({:.1}/s), \
          {:.0}% patched compiles",
         if quick {
             "compact space"
@@ -801,8 +802,11 @@ fn bench_sim(quick: bool, json: bool, spec: &CostModelSpec, cost: &tilelink_sim:
             "standard space"
         },
         tune.wall_s,
-        tune.candidates,
-        tune.candidates_per_sec,
+        tune.candidates_per_sec as u64,
+        tune.full_sims,
+        tune.pruned_bound,
+        tune.bounded_aborts,
+        tune.short_circuit_rate() * 100.0,
         tune.evaluations,
         tune.sims_per_sec,
         tune.patch_rate() * 100.0

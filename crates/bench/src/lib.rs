@@ -537,19 +537,30 @@ pub fn sim_throughput(iters: usize, spec: &CostModelSpec) -> Vec<SimThroughput> 
 }
 
 /// Wall-clock throughput of one cold Figure 9 MoE tuning run (in-memory
-/// cache, so every candidate is simulated).
+/// cache, so every candidate is either simulated or disposed of by the
+/// branch-and-bound machinery).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TuneThroughput {
     /// Wall-clock seconds of the whole search.
     pub wall_s: f64,
-    /// Distinct candidates ranked by the search.
+    /// Distinct candidates ranked by the search (fully simulated).
     pub candidates: usize,
     /// Oracle calls performed (each prices one candidate on the simulator).
     pub evaluations: usize,
-    /// Candidates ranked per second of wall time.
+    /// Candidates *disposed of* per second of wall time: ranked candidates
+    /// plus those branch-and-bound discarded (skipped on their lower bound or
+    /// abort-shortened by the incumbent cutoff). A pruned candidate is search
+    /// progress just like a simulated one — the search answered "can this
+    /// win?" for it — so the throughput counts both.
     pub candidates_per_sec: f64,
     /// Oracle evaluations per second of wall time.
     pub sims_per_sec: f64,
+    /// Candidates skipped outright: lower bound already met the incumbent.
+    pub pruned_bound: usize,
+    /// Candidates whose simulation aborted early at the incumbent cutoff.
+    pub bounded_aborts: usize,
+    /// Candidates fully simulated (the ranked count).
+    pub full_sims: usize,
     /// Candidate compiles served by patching a cached lowered program.
     pub compile_patched: u64,
     /// Candidate compiles that rebuilt the tile program from the frontend.
@@ -564,6 +575,17 @@ impl TuneThroughput {
             0.0
         } else {
             self.compile_patched as f64 / total as f64
+        }
+    }
+
+    /// Fraction of disposed candidates that branch-and-bound short-circuited
+    /// (lower-bound skips plus cutoff-bounded aborts).
+    pub fn short_circuit_rate(&self) -> f64 {
+        let disposed = self.full_sims + self.pruned_bound + self.bounded_aborts;
+        if disposed == 0 {
+            0.0
+        } else {
+            (self.pruned_bound + self.bounded_aborts) as f64 / disposed as f64
         }
     }
 }
@@ -592,19 +614,32 @@ pub fn fig9_tune_throughput(quick: bool, spec: &CostModelSpec) -> TuneThroughput
 
     let shape = shapes::moe_shapes()[0].clone();
     let opts = if quick {
+        // A compact 128-combination grid, searched exhaustively: the CI
+        // trajectory recording for the branch-and-bound path. The space
+        // deliberately spans the Sm mappings and small compute tiles whose
+        // admissible lower bounds exceed the best configuration's makespan,
+        // so a healthy run disposes of most of the grid without compiling
+        // or fully simulating it (`fig9_tune_pruning` in `BENCH_sim.json`).
         TuneOptions {
-            strategy: Strategy::Beam {
-                width: 2,
-                sweeps: 1,
-            },
+            strategy: Strategy::Exhaustive,
             space: SearchSpace::new()
-                .with_comm_tiles([TileShape::new(128, 128), TileShape::new(256, 128)])
-                .with_compute_tiles([TileShape::new(128, 256), TileShape::new(256, 256)])
+                .with_comm_tiles([TileShape::new(64, 64), TileShape::new(128, 128)])
+                .with_compute_tiles([
+                    TileShape::new(64, 128),
+                    TileShape::new(128, 128),
+                    TileShape::new(128, 256),
+                    TileShape::new(256, 256),
+                ])
                 .with_mappings([
                     tilelink::CommMapping::CopyEngine,
-                    tilelink::CommMapping::Hybrid { sms: 20 },
+                    tilelink::CommMapping::Sm { sms: 8 },
+                    tilelink::CommMapping::Sm { sms: 12 },
+                    tilelink::CommMapping::Sm { sms: 16 },
+                    tilelink::CommMapping::Sm { sms: 20 },
+                    tilelink::CommMapping::Sm { sms: 40 },
                 ])
-                .with_stages([2, 3]),
+                .with_channels([1, 4])
+                .with_stages([2, 4]),
             ..TuneOptions::default()
         }
     } else {
@@ -623,12 +658,16 @@ pub fn fig9_tune_throughput(quick: bool, spec: &CostModelSpec) -> TuneThroughput
         let start = std::time::Instant::now();
         let tuned = autotune::tuned_full_moe(&shape, &default_cluster(), &opts).expect("fig9 tune");
         let wall_s = start.elapsed().as_secs_f64();
+        let disposed = tuned.search.ranked.len() + tuned.search.failed.bound_pruned;
         let run = TuneThroughput {
             wall_s,
             candidates: tuned.search.ranked.len(),
             evaluations: tuned.search.evaluations,
-            candidates_per_sec: tuned.search.ranked.len() as f64 / wall_s,
+            candidates_per_sec: disposed as f64 / wall_s,
             sims_per_sec: tuned.search.evaluations as f64 / wall_s,
+            pruned_bound: tuned.search.pruned_bound(),
+            bounded_aborts: tuned.search.bounded_aborts,
+            full_sims: tuned.search.ranked.len(),
             compile_patched: tuned.search.compile_patched,
             compile_full_rebuilds: tuned.search.compile_full_rebuilds,
         };
@@ -805,7 +844,7 @@ pub fn bench_sim_json(
         concat!(
             "  \"fig9_tune\": {{\"wall_s\": {:.3}, \"candidates\": {}, \"evaluations\": {}, ",
             "\"candidates_per_sec\": {:.1}, \"sims_per_sec\": {:.1}, ",
-            "\"compile_patched\": {}, \"compile_full_rebuilds\": {}, \"patch_rate\": {:.3}}}\n"
+            "\"compile_patched\": {}, \"compile_full_rebuilds\": {}, \"patch_rate\": {:.3}}},\n"
         ),
         tune.wall_s,
         tune.candidates,
@@ -815,6 +854,18 @@ pub fn bench_sim_json(
         tune.compile_patched,
         tune.compile_full_rebuilds,
         tune.patch_rate()
+    ));
+    out.push_str(&format!(
+        concat!(
+            "  \"fig9_tune_pruning\": {{\"candidates_per_sec\": {:.1}, ",
+            "\"pruned_bound\": {}, \"bounded_aborts\": {}, \"full_sims\": {}, ",
+            "\"short_circuit_rate\": {:.3}}}\n"
+        ),
+        tune.candidates_per_sec,
+        tune.pruned_bound,
+        tune.bounded_aborts,
+        tune.full_sims,
+        tune.short_circuit_rate()
     ));
     out.push('}');
     out
@@ -1063,6 +1114,9 @@ mod tests {
             evaluations: 8,
             candidates_per_sec: 5.0,
             sims_per_sec: 4.0,
+            pruned_bound: 4,
+            bounded_aborts: 2,
+            full_sims: 10,
             compile_patched: 18,
             compile_full_rebuilds: 2,
         };
@@ -1116,6 +1170,21 @@ mod tests {
                 .and_then(tilelink_probe::JsonValue::as_f64),
             Some(0.9)
         );
+        let pruning = v.get("fig9_tune_pruning").expect("pruning block");
+        for (key, want) in [
+            ("candidates_per_sec", 5.0),
+            ("pruned_bound", 4.0),
+            ("bounded_aborts", 2.0),
+            ("full_sims", 10.0),
+            // 6 of 16 disposed candidates were short-circuited.
+            ("short_circuit_rate", 0.375),
+        ] {
+            assert_eq!(
+                pruning.get(key).and_then(tilelink_probe::JsonValue::as_f64),
+                Some(want),
+                "fig9_tune_pruning.{key}"
+            );
+        }
     }
 
     #[test]

@@ -74,6 +74,13 @@ fn fig11_e2e_geomeans_are_pinned() {
 fn tuned_vs_default_geomeans_are_pinned() {
     // The `reproduce --tune` headline numbers: default beam strategy over the
     // standard space, analytic costs, all six shapes per figure.
+    //
+    // Checked for re-baselining when branch-and-bound pruning landed and
+    // `SearchSpace::standard()` picked up the RING_REQUIRES_PUSH constraint:
+    // both values stayed bit-identical, because pruning is admissible (the
+    // winner is never discarded) and no beam winner was ever a pull-mode
+    // ring — the constraint only stops the search from wasting evaluations
+    // on combinations that would deadlock on real hardware.
     let cluster = default_cluster();
     let opts = TuneOptions::default();
 

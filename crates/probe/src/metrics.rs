@@ -213,6 +213,12 @@ pub static TUNE_CANDIDATES_PRUNED_CONSTRAINT: Counter =
     Counter::new("tune.candidates.pruned_constraint");
 /// Candidates whose oracle evaluation returned an error.
 pub static TUNE_CANDIDATES_FAILED_SIM: Counter = Counter::new("tune.candidates.failed_sim");
+/// Candidates skipped without compiling or simulating because their admissible
+/// analytic lower bound already met or exceeded the incumbent best.
+pub static TUNE_CANDIDATES_PRUNED_BOUND: Counter = Counter::new("tune.candidates.pruned_bound");
+/// Bounded fast-path simulations that aborted early because the simulated
+/// clock provably exceeded the incumbent cutoff.
+pub static SIM_MAKESPAN_BOUNDED_ABORTS: Counter = Counter::new("sim.makespan_bounded_aborts");
 /// Candidate compiles served by patching a cached lowered program (the
 /// incremental-recompilation fast path).
 pub static TUNE_COMPILE_PATCHED: Counter = Counter::new("tune.compile.patched");
@@ -277,6 +283,8 @@ static COUNTERS: &[&Counter] = &[
     &TUNE_CANDIDATES_PRUNED_VALIDATE,
     &TUNE_CANDIDATES_PRUNED_CONSTRAINT,
     &TUNE_CANDIDATES_FAILED_SIM,
+    &TUNE_CANDIDATES_PRUNED_BOUND,
+    &SIM_MAKESPAN_BOUNDED_ABORTS,
     &TUNE_COMPILE_PATCHED,
     &TUNE_COMPILE_FULL_REBUILDS,
     &GRAPH_SCRATCH_REUSES,

@@ -2,7 +2,7 @@
 
 use std::cell::RefCell;
 
-use crate::sched::{schedule, SimScratch};
+use crate::sched::{schedule, schedule_bounded, BoundedMakespan, SimScratch};
 use crate::{
     analytic_cost, ClusterSpec, CostProvider, Result, Seconds, SharedCost, SimError, TaskGraph,
     Trace, TraceEntry, Work,
@@ -150,6 +150,54 @@ impl Engine {
         tilelink_probe::metrics::SIM_MAKESPAN_RUNS.inc();
         self.validate(graph)?;
         schedule(&*self.cost, graph, scratch, |_, _, _, _| {})
+    }
+
+    /// [`Engine::makespan`] with an abort cutoff: runs the identical
+    /// scheduler, but stops as soon as the simulated clock provably exceeds
+    /// `cutoff`, returning [`BoundedMakespan::Exceeded`] with the partial
+    /// makespan (a certified lower bound on the true one).
+    ///
+    /// When the cutoff is never hit, the returned
+    /// [`BoundedMakespan::Finished`] value is bit-identical to what
+    /// [`Engine::makespan`] returns — both drive the same scheduling core.
+    /// This is the branch-and-bound fast path: search loops pass the
+    /// incumbent-best as `cutoff` and discard candidates that exceed it
+    /// without simulating their tail.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Engine::run`].
+    pub fn makespan_bounded(&self, graph: &TaskGraph, cutoff: Seconds) -> Result<BoundedMakespan> {
+        SCRATCH.with(|scratch| match scratch.try_borrow_mut() {
+            Ok(mut scratch) => {
+                tilelink_probe::metrics::SIM_SCRATCH_REUSES.inc();
+                self.makespan_bounded_with_scratch(graph, cutoff, &mut scratch)
+            }
+            Err(_) => {
+                tilelink_probe::metrics::SIM_SCRATCH_COLD.inc();
+                self.makespan_bounded_with_scratch(graph, cutoff, &mut SimScratch::new())
+            }
+        })
+    }
+
+    /// [`Engine::makespan_bounded`] with an explicit reusable scratch buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Engine::run`].
+    pub fn makespan_bounded_with_scratch(
+        &self,
+        graph: &TaskGraph,
+        cutoff: Seconds,
+        scratch: &mut SimScratch,
+    ) -> Result<BoundedMakespan> {
+        tilelink_probe::metrics::SIM_MAKESPAN_RUNS.inc();
+        self.validate(graph)?;
+        let result = schedule_bounded(&*self.cost, graph, scratch, cutoff, |_, _, _, _| {})?;
+        if matches!(result, BoundedMakespan::Exceeded(_)) {
+            tilelink_probe::metrics::SIM_MAKESPAN_BOUNDED_ABORTS.inc();
+        }
+        Ok(result)
     }
 }
 
@@ -429,6 +477,72 @@ mod tests {
         let fast = engine.makespan(&g).unwrap();
         assert_eq!(fast.to_bits(), traced.to_bits());
         assert!((fast - (2.0 + 1e-6)).abs() < 1e-9);
+    }
+
+    fn chain_graph() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        for i in 0..40 {
+            let t = g.add_task(
+                format!("t{i}"),
+                i % 4,
+                ResourceKind::Sm,
+                48,
+                Work::Latency {
+                    seconds: 0.01 * (i % 5 + 1) as f64,
+                },
+            );
+            if i >= 3 {
+                g.add_dep(TaskId(i - 3), t);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn bounded_makespan_is_bit_identical_when_cutoff_not_hit() {
+        let g = chain_graph();
+        let e = engine();
+        let exact = e.makespan(&g).unwrap();
+        for cutoff in [f64::INFINITY, exact * 2.0, exact] {
+            match e.makespan_bounded(&g, cutoff).unwrap() {
+                BoundedMakespan::Finished(m) => assert_eq!(m.to_bits(), exact.to_bits()),
+                BoundedMakespan::Exceeded(c) => panic!("cutoff {cutoff} wrongly aborted at {c}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_makespan_aborts_below_the_true_makespan() {
+        let g = chain_graph();
+        let e = engine();
+        let exact = e.makespan(&g).unwrap();
+        let before = tilelink_probe::metrics::SIM_MAKESPAN_BOUNDED_ABORTS.get();
+        match e.makespan_bounded(&g, exact * 0.25).unwrap() {
+            BoundedMakespan::Exceeded(clock) => {
+                assert!(clock > exact * 0.25, "abort clock must exceed the cutoff");
+                assert!(
+                    clock <= exact,
+                    "abort clock is a lower bound on the true makespan"
+                );
+            }
+            BoundedMakespan::Finished(m) => panic!("cutoff below makespan {m} did not abort"),
+        }
+        assert!(tilelink_probe::metrics::SIM_MAKESPAN_BOUNDED_ABORTS.get() > before);
+        // Zero cutoff aborts at the very first completion batch.
+        assert!(matches!(
+            e.makespan_bounded(&g, 0.0).unwrap(),
+            BoundedMakespan::Exceeded(_)
+        ));
+    }
+
+    #[test]
+    fn bounded_makespan_validates_like_the_unbounded_path() {
+        let mut g = TaskGraph::new();
+        g.add_host_latency("a", 9, 1.0);
+        assert!(matches!(
+            engine().makespan_bounded(&g, f64::INFINITY),
+            Err(SimError::InvalidRank { .. })
+        ));
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub use error::SimError;
 pub use gpu::GpuSpec;
 pub use graph::TaskGraph;
 pub use provider::{analytic_cost, CostModelSpec, CostProvider, SharedCost};
-pub use sched::SimScratch;
+pub use sched::{BoundedMakespan, SimScratch};
 pub use task::{ResourceKind, Task, TaskId, TaskLabel, Work};
 pub use trace::{Trace, TraceEntry};
 

@@ -113,6 +113,33 @@ impl SimScratch {
     }
 }
 
+/// Outcome of a cutoff-bounded schedule: either the exact makespan, or proof
+/// that it exceeds the caller's cutoff.
+///
+/// `Exceeded(clock)` carries the partial makespan at the abort point — a
+/// certified *lower bound* on the true makespan (task end times only grow),
+/// not the final value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoundedMakespan {
+    /// The graph ran to completion; the makespan is exact and bit-identical
+    /// to what the unbounded path returns.
+    Finished(Seconds),
+    /// Scheduling stopped early: some already-started task ends after the
+    /// cutoff, so the true makespan is at least this value.
+    Exceeded(Seconds),
+}
+
+impl BoundedMakespan {
+    /// The clock value carried either way (exact makespan or its certified
+    /// lower bound).
+    #[must_use]
+    pub fn clock(self) -> Seconds {
+        match self {
+            Self::Finished(s) | Self::Exceeded(s) => s,
+        }
+    }
+}
+
 /// Runs `graph` to completion, invoking `on_start` for every task as it is
 /// scheduled (with its id, the task, its start and its end time), and returns
 /// the makespan: the maximum end time over all tasks (0 for an empty graph).
@@ -128,8 +155,29 @@ pub(crate) fn schedule(
     cost: &dyn CostProvider,
     graph: &TaskGraph,
     scratch: &mut SimScratch,
-    mut on_start: impl FnMut(TaskId, &Task, Seconds, Seconds),
+    on_start: impl FnMut(TaskId, &Task, Seconds, Seconds),
 ) -> Result<Seconds> {
+    match schedule_bounded(cost, graph, scratch, f64::INFINITY, on_start)? {
+        BoundedMakespan::Finished(makespan) => Ok(makespan),
+        // Nothing exceeds an infinite cutoff.
+        BoundedMakespan::Exceeded(_) => unreachable!("infinite cutoff can never be exceeded"),
+    }
+}
+
+/// [`schedule`] with an abort cutoff: identical event-by-event scheduling, but
+/// the loop stops as soon as the running makespan (the max end time over all
+/// *started* tasks, which only grows) strictly exceeds `cutoff`.
+///
+/// With `cutoff = f64::INFINITY` this is exactly [`schedule`] — same code
+/// path, so bounded and unbounded results are bit-identical whenever the
+/// cutoff is not hit.
+pub(crate) fn schedule_bounded(
+    cost: &dyn CostProvider,
+    graph: &TaskGraph,
+    scratch: &mut SimScratch,
+    cutoff: Seconds,
+    mut on_start: impl FnMut(TaskId, &Task, Seconds, Seconds),
+) -> Result<BoundedMakespan> {
     let cluster = cost.cluster();
     let world = cluster.world_size();
     scratch.reset(graph.len(), world * ResourceKind::COUNT);
@@ -204,6 +252,14 @@ pub(crate) fn schedule(
         }
         pending.clear();
 
+        // The makespan is monotone in started tasks, so exceeding the cutoff
+        // here proves the final makespan would too — abort before draining
+        // any more completions. Strict `>` keeps ties (a candidate exactly
+        // matching the incumbent) on the exact path.
+        if makespan > cutoff {
+            return Ok(BoundedMakespan::Exceeded(makespan));
+        }
+
         if running == 0 {
             if completed == graph.len() {
                 break;
@@ -257,5 +313,5 @@ pub(crate) fn schedule(
         pending.sort_unstable_by_key(|&tid| seq[tid]);
     }
 
-    Ok(makespan)
+    Ok(BoundedMakespan::Finished(makespan))
 }

@@ -788,6 +788,63 @@ pub fn simulate_report_with(kernel: &CompiledKernel, cost: &SharedCost) -> Resul
     })
 }
 
+/// Outcome of a cutoff-bounded report simulation: the full report, or proof
+/// that the kernel's overlapped makespan exceeds the caller's cutoff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoundedReport {
+    /// The cutoff was never hit; the report is bit-identical to what
+    /// [`simulate_report_with`] returns.
+    Report(OverlapReport),
+    /// The overlapped (full-graph) simulation provably exceeds the cutoff;
+    /// carries the certified lower bound on the true makespan. The comm-only
+    /// and compute-only simulations are skipped entirely.
+    Exceeded(f64),
+}
+
+/// [`simulate_report_with`] with an abort cutoff on the overlapped makespan —
+/// the branch-and-bound fast path for search loops.
+///
+/// The full (overlapped) graph is simulated first through
+/// [`Engine::makespan_bounded`]. If the simulated clock provably exceeds
+/// `cutoff` the whole evaluation stops — including the comm-only and
+/// compute-only subset simulations, which is where most of the saving comes
+/// from — and [`BoundedReport::Exceeded`] is returned. Otherwise the two
+/// subset graphs run unbounded and the resulting [`OverlapReport`] is
+/// bit-identical to the unbounded path (one shared scheduler underneath).
+///
+/// # Errors
+///
+/// Same failure modes as [`simulate_report_with`].
+pub fn simulate_report_bounded_with(
+    kernel: &CompiledKernel,
+    cost: &SharedCost,
+    cutoff: f64,
+) -> Result<BoundedReport> {
+    let cluster = cost.cluster().clone();
+    let engine = Engine::with_cost(cost.clone());
+    with_graph_scratch(|scratch| {
+        build_subset_graphs_into(scratch, kernel, &cluster);
+        let full = {
+            let _span = tilelink_probe::span("simulate");
+            match engine.makespan_bounded(&scratch.slots[Subset::All.slot()].graph, cutoff)? {
+                tilelink_sim::BoundedMakespan::Finished(makespan) => makespan,
+                tilelink_sim::BoundedMakespan::Exceeded(clock) => {
+                    return Ok(BoundedReport::Exceeded(clock))
+                }
+            }
+        };
+        let comm = {
+            let _span = tilelink_probe::span("simulate");
+            engine.makespan(&scratch.slots[Subset::CommOnly.slot()].graph)?
+        };
+        let comp = {
+            let _span = tilelink_probe::span("simulate");
+            engine.makespan(&scratch.slots[Subset::ComputeOnly.slot()].graph)?
+        };
+        Ok(BoundedReport::Report(OverlapReport::new(full, comm, comp)))
+    })
+}
+
 /// The full task graph (all block roles) a compiled kernel simulates as.
 ///
 /// Exposed for benchmark harnesses that time the simulator itself on real

@@ -35,14 +35,15 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
-use tilelink::{OverlapConfig, OverlapReport, TileLinkError};
+use tilelink::{OverlapConfig, TileLinkError};
 use tilelink_probe::metrics::{TUNE_EXECUTOR_QUEUE_DEPTH, TUNE_EXECUTOR_REUSES};
 
 use crate::search::timed_eval;
-use crate::CostOracle;
+use crate::{BoundedEval, CostOracle};
 
 /// Default cap on concurrently admitted search sessions.
 const DEFAULT_MAX_SESSIONS: usize = 4;
@@ -83,10 +84,15 @@ struct Job {
 struct Batch {
     state: Mutex<BatchState>,
     done: Condvar,
+    /// The submitting search's incumbent-best cutoff as `f64` bits, loaded
+    /// per job. The tuner only updates it between batches (single-threaded
+    /// merge), so every job of one batch observes the same value — and
+    /// batches from concurrently admitted sessions each carry their own.
+    cutoff: Arc<AtomicU64>,
 }
 
 struct BatchState {
-    results: Vec<Option<tilelink::Result<OverlapReport>>>,
+    results: Vec<Option<tilelink::Result<BoundedEval>>>,
     outstanding: usize,
 }
 
@@ -232,7 +238,8 @@ impl SearchExecutor {
         &self,
         oracle: &dyn CostOracle,
         misses: &[&OverlapConfig],
-    ) -> Vec<Option<tilelink::Result<OverlapReport>>> {
+        cutoff: Arc<AtomicU64>,
+    ) -> Vec<Option<tilelink::Result<BoundedEval>>> {
         if misses.is_empty() {
             return Vec::new();
         }
@@ -242,6 +249,7 @@ impl SearchExecutor {
                 outstanding: misses.len(),
             }),
             done: Condvar::new(),
+            cutoff,
         });
         let oracle = OraclePtr::erase(oracle);
         {
@@ -327,7 +335,8 @@ fn worker(inner: &Inner) {
         // A panicking oracle must not kill a shared worker (the pool would
         // silently shrink for every later search) nor wedge the batch
         // barrier: surface it as a failed candidate instead.
-        let result = catch_unwind(AssertUnwindSafe(|| timed_eval(oracle, &job.cfg)))
+        let cutoff = f64::from_bits(job.batch.cutoff.load(Ordering::Relaxed));
+        let result = catch_unwind(AssertUnwindSafe(|| timed_eval(oracle, &job.cfg, cutoff)))
             .unwrap_or_else(|_| {
                 Err(TileLinkError::InvalidConfig {
                     reason: "oracle panicked during evaluation".to_string(),
@@ -347,7 +356,12 @@ mod tests {
     use super::*;
     use crate::FnOracle;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use tilelink::OverlapReport;
     use tilelink_sim::ClusterSpec;
+
+    fn no_cutoff() -> Arc<AtomicU64> {
+        Arc::new(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
 
     fn counting_oracle(counter: &AtomicUsize) -> impl CostOracle + '_ {
         FnOracle::new("exec", ClusterSpec::h800_node(8), move |cfg| {
@@ -371,10 +385,13 @@ mod tests {
             })
             .collect();
         let refs: Vec<&OverlapConfig> = configs.iter().collect();
-        let results = exec.run_batch(&oracle, &refs);
+        let results = exec.run_batch(&oracle, &refs, no_cutoff());
         assert_eq!(results.len(), 3);
         for (i, r) in results.iter().enumerate() {
-            let report = r.as_ref().expect("slot filled").as_ref().expect("ok");
+            let eval = r.as_ref().expect("slot filled").as_ref().expect("ok");
+            let BoundedEval::Report(report) = eval else {
+                panic!("infinite cutoff must never abort");
+            };
             assert_eq!(report.total_s, configs[i].num_stages as f64);
         }
         assert_eq!(calls.load(Ordering::SeqCst), 3);
@@ -402,7 +419,7 @@ mod tests {
         );
         let _session = exec.session();
         let cfg = OverlapConfig::default();
-        let results = exec.run_batch(&panicky, &[&cfg]);
+        let results = exec.run_batch(&panicky, &[&cfg], no_cutoff());
         assert!(matches!(
             results[0],
             Some(Err(TileLinkError::InvalidConfig { .. }))
@@ -410,7 +427,7 @@ mod tests {
         // And the pool still works afterwards.
         let calls = AtomicUsize::new(0);
         let oracle = counting_oracle(&calls);
-        let results = exec.run_batch(&oracle, &[&cfg]);
+        let results = exec.run_batch(&oracle, &[&cfg], no_cutoff());
         assert!(results[0].as_ref().unwrap().is_ok());
     }
 

@@ -73,7 +73,7 @@ pub use cache::TuneCache;
 pub use error::TuneError;
 pub use executor::{ExecutorSession, SearchExecutor};
 pub use objective::Objective;
-pub use oracle::{cluster_key, CostOracle, FnOracle};
+pub use oracle::{cluster_key, BoundedEval, CostOracle, FnOracle};
 pub use search::{Candidate, FailedBreakdown, RoundProgress, Strategy, TuneReport, Tuner};
 pub use space::{AxisConstraint, PruneCounts, SearchSpace, RING_REQUIRES_PUSH};
 

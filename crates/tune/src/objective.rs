@@ -95,16 +95,29 @@ impl Objective {
         }
     }
 
-    /// Index into an ascending-sorted sample list of length `n` (nearest-rank).
-    fn pick_index(&self, n: usize) -> usize {
+    /// Index into an ascending-sorted sample list of length `n` that this
+    /// objective selects (nearest-rank), or `None` for [`Objective::Mean`],
+    /// which averages instead of picking.
+    ///
+    /// Exposed so cutoff-bounded oracle evaluations can reason about the
+    /// order statistic: with `i = sorted_pick_index(n)`, up to `n - 1 - i`
+    /// samples may abort above the cutoff before the folded value itself
+    /// provably exceeds it.
+    pub fn sorted_pick_index(&self, n: usize) -> Option<usize> {
         match self {
-            Objective::Mean => unreachable!("mean does not pick a sample"),
+            Objective::Mean => None,
             Objective::Percentile(p) => {
                 let rank = (*p as f64 / 100.0 * n as f64).ceil() as usize;
-                rank.clamp(1, n) - 1
+                Some(rank.clamp(1, n) - 1)
             }
-            Objective::WorstCase => n - 1,
+            Objective::WorstCase => Some(n - 1),
         }
+    }
+
+    /// Index into an ascending-sorted sample list of length `n` (nearest-rank).
+    fn pick_index(&self, n: usize) -> usize {
+        self.sorted_pick_index(n)
+            .expect("mean does not pick a sample")
     }
 }
 

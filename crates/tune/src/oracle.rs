@@ -5,6 +5,21 @@ use tilelink_sim::ClusterSpec;
 
 use crate::Objective;
 
+/// Outcome of a cutoff-bounded oracle evaluation.
+///
+/// Returned by [`CostOracle::evaluate_bounded`]: either the full report
+/// (bit-identical to [`CostOracle::evaluate`]) or proof that the candidate's
+/// objective value strictly exceeds the caller's cutoff, with the certified
+/// partial clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoundedEval {
+    /// The cutoff was never hit; the report is exact.
+    Report(OverlapReport),
+    /// The evaluation aborted early: the objective value provably exceeds
+    /// the cutoff. Carries a lower bound on the true value.
+    Exceeded(f64),
+}
+
 /// Prices one [`OverlapConfig`] for one workload on one cluster.
 ///
 /// The workload crates implement this by building the tile program for the
@@ -54,6 +69,42 @@ pub trait CostOracle: Sync {
     /// tuner treats such candidates as pruned.
     fn evaluate(&self, cfg: &OverlapConfig) -> tilelink::Result<OverlapReport>;
 
+    /// A cheap *admissible* lower bound on the objective value
+    /// [`CostOracle::evaluate`] would report for `cfg`, or `None` when no
+    /// sound bound is available.
+    ///
+    /// Admissible means `lower_bound(cfg) <= evaluate(cfg).total_s` (or the
+    /// folded objective value for sampled oracles) for every supported
+    /// config: the tuner skips candidates whose bound already meets or
+    /// exceeds the incumbent best, so an inadmissible bound would change
+    /// winners. Implementations must not compile, build graphs or run event
+    /// simulation — the point is to price the candidate in nanoseconds from
+    /// closed-form work/byte totals (critical-path compute, per-rank GEMM
+    /// work over SM throughput, per-link bytes over bandwidth).
+    ///
+    /// The default returns `None`: no bound, nothing is pruned.
+    fn lower_bound(&self, cfg: &OverlapConfig) -> Option<f64> {
+        let _ = cfg;
+        None
+    }
+
+    /// [`CostOracle::evaluate`] with an abort cutoff: implementations may
+    /// stop early and return [`BoundedEval::Exceeded`] as soon as the
+    /// objective value provably exceeds `cutoff` strictly.
+    ///
+    /// The contract mirrors [`tilelink_sim::Engine::makespan_bounded`]: when
+    /// the cutoff is not hit, the returned report must be bit-identical to
+    /// [`CostOracle::evaluate`]. The default ignores the cutoff and never
+    /// aborts, which is always sound.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`CostOracle::evaluate`].
+    fn evaluate_bounded(&self, cfg: &OverlapConfig, cutoff: f64) -> tilelink::Result<BoundedEval> {
+        let _ = cutoff;
+        self.evaluate(cfg).map(BoundedEval::Report)
+    }
+
     /// Workload-specific validity constraints beyond
     /// [`OverlapConfig::validate`] (for example tile-divisibility rules).
     /// Unsupported candidates are pruned without an oracle call.
@@ -85,6 +136,9 @@ pub fn cluster_key(cluster: &ClusterSpec) -> String {
     )
 }
 
+/// Boxed admissible lower-bound closure (see [`CostOracle::lower_bound`]).
+pub type BoundFn = Box<dyn Fn(&OverlapConfig) -> Option<f64> + Send + Sync>;
+
 /// A [`CostOracle`] built from closures, mainly for tests and experiments.
 pub struct FnOracle<E, S = fn(&OverlapConfig) -> bool>
 where
@@ -97,6 +151,9 @@ where
     supported: S,
     revision: String,
     objective: Objective,
+    /// Optional admissible bound closure (boxed so adding one does not grow
+    /// the type's generic surface).
+    lower_bound: Option<BoundFn>,
 }
 
 impl<E> FnOracle<E>
@@ -112,6 +169,7 @@ where
             supported: |_| true,
             revision: tilelink_sim::CostModel::REVISION.to_string(),
             objective: Objective::Mean,
+            lower_bound: None,
         }
     }
 }
@@ -133,7 +191,18 @@ where
             supported,
             revision: self.revision,
             objective: self.objective,
+            lower_bound: self.lower_bound,
         }
+    }
+
+    /// Attaches an admissible lower-bound closure (see
+    /// [`CostOracle::lower_bound`]).
+    pub fn with_lower_bound(
+        mut self,
+        lower_bound: impl Fn(&OverlapConfig) -> Option<f64> + Send + Sync + 'static,
+    ) -> Self {
+        self.lower_bound = Some(Box::new(lower_bound));
+        self
     }
 
     /// Replaces the cost-model revision reported for cache keying.
@@ -168,6 +237,10 @@ where
 
     fn is_supported(&self, cfg: &OverlapConfig) -> bool {
         (self.supported)(cfg)
+    }
+
+    fn lower_bound(&self, cfg: &OverlapConfig) -> Option<f64> {
+        self.lower_bound.as_ref().and_then(|f| f(cfg))
     }
 
     fn cost_revision(&self) -> String {

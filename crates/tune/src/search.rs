@@ -1,22 +1,37 @@
 //! Search strategies and the multi-threaded tuner driver.
 
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use tilelink::{OverlapConfig, OverlapReport, TileLinkError};
 use tilelink_probe::metrics::{
     TUNE_CACHE_HITS, TUNE_CACHE_MISSES, TUNE_CACHE_REVISION_INVALIDATIONS, TUNE_CANDIDATES_CACHED,
-    TUNE_CANDIDATES_FAILED_SIM, TUNE_CANDIDATES_PRUNED_CONSTRAINT, TUNE_CANDIDATES_PRUNED_VALIDATE,
-    TUNE_CANDIDATES_SIMULATED, TUNE_COMPILE_FULL_REBUILDS, TUNE_COMPILE_PATCHED, TUNE_EVAL_US,
-    TUNE_SPACE_SIZE,
+    TUNE_CANDIDATES_FAILED_SIM, TUNE_CANDIDATES_PRUNED_BOUND, TUNE_CANDIDATES_PRUNED_CONSTRAINT,
+    TUNE_CANDIDATES_PRUNED_VALIDATE, TUNE_CANDIDATES_SIMULATED, TUNE_COMPILE_FULL_REBUILDS,
+    TUNE_COMPILE_PATCHED, TUNE_EVAL_US, TUNE_SPACE_SIZE,
 };
 
 use crate::executor::SearchExecutor;
-use crate::oracle::cluster_key;
+use crate::oracle::{cluster_key, BoundedEval};
 use crate::space::{PruneCounts, SearchSpace};
 use crate::{CostOracle, Result, TuneCache, TuneError};
+
+/// Candidates per branch-and-bound chunk: the incumbent cutoff is refreshed
+/// between chunks (in the single-threaded merge) and frozen within one, so
+/// the prune/abort decisions are a pure function of candidate order —
+/// independent of thread count or scheduling. 32 keeps every worker of the
+/// largest pool (16 threads) busy while still tightening the cutoff at a
+/// useful cadence on big exhaustive batches.
+const PRUNE_CHUNK: usize = 32;
+
+/// Chunk width used while the incumbent is still infinite (nothing ranked or
+/// cached yet): just enough parallelism to price a handful of candidates and
+/// put a real cutoff in place before the wide chunks stream through. See
+/// [`Tuner::evaluate_batch`].
+const PRUNE_SEED_CHUNK: usize = 4;
 
 /// How the tuner explores the space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,10 +73,14 @@ pub struct Candidate {
 
 /// Why candidates dropped out of a tuning run, by pruning stage.
 ///
-/// The three counters partition the configurations that were considered but
+/// The four counters partition the configurations that were considered but
 /// never ranked: `validate_rejected` and `constraint_pruned` never reached the
-/// oracle (free), while `simulation_error` candidates cost a full compile or
-/// simulation attempt before failing.
+/// oracle (free, counted during enumeration — see
+/// [`SearchSpace::candidates_counted`]), `bound_pruned` candidates were
+/// disposed of by branch-and-bound (an admissible lower bound at or above the
+/// incumbent, or a bounded simulation that aborted past it), and
+/// `simulation_error` candidates cost a full compile or simulation attempt
+/// before failing.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct FailedBreakdown {
     /// Rejected by [`OverlapConfig::validate`] (impossible on the GPU).
@@ -69,14 +88,19 @@ pub struct FailedBreakdown {
     /// Rejected by a cross-axis space constraint or the oracle's
     /// [`CostOracle::is_supported`] predicate.
     pub constraint_pruned: usize,
+    /// Disposed of by branch-and-bound: skipped outright because the
+    /// admissible lower bound reached the incumbent, or abort-shortened by
+    /// the incumbent-bounded simulation. These candidates provably cannot
+    /// win, so dropping them never changes the ranking's top.
+    pub bound_pruned: usize,
     /// Reached the oracle but errored while compiling or simulating.
     pub simulation_error: usize,
 }
 
 impl FailedBreakdown {
-    /// Total candidates lost across all three stages.
+    /// Total candidates lost across all four stages.
     pub fn total(&self) -> usize {
-        self.validate_rejected + self.constraint_pruned + self.simulation_error
+        self.validate_rejected + self.constraint_pruned + self.bound_pruned + self.simulation_error
     }
 }
 
@@ -84,8 +108,11 @@ impl std::fmt::Display for FailedBreakdown {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} validate-rejected, {} constraint-pruned, {} simulation errors",
-            self.validate_rejected, self.constraint_pruned, self.simulation_error
+            "{} validate-rejected, {} constraint-pruned, {} bound-pruned, {} simulation errors",
+            self.validate_rejected,
+            self.constraint_pruned,
+            self.bound_pruned,
+            self.simulation_error
         )
     }
 }
@@ -117,6 +144,11 @@ pub struct TuneReport {
     pub cache_hits: usize,
     /// Candidates lost per pruning stage (never ranked).
     pub failed: FailedBreakdown,
+    /// How many of [`FailedBreakdown::bound_pruned`] were abort-shortened
+    /// simulations ([`crate::BoundedEval::Exceeded`]) rather than skipped
+    /// outright on their lower bound; see [`TuneReport::pruned_bound`] for
+    /// the complementary count.
+    pub bounded_aborts: usize,
     /// Per-round progress of a beam search (empty for [`Strategy::Exhaustive`]).
     pub rounds: Vec<RoundProgress>,
     /// Candidate compiles served by patching a cached lowered program during
@@ -132,6 +164,13 @@ impl TuneReport {
     /// Best simulated makespan, in milliseconds.
     pub fn best_ms(&self) -> f64 {
         self.best.report.total_ms()
+    }
+
+    /// Candidates skipped without compiling or simulating because their
+    /// admissible lower bound already met the incumbent (the remainder of
+    /// [`FailedBreakdown::bound_pruned`] after [`TuneReport::bounded_aborts`]).
+    pub fn pruned_bound(&self) -> usize {
+        self.failed.bound_pruned - self.bounded_aborts
     }
 
     /// Fraction of candidate compiles served by the incremental patch path
@@ -187,13 +226,75 @@ pub struct Tuner {
     cache: Mutex<TuneCache>,
     executor: Option<Arc<SearchExecutor>>,
     sweep_stale: bool,
+    pruning: bool,
 }
 
 struct BatchStats {
     evaluations: usize,
     cache_hits: usize,
     failed: usize,
+    /// Candidates skipped on their admissible lower bound (no oracle call).
+    bound_pruned: usize,
+    /// Oracle evaluations that abort-shortened past the incumbent cutoff.
+    bounded_aborts: usize,
     last_error: Option<TileLinkError>,
+}
+
+/// The branch-and-bound incumbent: the `width` best objective values ranked
+/// so far, publishing the `width`-th best as the shared prune/abort cutoff.
+///
+/// Exhaustive search prunes against the single best (`width == 1`); beam
+/// search must keep its top-`width` frontier bit-identical to the unbounded
+/// run, so it prunes against the `width`-th best instead — a candidate at or
+/// above that value is provably outranked by `width` earlier candidates and
+/// can never enter the beam (ties lose to the earlier candidate under the
+/// stable ranking sort), let alone win.
+///
+/// Only the single-threaded merge pass mutates the incumbent; worker threads
+/// share the cutoff read-only through `bits` (an `f64`-bits `AtomicU64`).
+/// Combined with the fixed [`PRUNE_CHUNK`] cadence this keeps every prune and
+/// abort decision deterministic regardless of thread count.
+struct Incumbent {
+    /// Cutoff as `f64` bits, read by pool / executor workers.
+    bits: Arc<AtomicU64>,
+    /// Ascending best objective values, at most `width` of them.
+    tops: Vec<f64>,
+    width: usize,
+    enabled: bool,
+}
+
+impl Incumbent {
+    fn new(width: usize, enabled: bool) -> Self {
+        Self {
+            bits: Arc::new(AtomicU64::new(f64::INFINITY.to_bits())),
+            tops: Vec::with_capacity(width),
+            width: width.max(1),
+            enabled,
+        }
+    }
+
+    /// The current prune/abort cutoff (`f64::INFINITY` until `width`
+    /// candidates have been observed, or always when pruning is disabled).
+    fn cutoff(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Folds one ranked candidate's objective value into the incumbent. Must
+    /// be called exactly once per ranked candidate (cache hits included).
+    fn observe(&mut self, total: f64) {
+        if !self.enabled || !total.is_finite() {
+            return;
+        }
+        if self.tops.len() < self.width || total < self.tops[self.width - 1] {
+            let idx = self.tops.partition_point(|&t| t <= total);
+            self.tops.insert(idx, total);
+            self.tops.truncate(self.width);
+            if self.tops.len() == self.width {
+                self.bits
+                    .store(self.tops[self.width - 1].to_bits(), Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// Shared state of the per-tune evaluation pool.
@@ -208,30 +309,34 @@ struct EvalPool {
     work: Condvar,
     /// The batch submitter parks here until `outstanding` drains.
     done: Condvar,
+    /// Incumbent cutoff as `f64` bits, loaded per job. The merge thread only
+    /// updates it between batches, so every job of one batch sees one value.
+    cutoff: Arc<AtomicU64>,
 }
 
 #[derive(Default)]
 struct PoolState {
     /// Pending (result slot, config) jobs of the current batch.
     jobs: Vec<(usize, OverlapConfig)>,
-    results: Vec<Option<tilelink::Result<OverlapReport>>>,
+    results: Vec<Option<tilelink::Result<BoundedEval>>>,
     outstanding: usize,
     shutdown: bool,
 }
 
 impl EvalPool {
-    fn new() -> Self {
+    fn new(cutoff: Arc<AtomicU64>) -> Self {
         Self {
             state: Mutex::new(PoolState::default()),
             work: Condvar::new(),
             done: Condvar::new(),
+            cutoff,
         }
     }
 
     /// Evaluates `misses` on the pool's workers (each worker holds the oracle
     /// from its spawn closure); blocks until every slot is filled and returns
     /// the results in candidate order.
-    fn run(&self, misses: &[&OverlapConfig]) -> Vec<Option<tilelink::Result<OverlapReport>>> {
+    fn run(&self, misses: &[&OverlapConfig]) -> Vec<Option<tilelink::Result<BoundedEval>>> {
         {
             let mut st = self.state.lock().expect("eval pool poisoned");
             st.results.clear();
@@ -269,7 +374,8 @@ impl EvalPool {
                     st = self.work.wait(st).expect("eval pool poisoned");
                 }
             };
-            let r = timed_eval(oracle, &cfg);
+            let cutoff = f64::from_bits(self.cutoff.load(Ordering::Relaxed));
+            let r = timed_eval(oracle, &cfg, cutoff);
             let mut st = self.state.lock().expect("eval pool poisoned");
             st.results[idx] = Some(r);
             st.outstanding -= 1;
@@ -287,15 +393,16 @@ impl EvalPool {
 enum Eval<'a> {
     /// Scoped per-run pool; the `usize` is the run's thread count.
     Pool(&'a EvalPool, usize),
-    /// Process-shared warm pool.
-    Shared(&'a SearchExecutor),
+    /// Process-shared warm pool; carries the run's incumbent-cutoff bits for
+    /// the executor's workers to read per job.
+    Shared(&'a SearchExecutor, Arc<AtomicU64>),
 }
 
 impl Eval<'_> {
     fn parallelism(&self) -> usize {
         match self {
             Eval::Pool(_, threads) => *threads,
-            Eval::Shared(exec) => exec.threads(),
+            Eval::Shared(exec, _) => exec.threads(),
         }
     }
 
@@ -303,23 +410,24 @@ impl Eval<'_> {
         &self,
         oracle: &dyn CostOracle,
         misses: &[&OverlapConfig],
-    ) -> Vec<Option<tilelink::Result<OverlapReport>>> {
+    ) -> Vec<Option<tilelink::Result<BoundedEval>>> {
         match self {
             Eval::Pool(pool, _) => pool.run(misses),
-            Eval::Shared(exec) => exec.run_batch(oracle, misses),
+            Eval::Shared(exec, cutoff) => exec.run_batch(oracle, misses, Arc::clone(cutoff)),
         }
     }
 }
 
-/// One timed, profiled oracle call. The span lands on whichever worker thread
-/// ran it (the profiler keeps per-thread stacks).
+/// One timed, profiled oracle call with the incumbent cutoff. The span lands
+/// on whichever worker thread ran it (the profiler keeps per-thread stacks).
 pub(crate) fn timed_eval(
     oracle: &dyn CostOracle,
     cfg: &OverlapConfig,
-) -> tilelink::Result<OverlapReport> {
+    cutoff: f64,
+) -> tilelink::Result<BoundedEval> {
     let _span = tilelink_probe::span("tune.candidate");
     let t0 = Instant::now();
-    let r = oracle.evaluate(cfg);
+    let r = oracle.evaluate_bounded(cfg, cutoff);
     TUNE_EVAL_US.record(t0.elapsed().as_micros() as u64);
     r
 }
@@ -339,7 +447,18 @@ impl Tuner {
             cache: Mutex::new(TuneCache::in_memory()),
             executor: None,
             sweep_stale: false,
+            pruning: true,
         }
+    }
+
+    /// Enables or disables branch-and-bound pruning (on by default).
+    ///
+    /// Pruning is admissible — winners are bit-identical either way — so the
+    /// switch exists for A/B measurement and for the admissibility test
+    /// suite, not correctness.
+    pub fn with_pruning(mut self, pruning: bool) -> Self {
+        self.pruning = pruning;
+        self
     }
 
     /// Replaces the evaluation thread count (minimum 1).
@@ -431,6 +550,8 @@ impl Tuner {
             evaluations: 0,
             cache_hits: 0,
             failed: 0,
+            bound_pruned: 0,
+            bounded_aborts: 0,
             last_error: None,
         };
         let patched_start = TUNE_COMPILE_PATCHED.get();
@@ -441,6 +562,19 @@ impl Tuner {
         // (config, report, from_cache) in first-evaluation order.
         let mut evaluated: Vec<Candidate> = Vec::new();
         let mut seen: HashMap<OverlapConfig, usize> = HashMap::new();
+        // Configs disposed of by branch-and-bound (lower-bound skip or
+        // bounded-simulation abort): provably unable to enter the top of the
+        // ranking, never re-dispatched, counted once.
+        let mut dominated: HashSet<OverlapConfig> = HashSet::new();
+        // Exhaustive search only needs the winner intact, so it prunes
+        // against the global best; beam search keeps its `width`-wide
+        // frontier bit-identical by pruning against the width-th best.
+        let prune_width = match self.strategy {
+            Strategy::Exhaustive => 1,
+            Strategy::Beam { width, .. } => width.max(1),
+        };
+        let mut incumbent = Incumbent::new(prune_width, self.pruning);
+        let cutoff_bits = Arc::clone(&incumbent.bits);
 
         let mut run_strategy = |eval: &Eval| -> std::result::Result<(), TuneError> {
             {
@@ -461,6 +595,8 @@ impl Tuner {
                             &mut stats,
                             &mut evaluated,
                             &mut seen,
+                            &mut incumbent,
+                            &mut dominated,
                         );
                     }
                     Strategy::Beam { width, sweeps } => {
@@ -509,6 +645,8 @@ impl Tuner {
                             &mut stats,
                             &mut evaluated,
                             &mut seen,
+                            &mut incumbent,
+                            &mut dominated,
                         );
                         // Both seeds may pass validation yet fail in the oracle (e.g.
                         // a compile error for an unsupported axis pair). Walk the
@@ -525,6 +663,8 @@ impl Tuner {
                                     &mut stats,
                                     &mut evaluated,
                                     &mut seen,
+                                    &mut incumbent,
+                                    &mut dominated,
                                 );
                                 if !evaluated.is_empty() {
                                     break;
@@ -559,6 +699,8 @@ impl Tuner {
                                     &mut stats,
                                     &mut evaluated,
                                     &mut seen,
+                                    &mut incumbent,
+                                    &mut dominated,
                                 );
                                 beam = Self::top(&evaluated, width);
                                 let new_best = beam
@@ -584,12 +726,14 @@ impl Tuner {
                                     .saturating_sub(rebuilds_start);
                                 let compiles = (patched + rebuilds).max(1);
                                 eprintln!(
-                            "[tune] round {}: best {:.4} ms | {} evals, {} cache hits, {} failed, {:.0}% patched compiles",
+                            "[tune] round {}: best {:.4} ms | {} full sims, {} cache hits, {} failed, {} bound-pruned, {} aborted, {:.0}% patched compiles",
                             progress.round,
                             progress.best_total_s * 1e3,
                             progress.evaluations,
                             progress.cache_hits,
                             stats.failed,
+                            stats.bound_pruned,
+                            stats.bounded_aborts,
                             patched as f64 / compiles as f64 * 100.0
                         );
                             }
@@ -610,12 +754,12 @@ impl Tuner {
                 // Shared warm pool: admission is bounded, so concurrent runs
                 // interleave their batches instead of stacking private pools.
                 let _session = exec.session();
-                run_strategy(&Eval::Shared(exec))
+                run_strategy(&Eval::Shared(exec, cutoff_bits))
             }
             None => {
                 // One scoped worker pool for the whole search: threads (and
                 // their warm per-thread scratch) survive across beam batches.
-                let pool = EvalPool::new();
+                let pool = EvalPool::new(cutoff_bits);
                 std::thread::scope(|scope| {
                     for _ in 0..self.threads.max(1) {
                         scope.spawn(|| pool.worker(oracle));
@@ -655,8 +799,10 @@ impl Tuner {
             failed: FailedBreakdown {
                 validate_rejected: pruned.validate_rejected,
                 constraint_pruned: pruned.constraint_pruned,
+                bound_pruned: stats.bound_pruned + stats.bounded_aborts,
                 simulation_error: stats.failed,
             },
+            bounded_aborts: stats.bounded_aborts,
             rounds,
             compile_patched: TUNE_COMPILE_PATCHED.get().saturating_sub(patched_start),
             compile_full_rebuilds: TUNE_COMPILE_FULL_REBUILDS
@@ -672,9 +818,23 @@ impl Tuner {
         sorted.into_iter().take(width).map(|c| c.config).collect()
     }
 
-    /// Evaluates `configs` (cache first, then the oracle in parallel),
-    /// appending successes to `evaluated` in candidate order. `prefix` is the
-    /// memoized [`TuneCache::key_prefix`] of this tuning run.
+    /// Evaluates `configs` (cache first, then the branch-and-bound prune,
+    /// then the oracle in parallel), appending successes to `evaluated` in
+    /// candidate order. `prefix` is the memoized [`TuneCache::key_prefix`] of
+    /// this tuning run.
+    ///
+    /// The batch is processed in [`PRUNE_CHUNK`]-sized chunks so the
+    /// incumbent tightens as results merge: workers see one frozen cutoff
+    /// per chunk, updated only here on the driver thread.
+    ///
+    /// While no incumbent exists yet (the cutoff is still infinite) the
+    /// chunks ramp up from [`PRUNE_SEED_CHUNK`]: a large opening chunk would
+    /// full-simulate every candidate in it with nothing to prune against,
+    /// so the batch starts small to put a cutoff in place, then widens to
+    /// the steady-state chunk for parallel throughput. Candidate order is
+    /// unchanged — chunk boundaries only decide how often the incumbent
+    /// refreshes — so rankings (first-evaluation order) stay deterministic
+    /// and, because pruning is admissible, identical to the unramped ones.
     #[allow(clippy::too_many_arguments)]
     fn evaluate_batch(
         &self,
@@ -685,16 +845,50 @@ impl Tuner {
         stats: &mut BatchStats,
         evaluated: &mut Vec<Candidate>,
         seen: &mut HashMap<OverlapConfig, usize>,
+        incumbent: &mut Incumbent,
+        dominated: &mut HashSet<OverlapConfig>,
     ) {
-        // Cache pass (also dedups configs revisited across beam sweeps).
+        let mut rest = configs;
+        while !rest.is_empty() {
+            let width = if incumbent.enabled && !incumbent.cutoff().is_finite() {
+                PRUNE_SEED_CHUNK
+            } else {
+                PRUNE_CHUNK
+            };
+            let (chunk, tail) = rest.split_at(width.min(rest.len()));
+            rest = tail;
+            self.evaluate_chunk(
+                oracle, eval, prefix, chunk, stats, evaluated, seen, incumbent, dominated,
+            );
+        }
+    }
+
+    /// One [`PRUNE_CHUNK`] of [`Tuner::evaluate_batch`].
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_chunk(
+        &self,
+        oracle: &dyn CostOracle,
+        eval: &Eval,
+        prefix: &str,
+        configs: &[OverlapConfig],
+        stats: &mut BatchStats,
+        evaluated: &mut Vec<Candidate>,
+        seen: &mut HashMap<OverlapConfig, usize>,
+        incumbent: &mut Incumbent,
+        dominated: &mut HashSet<OverlapConfig>,
+    ) {
+        // Cache pass (also dedups configs revisited across beam sweeps, and
+        // configs branch-and-bound already disposed of). Cached totals fold
+        // into the incumbent right away so they sharpen this very chunk's
+        // lower-bound pruning.
         let mut misses: Vec<&OverlapConfig> = Vec::new();
         let mut hit_or_miss: Vec<Option<OverlapReport>> = Vec::with_capacity(configs.len());
         {
             let _span = tilelink_probe::span("tune.cache_lookup");
             let cache = self.cache.lock().expect("tune cache lock poisoned");
             for cfg in configs {
-                if seen.contains_key(cfg) {
-                    hit_or_miss.push(None); // already ranked; nothing to do
+                if seen.contains_key(cfg) || dominated.contains(cfg) {
+                    hit_or_miss.push(None); // already ranked or disposed of
                     continue;
                 }
                 let key = TuneCache::key_in(prefix, cfg);
@@ -702,6 +896,7 @@ impl Tuner {
                     Some(report) => {
                         stats.cache_hits += 1;
                         TUNE_CACHE_HITS.inc();
+                        incumbent.observe(report.total_s);
                         hit_or_miss.push(Some(report));
                     }
                     None => {
@@ -713,15 +908,33 @@ impl Tuner {
             }
         }
 
+        // Bound pass: skip misses whose admissible lower bound already
+        // reaches the incumbent — they provably cannot enter the top of the
+        // ranking (on a tie the earlier incumbent wins the stable sort), so
+        // neither compile nor simulation is owed. The cutoff is frozen for
+        // the rest of this chunk.
+        let cutoff = incumbent.cutoff();
+        if incumbent.enabled && cutoff.is_finite() {
+            misses.retain(|cfg| match oracle.lower_bound(cfg) {
+                Some(lb) if lb >= cutoff => {
+                    stats.bound_pruned += 1;
+                    TUNE_CANDIDATES_PRUNED_BOUND.inc();
+                    dominated.insert(**cfg);
+                    false
+                }
+                _ => true,
+            });
+        }
+
         // Oracle pass: fan the misses out over worker threads. Results land in
         // a slot per candidate, so completion order never affects ranking.
-        let mut results: Vec<Option<tilelink::Result<OverlapReport>>> = vec![None; misses.len()];
+        let mut results: Vec<Option<tilelink::Result<BoundedEval>>> = vec![None; misses.len()];
         if !misses.is_empty() {
             if eval.parallelism().min(misses.len()) <= 1 {
                 // Evaluate on this thread (its scratch is warm too) rather
                 // than paying a pool round-trip for a single candidate.
                 for (slot, cfg) in results.iter_mut().zip(&misses) {
-                    *slot = Some(timed_eval(oracle, cfg));
+                    *slot = Some(timed_eval(oracle, cfg, cutoff));
                 }
             } else {
                 results = eval.run(oracle, &misses);
@@ -732,8 +945,7 @@ impl Tuner {
         let mut cache = self.cache.lock().expect("tune cache lock poisoned");
         let mut miss_idx = 0usize;
         for (cfg, cached) in configs.iter().zip(hit_or_miss) {
-            if let Some(&idx) = seen.get(cfg) {
-                debug_assert!(idx < evaluated.len());
+            if seen.contains_key(cfg) || dominated.contains(cfg) {
                 continue;
             }
             let (report, from_cache) = match cached {
@@ -745,12 +957,21 @@ impl Tuner {
                     let result = results[miss_idx].take().expect("evaluated slot");
                     miss_idx += 1;
                     match result {
-                        Ok(report) => {
+                        Ok(BoundedEval::Report(report)) => {
                             stats.evaluations += 1;
                             TUNE_CANDIDATES_SIMULATED.inc();
+                            incumbent.observe(report.total_s);
                             let key = TuneCache::key_in(prefix, cfg);
                             cache.insert(key, report);
                             (report, false)
+                        }
+                        Ok(BoundedEval::Exceeded(_)) => {
+                            // The objective value provably exceeds the
+                            // incumbent: not ranked, not cached (the exact
+                            // value is unknown), never re-dispatched.
+                            stats.bounded_aborts += 1;
+                            dominated.insert(*cfg);
+                            continue;
                         }
                         Err(e) => {
                             stats.failed += 1;
@@ -799,6 +1020,153 @@ mod tests {
         SearchSpace::standard()
             .with_comm_tiles([TileShape::new(128, 128)])
             .with_channels([4])
+    }
+
+    /// The analytic cost formula as a standalone function, so pruning tests
+    /// can reuse it as an exact (hence admissible) lower bound.
+    fn toy_cost(cfg: &OverlapConfig) -> f64 {
+        let tile = cfg.compute_tile.numel() as f64;
+        let order = match cfg.order {
+            tilelink::TileOrder::Ring => 0.9,
+            tilelink::TileOrder::AllToAll => 1.0,
+        };
+        let sms = cfg.comm_mapping.comm_sms() as f64;
+        (1e9 / tile) * order + sms * 1e-3 + cfg.num_stages as f64 * 1e-4
+    }
+
+    /// Call-counting oracle whose lower bound is the exact cost.
+    fn lb_oracle(counter: &AtomicUsize) -> impl CostOracle + '_ {
+        FnOracle::new("lb", ClusterSpec::h800_node(8), move |cfg| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            let t = toy_cost(cfg);
+            Ok(OverlapReport::new(t, t / 3.0, 2.0 * t / 3.0))
+        })
+        .with_lower_bound(|cfg| Some(toy_cost(cfg)))
+    }
+
+    /// Oracle whose `evaluate_bounded` aborts as soon as the cost exceeds the
+    /// cutoff, mirroring `Engine::makespan_bounded`.
+    struct AbortingOracle {
+        cluster: ClusterSpec,
+        aborts: AtomicUsize,
+    }
+
+    impl CostOracle for AbortingOracle {
+        fn workload_key(&self) -> String {
+            "abort".to_string()
+        }
+
+        fn cluster(&self) -> &ClusterSpec {
+            &self.cluster
+        }
+
+        fn evaluate(&self, cfg: &OverlapConfig) -> tilelink::Result<OverlapReport> {
+            let t = toy_cost(cfg);
+            Ok(OverlapReport::new(t, t / 3.0, 2.0 * t / 3.0))
+        }
+
+        fn evaluate_bounded(
+            &self,
+            cfg: &OverlapConfig,
+            cutoff: f64,
+        ) -> tilelink::Result<BoundedEval> {
+            let t = toy_cost(cfg);
+            if t > cutoff {
+                self.aborts.fetch_add(1, Ordering::SeqCst);
+                return Ok(BoundedEval::Exceeded(t));
+            }
+            self.evaluate(cfg).map(BoundedEval::Report)
+        }
+    }
+
+    #[test]
+    fn lower_bound_pruning_skips_candidates_and_keeps_the_winner() {
+        let space = space();
+        let pruned_calls = AtomicUsize::new(0);
+        let pruned = Tuner::new(Strategy::Exhaustive)
+            .tune(&lb_oracle(&pruned_calls), &space)
+            .unwrap();
+        let full_calls = AtomicUsize::new(0);
+        let full = Tuner::new(Strategy::Exhaustive)
+            .with_pruning(false)
+            .tune(&lb_oracle(&full_calls), &space)
+            .unwrap();
+        // Winners are bit-identical; pruning only skips provably worse configs.
+        assert_eq!(pruned.best.config, full.best.config);
+        assert_eq!(
+            pruned.best.report.total_s.to_bits(),
+            full.best.report.total_s.to_bits()
+        );
+        // The exact bound prunes everything past the incumbent after the
+        // first chunk, so the oracle runs far fewer simulations.
+        assert!(pruned.pruned_bound() > 0, "{pruned:?}");
+        assert_eq!(pruned.bounded_aborts, 0);
+        assert!(pruned_calls.load(Ordering::SeqCst) < full_calls.load(Ordering::SeqCst));
+        assert_eq!(full.failed.bound_pruned, 0);
+        // Attribution still sums to the space size: every candidate is ranked
+        // or accounted to exactly one pruning stage.
+        assert_eq!(
+            pruned.ranked.len() + pruned.failed.total(),
+            space.len_unpruned()
+        );
+        assert_eq!(
+            full.ranked.len() + full.failed.total(),
+            space.len_unpruned()
+        );
+    }
+
+    #[test]
+    fn bounded_aborts_are_counted_and_keep_the_winner() {
+        let space = space();
+        let oracle = AbortingOracle {
+            cluster: ClusterSpec::h800_node(8),
+            aborts: AtomicUsize::new(0),
+        };
+        let report = Tuner::new(Strategy::Exhaustive)
+            .tune(&oracle, &space)
+            .unwrap();
+        assert!(report.bounded_aborts > 0);
+        assert_eq!(report.bounded_aborts, oracle.aborts.load(Ordering::SeqCst));
+        // No lower bound on this oracle: everything bound-pruned was an abort.
+        assert_eq!(report.pruned_bound(), 0);
+        assert_eq!(
+            report.ranked.len() + report.failed.total(),
+            space.len_unpruned()
+        );
+        let full = Tuner::new(Strategy::Exhaustive)
+            .with_pruning(false)
+            .tune(&oracle, &space)
+            .unwrap();
+        assert_eq!(report.best.config, full.best.config);
+        assert_eq!(
+            report.best.report.total_s.to_bits(),
+            full.best.report.total_s.to_bits()
+        );
+    }
+
+    #[test]
+    fn beam_with_pruning_matches_the_unbounded_beam_bit_for_bit() {
+        let space = space();
+        let strategy = Strategy::Beam {
+            width: 2,
+            sweeps: 3,
+        };
+        let c1 = AtomicUsize::new(0);
+        let pruned = Tuner::new(strategy).tune(&lb_oracle(&c1), &space).unwrap();
+        let c2 = AtomicUsize::new(0);
+        let full = Tuner::new(strategy)
+            .with_pruning(false)
+            .tune(&lb_oracle(&c2), &space)
+            .unwrap();
+        // Pruning against the width-th-best incumbent keeps the frontier, the
+        // round count and the winner bit-identical to the unbounded beam.
+        assert_eq!(pruned.best.config, full.best.config);
+        assert_eq!(
+            pruned.best.report.total_s.to_bits(),
+            full.best.report.total_s.to_bits()
+        );
+        assert_eq!(pruned.rounds.len(), full.rounds.len());
+        assert!(c1.load(Ordering::SeqCst) <= c2.load(Ordering::SeqCst));
     }
 
     #[test]
@@ -889,7 +1257,7 @@ mod tests {
     }
 
     #[test]
-    fn failure_breakdown_separates_the_three_pruning_stages() {
+    fn failure_breakdown_separates_the_four_pruning_stages() {
         // 200 comm SMs fail validate on an H800; stage 3 is unsupported by the
         // oracle (constraint); stage 4 errors in the oracle (simulation).
         let oracle = FnOracle::new("stages", ClusterSpec::h800_node(8), |cfg| {
@@ -912,12 +1280,16 @@ mod tests {
         // mapping is constraint-pruned; stage 4 errors in the oracle.
         assert_eq!(report.failed.validate_rejected, 3);
         assert_eq!(report.failed.constraint_pruned, 1);
+        // The oracle has no lower bound and never aborts, so the fourth
+        // stage stays empty here (exercised by the pruning tests below).
+        assert_eq!(report.failed.bound_pruned, 0);
         assert_eq!(report.failed.simulation_error, 1);
         assert_eq!(report.failed.total(), 5);
         assert_eq!(report.ranked.len(), 1);
         let text = report.summary(1);
         assert!(text.contains("3 validate-rejected"), "{text}");
         assert!(text.contains("1 constraint-pruned"), "{text}");
+        assert!(text.contains("0 bound-pruned"), "{text}");
         assert!(text.contains("1 simulation errors"), "{text}");
     }
 

@@ -79,7 +79,9 @@ impl SearchSpace {
     /// The standard space used by the `tuned_*` workload constructors: the
     /// tile shapes, orders, transfer modes and resource mappings the paper
     /// sweeps in its evaluation (Sections 3.1 and 7), 648 combinations before
-    /// pruning.
+    /// pruning. Carries [`RING_REQUIRES_PUSH`], so the pull-mode ring
+    /// combinations (which would deadlock on real hardware) are excluded
+    /// up front instead of wasting simulation budget.
     pub fn standard() -> Self {
         Self::new()
             .with_comm_tiles([
@@ -104,6 +106,7 @@ impl SearchSpace {
             ])
             .with_channels([4])
             .with_stages([2, 3, 4])
+            .with_constraint(RING_REQUIRES_PUSH)
     }
 
     /// Replaces the communication-tile axis.

@@ -14,11 +14,15 @@ use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use tilelink::exec::BoundedReport;
 use tilelink::{OverlapConfig, OverlapReport};
 use tilelink_sim::{analytic_cost, ClusterSpec, SharedCost};
 use tilelink_tune::{
-    CostOracle, Objective, SearchExecutor, SearchSpace, Strategy, TuneCache, TuneReport, Tuner,
+    BoundedEval, CostOracle, Objective, SearchExecutor, SearchSpace, Strategy, TuneCache,
+    TuneReport, Tuner,
 };
+
+use crate::bounds;
 
 use crate::moe::{RoutingProfile, RoutingSampler};
 use crate::{attention, mlp, moe, AttnShape, MlpShape, MoeShape};
@@ -129,6 +133,55 @@ impl CostOracle for MlpOracle {
         ))
     }
 
+    fn lower_bound(&self, cfg: &OverlapConfig) -> Option<f64> {
+        Some(
+            bounds::mlp_ag_gemm_bound(&self.shape, cfg, &*self.cost)
+                + bounds::mlp_gemm_rs_bound(&self.shape, cfg, &*self.cost)
+                + mlp::activation_seconds_with(&self.shape, &*self.cost),
+        )
+    }
+
+    fn evaluate_bounded(&self, cfg: &OverlapConfig, cutoff: f64) -> tilelink::Result<BoundedEval> {
+        // Residual-budget composition: the AG half aborts once its makespan
+        // plus the admissible bound of the unsimulated remainder exceeds the
+        // cutoff; the RS half aborts once the running layer total does.
+        let act = mlp::activation_seconds_with(&self.shape, &*self.cost);
+        let rs_lb = bounds::mlp_gemm_rs_bound(&self.shape, cfg, &*self.cost);
+        let ag = match mlp::timed_ag_gemm_bounded_with(
+            &self.shape,
+            cfg,
+            &self.cost,
+            cutoff - act - rs_lb,
+        )? {
+            BoundedReport::Report(report) => report,
+            BoundedReport::Exceeded(clock) => {
+                return Ok(BoundedEval::Exceeded(clock + rs_lb + act))
+            }
+        };
+        // With the AG half priced exactly, the remainder's admissible bound
+        // may already certify the layer past the cutoff — skip the RS half's
+        // compile and simulation entirely.
+        if ag.total_s + rs_lb + act > cutoff {
+            return Ok(BoundedEval::Exceeded(ag.total_s + rs_lb + act));
+        }
+        let rs = match mlp::timed_gemm_rs_bounded_with(
+            &self.shape,
+            cfg,
+            &self.cost,
+            cutoff - act - ag.total_s,
+        )? {
+            BoundedReport::Report(report) => report,
+            BoundedReport::Exceeded(clock) => {
+                return Ok(BoundedEval::Exceeded(ag.total_s + clock + act))
+            }
+        };
+        Ok(BoundedEval::Report(OverlapReport::new(
+            ag.total_s + rs.total_s + act,
+            ag.comm_only_s + rs.comm_only_s,
+            ag.comp_only_s + rs.comp_only_s + act,
+        )))
+    }
+
     fn is_supported(&self, cfg: &OverlapConfig) -> bool {
         // The ring ReduceScatter half indexes tiles as segment × tile, so the
         // token count must split evenly into per-rank segments of compute tiles.
@@ -179,6 +232,19 @@ impl CostOracle for MlpAgGemmOracle {
 
     fn evaluate(&self, cfg: &OverlapConfig) -> tilelink::Result<OverlapReport> {
         mlp::timed_ag_gemm_with(&self.shape, cfg, &self.cost)
+    }
+
+    fn lower_bound(&self, cfg: &OverlapConfig) -> Option<f64> {
+        Some(bounds::mlp_ag_gemm_bound(&self.shape, cfg, &*self.cost))
+    }
+
+    fn evaluate_bounded(&self, cfg: &OverlapConfig, cutoff: f64) -> tilelink::Result<BoundedEval> {
+        Ok(
+            match mlp::timed_ag_gemm_bounded_with(&self.shape, cfg, &self.cost, cutoff)? {
+                BoundedReport::Report(report) => BoundedEval::Report(report),
+                BoundedReport::Exceeded(clock) => BoundedEval::Exceeded(clock),
+            },
+        )
     }
 
     fn is_supported(&self, cfg: &OverlapConfig) -> bool {
@@ -291,6 +357,161 @@ impl CostOracle for MoeOracle {
             )?);
         }
         Ok(self.objective.fold_reports(&reports))
+    }
+
+    fn lower_bound(&self, cfg: &OverlapConfig) -> Option<f64> {
+        // The per-sample layer bound is routing-invariant (every sample
+        // conserves the dispatched row count and the AG traffic), so it
+        // floors each sample's total and therefore every objective fold —
+        // the mean, any percentile and the worst case alike.
+        Some(
+            bounds::moe_first_bound(&self.shape, cfg, &*self.cost)
+                + bounds::moe_second_bound(&self.shape, cfg, &*self.cost)
+                + moe::activation_seconds_with(&self.shape, &*self.cost),
+        )
+    }
+
+    fn evaluate_bounded(&self, cfg: &OverlapConfig, cutoff: f64) -> tilelink::Result<BoundedEval> {
+        let Some(spec) = &self.routing else {
+            // Expected-routing path: residual-budget composition over the two
+            // halves, exactly like the MLP oracle.
+            let act = moe::activation_seconds_with(&self.shape, &*self.cost);
+            let second_lb = bounds::moe_second_bound(&self.shape, cfg, &*self.cost);
+            let first = match moe::timed_ag_group_gemm_bounded_with(
+                &self.shape,
+                cfg,
+                &self.cost,
+                cutoff - act - second_lb,
+            )? {
+                BoundedReport::Report(report) => report,
+                BoundedReport::Exceeded(clock) => {
+                    return Ok(BoundedEval::Exceeded(clock + second_lb + act))
+                }
+            };
+            // The first half is priced exactly; if even the second half's
+            // admissible bound keeps the layer past the cutoff, skip its
+            // compile and simulation entirely.
+            if first.total_s + second_lb + act > cutoff {
+                return Ok(BoundedEval::Exceeded(first.total_s + second_lb + act));
+            }
+            let second = match moe::timed_group_gemm_rs_bounded_with(
+                &self.shape,
+                cfg,
+                &self.cost,
+                cutoff - act - first.total_s,
+            )? {
+                BoundedReport::Report(report) => report,
+                BoundedReport::Exceeded(clock) => {
+                    return Ok(BoundedEval::Exceeded(first.total_s + clock + act))
+                }
+            };
+            return Ok(BoundedEval::Report(OverlapReport::new(
+                first.total_s + second.total_s + act,
+                first.comm_only_s + second.comm_only_s,
+                first.comp_only_s + second.comp_only_s + act,
+            )));
+        };
+
+        let sampler = spec.sampler();
+        let n = spec.samples.max(1);
+        let samples = sampler.samples_for(&self.shape, n);
+        match self.objective {
+            Objective::Mean => {
+                // Sample i gets the budget that keeps the *mean* beatable:
+                // n·cutoff minus the totals already simulated minus the
+                // admissible per-sample bound for each sample still to come.
+                // An abort therefore certifies mean > cutoff.
+                let lb_sample = self
+                    .lower_bound(cfg)
+                    .expect("moe oracle always has a bound");
+                let mut reports = Vec::with_capacity(n);
+                let mut sum = 0.0;
+                for (i, sample) in samples.iter().enumerate() {
+                    let remaining_lb = (n - 1 - i) as f64 * lb_sample;
+                    let budget = n as f64 * cutoff - sum - remaining_lb;
+                    match moe::timed_routed_full_moe_bounded_with(
+                        &self.shape,
+                        cfg,
+                        &self.cost,
+                        sample,
+                        budget,
+                    )? {
+                        BoundedReport::Report(report) => {
+                            sum += report.total_s;
+                            reports.push(report);
+                        }
+                        BoundedReport::Exceeded(clock) => {
+                            return Ok(BoundedEval::Exceeded(
+                                (sum + clock + remaining_lb) / n as f64,
+                            ))
+                        }
+                    }
+                }
+                Ok(BoundedEval::Report(self.objective.fold_reports(&reports)))
+            }
+            Objective::WorstCase => {
+                // The fold is the slowest sample: the first abort already
+                // certifies worst > cutoff.
+                let mut reports = Vec::with_capacity(n);
+                for sample in &samples {
+                    match moe::timed_routed_full_moe_bounded_with(
+                        &self.shape,
+                        cfg,
+                        &self.cost,
+                        sample,
+                        cutoff,
+                    )? {
+                        BoundedReport::Report(report) => reports.push(report),
+                        BoundedReport::Exceeded(clock) => return Ok(BoundedEval::Exceeded(clock)),
+                    }
+                }
+                Ok(BoundedEval::Report(self.objective.fold_reports(&reports)))
+            }
+            Objective::Percentile(_) => {
+                // Nearest-rank order statistic at sorted index `pick`:
+                // aborted samples (total > cutoff) sort strictly above every
+                // finished one (total <= cutoff), so as long as at most
+                // n - 1 - pick samples abort the pick falls inside the
+                // finished prefix and folding it is bit-identical to the
+                // unbounded fold. With more aborts the folded value is itself
+                // an aborted sample's total, which every aborted clock floors.
+                let pick = self
+                    .objective
+                    .sorted_pick_index(n)
+                    .expect("percentile picks a sample");
+                let allowed_aborts = n - 1 - pick;
+                let mut finished = Vec::with_capacity(n);
+                let mut aborted_floor = f64::INFINITY;
+                let mut aborts = 0usize;
+                for sample in &samples {
+                    match moe::timed_routed_full_moe_bounded_with(
+                        &self.shape,
+                        cfg,
+                        &self.cost,
+                        sample,
+                        cutoff,
+                    )? {
+                        BoundedReport::Report(report) => finished.push(report),
+                        BoundedReport::Exceeded(clock) => {
+                            aborts += 1;
+                            aborted_floor = aborted_floor.min(clock);
+                        }
+                    }
+                }
+                if aborts > allowed_aborts {
+                    return Ok(BoundedEval::Exceeded(aborted_floor));
+                }
+                if aborts == 0 {
+                    return Ok(BoundedEval::Report(self.objective.fold_reports(&finished)));
+                }
+                // Pick within the finished prefix: identical order statistic
+                // (stable sort, and finished totals never tie with aborted
+                // ones), without re-simulating the aborted samples.
+                let mut order: Vec<usize> = (0..finished.len()).collect();
+                order.sort_by(|&a, &b| finished[a].total_s.total_cmp(&finished[b].total_s));
+                Ok(BoundedEval::Report(finished[order[pick]]))
+            }
+        }
     }
 
     fn is_supported(&self, cfg: &OverlapConfig) -> bool {

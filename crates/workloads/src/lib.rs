@@ -26,6 +26,7 @@
 pub mod attention;
 pub mod autotune;
 pub mod baselines;
+mod bounds;
 pub mod e2e;
 pub mod mlp;
 pub mod moe;

@@ -17,7 +17,9 @@
 //!   Figure 8 and Table 2.
 
 use tilelink::config::{CommMapping, OverlapConfig, TileShape};
-use tilelink::exec::{run_comm_compute, simulate_report_with};
+use tilelink::exec::{
+    run_comm_compute, simulate_report_bounded_with, simulate_report_with, BoundedReport,
+};
 use tilelink::ir::{BlockDesc, BlockRole, ComputeKind, TileOp, TileProgram};
 use tilelink::primitives::{NotifyScope, PushTarget};
 use tilelink::tile::{read_tile, write_tile, TileRect};
@@ -469,8 +471,34 @@ pub fn timed_ag_gemm_with(
     cfg: &OverlapConfig,
     cost: &SharedCost,
 ) -> tilelink::Result<OverlapReport> {
+    let kernel = compile_ag_gemm(shape, cfg, cost)?;
+    simulate_report_with(&kernel, cost)
+}
+
+/// [`timed_ag_gemm_with`] with an abort cutoff on the overlapped makespan —
+/// the branch-and-bound fast path (see
+/// [`tilelink::exec::simulate_report_bounded_with`]).
+///
+/// # Errors
+///
+/// Returns an error if compilation or simulation fails.
+pub fn timed_ag_gemm_bounded_with(
+    shape: &crate::MlpShape,
+    cfg: &OverlapConfig,
+    cost: &SharedCost,
+    cutoff: f64,
+) -> tilelink::Result<BoundedReport> {
+    let kernel = compile_ag_gemm(shape, cfg, cost)?;
+    simulate_report_bounded_with(&kernel, cost, cutoff)
+}
+
+fn compile_ag_gemm(
+    shape: &crate::MlpShape,
+    cfg: &OverlapConfig,
+    cost: &SharedCost,
+) -> tilelink::Result<tilelink::CompiledKernel> {
     let world = cost.cluster().world_size();
-    let kernel = Compiler::new(*cfg, cost.cluster().gpu.clone())
+    Compiler::new(*cfg, cost.cluster().gpu.clone())
         .with_cost(cost.clone())
         .compile_cached(
             CacheSite::new("mlp.ag_gemm", mlp_detail(shape, world)),
@@ -483,8 +511,7 @@ pub fn timed_ag_gemm_with(
                     cfg,
                 ))
             },
-        )?;
-    simulate_report_with(&kernel, cost)
+        )
 }
 
 /// Simulates the TileLink GEMM + ReduceScatter kernel for one MLP shape with
@@ -512,8 +539,32 @@ pub fn timed_gemm_rs_with(
     cfg: &OverlapConfig,
     cost: &SharedCost,
 ) -> tilelink::Result<OverlapReport> {
+    let kernel = compile_gemm_rs(shape, cfg, cost)?;
+    simulate_report_with(&kernel, cost)
+}
+
+/// [`timed_gemm_rs_with`] with an abort cutoff on the overlapped makespan.
+///
+/// # Errors
+///
+/// Returns an error if compilation or simulation fails.
+pub fn timed_gemm_rs_bounded_with(
+    shape: &crate::MlpShape,
+    cfg: &OverlapConfig,
+    cost: &SharedCost,
+    cutoff: f64,
+) -> tilelink::Result<BoundedReport> {
+    let kernel = compile_gemm_rs(shape, cfg, cost)?;
+    simulate_report_bounded_with(&kernel, cost, cutoff)
+}
+
+fn compile_gemm_rs(
+    shape: &crate::MlpShape,
+    cfg: &OverlapConfig,
+    cost: &SharedCost,
+) -> tilelink::Result<tilelink::CompiledKernel> {
     let world = cost.cluster().world_size();
-    let kernel = Compiler::new(*cfg, cost.cluster().gpu.clone())
+    Compiler::new(*cfg, cost.cluster().gpu.clone())
         .with_cost(cost.clone())
         .compile_cached(
             CacheSite::new("mlp.gemm_rs", mlp_detail(shape, world)),
@@ -526,8 +577,7 @@ pub fn timed_gemm_rs_with(
                     cfg,
                 ))
             },
-        )?;
-    simulate_report_with(&kernel, cost)
+        )
 }
 
 /// Simulates the full TileLink MLP layer (AG+GEMM, activation, GEMM+RS) with

@@ -18,7 +18,9 @@
 //! tile touches.
 
 use tilelink::config::{CommMapping, OverlapConfig, TileShape};
-use tilelink::exec::{run_comm_compute, simulate_report_with};
+use tilelink::exec::{
+    run_comm_compute, simulate_report_bounded_with, simulate_report_with, BoundedReport,
+};
 use tilelink::ir::{BlockDesc, BlockRole, ComputeKind, Symbol, TileOp, TileProgram};
 use tilelink::primitives::{NotifyScope, PushTarget};
 use tilelink::tile::{read_tile, TileRect};
@@ -444,14 +446,38 @@ pub fn timed_ag_group_gemm_with(
     cfg: &OverlapConfig,
     cost: &SharedCost,
 ) -> tilelink::Result<OverlapReport> {
+    let kernel = compile_ag_group_gemm(shape, cfg, cost)?;
+    simulate_report_with(&kernel, cost)
+}
+
+/// [`timed_ag_group_gemm_with`] with an abort cutoff on the overlapped
+/// makespan — the branch-and-bound fast path.
+///
+/// # Errors
+///
+/// Returns an error if compilation or simulation fails.
+pub fn timed_ag_group_gemm_bounded_with(
+    shape: &MoeShape,
+    cfg: &OverlapConfig,
+    cost: &SharedCost,
+    cutoff: f64,
+) -> tilelink::Result<BoundedReport> {
+    let kernel = compile_ag_group_gemm(shape, cfg, cost)?;
+    simulate_report_bounded_with(&kernel, cost, cutoff)
+}
+
+fn compile_ag_group_gemm(
+    shape: &MoeShape,
+    cfg: &OverlapConfig,
+    cost: &SharedCost,
+) -> tilelink::Result<tilelink::CompiledKernel> {
     let world = cost.cluster().world_size();
-    let kernel = Compiler::new(*cfg, cost.cluster().gpu.clone())
+    Compiler::new(*cfg, cost.cluster().gpu.clone())
         .with_cost(cost.clone())
         .compile_cached(
             CacheSite::new("moe.ag_group_gemm", moe_detail(shape, world)),
             || Ok(ag_group_gemm_program(shape, world, cfg)),
-        )?;
-    simulate_report_with(&kernel, cost)
+        )
 }
 
 /// Simulates the TileLink GroupGEMM + Scatter + TopK-Reduce + RS kernel with
@@ -479,16 +505,40 @@ pub fn timed_group_gemm_rs_with(
     cfg: &OverlapConfig,
     cost: &SharedCost,
 ) -> tilelink::Result<OverlapReport> {
+    let kernel = compile_group_gemm_rs(shape, cfg, cost)?;
+    simulate_report_with(&kernel, cost)
+}
+
+/// [`timed_group_gemm_rs_with`] with an abort cutoff on the overlapped
+/// makespan.
+///
+/// # Errors
+///
+/// Returns an error if compilation or simulation fails.
+pub fn timed_group_gemm_rs_bounded_with(
+    shape: &MoeShape,
+    cfg: &OverlapConfig,
+    cost: &SharedCost,
+    cutoff: f64,
+) -> tilelink::Result<BoundedReport> {
+    let kernel = compile_group_gemm_rs(shape, cfg, cost)?;
+    simulate_report_bounded_with(&kernel, cost, cutoff)
+}
+
+fn compile_group_gemm_rs(
+    shape: &MoeShape,
+    cfg: &OverlapConfig,
+    cost: &SharedCost,
+) -> tilelink::Result<tilelink::CompiledKernel> {
     let world = cost.cluster().world_size();
     let mut cfg = *cfg;
     cfg.comm_mapping = CommMapping::Hybrid { sms: 20 };
-    let kernel = Compiler::new(cfg, cost.cluster().gpu.clone())
+    Compiler::new(cfg, cost.cluster().gpu.clone())
         .with_cost(cost.clone())
         .compile_cached(
             CacheSite::new("moe.group_gemm_rs", moe_detail(shape, world)),
             || Ok(group_gemm_rs_program(shape, world, &cfg)),
-        )?;
-    simulate_report_with(&kernel, cost)
+        )
 }
 
 /// Simulates the full TileLink MoE layer (both halves plus the activation)
@@ -1040,8 +1090,34 @@ pub fn timed_routed_ag_group_gemm_with(
     cost: &SharedCost,
     sample: &RoutingSample,
 ) -> tilelink::Result<OverlapReport> {
+    let kernel = compile_routed_ag_group_gemm(shape, cfg, cost, sample)?;
+    simulate_report_with(&kernel, cost)
+}
+
+/// [`timed_routed_ag_group_gemm_with`] with an abort cutoff.
+///
+/// # Errors
+///
+/// Returns an error if compilation or simulation fails.
+pub fn timed_routed_ag_group_gemm_bounded_with(
+    shape: &MoeShape,
+    cfg: &OverlapConfig,
+    cost: &SharedCost,
+    sample: &RoutingSample,
+    cutoff: f64,
+) -> tilelink::Result<BoundedReport> {
+    let kernel = compile_routed_ag_group_gemm(shape, cfg, cost, sample)?;
+    simulate_report_bounded_with(&kernel, cost, cutoff)
+}
+
+fn compile_routed_ag_group_gemm(
+    shape: &MoeShape,
+    cfg: &OverlapConfig,
+    cost: &SharedCost,
+    sample: &RoutingSample,
+) -> tilelink::Result<tilelink::CompiledKernel> {
     let world = cost.cluster().world_size();
-    let kernel = Compiler::new(*cfg, cost.cluster().gpu.clone())
+    Compiler::new(*cfg, cost.cluster().gpu.clone())
         .with_cost(cost.clone())
         .compile_cached(
             CacheSite::new(
@@ -1049,8 +1125,7 @@ pub fn timed_routed_ag_group_gemm_with(
                 routed_detail(shape, world, sample),
             ),
             || routed_ag_group_gemm_program(shape, world, cfg, sample),
-        )?;
-    simulate_report_with(&kernel, cost)
+        )
 }
 
 /// Simulates the routed GroupGEMM + Scatter + TopK-Reduce + RS kernel for one
@@ -1065,10 +1140,36 @@ pub fn timed_routed_group_gemm_rs_with(
     cost: &SharedCost,
     sample: &RoutingSample,
 ) -> tilelink::Result<OverlapReport> {
+    let kernel = compile_routed_group_gemm_rs(shape, cfg, cost, sample)?;
+    simulate_report_with(&kernel, cost)
+}
+
+/// [`timed_routed_group_gemm_rs_with`] with an abort cutoff.
+///
+/// # Errors
+///
+/// Returns an error if compilation or simulation fails.
+pub fn timed_routed_group_gemm_rs_bounded_with(
+    shape: &MoeShape,
+    cfg: &OverlapConfig,
+    cost: &SharedCost,
+    sample: &RoutingSample,
+    cutoff: f64,
+) -> tilelink::Result<BoundedReport> {
+    let kernel = compile_routed_group_gemm_rs(shape, cfg, cost, sample)?;
+    simulate_report_bounded_with(&kernel, cost, cutoff)
+}
+
+fn compile_routed_group_gemm_rs(
+    shape: &MoeShape,
+    cfg: &OverlapConfig,
+    cost: &SharedCost,
+    sample: &RoutingSample,
+) -> tilelink::Result<tilelink::CompiledKernel> {
     let world = cost.cluster().world_size();
     let mut cfg = *cfg;
     cfg.comm_mapping = CommMapping::Hybrid { sms: 20 };
-    let kernel = Compiler::new(cfg, cost.cluster().gpu.clone())
+    Compiler::new(cfg, cost.cluster().gpu.clone())
         .with_cost(cost.clone())
         .compile_cached(
             CacheSite::new(
@@ -1076,8 +1177,7 @@ pub fn timed_routed_group_gemm_rs_with(
                 routed_detail(shape, world, sample),
             ),
             || Ok(routed_group_gemm_rs_program(shape, world, &cfg, sample)),
-        )?;
-    simulate_report_with(&kernel, cost)
+        )
 }
 
 /// Simulates the full routed MoE layer (both halves plus the activation) for
@@ -1100,6 +1200,64 @@ pub fn timed_routed_full_moe_with(
         first.comm_only_s + second.comm_only_s,
         first.comp_only_s + second.comp_only_s + act,
     ))
+}
+
+/// [`timed_routed_full_moe_with`] with an abort cutoff on the layer total.
+///
+/// The cutoff is threaded through both halves as a *residual budget*: the
+/// first half aborts once its makespan alone makes the layer total exceed
+/// `cutoff` (using the admissible lower bound of the second half for the
+/// unsimulated remainder), the second once the running total does. An
+/// `Exceeded` clock is therefore a certified lower bound on the full layer
+/// total; with an infinite cutoff the report is bit-identical to
+/// [`timed_routed_full_moe_with`].
+///
+/// # Errors
+///
+/// Returns an error if either half fails to compile or simulate.
+pub fn timed_routed_full_moe_bounded_with(
+    shape: &MoeShape,
+    cfg: &OverlapConfig,
+    cost: &SharedCost,
+    sample: &RoutingSample,
+    cutoff: f64,
+) -> tilelink::Result<BoundedReport> {
+    let act = activation_seconds_with(shape, &**cost);
+    let second_lb = crate::bounds::moe_second_bound(shape, cfg, &**cost);
+    let first = match timed_routed_ag_group_gemm_bounded_with(
+        shape,
+        cfg,
+        cost,
+        sample,
+        cutoff - act - second_lb,
+    )? {
+        BoundedReport::Report(report) => report,
+        BoundedReport::Exceeded(clock) => {
+            return Ok(BoundedReport::Exceeded(clock + second_lb + act))
+        }
+    };
+    // The first half is priced exactly; if even the second half's admissible
+    // bound keeps the sample past the cutoff, skip its compile and simulation.
+    if first.total_s + second_lb + act > cutoff {
+        return Ok(BoundedReport::Exceeded(first.total_s + second_lb + act));
+    }
+    let second = match timed_routed_group_gemm_rs_bounded_with(
+        shape,
+        cfg,
+        cost,
+        sample,
+        cutoff - act - first.total_s,
+    )? {
+        BoundedReport::Report(report) => report,
+        BoundedReport::Exceeded(clock) => {
+            return Ok(BoundedReport::Exceeded(first.total_s + clock + act))
+        }
+    };
+    Ok(BoundedReport::Report(OverlapReport::new(
+        first.total_s + second.total_s + act,
+        first.comm_only_s + second.comm_only_s,
+        first.comp_only_s + second.comp_only_s + act,
+    )))
 }
 
 #[cfg(test)]
